@@ -1,0 +1,56 @@
+//! Criterion benches for the multilevel partitioner — the METIS-substitute
+//! performance that bounds the epoch length (the paper: 285 s for a
+//! 1M-vertex graph; the scheduler must re-run every epoch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldilocks_partition::{
+    multilevel_bisect, partition_kway, recursive_bisect, BisectConfig, VertexWeight,
+};
+use goldilocks_workload::mstrace::{search_trace, snapshot, SearchTraceConfig};
+
+fn trace_graph(vertices: usize) -> goldilocks_partition::Graph {
+    let w = search_trace(&SearchTraceConfig {
+        vertices: vertices.max(200),
+        ..SearchTraceConfig::default()
+    });
+    snapshot(&w, vertices).container_graph(0).expect("graph")
+}
+
+fn bench_bisect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_bisect");
+    for n in [200usize, 1000, 4000] {
+        let graph = trace_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| multilevel_bisect(g, 0.5, &BisectConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let graph = trace_graph(2000);
+    let mut group = c.benchmark_group("partition_kway_2000v");
+    for k in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| partition_kway(&graph, k, &BisectConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursive(c: &mut Criterion) {
+    let graph = trace_graph(2000);
+    // A cap sized to produce ~40 groups.
+    let total = graph.total_vertex_weight();
+    let cap = VertexWeight::new(total.0.iter().map(|t| t / 40.0 * 1.2).collect::<Vec<_>>());
+    c.bench_function("recursive_bisect_2000v_to_40_groups", |b| {
+        b.iter(|| recursive_bisect(&graph, |w| w.fits_within(&cap), &BisectConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bisect, bench_kway, bench_recursive
+}
+criterion_main!(benches);

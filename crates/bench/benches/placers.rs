@@ -1,0 +1,52 @@
+//! Criterion benches comparing per-epoch cost of all five placement
+//! policies on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goldilocks_core::Goldilocks;
+use goldilocks_placement::{Borg, EPvm, Mpp, Placer, RcInformed};
+use goldilocks_power::ServerPowerModel;
+use goldilocks_topology::builders::fat_tree;
+use goldilocks_topology::Resources;
+use goldilocks_workload::generators::azure_mix;
+
+fn bench_policies(c: &mut Criterion) {
+    let dc = fat_tree(8, Resources::new(3200.0, 256.0, 10_000.0), 10_000.0);
+    let mut w = azure_mix(800, 42);
+    // Fit comfortably: ~40 % of cluster CPU.
+    let scale = dc.server_count() as f64 * 3200.0 * 0.4 / w.total_demand().cpu;
+    for cspec in &mut w.containers {
+        cspec.demand.cpu *= scale;
+        cspec.demand.memory_gb *= 0.3;
+        cspec.demand.network_mbps *= 0.3;
+    }
+
+    let mut group = c.benchmark_group("place_800c_128s");
+    group.bench_function("epvm", |b| {
+        let mut p = EPvm::new();
+        b.iter(|| p.place(&w, &dc).expect("ok"))
+    });
+    group.bench_function("mpp", |b| {
+        let mut p = Mpp::new(ServerPowerModel::dell_2018());
+        b.iter(|| p.place(&w, &dc).expect("ok"))
+    });
+    group.bench_function("borg", |b| {
+        let mut p = Borg::new();
+        b.iter(|| p.place(&w, &dc).expect("ok"))
+    });
+    group.bench_function("rc_informed", |b| {
+        let mut p = RcInformed::new();
+        b.iter(|| p.place(&w, &dc).expect("ok"))
+    });
+    group.bench_function("goldilocks", |b| {
+        let mut p = Goldilocks::new();
+        b.iter(|| p.place(&w, &dc).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

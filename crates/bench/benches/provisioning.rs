@@ -1,0 +1,47 @@
+//! Criterion benches for end-to-end Goldilocks provisioning: workload →
+//! container graph → grouping → assignment, per epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldilocks_core::{Goldilocks, GoldilocksAsym};
+use goldilocks_placement::Placer;
+use goldilocks_topology::builders::{fat_tree, testbed_16};
+use goldilocks_topology::Resources;
+use goldilocks_workload::generators::twitter_caching;
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goldilocks_place");
+    // Testbed scale.
+    let testbed = testbed_16();
+    let w176 = twitter_caching(176, 42);
+    group.bench_function("testbed16_176c", |b| {
+        let mut g = Goldilocks::new();
+        b.iter(|| g.place(&w176, &testbed).expect("feasible"))
+    });
+    // Pod scale: 8-ary fat tree (128 servers), up to 1000 containers.
+    let dc = fat_tree(8, Resources::new(3200.0, 256.0, 10_000.0), 10_000.0);
+    for n in [400usize, 1000] {
+        let w = twitter_caching(n, 42);
+        group.bench_with_input(BenchmarkId::new("fattree8", n), &w, |b, w| {
+            let mut g = Goldilocks::new();
+            b.iter(|| g.place(w, &dc).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_asymmetric(c: &mut Criterion) {
+    let mut tree = testbed_16();
+    tree.degrade_uplink(tree.subtrees_smallest_first()[0], 0.5);
+    let w = twitter_caching(96, 42);
+    c.bench_function("goldilocks_asym_testbed16_96c", |b| {
+        let mut g = GoldilocksAsym::new();
+        b.iter(|| g.place(&w, &tree).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_symmetric, bench_asymmetric
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the topology queries the simulator leans on:
+//! hop distances, DFS server order, active-switch counting and the
+//! bandwidth ledger.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goldilocks_topology::builders::{fat_tree, fat_tree_28};
+use goldilocks_topology::{Resources, ServerId};
+
+fn bench_queries(c: &mut Criterion) {
+    let dc = fat_tree(16, Resources::new(4800.0, 768.0, 10_000.0), 10_000.0); // 1024 servers
+
+    c.bench_function("hop_distance_1k_pairs", |b| {
+        let n = dc.server_count();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1000 {
+                let a = ServerId((i * 37) % n);
+                let bb = ServerId((i * 101 + 13) % n);
+                acc += dc.hop_distance(a, bb);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("servers_in_dfs_order_1024", |b| b.iter(|| dc.servers_in_dfs_order()));
+
+    c.bench_function("active_switch_count_1024", |b| {
+        let on: Vec<bool> = (0..dc.server_count()).map(|s| s % 3 != 0).collect();
+        b.iter(|| dc.active_switch_count(&on))
+    });
+
+    c.bench_function("reserve_release_ledger", |b| {
+        let mut dc = fat_tree(8, Resources::new(3200.0, 256.0, 10_000.0), 10_000.0);
+        let nodes = dc.subtrees_smallest_first();
+        b.iter(|| {
+            for &n in nodes.iter().take(32) {
+                dc.reserve_mbps(n, 100.0).expect("headroom");
+            }
+            for &n in nodes.iter().take(32) {
+                dc.release_mbps(n, 100.0);
+            }
+        })
+    });
+
+    c.bench_function("build_fat_tree_28_5488s", |b| b.iter(fat_tree_28));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Ablations of the Goldilocks design choices (beyond the paper's figures):
+//!
+//! 1. PEE packing-target sweep (60–95 %): the power/TCT trade-off around
+//!    the knee.
+//! 2. Locality on/off: min-cut grouping vs the same PEE packing with the
+//!    container graph's edges ignored (random grouping).
+//! 3. Incremental repartitioning stickiness: migration count vs cut quality
+//!    (the paper's Section IV-C future-work knob).
+
+use goldilocks_core::GoldilocksConfig;
+use goldilocks_partition::{incremental_repartition, BisectConfig, VertexWeight};
+use goldilocks_sim::epoch::{run_policy, Policy};
+use goldilocks_sim::report::{fmt, render_table};
+use goldilocks_sim::scenarios::wiki_testbed;
+use goldilocks_sim::summary::summarize;
+use goldilocks_workload::generators::twitter_caching;
+
+fn pee_sweep() {
+    println!("== Ablation 1: PEE packing-target sweep (wiki scenario) ==");
+    let scenario = wiki_testbed(30, 176, 42);
+    let headers = ["PEE target", "avg active", "avg power W", "avg TCT ms"];
+    let mut rows = Vec::new();
+    for pee in [0.60, 0.70, 0.80, 0.90, 0.95] {
+        let cfg = GoldilocksConfig::default().with_pee_target(pee);
+        let run = run_policy(&scenario, &Policy::Goldilocks(cfg)).expect("feasible");
+        let s = summarize(&run);
+        rows.push(vec![
+            format!("{:.0}%", pee * 100.0),
+            fmt(s.avg_active_servers, 1),
+            fmt(s.avg_total_watts, 0),
+            fmt(s.avg_tct_ms, 2),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+}
+
+fn locality_onoff() {
+    println!("== Ablation 2: locality (min-cut grouping) on/off ==");
+    use goldilocks_core::Goldilocks;
+    use goldilocks_placement::Placer;
+    use goldilocks_sim::epoch::epoch_workload;
+    use goldilocks_sim::latency::mean_tct_ms;
+
+    let scenario = wiki_testbed(30, 176, 42);
+    let headers = ["epoch", "variant", "active", "avg TCT ms"];
+    let mut rows = Vec::new();
+    for epoch in [5usize, 15, 25] {
+        let live = epoch_workload(&scenario, epoch);
+        // Blind variant: the placer sees demands but no flows, so grouping
+        // is demand-only; TCT is then measured against the *real* flows.
+        let mut blind_input = live.clone();
+        blind_input.flows.clear();
+        for (label, input) in [("min-cut grouping", &live), ("locality off", &blind_input)] {
+            let mut gold = Goldilocks::with_config(GoldilocksConfig::paper());
+            let placement = gold.place(input, &scenario.tree).expect("feasible");
+            let utils = placement.server_cpu_utilizations(&live, &scenario.tree);
+            let tct = mean_tct_ms(
+                &scenario.latency,
+                &live,
+                &placement,
+                &scenario.tree,
+                &utils,
+                |_| true,
+            );
+            rows.push(vec![
+                epoch.to_string(),
+                label.to_string(),
+                placement.active_server_count().to_string(),
+                fmt(tct, 2),
+            ]);
+        }
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("Same PEE packing, same server counts — the min-cut grouping is what");
+    println!("removes the network hops from the task completion time.");
+}
+
+fn incremental_stickiness() {
+    println!("== Ablation 3: incremental repartitioning stickiness ==");
+    let w = twitter_caching(176, 42);
+    let graph = w.container_graph(0).expect("graph");
+    let cap = VertexWeight::new(vec![2240.0, 57.6, 900.0]);
+    let cfg = BisectConfig::default();
+    // Old assignment: a partition from a slightly different seed, simulating
+    // the previous epoch's grouping.
+    let old_cfg = BisectConfig { seed: 7, ..cfg.clone() };
+    let old = goldilocks_partition::recursive_bisect(&graph, |x| x.fits_within(&cap), &old_cfg)
+        .expect("old partition")
+        .group_assignment(w.len());
+    let old: Vec<Option<usize>> = old.into_iter().map(Some).collect();
+
+    let headers = ["stickiness", "migrations", "k-way cut", "groups"];
+    let mut rows = Vec::new();
+    for sticky in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let res =
+            incremental_repartition(&graph, &old, |x| x.fits_within(&cap), sticky, &cfg).unwrap();
+        rows.push(vec![
+            fmt(sticky, 2),
+            res.moved.len().to_string(),
+            res.cut.to_string(),
+            res.group_count.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("Higher stickiness trades cut quality (locality) for fewer migrations.");
+}
+
+fn incremental_in_the_loop() {
+    println!("== Ablation 4: stateless vs incremental Goldilocks over the wiki trace ==");
+    let scenario = wiki_testbed(30, 176, 42);
+    let headers = ["placer", "migrations", "freeze s (CRIU)", "avg power W", "avg TCT ms"];
+    let mut rows = Vec::new();
+    let variants = [
+        ("stateless", Policy::Goldilocks(GoldilocksConfig::paper())),
+        (
+            "incremental s=0.5",
+            Policy::GoldilocksIncremental(GoldilocksConfig::paper(), 0.5),
+        ),
+        (
+            "incremental s=1.0",
+            Policy::GoldilocksIncremental(GoldilocksConfig::paper(), 1.0),
+        ),
+    ];
+    for (label, policy) in variants {
+        let run = run_policy(&scenario, &policy).expect("feasible");
+        let s = summarize(&run);
+        let freeze: f64 = run.records.iter().map(|r| r.freeze_seconds).sum();
+        rows.push(vec![
+            label.to_string(),
+            s.total_migrations.to_string(),
+            fmt(freeze, 0),
+            fmt(s.avg_total_watts, 0),
+            fmt(s.avg_tct_ms, 2),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("The incremental placer cuts CRIU freeze time while keeping the power and");
+    println!("TCT benefits — the trade-off the paper's Section IV-C anticipates.");
+}
+
+fn rc_oversubscription_sweep() {
+    println!("== Ablation 5: RC-Informed CPU oversubscription sweep (wiki scenario) ==");
+    use goldilocks_placement::RcInformed;
+    use goldilocks_sim::epoch::epoch_workload;
+    use goldilocks_sim::latency::mean_tct_ms;
+    use goldilocks_placement::Placer;
+    use goldilocks_sim::meter;
+
+    let scenario = wiki_testbed(30, 176, 42);
+    // Peak epoch, nominal reservations.
+    let live = epoch_workload(&scenario, 26);
+    let reservations: Vec<_> = scenario.base.containers.iter().map(|c| c.demand).collect();
+    let headers = ["oversubscription", "active", "power W", "TCT ms"];
+    let mut rows = Vec::new();
+    for factor in [1.0, 1.25, 1.5, 2.0] {
+        let mut rc = RcInformed::with_reservations(reservations.clone());
+        rc.cpu_oversubscription = factor;
+        let Ok(p) = rc.place(&live, &scenario.tree) else {
+            rows.push(vec![format!("{factor:.2}x"), "infeasible".into(), String::new(), String::new()]);
+            continue;
+        };
+        let sample = meter(&p, &live, &scenario.tree, &scenario.power);
+        let utils = p.server_cpu_utilizations(&live, &scenario.tree);
+        let tct = mean_tct_ms(&scenario.latency, &live, &p, &scenario.tree, &utils, |_| true);
+        rows.push(vec![
+            format!("{factor:.2}x"),
+            sample.active_servers.to_string(),
+            fmt(sample.total_watts(), 0),
+            fmt(tct, 2),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("Oversubscribing packs more reservations per bucket: fewer servers, but");
+    println!("live utilization climbs past the PEE knee and latency pays for it.");
+}
+
+fn main() {
+    pee_sweep();
+    println!();
+    locality_onoff();
+    println!();
+    incremental_stickiness();
+    println!();
+    incremental_in_the_loop();
+    println!();
+    rc_oversubscription_sweep();
+}

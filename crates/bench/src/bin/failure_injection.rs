@@ -1,0 +1,97 @@
+//! Failure-injection experiment (Section IV in motion): run Goldilocks'
+//! Virtual-Cluster placer over a load trace while servers die, racks lose
+//! uplink capacity, and hardware heterogeneity appears — then recover.
+//!
+//! Not a paper figure; this exercises the asymmetric-topology machinery
+//! end-to-end and reports the cost of each disruption in migrations, power
+//! and TCT.
+
+use goldilocks_cluster::{migration_plan, MigrationModel};
+use goldilocks_core::GoldilocksAsym;
+use goldilocks_placement::{Placement, Placer};
+use goldilocks_sim::latency::{mean_tct_ms, LatencyModel};
+use goldilocks_sim::report::{fmt, render_table};
+use goldilocks_sim::{meter, PowerConfig};
+use goldilocks_topology::builders::fat_tree;
+use goldilocks_topology::{Resources, ServerId};
+use goldilocks_workload::generators::twitter_caching;
+
+fn main() {
+    let mut tree = fat_tree(4, Resources::new(3200.0, 64.0, 4000.0), 4000.0);
+    let mut workload = twitter_caching(72, 9);
+    for c in &mut workload.containers {
+        c.demand.cpu *= 3.0; // fill the 16 servers to a realistic level
+        c.demand.memory_gb = 1.5;
+    }
+    let power = PowerConfig::testbed();
+    let latency = LatencyModel::default();
+    let migration = MigrationModel::default();
+
+    // The disruption schedule: (epoch, description, action).
+    let events: Vec<(usize, &str)> = vec![
+        (3, "server 0 (active) fails"),
+        (6, "rack 0 uplink degraded to 10 %"),
+        (9, "servers 12-15 replaced by half-size legacy boxes"),
+        (12, "server 0 restored"),
+    ];
+
+    println!("== Failure injection on {} ({} servers) ==", tree.name(), tree.server_count());
+    let headers = ["epoch", "event", "healthy", "active", "power W", "TCT ms", "migrations"];
+    let mut rows = Vec::new();
+    let mut placer = GoldilocksAsym::new();
+    let mut prev: Option<Placement> = None;
+    for epoch in 0..15 {
+        for (e, what) in &events {
+            if *e == epoch {
+                match *e {
+                    3 => tree.fail_server(ServerId(0)),
+                    6 => {
+                        let rack = tree.subtrees_smallest_first()[0];
+                        tree.degrade_uplink(rack, 0.10);
+                    }
+                    9 => {
+                        for s in 12..16 {
+                            tree.set_server_resources(
+                                ServerId(s),
+                                Resources::new(1600.0, 32.0, 2000.0),
+                            );
+                        }
+                    }
+                    12 => tree.restore_server(ServerId(0)),
+                    _ => {}
+                }
+                rows.push(vec![
+                    epoch.to_string(),
+                    format!("⚡ {what}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+
+        let placement = placer.place(&workload, &tree).expect("placement survives failures");
+        assert!(placement.is_complete());
+        let sample = meter(&placement, &workload, &tree, &power);
+        let utils = placement.server_cpu_utilizations(&workload, &tree);
+        let tct = mean_tct_ms(&latency, &workload, &placement, &tree, &utils, |_| true);
+        let migs = prev
+            .as_ref()
+            .map(|p| migration.plan_cost(&migration_plan(p, &placement), &workload).count)
+            .unwrap_or(0);
+        rows.push(vec![
+            epoch.to_string(),
+            String::new(),
+            tree.healthy_servers().len().to_string(),
+            sample.active_servers.to_string(),
+            fmt(sample.total_watts(), 0),
+            fmt(tct, 2),
+            migs.to_string(),
+        ]);
+        prev = Some(placement);
+    }
+    println!("{}", render_table(&headers, &rows));
+    println!("Every epoch placed completely: failures shift load, they never strand it.");
+}

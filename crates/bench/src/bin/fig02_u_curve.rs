@@ -1,0 +1,42 @@
+//! Fig. 2: packing a fixed load (20 % of a 1000-server cluster) to higher
+//! per-server utilization needs fewer servers (a) but total power follows a
+//! U curve whose minimum sits at the Peak Energy Efficiency point (b).
+
+use goldilocks_power::pee::{optimal_packing_util, packing_sweep};
+use goldilocks_power::ServerPowerModel;
+use goldilocks_sim::report::{fmt, render_table};
+
+fn main() {
+    let model = ServerPowerModel::dell_2018();
+    let cluster = 1000.0;
+    let total_load = cluster * 0.20; // 200 fully-loaded-server equivalents
+    println!(
+        "== Fig. 2: {} servers, total load {} server-equivalents, model {} ==",
+        cluster as u64, total_load as u64, model.name
+    );
+
+    let sweep = packing_sweep(
+        &model,
+        total_load,
+        (20..=100).step_by(5).map(|i| i as f64 / 100.0),
+    );
+    let headers = ["target util %", "active servers (a)", "total power kW (b)"];
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.target_util * 100.0),
+                p.active_servers.to_string(),
+                fmt(p.total_watts / 1000.0, 1),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    let best = optimal_packing_util(&model, total_load);
+    println!(
+        "U-curve minimum at {:.0} % target utilization (server PEE: {:.0} %).",
+        best * 100.0,
+        model.pee_util() * 100.0
+    );
+}

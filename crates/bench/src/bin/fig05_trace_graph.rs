@@ -1,0 +1,57 @@
+//! Fig. 5: the Microsoft-search-like container graph — structure statistics
+//! and the normalized vertex/edge weight distributions of the 100-vertex
+//! snapshot.
+
+use goldilocks_sim::report::{fmt, render_table};
+use goldilocks_workload::mstrace::{
+    search_trace, snapshot, weight_distributions, SearchTraceConfig,
+};
+
+fn main() {
+    let config = SearchTraceConfig::default();
+    println!(
+        "== Fig. 5: synthetic Microsoft search trace ({} vertices) ==",
+        config.vertices
+    );
+    let w = search_trace(&config);
+    let avg_conn = 2.0 * w.flows.len() as f64 / w.len() as f64;
+    println!(
+        "vertices: {}   edges: {}   avg distinct connections/VM: {:.1} (paper: 5488 / 128538 / ~45)",
+        w.len(),
+        w.flows.len(),
+        avg_conn
+    );
+
+    println!("\n-- Fig. 5(b): weight distributions of the 100-vertex snapshot --");
+    let snap = snapshot(&w, 100);
+    println!(
+        "snapshot: {} vertices, {} edges",
+        snap.len(),
+        snap.flows.len()
+    );
+    let d = weight_distributions(&snap);
+    let percentiles = [0.0, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
+    let pick = |v: &[f64], q: f64| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        v[idx]
+    };
+    let headers = ["percentile", "vertex CPU", "vertex memory", "vertex network", "edge flows"];
+    let rows: Vec<Vec<String>> = percentiles
+        .iter()
+        .map(|&q| {
+            vec![
+                format!("p{:.0}", q * 100.0),
+                fmt(pick(&d.vertex_cpu, q), 2),
+                fmt(pick(&d.vertex_memory, q), 2),
+                fmt(pick(&d.vertex_network, q), 2),
+                fmt(pick(&d.edge_flows, q), 2),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("All values normalized to the smallest in each series; memory is flat at 1.0");
+    println!("(every search node holds the 12 GB in-memory index).");
+}

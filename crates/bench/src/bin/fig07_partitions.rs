@@ -1,0 +1,72 @@
+//! Fig. 7: partitioning results — (a) the 224-container Twitter caching
+//! workload grouped onto testbed servers; (b) the 100-vertex Microsoft-trace
+//! snapshot split into balanced min-cut partitions.
+
+use goldilocks_core::{Goldilocks, GoldilocksConfig};
+use goldilocks_partition::{partition_kway, BisectConfig};
+use goldilocks_sim::report::render_table;
+use goldilocks_topology::builders::leaf_spine;
+use goldilocks_topology::Resources;
+use goldilocks_workload::generators::twitter_caching;
+use goldilocks_workload::mstrace::{search_trace, snapshot, SearchTraceConfig};
+
+fn main() {
+    println!("== Fig. 7(a): 224 Twitter-caching containers, recursive min-cut grouping ==");
+    // A testbed sized for 224 containers (the paper's Fig. 7a experiment).
+    let tree = leaf_spine(8, 2, 2, Resources::new(3200.0, 64.0, 1000.0), 1000.0);
+    let mut workload = twitter_caching(224, 7);
+    for c in &mut workload.containers {
+        c.demand.memory_gb = 1.5;
+        c.demand.cpu *= 2.0; // fill the testbed to a realistic level
+    }
+    let gold = Goldilocks::with_config(GoldilocksConfig::paper());
+    let (placement, details) = gold
+        .place_with_details(&workload, &tree)
+        .expect("224 containers fit the testbed");
+    println!(
+        "{} containers → {} groups on {} active servers",
+        workload.len(),
+        details.tree.leaf_count(),
+        placement.active_server_count()
+    );
+    // Render the Fig. 7(a) cell grid: one row of 16 cells per 16 containers,
+    // each cell labeled with its partition id.
+    let assign = &details.group_of_container;
+    let mut grid = String::new();
+    for (i, g) in assign.iter().enumerate() {
+        grid.push_str(&format!("{g:>3}"));
+        if (i + 1) % 16 == 0 {
+            grid.push('\n');
+        }
+    }
+    println!("{grid}");
+
+    println!("== Fig. 7(b): 100-vertex Microsoft-trace snapshot, 5 partitions ==");
+    let trace = search_trace(&SearchTraceConfig {
+        vertices: 2000,
+        ..SearchTraceConfig::default()
+    });
+    let snap = snapshot(&trace, 100);
+    let graph = snap.container_graph(0).expect("snapshot graph");
+    let labels = partition_kway(&graph, 5, &BisectConfig::default()).expect("5-way split");
+    let mut sizes = [0usize; 5];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let headers = ["partition", "vertices"];
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| vec![i.to_string(), s.to_string()])
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("cut = {} (sum of flow counts across partitions)", graph.cut_kway(&labels));
+    let mut grid = String::new();
+    for (i, l) in labels.iter().enumerate() {
+        grid.push_str(&format!("{l:>2}"));
+        if (i + 1) % 20 == 0 {
+            grid.push('\n');
+        }
+    }
+    println!("{grid}");
+}

@@ -1,0 +1,62 @@
+//! Fig. 9: Twitter content caching on the Wikipedia trace pattern.
+//!
+//! Reproduces the four panels — active servers, power, task completion time
+//! and energy per request — over 60 one-minute epochs for the five policies,
+//! then prints the per-policy averages (feeding Fig. 11).
+
+use goldilocks_sim::epoch::run_lineup;
+use goldilocks_sim::report::{fmt, pct, render_table};
+use goldilocks_sim::scenarios::wiki_testbed;
+use goldilocks_sim::summary::{power_saving_vs, summarize};
+
+fn main() {
+    let scenario = wiki_testbed(60, 176, 42);
+    println!("== Fig. 9: {} ==", scenario.name);
+    let runs = run_lineup(&scenario).expect("scenario is feasible");
+    // Full time series as CSV for plotting.
+    let _ = std::fs::create_dir_all("results");
+    let csv = goldilocks_sim::report::runs_to_csv(&runs);
+    if std::fs::write("results/fig09_timeseries.csv", csv).is_ok() {
+        println!("(time series written to results/fig09_timeseries.csv)\n");
+    }
+
+    // Time series (panels a-d), printed every 5 epochs for readability.
+    let headers = ["min", "policy", "active", "power W", "TCT ms", "J/req"];
+    let mut rows = Vec::new();
+    for run in &runs {
+        for r in run.records.iter().step_by(5) {
+            rows.push(vec![
+                r.epoch.to_string(),
+                run.policy.clone(),
+                r.active_servers.to_string(),
+                fmt(r.total_watts(), 0),
+                fmt(r.tct_ms, 2),
+                fmt(r.energy_per_request_j, 4),
+            ]);
+        }
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    // Averages (the Fig. 11 inputs).
+    let summaries: Vec<_> = runs.iter().map(summarize).collect();
+    let baseline = summaries[0].clone();
+    let headers = [
+        "policy", "avg active", "avg power W", "power saving", "avg TCT ms", "avg J/req", "migrations", "fallback epochs",
+    ];
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.policy.clone(),
+                fmt(s.avg_active_servers, 1),
+                fmt(s.avg_total_watts, 0),
+                pct(power_saving_vs(s, &baseline)),
+                fmt(s.avg_tct_ms, 2),
+                fmt(s.avg_energy_per_request_j, 4),
+                s.total_migrations.to_string(),
+                s.fallback_epochs.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+}

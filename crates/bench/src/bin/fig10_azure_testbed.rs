@@ -1,0 +1,57 @@
+//! Fig. 10: a rich mixture of seven applications following the Azure trace
+//! pattern (149–221 containers, Pearson-correlated bursts) on the 16-server
+//! testbed.
+
+use goldilocks_sim::epoch::run_lineup;
+use goldilocks_sim::report::{fmt, pct, render_table};
+use goldilocks_sim::scenarios::azure_testbed;
+use goldilocks_sim::summary::{power_saving_vs, summarize};
+
+fn main() {
+    let scenario = azure_testbed(60, 42);
+    println!("== Fig. 10: {} ==", scenario.name);
+    let runs = run_lineup(&scenario).expect("scenario is feasible");
+    // Full time series as CSV for plotting.
+    let _ = std::fs::create_dir_all("results");
+    let csv = goldilocks_sim::report::runs_to_csv(&runs);
+    if std::fs::write("results/fig10_timeseries.csv", csv).is_ok() {
+        println!("(time series written to results/fig10_timeseries.csv)\n");
+    }
+
+    let headers = ["min", "policy", "containers", "active", "power W", "TCT ms"];
+    let mut rows = Vec::new();
+    for run in &runs {
+        for r in run.records.iter().step_by(10) {
+            rows.push(vec![
+                r.epoch.to_string(),
+                run.policy.clone(),
+                scenario.epochs[r.epoch].container_count.to_string(),
+                r.active_servers.to_string(),
+                fmt(r.total_watts(), 0),
+                fmt(r.tct_ms, 2),
+            ]);
+        }
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    let summaries: Vec<_> = runs.iter().map(summarize).collect();
+    let baseline = summaries[0].clone();
+    let headers = [
+        "policy", "avg active", "avg power W", "power saving", "avg TCT ms", "avg J/req", "fallback epochs",
+    ];
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.policy.clone(),
+                fmt(s.avg_active_servers, 1),
+                fmt(s.avg_total_watts, 0),
+                pct(power_saving_vs(s, &baseline)),
+                fmt(s.avg_tct_ms, 2),
+                fmt(s.avg_energy_per_request_j, 4),
+                s.fallback_epochs.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,83 @@
+//! Fig. 11: average power saving vs E-PVM, task completion time and energy
+//! per request across the two testbed trace patterns (Wikipedia, Azure).
+
+use goldilocks_sim::epoch::run_lineup;
+use goldilocks_sim::report::{fmt, pct, render_table};
+use goldilocks_sim::scenarios::{azure_testbed, wiki_testbed};
+use goldilocks_sim::summary::{power_saving_vs, summarize, PolicySummary};
+
+fn summaries_for(scenario: &goldilocks_sim::Scenario) -> Vec<PolicySummary> {
+    run_lineup(scenario)
+        .expect("scenario is feasible")
+        .iter()
+        .map(summarize)
+        .collect()
+}
+
+fn main() {
+    let wiki = summaries_for(&wiki_testbed(60, 176, 42));
+    let azure = summaries_for(&azure_testbed(60, 42));
+
+    println!("== Fig. 11(a): average power saving relative to E-PVM ==");
+    let headers = ["policy", "Wiki pattern", "Azure pattern"];
+    let rows: Vec<Vec<String>> = wiki
+        .iter()
+        .zip(&azure)
+        .skip(1) // no saving to report for the baseline itself
+        .map(|(w, a)| {
+            vec![
+                w.policy.clone(),
+                pct(power_saving_vs(w, &wiki[0])),
+                pct(power_saving_vs(a, &azure[0])),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!("== Fig. 11(b): average task completion time (ms) ==");
+    let rows: Vec<Vec<String>> = wiki
+        .iter()
+        .zip(&azure)
+        .map(|(w, a)| vec![w.policy.clone(), fmt(w.avg_tct_ms, 2), fmt(a.avg_tct_ms, 2)])
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!("== Fig. 11(c): average energy per request (J) ==");
+    let rows: Vec<Vec<String>> = wiki
+        .iter()
+        .zip(&azure)
+        .map(|(w, a)| {
+            vec![
+                w.policy.clone(),
+                fmt(w.avg_energy_per_request_j, 4),
+                fmt(a.avg_energy_per_request_j, 4),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    // Headline ratios the paper quotes.
+    let gold_w = wiki.last().unwrap();
+    let gold_a = azure.last().unwrap();
+    let best_alt_tct_w = wiki[..wiki.len() - 1]
+        .iter()
+        .map(|s| s.avg_tct_ms)
+        .fold(f64::INFINITY, f64::min);
+    let best_alt_tct_a = azure[..azure.len() - 1]
+        .iter()
+        .map(|s| s.avg_tct_ms)
+        .fold(f64::INFINITY, f64::min);
+    let best_alt_epr_w = wiki[..wiki.len() - 1]
+        .iter()
+        .map(|s| s.avg_energy_per_request_j)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "Best alternative TCT / Goldilocks TCT: {:.2}x (Wiki), {:.2}x (Azure)",
+        best_alt_tct_w / gold_w.avg_tct_ms,
+        best_alt_tct_a / gold_a.avg_tct_ms
+    );
+    println!(
+        "Best alternative energy/request / Goldilocks: {:.2}x (Wiki)",
+        best_alt_epr_w / gold_w.avg_energy_per_request_j
+    );
+}

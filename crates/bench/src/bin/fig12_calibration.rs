@@ -1,0 +1,44 @@
+//! Fig. 12: the calibration curves mapping trace traffic to server resource
+//! demands — (a) Apache Solr CPU vs request rate, (b) the Hadoop traffic-to-
+//! CPU scatter sampled per slave node.
+
+use goldilocks_sim::report::{fmt, render_table};
+use goldilocks_workload::calibration::{
+    hadoop_cpu_center, hadoop_cpu_for_traffic, solr_cpu_for_rps, solr_memory_gb, SOLR_MAX_RPS,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== Fig. 12(a): Apache Solr CPU utilization vs request rate ==");
+    let headers = ["RPS", "CPU (sum of cores, %)", "memory (GB)"];
+    let rows: Vec<Vec<String>> = (0..=12)
+        .map(|i| {
+            let rps = i as f64 * 10.0;
+            vec![
+                format!("{rps:.0}"),
+                fmt(solr_cpu_for_rps(rps), 0),
+                fmt(solr_memory_gb(rps), 0),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("(max measured request rate: {SOLR_MAX_RPS:.0} RPS; memory flat at 12 GB)");
+
+    println!("\n== Fig. 12(b): Hadoop slave CPU vs generated traffic (5 samples per rate) ==");
+    let mut rng = StdRng::seed_from_u64(16);
+    let headers = ["traffic Mbps", "center", "s1", "s2", "s3", "s4", "s5"];
+    let rows: Vec<Vec<String>> = (0..=8)
+        .map(|i| {
+            let mbps = i as f64 * 50.0;
+            let mut row = vec![format!("{mbps:.0}"), fmt(hadoop_cpu_center(mbps), 0)];
+            for _ in 0..5 {
+                row.push(fmt(hadoop_cpu_for_traffic(mbps, &mut rng), 0));
+            }
+            row
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("The simulator picks a random sample at the observed traffic rate, exactly");
+    println!("as Section VI-B describes.");
+}

@@ -1,0 +1,23 @@
+//! Table II: vertex weight (resource demand) and edge weight (flow count)
+//! of the four data-center workloads.
+
+use goldilocks_sim::report::render_table;
+use goldilocks_workload::AppProfile;
+
+fn main() {
+    println!("== Table II: vertex and edge weights of 4 workloads ==");
+    let headers = ["workload", "CPU (%)", "Memory (GB)", "Network (Mbps)", "Flow count"];
+    let rows: Vec<Vec<String>> = AppProfile::table_two()
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.clone(),
+                format!("{:.0}", a.demand.cpu),
+                format!("{:.0}", a.demand.memory_gb),
+                format!("{:.0}", a.demand.network_mbps),
+                a.flow_count.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+}

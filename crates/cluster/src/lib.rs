@@ -1,0 +1,32 @@
+//! # goldilocks-cluster
+//!
+//! Testbed-emulation mechanisms for the Goldilocks reproduction
+//! (ICDCS 2019, Section V). The paper ran a 16-server Docker testbed with
+//! seamless container migration; we have no hardware, so this crate models
+//! the same control machinery:
+//!
+//! - [`MigrationModel`] / [`migration_plan`]: the CRIU checkpoint/restore +
+//!   rsync pipeline — epoch-to-epoch placement diffs priced in freeze
+//!   seconds and megabytes moved.
+//! - [`IpRegistry`]: the swarm-manager overlay keeping application IPs
+//!   (10.0.0.0/16) stable across moves while location IPs
+//!   (192.168.0.0/16) follow the hosting server.
+//! - [`ContainerRuntime`] / [`Transition`]: the container lifecycle table
+//!   and the stop/migrate/start command stream that reconciles one epoch's
+//!   placement with the next — what the paper's migration controller sends.
+//! - [`PowerGate`]: IPMI-style on/off state machines with boot delays.
+//!
+//! The flow-level metrics and experiment drivers live in `goldilocks-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lifecycle;
+mod migration;
+mod overlay;
+mod powergate;
+
+pub use lifecycle::{ContainerRuntime, LifecycleError, Transition};
+pub use migration::{migration_plan, Migration, MigrationCost, MigrationModel};
+pub use overlay::{AppIp, IpRegistry, LocationIp, OverlayError};
+pub use powergate::{PowerGate, PowerState};

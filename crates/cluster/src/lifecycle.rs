@@ -1,0 +1,299 @@
+//! Container lifecycle bookkeeping for the testbed emulator.
+//!
+//! The migration controller of Section V orchestrates *transitions*: start a
+//! container on a server, checkpoint & restore it elsewhere, stop it. This
+//! runtime tracks which container runs where, validates that every
+//! transition is legal (no teleporting, no double-starts), and derives the
+//! transition list between successive placements — the exact command stream
+//! the paper's Python controller would send.
+
+use std::collections::HashMap;
+
+use goldilocks_placement::Placement;
+use goldilocks_topology::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// One controller command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transition {
+    /// Launch a container on a server.
+    Start {
+        /// Container index.
+        container: usize,
+        /// Target server.
+        on: ServerId,
+    },
+    /// Checkpoint on `from`, restore on `to` (CRIU).
+    Migrate {
+        /// Container index.
+        container: usize,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// Stop and remove a container.
+    Stop {
+        /// Container index.
+        container: usize,
+        /// Server it was running on.
+        on: ServerId,
+    },
+}
+
+/// Errors from illegal transitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// Start of a container that is already running.
+    AlreadyRunning(usize),
+    /// Migrate/stop of a container that is not running.
+    NotRunning(usize),
+    /// Migrate whose `from` does not match the container's actual host.
+    WrongSource {
+        /// Container index.
+        container: usize,
+        /// Where the controller thought it was.
+        claimed: ServerId,
+        /// Where it actually runs.
+        actual: ServerId,
+    },
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::AlreadyRunning(c) => write!(f, "container {c} is already running"),
+            LifecycleError::NotRunning(c) => write!(f, "container {c} is not running"),
+            LifecycleError::WrongSource { container, claimed, actual } => write!(
+                f,
+                "container {container} claimed on server {} but runs on {}",
+                claimed.0, actual.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// The running-container table of the emulated cluster.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ContainerRuntime {
+    running: HashMap<usize, ServerId>,
+}
+
+impl ContainerRuntime {
+    /// An empty cluster.
+    pub fn new() -> Self {
+        ContainerRuntime::default()
+    }
+
+    /// Number of running containers.
+    pub fn len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// True when nothing runs.
+    pub fn is_empty(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// The server hosting `container`, if running.
+    pub fn host_of(&self, container: usize) -> Option<ServerId> {
+        self.running.get(&container).copied()
+    }
+
+    /// Containers running on `server`.
+    pub fn on_server(&self, server: ServerId) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .running
+            .iter()
+            .filter(|(_, s)| **s == server)
+            .map(|(c, _)| *c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Applies one transition, validating preconditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LifecycleError`] and leaves the runtime unchanged if the
+    /// transition is illegal.
+    pub fn apply(&mut self, t: Transition) -> Result<(), LifecycleError> {
+        match t {
+            Transition::Start { container, on } => {
+                if self.running.contains_key(&container) {
+                    return Err(LifecycleError::AlreadyRunning(container));
+                }
+                self.running.insert(container, on);
+            }
+            Transition::Migrate { container, from, to } => match self.running.get(&container) {
+                None => return Err(LifecycleError::NotRunning(container)),
+                Some(&actual) if actual != from => {
+                    return Err(LifecycleError::WrongSource {
+                        container,
+                        claimed: from,
+                        actual,
+                    })
+                }
+                Some(_) => {
+                    self.running.insert(container, to);
+                }
+            },
+            Transition::Stop { container, on: _ } => {
+                if self.running.remove(&container).is_none() {
+                    return Err(LifecycleError::NotRunning(container));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the transition stream that reconciles the runtime with a new
+    /// placement: starts for newly placed containers, migrations for moved
+    /// ones, stops for vanished ones. Stops come first (freeing capacity),
+    /// then migrations, then starts.
+    pub fn reconcile(&self, target: &Placement) -> Vec<Transition> {
+        let mut stops = Vec::new();
+        let mut migrations = Vec::new();
+        let mut starts = Vec::new();
+        for (&container, &host) in &self.running {
+            match target.assignment.get(container).copied().flatten() {
+                None => stops.push(Transition::Stop { container, on: host }),
+                Some(to) if to != host => migrations.push(Transition::Migrate {
+                    container,
+                    from: host,
+                    to,
+                }),
+                Some(_) => {}
+            }
+        }
+        for (container, assigned) in target.assignment.iter().enumerate() {
+            if let Some(&on) = assigned.as_ref() {
+                if !self.running.contains_key(&container) {
+                    starts.push(Transition::Start { container, on });
+                }
+            }
+        }
+        let key = |t: &Transition| match t {
+            Transition::Stop { container, .. } => *container,
+            Transition::Migrate { container, .. } => *container,
+            Transition::Start { container, .. } => *container,
+        };
+        stops.sort_by_key(key);
+        migrations.sort_by_key(key);
+        starts.sort_by_key(key);
+        let mut out = stops;
+        out.extend(migrations);
+        out.extend(starts);
+        out
+    }
+
+    /// Applies a full transition stream atomically-ish (stops on first
+    /// error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first illegal transition.
+    pub fn apply_all(&mut self, ts: &[Transition]) -> Result<(), LifecycleError> {
+        for t in ts {
+            self.apply(*t)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(hosts: &[Option<usize>]) -> Placement {
+        Placement {
+            assignment: hosts.iter().map(|h| h.map(ServerId)).collect(),
+        }
+    }
+
+    #[test]
+    fn reconcile_from_empty_is_all_starts() {
+        let rt = ContainerRuntime::new();
+        let p = placement(&[Some(0), Some(1), None]);
+        let ts = rt.reconcile(&p);
+        assert_eq!(
+            ts,
+            vec![
+                Transition::Start { container: 0, on: ServerId(0) },
+                Transition::Start { container: 1, on: ServerId(1) },
+            ]
+        );
+    }
+
+    #[test]
+    fn reconcile_orders_stop_migrate_start() {
+        let mut rt = ContainerRuntime::new();
+        rt.apply_all(&[
+            Transition::Start { container: 0, on: ServerId(0) },
+            Transition::Start { container: 1, on: ServerId(1) },
+        ])
+        .unwrap();
+        // New epoch: c0 stops, c1 moves, c2 starts.
+        let p = placement(&[None, Some(2), Some(3)]);
+        let ts = rt.reconcile(&p);
+        assert_eq!(
+            ts,
+            vec![
+                Transition::Stop { container: 0, on: ServerId(0) },
+                Transition::Migrate { container: 1, from: ServerId(1), to: ServerId(2) },
+                Transition::Start { container: 2, on: ServerId(3) },
+            ]
+        );
+        rt.apply_all(&ts).unwrap();
+        assert_eq!(rt.host_of(1), Some(ServerId(2)));
+        assert_eq!(rt.host_of(0), None);
+        assert_eq!(rt.len(), 2);
+    }
+
+    #[test]
+    fn reconcile_is_idempotent_at_fixpoint() {
+        let mut rt = ContainerRuntime::new();
+        let p = placement(&[Some(0), Some(0), Some(1)]);
+        rt.apply_all(&rt.reconcile(&p)).unwrap();
+        assert!(rt.reconcile(&p).is_empty(), "fixpoint must need no transitions");
+        assert_eq!(rt.on_server(ServerId(0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut rt = ContainerRuntime::new();
+        rt.apply(Transition::Start { container: 5, on: ServerId(0) }).unwrap();
+        assert_eq!(
+            rt.apply(Transition::Start { container: 5, on: ServerId(1) }),
+            Err(LifecycleError::AlreadyRunning(5))
+        );
+        assert_eq!(
+            rt.apply(Transition::Migrate { container: 9, from: ServerId(0), to: ServerId(1) }),
+            Err(LifecycleError::NotRunning(9))
+        );
+        assert_eq!(
+            rt.apply(Transition::Migrate { container: 5, from: ServerId(3), to: ServerId(1) }),
+            Err(LifecycleError::WrongSource {
+                container: 5,
+                claimed: ServerId(3),
+                actual: ServerId(0)
+            })
+        );
+        // State unchanged after failures.
+        assert_eq!(rt.host_of(5), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = LifecycleError::WrongSource {
+            container: 3,
+            claimed: ServerId(1),
+            actual: ServerId(2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("container 3") && msg.contains('1') && msg.contains('2'));
+    }
+}

@@ -1,0 +1,172 @@
+//! Docker/CRIU container-migration cost model (Section V).
+//!
+//! The paper migrates containers between epochs with CRIU checkpoint &
+//! restore: the process tree is frozen, its memory pages and file
+//! descriptors dumped to a disk image, disk files and Docker volumes copied
+//! with rsync, and the image restored on the destination with the same
+//! application-specific IP. We model the cost of that pipeline:
+//!
+//! ```text
+//! freeze   = dump(memory / disk_bw) + transfer(image / net_bw) + restore
+//! transfer = memory image + rsync of volume deltas
+//! ```
+
+use goldilocks_placement::Placement;
+use goldilocks_topology::ServerId;
+use goldilocks_workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters of the CRIU checkpoint/restore + rsync pipeline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MigrationModel {
+    /// Sequential dump/restore disk bandwidth, MB/s (testbed SSD: ~400).
+    pub disk_mb_per_s: f64,
+    /// Network transfer bandwidth between servers, MB/s (1 GbE ≈ 110).
+    pub network_mb_per_s: f64,
+    /// Fixed restore overhead per container, seconds (namespace, iptables,
+    /// cgroup re-creation).
+    pub restore_overhead_s: f64,
+    /// Fraction of the container's volume rsync actually copies (deltas).
+    pub volume_delta_fraction: f64,
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        MigrationModel {
+            disk_mb_per_s: 400.0,
+            network_mb_per_s: 110.0,
+            restore_overhead_s: 0.8,
+            volume_delta_fraction: 0.10,
+        }
+    }
+}
+
+/// One planned container move.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Container index.
+    pub container: usize,
+    /// Source server.
+    pub from: ServerId,
+    /// Destination server.
+    pub to: ServerId,
+}
+
+/// Aggregate cost of a migration batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCost {
+    /// Number of containers moved.
+    pub count: usize,
+    /// Total application freeze time, seconds (sum over containers; they
+    /// freeze one at a time per source server in the testbed pipeline).
+    pub total_freeze_s: f64,
+    /// Total bytes moved across the network, MB.
+    pub total_transfer_mb: f64,
+}
+
+impl MigrationModel {
+    /// Freeze time and bytes for one container with the given memory
+    /// footprint and volume size (both derived from the container's demand).
+    pub fn single_cost(&self, memory_gb: f64, volume_gb: f64) -> (f64, f64) {
+        let mem_mb = memory_gb.max(0.0) * 1024.0;
+        let vol_mb = volume_gb.max(0.0) * 1024.0 * self.volume_delta_fraction;
+        let dump = mem_mb / self.disk_mb_per_s;
+        let transfer_mb = mem_mb + vol_mb;
+        let transfer = transfer_mb / self.network_mb_per_s;
+        let restore = mem_mb / self.disk_mb_per_s + self.restore_overhead_s;
+        (dump + transfer + restore, transfer_mb)
+    }
+
+    /// Costs the whole plan against the workload's memory footprints.
+    /// Containers are assumed to keep a volume equal to half their memory.
+    pub fn plan_cost(&self, plan: &[Migration], workload: &Workload) -> MigrationCost {
+        let mut cost = MigrationCost::default();
+        for m in plan {
+            let mem = workload.containers[m.container].demand.memory_gb;
+            let (freeze, transfer) = self.single_cost(mem, mem * 0.5);
+            cost.count += 1;
+            cost.total_freeze_s += freeze;
+            cost.total_transfer_mb += transfer;
+        }
+        cost
+    }
+}
+
+/// Computes the migration plan between two epochs: containers present in
+/// both placements whose server changed. Index `i` must refer to the same
+/// container in both epochs (the epoch driver guarantees stable indexing).
+pub fn migration_plan(old: &Placement, new: &Placement) -> Vec<Migration> {
+    old.assignment
+        .iter()
+        .zip(&new.assignment)
+        .enumerate()
+        .filter_map(|(c, (o, n))| match (o, n) {
+            (Some(from), Some(to)) if from != to => Some(Migration {
+                container: c,
+                from: *from,
+                to: *to,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::Resources;
+
+    #[test]
+    fn single_cost_scales_with_memory() {
+        let m = MigrationModel::default();
+        let (f4, t4) = m.single_cost(4.0, 2.0);
+        let (f8, t8) = m.single_cost(8.0, 4.0);
+        assert!(f8 > f4);
+        assert!((t8 / t4 - 2.0).abs() < 1e-9);
+        // A 4 GB container over 1 GbE takes tens of seconds, not millis.
+        assert!(f4 > 10.0 && f4 < 120.0, "freeze {f4}");
+    }
+
+    #[test]
+    fn zero_memory_costs_only_overhead() {
+        let m = MigrationModel::default();
+        let (f, t) = m.single_cost(0.0, 0.0);
+        assert!((f - m.restore_overhead_s).abs() < 1e-9);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn plan_diffs_only_real_moves() {
+        let old = Placement {
+            assignment: vec![Some(ServerId(0)), Some(ServerId(1)), None, Some(ServerId(2))],
+        };
+        let new = Placement {
+            assignment: vec![Some(ServerId(0)), Some(ServerId(2)), Some(ServerId(1)), None],
+        };
+        let plan = migration_plan(&old, &new);
+        assert_eq!(
+            plan,
+            vec![Migration {
+                container: 1,
+                from: ServerId(1),
+                to: ServerId(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn plan_cost_accumulates() {
+        let mut w = Workload::new();
+        for _ in 0..3 {
+            w.add_container("c", Resources::new(10.0, 4.0, 1.0), None);
+        }
+        let plan = vec![
+            Migration { container: 0, from: ServerId(0), to: ServerId(1) },
+            Migration { container: 2, from: ServerId(0), to: ServerId(2) },
+        ];
+        let cost = MigrationModel::default().plan_cost(&plan, &w);
+        assert_eq!(cost.count, 2);
+        assert!(cost.total_freeze_s > 0.0);
+        assert!(cost.total_transfer_mb > 8.0 * 1024.0 * 0.9);
+    }
+}

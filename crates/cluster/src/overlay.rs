@@ -1,0 +1,205 @@
+//! Overlay IP registry (Section V).
+//!
+//! Seamless migration requires the *application-specific* IP (10.0.0.0/16)
+//! to survive a move while the *location-specific* IP (192.168.0.0/16)
+//! changes with the hosting server. The paper's node 16 runs a Docker swarm
+//! manager maintaining that mapping over a VxLAN overlay; this module is
+//! that manager.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use goldilocks_topology::ServerId;
+use parking_lot::RwLock;
+
+/// The application-facing address of a container (stable across moves).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppIp(pub Ipv4Addr);
+
+/// The location-facing address of a container (changes on migration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LocationIp(pub Ipv4Addr);
+
+impl fmt::Display for AppIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for LocationIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Allocation/remap errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The 10.0.0.0/16 application range is exhausted.
+    AppRangeExhausted,
+    /// The container is not registered.
+    UnknownContainer(usize),
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::AppRangeExhausted => write!(f, "application IP range exhausted"),
+            OverlayError::UnknownContainer(c) => write!(f, "container {c} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// The swarm-manager-style registry mapping containers to their stable
+/// application IP and current location.
+#[derive(Debug, Default)]
+pub struct IpRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// container → (app ip, current server)
+    entries: HashMap<usize, (AppIp, ServerId)>,
+    next_app: u32,
+}
+
+impl IpRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        IpRegistry::default()
+    }
+
+    /// Registers a container on `server`, allocating its application IP in
+    /// 10.0.0.0/16 (10.0.0.1 upward, as in the paper's address plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::AppRangeExhausted`] after 65534 allocations.
+    pub fn register(&self, container: usize, server: ServerId) -> Result<AppIp, OverlayError> {
+        let mut inner = self.inner.write();
+        if let Some((ip, _)) = inner.entries.get(&container) {
+            let ip = *ip;
+            inner.entries.insert(container, (ip, server));
+            return Ok(ip);
+        }
+        inner.next_app += 1;
+        let n = inner.next_app;
+        if n > 0xFFFE {
+            return Err(OverlayError::AppRangeExhausted);
+        }
+        let ip = AppIp(Ipv4Addr::new(10, 0, (n >> 8) as u8, (n & 0xFF) as u8));
+        inner.entries.insert(container, (ip, server));
+        Ok(ip)
+    }
+
+    /// Moves a container to another server; its application IP is stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownContainer`] for unregistered ids.
+    pub fn remap(&self, container: usize, server: ServerId) -> Result<AppIp, OverlayError> {
+        let mut inner = self.inner.write();
+        match inner.entries.get_mut(&container) {
+            Some((ip, loc)) => {
+                *loc = server;
+                Ok(*ip)
+            }
+            None => Err(OverlayError::UnknownContainer(container)),
+        }
+    }
+
+    /// Removes a container (it stopped).
+    pub fn deregister(&self, container: usize) {
+        self.inner.write().entries.remove(&container);
+    }
+
+    /// The application IP of a container, if registered.
+    pub fn app_ip(&self, container: usize) -> Option<AppIp> {
+        self.inner.read().entries.get(&container).map(|(ip, _)| *ip)
+    }
+
+    /// The location IP of a container: 192.168.x.y derived from its current
+    /// server id (one location address per server).
+    pub fn location_ip(&self, container: usize) -> Option<LocationIp> {
+        self.inner.read().entries.get(&container).map(|(_, s)| {
+            let n = (s.0 as u32 + 1).min(0xFFFE);
+            LocationIp(Ipv4Addr::new(192, 168, (n >> 8) as u8, (n & 0xFF) as u8))
+        })
+    }
+
+    /// Number of registered containers.
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    /// True when no container is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_ip_is_stable_across_moves() {
+        let reg = IpRegistry::new();
+        let ip = reg.register(7, ServerId(0)).unwrap();
+        assert_eq!(ip.0.octets()[0], 10);
+        let loc0 = reg.location_ip(7).unwrap();
+        let ip2 = reg.remap(7, ServerId(5)).unwrap();
+        assert_eq!(ip, ip2, "application IP must survive migration");
+        let loc5 = reg.location_ip(7).unwrap();
+        assert_ne!(loc0, loc5, "location IP must change with the server");
+        assert_eq!(loc5.0.octets()[0], 192);
+    }
+
+    #[test]
+    fn sequential_allocation() {
+        let reg = IpRegistry::new();
+        let a = reg.register(0, ServerId(0)).unwrap();
+        let b = reg.register(1, ServerId(0)).unwrap();
+        assert_eq!(a.0, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(b.0, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn reregistering_keeps_ip_updates_location() {
+        let reg = IpRegistry::new();
+        let a = reg.register(0, ServerId(0)).unwrap();
+        let again = reg.register(0, ServerId(3)).unwrap();
+        assert_eq!(a, again);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unknown_container_errors() {
+        let reg = IpRegistry::new();
+        assert_eq!(
+            reg.remap(9, ServerId(0)),
+            Err(OverlayError::UnknownContainer(9))
+        );
+        assert_eq!(reg.app_ip(9), None);
+        assert_eq!(reg.location_ip(9), None);
+    }
+
+    #[test]
+    fn deregister_frees_entry() {
+        let reg = IpRegistry::new();
+        reg.register(1, ServerId(0)).unwrap();
+        reg.deregister(1);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn registry_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<IpRegistry>();
+    }
+}

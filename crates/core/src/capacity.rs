@@ -1,0 +1,77 @@
+//! The capacity graph (Section III-A, Fig. 4b).
+//!
+//! Vertices are servers with ⟨CPU, memory, network⟩ capacity; edge weights
+//! are shortest-path lengths (link counts) between server pairs in the
+//! topology. Recursively bipartitioning this graph with the *max*-cut
+//! objective peels off topology substructures (racks, pods) automatically,
+//! because inter-substructure paths are the longest.
+
+use goldilocks_partition::{Graph, GraphBuilder, PartitionError, VertexWeight};
+use goldilocks_topology::{DcTree, ServerId};
+
+/// Builds the capacity graph of `tree` over its healthy servers.
+///
+/// Returns the graph plus the server id of each vertex (`mapping[v]`).
+/// Because path length is symmetric and dense, the graph is complete over
+/// servers; for large topologies prefer the tree queries directly — this
+/// graph is quadratic and intended for topologies up to a few hundred
+/// servers (the paper's Fig. 4 usage).
+///
+/// # Errors
+///
+/// Propagates [`PartitionError`] from graph construction (cannot happen for
+/// a well-formed topology).
+pub fn capacity_graph(tree: &DcTree) -> Result<(Graph, Vec<ServerId>), PartitionError> {
+    let servers = tree.healthy_servers();
+    let mut b = GraphBuilder::new(3);
+    for &s in &servers {
+        let r = tree.server(s).resources;
+        b.add_vertex(VertexWeight::new(r.as_array().to_vec()));
+    }
+    for i in 0..servers.len() {
+        for j in i + 1..servers.len() {
+            let hops = tree.hop_distance(servers[i], servers[j]);
+            b.add_edge(i, j, hops as i64);
+        }
+    }
+    Ok((b.build()?, servers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::{fat_tree, testbed_16};
+
+    #[test]
+    fn testbed_capacity_graph() {
+        let tree = testbed_16();
+        let (g, mapping) = capacity_graph(&tree).unwrap();
+        assert_eq!(g.vertex_count(), 16);
+        assert_eq!(mapping.len(), 16);
+        // Complete graph on 16 vertices.
+        assert_eq!(g.edge_count(), 16 * 15 / 2);
+        // Vertex weights carry the server capacity.
+        assert_eq!(g.vertex_weight(0).0, vec![3200.0, 64.0, 1000.0]);
+    }
+
+    #[test]
+    fn edge_weights_are_path_lengths() {
+        let tree = fat_tree(4, goldilocks_topology::Resources::testbed_server(), 1000.0);
+        let (g, mapping) = capacity_graph(&tree).unwrap();
+        for v in 0..4 {
+            for (u, w) in g.neighbors(v) {
+                let hops = tree.hop_distance(mapping[v], mapping[u]);
+                assert_eq!(w, hops as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_servers_excluded() {
+        let mut tree = testbed_16();
+        tree.fail_server(ServerId(3));
+        let (g, mapping) = capacity_graph(&tree).unwrap();
+        assert_eq!(g.vertex_count(), 15);
+        assert!(!mapping.contains(&ServerId(3)));
+    }
+}

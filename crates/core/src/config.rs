@@ -1,0 +1,90 @@
+//! Configuration of the Goldilocks provisioning algorithm.
+
+use goldilocks_partition::BisectConfig;
+
+/// Tunables for the Goldilocks placement policy.
+#[derive(Clone, Debug)]
+pub struct GoldilocksConfig {
+    /// The Peak-Energy-Efficiency packing target: server *CPU* is filled to
+    /// at most this fraction of capacity (paper: 0.70). The PEE knee is a
+    /// property of the CPU power curve, so memory and network use the
+    /// separate `safety_cap` instead.
+    pub pee_target: f64,
+    /// Safety cap applied to the memory and network dimensions (default
+    /// 0.90): packing them to 100 % leaves no room for page-cache spikes or
+    /// traffic bursts, but they do not drive the power curve.
+    pub safety_cap: f64,
+    /// Negative edge weight magnitude inserted between replicas of the same
+    /// service for fault-domain spreading (Section IV-C). Zero disables
+    /// anti-affinity.
+    pub anti_affinity_weight: i64,
+    /// Multilevel partitioner settings.
+    pub bisect: BisectConfig,
+}
+
+impl Default for GoldilocksConfig {
+    fn default() -> Self {
+        GoldilocksConfig {
+            pee_target: 0.70,
+            safety_cap: 0.90,
+            anti_affinity_weight: 100_000,
+            bisect: BisectConfig::default(),
+        }
+    }
+}
+
+impl GoldilocksConfig {
+    /// The paper's experimental configuration (PEE 70 %).
+    pub fn paper() -> Self {
+        GoldilocksConfig::default()
+    }
+
+    /// The per-dimension capacity cap vector ⟨pee, safety, safety⟩ applied
+    /// to a server's ⟨CPU, memory, network⟩ capacity.
+    pub fn cap_resources(
+        &self,
+        capacity: &goldilocks_topology::Resources,
+    ) -> goldilocks_topology::Resources {
+        goldilocks_topology::Resources::new(
+            capacity.cpu * self.pee_target,
+            capacity.memory_gb * self.safety_cap,
+            capacity.network_mbps * self.safety_cap,
+        )
+    }
+
+    /// Returns a copy with a different PEE target — used by the ablation
+    /// sweep over packing targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pee` is not in `(0, 1]`.
+    pub fn with_pee_target(mut self, pee: f64) -> Self {
+        assert!(pee > 0.0 && pee <= 1.0, "pee target {pee} out of (0,1]");
+        self.pee_target = pee;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = GoldilocksConfig::paper();
+        assert!((c.pee_target - 0.70).abs() < 1e-12);
+        assert!(c.anti_affinity_weight > 0);
+    }
+
+    #[test]
+    fn pee_override() {
+        let c = GoldilocksConfig::default().with_pee_target(0.6);
+        assert!((c.pee_target - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pee target")]
+    fn invalid_pee_rejected() {
+        let _ = GoldilocksConfig::default().with_pee_target(0.0);
+    }
+}

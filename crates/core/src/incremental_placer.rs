@@ -1,0 +1,290 @@
+//! Migration-aware Goldilocks: the Section IV-C extension.
+//!
+//! The paper notes that "the number of container migrations is the
+//! 'difference' between prior container grouping results and the current
+//! grouping results" and defers incremental partitioning to future work.
+//! This placer implements it: it remembers the previous epoch's grouping,
+//! repartitions incrementally (relabeling for maximum overlap + a
+//! stickiness pass that keeps containers in their old group when the cut
+//! damage is small), and pins each surviving group to the server it already
+//! occupies — so an unchanged workload migrates nothing, and a mildly
+//! changed one migrates only what the partition quality requires.
+
+use std::collections::HashMap;
+
+use goldilocks_partition::{incremental_repartition, VertexWeight};
+use goldilocks_placement::{PlaceError, Placement, Placer};
+use goldilocks_topology::{DcTree, Resources, ServerId};
+use goldilocks_workload::Workload;
+
+use crate::config::GoldilocksConfig;
+
+/// Stateful Goldilocks with incremental repartitioning.
+#[derive(Clone, Debug)]
+pub struct IncrementalGoldilocks {
+    /// Algorithm configuration.
+    pub config: GoldilocksConfig,
+    /// Cut-vs-migration trade-off in `[0, 1]`: 0 = fresh partition every
+    /// epoch, 1 = keep containers in their old group whenever capacity
+    /// allows.
+    pub stickiness: f64,
+    /// Previous epoch's group label per container.
+    previous_groups: Vec<Option<usize>>,
+    /// Which server each group label occupies.
+    group_servers: HashMap<usize, ServerId>,
+}
+
+impl IncrementalGoldilocks {
+    /// Creates the placer with the paper configuration and the given
+    /// stickiness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stickiness` is outside `[0, 1]`.
+    pub fn new(stickiness: f64) -> Self {
+        IncrementalGoldilocks::with_config(GoldilocksConfig::paper(), stickiness)
+    }
+
+    /// Creates the placer with a custom configuration.
+    pub fn with_config(config: GoldilocksConfig, stickiness: f64) -> Self {
+        assert!((0.0..=1.0).contains(&stickiness), "stickiness {stickiness}");
+        IncrementalGoldilocks {
+            config,
+            stickiness,
+            previous_groups: Vec::new(),
+            group_servers: HashMap::new(),
+        }
+    }
+
+    /// Forgets all history (e.g. after a topology change).
+    pub fn reset(&mut self) {
+        self.previous_groups.clear();
+        self.group_servers.clear();
+    }
+}
+
+impl Placer for IncrementalGoldilocks {
+    fn name(&self) -> &str {
+        "Goldilocks-Inc"
+    }
+
+    fn place(&mut self, workload: &Workload, tree: &DcTree) -> Result<Placement, PlaceError> {
+        let healthy = tree.healthy_servers();
+        if healthy.is_empty() {
+            return Err(PlaceError::Infeasible {
+                reason: "no healthy servers".into(),
+            });
+        }
+        if workload.is_empty() {
+            self.previous_groups.clear();
+            return Ok(Placement::unplaced(0));
+        }
+
+        let min_cap = healthy
+            .iter()
+            .map(|s| tree.server(*s).resources)
+            .fold(None::<Resources>, |acc, r| match acc {
+                None => Some(r),
+                Some(a) => Some(Resources::new(
+                    a.cpu.min(r.cpu),
+                    a.memory_gb.min(r.memory_gb),
+                    a.network_mbps.min(r.network_mbps),
+                )),
+            })
+            .expect("non-empty healthy set");
+        let cap = self.config.cap_resources(&min_cap);
+        let cap_weight = VertexWeight::new(cap.as_array().to_vec());
+
+        let graph = workload
+            .container_graph(self.config.anti_affinity_weight)
+            .map_err(|e| PlaceError::Infeasible {
+                reason: format!("container graph: {e}"),
+            })?;
+
+        // Old labels, padded/truncated to the current container count.
+        let mut old: Vec<Option<usize>> = self.previous_groups.clone();
+        old.resize(workload.len(), None);
+
+        let result = incremental_repartition(
+            &graph,
+            &old,
+            |w| w.fits_within(&cap_weight),
+            self.stickiness,
+            &self.config.bisect,
+        )
+        .map_err(|e| PlaceError::Infeasible {
+            reason: format!("incremental repartition: {e}"),
+        })?;
+
+        // Survivor groups keep their server; new labels get the next free
+        // healthy server in topology DFS order.
+        let mut live_labels: Vec<usize> = result.assignment.clone();
+        live_labels.sort_unstable();
+        live_labels.dedup();
+
+        let dfs: Vec<ServerId> = tree
+            .servers_in_dfs_order()
+            .into_iter()
+            .filter(|s| !tree.server(*s).failed)
+            .collect();
+        let mut used_servers: std::collections::HashSet<ServerId> = std::collections::HashSet::new();
+        let mut mapping: HashMap<usize, ServerId> = HashMap::new();
+        for &label in &live_labels {
+            if let Some(&s) = self.group_servers.get(&label) {
+                if !tree.server(s).failed && used_servers.insert(s) {
+                    mapping.insert(label, s);
+                }
+            }
+        }
+        let mut free = dfs.iter().copied().filter(|s| !used_servers.contains(s));
+        for &label in &live_labels {
+            if let std::collections::hash_map::Entry::Vacant(e) = mapping.entry(label) {
+                let s = free.next().ok_or_else(|| PlaceError::Infeasible {
+                    reason: format!(
+                        "{} groups exceed {} healthy servers",
+                        live_labels.len(),
+                        dfs.len()
+                    ),
+                })?;
+                e.insert(s);
+            }
+        }
+
+        // Validate capacity per assigned server (a heterogeneous pinned
+        // server may be smaller than the min-cap assumption).
+        let mut placement = Placement::unplaced(workload.len());
+        let mut loads: HashMap<ServerId, Resources> = HashMap::new();
+        for (c, &label) in result.assignment.iter().enumerate() {
+            let s = mapping[&label];
+            let entry = loads.entry(s).or_insert_with(Resources::zero);
+            *entry += workload.containers[c].demand;
+            placement.assignment[c] = Some(s);
+        }
+        for (&s, load) in &loads {
+            let scap = self.config.cap_resources(&tree.server(s).resources);
+            if !load.fits_within(&scap) {
+                // Rare: a pinned group outgrew its server. Drop history and
+                // fall back to a clean placement.
+                self.reset();
+                let mut fresh = crate::goldilocks::Goldilocks::with_config(self.config.clone());
+                let placement = fresh.place(workload, tree)?;
+                // Rebuild state from the fresh placement: one label per
+                // server in assignment order.
+                let mut label_of_server: HashMap<ServerId, usize> = HashMap::new();
+                let mut groups = Vec::new();
+                for a in placement.assignment.iter().flatten() {
+                    let next = label_of_server.len();
+                    let label = *label_of_server.entry(*a).or_insert(next);
+                    groups.push(Some(label));
+                }
+                self.previous_groups = groups;
+                self.group_servers = label_of_server
+                    .into_iter()
+                    .map(|(srv, label)| (label, srv))
+                    .collect();
+                return Ok(placement);
+            }
+        }
+
+        self.previous_groups = result.assignment.iter().map(|&g| Some(g)).collect();
+        self.group_servers = mapping;
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::testbed_16;
+    use goldilocks_workload::generators::twitter_caching;
+
+    #[test]
+    fn steady_state_migrates_nothing() {
+        let tree = testbed_16();
+        let w = twitter_caching(96, 21);
+        let mut placer = IncrementalGoldilocks::new(1.0);
+        let p1 = placer.place(&w, &tree).unwrap();
+        let p2 = placer.place(&w, &tree).unwrap();
+        assert_eq!(p2.migrations_from(&p1), 0, "identical epochs must not migrate");
+    }
+
+    #[test]
+    fn fewer_migrations_than_stateless_goldilocks() {
+        use crate::goldilocks::Goldilocks;
+        let tree = testbed_16();
+        // Load wobbles ±10 % across epochs.
+        let mut inc = IncrementalGoldilocks::new(0.8);
+        let mut fresh = Goldilocks::new();
+        let mut inc_migs = 0usize;
+        let mut fresh_migs = 0usize;
+        let mut prev_inc: Option<Placement> = None;
+        let mut prev_fresh: Option<Placement> = None;
+        for e in 0..6 {
+            let mut w = twitter_caching(96, 21);
+            w.scale_load(0.9 + 0.02 * e as f64);
+            let pi = inc.place(&w, &tree).unwrap();
+            let pf = fresh.place(&w, &tree).unwrap();
+            if let Some(prev) = &prev_inc {
+                inc_migs += pi.migrations_from(prev);
+            }
+            if let Some(prev) = &prev_fresh {
+                fresh_migs += pf.migrations_from(prev);
+            }
+            prev_inc = Some(pi);
+            prev_fresh = Some(pf);
+        }
+        assert!(
+            inc_migs <= fresh_migs,
+            "incremental migrated more ({inc_migs}) than stateless ({fresh_migs})"
+        );
+    }
+
+    #[test]
+    fn capacity_still_respected() {
+        let tree = testbed_16();
+        let mut placer = IncrementalGoldilocks::new(1.0);
+        for e in 0..4 {
+            let mut w = twitter_caching(120, 5);
+            w.scale_load(0.7 + 0.1 * e as f64);
+            let p = placer.place(&w, &tree).unwrap();
+            assert!(p.is_complete());
+            for u in p.server_cpu_utilizations(&w, &tree) {
+                assert!(u <= 0.70 + 1e-9, "PEE violated at epoch {e}: {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn growing_workload_keeps_existing_placements_mostly() {
+        let tree = testbed_16();
+        let mut placer = IncrementalGoldilocks::new(1.0);
+        let base = twitter_caching(96, 33);
+        let p1 = placer.place(&base.prefix(64), &tree).unwrap();
+        let p2 = placer.place(&base.prefix(96), &tree).unwrap();
+        // The 64 surviving containers should mostly stay put.
+        let moved = p2
+            .assignment
+            .iter()
+            .take(64)
+            .zip(&p1.assignment)
+            .filter(|(n, o)| n != o)
+            .count();
+        assert!(moved <= 24, "{moved}/64 moved on growth");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let tree = testbed_16();
+        let w = twitter_caching(64, 3);
+        let mut placer = IncrementalGoldilocks::new(1.0);
+        let _ = placer.place(&w, &tree).unwrap();
+        placer.reset();
+        assert!(placer.previous_groups.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stickiness")]
+    fn invalid_stickiness_rejected() {
+        IncrementalGoldilocks::new(1.5);
+    }
+}

@@ -1,0 +1,412 @@
+//! Virtual-Cluster placement on asymmetric topologies (Section IV).
+//!
+//! Each container group from the recursive bisection becomes an
+//! Oktopus-style *Virtual Cluster*: its members hang off one virtual switch,
+//! member `i` needing bandwidth `B_i` (its total flow traffic). Groups are
+//! placed, in order, onto the smallest left-most subtree whose servers have
+//! capacity **and** whose outbound link(s) can reserve the Eq. (4)/(5)
+//! bandwidth:
+//!
+//! ```text
+//! R = min( Σ_{q∈a} B_q ,  Σ_{r∈b} B_r + Σ_{s∈outside} B_s )
+//! ```
+//!
+//! where component `a` is the part of the group inside the subtree,
+//! component `b` the part that spills outside, and `outside` covers the
+//! already-placed containers beyond this subtree plus (conservatively) every
+//! still-unplaced group. When no subtree can host a whole group, the group
+//! splits: the largest bandwidth-feasible component `a` is committed and the
+//! remainder re-queued.
+
+use goldilocks_partition::VertexWeight;
+use goldilocks_placement::{LoadTracker, PlaceError, Placement, Placer};
+use goldilocks_topology::{DcTree, NodeId, ServerId};
+use goldilocks_workload::Workload;
+
+use crate::config::GoldilocksConfig;
+
+/// A container group abstracted as a 2-level Virtual Cluster.
+#[derive(Clone, Debug)]
+pub struct VirtualCluster {
+    /// Container indices of the members.
+    pub members: Vec<usize>,
+    /// Bandwidth requirement `B_i` of each member, parallel to `members`.
+    pub bandwidth: Vec<f64>,
+}
+
+impl VirtualCluster {
+    /// Total bandwidth of a member subset (by position).
+    fn bandwidth_of(&self, positions: &[usize]) -> f64 {
+        positions.iter().map(|&p| self.bandwidth[p]).sum()
+    }
+
+    /// Total bandwidth of all members.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.bandwidth.iter().sum()
+    }
+}
+
+/// The Goldilocks scheduler for asymmetric topologies and heterogeneous
+/// servers (Section IV). On a symmetric, failure-free topology it reduces to
+/// the Section III behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct GoldilocksAsym {
+    /// Algorithm configuration.
+    pub config: GoldilocksConfig,
+}
+
+impl GoldilocksAsym {
+    /// Creates the policy with the paper's configuration.
+    pub fn new() -> Self {
+        GoldilocksAsym::default()
+    }
+
+    /// Creates the policy with a custom configuration.
+    pub fn with_config(config: GoldilocksConfig) -> Self {
+        GoldilocksAsym { config }
+    }
+
+    /// Builds the Virtual Clusters via recursive bisection against the
+    /// *average* healthy-server capacity (Section IV-A stop rule).
+    fn build_clusters(
+        &self,
+        workload: &Workload,
+        tree: &DcTree,
+    ) -> Result<Vec<VirtualCluster>, PlaceError> {
+        let mean = self.config.cap_resources(&tree.mean_server_resources());
+        let cap_weight = VertexWeight::new(mean.as_array().to_vec());
+        let graph = workload
+            .container_graph(self.config.anti_affinity_weight)
+            .map_err(|e| PlaceError::Infeasible {
+                reason: format!("container graph: {e}"),
+            })?;
+        let groups =
+            crate::grouping::partition_into_groups(&graph, &cap_weight, &self.config.bisect)?;
+        Ok(groups
+            .into_iter()
+            .map(|members| {
+                let bandwidth = members
+                    .iter()
+                    .map(|&c| {
+                        workload.container_bandwidth_mbps(goldilocks_workload::ContainerId(c))
+                    })
+                    .collect();
+                VirtualCluster { members, bandwidth }
+            })
+            .collect())
+    }
+}
+
+/// Greedy fill of a cluster's members onto the healthy servers under
+/// `subtree`, against `tracker` state with a PEE cap. Returns positions (into
+/// `vc.members`) that fit, and the server for each.
+fn max_component_a(
+    vc: &VirtualCluster,
+    workload: &Workload,
+    tree: &DcTree,
+    tracker: &LoadTracker<'_>,
+    subtree: NodeId,
+    config: &GoldilocksConfig,
+) -> Vec<(usize, ServerId)> {
+    let servers: Vec<ServerId> = tree
+        .servers_under(subtree)
+        .into_iter()
+        .filter(|s| !tree.server(*s).failed)
+        .collect();
+    let mut local = tracker.clone();
+    let mut placed = Vec::new();
+    for (pos, &c) in vc.members.iter().enumerate() {
+        let demand = workload.containers[c].demand;
+        for &s in &servers {
+            let cap = config.cap_resources(&tree.server(s).resources);
+            if local.fits_capped(s, &demand, &cap) {
+                local.add(s, demand);
+                placed.push((pos, s));
+                break;
+            }
+        }
+    }
+    placed
+}
+
+impl Placer for GoldilocksAsym {
+    fn name(&self) -> &str {
+        "Goldilocks-Asym"
+    }
+
+    fn place(&mut self, workload: &Workload, tree: &DcTree) -> Result<Placement, PlaceError> {
+        if tree.healthy_servers().is_empty() {
+            return Err(PlaceError::Infeasible {
+                reason: "no healthy servers".into(),
+            });
+        }
+        if workload.is_empty() {
+            return Ok(Placement::unplaced(0));
+        }
+
+        let clusters = self.build_clusters(workload, tree)?;
+        // Bandwidth reservations are tracked on a private copy of the tree.
+        let mut net = tree.clone();
+        net.clear_reservations();
+        let mut tracker = LoadTracker::new(tree);
+        let mut placement = Placement::unplaced(workload.len());
+
+        // Conservative Eq. (5) term: bandwidth of every unplaced group.
+        let mut pending: std::collections::VecDeque<VirtualCluster> =
+            clusters.into_iter().collect();
+        let mut unplaced_bw: f64 = pending.iter().map(VirtualCluster::total_bandwidth).sum();
+        // Bandwidth of already-placed containers, per server (to compute the
+        // "outside the subtree" term cheaply we track the total and per-
+        // subtree sums via the placement itself).
+        let mut placed_bw_total = 0.0f64;
+        let mut placed_bw_by_server: Vec<f64> = vec![0.0; tree.server_count()];
+
+        let subtrees = net.subtrees_smallest_first();
+        let mut spill_guard = 0usize;
+        let spill_limit = workload.len() * 4 + 16;
+
+        while let Some(vc) = pending.pop_front() {
+            spill_guard += 1;
+            if spill_guard > spill_limit {
+                return Err(PlaceError::Infeasible {
+                    reason: "virtual-cluster placement did not converge".into(),
+                });
+            }
+            unplaced_bw -= vc.total_bandwidth();
+
+            // Try to host the entire group on the smallest left-most subtree.
+            let mut committed = false;
+            let mut best_partial: Option<(NodeId, Vec<(usize, ServerId)>)> = None;
+            for &st in &subtrees {
+                let fit = max_component_a(&vc, workload, tree, &tracker, st, &self.config);
+                if fit.is_empty() {
+                    continue;
+                }
+                // Placed containers outside this subtree.
+                let inside: std::collections::HashSet<usize> = net
+                    .servers_under(st)
+                    .into_iter()
+                    .map(|s| s.0)
+                    .collect();
+                let placed_outside_bw = placed_bw_total
+                    - placed_bw_by_server
+                        .iter()
+                        .enumerate()
+                        .filter(|(s, _)| inside.contains(s))
+                        .map(|(_, b)| *b)
+                        .sum::<f64>();
+                let inter_term = placed_outside_bw + unplaced_bw;
+
+                if fit.len() == vc.members.len() {
+                    let a_positions: Vec<usize> = fit.iter().map(|(p, _)| *p).collect();
+                    let required = vc.bandwidth_of(&a_positions).min(inter_term);
+                    if required <= net.residual_mbps(st) + 1e-9 {
+                        // Commit the whole group here.
+                        net.reserve_mbps(st, required).expect("checked residual");
+                        for &(pos, s) in &fit {
+                            let c = vc.members[pos];
+                            tracker.add(s, workload.containers[c].demand);
+                            placement.assignment[c] = Some(s);
+                            placed_bw_by_server[s.0] += vc.bandwidth[pos];
+                            placed_bw_total += vc.bandwidth[pos];
+                        }
+                        committed = true;
+                        break;
+                    }
+                } else if best_partial
+                    .as_ref()
+                    .is_none_or(|(_, prev)| fit.len() > prev.len())
+                {
+                    // Trim component a until the Eq. (4) reservation fits the
+                    // residual bandwidth.
+                    let mut fit = fit;
+                    loop {
+                        if fit.is_empty() {
+                            break;
+                        }
+                        let a_positions: Vec<usize> = fit.iter().map(|(p, _)| *p).collect();
+                        let b_bw = vc.total_bandwidth() - vc.bandwidth_of(&a_positions);
+                        let required = vc
+                            .bandwidth_of(&a_positions)
+                            .min(b_bw + inter_term);
+                        if required <= net.residual_mbps(st) + 1e-9 {
+                            break;
+                        }
+                        fit.pop();
+                    }
+                    if !fit.is_empty() {
+                        best_partial = Some((st, fit));
+                    }
+                }
+            }
+            if committed {
+                continue;
+            }
+
+            // Split: commit the best component a, re-queue component b.
+            let (st, fit) = best_partial.ok_or_else(|| PlaceError::Unplaceable {
+                container: vc.members.first().copied().unwrap_or(0),
+                reason: "no subtree has capacity or bandwidth for this group".into(),
+            })?;
+            let a_positions: Vec<usize> = fit.iter().map(|(p, _)| *p).collect();
+            let inside: std::collections::HashSet<usize> =
+                net.servers_under(st).into_iter().map(|s| s.0).collect();
+            let placed_outside_bw = placed_bw_total
+                - placed_bw_by_server
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, _)| inside.contains(s))
+                    .map(|(_, b)| *b)
+                    .sum::<f64>();
+            let b_bw = vc.total_bandwidth() - vc.bandwidth_of(&a_positions);
+            let required = vc
+                .bandwidth_of(&a_positions)
+                .min(b_bw + placed_outside_bw + unplaced_bw);
+            net.reserve_mbps(st, required).map_err(|e| PlaceError::Infeasible {
+                reason: format!("bandwidth reservation: {e}"),
+            })?;
+            let placed_set: std::collections::HashSet<usize> = a_positions.iter().copied().collect();
+            for &(pos, s) in &fit {
+                let c = vc.members[pos];
+                tracker.add(s, workload.containers[c].demand);
+                placement.assignment[c] = Some(s);
+                placed_bw_by_server[s.0] += vc.bandwidth[pos];
+                placed_bw_total += vc.bandwidth[pos];
+            }
+            let rest = VirtualCluster {
+                members: vc
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| !placed_set.contains(p))
+                    .map(|(_, c)| *c)
+                    .collect(),
+                bandwidth: vc
+                    .bandwidth
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| !placed_set.contains(p))
+                    .map(|(_, b)| *b)
+                    .collect(),
+            };
+            unplaced_bw += rest.total_bandwidth();
+            pending.push_back(rest);
+        }
+
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::{fat_tree, testbed_16};
+    use goldilocks_topology::Resources;
+    use goldilocks_workload::generators::twitter_caching;
+
+    #[test]
+    fn symmetric_case_places_everything() {
+        let tree = testbed_16();
+        let w = twitter_caching(64, 5);
+        let mut g = GoldilocksAsym::new();
+        let p = g.place(&w, &tree).unwrap();
+        assert!(p.is_complete());
+        for u in p.server_cpu_utilizations(&w, &tree) {
+            assert!(u <= 0.70 + 1e-9, "PEE violated: {u}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_servers_still_place() {
+        let mut tree = testbed_16();
+        // Halve the capacity of four servers (legacy equipment).
+        for s in 0..4 {
+            tree.set_server_resources(ServerId(s), Resources::new(1600.0, 32.0, 500.0));
+        }
+        let w = twitter_caching(64, 6);
+        let mut g = GoldilocksAsym::new();
+        let p = g.place(&w, &tree).unwrap();
+        assert!(p.is_complete());
+        // No server, big or small, exceeds its own CPU PEE cap.
+        for (s, u) in p.server_cpu_utilizations(&w, &tree).iter().enumerate() {
+            assert!(*u <= 0.70 + 1e-9, "server {s} at {u}");
+        }
+    }
+
+    #[test]
+    fn failed_servers_avoided() {
+        let mut tree = testbed_16();
+        for s in 0..8 {
+            tree.fail_server(ServerId(s));
+        }
+        let w = twitter_caching(32, 7);
+        let mut g = GoldilocksAsym::new();
+        let p = g.place(&w, &tree).unwrap();
+        assert!(p.is_complete());
+        assert!(p.assignment.iter().flatten().all(|s| s.0 >= 8));
+    }
+
+    #[test]
+    fn degraded_uplink_forces_split_or_elsewhere() {
+        // A fat-tree where the first rack's uplink is nearly dead: a chatty
+        // group whose traffic exceeds the degraded uplink must not be placed
+        // entirely behind it *with* external traffic pending.
+        let mut tree = fat_tree(4, Resources::new(400.0, 64.0, 4000.0), 4000.0);
+        let first_rack = tree.subtrees_smallest_first()[0];
+        tree.degrade_uplink(first_rack, 0.001); // 8 Mbps left
+        let w = twitter_caching(40, 8);
+        let mut g = GoldilocksAsym::new();
+        let p = g.place(&w, &tree).unwrap();
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn groups_prefer_small_subtrees() {
+        let tree = fat_tree(4, Resources::new(400.0, 64.0, 4000.0), 4000.0);
+        // One tight clique that fits a single server: it must land on one.
+        let mut w = Workload::new();
+        for _ in 0..4 {
+            w.add_container("c", Resources::new(50.0, 4.0, 20.0), None);
+        }
+        for i in 0..4usize {
+            for j in i + 1..4 {
+                w.add_flow(
+                    goldilocks_workload::ContainerId(i),
+                    goldilocks_workload::ContainerId(j),
+                    50,
+                    2.0,
+                );
+            }
+        }
+        let mut g = GoldilocksAsym::new();
+        let p = g.place(&w, &tree).unwrap();
+        let servers: std::collections::BTreeSet<_> = p.assignment.iter().flatten().collect();
+        assert_eq!(servers.len(), 1, "clique should occupy one server");
+    }
+
+    #[test]
+    fn empty_workload_ok() {
+        let tree = testbed_16();
+        let mut g = GoldilocksAsym::new();
+        let p = g.place(&Workload::new(), &tree).unwrap();
+        assert_eq!(p.assignment.len(), 0);
+    }
+
+    #[test]
+    fn overload_is_an_error() {
+        let tree = goldilocks_topology::builders::single_rack(
+            2,
+            Resources::new(100.0, 10.0, 100.0),
+            100.0,
+        );
+        let mut w = Workload::new();
+        for _ in 0..8 {
+            w.add_container("c", Resources::new(40.0, 1.0, 1.0), None);
+        }
+        let err = GoldilocksAsym::new().place(&w, &tree).unwrap_err();
+        assert!(matches!(
+            err,
+            PlaceError::Infeasible { .. } | PlaceError::Unplaceable { .. }
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-constraint balance bookkeeping for bisections.
+//!
+//! A bisection aims to put a fraction `frac` of every vertex-weight dimension
+//! into side 0 (Eq. 3 of the paper asks for near-uniform utilization across
+//! parts). `tolerance` is the allowed relative overshoot per side and
+//! dimension: a side is feasible while its weight in every dimension stays
+//! below `target * (1 + tolerance)`.
+
+use crate::graph::{Graph, VertexWeight};
+
+/// Balance targets and live side-weight accounting for a 2-way partition.
+#[derive(Clone, Debug)]
+pub struct BalanceTracker {
+    /// Total weight of the graph per dimension.
+    total: VertexWeight,
+    /// Desired fraction of each dimension on side 0.
+    frac: f64,
+    /// Allowed relative overshoot (e.g. 0.05 = 5 %).
+    tolerance: f64,
+    /// Current weight on side 0.
+    side0: VertexWeight,
+    /// Current weight on side 1.
+    side1: VertexWeight,
+}
+
+impl BalanceTracker {
+    /// Creates a tracker for bisecting `graph` with side 0 receiving `frac`
+    /// of the total weight, given an initial assignment `side`.
+    pub fn new(graph: &Graph, side: &[u8], frac: f64, tolerance: f64) -> Self {
+        let dims = graph.dims();
+        let mut side0 = VertexWeight::zeros(dims);
+        let mut side1 = VertexWeight::zeros(dims);
+        for (v, sv) in side.iter().enumerate().take(graph.vertex_count()) {
+            let w = graph.vertex_weight(v);
+            if *sv == 0 {
+                side0.add_assign(&w);
+            } else {
+                side1.add_assign(&w);
+            }
+        }
+        let total = graph.total_vertex_weight();
+        BalanceTracker {
+            total,
+            frac,
+            tolerance,
+            side0,
+            side1,
+        }
+    }
+
+    /// Upper bound on side `s`'s weight in dimension `d`.
+    fn cap(&self, s: u8, d: usize) -> f64 {
+        let f = if s == 0 { self.frac } else { 1.0 - self.frac };
+        self.total.component(d) * f * (1.0 + self.tolerance)
+    }
+
+    /// Current weight of side `s`.
+    pub fn side_weight(&self, s: u8) -> &VertexWeight {
+        if s == 0 {
+            &self.side0
+        } else {
+            &self.side1
+        }
+    }
+
+    /// Whether moving vertex weight `w` from side `from` to the other side
+    /// keeps the destination side within its cap in every dimension.
+    pub fn move_keeps_feasible(&self, w: &VertexWeight, from: u8) -> bool {
+        let to = 1 - from;
+        let dest = self.side_weight(to);
+        (0..w.dims()).all(|d| dest.component(d) + w.component(d) <= self.cap(to, d))
+    }
+
+    /// Applies a move of weight `w` from side `from` to the other side.
+    pub fn apply_move(&mut self, w: &VertexWeight, from: u8) {
+        if from == 0 {
+            self.side0.sub_assign(w);
+            self.side1.add_assign(w);
+        } else {
+            self.side1.sub_assign(w);
+            self.side0.add_assign(w);
+        }
+    }
+
+    /// Maximum relative imbalance across both sides and all dimensions:
+    /// `max(side_weight / target) - 1`, clamped at 0 from below.
+    pub fn imbalance(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for d in 0..self.total.dims() {
+            let t = self.total.component(d);
+            if t <= 0.0 {
+                continue;
+            }
+            let t0 = t * self.frac;
+            let t1 = t * (1.0 - self.frac);
+            if t0 > 0.0 {
+                worst = worst.max(self.side0.component(d) / t0 - 1.0);
+            }
+            if t1 > 0.0 {
+                worst = worst.max(self.side1.component(d) / t1 - 1.0);
+            }
+        }
+        worst.max(0.0)
+    }
+
+    /// Whether the current assignment is within tolerance.
+    pub fn is_feasible(&self) -> bool {
+        self.imbalance() <= self.tolerance + 1e-9
+    }
+
+    /// Relative load of side `s`: the worst per-dimension ratio of its
+    /// current weight to its target weight. 1.0 = exactly on target.
+    pub fn side_load(&self, s: u8) -> f64 {
+        let f = if s == 0 { self.frac } else { 1.0 - self.frac };
+        let side = self.side_weight(s);
+        let mut worst: f64 = 0.0;
+        for d in 0..self.total.dims() {
+            let t = self.total.component(d) * f;
+            if t > 0.0 {
+                worst = worst.max(side.component(d) / t);
+            }
+        }
+        worst
+    }
+
+    /// The configured tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexWeight};
+
+    fn four_unit_vertices() -> Graph {
+        let mut b = GraphBuilder::new(2);
+        for _ in 0..4 {
+            b.add_vertex(VertexWeight::new([1.0, 2.0]));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn balanced_split_is_feasible() {
+        let g = four_unit_vertices();
+        let t = BalanceTracker::new(&g, &[0, 0, 1, 1], 0.5, 0.05);
+        assert!(t.is_feasible());
+        assert!((t.imbalance() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_split_is_infeasible() {
+        let g = four_unit_vertices();
+        let t = BalanceTracker::new(&g, &[0, 0, 0, 1], 0.5, 0.05);
+        assert!(!t.is_feasible());
+        assert!((t.imbalance() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_feasibility_respects_cap() {
+        let g = four_unit_vertices();
+        let t = BalanceTracker::new(&g, &[0, 0, 1, 1], 0.5, 0.05);
+        let w = g.vertex_weight(0);
+        // Moving a vertex to side 1 would push side 1 to 3/2 of target.
+        assert!(!t.move_keeps_feasible(&w, 0));
+    }
+
+    #[test]
+    fn apply_move_updates_both_sides() {
+        let g = four_unit_vertices();
+        let mut t = BalanceTracker::new(&g, &[0, 0, 1, 1], 0.5, 0.5);
+        let w = g.vertex_weight(0);
+        t.apply_move(&w, 0);
+        assert_eq!(t.side_weight(0).0, vec![1.0, 2.0]);
+        assert_eq!(t.side_weight(1).0, vec![3.0, 6.0]);
+        t.apply_move(&w, 1);
+        assert_eq!(t.side_weight(0).0, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn asymmetric_fraction_targets() {
+        let g = four_unit_vertices();
+        // frac 0.25: side 0 should hold one vertex out of four.
+        let t = BalanceTracker::new(&g, &[0, 1, 1, 1], 0.25, 0.05);
+        assert!(t.is_feasible());
+        let t2 = BalanceTracker::new(&g, &[0, 0, 1, 1], 0.25, 0.05);
+        assert!(!t2.is_feasible());
+    }
+}

@@ -1,0 +1,237 @@
+//! Multilevel bisection: coarsen → initial partition → uncoarsen + refine.
+//!
+//! This is the engine behind both the recursive "until it fits a server"
+//! partitioning of Section III-B and the k-way partitioning API.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::coarsen::coarsen;
+use crate::graph::{EdgeWeight, Graph};
+use crate::initial::greedy_graph_growing;
+use crate::refine::{refine, RefineConfig};
+
+/// Tuning knobs for the multilevel bisection.
+#[derive(Clone, Debug)]
+pub struct BisectConfig {
+    /// Coarsen until at most this many vertices remain.
+    pub coarsen_to: usize,
+    /// Number of greedy-growing trials at the coarsest level.
+    pub initial_trials: usize,
+    /// FM passes per level.
+    pub refine_passes: usize,
+    /// Allowed relative imbalance per side and dimension.
+    pub tolerance: f64,
+    /// RNG seed; the partitioner is fully deterministic given a seed.
+    pub seed: u64,
+}
+
+impl Default for BisectConfig {
+    fn default() -> Self {
+        BisectConfig {
+            coarsen_to: 64,
+            initial_trials: 8,
+            refine_passes: 8,
+            tolerance: 0.05,
+            seed: 0x60_1d_10_c5,
+        }
+    }
+}
+
+/// Output of a multilevel bisection.
+#[derive(Clone, Debug)]
+pub struct MultilevelBisection {
+    /// Per-vertex side (0 or 1) on the input graph.
+    pub side: Vec<u8>,
+    /// Final cut value.
+    pub cut: EdgeWeight,
+}
+
+/// Bisects `graph` so that side 0 receives `frac` of the total vertex weight
+/// (per dimension), within `config.tolerance`.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 vertices.
+pub fn multilevel_bisect(graph: &Graph, frac: f64, config: &BisectConfig) -> MultilevelBisection {
+    assert!(
+        graph.vertex_count() >= 2,
+        "cannot bisect a graph with {} vertices",
+        graph.vertex_count()
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let hierarchy = coarsen(graph, config.coarsen_to, &mut rng);
+    let coarsest_owned;
+    let coarsest: &Graph = match hierarchy.coarsest() {
+        Some(g) => g,
+        None => {
+            coarsest_owned = graph.clone();
+            &coarsest_owned
+        }
+    };
+
+    let initial = greedy_graph_growing(
+        coarsest,
+        frac,
+        config.tolerance,
+        config.initial_trials,
+        &mut rng,
+    );
+
+    let refine_cfg = RefineConfig {
+        max_passes: config.refine_passes,
+        frac,
+        tolerance: config.tolerance,
+    };
+
+    // Refine at the coarsest level, then project down level by level,
+    // refining after each projection.
+    let mut side = refine(coarsest, &initial.side, &refine_cfg).side;
+    for i in (0..hierarchy.levels.len()).rev() {
+        let finer: &Graph = if i == 0 {
+            graph
+        } else {
+            &hierarchy.levels[i - 1].graph
+        };
+        let map = &hierarchy.levels[i].map;
+        let mut projected = vec![0u8; finer.vertex_count()];
+        for (fine, &coarse) in map.iter().enumerate() {
+            projected[fine] = side[coarse];
+        }
+        side = refine(finer, &projected, &refine_cfg).side;
+    }
+
+    let cut = graph.cut(&side);
+    MultilevelBisection { side, cut }
+}
+
+/// Splits the vertex set of `graph` into the two index lists implied by a
+/// bisection, preserving vertex order.
+pub fn split_indices(side: &[u8]) -> (Vec<usize>, Vec<usize>) {
+    let mut zero = Vec::new();
+    let mut one = Vec::new();
+    for (v, &s) in side.iter().enumerate() {
+        if s == 0 {
+            zero.push(v);
+        } else {
+            one.push(v);
+        }
+    }
+    (zero, one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::BalanceTracker;
+    use crate::graph::{GraphBuilder, VertexWeight};
+    use rand::Rng;
+
+    /// A ring of `k` cliques of size `s`, adjacent cliques joined by one
+    /// light edge. The optimal bisection cuts exactly two light edges.
+    fn clique_ring(k: usize, s: usize) -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..k * s {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for c in 0..k {
+            let base = c * s;
+            for i in 0..s {
+                for j in i + 1..s {
+                    b.add_edge(base + i, base + j, 20);
+                }
+            }
+            let next = ((c + 1) % k) * s;
+            b.add_edge(base, next, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bisects_clique_ring_optimally() {
+        let g = clique_ring(8, 5);
+        let res = multilevel_bisect(&g, 0.5, &BisectConfig::default());
+        assert_eq!(res.cut, 2, "optimal ring bisection cuts two bridges");
+        let t = BalanceTracker::new(&g, &res.side, 0.5, 0.05);
+        assert!(t.is_feasible(), "imbalance {}", t.imbalance());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = clique_ring(6, 4);
+        let cfg = BisectConfig::default();
+        let a = multilevel_bisect(&g, 0.5, &cfg);
+        let b = multilevel_bisect(&g, 0.5, &cfg);
+        assert_eq!(a.side, b.side);
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn handles_large_random_graph() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 2000;
+        let mut b = GraphBuilder::new(3);
+        for _ in 0..n {
+            b.add_vertex(VertexWeight::new([
+                rng.gen_range(0.1..1.0),
+                rng.gen_range(0.1..1.0),
+                rng.gen_range(0.1..1.0),
+            ]));
+        }
+        for _ in 0..n * 4 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v, rng.gen_range(1..50));
+            }
+        }
+        let g = b.build().unwrap();
+        let cfg = BisectConfig {
+            tolerance: 0.1,
+            ..BisectConfig::default()
+        };
+        let res = multilevel_bisect(&g, 0.5, &cfg);
+        let t = BalanceTracker::new(&g, &res.side, 0.5, 0.1);
+        assert!(t.is_feasible(), "imbalance {}", t.imbalance());
+        assert_eq!(res.cut, g.cut(&res.side));
+        // Random graph: the cut must at least be far below total weight.
+        assert!(res.cut < g.total_positive_edge_weight());
+    }
+
+    #[test]
+    fn asymmetric_fraction() {
+        let g = clique_ring(8, 4); // 32 unit vertices
+        let res = multilevel_bisect(
+            &g,
+            0.25,
+            &BisectConfig {
+                tolerance: 0.10,
+                ..BisectConfig::default()
+            },
+        );
+        let (zero, _) = split_indices(&res.side);
+        let w0 = g.subset_weight(&zero).component(0);
+        assert!(
+            (w0 - 8.0).abs() <= 2.0,
+            "side0 weight {w0} should be near 8 (25 % of 32)"
+        );
+    }
+
+    #[test]
+    fn split_indices_partition_everything() {
+        let side = vec![0, 1, 1, 0, 1];
+        let (zero, one) = split_indices(&side);
+        assert_eq!(zero, vec![0, 3]);
+        assert_eq!(one, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn small_graph_without_coarsening() {
+        let g = clique_ring(2, 2); // 4 vertices — below coarsen_to
+        let res = multilevel_bisect(&g, 0.5, &BisectConfig::default());
+        assert_eq!(res.cut, g.cut(&res.side));
+        let zeros = res.side.iter().filter(|s| **s == 0).count();
+        assert_eq!(zeros, 2);
+    }
+}

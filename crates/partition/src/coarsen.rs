@@ -1,0 +1,263 @@
+//! Multilevel coarsening via heavy-edge matching (HEM).
+//!
+//! Coarsening repeatedly contracts a matching of the graph until it is small
+//! enough to bisect directly. Heavy-edge matching greedily matches each
+//! unmatched vertex with the unmatched neighbor connected by the heaviest
+//! *positive* edge — contracting a heavy edge removes it from every future
+//! cut, which is what drives the min-cut quality of multilevel schemes.
+//!
+//! Negative (anti-affinity) edges are never contracted: collapsing one would
+//! merge two vertices that the objective wants separated.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// One coarsening level: the coarse graph plus the fine→coarse vertex map.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: Graph,
+    /// `map[fine_vertex] == coarse_vertex`.
+    pub map: Vec<VertexId>,
+}
+
+/// Computes a heavy-edge matching and contracts it, producing one coarser
+/// level. Returns `None` if no edge could be matched (graph already has no
+/// contractible edges).
+pub fn contract_heavy_edge_matching(graph: &Graph, rng: &mut StdRng) -> Option<CoarseLevel> {
+    let n = graph.vertex_count();
+    let mut matched: Vec<Option<VertexId>> = vec![None; n];
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut any_matched = false;
+    for &v in &order {
+        if matched[v].is_some() {
+            continue;
+        }
+        // Heaviest positive edge to an unmatched neighbor.
+        let mut best: Option<(VertexId, i64)> = None;
+        for (u, w) in graph.neighbors(v) {
+            if w <= 0 || matched[u].is_some() {
+                continue;
+            }
+            match best {
+                Some((_, bw)) if w <= bw => {}
+                _ => best = Some((u, w)),
+            }
+        }
+        if let Some((u, _)) = best {
+            matched[v] = Some(u);
+            matched[u] = Some(v);
+            any_matched = true;
+        }
+    }
+    if !any_matched {
+        return None;
+    }
+
+    // Assign coarse ids: matched pairs share one id; singletons keep their own.
+    let mut map = vec![usize::MAX; n];
+    let mut next = 0;
+    for v in 0..n {
+        if map[v] != usize::MAX {
+            continue;
+        }
+        map[v] = next;
+        if let Some(u) = matched[v] {
+            map[u] = next;
+        }
+        next += 1;
+    }
+
+    // Build coarse graph: vertex weights sum, parallel edges merge, edges
+    // internal to a pair disappear.
+    let mut builder = GraphBuilder::new(graph.dims());
+    let mut coarse_weights = vec![crate::graph::VertexWeight::zeros(graph.dims()); next];
+    for v in 0..n {
+        coarse_weights[map[v]].add_assign(&graph.vertex_weight(v));
+    }
+    for w in coarse_weights {
+        builder.add_vertex(w);
+    }
+    for v in 0..n {
+        for (u, w) in graph.neighbors(v) {
+            if v < u && map[v] != map[u] {
+                builder.add_edge(map[v], map[u], w);
+            }
+        }
+    }
+    let coarse = builder
+        .build()
+        .expect("contraction of a valid graph is valid");
+    Some(CoarseLevel { graph: coarse, map })
+}
+
+/// The full coarsening hierarchy, finest level first.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Levels from finest (index 0 maps the input graph) to coarsest.
+    pub levels: Vec<CoarseLevel>,
+}
+
+impl Hierarchy {
+    /// The coarsest graph, or `None` if no contraction happened.
+    pub fn coarsest(&self) -> Option<&Graph> {
+        self.levels.last().map(|l| &l.graph)
+    }
+
+    /// Projects a coarse-level 2-way assignment back to the finest level.
+    pub fn project_to_finest(&self, coarse_side: &[u8]) -> Vec<u8> {
+        let mut side = coarse_side.to_vec();
+        for level in self.levels.iter().rev() {
+            let mut finer = vec![0u8; level.map.len()];
+            for (fine, &coarse) in level.map.iter().enumerate() {
+                finer[fine] = side[coarse];
+            }
+            side = finer;
+        }
+        side
+    }
+}
+
+/// Coarsens `graph` until it has at most `target_vertices` vertices or no
+/// further contraction is possible.
+pub fn coarsen(graph: &Graph, target_vertices: usize, rng: &mut StdRng) -> Hierarchy {
+    let mut levels = Vec::new();
+    let mut current = graph.clone();
+    while current.vertex_count() > target_vertices {
+        match contract_heavy_edge_matching(&current, rng) {
+            Some(level) => {
+                // Guard against degenerate progress (e.g. star graphs can only
+                // halve slowly); stop if the contraction shrank < 5 %.
+                let before = current.vertex_count();
+                let after = level.graph.vertex_count();
+                current = level.graph.clone();
+                levels.push(level);
+                if after as f64 > before as f64 * 0.95 {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexWeight};
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..n {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for v in 0..n - 1 {
+            b.add_edge(v, v + 1, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matching_halves_a_path() {
+        let g = path_graph(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let level = contract_heavy_edge_matching(&g, &mut rng).unwrap();
+        assert!(level.graph.vertex_count() < 8);
+        assert!(level.graph.vertex_count() >= 4);
+        // Total vertex weight is conserved.
+        assert_eq!(level.graph.total_vertex_weight().0, vec![8.0]);
+    }
+
+    #[test]
+    fn negative_edges_never_contracted() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(VertexWeight::new([1.0]));
+        let v1 = b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(v0, v1, -5);
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(contract_heavy_edge_matching(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn heavy_edge_preferred() {
+        // v0 - v1 weight 100; v0 - v2 weight 1. HEM visits vertices in random
+        // order: whenever v0 or v1 is visited first, the heavy edge must be
+        // taken; only a visit starting at v2 may claim the light edge. v1 and
+        // v2 are not adjacent, so they can never be matched together.
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(VertexWeight::new([1.0]));
+        let v1 = b.add_vertex(VertexWeight::new([1.0]));
+        let v2 = b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(v0, v1, 100);
+        b.add_edge(v0, v2, 1);
+        let g = b.build().unwrap();
+        let mut heavy_taken = 0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let level = contract_heavy_edge_matching(&g, &mut rng).unwrap();
+            assert_eq!(level.graph.vertex_count(), 2, "seed {seed}");
+            assert_ne!(level.map[v1], level.map[v2], "seed {seed}: non-adjacent pair matched");
+            assert_eq!(level.graph.total_vertex_weight().0, vec![3.0]);
+            if level.map[v0] == level.map[v1] {
+                heavy_taken += 1;
+            }
+        }
+        // v2 is first in a uniformly random order only ~1/3 of the time.
+        assert!(heavy_taken >= 10, "heavy edge taken only {heavy_taken}/20 times");
+    }
+
+    #[test]
+    fn coarsen_reaches_target() {
+        let g = path_graph(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = coarsen(&g, 8, &mut rng);
+        let coarsest = h.coarsest().unwrap();
+        assert!(coarsest.vertex_count() <= 12, "got {}", coarsest.vertex_count());
+        assert_eq!(coarsest.total_vertex_weight().0, vec![64.0]);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let g = path_graph(16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = coarsen(&g, 4, &mut rng);
+        let coarsest = h.coarsest().unwrap();
+        let side: Vec<u8> = (0..coarsest.vertex_count())
+            .map(|v| (v % 2) as u8)
+            .collect();
+        let fine = h.project_to_finest(&side);
+        assert_eq!(fine.len(), 16);
+        // Every fine vertex inherits exactly its coarse vertex's side.
+        let mut current = fine.clone();
+        for level in &h.levels {
+            let mut coarse = vec![u8::MAX; level.graph.vertex_count()];
+            for (f, &c) in level.map.iter().enumerate() {
+                if coarse[c] == u8::MAX {
+                    coarse[c] = current[f];
+                } else {
+                    assert_eq!(coarse[c], current[f]);
+                }
+            }
+            current = coarse;
+        }
+        assert_eq!(current, side);
+    }
+
+    #[test]
+    fn coarsen_empty_hierarchy_when_small() {
+        let g = path_graph(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = coarsen(&g, 10, &mut rng);
+        assert!(h.levels.is_empty());
+        assert!(h.coarsest().is_none());
+        // Projection with no levels is the identity.
+        assert_eq!(h.project_to_finest(&[1, 0, 1, 0]), vec![1, 0, 1, 0]);
+    }
+}

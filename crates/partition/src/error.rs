@@ -1,0 +1,97 @@
+//! Error type for graph construction and partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or partitioning graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// An edge connected a vertex to itself.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// An edge referenced a vertex id that was never added.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        count: usize,
+    },
+    /// A single vertex is too large to satisfy the target capacity, so
+    /// recursive bisection can never terminate.
+    IndivisibleVertex {
+        /// The vertex whose weight alone exceeds the capacity.
+        vertex: usize,
+    },
+    /// A k-way partition was requested with `k == 0` or `k` larger than the
+    /// vertex count.
+    InvalidPartCount {
+        /// The requested number of parts.
+        requested: usize,
+        /// Number of vertices available.
+        vertices: usize,
+    },
+    /// The graph was empty where a non-empty graph is required.
+    EmptyGraph,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            PartitionError::VertexOutOfRange { vertex, count } => {
+                write!(f, "edge references vertex {vertex} but graph has {count} vertices")
+            }
+            PartitionError::IndivisibleVertex { vertex } => {
+                write!(f, "vertex {vertex} alone exceeds the target capacity")
+            }
+            PartitionError::InvalidPartCount { requested, vertices } => {
+                write!(f, "cannot split {vertices} vertices into {requested} parts")
+            }
+            PartitionError::EmptyGraph => write!(f, "graph has no vertices"),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let variants: Vec<(PartitionError, &str)> = vec![
+            (PartitionError::SelfLoop { vertex: 3 }, "self-loop"),
+            (
+                PartitionError::VertexOutOfRange { vertex: 9, count: 2 },
+                "vertex 9",
+            ),
+            (
+                PartitionError::IndivisibleVertex { vertex: 1 },
+                "exceeds the target capacity",
+            ),
+            (
+                PartitionError::InvalidPartCount { requested: 0, vertices: 5 },
+                "0 parts",
+            ),
+            (PartitionError::EmptyGraph, "no vertices"),
+        ];
+        for (err, needle) in variants {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PartitionError>();
+    }
+}

@@ -1,0 +1,535 @@
+//! Undirected weighted graph in compressed sparse row (CSR) form.
+//!
+//! This is the data structure consumed by the multilevel partitioner. Vertex
+//! weights are multi-dimensional (the paper uses ⟨CPU, memory, network⟩), and
+//! edge weights are signed integers: positive weights express communication
+//! affinity (the min-cut objective keeps them inside a part), negative weights
+//! express anti-affinity (replica spreading, Section IV-C of the paper) and
+//! are pushed *across* the cut by the same objective.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::PartitionError;
+
+/// Index of a vertex inside a [`Graph`].
+pub type VertexId = usize;
+
+/// Signed edge weight. Positive = affinity, negative = anti-affinity.
+pub type EdgeWeight = i64;
+
+/// A multi-dimensional vertex weight, e.g. ⟨CPU %, memory GB, network Mbps⟩.
+///
+/// All vertices of one graph share the same number of dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexWeight(pub Vec<f64>);
+
+impl VertexWeight {
+    /// Creates a weight from per-dimension components.
+    pub fn new(components: impl Into<Vec<f64>>) -> Self {
+        VertexWeight(components.into())
+    }
+
+    /// A zero weight with `dims` dimensions.
+    pub fn zeros(dims: usize) -> Self {
+        VertexWeight(vec![0.0; dims])
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component-wise addition.
+    pub fn add_assign(&mut self, other: &VertexWeight) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += *b;
+        }
+    }
+
+    /// Component-wise subtraction (saturating at tiny negatives due to float
+    /// rounding is the caller's concern).
+    pub fn sub_assign(&mut self, other: &VertexWeight) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a -= *b;
+        }
+    }
+
+    /// True when every component of `self` is `<=` the matching component of
+    /// `other` (within a small epsilon to absorb float error).
+    pub fn fits_within(&self, other: &VertexWeight) -> bool {
+        const EPS: f64 = 1e-9;
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| *a <= *b + EPS)
+    }
+
+    /// Component-wise access.
+    pub fn component(&self, dim: usize) -> f64 {
+        self.0[dim]
+    }
+
+    /// Scales every component by `factor`, returning a new weight.
+    pub fn scaled(&self, factor: f64) -> VertexWeight {
+        VertexWeight(self.0.iter().map(|c| c * factor).collect())
+    }
+
+    /// The largest component ratio `self[d] / reference[d]` over all
+    /// dimensions; used for multi-constraint balance checks. Dimensions where
+    /// the reference is zero are skipped.
+    pub fn max_ratio(&self, reference: &VertexWeight) -> f64 {
+        self.0
+            .iter()
+            .zip(&reference.0)
+            .filter(|(_, r)| **r > 0.0)
+            .map(|(s, r)| s / r)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for VertexWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.3}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// An undirected graph with multi-dimensional vertex weights and signed edge
+/// weights, stored in CSR form.
+///
+/// Build one with [`GraphBuilder`]:
+///
+/// ```
+/// use goldilocks_partition::{GraphBuilder, VertexWeight};
+///
+/// let mut b = GraphBuilder::new(2);
+/// let a = b.add_vertex(VertexWeight::new([1.0, 4.0]));
+/// let c = b.add_vertex(VertexWeight::new([2.0, 1.0]));
+/// b.add_edge(a, c, 10);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.vertex_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// CSR offsets; `xadj[v]..xadj[v + 1]` indexes `adjncy`/`adjwgt`.
+    xadj: Vec<usize>,
+    /// Flattened adjacency lists.
+    adjncy: Vec<VertexId>,
+    /// Edge weight parallel to `adjncy`.
+    adjwgt: Vec<EdgeWeight>,
+    /// Vertex weights, flattened row-major (`n * dims`).
+    vwgt: Vec<f64>,
+    dims: usize,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    pub fn edge_count(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Number of vertex-weight dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn vertex_weight(&self, v: VertexId) -> VertexWeight {
+        let start = v * self.dims;
+        VertexWeight(self.vwgt[start..start + self.dims].to_vec())
+    }
+
+    /// A borrowed view of vertex `v`'s weight components.
+    pub fn vertex_weight_slice(&self, v: VertexId) -> &[f64] {
+        let start = v * self.dims;
+        &self.vwgt[start..start + self.dims]
+    }
+
+    /// Iterates over `(neighbor, edge_weight)` pairs of vertex `v`.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeWeight)> + '_ {
+        let range = self.xadj[v]..self.xadj[v + 1];
+        self.adjncy[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[range].iter().copied())
+    }
+
+    /// Degree (number of incident edges) of vertex `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> VertexWeight {
+        let mut total = VertexWeight::zeros(self.dims);
+        for v in 0..self.vertex_count() {
+            for d in 0..self.dims {
+                total.0[d] += self.vwgt[v * self.dims + d];
+            }
+        }
+        total
+    }
+
+    /// Aggregate weight of an arbitrary vertex subset.
+    pub fn subset_weight(&self, vertices: &[VertexId]) -> VertexWeight {
+        let mut total = VertexWeight::zeros(self.dims);
+        for &v in vertices {
+            for d in 0..self.dims {
+                total.0[d] += self.vwgt[v * self.dims + d];
+            }
+        }
+        total
+    }
+
+    /// The edge cut of a 2-way assignment: the sum of weights of edges whose
+    /// endpoints live in different parts. Negative-weight edges across the
+    /// cut *decrease* the value.
+    pub fn cut(&self, side: &[u8]) -> EdgeWeight {
+        debug_assert_eq!(side.len(), self.vertex_count());
+        let mut cut = 0;
+        for v in 0..self.vertex_count() {
+            for (u, w) in self.neighbors(v) {
+                if side[v] != side[u] {
+                    cut += w;
+                }
+            }
+        }
+        cut / 2
+    }
+
+    /// The k-way edge cut of an arbitrary partition labeling.
+    pub fn cut_kway(&self, part: &[usize]) -> EdgeWeight {
+        debug_assert_eq!(part.len(), self.vertex_count());
+        let mut cut = 0;
+        for v in 0..self.vertex_count() {
+            for (u, w) in self.neighbors(v) {
+                if part[v] != part[u] {
+                    cut += w;
+                }
+            }
+        }
+        cut / 2
+    }
+
+    /// Sum of the *positive* edge weights only — the total communication
+    /// volume available to be localized.
+    pub fn total_positive_edge_weight(&self) -> EdgeWeight {
+        self.adjwgt.iter().filter(|w| **w > 0).sum::<EdgeWeight>() / 2
+    }
+
+    /// Extracts the induced subgraph on `vertices`.
+    ///
+    /// Returns the subgraph and a mapping from subgraph vertex id to the id in
+    /// `self` (i.e. `mapping[new_id] == old_id`). Edges to vertices outside
+    /// the subset are dropped.
+    pub fn subgraph(&self, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut old_to_new = vec![usize::MAX; self.vertex_count()];
+        for (new, &old) in vertices.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut builder = GraphBuilder::new(self.dims);
+        for &old in vertices {
+            builder.add_vertex(self.vertex_weight(old));
+        }
+        for (new_v, &old_v) in vertices.iter().enumerate() {
+            for (old_u, w) in self.neighbors(old_v) {
+                let new_u = old_to_new[old_u];
+                if new_u != usize::MAX && new_v < new_u {
+                    builder.add_edge(new_v, new_u, w);
+                }
+            }
+        }
+        let graph = builder
+            .build()
+            .expect("induced subgraph of a valid graph is valid");
+        (graph, vertices.to_vec())
+    }
+
+    /// The sum of edge weights between two disjoint vertex sets.
+    pub fn weight_between(&self, a: &[VertexId], b: &[VertexId]) -> EdgeWeight {
+        let mut in_b = vec![false; self.vertex_count()];
+        for &v in b {
+            in_b[v] = true;
+        }
+        let mut total = 0;
+        for &v in a {
+            for (u, w) in self.neighbors(v) {
+                if in_b[u] {
+                    total += w;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Parallel edges between the same vertex pair are merged by summing weights;
+/// self-loops are rejected.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    dims: usize,
+    vwgt: Vec<f64>,
+    edges: BTreeMap<(VertexId, VertexId), EdgeWeight>,
+    n: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for graphs with `dims`-dimensional vertex weights.
+    pub fn new(dims: usize) -> Self {
+        GraphBuilder {
+            dims,
+            vwgt: Vec::new(),
+            edges: BTreeMap::new(),
+            n: 0,
+        }
+    }
+
+    /// Adds a vertex and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight's dimensionality differs from the builder's.
+    pub fn add_vertex(&mut self, weight: VertexWeight) -> VertexId {
+        assert_eq!(
+            weight.dims(),
+            self.dims,
+            "vertex weight dims {} != builder dims {}",
+            weight.dims(),
+            self.dims
+        );
+        self.vwgt.extend_from_slice(&weight.0);
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Current number of vertices added.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds (or merges into) an undirected edge between `u` and `v`.
+    ///
+    /// Edges with both orientations and duplicates accumulate their weights.
+    /// Adding an edge with weight 0 is a no-op unless it merges later.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: EdgeWeight) {
+        let key = if u < v { (u, v) } else { (v, u) };
+        *self.edges.entry(key).or_insert(0) += weight;
+    }
+
+    /// Finalizes the CSR representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::SelfLoop`] if any edge connects a vertex to
+    /// itself and [`PartitionError::VertexOutOfRange`] if an edge references
+    /// a vertex that was never added.
+    pub fn build(self) -> Result<Graph, PartitionError> {
+        let n = self.n;
+        for &(u, v) in self.edges.keys() {
+            if u == v {
+                return Err(PartitionError::SelfLoop { vertex: u });
+            }
+            if u >= n || v >= n {
+                return Err(PartitionError::VertexOutOfRange {
+                    vertex: u.max(v),
+                    count: n,
+                });
+            }
+        }
+        let mut degree = vec![0usize; n];
+        for (&(u, v), &w) in &self.edges {
+            if w != 0 {
+                degree[u] += 1;
+                degree[v] += 1;
+            }
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0);
+        for d in &degree {
+            let last = *xadj.last().expect("non-empty");
+            xadj.push(last + d);
+        }
+        let total = *xadj.last().expect("non-empty");
+        let mut adjncy = vec![0; total];
+        let mut adjwgt = vec![0; total];
+        let mut cursor = xadj[..n].to_vec();
+        for (&(u, v), &w) in &self.edges {
+            if w == 0 {
+                continue;
+            }
+            adjncy[cursor[u]] = v;
+            adjwgt[cursor[u]] = w;
+            cursor[u] += 1;
+            adjncy[cursor[v]] = u;
+            adjwgt[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+        Ok(Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: self.vwgt,
+            dims: self.dims,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(VertexWeight::new([1.0]));
+        let v1 = b.add_vertex(VertexWeight::new([2.0]));
+        let v2 = b.add_vertex(VertexWeight::new([3.0]));
+        b.add_edge(v0, v1, 5);
+        b.add_edge(v1, v2, 7);
+        b.add_edge(v2, v0, -2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.dims(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        for v in 0..3 {
+            for (u, w) in g.neighbors(v) {
+                let back: Vec<_> = g.neighbors(u).filter(|(x, _)| *x == v).collect();
+                assert_eq!(back, vec![(v, w)]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(VertexWeight::new([1.0]));
+        let v1 = b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(v0, v1, 3);
+        b.add_edge(v1, v0, 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(v0).next(), Some((v1, 7)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(v, v, 1);
+        assert!(matches!(
+            b.build(),
+            Err(PartitionError::SelfLoop { vertex: 0 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(v, 9, 1);
+        assert!(matches!(
+            b.build(),
+            Err(PartitionError::VertexOutOfRange { vertex: 9, count: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_weight_edges_dropped() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(VertexWeight::new([1.0]));
+        let v1 = b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(v0, v1, 2);
+        b.add_edge(v0, v1, -2);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(v0), 0);
+    }
+
+    #[test]
+    fn cut_counts_cross_edges_once() {
+        let g = triangle();
+        // side: {0} vs {1, 2} cuts edges (0,1)=5 and (0,2)=-2.
+        assert_eq!(g.cut(&[0, 1, 1]), 3);
+        // all same side: no cut.
+        assert_eq!(g.cut(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn cut_kway_matches_two_way() {
+        let g = triangle();
+        assert_eq!(g.cut_kway(&[0, 1, 1]), g.cut(&[0, 1, 1]));
+        assert_eq!(g.cut_kway(&[0, 1, 2]), 5 + 7 - 2);
+    }
+
+    #[test]
+    fn total_and_subset_weights() {
+        let g = triangle();
+        assert_eq!(g.total_vertex_weight().0, vec![6.0]);
+        assert_eq!(g.subset_weight(&[0, 2]).0, vec![4.0]);
+    }
+
+    #[test]
+    fn subgraph_preserves_inner_edges() {
+        let g = triangle();
+        let (sub, mapping) = g.subgraph(&[1, 2]);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(mapping, vec![1, 2]);
+        assert_eq!(sub.neighbors(0).next(), Some((1, 7)));
+        assert_eq!(sub.vertex_weight(0).0, vec![2.0]);
+    }
+
+    #[test]
+    fn weight_between_sets() {
+        let g = triangle();
+        assert_eq!(g.weight_between(&[0], &[1, 2]), 3);
+        assert_eq!(g.weight_between(&[1], &[2]), 7);
+    }
+
+    #[test]
+    fn vertex_weight_ops() {
+        let mut a = VertexWeight::new([1.0, 2.0]);
+        let b = VertexWeight::new([0.5, 3.0]);
+        a.add_assign(&b);
+        assert_eq!(a.0, vec![1.5, 5.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.0, vec![1.0, 2.0]);
+        assert!(a.fits_within(&VertexWeight::new([1.0, 2.0])));
+        assert!(!a.fits_within(&VertexWeight::new([0.9, 2.0])));
+        assert!((a.max_ratio(&VertexWeight::new([2.0, 2.0])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = VertexWeight::new([1.0, 2.5]);
+        assert_eq!(format!("{w}"), "⟨1.000, 2.500⟩");
+    }
+}

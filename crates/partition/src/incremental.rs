@@ -1,0 +1,331 @@
+//! Incremental repartitioning: trading cut quality for migration stability.
+//!
+//! The paper (Section IV-C, "Migration Cost") leaves incremental graph
+//! partitioning as future work; this module implements it as an extension.
+//! Given the previous epoch's group assignment, we (1) compute a fresh
+//! partition, (2) relabel its groups to maximize overlap with the old groups
+//! (migrations are counted against labels, so labels matter), and (3) run a
+//! *stickiness pass* that moves vertices back to their old group when doing
+//! so costs little cut and does not violate capacity.
+
+use std::collections::HashMap;
+
+use crate::bisect::BisectConfig;
+use crate::error::PartitionError;
+use crate::graph::{Graph, VertexId, VertexWeight};
+use crate::recursive::recursive_bisect;
+
+/// Result of an incremental repartition.
+#[derive(Clone, Debug)]
+pub struct IncrementalResult {
+    /// New per-vertex group id.
+    pub assignment: Vec<usize>,
+    /// Number of groups.
+    pub group_count: usize,
+    /// Vertices whose group changed relative to the old assignment
+    /// (vertices with no old assignment are new and never counted).
+    pub moved: Vec<VertexId>,
+    /// Final k-way cut of the assignment.
+    pub cut: i64,
+}
+
+/// Relabels `new_assign` group ids to maximize overlap with `old_assign`.
+///
+/// Greedy: repeatedly pick the (new-group, old-label) pair with the largest
+/// overlap among unused pairs. New groups without any overlap get fresh
+/// labels after all old labels are considered.
+pub fn relabel_to_minimize_moves(
+    new_assign: &[usize],
+    old_assign: &[Option<usize>],
+    new_groups: usize,
+) -> Vec<usize> {
+    // overlap[(new, old)] = count
+    let mut overlap: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut max_old = 0usize;
+    for (v, &g) in new_assign.iter().enumerate() {
+        if let Some(Some(old)) = old_assign.get(v) {
+            *overlap.entry((g, *old)).or_insert(0) += 1;
+            max_old = max_old.max(*old + 1);
+        }
+    }
+    let mut pairs: Vec<((usize, usize), usize)> = overlap.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut new_to_label = vec![usize::MAX; new_groups];
+    let mut label_used = vec![false; max_old];
+    for ((ng, old), _) in pairs {
+        if new_to_label[ng] == usize::MAX && !label_used[old] {
+            new_to_label[ng] = old;
+            label_used[old] = true;
+        }
+    }
+    let mut next_fresh = max_old;
+    for label in new_to_label.iter_mut() {
+        if *label == usize::MAX {
+            *label = next_fresh;
+            next_fresh += 1;
+        }
+    }
+    new_to_label
+}
+
+/// Incrementally repartitions `graph`.
+///
+/// `old_assign[v]` is the previous group of vertex `v` (`None` for newly
+/// arrived containers). `stickiness` in `[0, 1]` controls how much cut
+/// degradation per vertex is acceptable to avoid a migration: a vertex moves
+/// back to its old group when the cut increase is at most `stickiness` times
+/// the vertex's total positive incident edge weight.
+///
+/// # Errors
+///
+/// Propagates the same errors as [`recursive_bisect`].
+pub fn incremental_repartition<F>(
+    graph: &Graph,
+    old_assign: &[Option<usize>],
+    fits: F,
+    stickiness: f64,
+    config: &BisectConfig,
+) -> Result<IncrementalResult, PartitionError>
+where
+    F: Fn(&VertexWeight) -> bool,
+{
+    let n = graph.vertex_count();
+    let tree = recursive_bisect(graph, &fits, config)?;
+    let raw = tree.group_assignment(n);
+    let group_count = tree.leaf_count();
+    let label_of = relabel_to_minimize_moves(&raw, old_assign, group_count);
+
+    let mut assignment: Vec<usize> = raw.iter().map(|&g| label_of[g]).collect();
+    let total_labels = label_of.iter().copied().max().map_or(0, |m| m + 1);
+
+    // Group weights under current assignment (indexed by label).
+    let mut group_weight: Vec<VertexWeight> =
+        vec![VertexWeight::zeros(graph.dims()); total_labels];
+    for v in 0..n {
+        group_weight[assignment[v]].add_assign(&graph.vertex_weight(v));
+    }
+
+    // Stickiness pass: try to return moved vertices to their old label.
+    if stickiness > 0.0 {
+        // Only labels that exist in the new assignment can receive vertices
+        // (a vanished group has no server any more).
+        let mut label_live = vec![false; total_labels];
+        for &a in &assignment {
+            label_live[a] = true;
+        }
+        for v in 0..n {
+            let old = match old_assign.get(v) {
+                Some(Some(o)) => *o,
+                _ => continue,
+            };
+            let cur = assignment[v];
+            if cur == old || old >= total_labels || !label_live[old] {
+                continue;
+            }
+            // Cut delta of moving v from `cur` to `old`:
+            // edges to `old` leave the cut, edges to `cur` join it.
+            let mut delta = 0i64;
+            let mut incident_pos = 0i64;
+            for (u, w) in graph.neighbors(v) {
+                if w > 0 {
+                    incident_pos += w;
+                }
+                if assignment[u] == old {
+                    delta -= w;
+                } else if assignment[u] == cur {
+                    delta += w;
+                }
+            }
+            let budget = (stickiness * incident_pos as f64).round() as i64;
+            if delta <= budget {
+                let mut candidate = group_weight[old].clone();
+                candidate.add_assign(&graph.vertex_weight(v));
+                if fits(&candidate) {
+                    group_weight[old] = candidate;
+                    group_weight[cur].sub_assign(&graph.vertex_weight(v));
+                    assignment[v] = old;
+                }
+            }
+        }
+    }
+
+    let moved: Vec<VertexId> = (0..n)
+        .filter(|&v| matches!(old_assign.get(v), Some(Some(o)) if *o != assignment[v]))
+        .collect();
+    let cut = graph.cut_kway(&assignment);
+    let groups_present = {
+        let mut seen = std::collections::BTreeSet::new();
+        for &a in &assignment {
+            seen.insert(a);
+        }
+        seen.len()
+    };
+    Ok(IncrementalResult {
+        assignment,
+        group_count: groups_present,
+        moved,
+        cut,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexWeight};
+
+    fn clique_pair() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..8 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(i, j, 10);
+                b.add_edge(i + 4, j + 4, 10);
+            }
+        }
+        b.add_edge(0, 4, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn relabel_prefers_overlap() {
+        // new groups: {0,1}→g0, {2,3}→g1; old labels had them flipped.
+        let new_assign = vec![0, 0, 1, 1];
+        let old = vec![Some(5), Some(5), Some(2), Some(2)];
+        let labels = relabel_to_minimize_moves(&new_assign, &old, 2);
+        assert_eq!(labels[0], 5);
+        assert_eq!(labels[1], 2);
+    }
+
+    #[test]
+    fn relabel_handles_new_groups() {
+        let new_assign = vec![0, 1, 2];
+        let old = vec![Some(0), Some(1), None];
+        let labels = relabel_to_minimize_moves(&new_assign, &old, 3);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        // Group 2 has no overlap → gets a fresh label.
+        assert!(labels[2] >= 2);
+    }
+
+    #[test]
+    fn stable_input_no_moves() {
+        let g = clique_pair();
+        let cap = VertexWeight::new([4.5]);
+        let cfg = BisectConfig::default();
+        let fresh = recursive_bisect(&g, |w| w.fits_within(&cap), &cfg).unwrap();
+        let assign = fresh.group_assignment(8);
+        let old: Vec<Option<usize>> = assign.iter().map(|&a| Some(a)).collect();
+        let inc =
+            incremental_repartition(&g, &old, |w| w.fits_within(&cap), 0.5, &cfg).unwrap();
+        assert!(
+            inc.moved.is_empty(),
+            "identical graph should not migrate: moved {:?}",
+            inc.moved
+        );
+    }
+
+    #[test]
+    fn new_vertices_do_not_count_as_moves() {
+        let g = clique_pair();
+        let cap = VertexWeight::new([4.5]);
+        let old: Vec<Option<usize>> = vec![None; 8];
+        let inc = incremental_repartition(
+            &g,
+            &old,
+            |w| w.fits_within(&cap),
+            0.5,
+            &BisectConfig::default(),
+        )
+        .unwrap();
+        assert!(inc.moved.is_empty());
+        assert_eq!(inc.group_count, 2);
+    }
+
+    #[test]
+    fn stickiness_zero_reports_label_changes() {
+        let g = clique_pair();
+        let cap = VertexWeight::new([4.5]);
+        // Old assignment split the cliques badly; a fresh partition will move
+        // some vertices no matter the labeling.
+        let old: Vec<Option<usize>> =
+            vec![Some(0), Some(1), Some(0), Some(1), Some(0), Some(1), Some(0), Some(1)];
+        let inc = incremental_repartition(
+            &g,
+            &old,
+            |w| w.fits_within(&cap),
+            0.0,
+            &BisectConfig::default(),
+        )
+        .unwrap();
+        // Fresh partition groups cliques; relabeling can save at most half.
+        assert!(!inc.moved.is_empty());
+        assert_eq!(inc.cut, 1);
+    }
+
+    #[test]
+    fn high_stickiness_reduces_moves() {
+        // A graph where two assignments have nearly equal cut: a 4-cycle of
+        // unit vertices with equal edges, capacity 2 per group.
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 5);
+        b.add_edge(2, 3, 5);
+        b.add_edge(0, 3, 5);
+        let g = b.build().unwrap();
+        let cap = VertexWeight::new([2.5]);
+        // Old grouping: {0,3} and {1,2} — cut 10, same as {0,1},{2,3}.
+        let old = vec![Some(0), Some(1), Some(1), Some(0)];
+        let sticky = incremental_repartition(
+            &g,
+            &old,
+            |w| w.fits_within(&cap),
+            1.0,
+            &BisectConfig::default(),
+        )
+        .unwrap();
+        let fresh = incremental_repartition(
+            &g,
+            &old,
+            |w| w.fits_within(&cap),
+            0.0,
+            &BisectConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            sticky.moved.len() <= fresh.moved.len(),
+            "stickiness must not increase migrations ({} vs {})",
+            sticky.moved.len(),
+            fresh.moved.len()
+        );
+    }
+
+    #[test]
+    fn capacity_respected_during_stickiness() {
+        let g = clique_pair();
+        let cap = VertexWeight::new([4.5]);
+        // Old assignment crams everything into group 0 — stickiness must not
+        // recreate that overload.
+        let old: Vec<Option<usize>> = vec![Some(0); 8];
+        let inc = incremental_repartition(
+            &g,
+            &old,
+            |w| w.fits_within(&cap),
+            1.0,
+            &BisectConfig::default(),
+        )
+        .unwrap();
+        let mut weights: HashMap<usize, f64> = HashMap::new();
+        for (v, &a) in inc.assignment.iter().enumerate() {
+            *weights.entry(a).or_insert(0.0) += g.vertex_weight(v).component(0);
+        }
+        for (&grp, &w) in &weights {
+            assert!(w <= 4.5, "group {grp} overloaded at {w}");
+        }
+    }
+}

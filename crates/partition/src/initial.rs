@@ -1,0 +1,230 @@
+//! Initial bisection of the coarsest graph: greedy graph growing (GGGP).
+//!
+//! Starting from a random seed vertex, the region (side 0) grows by absorbing
+//! the frontier vertex with the highest gain (reduction in cut if absorbed)
+//! until side 0 reaches its weight target. Several trials from different
+//! seeds are run and the best feasible cut wins — the classic strategy METIS
+//! uses at the bottom of the multilevel stack.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::balance::BalanceTracker;
+use crate::graph::{EdgeWeight, Graph};
+
+/// Result of an initial bisection attempt.
+#[derive(Clone, Debug)]
+pub struct Bisection {
+    /// Per-vertex side (0 or 1).
+    pub side: Vec<u8>,
+    /// Cut value of that assignment.
+    pub cut: EdgeWeight,
+}
+
+/// Grows a region from `seed` until side 0 holds ~`frac` of the total weight.
+fn grow_from(graph: &Graph, seed: usize, frac: f64) -> Vec<u8> {
+    let n = graph.vertex_count();
+    let mut side = vec![1u8; n];
+    let total = graph.total_vertex_weight();
+    let dims = graph.dims();
+    // Track per-dimension weight absorbed into side 0; stop when the average
+    // fill ratio across dimensions reaches frac.
+    let mut absorbed = vec![0.0f64; dims];
+    let target: Vec<f64> = (0..dims).map(|d| total.component(d) * frac).collect();
+
+    // gain[v] = (weight to side 0) - (weight to side 1); absorbing a vertex
+    // with high gain reduces the cut most.
+    let mut gain: Vec<EdgeWeight> = vec![0; n];
+    let mut in_region = vec![false; n];
+
+    let absorb = |v: usize,
+                  side: &mut Vec<u8>,
+                  in_region: &mut Vec<bool>,
+                  gain: &mut Vec<EdgeWeight>,
+                  absorbed: &mut Vec<f64>| {
+        side[v] = 0;
+        in_region[v] = true;
+        for (d, a) in absorbed.iter_mut().enumerate().take(dims) {
+            *a += graph.vertex_weight_slice(v)[d];
+        }
+        for (u, w) in graph.neighbors(v) {
+            // u's connectivity to side 0 grew by w and to side 1 shrank by w.
+            gain[u] += 2 * w;
+        }
+    };
+
+    absorb(seed, &mut side, &mut in_region, &mut gain, &mut absorbed);
+
+    let reached = |absorbed: &[f64]| -> bool {
+        let mut ratio_sum = 0.0;
+        let mut count = 0;
+        for d in 0..dims {
+            if target[d] > 0.0 {
+                ratio_sum += absorbed[d] / target[d];
+                count += 1;
+            }
+        }
+        count == 0 || ratio_sum / count as f64 >= 1.0
+    };
+
+    while !reached(&absorbed) {
+        // Pick the frontier (or any unabsorbed) vertex with max gain.
+        let mut best: Option<(usize, EdgeWeight)> = None;
+        for v in 0..n {
+            if in_region[v] {
+                continue;
+            }
+            match best {
+                Some((_, bg)) if gain[v] <= bg => {}
+                _ => best = Some((v, gain[v])),
+            }
+        }
+        match best {
+            Some((v, _)) => absorb(v, &mut side, &mut in_region, &mut gain, &mut absorbed),
+            None => break,
+        }
+    }
+    side
+}
+
+/// Runs `trials` greedy-growing attempts and returns the assignment with the
+/// smallest cut among balance-feasible ones (or the least-imbalanced one if
+/// none is feasible).
+pub fn greedy_graph_growing(
+    graph: &Graph,
+    frac: f64,
+    tolerance: f64,
+    trials: usize,
+    rng: &mut StdRng,
+) -> Bisection {
+    let n = graph.vertex_count();
+    assert!(n >= 2, "bisection needs at least two vertices");
+    let mut best_feasible: Option<Bisection> = None;
+    let mut best_any: Option<(Bisection, f64)> = None;
+
+    for _ in 0..trials.max(1) {
+        let seed = rng.gen_range(0..n);
+        let side = grow_from(graph, seed, frac);
+        // Degenerate growth (all vertices on one side) is useless.
+        let ones = side.iter().filter(|s| **s == 1).count();
+        if ones == 0 || ones == n {
+            continue;
+        }
+        let cut = graph.cut(&side);
+        let tracker = BalanceTracker::new(graph, &side, frac, tolerance);
+        let imb = tracker.imbalance();
+        if tracker.is_feasible() {
+            match &best_feasible {
+                Some(b) if b.cut <= cut => {}
+                _ => best_feasible = Some(Bisection { side: side.clone(), cut }),
+            }
+        }
+        match &best_any {
+            Some((_, bi)) if *bi <= imb => {}
+            _ => best_any = Some((Bisection { side, cut }, imb)),
+        }
+    }
+
+    best_feasible
+        .or_else(|| best_any.map(|(b, _)| b))
+        .unwrap_or_else(|| {
+            // All trials degenerated (e.g. edgeless graph grown greedily).
+            // Fall back to a weight-greedy split: assign vertices to side 0
+            // until its target is met.
+            let side = grow_from(graph, 0, frac);
+            let cut = graph.cut(&side);
+            Bisection { side, cut }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexWeight};
+    use rand::SeedableRng;
+
+    /// Two 4-cliques joined by a single light edge — the classic case where
+    /// min-cut must split between the cliques.
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..8 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(i, j, 10);
+                b.add_edge(i + 4, j + 4, 10);
+            }
+        }
+        b.add_edge(0, 4, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_the_clique_cut() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(42);
+        let bis = greedy_graph_growing(&g, 0.5, 0.1, 8, &mut rng);
+        assert_eq!(bis.cut, 1, "should cut only the bridge edge");
+        // Each clique entirely on one side.
+        for i in 1..4 {
+            assert_eq!(bis.side[i], bis.side[0]);
+            assert_eq!(bis.side[i + 4], bis.side[4]);
+        }
+        assert_ne!(bis.side[0], bis.side[4]);
+    }
+
+    #[test]
+    fn respects_weight_fraction() {
+        // 4 vertices of weight 1 and one of weight 4; frac 0.5 should put
+        // either the heavy vertex alone or the four light ones on side 0.
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        b.add_vertex(VertexWeight::new([4.0]));
+        for v in 0..4 {
+            b.add_edge(v, 4, 1);
+        }
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let bis = greedy_graph_growing(&g, 0.5, 0.1, 16, &mut rng);
+        let t = BalanceTracker::new(&g, &bis.side, 0.5, 0.1);
+        assert!(t.is_feasible(), "imbalance {}", t.imbalance());
+    }
+
+    #[test]
+    fn cut_value_matches_recomputation() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(11);
+        let bis = greedy_graph_growing(&g, 0.5, 0.2, 4, &mut rng);
+        assert_eq!(bis.cut, g.cut(&bis.side));
+    }
+
+    #[test]
+    fn works_on_edgeless_graph() {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..6 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let bis = greedy_graph_growing(&g, 0.5, 0.1, 4, &mut rng);
+        assert_eq!(bis.cut, 0);
+        let zeros = bis.side.iter().filter(|s| **s == 0).count();
+        assert!(zeros > 0 && zeros < 6, "split must be non-degenerate");
+    }
+
+    #[test]
+    fn two_vertex_graph() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(VertexWeight::new([1.0]));
+        b.add_vertex(VertexWeight::new([1.0]));
+        b.add_edge(0, 1, 3);
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let bis = greedy_graph_growing(&g, 0.5, 0.0, 4, &mut rng);
+        assert_eq!(bis.cut, 3);
+        assert_ne!(bis.side[0], bis.side[1]);
+    }
+}

@@ -1,0 +1,69 @@
+//! # goldilocks-partition
+//!
+//! A from-scratch multilevel graph partitioner — the METIS substitute used by
+//! the Goldilocks reproduction (ICDCS 2019). It provides:
+//!
+//! - [`Graph`] / [`GraphBuilder`]: CSR graphs with multi-dimensional vertex
+//!   weights (⟨CPU, memory, network⟩ in the paper) and signed edge weights
+//!   (negative = anti-affinity for replica spreading).
+//! - [`multilevel_bisect`]: heavy-edge-matching coarsening, greedy graph
+//!   growing initial partition, and Fiduccia–Mattheyses refinement.
+//! - [`recursive_bisect`]: the paper's Section III-B workflow — bisect until
+//!   every container group fits a server, returning a [`PartitionTree`]
+//!   whose left-to-right leaf order preserves sibling locality.
+//! - [`partition_kway`]: balanced k-way partitioning via recursive bisection.
+//! - [`incremental_repartition`]: the migration-stability extension the paper
+//!   leaves as future work.
+//!
+//! ## Example
+//!
+//! ```
+//! use goldilocks_partition::{
+//!     recursive_bisect, BisectConfig, GraphBuilder, VertexWeight,
+//! };
+//!
+//! # fn main() -> Result<(), goldilocks_partition::PartitionError> {
+//! // Four containers, two chatty pairs.
+//! let mut b = GraphBuilder::new(1);
+//! for _ in 0..4 {
+//!     b.add_vertex(VertexWeight::new([1.0]));
+//! }
+//! b.add_edge(0, 1, 100);
+//! b.add_edge(2, 3, 100);
+//! b.add_edge(1, 2, 1);
+//! let graph = b.build()?;
+//!
+//! // Each server fits a weight of 2.
+//! let capacity = VertexWeight::new([2.0]);
+//! let tree = recursive_bisect(&graph, |w| w.fits_within(&capacity), &BisectConfig::default())?;
+//! assert_eq!(tree.leaf_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balance;
+mod bisect;
+mod coarsen;
+mod error;
+mod graph;
+mod incremental;
+mod initial;
+mod quality;
+mod recursive;
+mod refine;
+
+pub use balance::BalanceTracker;
+pub use bisect::{multilevel_bisect, split_indices, BisectConfig, MultilevelBisection};
+pub use coarsen::{coarsen, contract_heavy_edge_matching, CoarseLevel, Hierarchy};
+pub use error::PartitionError;
+pub use graph::{EdgeWeight, Graph, GraphBuilder, VertexId, VertexWeight};
+pub use incremental::{
+    incremental_repartition, relabel_to_minimize_moves, IncrementalResult,
+};
+pub use initial::{greedy_graph_growing, Bisection};
+pub use quality::{partition_quality, PartitionQuality};
+pub use recursive::{partition_kway, recursive_bisect, PartitionTree};
+pub use refine::{refine, RefineConfig, RefineResult};

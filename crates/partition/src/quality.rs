@@ -1,0 +1,183 @@
+//! Partition-quality metrics: how good is an assignment, numerically?
+//!
+//! The paper's objective has three measurable components — cut (Eq. 1),
+//! capacity feasibility (Eq. 2) and balance (Eq. 3). This module scores an
+//! arbitrary labeling against all three, so experiments and users can
+//! compare partitioners (fresh vs incremental, min-cut vs random) on equal
+//! footing.
+
+use crate::graph::{EdgeWeight, Graph, VertexWeight};
+
+/// Quality report for a k-way labeling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of non-empty parts.
+    pub parts: usize,
+    /// Total cut (sum of edge weights across parts; negative anti-affinity
+    /// edges across parts reduce it — that is the objective working).
+    pub cut: EdgeWeight,
+    /// Cut as a fraction of the total positive edge weight in `[0, 1+]`
+    /// (0 = all communication internal; can exceed 1 only degenerately).
+    pub cut_fraction: f64,
+    /// Per-dimension maximum part weight divided by the average part weight
+    /// — 1.0 is perfectly balanced (Eq. 3's `U_{P_1} ≈ … ≈ U_{P_n}`).
+    pub imbalance: Vec<f64>,
+    /// Heaviest part weight per dimension.
+    pub max_part_weight: VertexWeight,
+}
+
+impl PartitionQuality {
+    /// Worst imbalance across dimensions.
+    pub fn worst_imbalance(&self) -> f64 {
+        self.imbalance.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// Whether every part fits within `cap` (Eq. 2 against one server).
+    pub fn fits_within(&self, cap: &VertexWeight) -> bool {
+        self.max_part_weight.fits_within(cap)
+    }
+}
+
+/// Scores `labels` (one part id per vertex) against `graph`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != graph.vertex_count()`.
+pub fn partition_quality(graph: &Graph, labels: &[usize]) -> PartitionQuality {
+    assert_eq!(
+        labels.len(),
+        graph.vertex_count(),
+        "labels must cover every vertex"
+    );
+    let dims = graph.dims();
+    let parts_upper = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut weights = vec![VertexWeight::zeros(dims); parts_upper];
+    let mut sizes = vec![0usize; parts_upper];
+    for (v, &p) in labels.iter().enumerate() {
+        weights[p].add_assign(&graph.vertex_weight(v));
+        sizes[p] += 1;
+    }
+    let parts = sizes.iter().filter(|s| **s > 0).count();
+
+    let cut = graph.cut_kway(labels);
+    let total_pos = graph.total_positive_edge_weight();
+    let cut_fraction = if total_pos > 0 {
+        cut as f64 / total_pos as f64
+    } else {
+        0.0
+    };
+
+    let mut imbalance = Vec::with_capacity(dims);
+    let mut max_part = VertexWeight::zeros(dims);
+    let total = graph.total_vertex_weight();
+    for d in 0..dims {
+        let max_d = weights
+            .iter()
+            .zip(&sizes)
+            .filter(|(_, s)| **s > 0)
+            .map(|(w, _)| w.component(d))
+            .fold(0.0f64, f64::max);
+        max_part.0[d] = max_d;
+        let avg = if parts > 0 {
+            total.component(d) / parts as f64
+        } else {
+            0.0
+        };
+        imbalance.push(if avg > 0.0 { max_d / avg } else { 1.0 });
+    }
+
+    PartitionQuality {
+        parts,
+        cut,
+        cut_fraction,
+        imbalance,
+        max_part_weight: max_part,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisect::BisectConfig;
+    use crate::graph::GraphBuilder;
+    use crate::recursive::partition_kway;
+
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..8 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(i, j, 10);
+                b.add_edge(i + 4, j + 4, 10);
+            }
+        }
+        b.add_edge(0, 4, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfect_split_scores_perfectly() {
+        let g = two_cliques();
+        let q = partition_quality(&g, &[0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(q.parts, 2);
+        assert_eq!(q.cut, 1);
+        assert!(q.cut_fraction < 0.02);
+        assert!((q.worst_imbalance() - 1.0).abs() < 1e-12);
+        assert!(q.fits_within(&VertexWeight::new([4.0])));
+        assert!(!q.fits_within(&VertexWeight::new([3.0])));
+    }
+
+    #[test]
+    fn bad_split_scores_badly() {
+        let g = two_cliques();
+        // Alternating labels cut almost everything.
+        let q = partition_quality(&g, &[0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(q.cut_fraction > 0.5, "{}", q.cut_fraction);
+        // Unbalanced labels report imbalance > 1.
+        let q2 = partition_quality(&g, &[0, 0, 0, 0, 0, 0, 0, 1]);
+        assert!((q2.worst_imbalance() - 7.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_beats_round_robin() {
+        let g = two_cliques();
+        let labels = partition_kway(&g, 2, &BisectConfig::default()).unwrap();
+        let mincut = partition_quality(&g, &labels);
+        let rr: Vec<usize> = (0..8).map(|v| v % 2).collect();
+        let round_robin = partition_quality(&g, &rr);
+        assert!(mincut.cut < round_robin.cut);
+        assert!(mincut.cut_fraction <= round_robin.cut_fraction);
+    }
+
+    #[test]
+    fn anti_affinity_reduces_cut() {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        b.add_edge(0, 1, 5);
+        b.add_edge(2, 3, 5);
+        b.add_edge(0, 2, -10);
+        let g = b.build().unwrap();
+        let q = partition_quality(&g, &[0, 0, 1, 1]);
+        assert_eq!(q.cut, -10, "separated anti-affinity pair lowers the cut");
+    }
+
+    #[test]
+    fn empty_parts_are_not_counted() {
+        let g = two_cliques();
+        // Labels 0 and 5 used; 1-4 empty.
+        let labels = vec![0, 0, 0, 0, 5, 5, 5, 5];
+        let q = partition_quality(&g, &labels);
+        assert_eq!(q.parts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover")]
+    fn mismatched_labels_panic() {
+        let g = two_cliques();
+        partition_quality(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Fiduccia–Mattheyses (FM) boundary refinement for bisections.
+//!
+//! Given a 2-way assignment, FM repeatedly moves the vertex with the highest
+//! gain (cut reduction) to the other side, locks it, and after a full pass
+//! rolls back to the best prefix of moves. Moves that would break the balance
+//! caps are skipped; when the incoming assignment is already unbalanced,
+//! moves that reduce imbalance are allowed even with negative gain, which
+//! lets FM repair infeasible initial partitions.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::balance::BalanceTracker;
+use crate::graph::{EdgeWeight, Graph};
+
+/// Configuration for FM refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineConfig {
+    /// Maximum number of full passes.
+    pub max_passes: usize,
+    /// Target fraction of weight on side 0.
+    pub frac: f64,
+    /// Allowed relative imbalance.
+    pub tolerance: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_passes: 8,
+            frac: 0.5,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// Outcome of refinement.
+#[derive(Clone, Debug)]
+pub struct RefineResult {
+    /// The refined assignment.
+    pub side: Vec<u8>,
+    /// The refined cut value.
+    pub cut: EdgeWeight,
+    /// Number of passes that improved the cut.
+    pub improving_passes: usize,
+}
+
+/// Per-vertex gain: cut reduction if the vertex switched sides.
+fn gains(graph: &Graph, side: &[u8]) -> Vec<EdgeWeight> {
+    let n = graph.vertex_count();
+    let mut g = vec![0; n];
+    for v in 0..n {
+        for (u, w) in graph.neighbors(v) {
+            if side[u] == side[v] {
+                g[v] -= w;
+            } else {
+                g[v] += w;
+            }
+        }
+    }
+    g
+}
+
+/// Runs FM refinement on `side`, returning an assignment whose cut is never
+/// worse than the input's (unless the input was imbalance-infeasible, in
+/// which case feasibility is prioritized).
+pub fn refine(graph: &Graph, side: &[u8], config: &RefineConfig) -> RefineResult {
+    let n = graph.vertex_count();
+    let mut side = side.to_vec();
+    let mut cut = graph.cut(&side);
+    let mut improving_passes = 0;
+
+    for _ in 0..config.max_passes {
+        let start_cut = cut;
+        let start_feasible =
+            BalanceTracker::new(graph, &side, config.frac, config.tolerance).is_feasible();
+
+        let mut gain = gains(graph, &side);
+        let mut tracker = BalanceTracker::new(graph, &side, config.frac, config.tolerance);
+        let mut locked = vec![false; n];
+        // Max-heap of (gain, vertex); lazily invalidated. With a feasible
+        // start only *boundary* vertices (an edge to the other side) can
+        // improve the cut, and interior vertices enter the heap when a
+        // neighbor moves — the classic FM seeding, which keeps passes cheap
+        // on large graphs. An infeasible start needs arbitrary moves for
+        // balance repair, so everything is seeded.
+        let seed_all = !start_feasible;
+        let mut heap: BinaryHeap<(EdgeWeight, Reverse<usize>)> = (0..n)
+            .filter(|&v| seed_all || graph.neighbors(v).any(|(u, _)| side[u] != side[v]))
+            .map(|v| (gain[v], Reverse(v)))
+            .collect();
+
+        // Move log for rollback: (vertex, cut_after, imbalance_after).
+        let mut log: Vec<(usize, EdgeWeight, f64)> = Vec::new();
+        let mut work_side = side.clone();
+        let mut work_cut = cut;
+
+        while let Some((g, Reverse(v))) = heap.pop() {
+            if locked[v] || g != gain[v] {
+                continue; // stale entry
+            }
+            let w = graph.vertex_weight(v);
+            let from = work_side[v];
+            // FM balance criterion: a move is allowed if the destination stays
+            // within its cap, OR it comes from the (weakly) heavier side.
+            // The latter permits temporary imbalance mid-pass, which is what
+            // lets FM discover swaps; only the chosen prefix must be feasible.
+            let feasible_move = tracker.move_keeps_feasible(&w, from);
+            let from_heavier = tracker.side_load(from) >= tracker.side_load(1 - from) - 1e-9;
+            if !feasible_move && !from_heavier {
+                continue;
+            }
+            // Apply the move.
+            locked[v] = true;
+            tracker.apply_move(&w, from);
+            work_side[v] = 1 - from;
+            work_cut -= gain[v];
+            // Update neighbor gains.
+            for (u, wt) in graph.neighbors(v) {
+                if locked[u] {
+                    continue;
+                }
+                if work_side[u] == work_side[v] {
+                    // u was across, now same side: moving u would re-cut this edge.
+                    gain[u] -= 2 * wt;
+                } else {
+                    gain[u] += 2 * wt;
+                }
+                heap.push((gain[u], Reverse(u)));
+            }
+            gain[v] = -gain[v];
+            log.push((v, work_cut, tracker.imbalance()));
+        }
+
+        // Find the best prefix: smallest cut among feasible states (or, if
+        // the pass started infeasible, the most balanced state).
+        let mut best_idx: Option<usize> = None;
+        let mut best_key = (f64::INFINITY, EdgeWeight::MAX);
+        for (i, &(_, c, imb)) in log.iter().enumerate() {
+            let feasible = imb <= config.tolerance + 1e-9;
+            let key = if start_feasible {
+                if !feasible {
+                    continue;
+                }
+                (0.0, c)
+            } else {
+                (imb, c)
+            };
+            if key < best_key {
+                best_key = key;
+                best_idx = Some(i);
+            }
+        }
+
+        let accept = match best_idx {
+            Some(i) => {
+                let (_, c, imb) = log[i];
+                if start_feasible {
+                    c < start_cut
+                } else {
+                    // Accept if balance improved, or same balance with less cut.
+                    let start_imb =
+                        BalanceTracker::new(graph, &side, config.frac, config.tolerance)
+                            .imbalance();
+                    imb < start_imb - 1e-12 || (imb <= start_imb + 1e-12 && c < start_cut)
+                }
+            }
+            None => false,
+        };
+
+        if accept {
+            let keep = best_idx.expect("accept implies index") + 1;
+            // Rebuild side from the original by replaying the kept prefix.
+            for &(v, _, _) in &log[..keep] {
+                side[v] = 1 - side[v];
+            }
+            cut = log[keep - 1].1;
+            improving_passes += 1;
+        } else {
+            break;
+        }
+    }
+
+    debug_assert_eq!(cut, graph.cut(&side), "cut bookkeeping must match");
+    RefineResult {
+        side,
+        cut,
+        improving_passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexWeight};
+
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..8 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(i, j, 10);
+                b.add_edge(i + 4, j + 4, 10);
+            }
+        }
+        b.add_edge(0, 4, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn repairs_a_bad_bisection() {
+        let g = two_cliques();
+        // Start with a deliberately bad split mixing the cliques.
+        let bad = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let res = refine(&g, &bad, &RefineConfig::default());
+        assert_eq!(res.cut, 1, "FM should find the bridge-only cut");
+        assert!(res.improving_passes >= 1);
+    }
+
+    #[test]
+    fn never_worsens_cut_of_feasible_input() {
+        let g = two_cliques();
+        let good = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let res = refine(&g, &good, &RefineConfig::default());
+        assert!(res.cut <= g.cut(&good));
+        assert_eq!(res.cut, 1);
+    }
+
+    #[test]
+    fn keeps_balance() {
+        let g = two_cliques();
+        let bad = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let cfg = RefineConfig {
+            tolerance: 0.0,
+            ..RefineConfig::default()
+        };
+        let res = refine(&g, &bad, &cfg);
+        let zeros = res.side.iter().filter(|s| **s == 0).count();
+        assert_eq!(zeros, 4, "tolerance 0 requires a perfect split");
+    }
+
+    #[test]
+    fn repairs_infeasible_balance() {
+        // Everything on side 0; refinement must move weight to side 1 even
+        // though every move increases the (zero) cut.
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..8 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        for v in 0..7 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build().unwrap();
+        let all0 = vec![0u8; 8];
+        let res = refine(&g, &all0, &RefineConfig::default());
+        let t = BalanceTracker::new(&g, &res.side, 0.5, 0.05);
+        assert!(
+            t.imbalance() < 1.0,
+            "imbalance should improve from 1.0, got {}",
+            t.imbalance()
+        );
+    }
+
+    #[test]
+    fn negative_edges_pushed_across() {
+        // Two pairs with strong affinity; a negative edge between vertices 0
+        // and 2 should end up across the cut.
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(VertexWeight::new([1.0]));
+        }
+        b.add_edge(0, 1, 10);
+        b.add_edge(2, 3, 10);
+        b.add_edge(0, 2, -8);
+        b.add_edge(1, 3, 2);
+        let g = b.build().unwrap();
+        // Start from the *wrong* grouping that keeps 0 and 2 together.
+        let bad = vec![0, 1, 0, 1];
+        let res = refine(&g, &bad, &RefineConfig::default());
+        assert_ne!(res.side[0], res.side[2], "anti-affinity pair must split");
+        assert_eq!(res.side[0], res.side[1]);
+        assert_eq!(res.side[2], res.side[3]);
+        assert_eq!(res.cut, -8 + 2);
+    }
+
+    #[test]
+    fn reported_cut_matches_graph_cut() {
+        let g = two_cliques();
+        for start in [vec![0, 1, 1, 0, 1, 0, 0, 1], vec![1, 1, 0, 0, 0, 0, 1, 1]] {
+            let res = refine(&g, &start, &RefineConfig::default());
+            assert_eq!(res.cut, g.cut(&res.side));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the multilevel partitioner.
+
+use goldilocks_partition::{
+    incremental_repartition, multilevel_bisect, partition_kway, recursive_bisect, refine,
+    BalanceTracker, BisectConfig, Graph, GraphBuilder, RefineConfig, VertexWeight,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish graph with `n` vertices, unit-to-moderate
+/// weights and random positive edges.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1i64..100), 0..n * 3);
+        let weights = proptest::collection::vec(0.1f64..5.0, n);
+        (Just(n), edges, weights).prop_map(|(n, edges, weights)| {
+            let mut b = GraphBuilder::new(1);
+            for w in &weights {
+                b.add_vertex(VertexWeight::new([*w]));
+            }
+            // A spanning path keeps the graph connected so bisections are
+            // interesting.
+            for v in 0..n - 1 {
+                b.add_edge(v, v + 1, 1);
+            }
+            for (u, v, w) in edges {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build().expect("valid random graph")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bisection covers every vertex exactly once and the reported cut
+    /// equals an independent recomputation.
+    #[test]
+    fn bisect_cut_is_consistent(g in arb_graph(60)) {
+        let res = multilevel_bisect(&g, 0.5, &BisectConfig::default());
+        prop_assert_eq!(res.side.len(), g.vertex_count());
+        prop_assert_eq!(res.cut, g.cut(&res.side));
+        let zeros = res.side.iter().filter(|s| **s == 0).count();
+        prop_assert!(zeros > 0 && zeros < g.vertex_count());
+    }
+
+    /// Refinement never increases the cut of a feasible input.
+    #[test]
+    fn refine_never_worsens(g in arb_graph(40), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.vertex_count();
+        // Random balanced-ish assignment: alternate with random flips.
+        let mut side: Vec<u8> = (0..n).map(|v| (v % 2) as u8).collect();
+        for _ in 0..n / 4 {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            side.swap(i, j);
+        }
+        let cfg = RefineConfig { tolerance: 0.3, ..RefineConfig::default() };
+        let before = g.cut(&side);
+        let feasible_before = BalanceTracker::new(&g, &side, 0.5, 0.3).is_feasible();
+        let res = refine(&g, &side, &cfg);
+        prop_assert_eq!(res.cut, g.cut(&res.side));
+        if feasible_before {
+            prop_assert!(res.cut <= before, "cut {} > {}", res.cut, before);
+        }
+    }
+
+    /// Recursive bisection: leaves partition the vertex set and all satisfy
+    /// the fits predicate.
+    #[test]
+    fn recursive_leaves_are_a_partition(g in arb_graph(50), cap in 6.0f64..20.0) {
+        let capacity = VertexWeight::new([cap]);
+        // Skip graphs with an indivisible vertex (weight range keeps this
+        // impossible: max vertex weight is 5 < 6).
+        let tree = recursive_bisect(&g, |w| w.fits_within(&capacity), &BisectConfig::default())
+            .expect("all vertices fit");
+        let mut seen = vec![false; g.vertex_count()];
+        for leaf in tree.leaves() {
+            prop_assert!(leaf.weight.fits_within(&capacity),
+                "leaf weight {} exceeds cap {}", leaf.weight, cap);
+            for &v in &leaf.vertices {
+                prop_assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|s| *s));
+    }
+
+    /// k-way partition: exactly k non-empty parts, every vertex labeled.
+    #[test]
+    fn kway_is_valid(g in arb_graph(40), k in 2usize..6) {
+        prop_assume!(k <= g.vertex_count());
+        let part = partition_kway(&g, k, &BisectConfig::default()).unwrap();
+        prop_assert_eq!(part.len(), g.vertex_count());
+        let mut counts = vec![0usize; k];
+        for &p in &part {
+            prop_assert!(p < k);
+            counts[p] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c > 0), "empty part in {counts:?}");
+    }
+
+    /// Incremental repartition with an unchanged graph and a fresh partition
+    /// as the old assignment produces zero migrations.
+    #[test]
+    fn incremental_is_stable_on_fixed_point(g in arb_graph(40), cap in 8.0f64..20.0) {
+        let capacity = VertexWeight::new([cap]);
+        let cfg = BisectConfig::default();
+        let tree = recursive_bisect(&g, |w| w.fits_within(&capacity), &cfg).unwrap();
+        let assign = tree.group_assignment(g.vertex_count());
+        let old: Vec<Option<usize>> = assign.iter().map(|&a| Some(a)).collect();
+        let inc = incremental_repartition(&g, &old, |w| w.fits_within(&capacity), 0.5, &cfg)
+            .unwrap();
+        prop_assert!(inc.moved.is_empty(), "moved {:?}", inc.moved);
+    }
+
+    /// Subgraph extraction preserves weights and internal edge structure.
+    #[test]
+    fn subgraph_invariants(g in arb_graph(30)) {
+        let n = g.vertex_count();
+        let subset: Vec<usize> = (0..n).step_by(2).collect();
+        prop_assume!(subset.len() >= 2);
+        let (sub, mapping) = g.subgraph(&subset);
+        prop_assert_eq!(sub.vertex_count(), subset.len());
+        for (new, &old) in mapping.iter().enumerate() {
+            prop_assert_eq!(sub.vertex_weight(new).0, g.vertex_weight(old).0);
+        }
+        // Each subgraph edge exists in the original with the same weight.
+        for v in 0..sub.vertex_count() {
+            for (u, w) in sub.neighbors(v) {
+                let (ov, ou) = (mapping[v], mapping[u]);
+                let orig: Vec<_> = g.neighbors(ov).filter(|(x, _)| *x == ou).collect();
+                prop_assert_eq!(orig, vec![(ou, w)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Borg baseline [Verma et al., EuroSys 2015]: stranded-resource-aware
+//! packing.
+//!
+//! The paper implements only Borg's task-packing score, "meant to reduce
+//! stranded resources": a machine is wasted when one resource is exhausted
+//! while others remain free (those leftovers are *stranded*). Borg's hybrid
+//! best-fit therefore prefers the feasible server where the post-assignment
+//! free-resource ratios are most even *and* smallest — packing tightly while
+//! keeping CPU/memory/network consumption balanced, up to a 95 % cap.
+
+use goldilocks_topology::{DcTree, ServerId};
+use goldilocks_workload::Workload;
+
+use crate::common::{ffd_order, LoadTracker};
+use crate::types::{PlaceError, Placement, Placer};
+
+/// The Borg task-packing policy.
+#[derive(Clone, Debug)]
+pub struct Borg {
+    /// Packing cap (paper: 0.95).
+    pub max_util: f64,
+}
+
+impl Default for Borg {
+    fn default() -> Self {
+        Borg { max_util: 0.95 }
+    }
+}
+
+impl Borg {
+    /// Creates Borg with the paper's 95 % cap.
+    pub fn new() -> Self {
+        Borg::default()
+    }
+
+    /// Stranding score of a server's free-ratio vector: spread between the
+    /// freest and scarcest dimension (stranded headroom) plus the mean free
+    /// ratio (prefer fuller machines). Lower is better.
+    fn stranding_score(free_ratios: [f64; 3]) -> f64 {
+        let max = free_ratios.iter().copied().fold(f64::MIN, f64::max);
+        let min = free_ratios.iter().copied().fold(f64::MAX, f64::min);
+        let mean = free_ratios.iter().sum::<f64>() / 3.0;
+        (max - min) + mean
+    }
+}
+
+impl Placer for Borg {
+    fn name(&self) -> &str {
+        "Borg"
+    }
+
+    fn place(&mut self, workload: &Workload, tree: &DcTree) -> Result<Placement, PlaceError> {
+        let healthy = tree.healthy_servers();
+        if healthy.is_empty() {
+            return Err(PlaceError::Infeasible {
+                reason: "no healthy servers".into(),
+            });
+        }
+        let mut tracker = LoadTracker::new(tree);
+        let mut placement = Placement::unplaced(workload.len());
+        let mut active = vec![false; tree.server_count()];
+
+        for c in ffd_order(workload, tree) {
+            let demand = workload.containers[c].demand;
+            // Pass 1: active servers only (pack); pass 2: open a new server.
+            let mut chosen: Option<ServerId> = None;
+            for require_active in [true, false] {
+                let mut best: Option<(ServerId, f64)> = None;
+                // In the inactive pass, identical-capacity servers score
+                // identically; evaluate one per capacity class.
+                let mut seen_inactive: Vec<goldilocks_topology::Resources> = Vec::new();
+                for &s in &healthy {
+                    if active[s.0] != require_active && require_active {
+                        continue;
+                    }
+                    if !require_active && active[s.0] {
+                        continue;
+                    }
+                    if !require_active {
+                        let cap = tree.server(s).resources;
+                        if seen_inactive.contains(&cap) {
+                            continue;
+                        }
+                        seen_inactive.push(cap);
+                    }
+                    if !tracker.fits(s, &demand, self.max_util) {
+                        continue;
+                    }
+                    let cap = tree.server(s).resources;
+                    let after = tracker.used(s) + demand;
+                    let free = [
+                        1.0 - after.cpu / cap.cpu.max(1e-9),
+                        1.0 - after.memory_gb / cap.memory_gb.max(1e-9),
+                        1.0 - after.network_mbps / cap.network_mbps.max(1e-9),
+                    ];
+                    let score = Borg::stranding_score(free);
+                    match best {
+                        Some((_, bs)) if bs <= score => {}
+                        _ => best = Some((s, score)),
+                    }
+                }
+                if let Some((s, _)) = best {
+                    chosen = Some(s);
+                    break;
+                }
+            }
+            let s = chosen.ok_or_else(|| PlaceError::Unplaceable {
+                container: c,
+                reason: format!("no server can host {demand}"),
+            })?;
+            tracker.add(s, demand);
+            active[s.0] = true;
+            placement.assignment[c] = Some(s);
+        }
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::single_rack;
+    use goldilocks_topology::Resources;
+
+    #[test]
+    fn packs_like_a_packer() {
+        let tree = single_rack(10, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut w = Workload::new();
+        for _ in 0..9 {
+            w.add_container("c", Resources::new(30.0, 1.0, 10.0), None);
+        }
+        let p = Borg::new().place(&w, &tree).unwrap();
+        assert_eq!(p.active_server_count(), 3);
+    }
+
+    #[test]
+    fn reduces_stranding_by_pairing_complements() {
+        // Server: 100 CPU / 10 GB. CPU-heavy (60/1) and memory-heavy (10/6)
+        // containers strand resources unless paired. With 2 of each and 2
+        // servers sized to fit exactly one pair, Borg should mix them.
+        let tree = single_rack(4, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut w = Workload::new();
+        w.add_container("cpu1", Resources::new(60.0, 1.0, 1.0), None);
+        w.add_container("cpu2", Resources::new(60.0, 1.0, 1.0), None);
+        w.add_container("mem1", Resources::new(10.0, 6.0, 1.0), None);
+        w.add_container("mem2", Resources::new(10.0, 6.0, 1.0), None);
+        let p = Borg::new().place(&w, &tree).unwrap();
+        // Two CPU-heavy on one box would exceed 95 % CPU? 120 > 95, so they
+        // must split; the interesting check is that each CPU container is
+        // paired with a memory container (balanced leftovers).
+        assert_eq!(p.active_server_count(), 2);
+        let s0 = p.assignment[0].unwrap();
+        let s2 = p.assignment[2].unwrap();
+        let s3 = p.assignment[3].unwrap();
+        assert!(s0 == s2 || s0 == s3, "cpu1 should share with a memory-heavy container");
+    }
+
+    #[test]
+    fn stranding_score_prefers_balanced() {
+        let balanced = Borg::stranding_score([0.3, 0.3, 0.3]);
+        let stranded = Borg::stranding_score([0.0, 0.6, 0.3]);
+        assert!(balanced < stranded);
+    }
+
+    #[test]
+    fn respects_cap() {
+        let tree = single_rack(3, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut w = Workload::new();
+        for _ in 0..6 {
+            w.add_container("c", Resources::new(32.0, 1.0, 1.0), None);
+        }
+        let p = Borg::new().place(&w, &tree).unwrap();
+        for u in p.server_utilizations(&w, &tree) {
+            assert!(u <= 0.95 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_no_servers() {
+        let mut tree = single_rack(1, Resources::new(100.0, 10.0, 100.0), 100.0);
+        tree.fail_server(ServerId(0));
+        let mut w = Workload::new();
+        w.add_container("c", Resources::new(1.0, 1.0, 1.0), None);
+        assert!(matches!(
+            Borg::new().place(&w, &tree),
+            Err(PlaceError::Infeasible { .. })
+        ));
+    }
+}

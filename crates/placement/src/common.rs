@@ -1,0 +1,116 @@
+//! Shared bookkeeping for placement policies.
+
+use goldilocks_topology::{DcTree, Resources, ServerId};
+use goldilocks_workload::Workload;
+
+/// Tracks per-server committed load during a placement run.
+#[derive(Clone, Debug)]
+pub struct LoadTracker<'t> {
+    tree: &'t DcTree,
+    used: Vec<Resources>,
+}
+
+impl<'t> LoadTracker<'t> {
+    /// Creates an empty tracker over `tree`.
+    pub fn new(tree: &'t DcTree) -> Self {
+        LoadTracker {
+            tree,
+            used: vec![Resources::zero(); tree.server_count()],
+        }
+    }
+
+    /// The topology this tracker covers.
+    pub fn tree(&self) -> &'t DcTree {
+        self.tree
+    }
+
+    /// Committed load of `s`.
+    pub fn used(&self, s: ServerId) -> Resources {
+        self.used[s.0]
+    }
+
+    /// Whether `demand` fits on `s` while keeping every dimension at or
+    /// below `cap_frac` of the server's capacity.
+    pub fn fits(&self, s: ServerId, demand: &Resources, cap_frac: f64) -> bool {
+        let cap = self.tree.server(s).resources.scaled(cap_frac);
+        (self.used[s.0] + *demand).fits_within(&cap)
+    }
+
+    /// Whether `demand` fits on `s` against an explicit per-dimension
+    /// capacity cap (already scaled by the caller).
+    pub fn fits_capped(&self, s: ServerId, demand: &Resources, cap: &Resources) -> bool {
+        (self.used[s.0] + *demand).fits_within(cap)
+    }
+
+    /// Commits `demand` to `s`.
+    pub fn add(&mut self, s: ServerId, demand: Resources) {
+        self.used[s.0] += demand;
+    }
+
+    /// Worst-dimension utilization of `s`.
+    pub fn utilization(&self, s: ServerId) -> f64 {
+        self.used[s.0].utilization_against(&self.tree.server(s).resources)
+    }
+
+    /// CPU-only utilization of `s` against a capacity scaled by
+    /// `cpu_capacity_factor` (RC-Informed oversubscribes CPU by 1.25×).
+    pub fn cpu_utilization_scaled(&self, s: ServerId, cpu_capacity_factor: f64) -> f64 {
+        let cap = self.tree.server(s).resources;
+        let scaled = Resources::new(cap.cpu * cpu_capacity_factor, cap.memory_gb, cap.network_mbps);
+        self.used[s.0].cpu_utilization_against(&scaled)
+    }
+}
+
+/// Container indices in First-Fit-Decreasing order: descending worst-dim
+/// demand relative to the mean healthy-server capacity (ties broken by
+/// index for determinism).
+pub fn ffd_order(workload: &Workload, tree: &DcTree) -> Vec<usize> {
+    let mean = tree.mean_server_resources();
+    let mut order: Vec<usize> = (0..workload.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ua = workload.containers[a].demand.utilization_against(&mean);
+        let ub = workload.containers[b].demand.utilization_against(&mean);
+        ub.partial_cmp(&ua)
+            .expect("no NaN utilizations")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::single_rack;
+
+    #[test]
+    fn tracker_commits_and_checks() {
+        let tree = single_rack(2, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut t = LoadTracker::new(&tree);
+        let d = Resources::new(60.0, 1.0, 10.0);
+        assert!(t.fits(ServerId(0), &d, 1.0));
+        t.add(ServerId(0), d);
+        assert!((t.utilization(ServerId(0)) - 0.6).abs() < 1e-9);
+        // A second container of the same size breaks a 0.95 cap.
+        assert!(!t.fits(ServerId(0), &d, 0.95));
+        assert!(t.fits(ServerId(1), &d, 0.95));
+        assert_eq!(t.used(ServerId(1)), Resources::zero());
+    }
+
+    #[test]
+    fn cpu_oversubscription_scaling() {
+        let tree = single_rack(1, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut t = LoadTracker::new(&tree);
+        t.add(ServerId(0), Resources::new(100.0, 1.0, 1.0));
+        assert!((t.cpu_utilization_scaled(ServerId(0), 1.25) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ffd_sorts_descending() {
+        let tree = single_rack(2, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut w = Workload::new();
+        w.add_container("small", Resources::new(10.0, 1.0, 1.0), None);
+        w.add_container("big", Resources::new(90.0, 1.0, 1.0), None);
+        w.add_container("mid", Resources::new(50.0, 1.0, 1.0), None);
+        assert_eq!(ffd_order(&w, &tree), vec![1, 2, 0]);
+    }
+}

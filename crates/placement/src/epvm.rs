@@ -1,0 +1,159 @@
+//! E-PVM baseline [Amir et al., TPDS 2000]: opportunity-cost assignment.
+//!
+//! As in the paper's evaluation, "containers are placed on the least
+//! utilized machines": each container goes to the healthy server whose
+//! post-assignment marginal cost is lowest. The classic E-PVM cost is
+//! exponential in utilization (`Σ 2^u`), which reduces to spreading load as
+//! thinly as possible — every server stays active, giving maximal headroom
+//! and zero packing (the power baseline every other policy is compared to).
+
+use goldilocks_topology::{DcTree, ServerId};
+use goldilocks_workload::Workload;
+
+use crate::common::LoadTracker;
+use crate::types::{PlaceError, Placement, Placer};
+
+/// The E-PVM placement policy.
+#[derive(Clone, Debug)]
+pub struct EPvm {
+    /// Hard per-dimension utilization cap (default 1.0: a server can be
+    /// filled completely if unavoidable).
+    pub max_util: f64,
+}
+
+impl Default for EPvm {
+    fn default() -> Self {
+        EPvm { max_util: 1.0 }
+    }
+}
+
+impl EPvm {
+    /// Creates the policy with the default 100 % cap.
+    pub fn new() -> Self {
+        EPvm::default()
+    }
+
+    /// Marginal opportunity cost of raising a server from `before` to
+    /// `after` utilization: `2^after − 2^before`. For equal-size increments
+    /// this is minimized by the least-utilized server, which is why the
+    /// placement loop can use a utilization min-heap.
+    pub fn marginal_cost(before: f64, after: f64) -> f64 {
+        after.exp2() - before.exp2()
+    }
+}
+
+impl Placer for EPvm {
+    fn name(&self) -> &str {
+        "E-PVM"
+    }
+
+    fn place(&mut self, workload: &Workload, tree: &DcTree) -> Result<Placement, PlaceError> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let healthy = tree.healthy_servers();
+        if healthy.is_empty() {
+            return Err(PlaceError::Infeasible {
+                reason: "no healthy servers".into(),
+            });
+        }
+        let mut tracker = LoadTracker::new(tree);
+        let mut placement = Placement::unplaced(workload.len());
+        // Min-heap on current utilization (scaled to integer for Ord). The
+        // least-utilized server minimizes the 2^u marginal cost for any
+        // fixed-size increment, so a heap pop is exact E-PVM behaviour.
+        let util_key = |u: f64| -> u64 { (u.clamp(0.0, 64.0) * 1e12) as u64 };
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = healthy
+            .iter()
+            .map(|s| Reverse((util_key(0.0), s.0)))
+            .collect();
+        for (c, spec) in workload.containers.iter().enumerate() {
+            let mut skipped = Vec::new();
+            let mut chosen: Option<ServerId> = None;
+            while let Some(Reverse((key, raw))) = heap.pop() {
+                let s = ServerId(raw);
+                let current = util_key(tracker.utilization(s));
+                if current != key {
+                    heap.push(Reverse((current, raw))); // stale entry
+                    continue;
+                }
+                if tracker.fits(s, &spec.demand, self.max_util) {
+                    chosen = Some(s);
+                    break;
+                }
+                skipped.push(Reverse((key, raw)));
+            }
+            for e in skipped {
+                heap.push(e);
+            }
+            let s = chosen.ok_or_else(|| PlaceError::Unplaceable {
+                container: c,
+                reason: format!("no server has headroom for {}", spec.demand),
+            })?;
+            tracker.add(s, spec.demand);
+            heap.push(Reverse((util_key(tracker.utilization(s)), s.0)));
+            placement.assignment[c] = Some(s);
+        }
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::single_rack;
+    use goldilocks_topology::Resources;
+
+    fn workload(n: usize, cpu: f64) -> Workload {
+        let mut w = Workload::new();
+        for _ in 0..n {
+            w.add_container("c", Resources::new(cpu, 1.0, 1.0), None);
+        }
+        w
+    }
+
+    #[test]
+    fn spreads_across_all_servers() {
+        let tree = single_rack(4, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let w = workload(8, 10.0);
+        let p = EPvm::new().place(&w, &tree).unwrap();
+        // 8 equal containers over 4 servers: every server hosts exactly 2.
+        let mut counts = vec![0usize; 4];
+        for a in p.assignment.iter().flatten() {
+            counts[a.0] += 1;
+        }
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+        assert_eq!(p.active_server_count(), 4);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let tree = single_rack(2, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let w = workload(4, 60.0);
+        // 4 × 60 % CPU cannot fit on 2 servers.
+        let err = EPvm::new().place(&w, &tree).unwrap_err();
+        assert!(matches!(err, PlaceError::Unplaceable { .. }));
+    }
+
+    #[test]
+    fn skips_failed_servers() {
+        let mut tree = single_rack(3, Resources::new(100.0, 10.0, 100.0), 100.0);
+        tree.fail_server(ServerId(0));
+        let w = workload(4, 10.0);
+        let p = EPvm::new().place(&w, &tree).unwrap();
+        assert!(p.assignment.iter().flatten().all(|s| s.0 != 0));
+    }
+
+    #[test]
+    fn empty_topology_is_infeasible() {
+        let mut tree = single_rack(1, Resources::new(100.0, 10.0, 100.0), 100.0);
+        tree.fail_server(ServerId(0));
+        let err = EPvm::new().place(&workload(1, 1.0), &tree).unwrap_err();
+        assert!(matches!(err, PlaceError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn marginal_cost_monotone() {
+        assert!(EPvm::marginal_cost(0.5, 0.6) > EPvm::marginal_cost(0.1, 0.2));
+    }
+}

@@ -1,0 +1,50 @@
+//! # goldilocks-placement
+//!
+//! The common placement interface and the four baseline schedulers the
+//! Goldilocks paper (ICDCS 2019) evaluates against:
+//!
+//! - [`EPvm`] — opportunity-cost spreading onto the least utilized machines
+//!   (every server active; the power baseline).
+//! - [`Mpp`] — pMapper's min-power-increase First-Fit-Decreasing packing to
+//!   95 % utilization.
+//! - [`Borg`] — stranded-resource-minimizing packing to 95 %.
+//! - [`RcInformed`] — Resource Central's bucket packing by *reservations*
+//!   with 125 % CPU oversubscription.
+//!
+//! Every policy implements [`Placer`] and produces a [`Placement`]
+//! (container → server map) that the simulator scores for power, task
+//! completion time and migrations. The Goldilocks policy itself lives in
+//! `goldilocks-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use goldilocks_placement::{Placer, EPvm};
+//! use goldilocks_topology::builders::testbed_16;
+//! use goldilocks_workload::generators::twitter_caching;
+//!
+//! let tree = testbed_16();
+//! let workload = twitter_caching(64, 1);
+//! let placement = EPvm::new().place(&workload, &tree)?;
+//! assert!(placement.is_complete());
+//! // E-PVM spreads: all 16 servers stay active.
+//! assert_eq!(placement.active_server_count(), 16);
+//! # Ok::<(), goldilocks_placement::PlaceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod borg;
+mod common;
+mod epvm;
+mod mpp;
+mod rcinformed;
+mod types;
+
+pub use borg::Borg;
+pub use common::{ffd_order, LoadTracker};
+pub use epvm::EPvm;
+pub use mpp::Mpp;
+pub use rcinformed::RcInformed;
+pub use types::{PlaceError, Placement, Placer};

@@ -1,0 +1,165 @@
+//! mPP baseline [pMapper, Middleware 2008]: min-power-increase packing.
+//!
+//! Containers are considered in First-Fit-Decreasing order of demand size
+//! and allocated to the feasible server with the least power increase per
+//! unit of utilization. pMapper models server power as *linear* in
+//! utilization (the 2008-era assumption the Goldilocks paper challenges), so
+//! the placement score uses the linearized curve — activating an idle
+//! server always costs its static power, which is why mPP keeps packing a
+//! server until the 95 % maximum utilization, marching each active server
+//! deep into the (real) cubic region without knowing it.
+
+use goldilocks_power::ServerPowerModel;
+use goldilocks_topology::{DcTree, ServerId};
+use goldilocks_workload::Workload;
+
+use crate::common::{ffd_order, LoadTracker};
+use crate::types::{PlaceError, Placement, Placer};
+
+/// The mPP placement policy.
+#[derive(Clone, Debug)]
+pub struct Mpp {
+    /// Server power model used to score candidate placements.
+    pub model: ServerPowerModel,
+    /// Packing cap (paper: 0.95).
+    pub max_util: f64,
+}
+
+impl Mpp {
+    /// Creates mPP with the paper's 95 % cap.
+    pub fn new(model: ServerPowerModel) -> Self {
+        Mpp {
+            model,
+            max_util: 0.95,
+        }
+    }
+}
+
+impl Placer for Mpp {
+    fn name(&self) -> &str {
+        "mPP"
+    }
+
+    fn place(&mut self, workload: &Workload, tree: &DcTree) -> Result<Placement, PlaceError> {
+        let healthy = tree.healthy_servers();
+        if healthy.is_empty() {
+            return Err(PlaceError::Infeasible {
+                reason: "no healthy servers".into(),
+            });
+        }
+        let mut tracker = LoadTracker::new(tree);
+        let mut placement = Placement::unplaced(workload.len());
+        let mut active = vec![false; tree.server_count()];
+
+        for c in ffd_order(workload, tree) {
+            let demand = workload.containers[c].demand;
+            // Score = power increase of hosting the container. An idle-off
+            // server charges its full idle power on activation, so already-
+            // active servers win until they saturate — that's the packing.
+            let mut best: Option<(ServerId, f64)> = None;
+            // Inactive servers with identical capacity score identically, so
+            // only the first of each capacity class needs evaluating — this
+            // keeps the scan near O(active) on homogeneous fleets.
+            let mut seen_inactive: Vec<goldilocks_topology::Resources> = Vec::new();
+            for &s in &healthy {
+                if !active[s.0] {
+                    let cap = tree.server(s).resources;
+                    if seen_inactive.contains(&cap) {
+                        continue;
+                    }
+                    seen_inactive.push(cap);
+                }
+                if !tracker.fits(s, &demand, self.max_util) {
+                    continue;
+                }
+                let cap = tree.server(s).resources;
+                let before_util = tracker.utilization(s);
+                let after_util = (tracker.used(s) + demand).utilization_against(&cap);
+                // pMapper's linear power estimate: idle + span·u when on.
+                let idle = self.model.idle_watts();
+                let span = self.model.peak_watts - idle;
+                let linear = |u: f64| idle + span * u;
+                let before_w = if active[s.0] { linear(before_util) } else { 0.0 };
+                let delta = linear(after_util) - before_w;
+                match best {
+                    Some((_, bd)) if bd <= delta => {}
+                    _ => best = Some((s, delta)),
+                }
+            }
+            let (s, _) = best.ok_or_else(|| PlaceError::Unplaceable {
+                container: c,
+                reason: format!("no server can host {demand} under {:.0} % cap", self.max_util * 100.0),
+            })?;
+            tracker.add(s, demand);
+            active[s.0] = true;
+            placement.assignment[c] = Some(s);
+        }
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::single_rack;
+    use goldilocks_topology::Resources;
+
+    fn workload(n: usize, cpu: f64) -> Workload {
+        let mut w = Workload::new();
+        for _ in 0..n {
+            w.add_container("c", Resources::new(cpu, 1.0, 1.0), None);
+        }
+        w
+    }
+
+    #[test]
+    fn packs_onto_few_servers() {
+        let tree = single_rack(10, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let w = workload(9, 30.0); // 270 % CPU total → 3 servers at ≤ 95 %
+        let p = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        assert_eq!(p.active_server_count(), 3, "{:?}", p.assignment);
+    }
+
+    #[test]
+    fn respects_95_percent_cap() {
+        let tree = single_rack(4, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let w = workload(8, 24.0); // 4 per server would be 96 % > cap
+        let p = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        let utils = p.server_utilizations(&w, &tree);
+        for u in utils {
+            assert!(u <= 0.95 + 1e-9, "server at {u}");
+        }
+    }
+
+    #[test]
+    fn uses_fewer_servers_than_epvm() {
+        use crate::epvm::EPvm;
+        let tree = single_rack(8, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let w = workload(8, 20.0);
+        let mpp = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        let epvm = EPvm::new().place(&w, &tree).unwrap();
+        assert!(mpp.active_server_count() < epvm.active_server_count());
+        assert_eq!(mpp.active_server_count(), 2); // 160 % total → 2 servers
+    }
+
+    #[test]
+    fn ffd_places_big_items_first() {
+        // One 90 % container + three 30 %: FFD must not strand the big one.
+        let tree = single_rack(2, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut w = Workload::new();
+        w.add_container("s1", Resources::new(30.0, 1.0, 1.0), None);
+        w.add_container("s2", Resources::new(30.0, 1.0, 1.0), None);
+        w.add_container("big", Resources::new(90.0, 1.0, 1.0), None);
+        w.add_container("s3", Resources::new(30.0, 1.0, 1.0), None);
+        let p = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn unplaceable_reports_container() {
+        let tree = single_rack(1, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let w = workload(1, 99.0); // above the 95 % cap
+        let err = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap_err();
+        assert!(matches!(err, PlaceError::Unplaceable { container: 0, .. }));
+    }
+}

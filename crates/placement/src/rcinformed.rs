@@ -1,0 +1,174 @@
+//! RC-Informed baseline [Resource Central, SOSP 2017]: bucket-based packing
+//! with CPU oversubscription.
+//!
+//! Resource Central packs by *reservations*, not live utilization: each
+//! container's nominal (reserved) demand is first-fit-decreasing packed into
+//! server "buckets" whose CPU capacity is oversubscribed by 25 % (the paper:
+//! "the CPU resource is 125 % oversubscribed"). Because the bucket count
+//! follows reservations rather than real-time load, the number of active
+//! servers stays flat as actual load fluctuates (Fig. 13a's constant 2358
+//! servers).
+
+use goldilocks_topology::{DcTree, Resources, ServerId};
+use goldilocks_workload::Workload;
+
+use crate::common::{ffd_order, LoadTracker};
+use crate::types::{PlaceError, Placement, Placer};
+
+/// The RC-Informed placement policy.
+#[derive(Clone, Debug)]
+pub struct RcInformed {
+    /// CPU oversubscription factor (paper: 1.25).
+    pub cpu_oversubscription: f64,
+    /// Per-container reservations. When `None`, the live demands are used
+    /// as reservations. Set this once to the nominal demands so that load
+    /// fluctuation does not change the bucket count.
+    pub reservations: Option<Vec<Resources>>,
+}
+
+impl Default for RcInformed {
+    fn default() -> Self {
+        RcInformed {
+            cpu_oversubscription: 1.25,
+            reservations: None,
+        }
+    }
+}
+
+impl RcInformed {
+    /// Creates RC-Informed with the paper's 125 % CPU oversubscription.
+    pub fn new() -> Self {
+        RcInformed::default()
+    }
+
+    /// Pins reservations to the given nominal demands.
+    pub fn with_reservations(reservations: Vec<Resources>) -> Self {
+        RcInformed {
+            cpu_oversubscription: 1.25,
+            reservations: Some(reservations),
+        }
+    }
+
+    fn reservation_for(&self, c: usize, live: &Resources) -> Resources {
+        match &self.reservations {
+            Some(r) if c < r.len() => r[c],
+            _ => *live,
+        }
+    }
+}
+
+impl Placer for RcInformed {
+    fn name(&self) -> &str {
+        "RC-Informed"
+    }
+
+    fn place(&mut self, workload: &Workload, tree: &DcTree) -> Result<Placement, PlaceError> {
+        let healthy = tree.healthy_servers();
+        if healthy.is_empty() {
+            return Err(PlaceError::Infeasible {
+                reason: "no healthy servers".into(),
+            });
+        }
+        // Track *reservations* against oversubscribed CPU capacity.
+        let mut tracker = LoadTracker::new(tree);
+        let mut placement = Placement::unplaced(workload.len());
+
+        for c in ffd_order(workload, tree) {
+            let live = workload.containers[c].demand;
+            let reserved = self.reservation_for(c, &live);
+            // Oversubscribing CPU by f is equivalent to shrinking the CPU
+            // reservation by 1/f against the real capacity.
+            let effective = Resources::new(
+                reserved.cpu / self.cpu_oversubscription,
+                reserved.memory_gb,
+                reserved.network_mbps,
+            );
+            // First-fit over servers in id order: the bucket behaviour.
+            let mut chosen: Option<ServerId> = None;
+            for &s in &healthy {
+                if tracker.fits(s, &effective, 1.0) {
+                    chosen = Some(s);
+                    break;
+                }
+            }
+            let s = chosen.ok_or_else(|| PlaceError::Unplaceable {
+                container: c,
+                reason: format!("no bucket for reservation {reserved}"),
+            })?;
+            tracker.add(s, effective);
+            placement.assignment[c] = Some(s);
+        }
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::single_rack;
+
+    #[test]
+    fn oversubscribes_cpu() {
+        let tree = single_rack(2, Resources::new(100.0, 100.0, 1000.0), 1000.0);
+        let mut w = Workload::new();
+        // 5 × 25 % CPU = 125 % reserved → fits one server at 1.25×.
+        for _ in 0..5 {
+            w.add_container("c", Resources::new(25.0, 1.0, 1.0), None);
+        }
+        let p = RcInformed::new().place(&w, &tree).unwrap();
+        assert_eq!(p.active_server_count(), 1);
+    }
+
+    #[test]
+    fn memory_is_not_oversubscribed() {
+        let tree = single_rack(2, Resources::new(1000.0, 10.0, 1000.0), 1000.0);
+        let mut w = Workload::new();
+        for _ in 0..3 {
+            w.add_container("c", Resources::new(10.0, 4.0, 1.0), None);
+        }
+        // 12 GB > 10 GB: the third container must spill to server 1.
+        let p = RcInformed::new().place(&w, &tree).unwrap();
+        assert_eq!(p.active_server_count(), 2);
+    }
+
+    #[test]
+    fn bucket_count_ignores_live_load() {
+        let tree = single_rack(4, Resources::new(100.0, 100.0, 1000.0), 1000.0);
+        let reservations = vec![Resources::new(40.0, 2.0, 5.0); 6];
+        let mut w_low = Workload::new();
+        let mut w_high = Workload::new();
+        for _ in 0..6 {
+            w_low.add_container("c", Resources::new(5.0, 2.0, 5.0), None);
+            w_high.add_container("c", Resources::new(39.0, 2.0, 5.0), None);
+        }
+        let mut placer = RcInformed::with_reservations(reservations);
+        let p_low = placer.place(&w_low, &tree).unwrap();
+        let p_high = placer.place(&w_high, &tree).unwrap();
+        assert_eq!(
+            p_low.active_server_count(),
+            p_high.active_server_count(),
+            "bucket count must track reservations, not live load"
+        );
+    }
+
+    #[test]
+    fn first_fit_fills_in_id_order() {
+        let tree = single_rack(3, Resources::new(100.0, 100.0, 1000.0), 1000.0);
+        let mut w = Workload::new();
+        w.add_container("a", Resources::new(50.0, 1.0, 1.0), None);
+        w.add_container("b", Resources::new(50.0, 1.0, 1.0), None);
+        let p = RcInformed::new().place(&w, &tree).unwrap();
+        // Both fit in the first bucket at 1.25 oversubscription (100 ≤ 125).
+        assert_eq!(p.assignment[0], Some(ServerId(0)));
+        assert_eq!(p.assignment[1], Some(ServerId(0)));
+    }
+
+    #[test]
+    fn unplaceable_when_reservation_too_big() {
+        let tree = single_rack(1, Resources::new(100.0, 10.0, 100.0), 100.0);
+        let mut w = Workload::new();
+        w.add_container("big", Resources::new(200.0, 1.0, 1.0), None);
+        let err = RcInformed::new().place(&w, &tree).unwrap_err();
+        assert!(matches!(err, PlaceError::Unplaceable { .. }));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests: every placement policy produces valid assignments
+//! that respect its documented utilization cap.
+
+use goldilocks_placement::{Borg, EPvm, Mpp, Placer, RcInformed};
+use goldilocks_power::ServerPowerModel;
+use goldilocks_topology::builders::{leaf_spine, single_rack};
+use goldilocks_topology::{DcTree, Resources};
+use goldilocks_workload::Workload;
+use proptest::prelude::*;
+
+/// A workload whose total demand fits comfortably under half the cluster.
+fn arb_setup() -> impl Strategy<Value = (Workload, DcTree)> {
+    (2usize..40, 2usize..12, 0u64..1000).prop_map(|(containers, servers, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tree = if servers % 2 == 0 {
+            single_rack(servers, Resources::new(100.0, 16.0, 100.0), 100.0)
+        } else {
+            leaf_spine(servers, 2, 2, Resources::new(100.0, 16.0, 100.0), 100.0)
+        };
+        let budget = tree.server_count() as f64 * 100.0 * 0.5;
+        let per = budget / containers as f64;
+        let mut w = Workload::new();
+        for _ in 0..containers {
+            w.add_container(
+                "c",
+                Resources::new(
+                    rng.gen_range(0.2..1.0) * per.min(60.0),
+                    rng.gen_range(0.1..1.0),
+                    rng.gen_range(0.1..4.0),
+                ),
+                None,
+            );
+        }
+        (w, tree)
+    })
+}
+
+fn check_valid(
+    name: &str,
+    placement: &goldilocks_placement::Placement,
+    w: &Workload,
+    tree: &DcTree,
+    cap: f64,
+) -> Result<(), TestCaseError> {
+    prop_assert!(placement.is_complete(), "{name}: incomplete placement");
+    prop_assert_eq!(placement.assignment.len(), w.len());
+    for u in placement.server_utilizations(w, tree) {
+        prop_assert!(u <= cap + 1e-9, "{name}: server at {u} > cap {cap}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn epvm_valid_and_spread((w, tree) in arb_setup()) {
+        let p = EPvm::new().place(&w, &tree).expect("headroom guaranteed");
+        check_valid("epvm", &p, &w, &tree, 1.0)?;
+        // E-PVM spreads: with more containers than servers, every server is
+        // used.
+        if w.len() >= 2 * tree.server_count() {
+            prop_assert_eq!(p.active_server_count(), tree.server_count());
+        }
+    }
+
+    #[test]
+    fn mpp_valid_and_packs((w, tree) in arb_setup()) {
+        let p = Mpp::new(ServerPowerModel::dell_2018())
+            .place(&w, &tree)
+            .expect("headroom");
+        check_valid("mpp", &p, &w, &tree, 0.95)?;
+        let e = EPvm::new().place(&w, &tree).expect("headroom");
+        prop_assert!(p.active_server_count() <= e.active_server_count());
+    }
+
+    #[test]
+    fn borg_valid_and_packs((w, tree) in arb_setup()) {
+        let p = Borg::new().place(&w, &tree).expect("headroom");
+        check_valid("borg", &p, &w, &tree, 0.95)?;
+        let e = EPvm::new().place(&w, &tree).expect("headroom");
+        prop_assert!(p.active_server_count() <= e.active_server_count());
+    }
+
+    #[test]
+    fn rcinformed_valid((w, tree) in arb_setup()) {
+        let p = RcInformed::new().place(&w, &tree).expect("headroom");
+        prop_assert!(p.is_complete());
+        // Oversubscribed CPU may exceed 1.0 momentarily, but memory and
+        // network never can.
+        let loads = p.server_loads(&w, &tree);
+        for (s, load) in loads.iter().enumerate() {
+            let cap = tree.server(goldilocks_topology::ServerId(s)).resources;
+            prop_assert!(load.memory_gb <= cap.memory_gb + 1e-9);
+            prop_assert!(load.network_mbps <= cap.network_mbps + 1e-9);
+            prop_assert!(load.cpu <= cap.cpu * 1.25 + 1e-9);
+        }
+    }
+
+    /// Determinism: every policy returns the same placement twice.
+    #[test]
+    fn policies_are_deterministic((w, tree) in arb_setup()) {
+        let a = EPvm::new().place(&w, &tree).expect("ok");
+        let b = EPvm::new().place(&w, &tree).expect("ok");
+        prop_assert_eq!(a, b);
+        let a = Borg::new().place(&w, &tree).expect("ok");
+        let b = Borg::new().place(&w, &tree).expect("ok");
+        prop_assert_eq!(a, b);
+        let a = RcInformed::new().place(&w, &tree).expect("ok");
+        let b = RcInformed::new().place(&w, &tree).expect("ok");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Migration diff is symmetric in count and zero against itself.
+    #[test]
+    fn migration_diff_properties((w, tree) in arb_setup()) {
+        let a = EPvm::new().place(&w, &tree).expect("ok");
+        let b = Borg::new().place(&w, &tree).expect("ok");
+        prop_assert_eq!(a.migrations_from(&a), 0);
+        prop_assert_eq!(a.migrations_from(&b), b.migrations_from(&a));
+        prop_assert!(a.migrations_from(&b) <= w.len());
+    }
+}

@@ -1,0 +1,459 @@
+//! Data-center power breakdown (Table I and Fig. 3 of the paper).
+//!
+//! Five reference data centers are described by server count + power model
+//! and per-tier switch inventories. For each, we evaluate three scenarios by
+//! the same bin-packing math the paper used:
+//!
+//! - **Baseline**: every server on at 20 % utilization, every switch on,
+//!   fabric links at 10 % utilization.
+//! - **Traffic packing**: server load untouched; traffic consolidated onto
+//!   the fewest non-edge switches (edge/ToR switches must stay on because
+//!   every rack still hosts live servers), with backup paths reserved.
+//! - **Task packing**: server load packed to a utilization threshold;
+//!   emptied racks power off their ToR, and upper tiers shrink to match.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ServerPowerModel;
+use crate::switches::SwitchPowerModel;
+
+/// Where a switch tier sits in the Clos hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierRole {
+    /// Top-of-rack / edge: directly connected to servers.
+    Edge,
+    /// Aggregation / fabric.
+    Aggregation,
+    /// Core / spine.
+    Core,
+}
+
+/// One tier of identical switches.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SwitchTier {
+    /// Hierarchy role.
+    pub role: TierRole,
+    /// Number of switches in the tier.
+    pub count: usize,
+    /// Power model of each switch.
+    pub model: SwitchPowerModel,
+}
+
+/// A whole data center, as in Table I.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataCenterSpec {
+    /// Name (Table I row).
+    pub name: String,
+    /// Number of servers.
+    pub servers: usize,
+    /// Power model shared by all servers.
+    pub server_model: ServerPowerModel,
+    /// Switch tiers.
+    pub tiers: Vec<SwitchTier>,
+    /// Total number of inter-switch links (Table I column 4).
+    pub links: usize,
+}
+
+/// Server/network wattage for one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Total server power, watts.
+    pub server_watts: f64,
+    /// Total network power, watts.
+    pub network_watts: f64,
+}
+
+impl Breakdown {
+    /// Total power, watts.
+    pub fn total_watts(&self) -> f64 {
+        self.server_watts + self.network_watts
+    }
+
+    /// Network share of total power, in `[0, 1]`.
+    pub fn network_share(&self) -> f64 {
+        if self.total_watts() <= 0.0 {
+            0.0
+        } else {
+            self.network_watts / self.total_watts()
+        }
+    }
+}
+
+/// Fraction of a consolidated tier kept on as backup paths for bursty
+/// traffic (Section I: "a few extra backup paths are reserved").
+pub const BACKUP_FRACTION: f64 = 0.10;
+
+/// Maximum link utilization targeted when consolidating traffic.
+pub const MAX_LINK_UTIL: f64 = 0.80;
+
+impl DataCenterSpec {
+    fn servers_per_edge_switch(&self) -> f64 {
+        let edges: usize = self
+            .tiers
+            .iter()
+            .filter(|t| t.role == TierRole::Edge)
+            .map(|t| t.count)
+            .sum();
+        if edges == 0 {
+            self.servers as f64
+        } else {
+            self.servers as f64 / edges as f64
+        }
+    }
+
+    fn tier_power(&self, tier: &SwitchTier, active_fraction: f64, port_util: f64) -> f64 {
+        let active = (tier.count as f64 * active_fraction).ceil().min(tier.count as f64);
+        let ports = (tier.model.ports as f64 * port_util).round() as usize;
+        active * tier.model.power_watts(ports)
+    }
+
+    /// The baseline scenario: all servers at `server_util`, all switches on
+    /// with `link_util` of their ports active.
+    pub fn baseline(&self, server_util: f64, link_util: f64) -> Breakdown {
+        let server_watts = self.servers as f64 * self.server_model.power_watts(server_util);
+        let network_watts = self
+            .tiers
+            .iter()
+            .map(|t| self.tier_power(t, 1.0, link_util))
+            .sum();
+        Breakdown {
+            server_watts,
+            network_watts,
+        }
+    }
+
+    /// Traffic packing: consolidate non-edge traffic onto the fewest
+    /// switches; servers and edge switches are untouched.
+    pub fn traffic_packing(&self, server_util: f64, link_util: f64) -> Breakdown {
+        let server_watts = self.servers as f64 * self.server_model.power_watts(server_util);
+        let keep = (link_util / MAX_LINK_UTIL).clamp(BACKUP_FRACTION, 1.0);
+        let network_watts = self
+            .tiers
+            .iter()
+            .map(|t| match t.role {
+                TierRole::Edge => self.tier_power(t, 1.0, link_util),
+                _ => self.tier_power(t, keep, MAX_LINK_UTIL),
+            })
+            .sum();
+        Breakdown {
+            server_watts,
+            network_watts,
+        }
+    }
+
+    /// Task packing: pack the aggregate server load (`server_util` × servers)
+    /// onto the fewest servers each at `pack_to` utilization; empty racks
+    /// turn off their ToR, and upper tiers shrink to the active region.
+    pub fn task_packing(&self, server_util: f64, link_util: f64, pack_to: f64) -> Breakdown {
+        assert!(pack_to > 0.0 && pack_to <= 1.0, "pack_to {pack_to}");
+        let total_load = self.servers as f64 * server_util;
+        let active_servers = (total_load / pack_to).ceil().min(self.servers as f64);
+        let server_watts = active_servers * self.server_model.power_watts(pack_to);
+
+        let per_edge = self.servers_per_edge_switch();
+        let active_edge_frac = ((active_servers / per_edge).ceil()
+            / self
+                .tiers
+                .iter()
+                .filter(|t| t.role == TierRole::Edge)
+                .map(|t| t.count)
+                .sum::<usize>()
+                .max(1) as f64)
+            .min(1.0);
+        // Upper tiers follow the active region, bounded below by the traffic
+        // consolidation limit and the backup reserve.
+        let traffic_keep = (link_util / MAX_LINK_UTIL).clamp(BACKUP_FRACTION, 1.0);
+        let upper_frac = active_edge_frac.max(traffic_keep);
+
+        let network_watts = self
+            .tiers
+            .iter()
+            .map(|t| match t.role {
+                TierRole::Edge => self.tier_power(t, active_edge_frac, MAX_LINK_UTIL),
+                _ => self.tier_power(t, upper_frac, MAX_LINK_UTIL),
+            })
+            .sum();
+        Breakdown {
+            server_watts,
+            network_watts,
+        }
+    }
+
+    // ----- Table I presets -------------------------------------------------
+
+    /// Google Jupiter row of Table I.
+    pub fn google() -> Self {
+        DataCenterSpec {
+            name: "Google".into(),
+            servers: 98304,
+            server_model: ServerPowerModel::facebook_one_s(),
+            tiers: vec![
+                SwitchTier {
+                    role: TierRole::Edge,
+                    count: 2048,
+                    model: SwitchPowerModel::hpe_altoline_6940_dual(),
+                },
+                SwitchTier {
+                    role: TierRole::Aggregation,
+                    count: 3584,
+                    model: SwitchPowerModel::hpe_altoline_6940_dual(),
+                },
+            ],
+            links: 147456,
+        }
+    }
+
+    /// Facebook fabric row of Table I.
+    pub fn facebook() -> Self {
+        DataCenterSpec {
+            name: "Facebook".into(),
+            servers: 184320,
+            server_model: ServerPowerModel::facebook_one_s(),
+            tiers: vec![
+                SwitchTier {
+                    role: TierRole::Edge,
+                    count: 4608,
+                    model: SwitchPowerModel::facebook_wedge(),
+                },
+                SwitchTier {
+                    role: TierRole::Aggregation,
+                    count: 576,
+                    model: SwitchPowerModel::facebook_six_pack(),
+                },
+            ],
+            links: 36864,
+        }
+    }
+
+    /// Microsoft VL2(96) row of Table I.
+    pub fn vl2_96() -> Self {
+        DataCenterSpec {
+            name: "VL2(96)".into(),
+            servers: 46080,
+            server_model: ServerPowerModel::microsoft_blade(),
+            tiers: vec![
+                SwitchTier {
+                    role: TierRole::Edge,
+                    count: 2304,
+                    model: SwitchPowerModel::facebook_wedge(),
+                },
+                SwitchTier {
+                    role: TierRole::Aggregation,
+                    count: 144,
+                    model: SwitchPowerModel::facebook_six_pack(),
+                },
+            ],
+            links: 9216,
+        }
+    }
+
+    /// Fat-tree(32) row of Table I. The 1280 switches split into the
+    /// standard fat-tree tiers: k²/2 edge, k²/2 aggregation, k²/4 core.
+    pub fn fat_tree_32() -> Self {
+        DataCenterSpec {
+            name: "Fat-tree(32)".into(),
+            servers: 32768,
+            server_model: ServerPowerModel::microsoft_blade(),
+            tiers: vec![
+                SwitchTier {
+                    role: TierRole::Edge,
+                    count: 512,
+                    model: SwitchPowerModel::hpe_altoline_6940(),
+                },
+                SwitchTier {
+                    role: TierRole::Aggregation,
+                    count: 512,
+                    model: SwitchPowerModel::hpe_altoline_6940(),
+                },
+                SwitchTier {
+                    role: TierRole::Core,
+                    count: 256,
+                    model: SwitchPowerModel::hpe_altoline_6940(),
+                },
+            ],
+            links: 2048,
+        }
+    }
+
+    /// Fat-tree(72) row of Table I (k = 72: 2592 + 2592 + 1296 switches).
+    pub fn fat_tree_72() -> Self {
+        DataCenterSpec {
+            name: "Fat-tree(72)".into(),
+            servers: 93312,
+            server_model: ServerPowerModel::microsoft_blade(),
+            tiers: vec![
+                SwitchTier {
+                    role: TierRole::Edge,
+                    count: 2592,
+                    model: SwitchPowerModel::hpe_altoline_6920(),
+                },
+                SwitchTier {
+                    role: TierRole::Aggregation,
+                    count: 2592,
+                    model: SwitchPowerModel::hpe_altoline_6920(),
+                },
+                SwitchTier {
+                    role: TierRole::Core,
+                    count: 1296,
+                    model: SwitchPowerModel::hpe_altoline_6920(),
+                },
+            ],
+            links: 10368,
+        }
+    }
+
+    /// All five Table I data centers.
+    pub fn table_one() -> Vec<DataCenterSpec> {
+        vec![
+            DataCenterSpec::google(),
+            DataCenterSpec::facebook(),
+            DataCenterSpec::vl2_96(),
+            DataCenterSpec::fat_tree_32(),
+            DataCenterSpec::fat_tree_72(),
+        ]
+    }
+
+    /// Total number of switches across tiers (Table I column 3).
+    pub fn switch_count(&self) -> usize {
+        self.tiers.iter().map(|t| t.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVER_UTIL: f64 = 0.20;
+    const LINK_UTIL: f64 = 0.10;
+
+    #[test]
+    fn table_one_counts_match_paper() {
+        let dcs = DataCenterSpec::table_one();
+        let expected = [
+            ("Google", 98304, 2048 + 3584, 147456),
+            ("Facebook", 184320, 4608 + 576, 36864),
+            ("VL2(96)", 46080, 2304 + 144, 9216),
+            ("Fat-tree(32)", 32768, 1280, 2048),
+            ("Fat-tree(72)", 93312, 6480, 10368),
+        ];
+        for (dc, (name, servers, switches, links)) in dcs.iter().zip(expected) {
+            assert_eq!(dc.name, name);
+            assert_eq!(dc.servers, servers);
+            assert_eq!(dc.switch_count(), switches);
+            assert_eq!(dc.links, links);
+        }
+    }
+
+    #[test]
+    fn network_is_minor_share_on_average() {
+        // Fig. 3 take-away #1: DCN ≈ 20 % of total power at baseline.
+        let dcs = DataCenterSpec::table_one();
+        let avg: f64 = dcs
+            .iter()
+            .map(|d| d.baseline(SERVER_UTIL, LINK_UTIL).network_share())
+            .sum::<f64>()
+            / dcs.len() as f64;
+        assert!(
+            (0.10..=0.35).contains(&avg),
+            "average network share {avg} not near 20 %"
+        );
+    }
+
+    #[test]
+    fn traffic_packing_saves_little() {
+        // Fig. 3 take-away #2a: traffic packing saves ~8 % of total power.
+        let dcs = DataCenterSpec::table_one();
+        let mut savings = Vec::new();
+        for d in &dcs {
+            let base = d.baseline(SERVER_UTIL, LINK_UTIL).total_watts();
+            let packed = d.traffic_packing(SERVER_UTIL, LINK_UTIL).total_watts();
+            savings.push(1.0 - packed / base);
+        }
+        let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+        assert!(
+            (0.02..=0.25).contains(&avg),
+            "traffic packing average saving {avg}, per-DC {savings:?}"
+        );
+    }
+
+    #[test]
+    fn task_packing_saves_half() {
+        // Fig. 3 take-away #2b: task packing saves ~53 % of total power.
+        let dcs = DataCenterSpec::table_one();
+        let mut savings = Vec::new();
+        for d in &dcs {
+            let base = d.baseline(SERVER_UTIL, LINK_UTIL).total_watts();
+            let packed = d.task_packing(SERVER_UTIL, LINK_UTIL, 0.95).total_watts();
+            savings.push(1.0 - packed / base);
+        }
+        let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+        assert!(
+            (0.40..=0.70).contains(&avg),
+            "task packing average saving {avg}, per-DC {savings:?}"
+        );
+    }
+
+    #[test]
+    fn task_packing_beats_traffic_packing_everywhere() {
+        for d in DataCenterSpec::table_one() {
+            let traffic = d.traffic_packing(SERVER_UTIL, LINK_UTIL).total_watts();
+            let task = d.task_packing(SERVER_UTIL, LINK_UTIL, 0.95).total_watts();
+            assert!(task < traffic, "{}: task {task} !< traffic {traffic}", d.name);
+        }
+    }
+
+    #[test]
+    fn pee_packing_beats_full_packing() {
+        // Packing to the PEE point (70 %) saves more power than packing to
+        // 95 % despite using more servers — the core Goldilocks claim.
+        for d in DataCenterSpec::table_one() {
+            let at_95 = d.task_packing(SERVER_UTIL, LINK_UTIL, 0.95).server_watts;
+            let at_pee = d
+                .task_packing(SERVER_UTIL, LINK_UTIL, d.server_model.pee_util())
+                .server_watts;
+            assert!(
+                at_pee < at_95,
+                "{}: PEE packing {at_pee} !< 95 % packing {at_95}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_shares() {
+        let b = Breakdown {
+            server_watts: 80.0,
+            network_watts: 20.0,
+        };
+        assert!((b.total_watts() - 100.0).abs() < 1e-12);
+        assert!((b.network_share() - 0.2).abs() < 1e-12);
+        let zero = Breakdown {
+            server_watts: 0.0,
+            network_watts: 0.0,
+        };
+        assert_eq!(zero.network_share(), 0.0);
+    }
+
+    #[test]
+    fn edge_switches_stay_on_in_traffic_packing() {
+        let d = DataCenterSpec::fat_tree_32();
+        let base = d.baseline(SERVER_UTIL, LINK_UTIL);
+        let packed = d.traffic_packing(SERVER_UTIL, LINK_UTIL);
+        // Server power identical; network drops but not below edge-only.
+        assert!((base.server_watts - packed.server_watts).abs() < 1e-6);
+        let edge_only: f64 = d
+            .tiers
+            .iter()
+            .filter(|t| t.role == TierRole::Edge)
+            .map(|t| t.count as f64 * t.model.power_watts(0))
+            .sum();
+        assert!(packed.network_watts >= edge_only);
+        assert!(packed.network_watts < base.network_watts);
+    }
+
+    #[test]
+    #[should_panic(expected = "pack_to")]
+    fn bad_pack_target_rejected() {
+        DataCenterSpec::google().task_packing(0.2, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # goldilocks-power
+//!
+//! Power models for the Goldilocks reproduction (ICDCS 2019):
+//!
+//! - [`ServerPowerModel`] / [`PowerCurve`]: the paper's piecewise
+//!   linear-then-cubic server power curves with a *Peak Energy Efficiency*
+//!   (PEE) knee (Fig. 1a), plus presets for every server in Table I.
+//! - [`SwitchPowerModel`]: mostly-static switch power (Table I).
+//! - [`pee`]: the Fig. 2 packing sweep — the U-shaped total-power curve whose
+//!   minimum sits at the PEE utilization.
+//! - [`specpower`]: a synthetic SPEC power_ssj2008-like population matching
+//!   the published PEE-by-year distribution (Fig. 1b) and the analyzer that
+//!   recovers PEE from (load, power) samples.
+//! - [`breakdown`]: Table I data-center inventories and the Fig. 3
+//!   baseline / traffic-packing / task-packing power breakdown.
+//!
+//! ## Example
+//!
+//! ```
+//! use goldilocks_power::ServerPowerModel;
+//!
+//! let dell = ServerPowerModel::dell_2018();
+//! // Peak Energy Efficiency sits at ~70 % utilization...
+//! assert!((dell.curve.peak_efficiency_util() - 0.70).abs() < 0.02);
+//! // ...and running there is far more efficient than running at 100 %.
+//! assert!(dell.curve.efficiency(0.70) > 1.2 * dell.curve.efficiency(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod switches;
+
+pub mod breakdown;
+pub mod pee;
+pub mod specpower;
+
+pub use breakdown::{Breakdown, DataCenterSpec, SwitchTier, TierRole};
+pub use model::{PowerCurve, ServerPowerModel};
+pub use switches::SwitchPowerModel;

@@ -1,0 +1,324 @@
+//! Server power models (Section II of the paper).
+//!
+//! The paper's central observation: since ~2012, server power is *linear* in
+//! load only up to a knee — the *Peak Energy Efficiency* (PEE) point at
+//! 60–80 % utilization — and rises along a **cubic** beyond it (DVFS scales
+//! both voltage and frequency at high load, and `P = C·V²·f`). We model the
+//! normalized power curve piecewise:
+//!
+//! ```text
+//! p(u) = idle + lin_slope · u                                   u ≤ u*
+//! p(u) = p(u*) + post_slope · (u − u*) + cubic · (u − u*)³      u > u*
+//! ```
+//!
+//! with `cubic` solved so that `p(1) = 1` (power is normalized to the maximum
+//! draw at 100 % load, as in Fig. 1a). When `post_slope > lin_slope +
+//! idle/u*`, the efficiency `u / p(u)` peaks exactly at `u*`.
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized, piecewise linear-then-cubic power curve.
+///
+/// All quantities are fractions of the server's peak power draw.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerCurve {
+    /// Power at zero load, as a fraction of peak (static/idle power).
+    idle_frac: f64,
+    /// Utilization of the Peak Energy Efficiency knee, in (0, 1].
+    pee_util: f64,
+    /// Slope of the linear region below the knee.
+    lin_slope: f64,
+    /// Linear component of the slope above the knee.
+    post_slope: f64,
+    /// Cubic coefficient above the knee (derived, so that p(1) = 1).
+    cubic: f64,
+}
+
+impl PowerCurve {
+    /// Builds a curve from the idle fraction, PEE knee and the two slopes.
+    /// The cubic coefficient is chosen so the curve reaches 1.0 at full load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of range (`0 ≤ idle_frac < 1`,
+    /// `0 < pee_util ≤ 1`, negative slopes) or if they would require a
+    /// negative cubic coefficient (curve must be convex past the knee).
+    pub fn new(idle_frac: f64, pee_util: f64, lin_slope: f64, post_slope: f64) -> Self {
+        assert!((0.0..1.0).contains(&idle_frac), "idle_frac {idle_frac} out of [0,1)");
+        assert!(pee_util > 0.0 && pee_util <= 1.0, "pee_util {pee_util} out of (0,1]");
+        assert!(lin_slope >= 0.0 && post_slope >= 0.0, "slopes must be non-negative");
+        let at_knee = idle_frac + lin_slope * pee_util;
+        let rest = 1.0 - pee_util;
+        let cubic = if rest > 1e-12 {
+            let c = (1.0 - at_knee - post_slope * rest) / rest.powi(3);
+            assert!(
+                c >= -1e-9,
+                "parameters overshoot 1.0 at full load (cubic = {c})"
+            );
+            c.max(0.0)
+        } else {
+            // Knee at 100 %: the linear region must end exactly at 1.0.
+            assert!(
+                (at_knee - 1.0).abs() < 1e-9,
+                "linear curve must reach 1.0 at full load, got {at_knee}"
+            );
+            0.0
+        };
+        PowerCurve {
+            idle_frac,
+            pee_util,
+            lin_slope,
+            post_slope,
+            cubic,
+        }
+    }
+
+    /// A strictly linear curve `p(u) = idle + (1 − idle)·u` — the pre-2010
+    /// server shape and the "power proportional" dotted line of Fig. 1(a)
+    /// when `idle = 0`.
+    pub fn linear(idle_frac: f64) -> Self {
+        PowerCurve::new(idle_frac, 1.0, 1.0 - idle_frac, 0.0)
+    }
+
+    /// Normalized power at `load ∈ [0, 1]` (clamped).
+    pub fn normalized_power(&self, load: f64) -> f64 {
+        let u = load.clamp(0.0, 1.0);
+        if u <= self.pee_util {
+            self.idle_frac + self.lin_slope * u
+        } else {
+            let knee = self.idle_frac + self.lin_slope * self.pee_util;
+            let x = u - self.pee_util;
+            knee + self.post_slope * x + self.cubic * x * x * x
+        }
+    }
+
+    /// Energy efficiency at `load`: operations per watt, normalized —
+    /// `load / normalized_power(load)`.
+    pub fn efficiency(&self, load: f64) -> f64 {
+        let u = load.clamp(0.0, 1.0);
+        if u <= 0.0 {
+            return 0.0;
+        }
+        u / self.normalized_power(u)
+    }
+
+    /// The configured PEE knee utilization.
+    pub fn pee_util(&self) -> f64 {
+        self.pee_util
+    }
+
+    /// The idle power fraction.
+    pub fn idle_frac(&self) -> f64 {
+        self.idle_frac
+    }
+
+    /// Numerically locates the utilization of maximum efficiency by scanning
+    /// a fine grid. For well-formed knee curves this equals [`pee_util`].
+    ///
+    /// [`pee_util`]: PowerCurve::pee_util
+    pub fn peak_efficiency_util(&self) -> f64 {
+        let mut best_u = 0.0;
+        let mut best_e = 0.0;
+        for i in 1..=1000 {
+            let u = i as f64 / 1000.0;
+            let e = self.efficiency(u);
+            if e > best_e {
+                best_e = e;
+                best_u = u;
+            }
+        }
+        best_u
+    }
+}
+
+/// A named server power model: a [`PowerCurve`] plus the peak wattage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerPowerModel {
+    /// Human-readable model name (e.g. `"Dell-2018"`).
+    pub name: String,
+    /// Power at 100 % load, in watts.
+    pub peak_watts: f64,
+    /// The normalized curve.
+    pub curve: PowerCurve,
+}
+
+impl ServerPowerModel {
+    /// Creates a model from a name, peak wattage and curve.
+    pub fn new(name: impl Into<String>, peak_watts: f64, curve: PowerCurve) -> Self {
+        assert!(peak_watts > 0.0, "peak_watts must be positive");
+        ServerPowerModel {
+            name: name.into(),
+            peak_watts,
+            curve,
+        }
+    }
+
+    /// Absolute power draw at `load ∈ [0, 1]`, in watts, when the server is
+    /// powered on. A powered-off server draws 0 W (callers model that).
+    pub fn power_watts(&self, load: f64) -> f64 {
+        self.peak_watts * self.curve.normalized_power(load)
+    }
+
+    /// Idle (0 % load) draw in watts.
+    pub fn idle_watts(&self) -> f64 {
+        self.power_watts(0.0)
+    }
+
+    /// The PEE utilization of this server.
+    pub fn pee_util(&self) -> f64 {
+        self.curve.pee_util()
+    }
+
+    /// The Dell-2018 server of Fig. 1(a): PEE at 70 % utilization, steep
+    /// rise beyond the knee. Recent SPEC power submissions show a large
+    /// dynamic range (idle ≈ 12 % of peak), which is what makes operating
+    /// *more* servers at the PEE point cheaper than packing fewer servers
+    /// past it. Peak normalized to 1100 W (4-socket PowerEdge class).
+    pub fn dell_2018() -> Self {
+        ServerPowerModel::new("Dell-2018", 1100.0, PowerCurve::new(0.10, 0.70, 0.35, 2.0))
+    }
+
+    /// Dell PowerEdge R940 (the simulation server model of Section VI-B,
+    /// SPEC power_ssj2008 submission) — same shape as Dell-2018.
+    pub fn dell_r940() -> Self {
+        ServerPowerModel::new("Dell-R940", 1100.0, PowerCurve::new(0.10, 0.70, 0.35, 2.0))
+    }
+
+    /// A ~2010 server: power rises linearly all the way to 100 % load, where
+    /// its efficiency peaks (the "Server-2010" curve of Fig. 1a).
+    pub fn server_2010() -> Self {
+        ServerPowerModel::new("Server-2010", 300.0, PowerCurve::linear(0.50))
+    }
+
+    /// The strictly power-proportional reference (dotted line in Fig. 1a):
+    /// zero idle power, linear to peak.
+    pub fn proportional(peak_watts: f64) -> Self {
+        ServerPowerModel::new("Proportional", peak_watts, PowerCurve::linear(0.0))
+    }
+
+    /// Facebook 1S SoC server from the Open Compute Project (96 W), used for
+    /// the Google and Facebook rows of Table I.
+    pub fn facebook_one_s() -> Self {
+        ServerPowerModel::new("Facebook-1S", 96.0, PowerCurve::new(0.30, 0.75, 0.30, 0.9))
+    }
+
+    /// Microsoft blade server (250 W), used for the VL2 and fat-tree rows of
+    /// Table I.
+    pub fn microsoft_blade() -> Self {
+        ServerPowerModel::new("Microsoft-blade", 250.0, PowerCurve::new(0.35, 0.70, 0.25, 0.9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_at_full_load_is_one() {
+        for m in [
+            ServerPowerModel::dell_2018(),
+            ServerPowerModel::server_2010(),
+            ServerPowerModel::facebook_one_s(),
+            ServerPowerModel::microsoft_blade(),
+            ServerPowerModel::proportional(100.0),
+        ] {
+            let p = m.curve.normalized_power(1.0);
+            assert!((p - 1.0).abs() < 1e-9, "{}: p(1) = {p}", m.name);
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_load() {
+        let m = ServerPowerModel::dell_2018();
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let p = m.curve.normalized_power(i as f64 / 100.0);
+            assert!(p >= prev, "power decreased at {i}%");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn dell_2018_peaks_at_70_percent() {
+        let m = ServerPowerModel::dell_2018();
+        let peak = m.curve.peak_efficiency_util();
+        assert!((peak - 0.70).abs() < 0.015, "PEE at {peak}");
+    }
+
+    #[test]
+    fn linear_server_peaks_at_full_load() {
+        let m = ServerPowerModel::server_2010();
+        assert!((m.curve.peak_efficiency_util() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_region_rises_faster_than_proportional() {
+        // Fig. 1(a): beyond PEE, the Dell-2018 curve overtakes the linear
+        // proportional reference in *marginal* terms: the slope past the knee
+        // exceeds 1 (the proportional slope).
+        let dell = ServerPowerModel::dell_2018();
+        let slope = |u: f64| {
+            (dell.curve.normalized_power(u + 0.01) - dell.curve.normalized_power(u)) / 0.01
+        };
+        assert!(slope(0.9) > 1.0, "marginal slope at 90 % is {}", slope(0.9));
+        assert!(slope(0.5) < 1.0, "marginal slope at 50 % is {}", slope(0.5));
+    }
+
+    #[test]
+    fn below_knee_is_linear() {
+        let m = ServerPowerModel::dell_2018();
+        let p = |u: f64| m.curve.normalized_power(u);
+        let d1 = p(0.3) - p(0.2);
+        let d2 = p(0.6) - p(0.5);
+        assert!((d1 - d2).abs() < 1e-12, "linear region has constant slope");
+    }
+
+    #[test]
+    fn efficiency_at_pee_beats_full_load() {
+        let m = ServerPowerModel::dell_2018();
+        let e_pee = m.curve.efficiency(0.70);
+        let e_full = m.curve.efficiency(1.0);
+        assert!(
+            e_pee > e_full * 1.2,
+            "PEE efficiency {e_pee} should clearly beat full-load {e_full}"
+        );
+    }
+
+    #[test]
+    fn watts_scale_with_peak() {
+        let m = ServerPowerModel::dell_2018();
+        assert!((m.power_watts(1.0) - 1100.0).abs() < 1e-9);
+        assert!((m.power_watts(0.0) - 0.10 * 1100.0).abs() < 1e-9);
+        assert!((m.idle_watts() - m.power_watts(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_is_clamped() {
+        let m = ServerPowerModel::dell_2018();
+        assert_eq!(m.power_watts(-0.5), m.power_watts(0.0));
+        assert_eq!(m.power_watts(1.5), m.power_watts(1.0));
+    }
+
+    #[test]
+    fn proportional_efficiency_is_constant() {
+        let c = PowerCurve::linear(0.0);
+        for i in 1..=10 {
+            let u = i as f64 / 10.0;
+            assert!((c.efficiency(u) - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(c.efficiency(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle_frac")]
+    fn bad_idle_frac_panics() {
+        PowerCurve::new(1.5, 0.7, 0.2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overshoot")]
+    fn overshooting_params_panic() {
+        // idle 0.9 + slope 0.5·0.7 already exceeds 1.0 at the knee.
+        PowerCurve::new(0.9, 0.7, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Peak-Energy-Efficiency cluster math (Fig. 2 of the paper).
+//!
+//! Given a fixed total load and a per-server packing target, fewer servers
+//! are needed as the target rises (Fig. 2a) but each runs less efficiently
+//! past the PEE knee, so total power follows a **U curve** whose minimum sits
+//! at the PEE utilization (Fig. 2b).
+
+use crate::model::ServerPowerModel;
+
+/// One point of the Fig. 2 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PackingPoint {
+    /// The per-server utilization target.
+    pub target_util: f64,
+    /// Number of servers needed to host the load at that target.
+    pub active_servers: usize,
+    /// Total power of the active servers, in watts.
+    pub total_watts: f64,
+}
+
+/// Number of servers needed to host `total_load` (expressed in units of one
+/// fully-loaded server) when each server is packed to `target_util`.
+///
+/// # Panics
+///
+/// Panics if `target_util` is not in `(0, 1]` or `total_load` is negative.
+pub fn servers_needed(total_load: f64, target_util: f64) -> usize {
+    assert!(target_util > 0.0 && target_util <= 1.0, "target_util {target_util}");
+    assert!(total_load >= 0.0, "total_load {total_load}");
+    // Guard float wobble: a residual below 1e-9 of a server is rounding
+    // noise, not a reason to power an extra machine.
+    ((total_load / target_util) - 1e-9).ceil().max(0.0) as usize
+}
+
+/// Total power (watts) to host `total_load` server-equivalents at
+/// `target_util` per active server; inactive servers are off (0 W).
+///
+/// The last server may be partially filled; we charge it at its actual
+/// residual load rather than the full target.
+pub fn cluster_power(model: &ServerPowerModel, total_load: f64, target_util: f64) -> f64 {
+    let n = servers_needed(total_load, target_util);
+    if n == 0 {
+        return 0.0;
+    }
+    let full = ((total_load / target_util) + 1e-9).floor() as usize;
+    let residual_load = (total_load - full as f64 * target_util).max(0.0);
+    let mut watts = full as f64 * model.power_watts(target_util);
+    if n > full {
+        watts += model.power_watts(residual_load);
+    }
+    watts
+}
+
+/// Sweeps packing targets over `utils` and returns the Fig. 2 series.
+pub fn packing_sweep(
+    model: &ServerPowerModel,
+    total_load: f64,
+    utils: impl IntoIterator<Item = f64>,
+) -> Vec<PackingPoint> {
+    utils
+        .into_iter()
+        .map(|u| PackingPoint {
+            target_util: u,
+            active_servers: servers_needed(total_load, u),
+            total_watts: cluster_power(model, total_load, u),
+        })
+        .collect()
+}
+
+/// The packing target that minimizes total power over a fine grid — for a
+/// knee-shaped curve this is the PEE utilization.
+pub fn optimal_packing_util(model: &ServerPowerModel, total_load: f64) -> f64 {
+    let mut best_u = 1.0;
+    let mut best_w = f64::INFINITY;
+    for i in 10..=100 {
+        let u = i as f64 / 100.0;
+        let w = cluster_power(model, total_load, u);
+        if w < best_w {
+            best_w = w;
+            best_u = u;
+        }
+    }
+    best_u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn servers_needed_rounds_up() {
+        assert_eq!(servers_needed(200.0, 0.7), 286);
+        assert_eq!(servers_needed(200.0, 1.0), 200);
+        assert_eq!(servers_needed(0.0, 0.5), 0);
+    }
+
+    #[test]
+    fn fewer_servers_at_higher_target() {
+        let sweep = packing_sweep(
+            &ServerPowerModel::dell_2018(),
+            200.0,
+            (20..=100).step_by(10).map(|i| i as f64 / 100.0),
+        );
+        for pair in sweep.windows(2) {
+            assert!(pair[1].active_servers <= pair[0].active_servers);
+        }
+    }
+
+    #[test]
+    fn u_curve_minimum_at_pee() {
+        let model = ServerPowerModel::dell_2018();
+        let best = optimal_packing_util(&model, 200.0);
+        assert!(
+            (best - model.pee_util()).abs() <= 0.03,
+            "U-curve minimum at {best}, PEE at {}",
+            model.pee_util()
+        );
+        // And it is a genuine U: both 30 % and 100 % targets burn more power.
+        let w_best = cluster_power(&model, 200.0, best);
+        let w_low = cluster_power(&model, 200.0, 0.30);
+        let w_high = cluster_power(&model, 200.0, 1.00);
+        assert!(w_best < w_low, "{w_best} !< {w_low}");
+        assert!(w_best < w_high, "{w_best} !< {w_high}");
+    }
+
+    #[test]
+    fn linear_server_prefers_full_packing() {
+        // For a 2010-style linear server the U curve degenerates: packing to
+        // 100 % is optimal because efficiency peaks there.
+        let model = ServerPowerModel::server_2010();
+        let best = optimal_packing_util(&model, 200.0);
+        assert!(best >= 0.99, "linear server optimum at {best}");
+    }
+
+    #[test]
+    fn partial_last_server_charged_at_residual() {
+        let model = ServerPowerModel::proportional(100.0);
+        // 1.5 server-equivalents at target 1.0: one full (100 W) + one at
+        // 50 % load (50 W for a proportional server).
+        let w = cluster_power(&model, 1.5, 1.0);
+        assert!((w - 150.0).abs() < 1e-9, "got {w}");
+    }
+
+    #[test]
+    fn power_scales_with_load() {
+        let model = ServerPowerModel::dell_2018();
+        let w1 = cluster_power(&model, 100.0, 0.7);
+        let w2 = cluster_power(&model, 200.0, 0.7);
+        assert!((w2 / w1 - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_util")]
+    fn zero_target_rejected() {
+        servers_needed(10.0, 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! SPEC power_ssj2008-like dataset (Fig. 1b of the paper).
+//!
+//! The paper analyzed 419 vendor-uploaded SPEC power results and found that
+//! the share of servers whose *Peak Energy Efficiency* sits at 100 %
+//! utilization collapsed from ~2010 onward, displaced by 60–80 % PEE
+//! machines. We cannot redistribute SPEC's dataset, so this module generates
+//! a synthetic population that matches the published year-by-year shares,
+//! and provides the analyzer that recovers a server's PEE utilization from
+//! its (load, power) samples — exactly what the paper did with the uploaded
+//! benchmark tables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{PowerCurve, ServerPowerModel};
+
+/// PEE utilization buckets reported in Fig. 1(b), in load percent.
+pub const PEE_BUCKETS: [u32; 5] = [100, 90, 80, 70, 60];
+
+/// Share of each PEE bucket for one benchmark year.
+#[derive(Clone, Debug, PartialEq)]
+pub struct YearDistribution {
+    /// Calendar year of the SPEC submissions.
+    pub year: u32,
+    /// Shares parallel to [`PEE_BUCKETS`]; sums to 1.
+    pub shares: [f64; 5],
+}
+
+/// The year-by-year PEE-bucket shares used to synthesize Fig. 1(b).
+///
+/// 2010 submissions almost all peak at 100 % load; by 2018 the bulk peaks at
+/// 60–80 %, reproducing the paper's take-away that power proportionality
+/// broke after ~2010.
+pub fn reference_distribution() -> Vec<YearDistribution> {
+    vec![
+        YearDistribution { year: 2008, shares: [0.92, 0.08, 0.00, 0.00, 0.00] },
+        YearDistribution { year: 2010, shares: [0.85, 0.10, 0.05, 0.00, 0.00] },
+        YearDistribution { year: 2012, shares: [0.55, 0.20, 0.15, 0.10, 0.00] },
+        YearDistribution { year: 2014, shares: [0.30, 0.20, 0.30, 0.15, 0.05] },
+        YearDistribution { year: 2016, shares: [0.15, 0.15, 0.35, 0.25, 0.10] },
+        YearDistribution { year: 2018, shares: [0.05, 0.10, 0.40, 0.30, 0.15] },
+    ]
+}
+
+/// One synthesized SPEC result: the server plus its submission year.
+#[derive(Clone, Debug)]
+pub struct SpecResult {
+    /// Submission year.
+    pub year: u32,
+    /// The synthesized server.
+    pub server: ServerPowerModel,
+    /// The PEE bucket (load percent) the server was drawn from.
+    pub true_pee_percent: u32,
+}
+
+/// Synthesizes a SPEC-like population of `total` servers spread across the
+/// reference years, honoring the per-year bucket shares.
+pub fn synthesize_population(total: usize, seed: u64) -> Vec<SpecResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = reference_distribution();
+    let per_year = total / dist.len();
+    let mut out = Vec::with_capacity(total);
+    for yd in &dist {
+        let n = if yd.year == dist.last().expect("non-empty").year {
+            total - out.len()
+        } else {
+            per_year
+        };
+        for _ in 0..n {
+            let bucket = sample_bucket(&yd.shares, &mut rng);
+            out.push(SpecResult {
+                year: yd.year,
+                server: server_with_pee(bucket, &mut rng),
+                true_pee_percent: bucket,
+            });
+        }
+    }
+    out
+}
+
+fn sample_bucket(shares: &[f64; 5], rng: &mut StdRng) -> u32 {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, s) in shares.iter().enumerate() {
+        acc += s;
+        if x <= acc {
+            return PEE_BUCKETS[i];
+        }
+    }
+    *PEE_BUCKETS.last().expect("non-empty")
+}
+
+/// Builds a server whose efficiency peaks at `pee_percent` % load, with
+/// vendor-to-vendor variation in idle fraction and slope.
+fn server_with_pee(pee_percent: u32, rng: &mut StdRng) -> ServerPowerModel {
+    let pee = pee_percent as f64 / 100.0;
+    let idle = rng.gen_range(0.25..0.45);
+    let peak_watts = rng.gen_range(90.0..1200.0);
+    let curve = if pee >= 0.999 {
+        PowerCurve::linear(idle)
+    } else {
+        // Keep the knee below 1.0 and leave room for the post-knee rise.
+        let lin_slope = rng.gen_range(0.15..0.35f64).min((0.95 - idle) / pee);
+        let knee = idle + lin_slope * pee;
+        // post_slope must exceed knee/pee for the efficiency max to sit at
+        // the knee, and stay small enough that cubic ≥ 0.
+        let min_post = knee / pee + 0.02;
+        let max_post = (1.0 - knee) / (1.0 - pee);
+        let post = if max_post > min_post {
+            rng.gen_range(min_post..max_post)
+        } else {
+            max_post
+        };
+        PowerCurve::new(idle, pee, lin_slope, post)
+    };
+    ServerPowerModel::new(format!("synthetic-pee{pee_percent}"), peak_watts, curve)
+}
+
+/// Recovers the PEE utilization (as a percent, snapped to the nearest 10 %)
+/// from `(load, watts)` samples — the analysis the paper ran over SPEC's
+/// 10 %-step load levels.
+pub fn analyze_pee_percent(samples: &[(f64, f64)]) -> Option<u32> {
+    let mut best: Option<(f64, f64)> = None; // (efficiency, load)
+    for &(load, watts) in samples {
+        if load <= 0.0 || watts <= 0.0 {
+            continue;
+        }
+        let eff = load / watts;
+        match best {
+            Some((be, _)) if eff <= be => {}
+            _ => best = Some((eff, load)),
+        }
+    }
+    best.map(|(_, load)| ((load * 10.0).round() * 10.0) as u32)
+}
+
+/// SPEC-style measurement: power at the 11 standard load levels
+/// (0 %, 10 %, …, 100 %).
+pub fn spec_measurement(server: &ServerPowerModel) -> Vec<(f64, f64)> {
+    (0..=10)
+        .map(|i| {
+            let load = i as f64 / 10.0;
+            (load, server.power_watts(load))
+        })
+        .collect()
+}
+
+/// Aggregates a population into Fig. 1(b): for each year, the share of each
+/// PEE bucket as *measured* by [`analyze_pee_percent`].
+pub fn bucket_shares_by_year(pop: &[SpecResult]) -> Vec<(u32, [f64; 5])> {
+    let mut years: Vec<u32> = pop.iter().map(|r| r.year).collect();
+    years.sort_unstable();
+    years.dedup();
+    years
+        .into_iter()
+        .map(|year| {
+            let members: Vec<&SpecResult> = pop.iter().filter(|r| r.year == year).collect();
+            let mut shares = [0.0f64; 5];
+            for r in &members {
+                let measured =
+                    analyze_pee_percent(&spec_measurement(&r.server)).unwrap_or(100);
+                if let Some(idx) = PEE_BUCKETS.iter().position(|&b| b == measured) {
+                    shares[idx] += 1.0;
+                }
+            }
+            let n = members.len().max(1) as f64;
+            for s in &mut shares {
+                *s /= n;
+            }
+            (year, shares)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_shares_sum_to_one() {
+        for yd in reference_distribution() {
+            let sum: f64 = yd.shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "year {} sums to {sum}", yd.year);
+        }
+    }
+
+    #[test]
+    fn population_size_exact() {
+        let pop = synthesize_population(419, 7);
+        assert_eq!(pop.len(), 419);
+    }
+
+    #[test]
+    fn analyzer_recovers_true_pee() {
+        let pop = synthesize_population(120, 3);
+        let mut hits = 0;
+        for r in &pop {
+            let measured = analyze_pee_percent(&spec_measurement(&r.server)).unwrap();
+            if measured == r.true_pee_percent {
+                hits += 1;
+            }
+        }
+        // The 10 %-grid measurement should recover nearly all of them.
+        assert!(hits * 10 >= pop.len() * 9, "only {hits}/{} recovered", pop.len());
+    }
+
+    #[test]
+    fn trend_moves_away_from_full_load() {
+        let pop = synthesize_population(1200, 11);
+        let shares = bucket_shares_by_year(&pop);
+        let first = shares.first().unwrap();
+        let last = shares.last().unwrap();
+        // Share of PEE==100 % (bucket index 0) collapses over the years.
+        assert!(first.1[0] > 0.75, "2008 share {first:?}");
+        assert!(last.1[0] < 0.20, "2018 share {last:?}");
+        // 60–80 % buckets dominate by 2018.
+        let low = last.1[2] + last.1[3] + last.1[4];
+        assert!(low > 0.6, "2018 low-PEE share {low}");
+    }
+
+    #[test]
+    fn analyze_handles_degenerate_input() {
+        assert_eq!(analyze_pee_percent(&[]), None);
+        assert_eq!(analyze_pee_percent(&[(0.0, 50.0)]), None);
+        assert_eq!(analyze_pee_percent(&[(0.5, 0.0)]), None);
+    }
+
+    #[test]
+    fn spec_measurement_has_eleven_levels() {
+        let m = spec_measurement(&ServerPowerModel::dell_2018());
+        assert_eq!(m.len(), 11);
+        assert_eq!(m[0].0, 0.0);
+        assert_eq!(m[10].0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = synthesize_population(50, 42);
+        let b = synthesize_population(50, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.true_pee_percent, y.true_pee_percent);
+            assert_eq!(x.server.peak_watts, y.server.peak_watts);
+        }
+    }
+}

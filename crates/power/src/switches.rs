@@ -1,0 +1,115 @@
+//! Switch power models (Table I of the paper).
+//!
+//! Data-center switches are far from power proportional: an active switch
+//! draws close to its nameplate power regardless of traffic, so the only
+//! meaningful saving is turning an idle switch *off* (Section II, "we turn
+//! off idle switches and links"). We model a small port-proportional
+//! component on top of a dominant static draw.
+
+use serde::{Deserialize, Serialize};
+
+/// Power model for one switch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPowerModel {
+    /// Human-readable model name.
+    pub name: String,
+    /// Static draw when powered on, in watts (≈ 90 % of nameplate).
+    pub static_watts: f64,
+    /// Additional draw with every port active at line rate, in watts.
+    pub dynamic_watts: f64,
+    /// Number of ports.
+    pub ports: usize,
+}
+
+impl SwitchPowerModel {
+    /// Creates a switch model. `nameplate_watts` is split 90 % static,
+    /// 10 % port-proportional.
+    pub fn new(name: impl Into<String>, nameplate_watts: f64, ports: usize) -> Self {
+        assert!(nameplate_watts > 0.0, "nameplate watts must be positive");
+        assert!(ports > 0, "switch needs at least one port");
+        SwitchPowerModel {
+            name: name.into(),
+            static_watts: nameplate_watts * 0.9,
+            dynamic_watts: nameplate_watts * 0.1,
+            ports,
+        }
+    }
+
+    /// Nameplate (maximum) power in watts.
+    pub fn nameplate_watts(&self) -> f64 {
+        self.static_watts + self.dynamic_watts
+    }
+
+    /// Power draw with `active_ports` ports carrying traffic. A powered-off
+    /// switch draws 0 W (callers decide on/off).
+    pub fn power_watts(&self, active_ports: usize) -> f64 {
+        let frac = (active_ports.min(self.ports)) as f64 / self.ports as f64;
+        self.static_watts + self.dynamic_watts * frac
+    }
+
+    /// HPE Altoline 6940 (32×40G, 315 W) — fat-tree(32) row of Table I.
+    pub fn hpe_altoline_6940() -> Self {
+        SwitchPowerModel::new("HPE-Altoline-6940", 315.0, 32)
+    }
+
+    /// Two stacked HPE Altoline 6940 (630 W, 64 ports) — the Google
+    /// ToR/fabric switch of Table I (32×40G up + 32×10/40G down).
+    pub fn hpe_altoline_6940_dual() -> Self {
+        SwitchPowerModel::new("HPE-Altoline-6940-x2", 630.0, 64)
+    }
+
+    /// HPE Altoline 6920 (72×10G, 315 W) — fat-tree(72) row of Table I.
+    pub fn hpe_altoline_6920() -> Self {
+        SwitchPowerModel::new("HPE-Altoline-6920", 315.0, 72)
+    }
+
+    /// Facebook Wedge ToR (282 W) from the Open Compute Project.
+    pub fn facebook_wedge() -> Self {
+        SwitchPowerModel::new("Facebook-Wedge", 282.0, 52)
+    }
+
+    /// Facebook 6-Pack fabric switch (1400 W).
+    pub fn facebook_six_pack() -> Self {
+        SwitchPowerModel::new("Facebook-6Pack", 1400.0, 96)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nameplate_reconstructs() {
+        let s = SwitchPowerModel::hpe_altoline_6940();
+        assert!((s.nameplate_watts() - 315.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_mostly_static() {
+        let s = SwitchPowerModel::facebook_wedge();
+        let idle = s.power_watts(0);
+        let full = s.power_watts(s.ports);
+        assert!(idle >= full * 0.85, "idle {idle} vs full {full}");
+        assert!(full > idle);
+    }
+
+    #[test]
+    fn active_ports_clamped() {
+        let s = SwitchPowerModel::hpe_altoline_6920();
+        assert_eq!(s.power_watts(1000), s.power_watts(s.ports));
+    }
+
+    #[test]
+    fn presets_match_table_one() {
+        assert!((SwitchPowerModel::hpe_altoline_6940_dual().nameplate_watts() - 630.0).abs() < 1e-9);
+        assert!((SwitchPowerModel::facebook_six_pack().nameplate_watts() - 1400.0).abs() < 1e-9);
+        assert!((SwitchPowerModel::facebook_wedge().nameplate_watts() - 282.0).abs() < 1e-9);
+        assert!((SwitchPowerModel::hpe_altoline_6920().nameplate_watts() - 315.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_watts_rejected() {
+        SwitchPowerModel::new("bad", 0.0, 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for power-curve invariants.
+
+use goldilocks_power::pee::{cluster_power, optimal_packing_util, servers_needed};
+use goldilocks_power::{PowerCurve, ServerPowerModel};
+use proptest::prelude::*;
+
+/// Random well-formed knee curves.
+fn arb_curve() -> impl Strategy<Value = PowerCurve> {
+    (0.05f64..0.5, 0.55f64..0.9, 0.1f64..0.4).prop_filter_map(
+        "must not overshoot 1.0 and must peak at the knee",
+        |(idle, pee, lin)| {
+            let knee = idle + lin * pee;
+            if knee >= 0.95 {
+                return None;
+            }
+            // post_slope strictly between the efficiency-peak condition and
+            // the normalization bound.
+            let min_post = knee / pee + 0.05;
+            let max_post = (1.0 - knee) / (1.0 - pee);
+            if min_post >= max_post {
+                return None;
+            }
+            let post = (min_post + max_post) / 2.0;
+            Some(PowerCurve::new(idle, pee, lin, post))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Power is monotone non-decreasing in load and normalized at 1.0.
+    #[test]
+    fn power_monotone_and_normalized(curve in arb_curve()) {
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let p = curve.normalized_power(i as f64 / 100.0);
+            prop_assert!(p >= prev - 1e-12, "decrease at {i}%");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            prev = p;
+        }
+        prop_assert!((curve.normalized_power(1.0) - 1.0).abs() < 1e-9);
+        prop_assert!((curve.normalized_power(0.0) - curve.idle_frac()).abs() < 1e-12);
+    }
+
+    /// Efficiency peaks exactly at the configured knee.
+    #[test]
+    fn efficiency_peaks_at_knee(curve in arb_curve()) {
+        let peak = curve.peak_efficiency_util();
+        prop_assert!(
+            (peak - curve.pee_util()).abs() < 0.015,
+            "efficiency peak {peak} vs knee {}",
+            curve.pee_util()
+        );
+    }
+
+    /// The cluster-packing optimum coincides with the knee for any
+    /// well-formed knee curve and any load.
+    #[test]
+    fn packing_optimum_is_the_knee(curve in arb_curve(), load in 50.0f64..500.0) {
+        let model = ServerPowerModel::new("prop", 500.0, curve);
+        let best = optimal_packing_util(&model, load);
+        prop_assert!(
+            (best - model.pee_util()).abs() <= 0.05,
+            "optimum {best} vs knee {}",
+            model.pee_util()
+        );
+    }
+
+    /// Cluster power accounting: monotone in load, and exactly
+    /// servers × P(u) when the load divides evenly.
+    #[test]
+    fn cluster_power_consistency(curve in arb_curve(), k in 1usize..40) {
+        let model = ServerPowerModel::new("prop", 100.0, curve);
+        let u = model.pee_util();
+        let load = k as f64 * u; // exactly k full servers at u
+        let w = cluster_power(&model, load, u);
+        let expected = k as f64 * model.power_watts(u);
+        prop_assert!((w - expected).abs() < 1e-6, "{w} vs {expected}");
+        prop_assert_eq!(servers_needed(load, u), k);
+        // More load never costs less.
+        let w2 = cluster_power(&model, load * 1.5, u);
+        prop_assert!(w2 >= w);
+    }
+}

@@ -1,0 +1,156 @@
+//! Power metering: servers on their load curves, switches gated by activity.
+
+use goldilocks_placement::Placement;
+use goldilocks_power::{ServerPowerModel, SwitchPowerModel};
+use goldilocks_topology::DcTree;
+use goldilocks_workload::Workload;
+
+/// Power models of the deployment.
+#[derive(Clone, Debug)]
+pub struct PowerConfig {
+    /// Model shared by all servers.
+    pub server: ServerPowerModel,
+    /// Model shared by all switches.
+    pub switch: SwitchPowerModel,
+    /// Fraction of switch ports assumed active on powered switches.
+    pub switch_port_util: f64,
+}
+
+impl PowerConfig {
+    /// The testbed configuration (Section V/VI-A): Dell-2018-class servers
+    /// and HPE 3800-class 48-port switches (~300 W).
+    pub fn testbed() -> Self {
+        PowerConfig {
+            server: ServerPowerModel::dell_2018(),
+            switch: SwitchPowerModel::new("HPE-3800", 300.0, 48),
+            switch_port_util: 0.4,
+        }
+    }
+
+    /// The large-scale simulation configuration (Section VI-B): Dell R940
+    /// servers and HPE Altoline 6940 switches.
+    pub fn simulation() -> Self {
+        PowerConfig {
+            server: ServerPowerModel::dell_r940(),
+            switch: SwitchPowerModel::hpe_altoline_6940(),
+            switch_port_util: 0.4,
+        }
+    }
+}
+
+/// One power measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PowerSample {
+    /// Total server draw, watts.
+    pub server_watts: f64,
+    /// Total network draw, watts.
+    pub switch_watts: f64,
+    /// Powered-on servers.
+    pub active_servers: usize,
+    /// Powered-on physical switches.
+    pub active_switches: usize,
+}
+
+impl PowerSample {
+    /// Total draw in watts.
+    pub fn total_watts(&self) -> f64 {
+        self.server_watts + self.switch_watts
+    }
+}
+
+/// Meters the data center under `placement`: servers with no containers are
+/// powered off, switch aggregates with no live servers beneath are powered
+/// off (Section II: "we turn off idle switches and links").
+pub fn meter(
+    placement: &Placement,
+    workload: &Workload,
+    tree: &DcTree,
+    config: &PowerConfig,
+) -> PowerSample {
+    let cpu_utils = placement.server_cpu_utilizations(workload, tree);
+    let mut on = vec![false; tree.server_count()];
+    for s in placement.active_servers() {
+        on[s.0] = true;
+    }
+    let server_watts: f64 = (0..tree.server_count())
+        .filter(|s| on[*s])
+        .map(|s| config.server.power_watts(cpu_utils[s]))
+        .sum();
+    let active_switches = tree.active_switch_count(&on);
+    let ports = (config.switch.ports as f64 * config.switch_port_util).round() as usize;
+    let switch_watts = active_switches as f64 * config.switch.power_watts(ports);
+    PowerSample {
+        server_watts,
+        switch_watts,
+        active_servers: on.iter().filter(|b| **b).count(),
+        active_switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_placement::{EPvm, Placer};
+    use goldilocks_topology::builders::testbed_16;
+    use goldilocks_topology::Resources;
+    use goldilocks_workload::Workload;
+
+    fn small_workload(n: usize) -> Workload {
+        let mut w = Workload::new();
+        for _ in 0..n {
+            w.add_container("c", Resources::new(200.0, 2.0, 20.0), None);
+        }
+        w
+    }
+
+    #[test]
+    fn epvm_keeps_everything_on() {
+        let tree = testbed_16();
+        let w = small_workload(32);
+        let p = EPvm::new().place(&w, &tree).unwrap();
+        let sample = meter(&p, &w, &tree, &PowerConfig::testbed());
+        assert_eq!(sample.active_servers, 16);
+        assert_eq!(sample.active_switches, tree.switch_count());
+        assert!(sample.server_watts > 16.0 * 100.0, "static power alone is sizable");
+    }
+
+    #[test]
+    fn empty_placement_draws_nothing() {
+        let tree = testbed_16();
+        let w = Workload::new();
+        let p = goldilocks_placement::Placement::unplaced(0);
+        let sample = meter(&p, &w, &tree, &PowerConfig::testbed());
+        assert_eq!(sample.total_watts(), 0.0);
+        assert_eq!(sample.active_servers, 0);
+    }
+
+    #[test]
+    fn packing_reduces_power() {
+        let tree = testbed_16();
+        let w = small_workload(16);
+        let spread = EPvm::new().place(&w, &tree).unwrap();
+        // Manually pack pairs onto 8 servers.
+        let packed = goldilocks_placement::Placement {
+            assignment: (0..16)
+                .map(|c| Some(goldilocks_topology::ServerId(c / 2)))
+                .collect(),
+        };
+        let cfg = PowerConfig::testbed();
+        let ps = meter(&spread, &w, &tree, &cfg);
+        let pp = meter(&packed, &w, &tree, &cfg);
+        assert!(pp.total_watts() < ps.total_watts());
+        assert_eq!(pp.active_servers, 8);
+        assert!(pp.active_switches < tree.switch_count());
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let s = PowerSample {
+            server_watts: 10.0,
+            switch_watts: 5.0,
+            active_servers: 1,
+            active_switches: 1,
+        };
+        assert_eq!(s.total_watts(), 15.0);
+    }
+}

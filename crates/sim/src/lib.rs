@@ -1,0 +1,45 @@
+//! # goldilocks-sim
+//!
+//! The flow-level simulator and experiment engine of the Goldilocks
+//! reproduction (ICDCS 2019):
+//!
+//! - [`latency`]: the task-completion-time model — M/M/1-style server
+//!   queueing plus per-link network delay with locality-dependent link
+//!   loads.
+//! - [`energy`]: power metering over the topology (servers on their load
+//!   curves, idle switches gated off).
+//! - [`epoch`]: the epoch engine driving any [`Policy`] over a [`Scenario`]
+//!   and recording active servers, power, TCT, energy/request and
+//!   migrations — the paper's four evaluation metrics.
+//! - [`scenarios`]: calibrated builders for the Fig. 9 (Wikipedia),
+//!   Fig. 10 (Azure mix) and Fig. 13 (5488-server fat-tree) experiments.
+//! - [`summary`]: Fig. 11 / Fig. 13(d) averages and normalizations.
+//!
+//! ## Example
+//!
+//! ```
+//! use goldilocks_sim::epoch::{run_policy, Policy};
+//! use goldilocks_sim::scenarios::wiki_testbed;
+//! use goldilocks_sim::summary::summarize;
+//!
+//! let scenario = wiki_testbed(6, 48, 42); // short run; paper: (60, 176, _)
+//! let run = run_policy(&scenario, &Policy::EPvm)?;
+//! let s = summarize(&run);
+//! assert_eq!(s.avg_active_servers, 16.0); // E-PVM keeps everything on
+//! # Ok::<(), goldilocks_placement::PlaceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod epoch;
+pub mod latency;
+pub mod report;
+pub mod scenarios;
+pub mod summary;
+
+pub use energy::{meter, PowerConfig, PowerSample};
+pub use epoch::{run_lineup, run_policy, EpochRecord, EpochSpec, Policy, PolicyRun, Scenario};
+pub use latency::{flow_tcts_ms, link_loads, mean_tct_ms, tct_percentile_ms, LatencyModel};
+pub use summary::{normalized_to, power_saving_vs, summarize, total_energy_kwh, PolicySummary};

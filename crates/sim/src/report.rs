@@ -1,0 +1,142 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders a fixed-width ASCII table. Column widths adapt to content.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            out.push_str("| ");
+            out.push_str(cell);
+            out.push_str(&" ".repeat(w - cell.chars().count() + 1));
+        }
+        out.push_str("|\n");
+    };
+    sep(&mut out);
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    sep(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Serializes policy runs to long-format CSV (one row per policy × epoch),
+/// ready for plotting the paper's time-series figures.
+pub fn runs_to_csv(runs: &[crate::epoch::PolicyRun]) -> String {
+    let mut out = String::from(
+        "policy,epoch,active_servers,server_watts,switch_watts,boot_watts,total_watts,\
+         tct_ms,energy_per_request_j,migrations,freeze_seconds,mean_cpu_util,fallback\n",
+    );
+    for run in runs {
+        for r in &run.records {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{:.3},{:.3},{:.4},{:.6},{},{:.3},{:.4},{}\n",
+                run.policy,
+                r.epoch,
+                r.active_servers,
+                r.server_watts,
+                r.switch_watts,
+                r.boot_watts,
+                r.total_watts(),
+                r.tct_ms,
+                r.energy_per_request_j,
+                r.migrations,
+                r.freeze_seconds,
+                r.mean_cpu_util,
+                r.fallback
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        use crate::epoch::{EpochRecord, PolicyRun};
+        let run = PolicyRun {
+            policy: "X".into(),
+            records: vec![EpochRecord {
+                epoch: 0,
+                active_servers: 3,
+                server_watts: 100.0,
+                switch_watts: 10.0,
+                boot_watts: 0.0,
+                tct_ms: 1.5,
+                energy_per_request_j: 0.01,
+                migrations: 2,
+                freeze_seconds: 4.0,
+                mean_cpu_util: 0.5,
+                fallback: false,
+            }],
+        };
+        let csv = runs_to_csv(&[run]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("policy,epoch"));
+        assert!(lines[1].starts_with("X,0,3,100.000"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["policy", "watts"],
+            &[
+                vec!["E-PVM".into(), "1000.0".into()],
+                vec!["Goldilocks".into(), "800.0".into()],
+            ],
+        );
+        assert!(t.contains("| policy"));
+        assert!(t.contains("| Goldilocks"));
+        // All lines share the same width.
+        let widths: std::collections::BTreeSet<usize> =
+            t.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 1, "{t}");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(pct(0.227), "22.7%");
+    }
+
+    #[test]
+    fn handles_short_rows() {
+        let t = render_table(&["a", "b"], &[vec!["x".into()]]);
+        assert!(t.contains("| x"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Calibrated experiment scenarios for the paper's evaluation (Section VI).
+//!
+//! Each builder reproduces the *setup* the paper describes and calibrates
+//! demand so that the stated baseline utilization holds (e.g. "the average
+//! server utilization for E-PVM is 32 %" in the Wikipedia experiment).
+//! Calibration scales CPU demand only; memory footprints are set to
+//! testbed-plausible values so that memory bounds — not dominates — the
+//! packing (the Table II nominal profiles are preserved in
+//! `goldilocks-workload`).
+
+use goldilocks_cluster::MigrationModel;
+use goldilocks_topology::{builders, Resources};
+use goldilocks_workload::generators::{azure_mix, twitter_caching};
+use goldilocks_workload::mstrace::{search_trace, SearchTraceConfig};
+use goldilocks_workload::traces::{azure_container_counts, correlated_loads, wikipedia_rps};
+use goldilocks_workload::Workload;
+
+use crate::energy::PowerConfig;
+use crate::epoch::{EpochSpec, Scenario};
+use crate::latency::LatencyModel;
+
+/// Scales every container's CPU demand so the *average* epoch demand equals
+/// `target_avg_util` of the total CPU capacity, clamped so the *peak* epoch
+/// stays at or below `peak_cap_util`.
+fn calibrate_cpu(
+    workload: &mut Workload,
+    total_capacity_cpu: f64,
+    mean_load_factor: f64,
+    peak_load_factor: f64,
+    target_avg_util: f64,
+    peak_cap_util: f64,
+) {
+    let base_cpu = workload.total_demand().cpu;
+    if base_cpu <= 0.0 {
+        return;
+    }
+    let by_avg = target_avg_util * total_capacity_cpu / (mean_load_factor * base_cpu);
+    let by_peak = peak_cap_util * total_capacity_cpu / (peak_load_factor * base_cpu);
+    let scale = by_avg.min(by_peak);
+    for c in &mut workload.containers {
+        c.demand.cpu *= scale;
+    }
+}
+
+/// The Fig. 9 experiment: Twitter content caching on the Wikipedia trace
+/// pattern. The paper's full configuration is `wiki_testbed(60, 176, seed)`:
+/// 176 containers on the 16-server testbed, 60 one-minute epochs, RPS
+/// sweeping 44 K–440 K, E-PVM average utilization ≈ 32 %.
+pub fn wiki_testbed(epochs: usize, containers: usize, seed: u64) -> Scenario {
+    let tree = builders::testbed_16();
+    let mut base = twitter_caching(containers, seed);
+    // Testbed-plausible cache footprints (memory bounds the packers without
+    // dominating CPU-driven behaviour).
+    for c in &mut base.containers {
+        c.demand.memory_gb = if c.app == "memcached-frontend" { 0.5 } else { 2.0 };
+    }
+    let mut base = base.shuffled(seed ^ 0x5_4u64);
+    let trace = wikipedia_rps(epochs, 44_000.0, 440_000.0);
+    let fracs: Vec<f64> = trace.values.iter().map(|v| v / trace.max()).collect();
+    let mean_frac = fracs.iter().sum::<f64>() / fracs.len() as f64;
+    let total_cpu = tree.server_count() as f64 * 3200.0;
+    calibrate_cpu(&mut base, total_cpu, mean_frac, 1.0, 0.32, 0.66);
+
+    let epochs_spec = fracs
+        .iter()
+        .zip(&trace.values)
+        .map(|(&f, &rps)| EpochSpec {
+            load_factor: f,
+            container_count: containers,
+            rps,
+        })
+        .collect();
+
+    Scenario {
+        name: "fig9-wiki-twitter-caching".into(),
+        tree,
+        base,
+        epochs: epochs_spec,
+        epoch_seconds: 60.0,
+        power: PowerConfig::testbed(),
+        latency: LatencyModel::default(),
+        migration: MigrationModel::default(),
+        per_container_load: None,
+        tct_app_prefix: Some("memcached".into()),
+        reservation_factor: 1.0,
+    }
+}
+
+/// The Fig. 10 experiment: a rich mixture of seven applications following
+/// the Azure trace pattern — container counts wander between `min_count` and
+/// `max_count` (paper: 149–221) with Pearson-correlated (~0.7) per-container
+/// bursts, E-PVM average utilization ≈ 54 %.
+pub fn azure_testbed(epochs: usize, seed: u64) -> Scenario {
+    azure_testbed_sized(epochs, 149, 221, seed)
+}
+
+/// [`azure_testbed`] with custom container-count bounds (for fast tests).
+pub fn azure_testbed_sized(
+    epochs: usize,
+    min_count: usize,
+    max_count: usize,
+    seed: u64,
+) -> Scenario {
+    let tree = builders::testbed_16();
+    let mut base = azure_mix(max_count + max_count / 20 + 4, seed);
+    // Memory and network at Table II scale swamp a 16-server / 1 GbE
+    // testbed; scale footprints to testbed-plausible sizes so CPU — the
+    // dimension the power argument is about — stays the binding resource.
+    for c in &mut base.containers {
+        c.demand.memory_gb = (c.demand.memory_gb * 0.15).max(0.3);
+        c.demand.network_mbps *= 0.35;
+    }
+    for f in &mut base.flows {
+        f.mbps *= 0.35;
+    }
+    let base = base.shuffled(seed ^ 0x5_4u64);
+    let mut base = base;
+    let counts = azure_container_counts(epochs, min_count, max_count, seed);
+    let mean_count = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+    let total_cpu = tree.server_count() as f64 * 3200.0;
+    // Load factor per epoch is 1.0; count variation and the correlated
+    // multipliers (±20 %) provide the fluctuation. Calibrate against the
+    // mean count, clamping the burst peak near the packers' cap.
+    let mean_frac = mean_count / base.len() as f64;
+    let peak_frac = max_count as f64 / base.len() as f64 * 1.2;
+    calibrate_cpu(&mut base, total_cpu, mean_frac, peak_frac, 0.50, 0.90);
+
+    let rps_per_memcached = 2_000.0;
+    let epochs_spec = counts
+        .iter()
+        .map(|&count| {
+            let memcached = base.containers[..count]
+                .iter()
+                .filter(|c| c.app.starts_with("memcached"))
+                .count();
+            EpochSpec {
+                load_factor: 1.0,
+                container_count: count,
+                rps: rps_per_memcached * memcached as f64,
+            }
+        })
+        .collect();
+
+    let mults = correlated_loads(base.len(), epochs, 0.7, seed ^ 0xA2u64);
+    // Re-center the multipliers on 1.0 with ±20 % amplitude.
+    let mults = mults
+        .into_iter()
+        .map(|mut t| {
+            for v in &mut t.values {
+                *v = 1.0 + (*v - 1.0) * (0.2 / 0.3);
+            }
+            t
+        })
+        .collect();
+
+    Scenario {
+        name: "fig10-azure-mix".into(),
+        tree,
+        base,
+        epochs: epochs_spec,
+        epoch_seconds: 60.0,
+        power: PowerConfig::testbed(),
+        latency: LatencyModel::default(),
+        migration: MigrationModel::default(),
+        per_container_load: Some(mults),
+        tct_app_prefix: Some("memcached".into()),
+        // Azure tenants over-reserve: Resource Central reports large gaps
+        // between reserved and used cores, the premise of its bucket sizing.
+        reservation_factor: 1.5,
+    }
+}
+
+/// The Fig. 13 experiment: the large-scale flow-level simulation on a k-ary
+/// fat tree driven by the Microsoft-search-like trace. The paper's full
+/// configuration is `largescale(28, 88, seed)`: 5488 servers, 980 switches,
+/// 49 392 containers over 88 one-hour epochs, E-PVM utilization 26–40 %.
+/// Use a smaller even `k` (e.g. 8 or 12) for quick runs.
+pub fn largescale(k: usize, epochs: usize, seed: u64) -> Scenario {
+    // R940-class: 48 cores, large memory (search nodes hold 12 GB each and
+    // nine share a server; CPU, not memory, must bind as in the paper).
+    let server = Resources::new(4800.0, 768.0, 10_000.0);
+    let tree = builders::fat_tree(k, server, 10_000.0);
+    let containers = tree.server_count() * 9; // 49392 at k = 28
+    let mut base = search_trace(&SearchTraceConfig {
+        vertices: containers,
+        seed,
+        ..SearchTraceConfig::default()
+    });
+
+    // Diurnal load over the window, 55–100 % of peak.
+    let shape = wikipedia_rps(epochs, 0.55, 1.0);
+    let mean_frac = shape.values.iter().sum::<f64>() / shape.values.len() as f64;
+    let total_cpu = tree.server_count() as f64 * server.cpu;
+    calibrate_cpu(&mut base, total_cpu, mean_frac, 1.0, 0.28, 0.60);
+
+    let isns = base
+        .containers
+        .iter()
+        .filter(|c| c.app == "search-isn")
+        .count() as f64;
+    let epochs_spec = shape
+        .values
+        .iter()
+        .map(|&f| EpochSpec {
+            load_factor: f,
+            container_count: containers,
+            rps: 60.0 * isns * f,
+        })
+        .collect();
+
+    Scenario {
+        name: format!("fig13-largescale-k{k}"),
+        tree,
+        base,
+        epochs: epochs_spec,
+        epoch_seconds: 3600.0,
+        power: PowerConfig::simulation(),
+        latency: LatencyModel::default(),
+        migration: MigrationModel::default(),
+        per_container_load: None,
+        tct_app_prefix: Some("search".into()),
+        reservation_factor: 1.3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::epoch_workload;
+
+    #[test]
+    fn wiki_calibration_hits_baseline_utilization() {
+        let s = wiki_testbed(30, 176, 1);
+        // Average demand ≈ 32 % of cluster CPU (or slightly below if the
+        // peak clamp bound).
+        let total_cpu = 16.0 * 3200.0;
+        let mut utils = Vec::new();
+        for e in 0..s.epochs.len() {
+            let w = epoch_workload(&s, e);
+            utils.push(w.total_demand().cpu / total_cpu);
+        }
+        let avg = utils.iter().sum::<f64>() / utils.len() as f64;
+        assert!((0.22..=0.36).contains(&avg), "avg util {avg}");
+        let peak = utils.iter().copied().fold(0.0, f64::max);
+        assert!(peak <= 0.67, "peak util {peak}");
+    }
+
+    #[test]
+    fn wiki_rps_matches_paper_range() {
+        let s = wiki_testbed(60, 176, 2);
+        let max = s.epochs.iter().map(|e| e.rps).fold(0.0, f64::max);
+        let min = s.epochs.iter().map(|e| e.rps).fold(f64::INFINITY, f64::min);
+        assert!(max <= 440_000.0 + 1.0 && min >= 44_000.0 - 1.0);
+    }
+
+    #[test]
+    fn azure_counts_in_range() {
+        let s = azure_testbed_sized(20, 60, 90, 3);
+        for e in &s.epochs {
+            assert!((60..=90).contains(&e.container_count));
+        }
+        assert!(s.per_container_load.is_some());
+        // RPS follows the memcached population.
+        assert!(s.epochs.iter().all(|e| e.rps > 0.0));
+    }
+
+    #[test]
+    fn azure_memory_fits_testbed() {
+        let s = azure_testbed_sized(10, 60, 90, 4);
+        let w = s.base.prefix(90);
+        let mem = w.total_demand().memory_gb;
+        assert!(
+            mem <= 16.0 * 64.0 * 0.9,
+            "azure mix memory {mem} GB exceeds the testbed"
+        );
+    }
+
+    #[test]
+    fn largescale_matches_paper_at_28() {
+        // Only verify the arithmetic (building the full 49392-container
+        // trace takes seconds; done once here).
+        let s = largescale(8, 4, 5);
+        assert_eq!(s.tree.server_count(), 128);
+        assert_eq!(s.base.len(), 128 * 9);
+        assert_eq!(s.epochs.len(), 4);
+        assert!((s.epoch_seconds - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservation_factors_differ_by_scenario() {
+        // Wiki reserves at nominal (demand == peak); Azure tenants
+        // over-reserve CPU; the large-scale trace sits in between.
+        assert_eq!(wiki_testbed(4, 40, 1).reservation_factor, 1.0);
+        assert!(azure_testbed_sized(4, 30, 40, 1).reservation_factor > 1.0);
+        assert!(largescale(6, 2, 1).reservation_factor > 1.0);
+    }
+
+    #[test]
+    fn azure_network_fits_the_testbed() {
+        let s = azure_testbed_sized(10, 60, 90, 4);
+        let w = s.base.prefix(90);
+        let net = w.total_demand().network_mbps;
+        assert!(
+            net <= 16.0 * 1000.0 * 0.9,
+            "azure mix network {net} Mbps exceeds the 1 GbE testbed"
+        );
+    }
+
+    #[test]
+    fn largescale_utilization_feasible_for_goldilocks() {
+        let s = largescale(8, 6, 6);
+        let total_cpu = s.tree.server_count() as f64 * 4800.0;
+        for e in 0..s.epochs.len() {
+            let w = epoch_workload(&s, e);
+            let u = w.total_demand().cpu / total_cpu;
+            assert!(u <= 0.62, "epoch {e} util {u}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Run summaries: the Fig. 11 / Fig. 13(d) averages and normalizations.
+
+use crate::epoch::PolicyRun;
+
+/// Averages of one policy's run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicySummary {
+    /// Policy name.
+    pub policy: String,
+    /// Mean active servers.
+    pub avg_active_servers: f64,
+    /// Mean total power, W.
+    pub avg_total_watts: f64,
+    /// Mean task completion time, ms.
+    pub avg_tct_ms: f64,
+    /// Mean energy per request, J.
+    pub avg_energy_per_request_j: f64,
+    /// Mean CPU utilization of active servers.
+    pub avg_cpu_util: f64,
+    /// Total migrations over the run.
+    pub total_migrations: usize,
+    /// Epochs that needed the relaxed fallback.
+    pub fallback_epochs: usize,
+}
+
+/// Summarizes a run.
+pub fn summarize(run: &PolicyRun) -> PolicySummary {
+    let n = run.records.len().max(1) as f64;
+    PolicySummary {
+        policy: run.policy.clone(),
+        avg_active_servers: run.records.iter().map(|r| r.active_servers as f64).sum::<f64>() / n,
+        avg_total_watts: run.records.iter().map(|r| r.total_watts()).sum::<f64>() / n,
+        avg_tct_ms: run.records.iter().map(|r| r.tct_ms).sum::<f64>() / n,
+        avg_energy_per_request_j: run
+            .records
+            .iter()
+            .map(|r| r.energy_per_request_j)
+            .sum::<f64>()
+            / n,
+        avg_cpu_util: run.records.iter().map(|r| r.mean_cpu_util).sum::<f64>() / n,
+        total_migrations: run.records.iter().map(|r| r.migrations).sum(),
+        fallback_epochs: run.records.iter().filter(|r| r.fallback).count(),
+    }
+}
+
+/// Total energy of a run in kWh: mean power × wall time. This is what a
+/// data-center operator bills — the integral under the Fig. 9(b)/13(b)
+/// power curves.
+pub fn total_energy_kwh(run: &PolicyRun, epoch_seconds: f64) -> f64 {
+    run.records
+        .iter()
+        .map(|r| r.total_watts() * epoch_seconds / 3600.0 / 1000.0)
+        .sum()
+}
+
+/// Power saving of `policy` relative to `baseline` (Fig. 11a normalizes to
+/// E-PVM): `1 − watts / baseline_watts`.
+pub fn power_saving_vs(policy: &PolicySummary, baseline: &PolicySummary) -> f64 {
+    if baseline.avg_total_watts <= 0.0 {
+        0.0
+    } else {
+        1.0 - policy.avg_total_watts / baseline.avg_total_watts
+    }
+}
+
+/// Fig. 13(d)-style normalization: each metric of `policy` divided by the
+/// baseline's value. Returns ⟨active, power, tct⟩ ratios.
+pub fn normalized_to(policy: &PolicySummary, baseline: &PolicySummary) -> (f64, f64, f64) {
+    let div = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+    (
+        div(policy.avg_active_servers, baseline.avg_active_servers),
+        div(policy.avg_total_watts, baseline.avg_total_watts),
+        div(policy.avg_tct_ms, baseline.avg_tct_ms),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochRecord;
+
+    fn record(watts: f64, tct: f64, active: usize) -> EpochRecord {
+        EpochRecord {
+            epoch: 0,
+            active_servers: active,
+            server_watts: watts,
+            switch_watts: 0.0,
+            boot_watts: 0.0,
+            tct_ms: tct,
+            energy_per_request_j: 0.01,
+            migrations: 2,
+            freeze_seconds: 1.0,
+            mean_cpu_util: 0.5,
+            fallback: false,
+        }
+    }
+
+    #[test]
+    fn summary_averages() {
+        let run = PolicyRun {
+            policy: "X".into(),
+            records: vec![record(100.0, 4.0, 10), record(300.0, 8.0, 20)],
+        };
+        let s = summarize(&run);
+        assert_eq!(s.avg_total_watts, 200.0);
+        assert_eq!(s.avg_tct_ms, 6.0);
+        assert_eq!(s.avg_active_servers, 15.0);
+        assert_eq!(s.total_migrations, 4);
+        assert_eq!(s.fallback_epochs, 0);
+    }
+
+    #[test]
+    fn power_saving_math() {
+        let a = summarize(&PolicyRun {
+            policy: "base".into(),
+            records: vec![record(1000.0, 5.0, 16)],
+        });
+        let b = summarize(&PolicyRun {
+            policy: "better".into(),
+            records: vec![record(800.0, 5.0, 10)],
+        });
+        assert!((power_saving_vs(&b, &a) - 0.2).abs() < 1e-12);
+        let (act, pow, tct) = normalized_to(&b, &a);
+        assert!((act - 10.0 / 16.0).abs() < 1e-12);
+        assert!((pow - 0.8).abs() < 1e-12);
+        assert!((tct - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_integration() {
+        let run = PolicyRun {
+            policy: "X".into(),
+            records: vec![record(1000.0, 1.0, 1), record(2000.0, 1.0, 1)],
+        };
+        // Two one-hour epochs at 1 kW and 2 kW = 3 kWh.
+        let kwh = total_energy_kwh(&run, 3600.0);
+        assert!((kwh - 3.0).abs() < 1e-9, "{kwh}");
+        // Sixty one-minute epochs would scale accordingly.
+        assert!((total_energy_kwh(&run, 60.0) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let s = summarize(&PolicyRun {
+            policy: "empty".into(),
+            records: vec![],
+        });
+        assert_eq!(s.avg_total_watts, 0.0);
+        assert_eq!(power_saving_vs(&s, &s), 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Topology builders: fat-tree, leaf-spine (the paper's testbed), and the
+//! large-scale simulation topology.
+
+use crate::resources::Resources;
+use crate::tree::{DcTree, NodeId, NodeKind, ServerId, ServerInfo, TreeNode};
+
+/// Incrementally assembles a [`DcTree`].
+struct TreeAssembler {
+    nodes: Vec<TreeNode>,
+    servers: Vec<ServerInfo>,
+}
+
+impl TreeAssembler {
+    fn new() -> Self {
+        TreeAssembler {
+            nodes: Vec::new(),
+            servers: Vec::new(),
+        }
+    }
+
+    fn add_switch(
+        &mut self,
+        parent: Option<NodeId>,
+        level: u8,
+        switch_count: usize,
+        uplink_mbps: f64,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let depth = parent.map_or(0, |p| self.nodes[p.0].depth + 1);
+        self.nodes.push(TreeNode {
+            parent,
+            children: Vec::new(),
+            kind: NodeKind::Switch {
+                level,
+                switch_count,
+            },
+            uplink_mbps,
+            reserved_mbps: 0.0,
+            depth,
+        });
+        if let Some(p) = parent {
+            self.nodes[p.0].children.push(id);
+        }
+        id
+    }
+
+    fn add_server(&mut self, parent: NodeId, resources: Resources, nic_mbps: f64) -> ServerId {
+        let id = NodeId(self.nodes.len());
+        let depth = self.nodes[parent.0].depth + 1;
+        let server = ServerId(self.servers.len());
+        self.nodes.push(TreeNode {
+            parent: Some(parent),
+            children: Vec::new(),
+            kind: NodeKind::Server { server },
+            uplink_mbps: nic_mbps,
+            reserved_mbps: 0.0,
+            depth,
+        });
+        self.nodes[parent.0].children.push(id);
+        self.servers.push(ServerInfo {
+            node: id,
+            resources,
+            failed: false,
+        });
+        server
+    }
+
+    fn finish(self, root: NodeId, name: impl Into<String>) -> DcTree {
+        DcTree::from_parts(self.nodes, self.servers, root, name)
+    }
+}
+
+/// Builds a k-ary fat-tree [Al-Fares et al., SIGCOMM 2008]:
+/// `k` pods × `k/2` racks × `k/2` servers = `k³/4` servers, with `5k²/4`
+/// switches (`k²/2` edge, `k²/2` aggregation, `k²/4` core). Full bisection
+/// bandwidth: every subtree's uplink equals its servers' aggregate NIC rate.
+///
+/// # Panics
+///
+/// Panics if `k` is not an even number ≥ 2.
+pub fn fat_tree(k: usize, server: Resources, nic_mbps: f64) -> DcTree {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity k={k} must be even and >= 2");
+    let half = k / 2;
+    let mut a = TreeAssembler::new();
+    let core = a.add_switch(None, 0, k * k / 4, f64::INFINITY);
+    for _pod in 0..k {
+        // A pod aggregates k/2 aggregation switches.
+        let pod_uplink = (half * half) as f64 * nic_mbps;
+        let pod = a.add_switch(Some(core), 1, half, pod_uplink);
+        for _rack in 0..half {
+            let rack_uplink = half as f64 * nic_mbps;
+            let rack = a.add_switch(Some(pod), 2, 1, rack_uplink);
+            for _s in 0..half {
+                a.add_server(rack, server, nic_mbps);
+            }
+        }
+    }
+    a.finish(core, format!("fat-tree({k})"))
+}
+
+/// Builds a leaf-spine topology: `spines` spine switches fully meshed with
+/// `leaves` leaf switches, each hosting `servers_per_leaf` servers. Each
+/// leaf-to-spine link runs at `nic_mbps` (the paper's testbed used 1 GbE
+/// everywhere), so a leaf's uplink is `spines × nic_mbps`.
+pub fn leaf_spine(
+    leaves: usize,
+    servers_per_leaf: usize,
+    spines: usize,
+    server: Resources,
+    nic_mbps: f64,
+) -> DcTree {
+    assert!(leaves > 0 && servers_per_leaf > 0 && spines > 0);
+    let mut a = TreeAssembler::new();
+    let root = a.add_switch(None, 0, spines, f64::INFINITY);
+    for _ in 0..leaves {
+        // Effective bisection bandwidth of the rack: bounded both by the
+        // spine fan-out and by what its servers can inject.
+        let uplink = (spines as f64 * nic_mbps).min(servers_per_leaf as f64 * nic_mbps);
+        let leaf = a.add_switch(Some(root), 1, 1, uplink);
+        for _ in 0..servers_per_leaf {
+            a.add_server(leaf, server, nic_mbps);
+        }
+    }
+    a.finish(root, format!("leaf-spine({leaves}x{servers_per_leaf})"))
+}
+
+/// The paper's 16-server testbed (Section V): 8 virtual leaf switches with 2
+/// servers each, 2 spine switches, 1 GbE links, 32-core / 64 GB servers.
+pub fn testbed_16() -> DcTree {
+    leaf_spine(8, 2, 2, Resources::testbed_server(), 1000.0)
+}
+
+/// The large-scale simulation topology (Section VI-B): a 28-ary fat tree
+/// with 5488 servers and 980 switches, 10 G NICs, Dell R940-class servers
+/// (here 48 cores / 192 GB).
+pub fn fat_tree_28() -> DcTree {
+    fat_tree(28, Resources::new(4800.0, 192.0, 10_000.0), 10_000.0)
+}
+
+/// Builds a VL2-style topology [Greenberg et al., SIGCOMM 2009]: `tors`
+/// top-of-rack switches with `servers_per_tor` servers each, an aggregation
+/// fabric of `fabric` switches, and an explicit per-ToR uplink capacity
+/// (VL2 ToRs carry 2×10 G uplinks regardless of the spine fan-out).
+pub fn vl2(
+    tors: usize,
+    servers_per_tor: usize,
+    fabric: usize,
+    server: Resources,
+    nic_mbps: f64,
+    tor_uplink_mbps: f64,
+) -> DcTree {
+    assert!(tors > 0 && servers_per_tor > 0 && fabric > 0);
+    let mut a = TreeAssembler::new();
+    let root = a.add_switch(None, 0, fabric, f64::INFINITY);
+    for _ in 0..tors {
+        let tor = a.add_switch(Some(root), 1, 1, tor_uplink_mbps);
+        for _ in 0..servers_per_tor {
+            a.add_server(tor, server, nic_mbps);
+        }
+    }
+    a.finish(root, format!("vl2({tors}x{servers_per_tor})"))
+}
+
+/// The VL2(96) row of Table I: 2304 ToRs × 20 servers = 46 080 servers, 144
+/// fabric switches, 10 G servers with 2×40 G ToR uplinks.
+pub fn vl2_96() -> DcTree {
+    vl2(
+        2304,
+        20,
+        144,
+        Resources::new(3200.0, 128.0, 10_000.0),
+        10_000.0,
+        80_000.0,
+    )
+}
+
+/// A single rack of `n` servers behind one ToR (useful in tests/examples).
+pub fn single_rack(n: usize, server: Resources, nic_mbps: f64) -> DcTree {
+    assert!(n > 0);
+    let mut a = TreeAssembler::new();
+    let root = a.add_switch(None, 0, 1, f64::INFINITY);
+    for _ in 0..n {
+        a.add_server(root, server, nic_mbps);
+    }
+    a.finish(root, format!("rack({n})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_counts() {
+        for k in [4usize, 8, 28] {
+            let t = fat_tree(k, Resources::testbed_server(), 1000.0);
+            assert_eq!(t.server_count(), k * k * k / 4, "k={k} servers");
+            assert_eq!(t.switch_count(), 5 * k * k / 4, "k={k} switches");
+        }
+    }
+
+    #[test]
+    fn simulation_topology_matches_paper() {
+        let t = fat_tree_28();
+        assert_eq!(t.server_count(), 5488);
+        assert_eq!(t.switch_count(), 980);
+    }
+
+    #[test]
+    fn testbed_matches_paper() {
+        let t = testbed_16();
+        assert_eq!(t.server_count(), 16);
+        // 8 leaves + 2 spines = 10 physical switches.
+        assert_eq!(t.switch_count(), 10);
+        let s = t.server(ServerId(0));
+        assert_eq!(s.resources.cpu, 3200.0);
+        assert_eq!(s.resources.memory_gb, 64.0);
+    }
+
+    #[test]
+    fn full_bisection_uplinks() {
+        let t = fat_tree(4, Resources::testbed_server(), 1000.0);
+        // A rack of 2 servers at 1000 Mbps each has a 2000 Mbps uplink.
+        let rack = t.subtrees_smallest_first()[0];
+        assert_eq!(t.node(rack).uplink_mbps, 2000.0);
+        let servers = t.servers_under(rack);
+        let total_nic: f64 = servers
+            .iter()
+            .map(|s| t.node(t.server(*s).node).uplink_mbps)
+            .sum();
+        assert_eq!(total_nic, t.node(rack).uplink_mbps);
+    }
+
+    #[test]
+    fn leaf_spine_uplink_is_spine_fanout() {
+        let t = leaf_spine(8, 2, 2, Resources::testbed_server(), 1000.0);
+        let leaf = t.subtrees_smallest_first()[0];
+        assert_eq!(t.node(leaf).uplink_mbps, 2000.0);
+    }
+
+    #[test]
+    fn single_rack_distances() {
+        let t = single_rack(4, Resources::testbed_server(), 1000.0);
+        let order = t.servers_in_dfs_order();
+        assert_eq!(t.hop_distance(order[0], order[3]), 2);
+    }
+
+    #[test]
+    fn vl2_counts_match_table_one() {
+        let t = vl2_96();
+        assert_eq!(t.server_count(), 46080);
+        assert_eq!(t.switch_count(), 2304 + 144);
+        // ToR uplink is the fixed 2x40G, not servers × NIC.
+        let tor = t.subtrees_smallest_first()[0];
+        assert_eq!(t.node(tor).uplink_mbps, 80_000.0);
+    }
+
+    #[test]
+    fn vl2_is_oversubscribed() {
+        // 20 × 10 G of server NICs behind an 80 G uplink: 2.5:1.
+        let t = vl2_96();
+        let tor = t.subtrees_smallest_first()[0];
+        let nic_sum: f64 = t
+            .servers_under(tor)
+            .iter()
+            .map(|s| t.node(t.server(*s).node).uplink_mbps)
+            .sum();
+        assert!(nic_sum > t.node(tor).uplink_mbps);
+        assert!((nic_sum / t.node(tor).uplink_mbps - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_fat_tree_rejected() {
+        fat_tree(5, Resources::testbed_server(), 1000.0);
+    }
+}

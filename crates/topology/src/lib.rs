@@ -1,0 +1,37 @@
+//! # goldilocks-topology
+//!
+//! Data-center network topologies for the Goldilocks reproduction
+//! (ICDCS 2019), modeled as the logical aggregation tree that placement
+//! operates on: server ⊂ rack ⊂ pod ⊂ core, each internal node carrying its
+//! subtree's outbound (bisection) bandwidth and the number of physical
+//! switches it aggregates.
+//!
+//! - [`Resources`]: the ⟨CPU, memory, network⟩ vector of Section III-A.
+//! - [`DcTree`]: topology tree with hop distances, left-to-right server
+//!   order, smallest-subtree enumeration, bandwidth reservation
+//!   (Eq. 4/5 bookkeeping), link degradation and server failures.
+//! - [`builders`]: [`builders::fat_tree`] (incl. the 28-ary / 5488-server
+//!   simulation topology), [`builders::leaf_spine`] and the paper's
+//!   16-server [`builders::testbed_16`].
+//!
+//! ## Example
+//!
+//! ```
+//! use goldilocks_topology::builders::fat_tree_28;
+//!
+//! let dc = fat_tree_28();
+//! assert_eq!(dc.server_count(), 5488); // Section VI-B
+//! assert_eq!(dc.switch_count(), 980);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+mod resources;
+mod tree;
+
+pub use resources::Resources;
+pub use tree::{
+    DcTree, InsufficientBandwidth, NodeId, NodeKind, ServerId, ServerInfo, TreeNode,
+};

@@ -1,0 +1,144 @@
+//! Property-based tests for topology invariants.
+
+use goldilocks_topology::builders::{fat_tree, leaf_spine, single_rack};
+use goldilocks_topology::{DcTree, NodeKind, Resources, ServerId};
+use proptest::prelude::*;
+
+fn arb_tree() -> impl Strategy<Value = DcTree> {
+    prop_oneof![
+        (1usize..5, 1usize..5, 1usize..4).prop_map(|(l, s, sp)| leaf_spine(
+            l,
+            s,
+            sp,
+            Resources::testbed_server(),
+            1000.0
+        )),
+        (1usize..4).prop_map(|h| fat_tree(h * 2 + 2, Resources::testbed_server(), 1000.0)),
+        (1usize..20).prop_map(|n| single_rack(n, Resources::testbed_server(), 1000.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hop distance is a metric: zero iff same server, symmetric, triangle.
+    #[test]
+    fn hop_distance_is_a_metric(tree in arb_tree(), seed in 0u64..1000) {
+        let n = tree.server_count();
+        let pick = |k: u64| ServerId(((seed.wrapping_mul(k + 1)) % n as u64) as usize);
+        let (a, b, c) = (pick(3), pick(7), pick(11));
+        prop_assert_eq!(tree.hop_distance(a, a), 0);
+        prop_assert_eq!(tree.hop_distance(a, b), tree.hop_distance(b, a));
+        if a != b {
+            prop_assert!(tree.hop_distance(a, b) >= 2, "distinct servers are >= 2 links apart");
+            // Even number of links in a tree topology (up then down).
+            prop_assert_eq!(tree.hop_distance(a, b) % 2, 0);
+        }
+        let (ab, bc, ac) = (
+            tree.hop_distance(a, b),
+            tree.hop_distance(b, c),
+            tree.hop_distance(a, c),
+        );
+        prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    /// DFS order covers every server exactly once and keeps rack-mates
+    /// adjacent.
+    #[test]
+    fn dfs_order_covers_and_clusters(tree in arb_tree()) {
+        let order = tree.servers_in_dfs_order();
+        let mut sorted: Vec<_> = order.iter().map(|s| s.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), tree.server_count());
+        // Consecutive servers in DFS order are never farther apart than
+        // non-consecutive ones on average (locality): specifically, any two
+        // servers under the same parent appear contiguously.
+        for w in order.windows(2) {
+            let d = tree.hop_distance(w[0], w[1]);
+            prop_assert!(d <= 2 * 4, "DFS neighbors absurdly far: {d}");
+        }
+    }
+
+    /// Reservations never go negative and releases restore exactly.
+    #[test]
+    fn reservation_roundtrip(tree in arb_tree(), amount in 1.0f64..500.0) {
+        let mut tree = tree;
+        for node in tree.subtrees_smallest_first() {
+            let before = tree.residual_mbps(node);
+            if before.is_finite() && before >= amount {
+                tree.reserve_mbps(node, amount).expect("fits");
+                prop_assert!((tree.residual_mbps(node) - (before - amount)).abs() < 1e-6);
+                tree.release_mbps(node, amount);
+                prop_assert!((tree.residual_mbps(node) - before).abs() < 1e-6);
+                // Over-release clamps at zero reservation.
+                tree.release_mbps(node, 1e9);
+                prop_assert!(tree.residual_mbps(node) <= tree.node(node).uplink_mbps + 1e-6);
+            }
+        }
+    }
+
+    /// Switch counting: monotone in the number of powered servers, zero
+    /// when everything is off, full when everything is on.
+    #[test]
+    fn active_switches_monotone(tree in arb_tree(), on_bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let n = tree.server_count();
+        let mut on: Vec<bool> = (0..n).map(|i| *on_bits.get(i % on_bits.len()).unwrap_or(&false)).collect();
+        let some = tree.active_switch_count(&on);
+        prop_assert!(some <= tree.switch_count());
+        // Turning one more server on never decreases the count.
+        if let Some(pos) = on.iter().position(|b| !*b) {
+            on[pos] = true;
+            let more = tree.active_switch_count(&on);
+            prop_assert!(more >= some, "monotonicity violated: {more} < {some}");
+        }
+        prop_assert_eq!(tree.active_switch_count(&vec![false; n]), 0);
+        prop_assert_eq!(tree.active_switch_count(&vec![true; n]), tree.switch_count());
+    }
+
+    /// Failing servers shrinks the healthy set and never breaks DFS order.
+    #[test]
+    fn failures_are_consistent(tree in arb_tree(), kill in 0usize..8) {
+        let mut tree = tree;
+        let n = tree.server_count();
+        let kill = kill.min(n.saturating_sub(1));
+        for k in 0..kill {
+            tree.fail_server(ServerId(k));
+        }
+        prop_assert_eq!(tree.healthy_servers().len(), n - kill);
+        let order = tree.servers_in_dfs_order();
+        prop_assert_eq!(order.len(), n, "DFS still lists all servers");
+        let mean = tree.mean_server_resources();
+        prop_assert!(mean.cpu > 0.0);
+    }
+
+    /// Every non-root node's uplink is finite and positive; the subtree
+    /// bandwidth never exceeds the sum of its servers' NICs (full bisection
+    /// at most).
+    #[test]
+    fn uplinks_are_sane(tree in arb_tree()) {
+        for id in tree.subtrees_smallest_first() {
+            let node = tree.node(id);
+            if node.parent.is_none() {
+                prop_assert!(node.uplink_mbps.is_infinite());
+                continue;
+            }
+            prop_assert!(node.uplink_mbps.is_finite() && node.uplink_mbps > 0.0);
+            let nic_sum: f64 = tree
+                .servers_under(id)
+                .iter()
+                .map(|s| tree.node(tree.server(*s).node).uplink_mbps)
+                .sum();
+            prop_assert!(
+                node.uplink_mbps <= nic_sum + 1e-6,
+                "subtree uplink {} exceeds NIC sum {nic_sum}",
+                node.uplink_mbps
+            );
+        }
+        // Node kinds partition: servers + switches == nodes.
+        let switches = (0..tree.node_count())
+            .filter(|i| matches!(tree.node(goldilocks_topology::NodeId(*i)).kind, NodeKind::Switch { .. }))
+            .count();
+        prop_assert_eq!(switches + tree.server_count(), tree.node_count());
+    }
+}

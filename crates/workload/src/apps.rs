@@ -1,0 +1,128 @@
+//! Application profiles (Table II of the paper).
+//!
+//! Each profile is the measured per-container resource demand (the container
+//! graph's vertex weight) and the typical number of distinct flows per
+//! container pair (the edge weight), as deployed on the paper's testbed.
+
+use goldilocks_topology::Resources;
+use serde::{Deserialize, Serialize};
+
+/// A containerized application profile: Table II row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: String,
+    /// Per-container demand at the nominal operating point.
+    pub demand: Resources,
+    /// Typical distinct-flow count between communicating container pairs.
+    pub flow_count: i64,
+}
+
+impl AppProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, demand: Resources, flow_count: i64) -> Self {
+        AppProfile {
+            name: name.into(),
+            demand,
+            flow_count,
+        }
+    }
+
+    /// Twitter content caching (Memcached): 33 % CPU, 4 GB, 24 Mbps,
+    /// 4944 flows.
+    pub fn memcached() -> Self {
+        AppProfile::new("memcached", Resources::new(33.0, 4.0, 24.0), 4944)
+    }
+
+    /// Web search (Apache Solr): 32 % CPU, 12 GB, 1 Mbps, 50 flows.
+    pub fn solr() -> Self {
+        AppProfile::new("solr", Resources::new(32.0, 12.0, 1.0), 50)
+    }
+
+    /// Naive Bayes classifier (Hadoop): 376 % CPU, 2 GB, 328 Mbps, 2 flows.
+    pub fn hadoop() -> Self {
+        AppProfile::new("hadoop", Resources::new(376.0, 2.0, 328.0), 2)
+    }
+
+    /// Media streaming (Nginx): 54 % CPU, 57 GB, 320 Mbps, 25 flows.
+    pub fn nginx() -> Self {
+        AppProfile::new("nginx", Resources::new(54.0, 57.0, 320.0), 25)
+    }
+
+    /// Movie recommendation on Spark (Azure-mix background application).
+    pub fn spark_movierec() -> Self {
+        AppProfile::new("spark-movierec", Resources::new(210.0, 8.0, 60.0), 12)
+    }
+
+    /// PageRank on Spark (Azure-mix background application).
+    pub fn spark_pagerank() -> Self {
+        AppProfile::new("spark-pagerank", Resources::new(260.0, 6.0, 90.0), 8)
+    }
+
+    /// Cassandra database (Azure-mix background application).
+    pub fn cassandra() -> Self {
+        AppProfile::new("cassandra", Resources::new(85.0, 16.0, 45.0), 30)
+    }
+
+    /// The four Table II workloads.
+    pub fn table_two() -> Vec<AppProfile> {
+        vec![
+            AppProfile::memcached(),
+            AppProfile::solr(),
+            AppProfile::hadoop(),
+            AppProfile::nginx(),
+        ]
+    }
+
+    /// The seven applications of the Azure rich-mix experiment
+    /// (Section VI-A-2): Twitter caching plus six background applications.
+    pub fn azure_mix_apps() -> Vec<AppProfile> {
+        vec![
+            AppProfile::memcached(),
+            AppProfile::solr(),
+            AppProfile::spark_movierec(),
+            AppProfile::hadoop(),
+            AppProfile::spark_pagerank(),
+            AppProfile::cassandra(),
+            AppProfile::nginx(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_two_matches_paper() {
+        let t = AppProfile::table_two();
+        assert_eq!(t.len(), 4);
+        let m = &t[0];
+        assert_eq!(m.demand, Resources::new(33.0, 4.0, 24.0));
+        assert_eq!(m.flow_count, 4944);
+        let h = &t[2];
+        assert_eq!(h.demand.cpu, 376.0);
+        assert_eq!(h.flow_count, 2);
+    }
+
+    #[test]
+    fn azure_mix_has_seven_apps() {
+        let apps = AppProfile::azure_mix_apps();
+        assert_eq!(apps.len(), 7);
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        assert!(names.contains(&"memcached"));
+        assert!(names.contains(&"cassandra"));
+    }
+
+    #[test]
+    fn profiles_fit_a_testbed_server() {
+        let server = Resources::testbed_server();
+        for app in AppProfile::azure_mix_apps() {
+            assert!(
+                app.demand.fits_within(&server),
+                "{} does not fit one server",
+                app.name
+            );
+        }
+    }
+}

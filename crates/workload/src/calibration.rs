@@ -1,0 +1,118 @@
+//! Calibration curves (Fig. 12 of the paper).
+//!
+//! The simulation maps trace traffic to server resource demands through two
+//! testbed measurements:
+//!
+//! - Fig. 12(a): Apache Solr CPU utilization (sum over all cores, percent)
+//!   as the search request rate rises to 120 RPS, with memory flat at 12 GB.
+//! - Fig. 12(b): Hadoop slave CPU utilization versus generated network
+//!   traffic on a 16-node cluster replaying the Facebook job trace — a noisy
+//!   scatter from which the simulator samples a CPU value for a given
+//!   traffic rate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Maximum request rate measured for Solr (the trace's max connections per
+/// ISN is 120).
+pub const SOLR_MAX_RPS: f64 = 120.0;
+
+/// Fig. 12(a): Solr CPU utilization (core-percent summed over cores) at
+/// `rps` requests/s. Concave: near-linear at low rates, saturating towards
+/// the measured ceiling. Clamped to the measured 0–120 RPS range.
+pub fn solr_cpu_for_rps(rps: f64) -> f64 {
+    let r = rps.clamp(0.0, SOLR_MAX_RPS);
+    // Saturating curve: ~8 %/RPS initially, ceiling ~700 % (7 cores busy).
+    700.0 * (1.0 - (-r / 55.0).exp())
+}
+
+/// Fig. 12(a) companion: Solr memory stays flat at 12 GB regardless of rate
+/// (in-memory index).
+pub fn solr_memory_gb(_rps: f64) -> f64 {
+    12.0
+}
+
+/// Fig. 12(b): samples a Hadoop slave's CPU utilization (core-percent) for a
+/// given aggregate traffic rate in Mbps. The relation is roughly linear with
+/// large per-node variance (multiple dots share an X value in the paper's
+/// scatter); the simulator picks one at random, exactly as Section VI-B
+/// describes.
+pub fn hadoop_cpu_for_traffic(mbps: f64, rng: &mut StdRng) -> f64 {
+    let m = mbps.max(0.0);
+    let base = 40.0 + 3.2 * m;
+    let spread = 0.35 * base + 20.0;
+    (base + rng.gen_range(-spread..spread)).max(5.0)
+}
+
+/// The deterministic center of the Fig. 12(b) scatter (useful for tests and
+/// analytical baselines).
+pub fn hadoop_cpu_center(mbps: f64) -> f64 {
+    40.0 + 3.2 * mbps.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solr_curve_is_concave_increasing() {
+        let mut prev = -1.0;
+        let mut prev_slope = f64::INFINITY;
+        for i in 0..=12 {
+            let rps = i as f64 * 10.0;
+            let cpu = solr_cpu_for_rps(rps);
+            assert!(cpu > prev, "not increasing at {rps}");
+            if i > 0 {
+                let slope = cpu - prev;
+                assert!(slope <= prev_slope + 1e-9, "not concave at {rps}");
+                prev_slope = slope;
+            }
+            prev = cpu;
+        }
+    }
+
+    #[test]
+    fn solr_clamps_to_measured_range() {
+        assert_eq!(solr_cpu_for_rps(-5.0), solr_cpu_for_rps(0.0));
+        assert_eq!(solr_cpu_for_rps(500.0), solr_cpu_for_rps(120.0));
+        assert_eq!(solr_cpu_for_rps(0.0), 0.0);
+    }
+
+    #[test]
+    fn solr_memory_flat() {
+        for rps in [0.0, 60.0, 120.0] {
+            assert_eq!(solr_memory_gb(rps), 12.0);
+        }
+    }
+
+    #[test]
+    fn hadoop_scatter_centers_on_line() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mbps = 100.0;
+        let n = 2000;
+        let mean: f64 =
+            (0..n).map(|_| hadoop_cpu_for_traffic(mbps, &mut rng)).sum::<f64>() / n as f64;
+        let center = hadoop_cpu_center(mbps);
+        assert!(
+            (mean - center).abs() < center * 0.1,
+            "mean {mean} vs center {center}"
+        );
+    }
+
+    #[test]
+    fn hadoop_has_real_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50).map(|_| hadoop_cpu_for_traffic(50.0, &mut rng)).collect();
+        let distinct: std::collections::BTreeSet<i64> =
+            samples.iter().map(|s| (*s * 10.0) as i64).collect();
+        assert!(distinct.len() > 30, "scatter too narrow: {}", distinct.len());
+        assert!(samples.iter().all(|&s| s >= 5.0));
+    }
+
+    #[test]
+    fn hadoop_cpu_grows_with_traffic() {
+        assert!(hadoop_cpu_center(200.0) > hadoop_cpu_center(20.0));
+        assert_eq!(hadoop_cpu_center(-10.0), hadoop_cpu_center(0.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # goldilocks-workload
+//!
+//! Workloads for the Goldilocks reproduction (ICDCS 2019):
+//!
+//! - [`AppProfile`]: the Table II per-container demand profiles
+//!   (Memcached, Solr, Hadoop, Nginx) plus the Azure-mix background apps.
+//! - [`Workload`] / [`ContainerSpec`] / [`Flow`]: containers with
+//!   ⟨CPU, memory, network⟩ demands and pairwise flows, convertible into the
+//!   paper's container graph ([`Workload::container_graph`]) including
+//!   negative anti-affinity edges for replica spreading.
+//! - [`generators`]: the Twitter content-caching and Azure rich-mix testbed
+//!   workloads (Section VI-A).
+//! - [`traces`]: the Wikipedia diurnal RPS pattern, Azure container counts
+//!   and the Pearson-correlated burst model.
+//! - [`mstrace`]: a synthetic Microsoft search trace matching the published
+//!   statistics (5488 vertices, ~45 connections/VM, heavy-tailed flows).
+//! - [`calibration`]: the Fig. 12 Solr and Hadoop resource-demand curves.
+//!
+//! ## Example
+//!
+//! ```
+//! use goldilocks_workload::generators::twitter_caching;
+//!
+//! let w = twitter_caching(176, 42); // the paper's 176-container experiment
+//! let graph = w.container_graph(0)?;
+//! assert_eq!(graph.vertex_count(), 176);
+//! # Ok::<(), goldilocks_partition::PartitionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod workload;
+
+pub mod calibration;
+pub mod generators;
+pub mod mstrace;
+pub mod traces;
+
+pub use apps::AppProfile;
+pub use workload::{ContainerId, ContainerSpec, Flow, Workload};

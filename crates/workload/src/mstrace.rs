@@ -1,0 +1,272 @@
+//! Synthetic Microsoft search trace (Sections III-A, VI-B; Fig. 5).
+//!
+//! The paper's large-scale simulation is driven by the DCTCP search trace:
+//! 5488 vertices (index-serving nodes and aggregators), 128 538 edges, an
+//! average of ~45 distinct connections per VM, 12 GB flat memory per search
+//! node, query flows of 1.6–2 KB and background update flows of 1–50 MB.
+//! The trace itself is proprietary, so this generator reproduces the
+//! published structure: a partition-aggregate hierarchy (top-level
+//! aggregators → mid-level aggregators → ISNs) with heavy-tailed flow
+//! counts, plus Hadoop-style background update traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::calibration::{hadoop_cpu_for_traffic, solr_cpu_for_rps};
+use crate::workload::{ContainerId, Workload};
+use goldilocks_topology::Resources;
+
+/// Configuration of the synthetic search trace.
+#[derive(Clone, Debug)]
+pub struct SearchTraceConfig {
+    /// Total vertex count (paper: 5488).
+    pub vertices: usize,
+    /// Target average distinct connections per vertex (paper: ~45).
+    pub avg_connections: f64,
+    /// Flat memory per search node in GB (paper: 12).
+    pub memory_gb: f64,
+    /// Query rate per ISN connection, requests/s (paper: up to 120 per ISN).
+    pub rps_per_isn: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchTraceConfig {
+    fn default() -> Self {
+        SearchTraceConfig {
+            vertices: 5488,
+            avg_connections: 45.0,
+            memory_gb: 12.0,
+            rps_per_isn: 60.0,
+            seed: 0x000d_c7c9,
+        }
+    }
+}
+
+/// Builds the synthetic search workload.
+///
+/// Roles: ~1 % top-level aggregators (TLA), ~9 % mid-level aggregators
+/// (MLA), the rest index-serving nodes (ISN). Every MLA connects to a few
+/// TLAs; every ISN connects to several MLAs; flow counts are heavy-tailed.
+/// Background update traffic (Hadoop-style, Fig. 12b) rides on a subset of
+/// ISN pairs.
+pub fn search_trace(config: &SearchTraceConfig) -> Workload {
+    let n = config.vertices;
+    assert!(n >= 20, "trace needs at least 20 vertices");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tla_count = (n / 100).max(2);
+    let mla_count = (n * 9 / 100).max(4);
+    let isn_count = n - tla_count - mla_count;
+
+    let mut w = Workload::new();
+    let query_mbps_per_conn = 0.016 * config.rps_per_isn / 60.0 * 8.0; // ~2 KB responses
+
+    // CPU of search nodes follows the Solr calibration curve at this RPS.
+    let isn_cpu = solr_cpu_for_rps(config.rps_per_isn);
+
+    let tlas: Vec<ContainerId> = (0..tla_count)
+        .map(|_| {
+            w.add_container(
+                "search-tla",
+                Resources::new(isn_cpu * 1.5, config.memory_gb, 200.0),
+                None,
+            )
+        })
+        .collect();
+    let mlas: Vec<ContainerId> = (0..mla_count)
+        .map(|_| {
+            w.add_container(
+                "search-mla",
+                Resources::new(isn_cpu * 1.2, config.memory_gb, 120.0),
+                None,
+            )
+        })
+        .collect();
+    let isns: Vec<ContainerId> = (0..isn_count)
+        .map(|_| {
+            // Background Hadoop traffic adds CPU per Fig. 12(b)'s sampler.
+            let bg_mbps = rng.gen_range(0.0..80.0);
+            let cpu = isn_cpu + hadoop_cpu_for_traffic(bg_mbps, &mut rng);
+            w.add_container(
+                "search-isn",
+                Resources::new(cpu, config.memory_gb, 20.0 + bg_mbps),
+                None,
+            )
+        })
+        .collect();
+
+    // MLA → TLA edges: each MLA serves 2–3 TLAs.
+    for &mla in &mlas {
+        let fanin = rng.gen_range(2..=3.min(tla_count));
+        for _ in 0..fanin {
+            let tla = tlas[rng.gen_range(0..tla_count)];
+            let flows = heavy_tailed_flows(&mut rng, 40);
+            w.add_flow(mla, tla, flows, query_mbps_per_conn * flows as f64);
+        }
+    }
+
+    // ISN → MLA edges sized to hit the average-connection target. Each edge
+    // contributes 2 endpoint-connections; aggregator edges are few, so ISNs
+    // carry ≈ avg_connections/2 edges each.
+    let isn_degree = (config.avg_connections / 2.0).round() as usize;
+    for &isn in &isns {
+        for _ in 0..isn_degree {
+            let mla = mlas[rng.gen_range(0..mla_count)];
+            let flows = heavy_tailed_flows(&mut rng, 8);
+            w.add_flow(isn, mla, flows, query_mbps_per_conn * flows as f64);
+        }
+    }
+
+    // Background update traffic: large flows between random ISN pairs
+    // (1–50 MB objects, Map-Reduce crawl updates).
+    for _ in 0..isn_count / 10 {
+        let a = isns[rng.gen_range(0..isn_count)];
+        let b = isns[rng.gen_range(0..isn_count)];
+        if a != b {
+            let mb = rng.gen_range(1.0..50.0);
+            w.add_flow(a, b, 2, mb * 8.0 / 60.0); // object per minute
+        }
+    }
+    w
+}
+
+/// Heavy-tailed flow count: mostly small, occasionally `scale`× larger —
+/// matching the Fig. 5(b) edge-weight spread over ~3 orders of magnitude.
+fn heavy_tailed_flows(rng: &mut StdRng, scale: i64) -> i64 {
+    let x: f64 = rng.gen();
+    // Pareto-ish: (1-x)^(-0.7) spans [1, ~100) for x in [0,1).
+    let t = (1.0 - x).powf(-0.7);
+    ((t * scale as f64 / 4.0).round() as i64).max(1)
+}
+
+/// The 100-vertex snapshot of Fig. 5(a)/Fig. 7(b): the induced sub-workload
+/// on the first `k` containers (the paper used IPs 10.0.0.1–10.0.0.100).
+pub fn snapshot(w: &Workload, k: usize) -> Workload {
+    let k = k.min(w.len());
+    let mut out = Workload::new();
+    for c in &w.containers[..k] {
+        out.add_container(c.app.clone(), c.demand, c.replica_set);
+    }
+    for f in &w.flows {
+        if f.a.0 < k && f.b.0 < k {
+            out.add_flow(f.a, f.b, f.flow_count, f.mbps);
+        }
+    }
+    out
+}
+
+/// Weight-distribution summary used to render Fig. 5(b): each series is
+/// sorted and normalized to its smallest value.
+#[derive(Clone, Debug)]
+pub struct WeightDistributions {
+    /// Normalized CPU vertex weights, ascending.
+    pub vertex_cpu: Vec<f64>,
+    /// Normalized memory vertex weights, ascending.
+    pub vertex_memory: Vec<f64>,
+    /// Normalized network vertex weights, ascending.
+    pub vertex_network: Vec<f64>,
+    /// Normalized edge weights (flow counts), ascending.
+    pub edge_flows: Vec<f64>,
+}
+
+/// Computes Fig. 5(b)'s normalized weight distributions.
+pub fn weight_distributions(w: &Workload) -> WeightDistributions {
+    fn normalized_sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.retain(|x| *x > 0.0);
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        if let Some(&min) = v.first() {
+            for x in &mut v {
+                *x /= min;
+            }
+        }
+        v
+    }
+    WeightDistributions {
+        vertex_cpu: normalized_sorted(w.containers.iter().map(|c| c.demand.cpu).collect()),
+        vertex_memory: normalized_sorted(
+            w.containers.iter().map(|c| c.demand.memory_gb).collect(),
+        ),
+        vertex_network: normalized_sorted(
+            w.containers.iter().map(|c| c.demand.network_mbps).collect(),
+        ),
+        edge_flows: normalized_sorted(w.flows.iter().map(|f| f.flow_count as f64).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SearchTraceConfig {
+        SearchTraceConfig {
+            vertices: 500,
+            ..SearchTraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_paper_statistics() {
+        let w = search_trace(&SearchTraceConfig::default());
+        assert_eq!(w.len(), 5488);
+        let avg_conn = 2.0 * w.flows.len() as f64 / w.len() as f64;
+        assert!(
+            (35.0..=55.0).contains(&avg_conn),
+            "average connections {avg_conn}, paper says ~45"
+        );
+        // Edge count near the published 128 538.
+        assert!(
+            (100_000..160_000).contains(&w.flows.len()),
+            "edges {}",
+            w.flows.len()
+        );
+    }
+
+    #[test]
+    fn memory_is_flat_twelve_gb() {
+        let w = search_trace(&small_config());
+        assert!(w.containers.iter().all(|c| c.demand.memory_gb == 12.0));
+    }
+
+    #[test]
+    fn edge_weights_are_heavy_tailed() {
+        let w = search_trace(&small_config());
+        let d = weight_distributions(&w);
+        let max = d.edge_flows.last().copied().unwrap();
+        assert!(max >= 20.0, "edge spread only {max}x");
+        // Memory normalizes to exactly 1 everywhere (flat 12 GB).
+        assert!(d.vertex_memory.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        // CPU varies but far less than edges.
+        let cpu_spread = d.vertex_cpu.last().unwrap() / d.vertex_cpu.first().unwrap();
+        assert!(cpu_spread > 1.1 && cpu_spread < max, "cpu spread {cpu_spread}");
+    }
+
+    #[test]
+    fn snapshot_keeps_prefix() {
+        let w = search_trace(&small_config());
+        let s = snapshot(&w, 100);
+        assert_eq!(s.len(), 100);
+        for f in &s.flows {
+            assert!(f.a.0 < 100 && f.b.0 < 100);
+        }
+        assert!(!s.flows.is_empty(), "snapshot should retain aggregator edges");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = search_trace(&small_config());
+        let b = search_trace(&small_config());
+        assert_eq!(a.flows.len(), b.flows.len());
+        assert_eq!(a.containers[0].demand, b.containers[0].demand);
+    }
+
+    #[test]
+    fn roles_present() {
+        let w = search_trace(&small_config());
+        for role in ["search-tla", "search-mla", "search-isn"] {
+            assert!(
+                w.containers.iter().any(|c| c.app == role),
+                "missing {role}"
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: place a small containerized workload with Goldilocks and
+//! compare it against the E-PVM baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use goldilocks::core::Goldilocks;
+use goldilocks::placement::{EPvm, PlaceError, Placer};
+use goldilocks::sim::{meter, PowerConfig};
+use goldilocks::topology::builders::testbed_16;
+use goldilocks::workload::generators::twitter_caching;
+
+fn main() -> Result<(), PlaceError> {
+    // The paper's 16-server leaf-spine testbed (Section V).
+    let dc = testbed_16();
+    println!(
+        "data center: {} — {} servers, {} physical switches",
+        dc.name(),
+        dc.server_count(),
+        dc.switch_count()
+    );
+
+    // 96 containers of the Twitter content-caching workload: front-end
+    // query generators fanned out over memcached shards.
+    let workload = twitter_caching(96, 42);
+    println!(
+        "workload: {} containers, {} flows, total demand {}",
+        workload.len(),
+        workload.flows.len(),
+        workload.total_demand()
+    );
+
+    // Place with Goldilocks (min-cut grouping + 70 % PEE packing)...
+    let goldilocks = Goldilocks::new().place(&workload, &dc)?;
+    // ...and with the E-PVM spread-everywhere baseline.
+    let epvm = EPvm::new().place(&workload, &dc)?;
+
+    let power = PowerConfig::testbed();
+    for (name, placement) in [("Goldilocks", &goldilocks), ("E-PVM", &epvm)] {
+        let sample = meter(placement, &workload, &dc, &power);
+        println!(
+            "{name:>11}: {} active servers, {} switches, {:.0} W total",
+            sample.active_servers,
+            sample.active_switches,
+            sample.total_watts()
+        );
+    }
+    println!(
+        "Goldilocks turns off {} servers and saves {:.0} W.",
+        epvm.active_server_count() - goldilocks.active_server_count(),
+        meter(&epvm, &workload, &dc, &power).total_watts()
+            - meter(&goldilocks, &workload, &dc, &power).total_watts()
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! The paper's headline experiment in miniature: Twitter content caching on
+//! the Wikipedia trace pattern (Fig. 9), all five policies, 20 epochs.
+//!
+//! ```sh
+//! cargo run --release --example twitter_caching
+//! ```
+
+use goldilocks::placement::PlaceError;
+use goldilocks::sim::epoch::run_lineup;
+use goldilocks::sim::scenarios::wiki_testbed;
+use goldilocks::sim::summary::{power_saving_vs, summarize};
+
+fn main() -> Result<(), PlaceError> {
+    // 20 one-minute epochs, 120 containers (the paper runs 60 / 176).
+    let scenario = wiki_testbed(20, 120, 7);
+    println!("scenario: {}", scenario.name);
+    println!(
+        "RPS range: {:.0}–{:.0}, containers: {}",
+        scenario.epochs.iter().map(|e| e.rps).fold(f64::INFINITY, f64::min),
+        scenario.epochs.iter().map(|e| e.rps).fold(0.0, f64::max),
+        scenario.epochs[0].container_count
+    );
+
+    let runs = run_lineup(&scenario)?;
+    let summaries: Vec<_> = runs.iter().map(summarize).collect();
+    let baseline = summaries[0].clone();
+
+    println!("\n{:<12} {:>7} {:>9} {:>8} {:>8} {:>9}", "policy", "servers", "power W", "saving", "TCT ms", "J/request");
+    for s in &summaries {
+        println!(
+            "{:<12} {:>7.1} {:>9.0} {:>7.1}% {:>8.2} {:>9.4}",
+            s.policy,
+            s.avg_active_servers,
+            s.avg_total_watts,
+            power_saving_vs(s, &baseline) * 100.0,
+            s.avg_tct_ms,
+            s.avg_energy_per_request_j
+        );
+    }
+
+    let gold = summaries.last().expect("lineup non-empty");
+    println!(
+        "\nGoldilocks: {:.1}% power saving, {:.1}x faster than the best alternative.",
+        power_saving_vs(gold, &baseline) * 100.0,
+        summaries[..summaries.len() - 1]
+            .iter()
+            .map(|s| s.avg_tct_ms)
+            .fold(f64::INFINITY, f64::min)
+            / gold.avg_tct_ms
+    );
+    Ok(())
+}

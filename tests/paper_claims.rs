@@ -1,0 +1,169 @@
+//! Integration tests asserting the paper's headline claims at reduced scale.
+//!
+//! These are the "does the reproduction reproduce?" tests: each encodes a
+//! qualitative result from the evaluation section — who wins, in which
+//! direction — on a scenario small enough for CI.
+
+use goldilocks::sim::epoch::{run_lineup, run_policy, Policy};
+use goldilocks::sim::scenarios::{azure_testbed_sized, largescale, wiki_testbed};
+use goldilocks::sim::summary::{power_saving_vs, summarize, PolicySummary};
+
+fn wiki_summaries() -> Vec<PolicySummary> {
+    let scenario = wiki_testbed(20, 120, 42);
+    run_lineup(&scenario)
+        .expect("wiki scenario feasible")
+        .iter()
+        .map(summarize)
+        .collect()
+}
+
+#[test]
+fn epvm_keeps_every_server_active() {
+    // Fig. 9(a)/13(a): "all the servers are active in E-PVM".
+    let s = wiki_summaries();
+    assert_eq!(s[0].policy, "E-PVM");
+    assert_eq!(s[0].avg_active_servers, 16.0);
+}
+
+#[test]
+fn goldilocks_saves_the_most_power_on_wiki() {
+    // Fig. 9(b)/11(a): Goldilocks consumes the least power of all policies.
+    let s = wiki_summaries();
+    let gold = s.last().expect("lineup non-empty");
+    assert_eq!(gold.policy, "Goldilocks");
+    for other in &s[..s.len() - 1] {
+        assert!(
+            gold.avg_total_watts < other.avg_total_watts,
+            "Goldilocks {:.0} W !< {} {:.0} W",
+            gold.avg_total_watts,
+            other.policy,
+            other.avg_total_watts
+        );
+    }
+    // And the saving vs E-PVM is substantial (paper: 22.7 %).
+    let saving = power_saving_vs(gold, &s[0]);
+    assert!(saving > 0.15, "saving only {saving}");
+}
+
+#[test]
+fn goldilocks_has_the_shortest_tct_on_wiki() {
+    // Fig. 9(c)/11(b): at least 2.56x shorter than any alternative (we
+    // require > 1.5x at reduced scale).
+    let s = wiki_summaries();
+    let gold = s.last().expect("non-empty");
+    for other in &s[..s.len() - 1] {
+        assert!(
+            other.avg_tct_ms > 1.5 * gold.avg_tct_ms,
+            "{} TCT {:.2} not >> Goldilocks {:.2}",
+            other.policy,
+            other.avg_tct_ms,
+            gold.avg_tct_ms
+        );
+    }
+}
+
+#[test]
+fn goldilocks_has_the_best_energy_per_request() {
+    // Fig. 9(d)/11(c): lowest energy per completed request.
+    let s = wiki_summaries();
+    let gold = s.last().expect("non-empty");
+    for other in &s[..s.len() - 1] {
+        assert!(
+            gold.avg_energy_per_request_j < other.avg_energy_per_request_j,
+            "{} beats Goldilocks on energy/request",
+            other.policy
+        );
+    }
+}
+
+#[test]
+fn packers_use_fewer_servers_than_goldilocks() {
+    // Fig. 9(a): Borg and mPP pack tighter (95 % vs 70 %), so they run
+    // fewer active servers than Goldilocks — yet consume more power.
+    let s = wiki_summaries();
+    let gold = s.last().expect("non-empty");
+    let borg = s.iter().find(|x| x.policy == "Borg").expect("Borg present");
+    let mpp = s.iter().find(|x| x.policy == "mPP").expect("mPP present");
+    assert!(borg.avg_active_servers < gold.avg_active_servers);
+    assert!(mpp.avg_active_servers < gold.avg_active_servers);
+    assert!(borg.avg_total_watts > gold.avg_total_watts);
+}
+
+#[test]
+fn azure_mix_goldilocks_wins_power_and_tct() {
+    // Fig. 10/11: under the rich mix, Goldilocks still saves power vs
+    // E-PVM while every packing alternative is at or below baseline, and
+    // Goldilocks has the lowest TCT.
+    let scenario = azure_testbed_sized(20, 100, 150, 42);
+    let runs = run_lineup(&scenario).expect("azure scenario feasible");
+    let s: Vec<PolicySummary> = runs.iter().map(summarize).collect();
+    let gold = s.last().expect("non-empty");
+    assert_eq!(gold.policy, "Goldilocks");
+    let saving = power_saving_vs(gold, &s[0]);
+    assert!(saving > 0.0, "Goldilocks azure saving {saving}");
+    for other in &s[..s.len() - 1] {
+        assert!(
+            gold.avg_total_watts < other.avg_total_watts,
+            "{} power below Goldilocks",
+            other.policy
+        );
+        assert!(
+            gold.avg_tct_ms < other.avg_tct_ms,
+            "{} TCT {:.2} below Goldilocks {:.2}",
+            other.policy,
+            other.avg_tct_ms,
+            gold.avg_tct_ms
+        );
+    }
+}
+
+#[test]
+fn largescale_shape_matches_fig13() {
+    // Fig. 13(d): Borg/mPP fewest servers but NOT least power; Goldilocks
+    // least power and TCT below E-PVM; alternatives' TCT above E-PVM.
+    let scenario = largescale(6, 6, 42);
+    let runs = run_lineup(&scenario).expect("largescale feasible");
+    let s: Vec<PolicySummary> = runs.iter().map(summarize).collect();
+    let epvm = &s[0];
+    let gold = s.last().expect("non-empty");
+    let borg = s.iter().find(|x| x.policy == "Borg").expect("Borg");
+
+    // E-PVM: every server active.
+    assert_eq!(epvm.avg_active_servers, scenario.tree.server_count() as f64);
+    // Borg packs tightest.
+    assert!(borg.avg_active_servers < gold.avg_active_servers);
+    // ...but Goldilocks draws the least power.
+    for other in &s[..s.len() - 1] {
+        assert!(gold.avg_total_watts < other.avg_total_watts, "{}", other.policy);
+    }
+    // TCT: Goldilocks below the E-PVM baseline; packers above it.
+    assert!(gold.avg_tct_ms < epvm.avg_tct_ms);
+    assert!(borg.avg_tct_ms > epvm.avg_tct_ms);
+}
+
+#[test]
+fn pee_seventy_percent_is_the_power_sweet_spot() {
+    // Fig. 2 in vivo: sweeping the packing target around the knee, 70 %
+    // minimizes measured power (the U curve).
+    let scenario = wiki_testbed(12, 120, 42);
+    let mut watts = Vec::new();
+    for pee in [0.5, 0.7, 0.95] {
+        let cfg = goldilocks::core::GoldilocksConfig::default().with_pee_target(pee);
+        let run = run_policy(&scenario, &Policy::Goldilocks(cfg)).expect("feasible");
+        watts.push(summarize(&run).avg_total_watts);
+    }
+    assert!(watts[1] < watts[0], "70 % {} !< 50 % {}", watts[1], watts[0]);
+    assert!(watts[1] < watts[2], "70 % {} !< 95 % {}", watts[1], watts[2]);
+}
+
+#[test]
+fn migrations_are_tracked_and_costed() {
+    let scenario = wiki_testbed(8, 80, 3);
+    let run = run_policy(&scenario, &Policy::Goldilocks(Default::default())).expect("ok");
+    assert_eq!(run.records[0].migrations, 0);
+    let total: usize = run.records.iter().map(|r| r.migrations).sum();
+    let freeze: f64 = run.records.iter().map(|r| r.freeze_seconds).sum();
+    if total > 0 {
+        assert!(freeze > 0.0, "migrations must cost freeze time");
+    }
+}

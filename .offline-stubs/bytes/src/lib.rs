@@ -1,0 +1,1 @@
+//! Offline stub of `bytes` (unused by workspace code).

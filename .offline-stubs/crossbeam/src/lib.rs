@@ -1,0 +1,6 @@
+//! Offline stub of `crossbeam` (unused by workspace code; exists so
+//! dependency resolution succeeds). `scope` delegates to `std::thread`.
+
+pub mod thread {
+    pub use std::thread::scope;
+}

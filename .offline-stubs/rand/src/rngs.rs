@@ -1,0 +1,30 @@
+//! The stub `StdRng`: SplitMix64 (Steele et al.), deterministic per seed.
+
+use crate::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng {
+            // One warm-up scramble so nearby seeds diverge immediately.
+            state: state ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Alias so `SmallRng` users compile too.
+pub type SmallRng = StdRng;

@@ -22,7 +22,9 @@ fn bench_queries(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("servers_in_dfs_order_1024", |b| b.iter(|| dc.servers_in_dfs_order()));
+    c.bench_function("servers_in_dfs_order_1024", |b| {
+        b.iter(|| dc.servers_in_dfs_order())
+    });
 
     c.bench_function("active_switch_count_1024", |b| {
         let on: Vec<bool> = (0..dc.server_count()).map(|s| s % 3 != 0).collect();

@@ -83,7 +83,10 @@ fn incremental_stickiness() {
     let cfg = BisectConfig::default();
     // Old assignment: a partition from a slightly different seed, simulating
     // the previous epoch's grouping.
-    let old_cfg = BisectConfig { seed: 7, ..cfg.clone() };
+    let old_cfg = BisectConfig {
+        seed: 7,
+        ..cfg.clone()
+    };
     let old = goldilocks_partition::recursive_bisect(&graph, |x| x.fits_within(&cap), &old_cfg)
         .expect("old partition")
         .group_assignment(w.len());
@@ -108,7 +111,13 @@ fn incremental_stickiness() {
 fn incremental_in_the_loop() {
     println!("== Ablation 4: stateless vs incremental Goldilocks over the wiki trace ==");
     let scenario = wiki_testbed(30, 176, 42);
-    let headers = ["placer", "migrations", "freeze s (CRIU)", "avg power W", "avg TCT ms"];
+    let headers = [
+        "placer",
+        "migrations",
+        "freeze s (CRIU)",
+        "avg power W",
+        "avg TCT ms",
+    ];
     let mut rows = Vec::new();
     let variants = [
         ("stateless", Policy::Goldilocks(GoldilocksConfig::paper())),
@@ -140,10 +149,10 @@ fn incremental_in_the_loop() {
 
 fn rc_oversubscription_sweep() {
     println!("== Ablation 5: RC-Informed CPU oversubscription sweep (wiki scenario) ==");
+    use goldilocks_placement::Placer;
     use goldilocks_placement::RcInformed;
     use goldilocks_sim::epoch::epoch_workload;
     use goldilocks_sim::latency::mean_tct_ms;
-    use goldilocks_placement::Placer;
     use goldilocks_sim::meter;
 
     let scenario = wiki_testbed(30, 176, 42);
@@ -156,12 +165,19 @@ fn rc_oversubscription_sweep() {
         let mut rc = RcInformed::with_reservations(reservations.clone());
         rc.cpu_oversubscription = factor;
         let Ok(p) = rc.place(&live, &scenario.tree) else {
-            rows.push(vec![format!("{factor:.2}x"), "infeasible".into(), String::new(), String::new()]);
+            rows.push(vec![
+                format!("{factor:.2}x"),
+                "infeasible".into(),
+                String::new(),
+                String::new(),
+            ]);
             continue;
         };
         let sample = meter(&p, &live, &scenario.tree, &scenario.power);
         let utils = p.server_cpu_utilizations(&live, &scenario.tree);
-        let tct = mean_tct_ms(&scenario.latency, &live, &p, &scenario.tree, &utils, |_| true);
+        let tct = mean_tct_ms(&scenario.latency, &live, &p, &scenario.tree, &utils, |_| {
+            true
+        });
         rows.push(vec![
             format!("{factor:.2}x"),
             sample.active_servers.to_string(),

@@ -1,97 +1,132 @@
-//! Failure-injection experiment (Section IV in motion): run Goldilocks'
-//! Virtual-Cluster placer over a load trace while servers die, racks lose
-//! uplink capacity, and hardware heterogeneity appears — then recover.
+//! Failure-injection experiment (Section IV in motion): replay a seeded
+//! fault plan — server crashes, rack-uplink degradation, ToR switch
+//! failures, heterogeneous replacements, stragglers and migration storms —
+//! against Goldilocks' Virtual-Cluster placer, and report the resilience
+//! bill: MTTR, availability, shed load, migration retries/rollbacks, and
+//! the power/TCT delta versus the same trace without faults.
 //!
-//! Not a paper figure; this exercises the asymmetric-topology machinery
-//! end-to-end and reports the cost of each disruption in migrations, power
-//! and TCT.
+//! Usage: `failure_injection [seed] [epochs]` (defaults: 42, 60). The same
+//! seed replays the identical run, byte for byte.
 
-use goldilocks_cluster::{migration_plan, MigrationModel};
-use goldilocks_core::GoldilocksAsym;
-use goldilocks_placement::{Placement, Placer};
-use goldilocks_sim::latency::{mean_tct_ms, LatencyModel};
-use goldilocks_sim::report::{fmt, render_table};
-use goldilocks_sim::{meter, PowerConfig};
+use goldilocks_cluster::MigrationModel;
+use goldilocks_core::GoldilocksConfig;
+use goldilocks_sim::chaos::{run_chaos, FaultPlan, FaultPlanConfig, FaultSchedule};
+use goldilocks_sim::epoch::{EpochSpec, Policy, Scenario};
+use goldilocks_sim::latency::LatencyModel;
+use goldilocks_sim::report::{chaos_to_csv, fmt, pct, resilience_table};
+use goldilocks_sim::PowerConfig;
 use goldilocks_topology::builders::fat_tree;
-use goldilocks_topology::{Resources, ServerId};
+use goldilocks_topology::Resources;
 use goldilocks_workload::generators::twitter_caching;
 
-fn main() {
-    let mut tree = fat_tree(4, Resources::new(3200.0, 64.0, 4000.0), 4000.0);
-    let mut workload = twitter_caching(72, 9);
-    for c in &mut workload.containers {
+fn scenario(epochs: usize) -> Scenario {
+    let tree = fat_tree(4, Resources::new(3200.0, 64.0, 4000.0), 4000.0);
+    let mut base = twitter_caching(72, 9);
+    for c in &mut base.containers {
         c.demand.cpu *= 3.0; // fill the 16 servers to a realistic level
         c.demand.memory_gb = 1.5;
     }
-    let power = PowerConfig::testbed();
-    let latency = LatencyModel::default();
-    let migration = MigrationModel::default();
-
-    // The disruption schedule: (epoch, description, action).
-    let events: Vec<(usize, &str)> = vec![
-        (3, "server 0 (active) fails"),
-        (6, "rack 0 uplink degraded to 10 %"),
-        (9, "servers 12-15 replaced by half-size legacy boxes"),
-        (12, "server 0 restored"),
-    ];
-
-    println!("== Failure injection on {} ({} servers) ==", tree.name(), tree.server_count());
-    let headers = ["epoch", "event", "healthy", "active", "power W", "TCT ms", "migrations"];
-    let mut rows = Vec::new();
-    let mut placer = GoldilocksAsym::new();
-    let mut prev: Option<Placement> = None;
-    for epoch in 0..15 {
-        for (e, what) in &events {
-            if *e == epoch {
-                match *e {
-                    3 => tree.fail_server(ServerId(0)),
-                    6 => {
-                        let rack = tree.subtrees_smallest_first()[0];
-                        tree.degrade_uplink(rack, 0.10);
-                    }
-                    9 => {
-                        for s in 12..16 {
-                            tree.set_server_resources(
-                                ServerId(s),
-                                Resources::new(1600.0, 32.0, 2000.0),
-                            );
-                        }
-                    }
-                    12 => tree.restore_server(ServerId(0)),
-                    _ => {}
-                }
-                rows.push(vec![
-                    epoch.to_string(),
-                    format!("⚡ {what}"),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                ]);
+    let containers = base.len();
+    // A diurnal-ish wave so the active set breathes while faults land.
+    let specs = (0..epochs)
+        .map(|e| {
+            let phase = e as f64 / 12.0 * std::f64::consts::TAU;
+            EpochSpec {
+                load_factor: 0.65 + 0.25 * phase.sin(),
+                container_count: containers,
+                rps: 1000.0,
             }
-        }
-
-        let placement = placer.place(&workload, &tree).expect("placement survives failures");
-        assert!(placement.is_complete());
-        let sample = meter(&placement, &workload, &tree, &power);
-        let utils = placement.server_cpu_utilizations(&workload, &tree);
-        let tct = mean_tct_ms(&latency, &workload, &placement, &tree, &utils, |_| true);
-        let migs = prev
-            .as_ref()
-            .map(|p| migration.plan_cost(&migration_plan(p, &placement), &workload).count)
-            .unwrap_or(0);
-        rows.push(vec![
-            epoch.to_string(),
-            String::new(),
-            tree.healthy_servers().len().to_string(),
-            sample.active_servers.to_string(),
-            fmt(sample.total_watts(), 0),
-            fmt(tct, 2),
-            migs.to_string(),
-        ]);
-        prev = Some(placement);
+        })
+        .collect();
+    Scenario {
+        name: "failure-injection".into(),
+        tree,
+        base,
+        epochs: specs,
+        epoch_seconds: 300.0,
+        power: PowerConfig::testbed(),
+        latency: LatencyModel::default(),
+        // A flaky-but-recoverable pipeline even outside storms.
+        migration: MigrationModel {
+            failure_prob: 0.05,
+            ..MigrationModel::default()
+        },
+        per_container_load: None,
+        tct_app_prefix: None,
+        reservation_factor: 1.0,
     }
-    println!("{}", render_table(&headers, &rows));
-    println!("Every epoch placed completely: failures shift load, they never strand it.");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+
+    let s = scenario(epochs);
+    let plan = FaultPlan {
+        config: FaultPlanConfig::default(),
+        seed,
+    };
+    let schedule = plan.schedule(epochs, &s.tree);
+    let policy = Policy::GoldilocksAsym(GoldilocksConfig::paper());
+
+    println!(
+        "== Failure injection on {} ({} servers, {} epochs, seed {seed}) ==",
+        s.tree.name(),
+        s.tree.server_count(),
+        epochs
+    );
+    println!(
+        "fault plan: {} events ({} faults)",
+        schedule.events.iter().map(Vec::len).sum::<usize>(),
+        schedule.fault_count()
+    );
+
+    let baseline = run_chaos(&s, &policy, &FaultSchedule::empty(epochs), seed)
+        .expect("fault-free control run");
+    let chaos = run_chaos(&s, &policy, &schedule, seed).expect("chaos run survives the plan");
+    let replay = run_chaos(&s, &policy, &schedule, seed).expect("replay");
+    assert_eq!(
+        chaos_to_csv(std::slice::from_ref(&chaos)),
+        chaos_to_csv(std::slice::from_ref(&replay)),
+        "same seed must replay byte-for-byte"
+    );
+    println!("replay check: identical CSV on second run with seed {seed} ✓\n");
+
+    println!("{}", resilience_table(&[baseline.clone(), chaos.clone()]));
+
+    let b = &baseline.summary;
+    let c = &chaos.summary;
+    println!(
+        "power delta: {:+.1} W ({:+.1}%)   TCT delta: {:+.3} ms ({:+.1}%)",
+        c.avg_total_watts - b.avg_total_watts,
+        (c.avg_total_watts / b.avg_total_watts - 1.0) * 100.0,
+        c.avg_tct_ms - b.avg_tct_ms,
+        (c.avg_tct_ms / b.avg_tct_ms - 1.0) * 100.0,
+    );
+    println!(
+        "availability {} | MTTR {} epochs | shed {} container-epochs | \
+         migrations {}/{} ok, {} retries, {} abandoned, {} cold restarts",
+        pct(c.availability),
+        fmt(c.mttr_epochs, 2),
+        c.shed_container_epochs,
+        c.migrations_completed,
+        c.migrations_attempted,
+        c.migration_retries,
+        c.migrations_abandoned,
+        c.forced_restarts,
+    );
+    let worst = chaos
+        .records
+        .iter()
+        .min_by_key(|r| r.healthy_servers)
+        .expect("non-empty run");
+    println!(
+        "worst epoch {}: {} healthy servers, fallback {}, {}/{} served",
+        worst.epoch,
+        worst.healthy_servers,
+        worst.fallback.name(),
+        worst.served,
+        worst.demanded,
+    );
 }

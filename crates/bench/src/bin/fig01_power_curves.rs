@@ -3,9 +3,7 @@
 //! power results whose Peak Energy Efficiency sits at each utilization
 //! bucket, by year.
 
-use goldilocks_power::specpower::{
-    bucket_shares_by_year, synthesize_population, PEE_BUCKETS,
-};
+use goldilocks_power::specpower::{bucket_shares_by_year, synthesize_population, PEE_BUCKETS};
 use goldilocks_power::ServerPowerModel;
 use goldilocks_sim::report::{fmt, pct, render_table};
 

@@ -38,7 +38,13 @@ fn main() {
         let idx = ((v.len() - 1) as f64 * q).round() as usize;
         v[idx]
     };
-    let headers = ["percentile", "vertex CPU", "vertex memory", "vertex network", "edge flows"];
+    let headers = [
+        "percentile",
+        "vertex CPU",
+        "vertex memory",
+        "vertex network",
+        "edge flows",
+    ];
     let rows: Vec<Vec<String>> = percentiles
         .iter()
         .map(|&q| {

@@ -60,7 +60,10 @@ fn main() {
         .map(|(i, s)| vec![i.to_string(), s.to_string()])
         .collect();
     println!("{}", render_table(&headers, &rows));
-    println!("cut = {} (sum of flow counts across partitions)", graph.cut_kway(&labels));
+    println!(
+        "cut = {} (sum of flow counts across partitions)",
+        graph.cut_kway(&labels)
+    );
     let mut grid = String::new();
     for (i, l) in labels.iter().enumerate() {
         grid.push_str(&format!("{l:>2}"));

@@ -41,7 +41,14 @@ fn main() {
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
     let baseline = summaries[0].clone();
     let headers = [
-        "policy", "avg active", "avg power W", "power saving", "avg TCT ms", "avg J/req", "migrations", "fallback epochs",
+        "policy",
+        "avg active",
+        "avg power W",
+        "power saving",
+        "avg TCT ms",
+        "avg J/req",
+        "migrations",
+        "fallback epochs",
     ];
     let rows: Vec<Vec<String>> = summaries
         .iter()

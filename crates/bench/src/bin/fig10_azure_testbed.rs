@@ -37,7 +37,13 @@ fn main() {
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
     let baseline = summaries[0].clone();
     let headers = [
-        "policy", "avg active", "avg power W", "power saving", "avg TCT ms", "avg J/req", "fallback epochs",
+        "policy",
+        "avg active",
+        "avg power W",
+        "power saving",
+        "avg TCT ms",
+        "avg J/req",
+        "fallback epochs",
     ];
     let rows: Vec<Vec<String>> = summaries
         .iter()

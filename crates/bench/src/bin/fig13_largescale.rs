@@ -28,7 +28,11 @@ fn main() {
     let runs = run_lineup(&scenario).expect("scenario is feasible");
     let _ = std::fs::create_dir_all("results");
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
-    let csv_name = if full { "results/fig13_full_timeseries.csv" } else { "results/fig13_timeseries.csv" };
+    let csv_name = if full {
+        "results/fig13_full_timeseries.csv"
+    } else {
+        "results/fig13_timeseries.csv"
+    };
     if std::fs::write(csv_name, csv).is_ok() {
         println!("(time series written to {csv_name})\n");
     }
@@ -53,7 +57,11 @@ fn main() {
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
     let baseline = summaries[0].clone();
     let headers = [
-        "policy", "active (norm)", "power (norm)", "TCT (norm)", "power saving",
+        "policy",
+        "active (norm)",
+        "power (norm)",
+        "TCT (norm)",
+        "power saving",
     ];
     let rows: Vec<Vec<String>> = summaries
         .iter()

@@ -5,14 +5,28 @@ use goldilocks_sim::report::render_table;
 
 fn main() {
     println!("== Table I: configuration of 5 data centers ==");
-    let headers = ["data center", "# servers", "# switches", "# links", "server model", "switch tiers"];
+    let headers = [
+        "data center",
+        "# servers",
+        "# switches",
+        "# links",
+        "server model",
+        "switch tiers",
+    ];
     let rows: Vec<Vec<String>> = DataCenterSpec::table_one()
         .iter()
         .map(|d| {
             let tiers = d
                 .tiers
                 .iter()
-                .map(|t| format!("{}x {} ({:.0} W)", t.count, t.model.name, t.model.nameplate_watts()))
+                .map(|t| {
+                    format!(
+                        "{}x {} ({:.0} W)",
+                        t.count,
+                        t.model.name,
+                        t.model.nameplate_watts()
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(", ");
             vec![
@@ -20,7 +34,10 @@ fn main() {
                 d.servers.to_string(),
                 d.switch_count().to_string(),
                 d.links.to_string(),
-                format!("{} ({:.0} W)", d.server_model.name, d.server_model.peak_watts),
+                format!(
+                    "{} ({:.0} W)",
+                    d.server_model.name, d.server_model.peak_watts
+                ),
                 tiers,
             ]
         })

@@ -6,7 +6,13 @@ use goldilocks_workload::AppProfile;
 
 fn main() {
     println!("== Table II: vertex and edge weights of 4 workloads ==");
-    let headers = ["workload", "CPU (%)", "Memory (GB)", "Network (Mbps)", "Flow count"];
+    let headers = [
+        "workload",
+        "CPU (%)",
+        "Memory (GB)",
+        "Network (Mbps)",
+        "Flow count",
+    ];
     let rows: Vec<Vec<String>> = AppProfile::table_two()
         .iter()
         .map(|a| {

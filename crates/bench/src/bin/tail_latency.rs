@@ -17,7 +17,7 @@ fn main() {
         .epochs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.load_factor.partial_cmp(&b.1.load_factor).expect("no NaN"))
+        .max_by(|a, b| a.1.load_factor.total_cmp(&b.1.load_factor))
         .map(|(i, _)| i)
         .expect("non-empty");
     let live = epoch_workload(&scenario, peak);
@@ -38,14 +38,27 @@ fn main() {
             Err(_) => continue,
         };
         let utils = placement.server_cpu_utilizations(&live, &scenario.tree);
-        let samples = flow_tcts_ms(&scenario.latency, &live, &placement, &scenario.tree, &utils, |_| true);
+        let samples = flow_tcts_ms(
+            &scenario.latency,
+            &live,
+            &placement,
+            &scenario.tree,
+            &utils,
+            |_| true,
+        );
 
         // Burst stress: the same placement, demand +25 % (headroom test).
         let mut burst: Workload = live.clone();
         burst.scale_load(1.25);
         let burst_utils = placement.server_cpu_utilizations(&burst, &scenario.tree);
-        let burst_samples =
-            flow_tcts_ms(&scenario.latency, &burst, &placement, &scenario.tree, &burst_utils, |_| true);
+        let burst_samples = flow_tcts_ms(
+            &scenario.latency,
+            &burst,
+            &placement,
+            &scenario.tree,
+            &burst_utils,
+            |_| true,
+        );
 
         rows.push(vec![
             policy.name().to_string(),

@@ -1,4 +1,3 @@
 //! Experiment harness for the Goldilocks reproduction: every table and
 //! figure of the paper has a binary under `src/bin/`, and the Criterion
 //! micro-benchmarks live under `benches/`.
-

@@ -1,0 +1,402 @@
+//! Fault-aware execution of an epoch's migration batch.
+//!
+//! The planner (epoch driver) decides *where* containers should go; this
+//! module models what the testbed's migration controller does when the
+//! CRIU pipeline misbehaves while getting them there:
+//!
+//! - each voluntary migration attempt can fail with
+//!   [`MigrationModel::failure_prob`] (rsync stall, dump error) — the
+//!   controller rolls the container back to its source with a second,
+//!   legal [`Transition::Migrate`] and retries after exponential backoff,
+//!   up to [`MigrationModel::max_retries`] extra attempts;
+//! - a migration whose projected freeze time exceeds
+//!   [`MigrationModel::timeout_s`] is aborted deterministically (retrying
+//!   cannot help) and the container stays on its source;
+//! - a migration whose *source* server has failed cannot checkpoint at all:
+//!   the controller falls back to a cold restart on the destination
+//!   ([`Transition::Stop`] + [`Transition::Start`]), losing in-memory state
+//!   but restoring service.
+//!
+//! Every state change flows through [`ContainerRuntime::apply`], so the
+//! emitted command stream — including rollbacks — is validated to be a
+//! legal lifecycle history.
+
+use goldilocks_placement::Placement;
+use goldilocks_topology::ServerId;
+use goldilocks_workload::Workload;
+
+use crate::lifecycle::{ContainerRuntime, LifecycleError, Transition};
+use crate::migration::MigrationModel;
+
+/// Counters describing how an epoch's migration batch actually went.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MigrationStats {
+    /// Voluntary migrations the planner requested.
+    pub attempted: usize,
+    /// Voluntary migrations that landed on their destination.
+    pub completed: usize,
+    /// Individual attempts that failed mid-pipeline (each one rolled back).
+    pub failed_attempts: usize,
+    /// Retries performed after a failed attempt.
+    pub retries: usize,
+    /// Migrations abandoned after exhausting retries (container kept on its
+    /// source server).
+    pub abandoned: usize,
+    /// Migrations aborted up front because the projected freeze exceeded the
+    /// model timeout.
+    pub timed_out: usize,
+    /// Migrations off a failed source converted to cold stop+start.
+    pub forced_restarts: usize,
+    /// Application freeze time actually paid, including wasted work of
+    /// failed attempts, seconds.
+    pub total_freeze_s: f64,
+    /// Time spent waiting in exponential backoff, seconds.
+    pub backoff_s: f64,
+    /// Bytes moved across the network (successful and failed attempts), MB.
+    pub total_transfer_mb: f64,
+}
+
+/// Result of executing one epoch's reconciliation under the fault model.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationOutcome {
+    /// What happened, in numbers.
+    pub stats: MigrationStats,
+    /// The full legal command stream that was applied, rollbacks included.
+    pub transitions: Vec<Transition>,
+    /// Containers left on their source because migration failed for good.
+    pub abandoned: Vec<usize>,
+}
+
+/// Reconciles `runtime` toward `target` under the fault model in `model`.
+///
+/// `failed_server` reports whether a server is currently down (its
+/// containers cannot be checkpointed and are restarted cold). `roll` is the
+/// caller's deterministic uniform-\[0,1) source; it is consulted exactly
+/// once per voluntary migration attempt, so identical seeds replay
+/// identically.
+///
+/// Containers whose migration is abandoned stay on their source server —
+/// the post-call runtime, not `target`, is the authoritative placement.
+///
+/// # Errors
+///
+/// Propagates a [`LifecycleError`] if the reconciliation stream is illegal
+/// for the current runtime state (a planner bug, e.g. a stale placement).
+pub fn execute_migrations(
+    runtime: &mut ContainerRuntime,
+    target: &Placement,
+    workload: &Workload,
+    model: &MigrationModel,
+    failed_server: &dyn Fn(ServerId) -> bool,
+    roll: &mut dyn FnMut() -> f64,
+) -> Result<MigrationOutcome, LifecycleError> {
+    let mut out = MigrationOutcome::default();
+    for t in runtime.reconcile(target) {
+        match t {
+            Transition::Migrate {
+                container,
+                from,
+                to,
+            } => {
+                execute_one_migration(
+                    runtime,
+                    container,
+                    from,
+                    to,
+                    workload,
+                    model,
+                    failed_server,
+                    roll,
+                    &mut out,
+                )?;
+            }
+            other => {
+                runtime.apply(other)?;
+                out.transitions.push(other);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_one_migration(
+    runtime: &mut ContainerRuntime,
+    container: usize,
+    from: ServerId,
+    to: ServerId,
+    workload: &Workload,
+    model: &MigrationModel,
+    failed_server: &dyn Fn(ServerId) -> bool,
+    roll: &mut dyn FnMut() -> f64,
+    out: &mut MigrationOutcome,
+) -> Result<(), LifecycleError> {
+    let mem = workload
+        .containers
+        .get(container)
+        .map_or(0.0, |c| c.demand.memory_gb);
+    let (freeze_s, transfer_mb) = model.single_cost(mem, mem * 0.5);
+
+    if failed_server(from) {
+        // The source is dead: no checkpoint image exists. Cold restart on
+        // the destination (state loss, but service resumes).
+        let stop = Transition::Stop {
+            container,
+            on: from,
+        };
+        let start = Transition::Start { container, on: to };
+        runtime.apply(stop)?;
+        runtime.apply(start)?;
+        out.transitions.push(stop);
+        out.transitions.push(start);
+        out.stats.forced_restarts += 1;
+        return Ok(());
+    }
+
+    out.stats.attempted += 1;
+
+    if freeze_s > model.timeout_s {
+        // Deterministic abort: every attempt would exceed the timeout.
+        out.stats.timed_out += 1;
+        out.stats.abandoned += 1;
+        out.abandoned.push(container);
+        return Ok(());
+    }
+
+    for attempt in 0..=model.max_retries {
+        if attempt > 0 {
+            out.stats.retries += 1;
+            out.stats.backoff_s += model.retry_backoff_s * f64::from(1u32 << (attempt - 1));
+        }
+        // Optimistic cutover: the controller issues the migrate, then learns
+        // whether the pipeline survived.
+        let go = Transition::Migrate {
+            container,
+            from,
+            to,
+        };
+        runtime.apply(go)?;
+        out.transitions.push(go);
+        out.stats.total_freeze_s += freeze_s;
+        out.stats.total_transfer_mb += transfer_mb;
+        if roll() >= model.failure_prob {
+            out.stats.completed += 1;
+            return Ok(());
+        }
+        // Pipeline failed: roll back to the source with a legal migrate.
+        let back = Transition::Migrate {
+            container,
+            from: to,
+            to: from,
+        };
+        runtime.apply(back)?;
+        out.transitions.push(back);
+        out.stats.failed_attempts += 1;
+    }
+    out.stats.abandoned += 1;
+    out.abandoned.push(container);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::Resources;
+
+    fn workload(n: usize) -> Workload {
+        let mut w = Workload::new();
+        for _ in 0..n {
+            w.add_container("c", Resources::new(10.0, 4.0, 1.0), None);
+        }
+        w
+    }
+
+    fn placement(hosts: &[Option<usize>]) -> Placement {
+        Placement {
+            assignment: hosts.iter().map(|h| h.map(ServerId)).collect(),
+        }
+    }
+
+    fn running(hosts: &[Option<usize>]) -> ContainerRuntime {
+        let mut rt = ContainerRuntime::new();
+        rt.apply_all(&rt.reconcile(&placement(hosts))).unwrap();
+        rt
+    }
+
+    #[test]
+    fn fault_free_model_reproduces_plain_reconcile() {
+        let mut rt = running(&[Some(0), Some(1)]);
+        let target = placement(&[Some(2), Some(1)]);
+        let out = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(2),
+            &MigrationModel::default(),
+            &|_| false,
+            &mut || 0.99,
+        )
+        .unwrap();
+        assert_eq!(out.stats.attempted, 1);
+        assert_eq!(out.stats.completed, 1);
+        assert_eq!(out.stats.failed_attempts, 0);
+        assert!(out.abandoned.is_empty());
+        assert_eq!(rt.host_of(0), Some(ServerId(2)));
+    }
+
+    #[test]
+    fn failed_attempt_rolls_back_then_retry_succeeds() {
+        let mut rt = running(&[Some(0)]);
+        let target = placement(&[Some(1)]);
+        let model = MigrationModel {
+            failure_prob: 0.5,
+            ..MigrationModel::default()
+        };
+        // First roll fails (< 0.5), second succeeds.
+        let rolls = [0.1, 0.9];
+        let mut i = 0;
+        let out = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(1),
+            &model,
+            &|_| false,
+            &mut || {
+                let r = rolls[i];
+                i += 1;
+                r
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.failed_attempts, 1);
+        assert_eq!(out.stats.retries, 1);
+        assert_eq!(out.stats.completed, 1);
+        assert!(out.stats.backoff_s > 0.0);
+        // Stream contains the rollback and is legal from the initial state.
+        assert_eq!(
+            out.transitions,
+            vec![
+                Transition::Migrate {
+                    container: 0,
+                    from: ServerId(0),
+                    to: ServerId(1)
+                },
+                Transition::Migrate {
+                    container: 0,
+                    from: ServerId(1),
+                    to: ServerId(0)
+                },
+                Transition::Migrate {
+                    container: 0,
+                    from: ServerId(0),
+                    to: ServerId(1)
+                },
+            ]
+        );
+        assert_eq!(rt.host_of(0), Some(ServerId(1)));
+    }
+
+    #[test]
+    fn exhausted_retries_leave_container_on_source() {
+        let mut rt = running(&[Some(0)]);
+        let target = placement(&[Some(1)]);
+        let model = MigrationModel {
+            failure_prob: 1.0,
+            max_retries: 2,
+            ..MigrationModel::default()
+        };
+        let out = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(1),
+            &model,
+            &|_| false,
+            &mut || 0.0,
+        )
+        .unwrap();
+        assert_eq!(out.stats.failed_attempts, 3);
+        assert_eq!(out.stats.completed, 0);
+        assert_eq!(out.abandoned, vec![0]);
+        // Exponential backoff: 1 + 2 seconds for retries 1 and 2.
+        assert!((out.stats.backoff_s - 3.0).abs() < 1e-9);
+        assert_eq!(
+            rt.host_of(0),
+            Some(ServerId(0)),
+            "must end where it started"
+        );
+    }
+
+    #[test]
+    fn timeout_aborts_without_attempting() {
+        let mut rt = running(&[Some(0)]);
+        let target = placement(&[Some(1)]);
+        let model = MigrationModel {
+            timeout_s: 0.001,
+            ..MigrationModel::default()
+        };
+        let out = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(1),
+            &model,
+            &|_| false,
+            &mut || panic!("timeout path must not consume randomness"),
+        )
+        .unwrap();
+        assert_eq!(out.stats.timed_out, 1);
+        assert_eq!(out.stats.total_freeze_s, 0.0);
+        assert_eq!(rt.host_of(0), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn migration_off_failed_server_becomes_cold_restart() {
+        let mut rt = running(&[Some(0), Some(0), Some(1)]);
+        let target = placement(&[Some(2), Some(2), Some(1)]);
+        let out = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(3),
+            &MigrationModel {
+                failure_prob: 1.0,
+                ..MigrationModel::default()
+            },
+            &|s| s == ServerId(0),
+            &mut || panic!("forced restarts must not consume randomness"),
+        )
+        .unwrap();
+        assert_eq!(out.stats.forced_restarts, 2);
+        assert_eq!(out.stats.attempted, 0);
+        assert_eq!(rt.host_of(0), Some(ServerId(2)));
+        assert_eq!(rt.host_of(1), Some(ServerId(2)));
+        assert_eq!(rt.host_of(2), Some(ServerId(1)));
+    }
+
+    #[test]
+    fn emitted_stream_replays_legally_on_a_fresh_runtime() {
+        let mut rt = running(&[Some(0), Some(1), Some(2)]);
+        let snapshot = rt.clone();
+        let target = placement(&[Some(3), Some(3), None]);
+        let model = MigrationModel {
+            failure_prob: 0.7,
+            max_retries: 3,
+            ..MigrationModel::default()
+        };
+        let mut x = 0.05_f64;
+        let out = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(3),
+            &model,
+            &|_| false,
+            &mut || {
+                x = (x * 7.13).fract();
+                x
+            },
+        )
+        .unwrap();
+        let mut replay = snapshot;
+        replay.apply_all(&out.transitions).unwrap();
+        for c in 0..3 {
+            assert_eq!(replay.host_of(c), rt.host_of(c));
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! - [`ContainerRuntime`] / [`Transition`]: the container lifecycle table
 //!   and the stop/migrate/start command stream that reconciles one epoch's
 //!   placement with the next — what the paper's migration controller sends.
+//! - [`execute_migrations`]: fault-aware execution of a migration batch —
+//!   per-attempt failures, bounded retry with exponential backoff,
+//!   rollback to the source, and cold restarts off failed servers.
 //! - [`PowerGate`]: IPMI-style on/off state machines with boot delays.
 //!
 //! The flow-level metrics and experiment drivers live in `goldilocks-sim`.
@@ -21,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod executor;
 mod lifecycle;
 mod migration;
 mod overlay;
 mod powergate;
 
+pub use executor::{execute_migrations, MigrationOutcome, MigrationStats};
 pub use lifecycle::{ContainerRuntime, LifecycleError, Transition};
 pub use migration::{migration_plan, Migration, MigrationCost, MigrationModel};
 pub use overlay::{AppIp, IpRegistry, LocationIp, OverlayError};

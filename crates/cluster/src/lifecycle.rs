@@ -64,7 +64,11 @@ impl std::fmt::Display for LifecycleError {
         match self {
             LifecycleError::AlreadyRunning(c) => write!(f, "container {c} is already running"),
             LifecycleError::NotRunning(c) => write!(f, "container {c} is not running"),
-            LifecycleError::WrongSource { container, claimed, actual } => write!(
+            LifecycleError::WrongSource {
+                container,
+                claimed,
+                actual,
+            } => write!(
                 f,
                 "container {container} claimed on server {} but runs on {}",
                 claimed.0, actual.0
@@ -128,7 +132,11 @@ impl ContainerRuntime {
                 }
                 self.running.insert(container, on);
             }
-            Transition::Migrate { container, from, to } => match self.running.get(&container) {
+            Transition::Migrate {
+                container,
+                from,
+                to,
+            } => match self.running.get(&container) {
                 None => return Err(LifecycleError::NotRunning(container)),
                 Some(&actual) if actual != from => {
                     return Err(LifecycleError::WrongSource {
@@ -160,7 +168,10 @@ impl ContainerRuntime {
         let mut starts = Vec::new();
         for (&container, &host) in &self.running {
             match target.assignment.get(container).copied().flatten() {
-                None => stops.push(Transition::Stop { container, on: host }),
+                None => stops.push(Transition::Stop {
+                    container,
+                    on: host,
+                }),
                 Some(to) if to != host => migrations.push(Transition::Migrate {
                     container,
                     from: host,
@@ -222,8 +233,14 @@ mod tests {
         assert_eq!(
             ts,
             vec![
-                Transition::Start { container: 0, on: ServerId(0) },
-                Transition::Start { container: 1, on: ServerId(1) },
+                Transition::Start {
+                    container: 0,
+                    on: ServerId(0)
+                },
+                Transition::Start {
+                    container: 1,
+                    on: ServerId(1)
+                },
             ]
         );
     }
@@ -232,8 +249,14 @@ mod tests {
     fn reconcile_orders_stop_migrate_start() {
         let mut rt = ContainerRuntime::new();
         rt.apply_all(&[
-            Transition::Start { container: 0, on: ServerId(0) },
-            Transition::Start { container: 1, on: ServerId(1) },
+            Transition::Start {
+                container: 0,
+                on: ServerId(0),
+            },
+            Transition::Start {
+                container: 1,
+                on: ServerId(1),
+            },
         ])
         .unwrap();
         // New epoch: c0 stops, c1 moves, c2 starts.
@@ -242,9 +265,19 @@ mod tests {
         assert_eq!(
             ts,
             vec![
-                Transition::Stop { container: 0, on: ServerId(0) },
-                Transition::Migrate { container: 1, from: ServerId(1), to: ServerId(2) },
-                Transition::Start { container: 2, on: ServerId(3) },
+                Transition::Stop {
+                    container: 0,
+                    on: ServerId(0)
+                },
+                Transition::Migrate {
+                    container: 1,
+                    from: ServerId(1),
+                    to: ServerId(2)
+                },
+                Transition::Start {
+                    container: 2,
+                    on: ServerId(3)
+                },
             ]
         );
         rt.apply_all(&ts).unwrap();
@@ -258,24 +291,42 @@ mod tests {
         let mut rt = ContainerRuntime::new();
         let p = placement(&[Some(0), Some(0), Some(1)]);
         rt.apply_all(&rt.reconcile(&p)).unwrap();
-        assert!(rt.reconcile(&p).is_empty(), "fixpoint must need no transitions");
+        assert!(
+            rt.reconcile(&p).is_empty(),
+            "fixpoint must need no transitions"
+        );
         assert_eq!(rt.on_server(ServerId(0)), vec![0, 1]);
     }
 
     #[test]
     fn illegal_transitions_rejected() {
         let mut rt = ContainerRuntime::new();
-        rt.apply(Transition::Start { container: 5, on: ServerId(0) }).unwrap();
+        rt.apply(Transition::Start {
+            container: 5,
+            on: ServerId(0),
+        })
+        .unwrap();
         assert_eq!(
-            rt.apply(Transition::Start { container: 5, on: ServerId(1) }),
+            rt.apply(Transition::Start {
+                container: 5,
+                on: ServerId(1)
+            }),
             Err(LifecycleError::AlreadyRunning(5))
         );
         assert_eq!(
-            rt.apply(Transition::Migrate { container: 9, from: ServerId(0), to: ServerId(1) }),
+            rt.apply(Transition::Migrate {
+                container: 9,
+                from: ServerId(0),
+                to: ServerId(1)
+            }),
             Err(LifecycleError::NotRunning(9))
         );
         assert_eq!(
-            rt.apply(Transition::Migrate { container: 5, from: ServerId(3), to: ServerId(1) }),
+            rt.apply(Transition::Migrate {
+                container: 5,
+                from: ServerId(3),
+                to: ServerId(1)
+            }),
             Err(LifecycleError::WrongSource {
                 container: 5,
                 claimed: ServerId(3),

@@ -28,6 +28,16 @@ pub struct MigrationModel {
     pub restore_overhead_s: f64,
     /// Fraction of the container's volume rsync actually copies (deltas).
     pub volume_delta_fraction: f64,
+    /// Probability that one migration attempt fails mid-pipeline (rsync
+    /// stall, CRIU dump error). 0 reproduces the fault-free model.
+    pub failure_prob: f64,
+    /// A migration whose projected freeze time exceeds this is aborted as
+    /// timed out on every attempt (infinite = never).
+    pub timeout_s: f64,
+    /// Additional attempts after the first failure before rolling back.
+    pub max_retries: u32,
+    /// Backoff wait before retry `k` is `retry_backoff_s * 2^(k-1)` seconds.
+    pub retry_backoff_s: f64,
 }
 
 impl Default for MigrationModel {
@@ -37,6 +47,10 @@ impl Default for MigrationModel {
             network_mb_per_s: 110.0,
             restore_overhead_s: 0.8,
             volume_delta_fraction: 0.10,
+            failure_prob: 0.0,
+            timeout_s: f64::INFINITY,
+            max_retries: 2,
+            retry_backoff_s: 1.0,
         }
     }
 }
@@ -138,10 +152,20 @@ mod tests {
     #[test]
     fn plan_diffs_only_real_moves() {
         let old = Placement {
-            assignment: vec![Some(ServerId(0)), Some(ServerId(1)), None, Some(ServerId(2))],
+            assignment: vec![
+                Some(ServerId(0)),
+                Some(ServerId(1)),
+                None,
+                Some(ServerId(2)),
+            ],
         };
         let new = Placement {
-            assignment: vec![Some(ServerId(0)), Some(ServerId(2)), Some(ServerId(1)), None],
+            assignment: vec![
+                Some(ServerId(0)),
+                Some(ServerId(2)),
+                Some(ServerId(1)),
+                None,
+            ],
         };
         let plan = migration_plan(&old, &new);
         assert_eq!(
@@ -161,8 +185,16 @@ mod tests {
             w.add_container("c", Resources::new(10.0, 4.0, 1.0), None);
         }
         let plan = vec![
-            Migration { container: 0, from: ServerId(0), to: ServerId(1) },
-            Migration { container: 2, from: ServerId(0), to: ServerId(2) },
+            Migration {
+                container: 0,
+                from: ServerId(0),
+                to: ServerId(1),
+            },
+            Migration {
+                container: 2,
+                from: ServerId(0),
+                to: ServerId(2),
+            },
         ];
         let cost = MigrationModel::default().plan_cost(&plan, &w);
         assert_eq!(cost.count, 2);

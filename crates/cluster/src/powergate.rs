@@ -127,7 +127,10 @@ mod tests {
         assert!(g.is_ready(1));
         // Turn 0 back on: it must boot first.
         g.step(&[true, true], 60);
-        assert!(matches!(g.state(0), PowerState::Booting { remaining_s: 120 }));
+        assert!(matches!(
+            g.state(0),
+            PowerState::Booting { remaining_s: 120 }
+        ));
         assert!(!g.is_ready(0));
         g.step(&[true, true], 120);
         assert!(g.is_ready(0));

@@ -1,0 +1,171 @@
+//! Property-based tests for the migration machinery: every plan the
+//! controller can produce — including failure rollbacks — must be a legal
+//! lifecycle-transition stream, and stale controllers must be rejected
+//! loudly rather than corrupting the running table.
+
+use goldilocks_cluster::{
+    execute_migrations, migration_plan, ContainerRuntime, LifecycleError, MigrationModel,
+    Transition,
+};
+use goldilocks_placement::Placement;
+use goldilocks_topology::{Resources, ServerId};
+use goldilocks_workload::Workload;
+use proptest::prelude::*;
+
+/// A workload plus two random (possibly partial) placements over it.
+fn arb_epoch_pair() -> impl Strategy<Value = (Workload, Placement, Placement, u64)> {
+    (2usize..30, 2usize..10, 0u64..1000).prop_map(|(n, servers, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut w = Workload::new();
+        for _ in 0..n {
+            w.add_container(
+                "c",
+                Resources::new(rng.gen_range(1.0..50.0), rng.gen_range(0.5..8.0), 1.0),
+                None,
+            );
+        }
+        let draw = |rng: &mut rand::rngs::StdRng| Placement {
+            assignment: (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.85) {
+                        Some(ServerId(rng.gen_range(0..servers)))
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        };
+        let old = draw(&mut rng);
+        let new = draw(&mut rng);
+        (w, old, new, seed)
+    })
+}
+
+/// Deterministic uniform-[0,1) stream for the executor's failure rolls.
+fn roll_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut x = seed | 1;
+    move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn runtime_at(p: &Placement) -> ContainerRuntime {
+    let mut rt = ContainerRuntime::new();
+    rt.apply_all(&rt.reconcile(p))
+        .expect("reconcile from empty is legal");
+    rt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The raw epoch diff is always a legal stream from the old placement.
+    #[test]
+    fn migration_plan_is_a_legal_stream((_w, old, new, _s) in arb_epoch_pair()) {
+        let mut rt = runtime_at(&old);
+        let stream: Vec<Transition> = migration_plan(&old, &new)
+            .into_iter()
+            .map(|m| Transition::Migrate { container: m.container, from: m.from, to: m.to })
+            .collect();
+        prop_assert_eq!(rt.apply_all(&stream), Ok(()));
+        // Every planned mover ends on its target.
+        for m in migration_plan(&old, &new) {
+            prop_assert_eq!(rt.host_of(m.container), Some(m.to));
+        }
+    }
+
+    /// Under arbitrary failure probability, retries, rollbacks, timeouts and
+    /// dead sources, the executor's emitted stream (rollbacks included)
+    /// replays legally on a fresh runtime and every container lands either
+    /// on its target, back on its source, or stopped.
+    #[test]
+    fn executor_stream_is_legal_under_faults((w, old, new, seed) in arb_epoch_pair()) {
+        let mut rt = runtime_at(&old);
+        let snapshot = rt.clone();
+        let model = MigrationModel {
+            failure_prob: (seed % 100) as f64 / 100.0,
+            max_retries: (seed % 4) as u32,
+            timeout_s: if seed % 5 == 0 { 30.0 } else { f64::INFINITY },
+            ..MigrationModel::default()
+        };
+        let dead = ServerId((seed % 7) as usize);
+        let failed = |s: ServerId| seed % 2 == 0 && s == dead;
+        let mut roll = roll_stream(seed);
+        let out = execute_migrations(&mut rt, &new, &w, &model, &failed, &mut roll)
+            .expect("executor never emits an illegal stream");
+
+        // Replay check: the stream is a legal history from the snapshot and
+        // reproduces the executor's final state.
+        let mut replay = snapshot;
+        prop_assert_eq!(replay.apply_all(&out.transitions), Ok(()));
+        for c in 0..w.len() {
+            prop_assert_eq!(replay.host_of(c), rt.host_of(c));
+        }
+
+        // Landing rule: target, abandoned-on-source, or stopped.
+        for c in 0..w.len() {
+            let target = new.assignment[c];
+            let source = old.assignment[c];
+            let host = rt.host_of(c);
+            match (source, target) {
+                (_, Some(t)) if host == Some(t) => {}
+                (Some(s), Some(_)) => {
+                    prop_assert_eq!(host, Some(s), "container {} abandoned off-source", c);
+                    prop_assert!(out.abandoned.contains(&c), "container {} stranded silently", c);
+                }
+                (_, None) => prop_assert_eq!(host, None),
+                (None, Some(t)) => prop_assert_eq!(host, Some(t), "fresh start must land"),
+            }
+        }
+
+        // Accounting closes: every attempt either completed, failed, or
+        // timed out deterministically.
+        prop_assert_eq!(
+            out.stats.attempted,
+            out.stats.completed + out.stats.abandoned
+        );
+        prop_assert!(out.stats.retries <= out.stats.failed_attempts);
+    }
+}
+
+/// A controller working from a stale placement view must be rejected with
+/// `WrongSource`, leaving the runtime untouched.
+#[test]
+fn stale_controller_surfaces_wrong_source() {
+    let live = Placement {
+        assignment: vec![Some(ServerId(0)), Some(ServerId(1))],
+    };
+    let mut rt = runtime_at(&live);
+    let stale_view = rt.clone();
+
+    // The cluster moves on: container 0 migrates 0 → 2.
+    rt.apply(Transition::Migrate {
+        container: 0,
+        from: ServerId(0),
+        to: ServerId(2),
+    })
+    .unwrap();
+
+    // A stale controller still believes container 0 sits on server 0 and
+    // plans 0 → 3 from its outdated snapshot.
+    let stale_target = Placement {
+        assignment: vec![Some(ServerId(3)), Some(ServerId(1))],
+    };
+    let stale_stream = stale_view.reconcile(&stale_target);
+    let err = rt.apply_all(&stale_stream).unwrap_err();
+    assert_eq!(
+        err,
+        LifecycleError::WrongSource {
+            container: 0,
+            claimed: ServerId(0),
+            actual: ServerId(2),
+        }
+    );
+    // The illegal stream must not have moved anything.
+    assert_eq!(rt.host_of(0), Some(ServerId(2)));
+    assert_eq!(rt.host_of(1), Some(ServerId(1)));
+}

@@ -92,6 +92,8 @@ impl Goldilocks {
                     a.network_mbps.min(r.network_mbps),
                 )),
             })
+            // Unreachable: the empty healthy set already returned
+            // `PlaceError::Infeasible` above.
             .expect("non-empty healthy set");
         let cap = self.config.cap_resources(&min_cap);
         let cap_weight = VertexWeight::new(cap.as_array().to_vec());
@@ -102,7 +104,8 @@ impl Goldilocks {
                 reason: format!("container graph: {e}"),
             })?;
 
-        let groups = crate::grouping::partition_into_groups(&graph, &cap_weight, &self.config.bisect)?;
+        let groups =
+            crate::grouping::partition_into_groups(&graph, &cap_weight, &self.config.bisect)?;
 
         // Healthy servers in topology DFS order.
         let dfs: Vec<ServerId> = tree

@@ -9,9 +9,7 @@
 //! (whose recursive splits use proportional fractions), then locally
 //! re-bisect any group that still overflows the cap.
 
-use goldilocks_partition::{
-    partition_kway, recursive_bisect, BisectConfig, Graph, VertexWeight,
-};
+use goldilocks_partition::{partition_kway, recursive_bisect, BisectConfig, Graph, VertexWeight};
 use goldilocks_placement::PlaceError;
 
 /// Partitions `graph` into locality-ordered groups whose aggregate weight
@@ -95,25 +93,18 @@ fn repair_overflows(graph: &Graph, cap: &VertexWeight, groups: &mut [Vec<usize>]
     if k < 2 {
         return;
     }
-    let mut weights: Vec<VertexWeight> = groups
-        .iter()
-        .map(|g| graph.subset_weight(g))
-        .collect();
+    let mut weights: Vec<VertexWeight> = groups.iter().map(|g| graph.subset_weight(g)).collect();
     let mut budget = graph.vertex_count();
     for g in 0..k {
         while !weights[g].fits_within(cap) && budget > 0 {
             budget -= 1;
             // Smallest vertex of the group (least locality damage, most
             // likely to fit elsewhere).
-            let Some((pos, &v)) = groups[g]
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    let ra = graph.vertex_weight(**a).max_ratio(cap);
-                    let rb = graph.vertex_weight(**b).max_ratio(cap);
-                    ra.partial_cmp(&rb).expect("no NaN weights")
-                })
-            else {
+            let Some((pos, &v)) = groups[g].iter().enumerate().min_by(|(_, a), (_, b)| {
+                let ra = graph.vertex_weight(**a).max_ratio(cap);
+                let rb = graph.vertex_weight(**b).max_ratio(cap);
+                ra.total_cmp(&rb)
+            }) else {
                 break;
             };
             let vw = graph.vertex_weight(v);
@@ -170,7 +161,12 @@ mod tests {
         let g = uniform_graph(18, 1.0);
         let cap = VertexWeight::new([2.0]);
         let groups = partition_into_groups(&g, &cap, &BisectConfig::default()).unwrap();
-        assert_eq!(groups.len(), 9, "sizes: {:?}", groups.iter().map(Vec::len).collect::<Vec<_>>());
+        assert_eq!(
+            groups.len(),
+            9,
+            "sizes: {:?}",
+            groups.iter().map(Vec::len).collect::<Vec<_>>()
+        );
         for gr in &groups {
             assert!(g.subset_weight(gr).fits_within(&cap));
         }

@@ -91,6 +91,8 @@ impl Placer for IncrementalGoldilocks {
                     a.network_mbps.min(r.network_mbps),
                 )),
             })
+            // Unreachable: the empty healthy set already returned
+            // `PlaceError::Infeasible` above.
             .expect("non-empty healthy set");
         let cap = self.config.cap_resources(&min_cap);
         let cap_weight = VertexWeight::new(cap.as_array().to_vec());
@@ -127,7 +129,8 @@ impl Placer for IncrementalGoldilocks {
             .into_iter()
             .filter(|s| !tree.server(*s).failed)
             .collect();
-        let mut used_servers: std::collections::HashSet<ServerId> = std::collections::HashSet::new();
+        let mut used_servers: std::collections::HashSet<ServerId> =
+            std::collections::HashSet::new();
         let mut mapping: HashMap<usize, ServerId> = HashMap::new();
         for &label in &live_labels {
             if let Some(&s) = self.group_servers.get(&label) {
@@ -205,7 +208,11 @@ mod tests {
         let mut placer = IncrementalGoldilocks::new(1.0);
         let p1 = placer.place(&w, &tree).unwrap();
         let p2 = placer.place(&w, &tree).unwrap();
-        assert_eq!(p2.migrations_from(&p1), 0, "identical epochs must not migrate");
+        assert_eq!(
+            p2.migrations_from(&p1),
+            0,
+            "identical epochs must not migrate"
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ mod incremental_placer;
 mod vcluster;
 
 pub use capacity::capacity_graph;
-pub use grouping::partition_into_groups;
 pub use config::GoldilocksConfig;
 pub use goldilocks::{Goldilocks, ProvisionDetails};
+pub use grouping::partition_into_groups;
 pub use incremental_placer::IncrementalGoldilocks;
 pub use vcluster::{GoldilocksAsym, VirtualCluster};

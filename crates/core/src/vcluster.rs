@@ -183,11 +183,8 @@ impl Placer for GoldilocksAsym {
                     continue;
                 }
                 // Placed containers outside this subtree.
-                let inside: std::collections::HashSet<usize> = net
-                    .servers_under(st)
-                    .into_iter()
-                    .map(|s| s.0)
-                    .collect();
+                let inside: std::collections::HashSet<usize> =
+                    net.servers_under(st).into_iter().map(|s| s.0).collect();
                 let placed_outside_bw = placed_bw_total
                     - placed_bw_by_server
                         .iter()
@@ -226,9 +223,7 @@ impl Placer for GoldilocksAsym {
                         }
                         let a_positions: Vec<usize> = fit.iter().map(|(p, _)| *p).collect();
                         let b_bw = vc.total_bandwidth() - vc.bandwidth_of(&a_positions);
-                        let required = vc
-                            .bandwidth_of(&a_positions)
-                            .min(b_bw + inter_term);
+                        let required = vc.bandwidth_of(&a_positions).min(b_bw + inter_term);
                         if required <= net.residual_mbps(st) + 1e-9 {
                             break;
                         }
@@ -262,10 +257,12 @@ impl Placer for GoldilocksAsym {
             let required = vc
                 .bandwidth_of(&a_positions)
                 .min(b_bw + placed_outside_bw + unplaced_bw);
-            net.reserve_mbps(st, required).map_err(|e| PlaceError::Infeasible {
-                reason: format!("bandwidth reservation: {e}"),
-            })?;
-            let placed_set: std::collections::HashSet<usize> = a_positions.iter().copied().collect();
+            net.reserve_mbps(st, required)
+                .map_err(|e| PlaceError::Infeasible {
+                    reason: format!("bandwidth reservation: {e}"),
+                })?;
+            let placed_set: std::collections::HashSet<usize> =
+                a_positions.iter().copied().collect();
             for &(pos, s) in &fit {
                 let c = vc.members[pos];
                 tracker.add(s, workload.containers[c].demand);

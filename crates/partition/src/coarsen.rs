@@ -203,14 +203,20 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let level = contract_heavy_edge_matching(&g, &mut rng).unwrap();
             assert_eq!(level.graph.vertex_count(), 2, "seed {seed}");
-            assert_ne!(level.map[v1], level.map[v2], "seed {seed}: non-adjacent pair matched");
+            assert_ne!(
+                level.map[v1], level.map[v2],
+                "seed {seed}: non-adjacent pair matched"
+            );
             assert_eq!(level.graph.total_vertex_weight().0, vec![3.0]);
             if level.map[v0] == level.map[v1] {
                 heavy_taken += 1;
             }
         }
         // v2 is first in a uniformly random order only ~1/3 of the time.
-        assert!(heavy_taken >= 10, "heavy edge taken only {heavy_taken}/20 times");
+        assert!(
+            heavy_taken >= 10,
+            "heavy edge taken only {heavy_taken}/20 times"
+        );
     }
 
     #[test]
@@ -219,7 +225,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let h = coarsen(&g, 8, &mut rng);
         let coarsest = h.coarsest().unwrap();
-        assert!(coarsest.vertex_count() <= 12, "got {}", coarsest.vertex_count());
+        assert!(
+            coarsest.vertex_count() <= 12,
+            "got {}",
+            coarsest.vertex_count()
+        );
         assert_eq!(coarsest.total_vertex_weight().0, vec![64.0]);
     }
 

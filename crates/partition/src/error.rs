@@ -44,12 +44,18 @@ impl fmt::Display for PartitionError {
                 write!(f, "self-loop on vertex {vertex} is not allowed")
             }
             PartitionError::VertexOutOfRange { vertex, count } => {
-                write!(f, "edge references vertex {vertex} but graph has {count} vertices")
+                write!(
+                    f,
+                    "edge references vertex {vertex} but graph has {count} vertices"
+                )
             }
             PartitionError::IndivisibleVertex { vertex } => {
                 write!(f, "vertex {vertex} alone exceeds the target capacity")
             }
-            PartitionError::InvalidPartCount { requested, vertices } => {
+            PartitionError::InvalidPartCount {
+                requested,
+                vertices,
+            } => {
                 write!(f, "cannot split {vertices} vertices into {requested} parts")
             }
             PartitionError::EmptyGraph => write!(f, "graph has no vertices"),
@@ -68,7 +74,10 @@ mod tests {
         let variants: Vec<(PartitionError, &str)> = vec![
             (PartitionError::SelfLoop { vertex: 3 }, "self-loop"),
             (
-                PartitionError::VertexOutOfRange { vertex: 9, count: 2 },
+                PartitionError::VertexOutOfRange {
+                    vertex: 9,
+                    count: 2,
+                },
                 "vertex 9",
             ),
             (
@@ -76,7 +85,10 @@ mod tests {
                 "exceeds the target capacity",
             ),
             (
-                PartitionError::InvalidPartCount { requested: 0, vertices: 5 },
+                PartitionError::InvalidPartCount {
+                    requested: 0,
+                    vertices: 5,
+                },
                 "0 parts",
             ),
             (PartitionError::EmptyGraph, "no vertices"),

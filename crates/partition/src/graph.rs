@@ -61,8 +61,7 @@ impl VertexWeight {
     /// `other` (within a small epsilon to absorb float error).
     pub fn fits_within(&self, other: &VertexWeight) -> bool {
         const EPS: f64 = 1e-9;
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| *a <= *b + EPS)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| *a <= *b + EPS)
     }
 
     /// Component-wise access.
@@ -457,7 +456,10 @@ mod tests {
         b.add_edge(v, 9, 1);
         assert!(matches!(
             b.build(),
-            Err(PartitionError::VertexOutOfRange { vertex: 9, count: 1 })
+            Err(PartitionError::VertexOutOfRange {
+                vertex: 9,
+                count: 1
+            })
         ));
     }
 

@@ -100,8 +100,7 @@ where
     let total_labels = label_of.iter().copied().max().map_or(0, |m| m + 1);
 
     // Group weights under current assignment (indexed by label).
-    let mut group_weight: Vec<VertexWeight> =
-        vec![VertexWeight::zeros(graph.dims()); total_labels];
+    let mut group_weight: Vec<VertexWeight> = vec![VertexWeight::zeros(graph.dims()); total_labels];
     for v in 0..n {
         group_weight[assignment[v]].add_assign(&graph.vertex_weight(v));
     }
@@ -218,8 +217,7 @@ mod tests {
         let fresh = recursive_bisect(&g, |w| w.fits_within(&cap), &cfg).unwrap();
         let assign = fresh.group_assignment(8);
         let old: Vec<Option<usize>> = assign.iter().map(|&a| Some(a)).collect();
-        let inc =
-            incremental_repartition(&g, &old, |w| w.fits_within(&cap), 0.5, &cfg).unwrap();
+        let inc = incremental_repartition(&g, &old, |w| w.fits_within(&cap), 0.5, &cfg).unwrap();
         assert!(
             inc.moved.is_empty(),
             "identical graph should not migrate: moved {:?}",
@@ -250,8 +248,16 @@ mod tests {
         let cap = VertexWeight::new([4.5]);
         // Old assignment split the cliques badly; a fresh partition will move
         // some vertices no matter the labeling.
-        let old: Vec<Option<usize>> =
-            vec![Some(0), Some(1), Some(0), Some(1), Some(0), Some(1), Some(0), Some(1)];
+        let old: Vec<Option<usize>> = vec![
+            Some(0),
+            Some(1),
+            Some(0),
+            Some(1),
+            Some(0),
+            Some(1),
+            Some(0),
+            Some(1),
+        ];
         let inc = incremental_repartition(
             &g,
             &old,

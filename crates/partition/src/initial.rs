@@ -116,7 +116,12 @@ pub fn greedy_graph_growing(
         if tracker.is_feasible() {
             match &best_feasible {
                 Some(b) if b.cut <= cut => {}
-                _ => best_feasible = Some(Bisection { side: side.clone(), cut }),
+                _ => {
+                    best_feasible = Some(Bisection {
+                        side: side.clone(),
+                        cut,
+                    })
+                }
             }
         }
         match &best_any {

@@ -60,9 +60,7 @@ pub use bisect::{multilevel_bisect, split_indices, BisectConfig, MultilevelBisec
 pub use coarsen::{coarsen, contract_heavy_edge_matching, CoarseLevel, Hierarchy};
 pub use error::PartitionError;
 pub use graph::{EdgeWeight, Graph, GraphBuilder, VertexId, VertexWeight};
-pub use incremental::{
-    incremental_repartition, relabel_to_minimize_moves, IncrementalResult,
-};
+pub use incremental::{incremental_repartition, relabel_to_minimize_moves, IncrementalResult};
 pub use initial::{greedy_graph_growing, Bisection};
 pub use quality::{partition_quality, PartitionQuality};
 pub use recursive::{partition_kway, recursive_bisect, PartitionTree};

@@ -208,9 +208,7 @@ fn kway_recurse(
     let frac = kl as f64 / k as f64;
     let (sub, mapping) = original.subgraph(vertices);
     let cfg = BisectConfig {
-        seed: config
-            .seed
-            .wrapping_add((depth as u64) << 32 | base as u64),
+        seed: config.seed.wrapping_add((depth as u64) << 32 | base as u64),
         ..config.clone()
     };
     let bis = multilevel_bisect(&sub, frac, &cfg);
@@ -218,7 +216,10 @@ fn kway_recurse(
     let (zero, one) = if zero.len() < kl || one.len() < kr {
         // Degenerate: force an index split so each side keeps >= its k.
         let mid = vertices.len() * kl / k;
-        ((0..mid.max(kl)).collect(), (mid.max(kl)..vertices.len()).collect())
+        (
+            (0..mid.max(kl)).collect(),
+            (mid.max(kl)..vertices.len()).collect(),
+        )
     } else {
         (zero, one)
     };
@@ -257,7 +258,11 @@ mod tests {
         let cap = VertexWeight::new([4.5]);
         let tree = recursive_bisect(&g, |w| w.fits_within(&cap), &BisectConfig::default()).unwrap();
         let leaves = tree.leaves();
-        assert!(leaves.len() >= 4, "needs at least 4 groups, got {}", leaves.len());
+        assert!(
+            leaves.len() >= 4,
+            "needs at least 4 groups, got {}",
+            leaves.len()
+        );
         for leaf in &leaves {
             assert!(leaf.weight.fits_within(&cap), "leaf weight {}", leaf.weight);
         }
@@ -282,7 +287,8 @@ mod tests {
             let base = c * 4;
             for i in 1..4 {
                 assert_eq!(
-                    assign[base], assign[base + i],
+                    assign[base],
+                    assign[base + i],
                     "clique {c} split across groups"
                 );
             }
@@ -308,7 +314,10 @@ mod tests {
         let g = b.build().unwrap();
         let cap = VertexWeight::new([5.0]);
         let err = recursive_bisect(&g, |w| w.fits_within(&cap), &BisectConfig::default());
-        assert_eq!(err.unwrap_err(), PartitionError::IndivisibleVertex { vertex: 0 });
+        assert_eq!(
+            err.unwrap_err(),
+            PartitionError::IndivisibleVertex { vertex: 0 }
+        );
     }
 
     #[test]

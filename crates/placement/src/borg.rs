@@ -152,7 +152,10 @@ mod tests {
         let s0 = p.assignment[0].unwrap();
         let s2 = p.assignment[2].unwrap();
         let s3 = p.assignment[3].unwrap();
-        assert!(s0 == s2 || s0 == s3, "cpu1 should share with a memory-heavy container");
+        assert!(
+            s0 == s2 || s0 == s3,
+            "cpu1 should share with a memory-heavy container"
+        );
     }
 
     #[test]

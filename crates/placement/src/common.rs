@@ -56,7 +56,11 @@ impl<'t> LoadTracker<'t> {
     /// `cpu_capacity_factor` (RC-Informed oversubscribes CPU by 1.25×).
     pub fn cpu_utilization_scaled(&self, s: ServerId, cpu_capacity_factor: f64) -> f64 {
         let cap = self.tree.server(s).resources;
-        let scaled = Resources::new(cap.cpu * cpu_capacity_factor, cap.memory_gb, cap.network_mbps);
+        let scaled = Resources::new(
+            cap.cpu * cpu_capacity_factor,
+            cap.memory_gb,
+            cap.network_mbps,
+        );
         self.used[s.0].cpu_utilization_against(&scaled)
     }
 }
@@ -70,9 +74,7 @@ pub fn ffd_order(workload: &Workload, tree: &DcTree) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let ua = workload.containers[a].demand.utilization_against(&mean);
         let ub = workload.containers[b].demand.utilization_against(&mean);
-        ub.partial_cmp(&ua)
-            .expect("no NaN utilizations")
-            .then(a.cmp(&b))
+        ub.total_cmp(&ua).then(a.cmp(&b))
     });
     order
 }

@@ -79,7 +79,11 @@ impl Placer for Mpp {
                 let idle = self.model.idle_watts();
                 let span = self.model.peak_watts - idle;
                 let linear = |u: f64| idle + span * u;
-                let before_w = if active[s.0] { linear(before_util) } else { 0.0 };
+                let before_w = if active[s.0] {
+                    linear(before_util)
+                } else {
+                    0.0
+                };
                 let delta = linear(after_util) - before_w;
                 match best {
                     Some((_, bd)) if bd <= delta => {}
@@ -88,7 +92,10 @@ impl Placer for Mpp {
             }
             let (s, _) = best.ok_or_else(|| PlaceError::Unplaceable {
                 container: c,
-                reason: format!("no server can host {demand} under {:.0} % cap", self.max_util * 100.0),
+                reason: format!(
+                    "no server can host {demand} under {:.0} % cap",
+                    self.max_util * 100.0
+                ),
             })?;
             tracker.add(s, demand);
             active[s.0] = true;
@@ -116,7 +123,9 @@ mod tests {
     fn packs_onto_few_servers() {
         let tree = single_rack(10, Resources::new(100.0, 10.0, 100.0), 100.0);
         let w = workload(9, 30.0); // 270 % CPU total → 3 servers at ≤ 95 %
-        let p = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        let p = Mpp::new(ServerPowerModel::dell_2018())
+            .place(&w, &tree)
+            .unwrap();
         assert_eq!(p.active_server_count(), 3, "{:?}", p.assignment);
     }
 
@@ -124,7 +133,9 @@ mod tests {
     fn respects_95_percent_cap() {
         let tree = single_rack(4, Resources::new(100.0, 10.0, 100.0), 100.0);
         let w = workload(8, 24.0); // 4 per server would be 96 % > cap
-        let p = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        let p = Mpp::new(ServerPowerModel::dell_2018())
+            .place(&w, &tree)
+            .unwrap();
         let utils = p.server_utilizations(&w, &tree);
         for u in utils {
             assert!(u <= 0.95 + 1e-9, "server at {u}");
@@ -136,7 +147,9 @@ mod tests {
         use crate::epvm::EPvm;
         let tree = single_rack(8, Resources::new(100.0, 10.0, 100.0), 100.0);
         let w = workload(8, 20.0);
-        let mpp = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        let mpp = Mpp::new(ServerPowerModel::dell_2018())
+            .place(&w, &tree)
+            .unwrap();
         let epvm = EPvm::new().place(&w, &tree).unwrap();
         assert!(mpp.active_server_count() < epvm.active_server_count());
         assert_eq!(mpp.active_server_count(), 2); // 160 % total → 2 servers
@@ -151,7 +164,9 @@ mod tests {
         w.add_container("s2", Resources::new(30.0, 1.0, 1.0), None);
         w.add_container("big", Resources::new(90.0, 1.0, 1.0), None);
         w.add_container("s3", Resources::new(30.0, 1.0, 1.0), None);
-        let p = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap();
+        let p = Mpp::new(ServerPowerModel::dell_2018())
+            .place(&w, &tree)
+            .unwrap();
         assert!(p.is_complete());
     }
 
@@ -159,7 +174,9 @@ mod tests {
     fn unplaceable_reports_container() {
         let tree = single_rack(1, Resources::new(100.0, 10.0, 100.0), 100.0);
         let w = workload(1, 99.0); // above the 95 % cap
-        let err = Mpp::new(ServerPowerModel::dell_2018()).place(&w, &tree).unwrap_err();
+        let err = Mpp::new(ServerPowerModel::dell_2018())
+            .place(&w, &tree)
+            .unwrap_err();
         assert!(matches!(err, PlaceError::Unplaceable { container: 0, .. }));
     }
 }

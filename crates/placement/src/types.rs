@@ -39,9 +39,7 @@ impl Placement {
         self.assignment
             .iter()
             .zip(&old.assignment)
-            .filter(|(new, old)| {
-                matches!((new, old), (Some(n), Some(o)) if n != o)
-            })
+            .filter(|(new, old)| matches!((new, old), (Some(n), Some(o)) if n != o))
             .count()
     }
 
@@ -72,9 +70,7 @@ impl Placement {
         self.server_loads(workload, tree)
             .iter()
             .enumerate()
-            .map(|(s, load)| {
-                load.cpu_utilization_against(&tree.server(ServerId(s)).resources)
-            })
+            .map(|(s, load)| load.cpu_utilization_against(&tree.server(ServerId(s)).resources))
             .collect()
     }
 
@@ -159,7 +155,12 @@ mod tests {
     #[test]
     fn active_servers_and_counts() {
         let p = Placement {
-            assignment: vec![Some(ServerId(0)), Some(ServerId(0)), Some(ServerId(2)), None],
+            assignment: vec![
+                Some(ServerId(0)),
+                Some(ServerId(0)),
+                Some(ServerId(2)),
+                None,
+            ],
         };
         assert_eq!(p.active_server_count(), 2);
         assert!(!p.is_complete());
@@ -197,7 +198,9 @@ mod tests {
             reason: "too big".into(),
         };
         assert!(e.to_string().contains("container 3"));
-        let e2 = PlaceError::Infeasible { reason: "no servers".into() };
+        let e2 = PlaceError::Infeasible {
+            reason: "no servers".into(),
+        };
         assert!(e2.to_string().contains("no servers"));
     }
 }

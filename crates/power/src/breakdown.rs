@@ -102,7 +102,9 @@ impl DataCenterSpec {
     }
 
     fn tier_power(&self, tier: &SwitchTier, active_fraction: f64, port_util: f64) -> f64 {
-        let active = (tier.count as f64 * active_fraction).ceil().min(tier.count as f64);
+        let active = (tier.count as f64 * active_fraction)
+            .ceil()
+            .min(tier.count as f64);
         let ports = (tier.model.ports as f64 * port_util).round() as usize;
         active * tier.model.power_watts(ports)
     }
@@ -398,7 +400,11 @@ mod tests {
         for d in DataCenterSpec::table_one() {
             let traffic = d.traffic_packing(SERVER_UTIL, LINK_UTIL).total_watts();
             let task = d.task_packing(SERVER_UTIL, LINK_UTIL, 0.95).total_watts();
-            assert!(task < traffic, "{}: task {task} !< traffic {traffic}", d.name);
+            assert!(
+                task < traffic,
+                "{}: task {task} !< traffic {traffic}",
+                d.name
+            );
         }
     }
 

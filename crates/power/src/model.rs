@@ -44,9 +44,18 @@ impl PowerCurve {
     /// `0 < pee_util ≤ 1`, negative slopes) or if they would require a
     /// negative cubic coefficient (curve must be convex past the knee).
     pub fn new(idle_frac: f64, pee_util: f64, lin_slope: f64, post_slope: f64) -> Self {
-        assert!((0.0..1.0).contains(&idle_frac), "idle_frac {idle_frac} out of [0,1)");
-        assert!(pee_util > 0.0 && pee_util <= 1.0, "pee_util {pee_util} out of (0,1]");
-        assert!(lin_slope >= 0.0 && post_slope >= 0.0, "slopes must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&idle_frac),
+            "idle_frac {idle_frac} out of [0,1)"
+        );
+        assert!(
+            pee_util > 0.0 && pee_util <= 1.0,
+            "pee_util {pee_util} out of (0,1]"
+        );
+        assert!(
+            lin_slope >= 0.0 && post_slope >= 0.0,
+            "slopes must be non-negative"
+        );
         let at_knee = idle_frac + lin_slope * pee_util;
         let rest = 1.0 - pee_util;
         let cubic = if rest > 1e-12 {
@@ -205,7 +214,11 @@ impl ServerPowerModel {
     /// Microsoft blade server (250 W), used for the VL2 and fat-tree rows of
     /// Table I.
     pub fn microsoft_blade() -> Self {
-        ServerPowerModel::new("Microsoft-blade", 250.0, PowerCurve::new(0.35, 0.70, 0.25, 0.9))
+        ServerPowerModel::new(
+            "Microsoft-blade",
+            250.0,
+            PowerCurve::new(0.35, 0.70, 0.25, 0.9),
+        )
     }
 }
 

@@ -25,7 +25,10 @@ pub struct PackingPoint {
 ///
 /// Panics if `target_util` is not in `(0, 1]` or `total_load` is negative.
 pub fn servers_needed(total_load: f64, target_util: f64) -> usize {
-    assert!(target_util > 0.0 && target_util <= 1.0, "target_util {target_util}");
+    assert!(
+        target_util > 0.0 && target_util <= 1.0,
+        "target_util {target_util}"
+    );
     assert!(total_load >= 0.0, "total_load {total_load}");
     // Guard float wobble: a residual below 1e-9 of a server is rounding
     // noise, not a reason to power an extra machine.

@@ -33,12 +33,30 @@ pub struct YearDistribution {
 /// broke after ~2010.
 pub fn reference_distribution() -> Vec<YearDistribution> {
     vec![
-        YearDistribution { year: 2008, shares: [0.92, 0.08, 0.00, 0.00, 0.00] },
-        YearDistribution { year: 2010, shares: [0.85, 0.10, 0.05, 0.00, 0.00] },
-        YearDistribution { year: 2012, shares: [0.55, 0.20, 0.15, 0.10, 0.00] },
-        YearDistribution { year: 2014, shares: [0.30, 0.20, 0.30, 0.15, 0.05] },
-        YearDistribution { year: 2016, shares: [0.15, 0.15, 0.35, 0.25, 0.10] },
-        YearDistribution { year: 2018, shares: [0.05, 0.10, 0.40, 0.30, 0.15] },
+        YearDistribution {
+            year: 2008,
+            shares: [0.92, 0.08, 0.00, 0.00, 0.00],
+        },
+        YearDistribution {
+            year: 2010,
+            shares: [0.85, 0.10, 0.05, 0.00, 0.00],
+        },
+        YearDistribution {
+            year: 2012,
+            shares: [0.55, 0.20, 0.15, 0.10, 0.00],
+        },
+        YearDistribution {
+            year: 2014,
+            shares: [0.30, 0.20, 0.30, 0.15, 0.05],
+        },
+        YearDistribution {
+            year: 2016,
+            shares: [0.15, 0.15, 0.35, 0.25, 0.10],
+        },
+        YearDistribution {
+            year: 2018,
+            shares: [0.05, 0.10, 0.40, 0.30, 0.15],
+        },
     ]
 }
 
@@ -157,8 +175,7 @@ pub fn bucket_shares_by_year(pop: &[SpecResult]) -> Vec<(u32, [f64; 5])> {
             let members: Vec<&SpecResult> = pop.iter().filter(|r| r.year == year).collect();
             let mut shares = [0.0f64; 5];
             for r in &members {
-                let measured =
-                    analyze_pee_percent(&spec_measurement(&r.server)).unwrap_or(100);
+                let measured = analyze_pee_percent(&spec_measurement(&r.server)).unwrap_or(100);
                 if let Some(idx) = PEE_BUCKETS.iter().position(|&b| b == measured) {
                     shares[idx] += 1.0;
                 }
@@ -201,7 +218,11 @@ mod tests {
             }
         }
         // The 10 %-grid measurement should recover nearly all of them.
-        assert!(hits * 10 >= pop.len() * 9, "only {hits}/{} recovered", pop.len());
+        assert!(
+            hits * 10 >= pop.len() * 9,
+            "only {hits}/{} recovered",
+            pop.len()
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ mod tests {
 
     #[test]
     fn presets_match_table_one() {
-        assert!((SwitchPowerModel::hpe_altoline_6940_dual().nameplate_watts() - 630.0).abs() < 1e-9);
+        assert!(
+            (SwitchPowerModel::hpe_altoline_6940_dual().nameplate_watts() - 630.0).abs() < 1e-9
+        );
         assert!((SwitchPowerModel::facebook_six_pack().nameplate_watts() - 1400.0).abs() < 1e-9);
         assert!((SwitchPowerModel::facebook_wedge().nameplate_watts() - 282.0).abs() < 1e-9);
         assert!((SwitchPowerModel::hpe_altoline_6920().nameplate_watts() - 315.0).abs() < 1e-9);

@@ -1,0 +1,636 @@
+//! The resilient epoch driver: replay a [`FaultSchedule`] against a
+//! working copy of the scenario's topology while driving a placement
+//! policy, and account for every degradation instead of panicking.
+//!
+//! Each epoch:
+//!
+//! 1. apply the epoch's repairs and faults to the topology copy;
+//! 2. plan a placement, walking the fallback chain on [`PlaceError`]:
+//!    primary → mildly relaxed → relaxed → E-PVM spill → shed the
+//!    lowest-priority (highest-index) containers until the rest fit;
+//! 3. reconcile the persistent [`ContainerRuntime`] toward the plan with
+//!    the fault-aware migration executor (retries, rollbacks, cold
+//!    restarts off dead servers);
+//! 4. meter power/TCT on the placement that *actually* materialized.
+
+use std::collections::HashMap;
+
+use goldilocks_cluster::{
+    execute_migrations, ContainerRuntime, LifecycleError, MigrationStats, PowerGate,
+};
+use goldilocks_placement::{EPvm, PlaceError, Placement, Placer};
+use goldilocks_topology::{DcTree, NodeId, Resources, ServerId};
+use goldilocks_workload::Workload;
+
+use super::plan::{ChaosRng, FaultEvent, FaultSchedule};
+use crate::epoch::{epoch_workload, meter_epoch, Policy, Scenario};
+
+/// Which rung of the degradation ladder produced the epoch's placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackLevel {
+    /// The policy's primary configuration.
+    Primary,
+    /// Mildly relaxed caps (Goldilocks at 80 % PEE).
+    MildRelaxed,
+    /// Fully relaxed caps (pack to the maximum).
+    Relaxed,
+    /// E-PVM spreading at 100 % — spill across every healthy server.
+    Spill,
+    /// Lowest-priority containers shed until the remainder fits.
+    Shed,
+}
+
+impl FallbackLevel {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackLevel::Primary => "primary",
+            FallbackLevel::MildRelaxed => "mild-relaxed",
+            FallbackLevel::Relaxed => "relaxed",
+            FallbackLevel::Spill => "spill",
+            FallbackLevel::Shed => "shed",
+        }
+    }
+}
+
+/// Errors a chaos run can surface. Placement shortfalls are absorbed by the
+/// fallback chain; what remains are genuine driver bugs.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// Even the shed ladder could not produce a placement.
+    Place(PlaceError),
+    /// The executor emitted an illegal transition (stale bookkeeping).
+    Lifecycle(LifecycleError),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::Place(e) => write!(f, "placement failed beyond all fallbacks: {e}"),
+            ChaosError::Lifecycle(e) => write!(f, "illegal transition stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<PlaceError> for ChaosError {
+    fn from(e: PlaceError) -> Self {
+        ChaosError::Place(e)
+    }
+}
+
+impl From<LifecycleError> for ChaosError {
+    fn from(e: LifecycleError) -> Self {
+        ChaosError::Lifecycle(e)
+    }
+}
+
+/// Metrics for one epoch of a chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosEpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Faults injected this epoch.
+    pub faults: usize,
+    /// Repairs landing this epoch.
+    pub repairs: usize,
+    /// Servers eligible for placement after this epoch's events.
+    pub healthy_servers: usize,
+    /// Powered-on servers.
+    pub active_servers: usize,
+    /// Server power draw, W.
+    pub server_watts: f64,
+    /// Network power draw, W.
+    pub switch_watts: f64,
+    /// Boot-energy surcharge, W (amortized).
+    pub boot_watts: f64,
+    /// Mean task completion time over served flows, ms.
+    pub tct_ms: f64,
+    /// Mean CPU utilization over active servers.
+    pub mean_cpu_util: f64,
+    /// Which fallback rung produced the placement.
+    pub fallback: FallbackLevel,
+    /// Containers the epoch demanded.
+    pub demanded: usize,
+    /// Containers actually running after reconciliation.
+    pub served: usize,
+    /// Containers shed by the planner this epoch.
+    pub shed: usize,
+    /// Migration execution counters.
+    pub migration: MigrationStats,
+}
+
+impl ChaosEpochRecord {
+    /// Total power draw, W.
+    pub fn total_watts(&self) -> f64 {
+        self.server_watts + self.switch_watts + self.boot_watts
+    }
+}
+
+/// Aggregate resilience metrics of a chaos run.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceSummary {
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Faults injected.
+    pub fault_events: usize,
+    /// Repairs observed.
+    pub repair_events: usize,
+    /// Mean time to repair, epochs (over repaired faults; 0 when none).
+    pub mttr_epochs: f64,
+    /// Faults still open when the run ended.
+    pub unrepaired_faults: usize,
+    /// Served container-epochs over demanded container-epochs.
+    pub availability: f64,
+    /// Container-epochs lost to shedding.
+    pub shed_container_epochs: usize,
+    /// Epochs that needed any fallback rung.
+    pub fallback_epochs: usize,
+    /// Epochs that had to shed load.
+    pub shed_epochs: usize,
+    /// Voluntary migrations attempted / completed.
+    pub migrations_attempted: usize,
+    /// Voluntary migrations that landed.
+    pub migrations_completed: usize,
+    /// Individual failed migration attempts (each rolled back).
+    pub failed_migration_attempts: usize,
+    /// Migration retries performed.
+    pub migration_retries: usize,
+    /// Migrations abandoned after exhausting retries.
+    pub migrations_abandoned: usize,
+    /// Cold restarts forced by dead source servers.
+    pub forced_restarts: usize,
+    /// Mean total power draw, W.
+    pub avg_total_watts: f64,
+    /// Mean TCT, ms.
+    pub avg_tct_ms: f64,
+}
+
+/// One policy's chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// Policy name.
+    pub policy: String,
+    /// Migration-roll seed the run used.
+    pub seed: u64,
+    /// Per-epoch records.
+    pub records: Vec<ChaosEpochRecord>,
+    /// Aggregates.
+    pub summary: ResilienceSummary,
+}
+
+/// Open-fault bookkeeping key for MTTR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum FaultKey {
+    Server(usize),
+    Uplink(usize),
+    Switch(usize),
+    Straggler(usize),
+    Storm,
+}
+
+/// Runs `policy` over `scenario` while replaying `schedule`, with `seed`
+/// driving the migration-failure rolls. Identical inputs replay
+/// identically.
+///
+/// # Errors
+///
+/// Only on driver bugs: an illegal transition stream, or a placement
+/// failure that survives every fallback rung (the shed ladder bottoms out
+/// at an empty placement, so this should be unreachable).
+pub fn run_chaos(
+    scenario: &Scenario,
+    policy: &Policy,
+    schedule: &FaultSchedule,
+    seed: u64,
+) -> Result<ChaosRun, ChaosError> {
+    let epochs = scenario.epochs.len();
+    let mut tree = scenario.tree.clone();
+
+    // Nominal state remembered for repairs. Heterogeneous replacement
+    // rewrites the nominal entry (the new hardware *is* the server now).
+    let mut nominal_resources: Vec<Resources> = (0..tree.server_count())
+        .map(|s| tree.server(ServerId(s)).resources)
+        .collect();
+    let nominal_uplink: HashMap<NodeId, f64> = tree
+        .rack_nodes()
+        .into_iter()
+        .map(|n| (n, tree.uplink_mbps(n)))
+        .collect();
+    // Servers a switch failure took down (and must bring back).
+    let mut switch_victims: HashMap<NodeId, Vec<ServerId>> = HashMap::new();
+    let mut storm_prob: Option<f64> = None;
+
+    let reservations: Vec<Resources> = scenario
+        .base
+        .containers
+        .iter()
+        .map(|c| {
+            Resources::new(
+                c.demand.cpu * scenario.reservation_factor,
+                c.demand.memory_gb,
+                c.demand.network_mbps,
+            )
+        })
+        .collect();
+    let mut placer = policy.build(&scenario.power.server, reservations.clone());
+    let mut gate = PowerGate::all_on(tree.server_count());
+    let mut runtime = ContainerRuntime::new();
+    let mut rolls = ChaosRng::new(seed ^ 0xD1B5_4A32_D192_ED03);
+
+    let mut open_faults: HashMap<FaultKey, usize> = HashMap::new();
+    let mut mttr_samples: Vec<usize> = Vec::new();
+    let mut records = Vec::with_capacity(epochs);
+
+    for e in 0..epochs {
+        let mut faults = 0usize;
+        let mut repairs = 0usize;
+        for ev in schedule.events_at(e) {
+            if ev.is_repair() {
+                repairs += 1;
+            } else {
+                faults += 1;
+            }
+            let mut close = |key: FaultKey| {
+                if let Some(opened) = open_faults.remove(&key) {
+                    mttr_samples.push(e - opened);
+                }
+            };
+            match *ev {
+                FaultEvent::ServerCrash(s) => {
+                    tree.fail_server(s);
+                    open_faults.insert(FaultKey::Server(s.0), e);
+                }
+                FaultEvent::ServerRestore(s) => {
+                    tree.restore_server(s);
+                    tree.set_server_resources(s, nominal_resources[s.0]);
+                    close(FaultKey::Server(s.0));
+                }
+                FaultEvent::UplinkDegrade { node, factor } => {
+                    let base = nominal_uplink
+                        .get(&node)
+                        .copied()
+                        .unwrap_or_else(|| tree.uplink_mbps(node));
+                    tree.set_uplink_mbps(node, base * factor);
+                    open_faults.insert(FaultKey::Uplink(node.0), e);
+                }
+                FaultEvent::UplinkRepair(node) => {
+                    if let Some(&base) = nominal_uplink.get(&node) {
+                        tree.set_uplink_mbps(node, base);
+                    }
+                    close(FaultKey::Uplink(node.0));
+                }
+                FaultEvent::SwitchFail(node) => {
+                    let victims: Vec<ServerId> = tree
+                        .servers_under(node)
+                        .into_iter()
+                        .filter(|s| !tree.server(*s).failed)
+                        .collect();
+                    for &s in &victims {
+                        tree.fail_server(s);
+                    }
+                    switch_victims.insert(node, victims);
+                    open_faults.insert(FaultKey::Switch(node.0), e);
+                }
+                FaultEvent::SwitchRepair(node) => {
+                    for s in switch_victims.remove(&node).unwrap_or_default() {
+                        tree.restore_server(s);
+                    }
+                    close(FaultKey::Switch(node.0));
+                }
+                FaultEvent::HeteroReplace { server, scale } => {
+                    // Permanent: the replacement hardware becomes nominal.
+                    nominal_resources[server.0] = nominal_resources[server.0].scaled(scale);
+                    tree.set_server_resources(server, nominal_resources[server.0]);
+                }
+                FaultEvent::Straggler { server, slowdown } => {
+                    tree.set_server_resources(server, nominal_resources[server.0].scaled(slowdown));
+                    open_faults.insert(FaultKey::Straggler(server.0), e);
+                }
+                FaultEvent::StragglerRecover(s) => {
+                    tree.set_server_resources(s, nominal_resources[s.0]);
+                    close(FaultKey::Straggler(s.0));
+                }
+                FaultEvent::MigrationStorm { failure_prob } => {
+                    storm_prob = Some(failure_prob);
+                    open_faults.insert(FaultKey::Storm, e);
+                }
+                FaultEvent::MigrationStormEnd => {
+                    storm_prob = None;
+                    close(FaultKey::Storm);
+                }
+            }
+        }
+
+        let w = epoch_workload(scenario, e);
+        let (target, fallback, shed) =
+            place_with_fallbacks(policy, &mut placer, scenario, &reservations, &w, &tree)?;
+
+        let mut model = scenario.migration;
+        if let Some(p) = storm_prob {
+            model.failure_prob = model.failure_prob.max(p);
+        }
+        let outcome = execute_migrations(
+            &mut runtime,
+            &target,
+            &w,
+            &model,
+            &|s| tree.server(s).failed,
+            &mut || rolls.uniform(),
+        )?;
+
+        // The placement that materialized: abandoned migrations stayed on
+        // their source, shed containers are not running.
+        let effective = Placement {
+            assignment: (0..w.len()).map(|c| runtime.host_of(c)).collect(),
+        };
+
+        // Power gating on the materialized active set.
+        let active = effective.active_servers();
+        let desired: Vec<bool> = (0..tree.server_count())
+            .map(|sid| active.contains(&ServerId(sid)))
+            .collect();
+        let booting_before: Vec<bool> = (0..gate.len()).map(|sid| !gate.is_ready(sid)).collect();
+        gate.step(&desired, scenario.epoch_seconds as u32);
+        let boot_watts: f64 = desired
+            .iter()
+            .enumerate()
+            .filter(|(sid, on)| **on && booting_before[*sid])
+            .map(|_| {
+                let frac = (gate.boot_seconds as f64 / scenario.epoch_seconds).min(1.0);
+                scenario.power.server.peak_watts * gate.boot_power_frac * frac
+            })
+            .sum();
+
+        let metrics = meter_epoch(scenario, &w, &effective, &tree);
+        let served = effective.assignment.iter().filter(|a| a.is_some()).count();
+        records.push(ChaosEpochRecord {
+            epoch: e,
+            faults,
+            repairs,
+            healthy_servers: tree.healthy_servers().len(),
+            active_servers: metrics.sample.active_servers,
+            server_watts: metrics.sample.server_watts,
+            switch_watts: metrics.sample.switch_watts,
+            boot_watts,
+            tct_ms: metrics.tct_ms,
+            mean_cpu_util: metrics.mean_cpu_util,
+            fallback,
+            demanded: w.len(),
+            served,
+            shed,
+            migration: outcome.stats,
+        });
+    }
+
+    let summary = summarize(&records, &mttr_samples, open_faults.len());
+    Ok(ChaosRun {
+        policy: policy.name().to_string(),
+        seed,
+        records,
+        summary,
+    })
+}
+
+/// Walks the degradation ladder until some placement materializes.
+fn place_with_fallbacks(
+    policy: &Policy,
+    placer: &mut Box<dyn Placer>,
+    scenario: &Scenario,
+    reservations: &[Resources],
+    w: &Workload,
+    tree: &DcTree,
+) -> Result<(Placement, FallbackLevel, usize), PlaceError> {
+    if let Ok(p) = placer.place(w, tree) {
+        return Ok((p, FallbackLevel::Primary, 0));
+    }
+    let mut mild = policy.build_mildly_relaxed(&scenario.power.server, reservations.to_vec());
+    if let Ok(p) = mild.place(w, tree) {
+        return Ok((p, FallbackLevel::MildRelaxed, 0));
+    }
+    let mut relaxed = policy.build_relaxed(&scenario.power.server, reservations.to_vec());
+    if let Ok(p) = relaxed.place(w, tree) {
+        return Ok((p, FallbackLevel::Relaxed, 0));
+    }
+    let mut spill = EPvm { max_util: 1.0 };
+    if let Ok(p) = spill.place(w, tree) {
+        return Ok((p, FallbackLevel::Spill, 0));
+    }
+    // Shed the tail (lowest-priority containers) until the rest fits. The
+    // ladder bottoms out at the empty placement, which always "fits".
+    let step = (w.len() / 20).max(1);
+    let mut keep = w.len().saturating_sub(step);
+    loop {
+        if keep == 0 {
+            return Ok((
+                Placement {
+                    assignment: vec![None; w.len()],
+                },
+                FallbackLevel::Shed,
+                w.len(),
+            ));
+        }
+        let sub = w.prefix(keep);
+        let mut spill = EPvm { max_util: 1.0 };
+        if let Ok(p) = spill.place(&sub, tree) {
+            let mut assignment = p.assignment;
+            assignment.resize(w.len(), None);
+            return Ok((
+                Placement { assignment },
+                FallbackLevel::Shed,
+                w.len() - keep,
+            ));
+        }
+        keep = keep.saturating_sub(step);
+    }
+}
+
+fn summarize(
+    records: &[ChaosEpochRecord],
+    mttr_samples: &[usize],
+    unrepaired: usize,
+) -> ResilienceSummary {
+    let epochs = records.len();
+    let demanded: usize = records.iter().map(|r| r.demanded).sum();
+    let served: usize = records.iter().map(|r| r.served).sum();
+    let n = epochs.max(1) as f64;
+    ResilienceSummary {
+        epochs,
+        fault_events: records.iter().map(|r| r.faults).sum(),
+        repair_events: records.iter().map(|r| r.repairs).sum(),
+        mttr_epochs: if mttr_samples.is_empty() {
+            0.0
+        } else {
+            mttr_samples.iter().sum::<usize>() as f64 / mttr_samples.len() as f64
+        },
+        unrepaired_faults: unrepaired,
+        availability: if demanded == 0 {
+            1.0
+        } else {
+            served as f64 / demanded as f64
+        },
+        shed_container_epochs: records.iter().map(|r| r.shed).sum(),
+        fallback_epochs: records
+            .iter()
+            .filter(|r| r.fallback != FallbackLevel::Primary)
+            .count(),
+        shed_epochs: records
+            .iter()
+            .filter(|r| r.fallback == FallbackLevel::Shed)
+            .count(),
+        migrations_attempted: records.iter().map(|r| r.migration.attempted).sum(),
+        migrations_completed: records.iter().map(|r| r.migration.completed).sum(),
+        failed_migration_attempts: records.iter().map(|r| r.migration.failed_attempts).sum(),
+        migration_retries: records.iter().map(|r| r.migration.retries).sum(),
+        migrations_abandoned: records.iter().map(|r| r.migration.abandoned).sum(),
+        forced_restarts: records.iter().map(|r| r.migration.forced_restarts).sum(),
+        avg_total_watts: records
+            .iter()
+            .map(ChaosEpochRecord::total_watts)
+            .sum::<f64>()
+            / n,
+        avg_tct_ms: records.iter().map(|r| r.tct_ms).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::plan::{FaultPlan, FaultPlanConfig};
+    use crate::scenarios::wiki_testbed;
+    use goldilocks_core::GoldilocksConfig;
+
+    #[test]
+    fn quiescent_run_serves_everything() {
+        let s = wiki_testbed(6, 40, 2);
+        let run = run_chaos(&s, &Policy::EPvm, &FaultSchedule::empty(6), 1).unwrap();
+        assert_eq!(run.records.len(), 6);
+        assert_eq!(run.summary.availability, 1.0);
+        assert_eq!(run.summary.fault_events, 0);
+        assert_eq!(run.summary.forced_restarts, 0);
+        assert!(run
+            .records
+            .iter()
+            .all(|r| r.fallback == FallbackLevel::Primary));
+    }
+
+    #[test]
+    fn mass_failure_makes_primary_placer_error() {
+        use goldilocks_placement::Placer;
+        let s = wiki_testbed(2, 48, 3);
+        let mut tree = s.tree.clone();
+        for sid in 2..16 {
+            tree.fail_server(ServerId(sid));
+        }
+        // Nominal (peak) demand: 48 containers against 2 surviving servers.
+        let w = s.base.prefix(48);
+        let mut gold = goldilocks_core::Goldilocks::with_config(GoldilocksConfig::paper());
+        let err = gold.place(&w, &tree);
+        assert!(
+            matches!(
+                err,
+                Err(PlaceError::Unplaceable { .. }) | Err(PlaceError::Infeasible { .. })
+            ),
+            "48 containers cannot fit 3 servers under the paper caps: {err:?}"
+        );
+    }
+
+    #[test]
+    fn mass_server_failure_engages_fallback_chain() {
+        let s = wiki_testbed(4, 48, 3);
+        // Epoch 1 kills 13 of the 16 testbed servers; capacity collapses
+        // far below demand, so Goldilocks's primary build must fail and a
+        // placement must still be produced further down the ladder.
+        let mut schedule = FaultSchedule::empty(4);
+        for sid in 3..16 {
+            schedule.events[1].push(FaultEvent::ServerCrash(ServerId(sid)));
+        }
+        let policy = Policy::Goldilocks(GoldilocksConfig::paper());
+        let run = run_chaos(&s, &policy, &schedule, 7).unwrap();
+        assert_eq!(run.records.len(), 4, "run must survive the crash epoch");
+        let crash = &run.records[1];
+        assert_eq!(crash.healthy_servers, 3);
+        assert_ne!(
+            crash.fallback,
+            FallbackLevel::Primary,
+            "primary cannot fit 3 servers"
+        );
+        assert!(
+            crash.served > 0,
+            "a degraded placement must still serve something"
+        );
+        assert!(crash.served <= crash.demanded);
+        assert!(
+            run.summary.availability < 1.0,
+            "shedding must dent availability"
+        );
+        assert!(run.summary.shed_container_epochs > 0);
+    }
+
+    #[test]
+    fn crashed_servers_force_cold_restarts() {
+        let s = wiki_testbed(3, 40, 5);
+        let mut schedule = FaultSchedule::empty(3);
+        // One server dies at epoch 1 and never comes back.
+        schedule.events[1].push(FaultEvent::ServerCrash(ServerId(0)));
+        let run = run_chaos(&s, &Policy::EPvm, &schedule, 11).unwrap();
+        // E-PVM spreads over all 16 servers, so server 0 hosted containers
+        // that must cold-restart elsewhere.
+        assert!(run.summary.forced_restarts > 0);
+        assert_eq!(
+            run.summary.availability, 1.0,
+            "spare capacity absorbs one crash"
+        );
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic() {
+        let s = wiki_testbed(10, 48, 4);
+        let plan = FaultPlan {
+            config: FaultPlanConfig::default(),
+            seed: 99,
+        };
+        let schedule = plan.schedule(10, &s.tree);
+        let policy = Policy::Goldilocks(GoldilocksConfig::paper());
+        let a = run_chaos(&s, &policy, &schedule, 99).unwrap();
+        let b = run_chaos(&s, &policy, &schedule, 99).unwrap();
+        assert_eq!(format!("{:?}", a.records), format!("{:?}", b.records));
+        assert_eq!(format!("{:?}", a.summary), format!("{:?}", b.summary));
+    }
+
+    #[test]
+    fn migration_storm_causes_retries_or_abandons() {
+        let mut s = wiki_testbed(8, 48, 6);
+        // Make every attempt fail while the storm lasts.
+        let mut schedule = FaultSchedule::empty(8);
+        schedule.events[1].push(FaultEvent::MigrationStorm { failure_prob: 1.0 });
+        // Never let the storm end; every migration in epochs 1.. fails.
+        s.migration.max_retries = 1;
+        let policy = Policy::Goldilocks(GoldilocksConfig::paper());
+        let run = run_chaos(&s, &policy, &schedule, 13).unwrap();
+        if run.summary.migrations_attempted > 0 {
+            assert_eq!(
+                run.summary.migrations_completed, 0,
+                "storm fails all attempts"
+            );
+            assert!(run.summary.failed_migration_attempts > 0);
+            assert_eq!(
+                run.summary.migrations_abandoned,
+                run.summary.migrations_attempted
+            );
+        }
+    }
+
+    #[test]
+    fn mttr_measured_from_fault_to_repair() {
+        let s = wiki_testbed(6, 40, 8);
+        let mut schedule = FaultSchedule::empty(6);
+        schedule.events[1].push(FaultEvent::ServerCrash(ServerId(2)));
+        schedule.events[4].push(FaultEvent::ServerRestore(ServerId(2)));
+        let run = run_chaos(&s, &Policy::EPvm, &schedule, 21).unwrap();
+        assert_eq!(run.summary.mttr_epochs, 3.0);
+        assert_eq!(run.summary.repair_events, 1);
+        assert_eq!(run.summary.unrepaired_faults, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Deterministic fault injection and graceful degradation.
+//!
+//! Split in two halves:
+//!
+//! - [`plan`]: a seeded [`FaultPlan`] expands into a replayable
+//!   [`FaultSchedule`] of typed [`FaultEvent`]s — server crashes, rack
+//!   uplink degradations, switch failures, heterogeneous replacements,
+//!   stragglers and migration storms, each paired with its repair.
+//! - [`driver`]: [`run_chaos`] replays a schedule against a working copy
+//!   of the topology while driving a placement policy, absorbing
+//!   [`goldilocks_placement::PlaceError`]s with a fallback ladder
+//!   (primary → relaxed caps → E-PVM spill → shed) and executing
+//!   migrations through the fault-aware executor in `goldilocks-cluster`.
+//!
+//! Everything is seeded: the same `(scenario, policy, schedule, seed)`
+//! replays byte-for-byte, which is what makes fault experiments citable.
+
+mod driver;
+mod plan;
+
+pub use driver::{
+    run_chaos, ChaosEpochRecord, ChaosError, ChaosRun, FallbackLevel, ResilienceSummary,
+};
+pub use plan::{ChaosRng, FaultEvent, FaultPlan, FaultPlanConfig, FaultSchedule};

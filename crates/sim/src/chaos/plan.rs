@@ -1,0 +1,516 @@
+//! Deterministic fault-plan generation.
+//!
+//! A [`FaultPlan`] is a seed plus rate knobs; expanding it against a
+//! topology yields a [`FaultSchedule`] — the exact, replayable list of
+//! fault and repair events per epoch. The same `(plan, epochs, tree)`
+//! triple always expands to the identical schedule, on any platform: the
+//! generator uses its own [`ChaosRng`] (SplitMix64) rather than an external
+//! RNG crate precisely so reproducibility does not depend on a dependency's
+//! stream.
+
+use std::collections::HashMap;
+
+use goldilocks_topology::{DcTree, NodeId, ServerId};
+
+/// Self-contained SplitMix64 PRNG for fault generation and migration rolls.
+///
+/// Small state, full 64-bit period, and — critically — defined entirely in
+/// this crate, so seeded chaos runs replay byte-for-byte everywhere.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "index(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+/// One injected fault or its repair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A server crashes: it leaves the placement-eligible set and its
+    /// containers must be restarted elsewhere.
+    ServerCrash(ServerId),
+    /// A crashed server comes back with its original capacity.
+    ServerRestore(ServerId),
+    /// A rack uplink degrades to `factor` of its nominal bandwidth.
+    UplinkDegrade {
+        /// The rack node whose uplink degrades.
+        node: NodeId,
+        /// Remaining fraction of nominal bandwidth, in `(0, 1)`.
+        factor: f64,
+    },
+    /// A degraded uplink is restored to nominal bandwidth.
+    UplinkRepair(NodeId),
+    /// A rack (ToR) switch fails: every server beneath it becomes
+    /// unreachable until repair.
+    SwitchFail(NodeId),
+    /// The failed switch is replaced; servers it took down come back.
+    SwitchRepair(NodeId),
+    /// A crashed-and-replaced server returns with *different* hardware:
+    /// its nominal capacity is permanently rescaled by `scale`
+    /// (heterogeneity injection, Section IV).
+    HeteroReplace {
+        /// The replaced server.
+        server: ServerId,
+        /// Capacity multiplier applied to the nominal resources.
+        scale: f64,
+    },
+    /// A server becomes a straggler: its capacity drops to `slowdown` of
+    /// nominal until recovery (contention, thermal throttling).
+    Straggler {
+        /// The slowed server.
+        server: ServerId,
+        /// Remaining fraction of nominal capacity, in `(0, 1)`.
+        slowdown: f64,
+    },
+    /// The straggler recovers to nominal capacity.
+    StragglerRecover(ServerId),
+    /// CRIU/rsync infrastructure trouble: migration attempts fail with at
+    /// least this probability until the storm ends.
+    MigrationStorm {
+        /// Per-attempt failure probability floor during the storm.
+        failure_prob: f64,
+    },
+    /// Migration infrastructure back to the scenario's nominal model.
+    MigrationStormEnd,
+}
+
+impl FaultEvent {
+    /// True for repair/recovery events (applied before new faults).
+    pub fn is_repair(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::ServerRestore(_)
+                | FaultEvent::UplinkRepair(_)
+                | FaultEvent::SwitchRepair(_)
+                | FaultEvent::StragglerRecover(_)
+                | FaultEvent::MigrationStormEnd
+        )
+    }
+}
+
+/// Per-epoch injection rates and fault shapes. All `*_rate` fields are
+/// per-epoch probabilities in `[0, 1]` of injecting one fault of that kind.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlanConfig {
+    /// P(one server crash) per epoch.
+    pub server_crash_rate: f64,
+    /// P(one rack-uplink degradation) per epoch.
+    pub uplink_degrade_rate: f64,
+    /// P(one rack-switch failure) per epoch.
+    pub switch_fail_rate: f64,
+    /// P(one heterogeneous hardware replacement) per epoch.
+    pub hetero_replace_rate: f64,
+    /// P(one server turning straggler) per epoch.
+    pub straggler_rate: f64,
+    /// P(a migration storm starting) per epoch.
+    pub migration_storm_rate: f64,
+    /// Mean epochs until a fault is repaired (uniform in `[1, 2·mean]`).
+    pub mean_repair_epochs: usize,
+    /// Remaining bandwidth fraction of a degraded uplink.
+    pub uplink_degrade_factor: f64,
+    /// Remaining capacity fraction of a straggler.
+    pub straggler_slowdown: f64,
+    /// Replacement-hardware capacity scale is uniform in this range.
+    pub hetero_scale_range: (f64, f64),
+    /// Migration failure probability during a storm.
+    pub storm_failure_prob: f64,
+    /// Never take more than this fraction of servers down at once
+    /// (crashes + switch failures combined).
+    pub max_failed_fraction: f64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            server_crash_rate: 0.10,
+            uplink_degrade_rate: 0.06,
+            switch_fail_rate: 0.03,
+            hetero_replace_rate: 0.03,
+            straggler_rate: 0.06,
+            migration_storm_rate: 0.05,
+            mean_repair_epochs: 3,
+            uplink_degrade_factor: 0.30,
+            straggler_slowdown: 0.50,
+            hetero_scale_range: (0.6, 1.4),
+            storm_failure_prob: 0.5,
+            max_failed_fraction: 0.30,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// A quiet configuration: no faults at all (the control arm).
+    pub fn quiescent() -> Self {
+        FaultPlanConfig {
+            server_crash_rate: 0.0,
+            uplink_degrade_rate: 0.0,
+            switch_fail_rate: 0.0,
+            hetero_replace_rate: 0.0,
+            straggler_rate: 0.0,
+            migration_storm_rate: 0.0,
+            ..FaultPlanConfig::default()
+        }
+    }
+}
+
+/// A seeded fault plan: expand with [`FaultPlan::schedule`] to get the
+/// concrete event list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Injection rates and fault shapes.
+    pub config: FaultPlanConfig,
+    /// Generator seed; same seed, same schedule.
+    pub seed: u64,
+}
+
+/// The expanded, replayable event list: `events[e]` are the faults and
+/// repairs applied at the start of epoch `e`, repairs first.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Per-epoch events.
+    pub events: Vec<Vec<FaultEvent>>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no events for `epochs` epochs.
+    pub fn empty(epochs: usize) -> Self {
+        FaultSchedule {
+            events: vec![Vec::new(); epochs],
+        }
+    }
+
+    /// Events at `epoch` (empty past the end of the schedule).
+    pub fn events_at(&self, epoch: usize) -> &[FaultEvent] {
+        self.events.get(epoch).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of injected faults (repairs not counted).
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .flatten()
+            .filter(|e| !e.is_repair())
+            .count()
+    }
+}
+
+/// What the generator knows about in-flight faults while expanding.
+#[derive(Default)]
+struct GeneratorState {
+    /// Servers currently down (individually crashed or rack-failed).
+    down: HashMap<ServerId, ()>,
+    /// Racks with a degraded uplink.
+    degraded: HashMap<NodeId, ()>,
+    /// Racks with a failed switch.
+    rack_down: HashMap<NodeId, ()>,
+    /// Current stragglers.
+    straggling: HashMap<ServerId, ()>,
+    /// A migration storm is active.
+    storming: bool,
+}
+
+impl FaultPlan {
+    /// Expands the plan into the concrete per-epoch event schedule for
+    /// `epochs` epochs over `tree`. Deterministic in `(self, epochs, tree)`.
+    pub fn schedule(&self, epochs: usize, tree: &DcTree) -> FaultSchedule {
+        let cfg = &self.config;
+        let mut rng = ChaosRng::new(self.seed);
+        let mut events: Vec<Vec<FaultEvent>> = vec![Vec::new(); epochs];
+        // Repairs scheduled for a future epoch; consumed at that epoch's
+        // start so eligibility sets stay accurate. Repairs falling past the
+        // horizon are dropped (the fault stays open at end of run).
+        let mut pending: Vec<Vec<FaultEvent>> = vec![Vec::new(); epochs];
+        let mut st = GeneratorState::default();
+        let racks = tree.rack_nodes();
+        let server_count = tree.server_count();
+        let max_down = ((cfg.max_failed_fraction * server_count as f64).floor() as usize).max(1);
+
+        for e in 0..epochs {
+            // 1. Repairs land first.
+            for r in pending[e].drain(..) {
+                match r {
+                    FaultEvent::ServerRestore(s) => {
+                        st.down.remove(&s);
+                    }
+                    FaultEvent::UplinkRepair(n) => {
+                        st.degraded.remove(&n);
+                    }
+                    FaultEvent::SwitchRepair(n) => {
+                        st.rack_down.remove(&n);
+                        for s in tree.servers_under(n) {
+                            st.down.remove(&s);
+                        }
+                    }
+                    FaultEvent::StragglerRecover(s) => {
+                        st.straggling.remove(&s);
+                    }
+                    FaultEvent::MigrationStormEnd => st.storming = false,
+                    _ => {}
+                }
+                events[e].push(r);
+            }
+
+            let repair_epoch =
+                |rng: &mut ChaosRng| e + 1 + rng.index((2 * cfg.mean_repair_epochs).max(1));
+
+            // 2. New faults, one Bernoulli trial per kind. The trial order
+            // is fixed; changing it changes the stream, so append only.
+            if rng.chance(cfg.server_crash_rate) {
+                let eligible: Vec<ServerId> = (0..server_count)
+                    .map(ServerId)
+                    .filter(|s| !st.down.contains_key(s) && !st.straggling.contains_key(s))
+                    .collect();
+                if !eligible.is_empty() && st.down.len() < max_down {
+                    let victim = eligible[rng.index(eligible.len())];
+                    st.down.insert(victim, ());
+                    events[e].push(FaultEvent::ServerCrash(victim));
+                    let re = repair_epoch(&mut rng);
+                    if re < epochs {
+                        pending[re].push(FaultEvent::ServerRestore(victim));
+                    }
+                }
+            }
+            if rng.chance(cfg.switch_fail_rate) {
+                let eligible: Vec<NodeId> = racks
+                    .iter()
+                    .copied()
+                    .filter(|n| !st.rack_down.contains_key(n))
+                    .collect();
+                if !eligible.is_empty() {
+                    let victim = eligible[rng.index(eligible.len())];
+                    let under = tree.servers_under(victim);
+                    let newly_down = under.iter().filter(|s| !st.down.contains_key(s)).count();
+                    if st.down.len() + newly_down <= max_down {
+                        st.rack_down.insert(victim, ());
+                        for s in under {
+                            st.down.insert(s, ());
+                        }
+                        events[e].push(FaultEvent::SwitchFail(victim));
+                        let re = repair_epoch(&mut rng);
+                        if re < epochs {
+                            pending[re].push(FaultEvent::SwitchRepair(victim));
+                        }
+                    }
+                }
+            }
+            if rng.chance(cfg.uplink_degrade_rate) {
+                let eligible: Vec<NodeId> = racks
+                    .iter()
+                    .copied()
+                    .filter(|n| !st.degraded.contains_key(n) && !st.rack_down.contains_key(n))
+                    .collect();
+                if !eligible.is_empty() {
+                    let victim = eligible[rng.index(eligible.len())];
+                    st.degraded.insert(victim, ());
+                    events[e].push(FaultEvent::UplinkDegrade {
+                        node: victim,
+                        factor: cfg.uplink_degrade_factor,
+                    });
+                    let re = repair_epoch(&mut rng);
+                    if re < epochs {
+                        pending[re].push(FaultEvent::UplinkRepair(victim));
+                    }
+                }
+            }
+            if rng.chance(cfg.straggler_rate) {
+                let eligible: Vec<ServerId> = (0..server_count)
+                    .map(ServerId)
+                    .filter(|s| !st.down.contains_key(s) && !st.straggling.contains_key(s))
+                    .collect();
+                if !eligible.is_empty() {
+                    let victim = eligible[rng.index(eligible.len())];
+                    st.straggling.insert(victim, ());
+                    events[e].push(FaultEvent::Straggler {
+                        server: victim,
+                        slowdown: cfg.straggler_slowdown,
+                    });
+                    let re = repair_epoch(&mut rng);
+                    if re < epochs {
+                        pending[re].push(FaultEvent::StragglerRecover(victim));
+                    }
+                }
+            }
+            if rng.chance(cfg.hetero_replace_rate) {
+                let eligible: Vec<ServerId> = (0..server_count)
+                    .map(ServerId)
+                    .filter(|s| !st.down.contains_key(s) && !st.straggling.contains_key(s))
+                    .collect();
+                if !eligible.is_empty() {
+                    let victim = eligible[rng.index(eligible.len())];
+                    let (lo, hi) = cfg.hetero_scale_range;
+                    let scale = lo + rng.uniform() * (hi - lo);
+                    events[e].push(FaultEvent::HeteroReplace {
+                        server: victim,
+                        scale,
+                    });
+                }
+            }
+            if !st.storming && rng.chance(cfg.migration_storm_rate) {
+                st.storming = true;
+                events[e].push(FaultEvent::MigrationStorm {
+                    failure_prob: cfg.storm_failure_prob,
+                });
+                let re = repair_epoch(&mut rng);
+                if re < epochs {
+                    pending[re].push(FaultEvent::MigrationStormEnd);
+                }
+            }
+        }
+        FaultSchedule { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::fat_tree;
+    use goldilocks_topology::Resources;
+
+    fn tree() -> DcTree {
+        fat_tree(4, Resources::new(400.0, 64.0, 1000.0), 1000.0)
+    }
+
+    #[test]
+    fn chaos_rng_is_deterministic_and_uniformish() {
+        let mut a = ChaosRng::new(7);
+        let mut b = ChaosRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaosRng::new(8);
+        let mean: f64 = (0..10_000).map(|_| c.uniform()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan {
+            config: FaultPlanConfig::default(),
+            seed: 42,
+        };
+        let t = tree();
+        assert_eq!(plan.schedule(80, &t), plan.schedule(80, &t));
+        let other = FaultPlan {
+            config: FaultPlanConfig::default(),
+            seed: 43,
+        };
+        assert_ne!(plan.schedule(80, &t), other.schedule(80, &t));
+    }
+
+    #[test]
+    fn every_fault_gets_at_most_one_matching_repair() {
+        let plan = FaultPlan {
+            config: FaultPlanConfig::default(),
+            seed: 9,
+        };
+        let s = plan.schedule(120, &tree());
+        let mut crashes = 0i64;
+        for ev in s.events.iter().flatten() {
+            match ev {
+                FaultEvent::ServerCrash(_) => crashes += 1,
+                FaultEvent::ServerRestore(_) => {
+                    crashes -= 1;
+                    assert!(crashes >= 0, "restore before crash");
+                }
+                _ => {}
+            }
+        }
+        assert!(crashes >= 0);
+        assert!(
+            s.fault_count() > 0,
+            "120 epochs at default rates must fault"
+        );
+    }
+
+    #[test]
+    fn failed_fraction_capped() {
+        let cfg = FaultPlanConfig {
+            server_crash_rate: 1.0,
+            mean_repair_epochs: 100, // effectively never repaired
+            max_failed_fraction: 0.25,
+            ..FaultPlanConfig::quiescent()
+        };
+        let t = tree();
+        let s = FaultPlan {
+            config: cfg,
+            seed: 1,
+        }
+        .schedule(60, &t);
+        // The cap bounds *concurrent* failures, not the run's total.
+        let mut down = 0usize;
+        let mut peak = 0usize;
+        let mut total = 0usize;
+        for ev in s.events.iter().flatten() {
+            match ev {
+                FaultEvent::ServerCrash(_) => {
+                    down += 1;
+                    total += 1;
+                    peak = peak.max(down);
+                }
+                FaultEvent::ServerRestore(_) => down -= 1,
+                _ => {}
+            }
+        }
+        assert!(
+            peak <= (t.server_count() as f64 * 0.25) as usize,
+            "peak {peak}"
+        );
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn quiescent_plan_is_empty() {
+        let s = FaultPlan {
+            config: FaultPlanConfig::quiescent(),
+            seed: 5,
+        }
+        .schedule(50, &tree());
+        assert_eq!(s.fault_count(), 0);
+        assert!(s.events.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn repairs_precede_new_faults_within_an_epoch() {
+        let plan = FaultPlan {
+            config: FaultPlanConfig::default(),
+            seed: 3,
+        };
+        for epoch_events in &plan.schedule(100, &tree()).events {
+            let first_fault = epoch_events.iter().position(|e| !e.is_repair());
+            let last_repair = epoch_events.iter().rposition(FaultEvent::is_repair);
+            if let (Some(f), Some(r)) = (first_fault, last_repair) {
+                assert!(r < f, "repair at index {r} after fault at {f}");
+            }
+        }
+    }
+}

@@ -111,7 +111,10 @@ mod tests {
         let sample = meter(&p, &w, &tree, &PowerConfig::testbed());
         assert_eq!(sample.active_servers, 16);
         assert_eq!(sample.active_switches, tree.switch_count());
-        assert!(sample.server_watts > 16.0 * 100.0, "static power alone is sizable");
+        assert!(
+            sample.server_watts > 16.0 * 100.0,
+            "static power alone is sizable"
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl Policy {
 
     /// Builds the placer for an epoch. `reservations` is the nominal
     /// (unscaled) demand of each live container — only RC-Informed uses it.
-    fn build(
+    pub(crate) fn build(
         &self,
         server_model: &ServerPowerModel,
         reservations: Vec<goldilocks_topology::Resources>,
@@ -81,7 +81,7 @@ impl Policy {
     /// A mildly relaxed fallback: Goldilocks raises its PEE cap to 80 %
     /// (still short of the cubic blow-up); other policies go straight to
     /// their full relaxation.
-    fn build_mildly_relaxed(
+    pub(crate) fn build_mildly_relaxed(
         &self,
         server_model: &ServerPowerModel,
         reservations: Vec<goldilocks_topology::Resources>,
@@ -114,7 +114,7 @@ impl Policy {
     /// policy packs to the maximum instead of failing the epoch — matching
     /// the paper's observation that at high load every policy approaches the
     /// baseline.
-    fn build_relaxed(
+    pub(crate) fn build_relaxed(
         &self,
         server_model: &ServerPowerModel,
         reservations: Vec<goldilocks_topology::Resources>,
@@ -267,6 +267,43 @@ pub fn epoch_workload(scenario: &Scenario, epoch: usize) -> Workload {
     w
 }
 
+/// Power, latency and utilization of one epoch under one placement.
+pub(crate) struct EpochMetrics {
+    pub(crate) sample: crate::energy::PowerSample,
+    pub(crate) tct_ms: f64,
+    pub(crate) mean_cpu_util: f64,
+}
+
+/// Meters a placement against the given tree (which may differ from
+/// `scenario.tree` when faults have been applied to a working copy).
+pub(crate) fn meter_epoch(
+    scenario: &Scenario,
+    w: &Workload,
+    placement: &Placement,
+    tree: &DcTree,
+) -> EpochMetrics {
+    let sample = meter(placement, w, tree, &scenario.power);
+    let cpu_utils = placement.server_cpu_utilizations(w, tree);
+    let tct_ms = match &scenario.tct_app_prefix {
+        Some(prefix) => mean_tct_ms(&scenario.latency, w, placement, tree, &cpu_utils, |f| {
+            w.containers[f.a.0].app.starts_with(prefix.as_str())
+                || w.containers[f.b.0].app.starts_with(prefix.as_str())
+        }),
+        None => mean_tct_ms(&scenario.latency, w, placement, tree, &cpu_utils, |_| true),
+    };
+    let active_utils: Vec<f64> = cpu_utils.iter().copied().filter(|u| *u > 0.0).collect();
+    let mean_cpu_util = if active_utils.is_empty() {
+        0.0
+    } else {
+        active_utils.iter().sum::<f64>() / active_utils.len() as f64
+    };
+    EpochMetrics {
+        sample,
+        tct_ms,
+        mean_cpu_util,
+    }
+}
+
 /// Runs one policy across every epoch of `scenario`.
 ///
 /// # Errors
@@ -306,7 +343,8 @@ pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, Pla
                 // tries a mildly raised cap (80 %) before packing to the
                 // maximum — the paper notes that at high load every policy
                 // approaches the baseline, not that it explodes past it.
-                let mut mild = policy.build_mildly_relaxed(&scenario.power.server, reservations.clone());
+                let mut mild =
+                    policy.build_mildly_relaxed(&scenario.power.server, reservations.clone());
                 match mild.place(&w, &scenario.tree) {
                     Ok(p) => (p, true),
                     Err(_) => {
@@ -337,29 +375,8 @@ pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, Pla
             })
             .sum();
 
-        let sample = meter(&placement, &w, &scenario.tree, &scenario.power);
-        let cpu_utils = placement.server_cpu_utilizations(&w, &scenario.tree);
-        let tct = match &scenario.tct_app_prefix {
-            Some(prefix) => mean_tct_ms(
-                &scenario.latency,
-                &w,
-                &placement,
-                &scenario.tree,
-                &cpu_utils,
-                |f| {
-                    w.containers[f.a.0].app.starts_with(prefix.as_str())
-                        || w.containers[f.b.0].app.starts_with(prefix.as_str())
-                },
-            ),
-            None => mean_tct_ms(
-                &scenario.latency,
-                &w,
-                &placement,
-                &scenario.tree,
-                &cpu_utils,
-                |_| true,
-            ),
-        };
+        let metrics = meter_epoch(scenario, &w, &placement, &scenario.tree);
+        let (sample, tct) = (metrics.sample, metrics.tct_ms);
 
         let (migrations, freeze) = match &prev {
             Some(old) => {
@@ -368,13 +385,6 @@ pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, Pla
                 (cost.count, cost.total_freeze_s)
             }
             None => (0, 0.0),
-        };
-
-        let active_utils: Vec<f64> = cpu_utils.iter().copied().filter(|u| *u > 0.0).collect();
-        let mean_cpu = if active_utils.is_empty() {
-            0.0
-        } else {
-            active_utils.iter().sum::<f64>() / active_utils.len() as f64
         };
 
         let spec = &scenario.epochs[e];
@@ -392,7 +402,7 @@ pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, Pla
             },
             migrations,
             freeze_seconds: freeze,
-            mean_cpu_util: mean_cpu,
+            mean_cpu_util: metrics.mean_cpu_util,
             fallback,
         });
         prev = Some(placement);
@@ -510,6 +520,9 @@ mod tests {
         let s = wiki_testbed(4, 40, 4);
         let runs = run_lineup(&s).unwrap();
         let names: Vec<&str> = runs.iter().map(|r| r.policy.as_str()).collect();
-        assert_eq!(names, vec!["E-PVM", "mPP", "Borg", "RC-Informed", "Goldilocks"]);
+        assert_eq!(
+            names,
+            vec!["E-PVM", "mPP", "Borg", "RC-Informed", "Goldilocks"]
+        );
     }
 }

@@ -126,11 +126,12 @@ where
         ) else {
             continue;
         };
-        // Service happens at the busier endpoint (the bottleneck).
-        let rho = server_cpu_utils[sa.0.max(sb.0).min(server_cpu_utils.len() - 1)]
-            .max(server_cpu_utils[sa.0])
-            .max(server_cpu_utils[sb.0])
-            .min(model.server_queue_cap);
+        // Service happens at the busier endpoint (the bottleneck). Servers
+        // beyond the utilization slice (or an empty slice) count as idle
+        // rather than panicking on an out-of-bounds index.
+        let util =
+            |s: goldilocks_topology::ServerId| server_cpu_utils.get(s.0).copied().unwrap_or(0.0);
+        let rho = util(sa).max(util(sb)).min(model.server_queue_cap);
         let service = model.base_service_ms / (1.0 - rho);
         let mut net = 0.0;
         if sa != sb {
@@ -180,9 +181,9 @@ where
         ) else {
             continue;
         };
-        let rho = server_cpu_utils[sa.0]
-            .max(server_cpu_utils[sb.0])
-            .min(model.server_queue_cap);
+        let util =
+            |s: goldilocks_topology::ServerId| server_cpu_utils.get(s.0).copied().unwrap_or(0.0);
+        let rho = util(sa).max(util(sb)).min(model.server_queue_cap);
         let mut tct = model.base_service_ms / (1.0 - rho);
         if sa != sb {
             for node in crossed_uplinks(tree, sa, sb) {
@@ -207,7 +208,7 @@ pub fn tct_percentile_ms(samples: &[(f64, f64)], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN latencies"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total: f64 = sorted.iter().map(|(_, w)| w).sum();
     let target = q.clamp(0.0, 1.0) * total;
     let mut acc = 0.0;
@@ -217,7 +218,7 @@ pub fn tct_percentile_ms(samples: &[(f64, f64)], q: f64) -> f64 {
             return *tct;
         }
     }
-    sorted.last().expect("non-empty").0
+    sorted.last().map_or(0.0, |s| s.0)
 }
 
 #[cfg(test)]
@@ -269,10 +270,20 @@ mod tests {
         let m = LatencyModel::default();
         // Same rack (2 hops) vs cross-pod (6 hops).
         let near = Placement {
-            assignment: vec![Some(order[0]), Some(order[1]), Some(order[0]), Some(order[1])],
+            assignment: vec![
+                Some(order[0]),
+                Some(order[1]),
+                Some(order[0]),
+                Some(order[1]),
+            ],
         };
         let far = Placement {
-            assignment: vec![Some(order[0]), Some(order[15]), Some(order[2]), Some(order[13])],
+            assignment: vec![
+                Some(order[0]),
+                Some(order[15]),
+                Some(order[2]),
+                Some(order[13]),
+            ],
         };
         let t_near = mean_tct_ms(&m, &w, &near, &tree, &utils, |_| true);
         let t_far = mean_tct_ms(&m, &w, &far, &tree, &utils, |_| true);
@@ -284,7 +295,12 @@ mod tests {
         let (w, tree) = setup();
         let order = tree.servers_in_dfs_order();
         let p = Placement {
-            assignment: vec![Some(order[0]), Some(order[1]), Some(order[0]), Some(order[1])],
+            assignment: vec![
+                Some(order[0]),
+                Some(order[1]),
+                Some(order[0]),
+                Some(order[1]),
+            ],
         };
         let m = LatencyModel::default();
         let low = mean_tct_ms(&m, &w, &p, &tree, &[0.3; 16], |_| true);
@@ -302,7 +318,12 @@ mod tests {
         let order = tree.servers_in_dfs_order();
         // Both flows cross pods; each 100 Mbps.
         let p = Placement {
-            assignment: vec![Some(order[0]), Some(order[15]), Some(order[0]), Some(order[15])],
+            assignment: vec![
+                Some(order[0]),
+                Some(order[15]),
+                Some(order[0]),
+                Some(order[15]),
+            ],
         };
         let loads = link_loads(&w, &p, &tree);
         // Server 0's NIC uplink carries both flows (200 Mbps).
@@ -328,7 +349,12 @@ mod tests {
         let (w, tree) = setup();
         let order = tree.servers_in_dfs_order();
         let p = Placement {
-            assignment: vec![Some(order[0]), Some(order[0]), Some(order[0]), Some(order[15])],
+            assignment: vec![
+                Some(order[0]),
+                Some(order[0]),
+                Some(order[0]),
+                Some(order[15]),
+            ],
         };
         let utils = vec![0.5; tree.server_count()];
         let m = LatencyModel::default();
@@ -344,7 +370,12 @@ mod tests {
         let (w, tree) = setup();
         let order = tree.servers_in_dfs_order();
         let p = Placement {
-            assignment: vec![Some(order[0]), Some(order[1]), Some(order[0]), Some(order[15])],
+            assignment: vec![
+                Some(order[0]),
+                Some(order[1]),
+                Some(order[0]),
+                Some(order[15]),
+            ],
         };
         let utils = vec![0.5; tree.server_count()];
         let m = LatencyModel::default();

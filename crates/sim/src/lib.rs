@@ -11,6 +11,9 @@
 //! - [`epoch`]: the epoch engine driving any [`Policy`] over a [`Scenario`]
 //!   and recording active servers, power, TCT, energy/request and
 //!   migrations — the paper's four evaluation metrics.
+//! - [`chaos`]: seeded fault-plan generation and the resilient epoch
+//!   driver — crashes, degraded uplinks, stragglers and migration storms
+//!   absorbed by a fallback ladder instead of aborting the run.
 //! - [`scenarios`]: calibrated builders for the Fig. 9 (Wikipedia),
 //!   Fig. 10 (Azure mix) and Fig. 13 (5488-server fat-tree) experiments.
 //! - [`summary`]: Fig. 11 / Fig. 13(d) averages and normalizations.
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod energy;
 pub mod epoch;
 pub mod latency;
@@ -39,6 +43,7 @@ pub mod report;
 pub mod scenarios;
 pub mod summary;
 
+pub use chaos::{run_chaos, ChaosRun, FaultPlan, FaultPlanConfig, FaultSchedule};
 pub use energy::{meter, PowerConfig, PowerSample};
 pub use epoch::{run_lineup, run_policy, EpochRecord, EpochSpec, Policy, PolicyRun, Scenario};
 pub use latency::{flow_tcts_ms, link_loads, mean_tct_ms, tct_percentile_ms, LatencyModel};

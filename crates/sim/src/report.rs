@@ -80,6 +80,86 @@ pub fn runs_to_csv(runs: &[crate::epoch::PolicyRun]) -> String {
     out
 }
 
+/// Serializes chaos runs to long-format CSV (one row per run × epoch),
+/// including the resilience columns.
+pub fn chaos_to_csv(runs: &[crate::chaos::ChaosRun]) -> String {
+    let mut out = String::from(
+        "policy,seed,epoch,faults,repairs,healthy_servers,active_servers,total_watts,\
+         tct_ms,mean_cpu_util,fallback,demanded,served,shed,migrations_attempted,\
+         migrations_completed,failed_attempts,retries,abandoned,forced_restarts,\
+         freeze_seconds\n",
+    );
+    for run in runs {
+        for r in &run.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
+                run.policy,
+                run.seed,
+                r.epoch,
+                r.faults,
+                r.repairs,
+                r.healthy_servers,
+                r.active_servers,
+                r.total_watts(),
+                r.tct_ms,
+                r.mean_cpu_util,
+                r.fallback.name(),
+                r.demanded,
+                r.served,
+                r.shed,
+                r.migration.attempted,
+                r.migration.completed,
+                r.migration.failed_attempts,
+                r.migration.retries,
+                r.migration.abandoned,
+                r.migration.forced_restarts,
+                r.migration.total_freeze_s,
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the resilience summaries of several chaos runs side by side —
+/// the fault-experiment counterpart of the Fig. 11 summary table.
+pub fn resilience_table(runs: &[crate::chaos::ChaosRun]) -> String {
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|run| {
+            let s = &run.summary;
+            vec![
+                run.policy.clone(),
+                s.fault_events.to_string(),
+                fmt(s.mttr_epochs, 2),
+                pct(s.availability),
+                s.shed_container_epochs.to_string(),
+                format!("{}/{}", s.migrations_completed, s.migrations_attempted),
+                s.migration_retries.to_string(),
+                s.migrations_abandoned.to_string(),
+                s.forced_restarts.to_string(),
+                fmt(s.avg_total_watts, 1),
+                fmt(s.avg_tct_ms, 3),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "policy",
+            "faults",
+            "MTTR(ep)",
+            "avail",
+            "shed c-ep",
+            "migr ok/try",
+            "retries",
+            "abandoned",
+            "cold restarts",
+            "avg W",
+            "avg TCT ms",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,7 +210,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(pct(0.227), "22.7%");
     }
 
@@ -138,5 +218,25 @@ mod tests {
     fn handles_short_rows() {
         let t = render_table(&["a", "b"], &[vec!["x".into()]]);
         assert!(t.contains("| x"));
+    }
+
+    #[test]
+    fn chaos_csv_and_table_render() {
+        use crate::chaos::{run_chaos, FaultSchedule};
+        use crate::epoch::Policy;
+        use crate::scenarios::wiki_testbed;
+        let s = wiki_testbed(3, 40, 2);
+        let run = run_chaos(&s, &Policy::EPvm, &FaultSchedule::empty(3), 5).unwrap();
+        let csv = chaos_to_csv(std::slice::from_ref(&run));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 epochs");
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "column count matches header"
+        );
+        let table = resilience_table(&[run]);
+        assert!(table.contains("E-PVM"));
+        assert!(table.contains("MTTR"));
     }
 }

@@ -52,7 +52,11 @@ pub fn wiki_testbed(epochs: usize, containers: usize, seed: u64) -> Scenario {
     // Testbed-plausible cache footprints (memory bounds the packers without
     // dominating CPU-driven behaviour).
     for c in &mut base.containers {
-        c.demand.memory_gb = if c.app == "memcached-frontend" { 0.5 } else { 2.0 };
+        c.demand.memory_gb = if c.app == "memcached-frontend" {
+            0.5
+        } else {
+            2.0
+        };
     }
     let mut base = base.shuffled(seed ^ 0x5_4u64);
     let trace = wikipedia_rps(epochs, 44_000.0, 440_000.0);

@@ -28,7 +28,12 @@ pub fn summarize(run: &PolicyRun) -> PolicySummary {
     let n = run.records.len().max(1) as f64;
     PolicySummary {
         policy: run.policy.clone(),
-        avg_active_servers: run.records.iter().map(|r| r.active_servers as f64).sum::<f64>() / n,
+        avg_active_servers: run
+            .records
+            .iter()
+            .map(|r| r.active_servers as f64)
+            .sum::<f64>()
+            / n,
         avg_total_watts: run.records.iter().map(|r| r.total_watts()).sum::<f64>() / n,
         avg_tct_ms: run.records.iter().map(|r| r.tct_ms).sum::<f64>() / n,
         avg_energy_per_request_j: run

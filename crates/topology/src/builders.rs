@@ -79,7 +79,10 @@ impl TreeAssembler {
 ///
 /// Panics if `k` is not an even number ≥ 2.
 pub fn fat_tree(k: usize, server: Resources, nic_mbps: f64) -> DcTree {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity k={k} must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity k={k} must be even and >= 2"
+    );
     let half = k / 2;
     let mut a = TreeAssembler::new();
     let core = a.add_switch(None, 0, k * k / 4, f64::INFINITY);

@@ -32,6 +32,4 @@ mod resources;
 mod tree;
 
 pub use resources::Resources;
-pub use tree::{
-    DcTree, InsufficientBandwidth, NodeId, NodeKind, ServerId, ServerInfo, TreeNode,
-};
+pub use tree::{DcTree, InsufficientBandwidth, NodeId, NodeKind, ServerId, ServerInfo, TreeNode};

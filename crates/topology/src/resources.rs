@@ -205,10 +205,11 @@ mod tests {
     #[test]
     fn zero_capacity_is_infinite_utilization() {
         let demand = Resources::new(1.0, 0.0, 0.0);
-        assert!(demand
-            .utilization_against(&Resources::zero())
-            .is_infinite());
-        assert_eq!(Resources::zero().utilization_against(&Resources::zero()), 0.0);
+        assert!(demand.utilization_against(&Resources::zero()).is_infinite());
+        assert_eq!(
+            Resources::zero().utilization_against(&Resources::zero()),
+            0.0
+        );
     }
 
     #[test]

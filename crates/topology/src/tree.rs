@@ -301,6 +301,37 @@ impl DcTree {
         }
     }
 
+    /// Current outbound bandwidth of `node`, Mbps (infinite at the root).
+    pub fn uplink_mbps(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].uplink_mbps
+    }
+
+    /// Sets the outbound bandwidth of `node` to an absolute value — the
+    /// repair counterpart of [`DcTree::degrade_uplink`], which only scales
+    /// downward relative to the current (possibly already degraded) value.
+    /// The root's infinite uplink is left untouched.
+    pub fn set_uplink_mbps(&mut self, node: NodeId, mbps: f64) {
+        let n = &mut self.nodes[node.0];
+        if n.uplink_mbps.is_finite() {
+            n.uplink_mbps = mbps;
+        }
+    }
+
+    /// The rack-level nodes: switch aggregates whose children are servers.
+    /// These are the natural victims of ToR/uplink fault injection.
+    pub fn rack_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .map(NodeId)
+            .filter(|id| {
+                matches!(self.nodes[id.0].kind, NodeKind::Switch { .. })
+                    && self.nodes[id.0]
+                        .children
+                        .iter()
+                        .any(|c| matches!(self.nodes[c.0].kind, NodeKind::Server { .. }))
+            })
+            .collect()
+    }
+
     /// Marks a server failed: it stops being eligible for placement.
     pub fn fail_server(&mut self, server: ServerId) {
         self.servers[server.0].failed = true;
@@ -350,15 +381,10 @@ impl DcTree {
                 let active_children = n
                     .children
                     .iter()
-                    .filter(|c| {
-                        self.servers_under(**c)
-                            .iter()
-                            .any(|s| server_on[s.0])
-                    })
+                    .filter(|c| self.servers_under(**c).iter().any(|s| server_on[s.0]))
                     .count();
                 let frac = active_children as f64 / n.children.len() as f64;
-                active += ((switch_count as f64 * frac).ceil() as usize)
-                    .clamp(1, switch_count);
+                active += ((switch_count as f64 * frac).ceil() as usize).clamp(1, switch_count);
             }
         }
         active
@@ -498,5 +524,41 @@ mod tests {
         let t = fat_tree(4, Resources::testbed_server(), 1000.0);
         assert!(t.node(t.root()).uplink_mbps.is_infinite());
         assert!(t.residual_mbps(t.root()).is_infinite());
+    }
+
+    #[test]
+    fn uplink_degrade_and_absolute_repair_roundtrip() {
+        let mut t = fat_tree(4, Resources::testbed_server(), 1000.0);
+        let rack = t.rack_nodes()[0];
+        let before = t.uplink_mbps(rack);
+        t.degrade_uplink(rack, 0.10);
+        assert!((t.uplink_mbps(rack) - before * 0.10).abs() < 1e-9);
+        // Repeated degradation compounds; absolute repair undoes all of it.
+        t.degrade_uplink(rack, 0.10);
+        assert!((t.uplink_mbps(rack) - before * 0.01).abs() < 1e-9);
+        t.set_uplink_mbps(rack, before);
+        assert_eq!(t.uplink_mbps(rack), before);
+        // The root's infinite uplink stays infinite.
+        t.set_uplink_mbps(t.root(), 42.0);
+        assert!(t.uplink_mbps(t.root()).is_infinite());
+    }
+
+    #[test]
+    fn rack_nodes_cover_every_server_exactly_once() {
+        for t in [
+            fat_tree(4, Resources::testbed_server(), 1000.0),
+            leaf_spine(3, 4, 2, Resources::testbed_server(), 1000.0),
+        ] {
+            let racks = t.rack_nodes();
+            assert!(!racks.is_empty());
+            let mut covered: Vec<ServerId> =
+                racks.iter().flat_map(|r| t.servers_under(*r)).collect();
+            covered.sort_unstable();
+            covered.dedup();
+            assert_eq!(covered.len(), t.server_count());
+            for r in racks {
+                assert!(matches!(t.node(r).kind, NodeKind::Switch { .. }));
+            }
+        }
     }
 }

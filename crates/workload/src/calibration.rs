@@ -91,8 +91,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mbps = 100.0;
         let n = 2000;
-        let mean: f64 =
-            (0..n).map(|_| hadoop_cpu_for_traffic(mbps, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| hadoop_cpu_for_traffic(mbps, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         let center = hadoop_cpu_center(mbps);
         assert!(
             (mean - center).abs() < center * 0.1,
@@ -103,10 +105,16 @@ mod tests {
     #[test]
     fn hadoop_has_real_variance() {
         let mut rng = StdRng::seed_from_u64(4);
-        let samples: Vec<f64> = (0..50).map(|_| hadoop_cpu_for_traffic(50.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..50)
+            .map(|_| hadoop_cpu_for_traffic(50.0, &mut rng))
+            .collect();
         let distinct: std::collections::BTreeSet<i64> =
             samples.iter().map(|s| (*s * 10.0) as i64).collect();
-        assert!(distinct.len() > 30, "scatter too narrow: {}", distinct.len());
+        assert!(
+            distinct.len() > 30,
+            "scatter too narrow: {}",
+            distinct.len()
+        );
         assert!(samples.iter().all(|&s| s >= 5.0));
     }
 

@@ -23,13 +23,7 @@ pub fn twitter_caching(total: usize, seed: u64) -> Workload {
     let caches = total - frontends;
 
     let fe_ids: Vec<ContainerId> = (0..frontends)
-        .map(|_| {
-            w.add_container(
-                "memcached-frontend",
-                profile.demand.scaled(0.6),
-                None,
-            )
-        })
+        .map(|_| w.add_container("memcached-frontend", profile.demand.scaled(0.6), None))
         .collect();
     let cache_ids: Vec<ContainerId> = (0..caches)
         .map(|_| w.add_container("memcached", profile.demand, None))
@@ -126,7 +120,12 @@ pub fn azure_mix(total: usize, seed: u64) -> Workload {
             }
             if ids.len() > 3 {
                 let mbps = app.demand.network_mbps / 4.0;
-                w.add_flow(ids[0], ids[ids.len() / 2], app.flow_count.max(1) / 2 + 1, mbps);
+                w.add_flow(
+                    ids[0],
+                    ids[ids.len() / 2],
+                    app.flow_count.max(1) / 2 + 1,
+                    mbps,
+                );
             }
             remaining -= group;
         }
@@ -154,8 +153,16 @@ mod tests {
             assert_ne!(a.app, b.app, "flows are front-end ↔ cache only");
         }
         // Front-ends carry their shard block (~caches/frontends peers).
-        let fe0 = w.containers.iter().find(|c| c.app == "memcached-frontend").unwrap();
-        let deg = w.flows.iter().filter(|f| f.a == fe0.id || f.b == fe0.id).count();
+        let fe0 = w
+            .containers
+            .iter()
+            .find(|c| c.app == "memcached-frontend")
+            .unwrap();
+        let deg = w
+            .flows
+            .iter()
+            .filter(|f| f.a == fe0.id || f.b == fe0.id)
+            .count();
         assert!(deg >= 3, "front-end degree {deg}");
     }
 
@@ -181,7 +188,11 @@ mod tests {
     #[test]
     fn azure_mix_has_replica_sets() {
         let w = azure_mix(150, 3);
-        let with_rs = w.containers.iter().filter(|c| c.replica_set.is_some()).count();
+        let with_rs = w
+            .containers
+            .iter()
+            .filter(|c| c.replica_set.is_some())
+            .count();
         assert!(with_rs > 10, "only {with_rs} replicas");
         // Each replica set has exactly 2 members.
         use std::collections::HashMap;

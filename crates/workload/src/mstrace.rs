@@ -173,7 +173,7 @@ pub struct WeightDistributions {
 pub fn weight_distributions(w: &Workload) -> WeightDistributions {
     fn normalized_sorted(mut v: Vec<f64>) -> Vec<f64> {
         v.retain(|x| *x > 0.0);
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        v.sort_by(f64::total_cmp);
         if let Some(&min) = v.first() {
             for x in &mut v {
                 *x /= min;
@@ -183,9 +183,7 @@ pub fn weight_distributions(w: &Workload) -> WeightDistributions {
     }
     WeightDistributions {
         vertex_cpu: normalized_sorted(w.containers.iter().map(|c| c.demand.cpu).collect()),
-        vertex_memory: normalized_sorted(
-            w.containers.iter().map(|c| c.demand.memory_gb).collect(),
-        ),
+        vertex_memory: normalized_sorted(w.containers.iter().map(|c| c.demand.memory_gb).collect()),
         vertex_network: normalized_sorted(
             w.containers.iter().map(|c| c.demand.network_mbps).collect(),
         ),
@@ -237,7 +235,10 @@ mod tests {
         assert!(d.vertex_memory.iter().all(|&v| (v - 1.0).abs() < 1e-12));
         // CPU varies but far less than edges.
         let cpu_spread = d.vertex_cpu.last().unwrap() / d.vertex_cpu.first().unwrap();
-        assert!(cpu_spread > 1.1 && cpu_spread < max, "cpu spread {cpu_spread}");
+        assert!(
+            cpu_spread > 1.1 && cpu_spread < max,
+            "cpu spread {cpu_spread}"
+        );
     }
 
     #[test]
@@ -248,7 +249,10 @@ mod tests {
         for f in &s.flows {
             assert!(f.a.0 < 100 && f.b.0 < 100);
         }
-        assert!(!s.flows.is_empty(), "snapshot should retain aggregator edges");
+        assert!(
+            !s.flows.is_empty(),
+            "snapshot should retain aggregator edges"
+        );
     }
 
     #[test]
@@ -263,10 +267,7 @@ mod tests {
     fn roles_present() {
         let w = search_trace(&small_config());
         for role in ["search-tla", "search-mla", "search-isn"] {
-            assert!(
-                w.containers.iter().any(|c| c.app == role),
-                "missing {role}"
-            );
+            assert!(w.containers.iter().any(|c| c.app == role), "missing {role}");
         }
     }
 }

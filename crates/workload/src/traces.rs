@@ -35,7 +35,11 @@ impl Trace {
 
     /// Minimum value (0 for an empty trace).
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
     }
 
     /// Maximum value (0 for an empty trace).
@@ -58,7 +62,10 @@ impl Trace {
         if m <= 0.0 {
             return self.clone();
         }
-        Trace::new(self.values.iter().map(|v| v / m).collect(), self.epoch_seconds)
+        Trace::new(
+            self.values.iter().map(|v| v / m).collect(),
+            self.epoch_seconds,
+        )
     }
 }
 
@@ -70,8 +77,8 @@ pub fn wikipedia_rps(epochs: usize, min_rps: f64, max_rps: f64) -> Trace {
     let values = (0..epochs)
         .map(|i| {
             let t = i as f64 / epochs as f64; // 0..1 across the window
-            // Two peaks (mid-morning, evening) with a shallow valley — the
-            // canonical Wikipedia shape from Urdaneta et al. [27].
+                                              // Two peaks (mid-morning, evening) with a shallow valley — the
+                                              // canonical Wikipedia shape from Urdaneta et al. [27].
             let s1 = ((t * std::f64::consts::TAU) - 1.2).sin().max(0.0);
             let s2 = ((t * 2.0 * std::f64::consts::TAU) - 0.4).sin().max(0.0) * 0.55;
             let shape = (0.15 + 0.85 * (s1 + s2).min(1.0)).clamp(0.0, 1.0);
@@ -168,9 +175,7 @@ mod tests {
         // Count local maxima above 0.5 separated by a valley.
         let mut peaks = 0;
         for i in 1..t.len() - 1 {
-            if t.values[i] > t.values[i - 1]
-                && t.values[i] >= t.values[i + 1]
-                && t.values[i] > 0.5
+            if t.values[i] > t.values[i - 1] && t.values[i] >= t.values[i + 1] && t.values[i] > 0.5
             {
                 peaks += 1;
             }

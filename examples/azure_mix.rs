@@ -13,9 +13,17 @@ use goldilocks::sim::summary::summarize;
 
 fn main() -> Result<(), PlaceError> {
     let scenario = azure_testbed_sized(24, 110, 160, 11);
-    println!("scenario: {} ({} epochs)", scenario.name, scenario.epochs.len());
-    let apps: std::collections::BTreeSet<&str> =
-        scenario.base.containers.iter().map(|c| c.app.as_str()).collect();
+    println!(
+        "scenario: {} ({} epochs)",
+        scenario.name,
+        scenario.epochs.len()
+    );
+    let apps: std::collections::BTreeSet<&str> = scenario
+        .base
+        .containers
+        .iter()
+        .map(|c| c.app.as_str())
+        .collect();
     println!("applications: {apps:?}");
 
     for policy in [

@@ -77,7 +77,11 @@ fn main() -> Result<(), PlaceError> {
     println!(
         "\ntotals: stateless {total_f} migrations, incremental {total_i} — \
          {}x fewer container moves for the same placement quality.",
-        if total_i > 0 { total_f / total_i.max(1) } else { total_f }
+        if total_i > 0 {
+            total_f / total_i.max(1)
+        } else {
+            total_f
+        }
     );
     Ok(())
 }

@@ -16,7 +16,11 @@ fn main() -> Result<(), PlaceError> {
     println!("scenario: {}", scenario.name);
     println!(
         "RPS range: {:.0}–{:.0}, containers: {}",
-        scenario.epochs.iter().map(|e| e.rps).fold(f64::INFINITY, f64::min),
+        scenario
+            .epochs
+            .iter()
+            .map(|e| e.rps)
+            .fold(f64::INFINITY, f64::min),
         scenario.epochs.iter().map(|e| e.rps).fold(0.0, f64::max),
         scenario.epochs[0].container_count
     );
@@ -25,7 +29,10 @@ fn main() -> Result<(), PlaceError> {
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
     let baseline = summaries[0].clone();
 
-    println!("\n{:<12} {:>7} {:>9} {:>8} {:>8} {:>9}", "policy", "servers", "power W", "saving", "TCT ms", "J/request");
+    println!(
+        "\n{:<12} {:>7} {:>9} {:>8} {:>8} {:>9}",
+        "policy", "servers", "power W", "saving", "TCT ms", "J/request"
+    );
     for s in &summaries {
         println!(
             "{:<12} {:>7.1} {:>9.0} {:>7.1}% {:>8.2} {:>9.4}",

@@ -134,7 +134,11 @@ fn largescale_shape_matches_fig13() {
     assert!(borg.avg_active_servers < gold.avg_active_servers);
     // ...but Goldilocks draws the least power.
     for other in &s[..s.len() - 1] {
-        assert!(gold.avg_total_watts < other.avg_total_watts, "{}", other.policy);
+        assert!(
+            gold.avg_total_watts < other.avg_total_watts,
+            "{}",
+            other.policy
+        );
     }
     // TCT: Goldilocks below the E-PVM baseline; packers above it.
     assert!(gold.avg_tct_ms < epvm.avg_tct_ms);
@@ -152,8 +156,18 @@ fn pee_seventy_percent_is_the_power_sweet_spot() {
         let run = run_policy(&scenario, &Policy::Goldilocks(cfg)).expect("feasible");
         watts.push(summarize(&run).avg_total_watts);
     }
-    assert!(watts[1] < watts[0], "70 % {} !< 50 % {}", watts[1], watts[0]);
-    assert!(watts[1] < watts[2], "70 % {} !< 95 % {}", watts[1], watts[2]);
+    assert!(
+        watts[1] < watts[0],
+        "70 % {} !< 50 % {}",
+        watts[1],
+        watts[0]
+    );
+    assert!(
+        watts[1] < watts[2],
+        "70 % {} !< 95 % {}",
+        watts[1],
+        watts[2]
+    );
 }
 
 #[test]

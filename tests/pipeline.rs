@@ -37,7 +37,11 @@ fn end_to_end_epoch_with_migration_and_overlay() {
         registry.remap(m.container, m.to).expect("registered");
     }
     for (c, ip) in ips_before.iter().enumerate() {
-        assert_eq!(registry.app_ip(c).as_ref(), Some(ip), "app IP must survive migration");
+        assert_eq!(
+            registry.app_ip(c).as_ref(),
+            Some(ip),
+            "app IP must survive migration"
+        );
     }
 
     // Power gate: servers without containers get turned off.
@@ -87,7 +91,9 @@ fn asymmetric_placement_handles_failures_and_heterogeneity() {
 
     let w = twitter_caching(64, 11);
     let mut asym = GoldilocksAsym::new();
-    let p = asym.place(&w, &tree).expect("asymmetric placement feasible");
+    let p = asym
+        .place(&w, &tree)
+        .expect("asymmetric placement feasible");
     assert!(p.is_complete());
     // Failed servers host nothing.
     for s in p.assignment.iter().flatten() {
@@ -138,7 +144,9 @@ fn replica_anti_affinity_survives_the_full_pipeline() {
     let mut sets: HashMap<usize, Vec<ServerId>> = HashMap::new();
     for c in &w.containers {
         if let Some(rs) = c.replica_set {
-            sets.entry(rs).or_default().push(p.assignment[c.id.0].expect("placed"));
+            sets.entry(rs)
+                .or_default()
+                .push(p.assignment[c.id.0].expect("placed"));
         }
     }
     let mut split = 0;

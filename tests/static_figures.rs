@@ -31,11 +31,20 @@ fn fig1b_pee_distribution_shifts_down_over_years() {
     let pop = synthesize_population(419, 2018);
     assert_eq!(pop.len(), 419);
     let shares = bucket_shares_by_year(&pop);
-    let y2008 = shares.iter().find(|(y, _)| *y == 2008).expect("2008 present");
-    let y2018 = shares.iter().find(|(y, _)| *y == 2018).expect("2018 present");
+    let y2008 = shares
+        .iter()
+        .find(|(y, _)| *y == 2008)
+        .expect("2008 present");
+    let y2018 = shares
+        .iter()
+        .find(|(y, _)| *y == 2018)
+        .expect("2018 present");
     assert!(y2008.1[0] > 0.7, "2008 dominated by PEE=100 %");
     assert!(y2018.1[0] < 0.15, "2018 PEE=100 % share collapsed");
-    assert!(y2018.1[2] + y2018.1[3] + y2018.1[4] > 0.6, "60-80 % dominates 2018");
+    assert!(
+        y2018.1[2] + y2018.1[3] + y2018.1[4] > 0.6,
+        "60-80 % dominates 2018"
+    );
 }
 
 #[test]
@@ -44,12 +53,19 @@ fn fig2_u_curve_bottom_at_seventy_percent() {
     let best = optimal_packing_util(&model, 200.0);
     assert!((best - 0.70).abs() < 0.03, "minimum at {best}");
     // Monotone server counts (panel a).
-    let sweep = packing_sweep(&model, 200.0, (20..=100).step_by(5).map(|i| i as f64 / 100.0));
+    let sweep = packing_sweep(
+        &model,
+        200.0,
+        (20..=100).step_by(5).map(|i| i as f64 / 100.0),
+    );
     for w in sweep.windows(2) {
         assert!(w[1].active_servers <= w[0].active_servers);
     }
     // Pronounced U (panel b): 100 % costs at least 1.8× the minimum.
-    let min_w = sweep.iter().map(|p| p.total_watts).fold(f64::INFINITY, f64::min);
+    let min_w = sweep
+        .iter()
+        .map(|p| p.total_watts)
+        .fold(f64::INFINITY, f64::min);
     let full_w = sweep.last().expect("non-empty").total_watts;
     assert!(full_w > 1.8 * min_w, "{full_w} vs {min_w}");
 }

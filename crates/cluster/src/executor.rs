@@ -20,13 +20,40 @@
 //! Every state change flows through [`ContainerRuntime::apply`], so the
 //! emitted command stream — including rollbacks — is validated to be a
 //! legal lifecycle history.
+//!
+//! Execution is decomposed into *units* ([`execute_unit`]): one reconcile
+//! transition, retries and rollbacks included, resolved atomically. Units
+//! are the WAL's granularity — the crash-recoverable driver logs one
+//! [`crate::WalEvent::Unit`] per unit, so a controller crash always lands
+//! *between* units, never inside one.
 
 use goldilocks_placement::Placement;
 use goldilocks_topology::ServerId;
 use goldilocks_workload::Workload;
 
-use crate::lifecycle::{ContainerRuntime, LifecycleError, Transition};
+use crate::error::ClusterError;
+use crate::lifecycle::{ContainerRuntime, Transition};
 use crate::migration::MigrationModel;
+
+/// How one execution unit resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// A plain start/stop applied as-is.
+    Applied,
+    /// A voluntary migration that landed on its destination.
+    Completed,
+    /// A voluntary migration abandoned after exhausting retries; the
+    /// container stays on its source.
+    Abandoned,
+    /// A voluntary migration aborted up front because its projected freeze
+    /// exceeded the model timeout; the container stays on its source.
+    TimedOut,
+    /// A migration off a failed source converted to a cold stop+start.
+    ForcedRestart,
+    /// An anti-entropy repair batch issued by the recovery path (not part
+    /// of the epoch plan).
+    Repair,
+}
 
 /// Counters describing how an epoch's migration batch actually went.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -56,6 +83,36 @@ pub struct MigrationStats {
     pub total_transfer_mb: f64,
 }
 
+impl MigrationStats {
+    /// Accumulates another unit's counters into this batch total.
+    pub fn absorb(&mut self, other: &MigrationStats) {
+        self.attempted += other.attempted;
+        self.completed += other.completed;
+        self.failed_attempts += other.failed_attempts;
+        self.retries += other.retries;
+        self.abandoned += other.abandoned;
+        self.timed_out += other.timed_out;
+        self.forced_restarts += other.forced_restarts;
+        self.total_freeze_s += other.total_freeze_s;
+        self.backoff_s += other.backoff_s;
+        self.total_transfer_mb += other.total_transfer_mb;
+    }
+}
+
+/// Result of executing one reconcile transition under the fault model.
+#[derive(Clone, Debug)]
+pub struct UnitOutcome {
+    /// The container the unit concerned.
+    pub container: usize,
+    /// How the unit resolved.
+    pub disposition: Disposition,
+    /// This unit's counters.
+    pub stats: MigrationStats,
+    /// Transitions actually applied, in order (rollbacks included). Empty
+    /// for abandoned-before-start timeouts.
+    pub transitions: Vec<Transition>,
+}
+
 /// Result of executing one epoch's reconciliation under the fault model.
 #[derive(Clone, Debug, Default)]
 pub struct MigrationOutcome {
@@ -65,6 +122,57 @@ pub struct MigrationOutcome {
     pub transitions: Vec<Transition>,
     /// Containers left on their source because migration failed for good.
     pub abandoned: Vec<usize>,
+}
+
+/// Executes one reconcile transition as an atomic unit: a start/stop is
+/// applied directly; a migrate runs the full retry/rollback/timeout/cold-
+/// restart pipeline. `roll` is consulted exactly once per voluntary
+/// migration attempt and never for starts, stops, timeouts, or forced
+/// restarts, so identical seeds replay identically.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Lifecycle`] if the transition is illegal for the
+/// current runtime state (a planner bug, e.g. a stale placement).
+pub fn execute_unit(
+    runtime: &mut ContainerRuntime,
+    transition: Transition,
+    workload: &Workload,
+    model: &MigrationModel,
+    failed_server: &dyn Fn(ServerId) -> bool,
+    roll: &mut dyn FnMut() -> f64,
+) -> Result<UnitOutcome, ClusterError> {
+    match transition {
+        Transition::Migrate {
+            container,
+            from,
+            to,
+        } => execute_migration_unit(
+            runtime,
+            container,
+            from,
+            to,
+            workload,
+            model,
+            failed_server,
+            roll,
+        ),
+        other => {
+            runtime.apply(other)?;
+            let container = match other {
+                Transition::Start { container, .. } | Transition::Stop { container, .. } => {
+                    container
+                }
+                Transition::Migrate { container, .. } => container,
+            };
+            Ok(UnitOutcome {
+                container,
+                disposition: Disposition::Applied,
+                stats: MigrationStats::default(),
+                transitions: vec![other],
+            })
+        }
+    }
 }
 
 /// Reconciles `runtime` toward `target` under the fault model in `model`.
@@ -80,7 +188,8 @@ pub struct MigrationOutcome {
 ///
 /// # Errors
 ///
-/// Propagates a [`LifecycleError`] if the reconciliation stream is illegal
+/// Returns [`ClusterError::Model`] if `model` has out-of-domain parameters,
+/// or [`ClusterError::Lifecycle`] if the reconciliation stream is illegal
 /// for the current runtime state (a planner bug, e.g. a stale placement).
 pub fn execute_migrations(
     runtime: &mut ContainerRuntime,
@@ -89,38 +198,25 @@ pub fn execute_migrations(
     model: &MigrationModel,
     failed_server: &dyn Fn(ServerId) -> bool,
     roll: &mut dyn FnMut() -> f64,
-) -> Result<MigrationOutcome, LifecycleError> {
+) -> Result<MigrationOutcome, ClusterError> {
+    model.validate()?;
     let mut out = MigrationOutcome::default();
     for t in runtime.reconcile(target) {
-        match t {
-            Transition::Migrate {
-                container,
-                from,
-                to,
-            } => {
-                execute_one_migration(
-                    runtime,
-                    container,
-                    from,
-                    to,
-                    workload,
-                    model,
-                    failed_server,
-                    roll,
-                    &mut out,
-                )?;
-            }
-            other => {
-                runtime.apply(other)?;
-                out.transitions.push(other);
-            }
+        let unit = execute_unit(runtime, t, workload, model, failed_server, roll)?;
+        out.stats.absorb(&unit.stats);
+        out.transitions.extend_from_slice(&unit.transitions);
+        if matches!(
+            unit.disposition,
+            Disposition::Abandoned | Disposition::TimedOut
+        ) {
+            out.abandoned.push(unit.container);
         }
     }
     Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn execute_one_migration(
+fn execute_migration_unit(
     runtime: &mut ContainerRuntime,
     container: usize,
     from: ServerId,
@@ -129,13 +225,14 @@ fn execute_one_migration(
     model: &MigrationModel,
     failed_server: &dyn Fn(ServerId) -> bool,
     roll: &mut dyn FnMut() -> f64,
-    out: &mut MigrationOutcome,
-) -> Result<(), LifecycleError> {
+) -> Result<UnitOutcome, ClusterError> {
     let mem = workload
         .containers
         .get(container)
         .map_or(0.0, |c| c.demand.memory_gb);
     let (freeze_s, transfer_mb) = model.single_cost(mem, mem * 0.5);
+    let mut stats = MigrationStats::default();
+    let mut transitions = Vec::new();
 
     if failed_server(from) {
         // The source is dead: no checkpoint image exists. Cold restart on
@@ -147,26 +244,35 @@ fn execute_one_migration(
         let start = Transition::Start { container, on: to };
         runtime.apply(stop)?;
         runtime.apply(start)?;
-        out.transitions.push(stop);
-        out.transitions.push(start);
-        out.stats.forced_restarts += 1;
-        return Ok(());
+        transitions.push(stop);
+        transitions.push(start);
+        stats.forced_restarts += 1;
+        return Ok(UnitOutcome {
+            container,
+            disposition: Disposition::ForcedRestart,
+            stats,
+            transitions,
+        });
     }
 
-    out.stats.attempted += 1;
+    stats.attempted += 1;
 
     if freeze_s > model.timeout_s {
         // Deterministic abort: every attempt would exceed the timeout.
-        out.stats.timed_out += 1;
-        out.stats.abandoned += 1;
-        out.abandoned.push(container);
-        return Ok(());
+        stats.timed_out += 1;
+        stats.abandoned += 1;
+        return Ok(UnitOutcome {
+            container,
+            disposition: Disposition::TimedOut,
+            stats,
+            transitions,
+        });
     }
 
     for attempt in 0..=model.max_retries {
         if attempt > 0 {
-            out.stats.retries += 1;
-            out.stats.backoff_s += model.retry_backoff_s * f64::from(1u32 << (attempt - 1));
+            stats.retries += 1;
+            stats.backoff_s += model.retry_backoff_s * f64::from(1u32 << (attempt - 1));
         }
         // Optimistic cutover: the controller issues the migrate, then learns
         // whether the pipeline survived.
@@ -176,12 +282,17 @@ fn execute_one_migration(
             to,
         };
         runtime.apply(go)?;
-        out.transitions.push(go);
-        out.stats.total_freeze_s += freeze_s;
-        out.stats.total_transfer_mb += transfer_mb;
+        transitions.push(go);
+        stats.total_freeze_s += freeze_s;
+        stats.total_transfer_mb += transfer_mb;
         if roll() >= model.failure_prob {
-            out.stats.completed += 1;
-            return Ok(());
+            stats.completed += 1;
+            return Ok(UnitOutcome {
+                container,
+                disposition: Disposition::Completed,
+                stats,
+                transitions,
+            });
         }
         // Pipeline failed: roll back to the source with a legal migrate.
         let back = Transition::Migrate {
@@ -190,12 +301,16 @@ fn execute_one_migration(
             to: from,
         };
         runtime.apply(back)?;
-        out.transitions.push(back);
-        out.stats.failed_attempts += 1;
+        transitions.push(back);
+        stats.failed_attempts += 1;
     }
-    out.stats.abandoned += 1;
-    out.abandoned.push(container);
-    Ok(())
+    stats.abandoned += 1;
+    Ok(UnitOutcome {
+        container,
+        disposition: Disposition::Abandoned,
+        stats,
+        transitions,
+    })
 }
 
 #[cfg(test)]
@@ -398,5 +513,74 @@ mod tests {
         for c in 0..3 {
             assert_eq!(replay.host_of(c), rt.host_of(c));
         }
+    }
+
+    #[test]
+    fn invalid_model_rejected_before_any_transition() {
+        let mut rt = running(&[Some(0)]);
+        let target = placement(&[Some(1)]);
+        let model = MigrationModel {
+            timeout_s: -5.0,
+            ..MigrationModel::default()
+        };
+        let err = execute_migrations(
+            &mut rt,
+            &target,
+            &workload(1),
+            &model,
+            &|_| false,
+            &mut || 0.99,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::Model {
+                field: "timeout_s",
+                ..
+            }
+        ));
+        assert_eq!(
+            rt.host_of(0),
+            Some(ServerId(0)),
+            "runtime must be untouched"
+        );
+    }
+
+    #[test]
+    fn unit_dispositions_match_outcomes() {
+        let mut rt = running(&[Some(0)]);
+        let w = workload(1);
+        let model = MigrationModel::default();
+        let unit = execute_unit(
+            &mut rt,
+            Transition::Migrate {
+                container: 0,
+                from: ServerId(0),
+                to: ServerId(1),
+            },
+            &w,
+            &model,
+            &|_| false,
+            &mut || 0.99,
+        )
+        .unwrap();
+        assert_eq!(unit.disposition, Disposition::Completed);
+        assert_eq!(unit.container, 0);
+        assert_eq!(unit.stats.completed, 1);
+
+        let unit = execute_unit(
+            &mut rt,
+            Transition::Start {
+                container: 5,
+                on: ServerId(2),
+            },
+            &w,
+            &model,
+            &|_| false,
+            &mut || panic!("starts must not consume randomness"),
+        )
+        .unwrap();
+        assert_eq!(unit.disposition, Disposition::Applied);
+        assert_eq!(unit.transitions.len(), 1);
     }
 }

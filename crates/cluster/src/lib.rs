@@ -19,19 +19,44 @@
 //!   rollback to the source, and cold restarts off failed servers.
 //! - [`PowerGate`]: IPMI-style on/off state machines with boot delays.
 //!
+//! PR 2 adds the crash-recoverable control plane:
+//!
+//! - [`Wal`] / [`WalEvent`]: a length-prefixed, CRC-32-checksummed
+//!   write-ahead log of every epoch decision, migration unit, and commit,
+//!   with periodic [`ClusterState`] snapshots.
+//! - [`recover`]: snapshot + replayed-suffix state reconstruction,
+//!   tolerating a torn final record and surfacing any in-flight
+//!   [`OpenEpoch`].
+//! - [`anti_entropy`]: the bounded intended-vs-actual reconciler that
+//!   repairs drift accumulated while the controller was dead.
+//! - [`ClusterError`]: the unified error type all of the above compose
+//!   through.
+//!
 //! The flow-level metrics and experiment drivers live in `goldilocks-sim`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod executor;
 mod lifecycle;
 mod migration;
 mod overlay;
 mod powergate;
+mod reconcile;
+mod recovery;
+mod snapshot;
+mod wal;
 
-pub use executor::{execute_migrations, MigrationOutcome, MigrationStats};
+pub use error::ClusterError;
+pub use executor::{
+    execute_migrations, execute_unit, Disposition, MigrationOutcome, MigrationStats, UnitOutcome,
+};
 pub use lifecycle::{ContainerRuntime, LifecycleError, Transition};
 pub use migration::{migration_plan, Migration, MigrationCost, MigrationModel};
 pub use overlay::{AppIp, IpRegistry, LocationIp, OverlayError};
 pub use powergate::{PowerGate, PowerState};
+pub use reconcile::{anti_entropy, RepairPlan};
+pub use recovery::{recover, OpenEpoch, Recovered};
+pub use snapshot::ClusterState;
+pub use wal::{crc32, DecodedLog, Wal, WalError, WalEvent};

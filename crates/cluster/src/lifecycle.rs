@@ -106,6 +106,14 @@ impl ContainerRuntime {
         self.running.get(&container).copied()
     }
 
+    /// All `(container, host)` pairs, sorted by container. The sort makes
+    /// the view deterministic for snapshotting and reconciliation diffs.
+    pub fn entries(&self) -> Vec<(usize, ServerId)> {
+        let mut v: Vec<(usize, ServerId)> = self.running.iter().map(|(&c, &s)| (c, s)).collect();
+        v.sort_unstable_by_key(|(c, _)| *c);
+        v
+    }
+
     /// Containers running on `server`.
     pub fn on_server(&self, server: ServerId) -> Vec<usize> {
         let mut v: Vec<usize> = self

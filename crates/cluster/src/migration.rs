@@ -16,6 +16,8 @@ use goldilocks_topology::ServerId;
 use goldilocks_workload::Workload;
 use serde::{Deserialize, Serialize};
 
+use crate::error::ClusterError;
+
 /// Cost parameters of the CRIU checkpoint/restore + rsync pipeline.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct MigrationModel {
@@ -34,7 +36,9 @@ pub struct MigrationModel {
     /// A migration whose projected freeze time exceeds this is aborted as
     /// timed out on every attempt (infinite = never).
     pub timeout_s: f64,
-    /// Additional attempts after the first failure before rolling back.
+    /// Additional attempts after the first failure before abandoning the
+    /// migration. `0` means *exactly one* attempt: the first failure is
+    /// final and the container stays on its source (no backoff is paid).
     pub max_retries: u32,
     /// Backoff wait before retry `k` is `retry_backoff_s * 2^(k-1)` seconds.
     pub retry_backoff_s: f64,
@@ -79,6 +83,81 @@ pub struct MigrationCost {
 }
 
 impl MigrationModel {
+    /// Checks every field is in its domain. The executor calls this before
+    /// touching the runtime, so a misconfigured model fails loudly instead
+    /// of silently producing negative backoffs or always-failing pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Model`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let checks: [(&'static str, f64, bool, &'static str); 7] = [
+            (
+                "disk_mb_per_s",
+                self.disk_mb_per_s,
+                self.disk_mb_per_s > 0.0 && self.disk_mb_per_s.is_finite(),
+                "must be finite and positive",
+            ),
+            (
+                "network_mb_per_s",
+                self.network_mb_per_s,
+                self.network_mb_per_s > 0.0 && self.network_mb_per_s.is_finite(),
+                "must be finite and positive",
+            ),
+            (
+                "restore_overhead_s",
+                self.restore_overhead_s,
+                self.restore_overhead_s >= 0.0 && self.restore_overhead_s.is_finite(),
+                "must be finite and non-negative",
+            ),
+            (
+                "volume_delta_fraction",
+                self.volume_delta_fraction,
+                (0.0..=1.0).contains(&self.volume_delta_fraction),
+                "must be within [0, 1]",
+            ),
+            (
+                "failure_prob",
+                self.failure_prob,
+                (0.0..=1.0).contains(&self.failure_prob),
+                "must be within [0, 1]",
+            ),
+            (
+                "timeout_s",
+                self.timeout_s,
+                self.timeout_s >= 0.0, // +inf is the documented "never" value
+                "must be non-negative",
+            ),
+            (
+                "retry_backoff_s",
+                self.retry_backoff_s,
+                self.retry_backoff_s >= 0.0 && self.retry_backoff_s.is_finite(),
+                "must be finite and non-negative",
+            ),
+        ];
+        for (field, value, ok, reason) in checks {
+            if !ok {
+                return Err(ClusterError::Model {
+                    field,
+                    value,
+                    reason,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the model, returning it only if valid — the
+    /// construct-and-check idiom for call sites building models from config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Model`] naming the first offending field.
+    pub fn validated(self) -> Result<Self, ClusterError> {
+        self.validate()?;
+        Ok(self)
+    }
+
     /// Freeze time and bytes for one container with the given memory
     /// footprint and volume size (both derived from the container's demand).
     pub fn single_cost(&self, memory_gb: f64, volume_gb: f64) -> (f64, f64) {
@@ -129,6 +208,63 @@ pub fn migration_plan(old: &Placement, new: &Placement) -> Vec<Migration> {
 mod tests {
     use super::*;
     use goldilocks_topology::Resources;
+
+    #[test]
+    fn default_model_validates() {
+        MigrationModel::default().validate().unwrap();
+        MigrationModel::default().validated().unwrap();
+    }
+
+    #[test]
+    fn negative_fields_rejected_with_field_name() {
+        let m = MigrationModel {
+            timeout_s: -1.0,
+            ..MigrationModel::default()
+        };
+        match m.validate().unwrap_err() {
+            ClusterError::Model { field, value, .. } => {
+                assert_eq!(field, "timeout_s");
+                assert_eq!(value, -1.0);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        let m = MigrationModel {
+            retry_backoff_s: -0.5,
+            ..MigrationModel::default()
+        };
+        assert!(matches!(
+            m.validate(),
+            Err(ClusterError::Model {
+                field: "retry_backoff_s",
+                ..
+            })
+        ));
+        let m = MigrationModel {
+            failure_prob: 1.5,
+            ..MigrationModel::default()
+        };
+        assert!(matches!(
+            m.validate(),
+            Err(ClusterError::Model {
+                field: "failure_prob",
+                ..
+            })
+        ));
+        let m = MigrationModel {
+            timeout_s: f64::NAN,
+            ..MigrationModel::default()
+        };
+        assert!(m.validate().is_err(), "NaN timeout must be rejected");
+    }
+
+    #[test]
+    fn infinite_timeout_is_valid_never() {
+        let m = MigrationModel {
+            timeout_s: f64::INFINITY,
+            ..MigrationModel::default()
+        };
+        m.validate().unwrap();
+    }
 
     #[test]
     fn single_cost_scales_with_memory() {

@@ -41,6 +41,22 @@ impl PowerGate {
         }
     }
 
+    /// Restores a gate from recovered per-server states (boot parameters
+    /// take their defaults; callers override the public fields if they
+    /// customized them).
+    pub fn from_states(states: Vec<PowerState>) -> Self {
+        PowerGate {
+            states,
+            boot_seconds: 180,
+            boot_power_frac: 0.6,
+        }
+    }
+
+    /// The full per-server state vector, for snapshotting.
+    pub fn states(&self) -> &[PowerState] {
+        &self.states
+    }
+
     /// Number of servers tracked.
     pub fn len(&self) -> usize {
         self.states.len()

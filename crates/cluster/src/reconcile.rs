@@ -1,0 +1,312 @@
+//! Anti-entropy reconciliation: intended vs. actual after a crash.
+//!
+//! Recovery rebuilds the controller's *intended* placement from the WAL,
+//! but the data plane may have drifted while the controller was dead —
+//! half-finished migrations stranded containers, servers died or were
+//! power-gated with load still on them, and torn log tails mean the last
+//! few commands may never have been recorded. [`anti_entropy`] diffs the
+//! intended placement against the live [`ContainerRuntime`] and emits a
+//! *bounded* stream of legal repair [`Transition`]s, in the same
+//! stops→moves→starts order the reconciler uses, deferring anything that
+//! cannot be repaired legally right now (e.g. target server down).
+
+use goldilocks_placement::Placement;
+use goldilocks_topology::ServerId;
+
+use crate::lifecycle::{ContainerRuntime, Transition};
+
+/// A bounded batch of repair transitions plus bookkeeping about what the
+/// diff found.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RepairPlan {
+    /// Legal repair transitions, in stops→moves→starts order, each group
+    /// sorted by container.
+    pub transitions: Vec<Transition>,
+    /// Containers running with no intended host — stopped.
+    pub stopped_stranded: usize,
+    /// Containers intended but not running — started on their target.
+    pub started_missing: usize,
+    /// Containers running on the wrong (healthy) host — migrated.
+    pub migrated_drifted: usize,
+    /// Containers on a dead/gated host — cold-restarted on their target.
+    pub cold_restarted: usize,
+    /// Divergences that could not be legally repaired now (unhealthy
+    /// target, or the per-round repair budget ran out).
+    pub deferred: usize,
+}
+
+impl RepairPlan {
+    /// Total repairs included in this round.
+    pub fn repairs(&self) -> usize {
+        self.stopped_stranded + self.started_missing + self.migrated_drifted + self.cold_restarted
+    }
+
+    /// True when intended and actual already agree (nothing to do, nothing
+    /// deferred).
+    pub fn converged(&self) -> bool {
+        self.transitions.is_empty() && self.deferred == 0
+    }
+}
+
+enum RepairKind {
+    Stop,
+    Migrate,
+    ColdRestart,
+    Start,
+}
+
+/// Diffs `intended` against `actual` and plans at most `max_repairs` legal
+/// repair units (a cold restart's stop+start pair counts as one unit).
+///
+/// `server_ok` reports whether a server can currently host load — callers
+/// pass a predicate combining machine health and power-gate readiness.
+/// Divergences whose repair would touch an unhealthy target are deferred,
+/// not dropped: re-running anti-entropy next round picks them up.
+pub fn anti_entropy(
+    intended: &Placement,
+    actual: &ContainerRuntime,
+    server_ok: &dyn Fn(ServerId) -> bool,
+    max_repairs: usize,
+) -> RepairPlan {
+    let mut plan = RepairPlan::default();
+    // (container, kind, transitions) units, categorized first so the final
+    // stream keeps the reconciler's stops→moves→starts order.
+    let mut stops: Vec<(usize, RepairKind, Vec<Transition>)> = Vec::new();
+    let mut moves: Vec<(usize, RepairKind, Vec<Transition>)> = Vec::new();
+    let mut starts: Vec<(usize, RepairKind, Vec<Transition>)> = Vec::new();
+
+    for (container, host) in actual.entries() {
+        match intended.assignment.get(container).copied().flatten() {
+            None => stops.push((
+                container,
+                RepairKind::Stop,
+                vec![Transition::Stop {
+                    container,
+                    on: host,
+                }],
+            )),
+            Some(target) if target == host => {
+                if !server_ok(host) {
+                    // Intended host is down and there is nowhere the
+                    // intent says to put it — the planner must re-place it
+                    // next epoch; nothing legal to do now.
+                    plan.deferred += 1;
+                }
+            }
+            Some(target) => {
+                if !server_ok(target) {
+                    plan.deferred += 1;
+                } else if server_ok(host) {
+                    moves.push((
+                        container,
+                        RepairKind::Migrate,
+                        vec![Transition::Migrate {
+                            container,
+                            from: host,
+                            to: target,
+                        }],
+                    ));
+                } else {
+                    // Source dead: no checkpoint possible, cold restart.
+                    moves.push((
+                        container,
+                        RepairKind::ColdRestart,
+                        vec![
+                            Transition::Stop {
+                                container,
+                                on: host,
+                            },
+                            Transition::Start {
+                                container,
+                                on: target,
+                            },
+                        ],
+                    ));
+                }
+            }
+        }
+    }
+
+    for (container, assigned) in intended.assignment.iter().enumerate() {
+        if let Some(&target) = assigned.as_ref() {
+            if actual.host_of(container).is_none() {
+                if server_ok(target) {
+                    starts.push((
+                        container,
+                        RepairKind::Start,
+                        vec![Transition::Start {
+                            container,
+                            on: target,
+                        }],
+                    ));
+                } else {
+                    plan.deferred += 1;
+                }
+            }
+        }
+    }
+
+    stops.sort_by_key(|(c, _, _)| *c);
+    moves.sort_by_key(|(c, _, _)| *c);
+    starts.sort_by_key(|(c, _, _)| *c);
+
+    let mut budget = max_repairs;
+    for (_, kind, ts) in stops.into_iter().chain(moves).chain(starts) {
+        if budget == 0 {
+            plan.deferred += 1;
+            continue;
+        }
+        budget -= 1;
+        match kind {
+            RepairKind::Stop => plan.stopped_stranded += 1,
+            RepairKind::Migrate => plan.migrated_drifted += 1,
+            RepairKind::ColdRestart => plan.cold_restarted += 1,
+            RepairKind::Start => plan.started_missing += 1,
+        }
+        plan.transitions.extend(ts);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(hosts: &[Option<usize>]) -> Placement {
+        Placement {
+            assignment: hosts.iter().map(|h| h.map(ServerId)).collect(),
+        }
+    }
+
+    fn running(hosts: &[Option<usize>]) -> ContainerRuntime {
+        let mut rt = ContainerRuntime::new();
+        rt.apply_all(&rt.reconcile(&place(hosts))).unwrap();
+        rt
+    }
+
+    #[test]
+    fn converged_cluster_needs_no_repairs() {
+        let intended = place(&[Some(0), Some(1), None]);
+        let actual = running(&[Some(0), Some(1), None]);
+        let plan = anti_entropy(&intended, &actual, &|_| true, 100);
+        assert!(plan.converged());
+        assert_eq!(plan.repairs(), 0);
+    }
+
+    #[test]
+    fn stranded_drifted_and_missing_repaired_in_order() {
+        // c0 stranded (no intent), c1 drifted (on 0, wants 2), c2 missing.
+        let intended = place(&[None, Some(2), Some(3)]);
+        let actual = running(&[Some(1), Some(0), None]);
+        let plan = anti_entropy(&intended, &actual, &|_| true, 100);
+        assert_eq!(
+            plan.transitions,
+            vec![
+                Transition::Stop {
+                    container: 0,
+                    on: ServerId(1)
+                },
+                Transition::Migrate {
+                    container: 1,
+                    from: ServerId(0),
+                    to: ServerId(2)
+                },
+                Transition::Start {
+                    container: 2,
+                    on: ServerId(3)
+                },
+            ]
+        );
+        assert_eq!(plan.stopped_stranded, 1);
+        assert_eq!(plan.migrated_drifted, 1);
+        assert_eq!(plan.started_missing, 1);
+        assert_eq!(plan.deferred, 0);
+
+        // Applying the plan converges the cluster.
+        let mut rt = actual;
+        rt.apply_all(&plan.transitions).unwrap();
+        let follow_up = anti_entropy(&intended, &rt, &|_| true, 100);
+        assert!(follow_up.converged());
+    }
+
+    #[test]
+    fn dead_source_cold_restarts_dead_target_defers() {
+        // c0 on dead server 0 wants healthy 1 → cold restart.
+        // c1 on healthy 2 wants dead server 3 → deferred.
+        let intended = place(&[Some(1), Some(3)]);
+        let actual = running(&[Some(0), Some(2)]);
+        let down = |s: ServerId| s == ServerId(0) || s == ServerId(3);
+        let plan = anti_entropy(&intended, &actual, &|s| !down(s), 100);
+        assert_eq!(plan.cold_restarted, 1);
+        assert_eq!(plan.deferred, 1);
+        assert_eq!(
+            plan.transitions,
+            vec![
+                Transition::Stop {
+                    container: 0,
+                    on: ServerId(0)
+                },
+                Transition::Start {
+                    container: 0,
+                    on: ServerId(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn intended_host_down_is_deferred_not_stopped() {
+        let intended = place(&[Some(0)]);
+        let actual = running(&[Some(0)]);
+        let plan = anti_entropy(&intended, &actual, &|_| false, 100);
+        assert!(plan.transitions.is_empty());
+        assert_eq!(plan.deferred, 1);
+    }
+
+    #[test]
+    fn missing_container_with_down_target_deferred() {
+        let intended = place(&[Some(2)]);
+        let actual = ContainerRuntime::new();
+        let plan = anti_entropy(&intended, &actual, &|s| s != ServerId(2), 100);
+        assert!(plan.transitions.is_empty());
+        assert_eq!(plan.deferred, 1);
+    }
+
+    #[test]
+    fn repair_budget_bounds_the_round() {
+        // Five missing containers, budget of two.
+        let intended = place(&[Some(0), Some(0), Some(1), Some(1), Some(2)]);
+        let actual = ContainerRuntime::new();
+        let plan = anti_entropy(&intended, &actual, &|_| true, 2);
+        assert_eq!(plan.started_missing, 2);
+        assert_eq!(plan.deferred, 3);
+        assert_eq!(plan.transitions.len(), 2);
+        // Deterministic: lowest containers first.
+        assert_eq!(
+            plan.transitions,
+            vec![
+                Transition::Start {
+                    container: 0,
+                    on: ServerId(0)
+                },
+                Transition::Start {
+                    container: 1,
+                    on: ServerId(0)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn repairs_are_legal_for_the_runtime() {
+        // Mixed divergence; every emitted stream must apply cleanly.
+        let intended = place(&[Some(4), None, Some(2), Some(0)]);
+        let mut actual = running(&[Some(1), Some(3), None, Some(0)]);
+        let plan = anti_entropy(&intended, &actual, &|_| true, 100);
+        actual.apply_all(&plan.transitions).unwrap();
+        assert_eq!(actual.host_of(0), Some(ServerId(4)));
+        assert_eq!(actual.host_of(1), None);
+        assert_eq!(actual.host_of(2), Some(ServerId(2)));
+        assert_eq!(actual.host_of(3), Some(ServerId(0)));
+    }
+}

@@ -1,0 +1,386 @@
+//! Crash recovery: rebuild controller state from the write-ahead log.
+//!
+//! [`recover`] scans a (possibly torn) WAL buffer, anchors on the most
+//! recent intact [`WalEvent::Snapshot`], and replays the suffix:
+//! committed epochs fold into the durable [`ClusterState`]; an epoch that
+//! began but never committed is surfaced as an [`OpenEpoch`] so the driver
+//! can resume it mid-flight — re-planning is unnecessary (the `Decision`
+//! is in the log) and already-resolved migration units are not re-attempted
+//! (their dispositions are in the log, so the RNG stream stays aligned).
+//!
+//! Replay validates legality: every logged transition is applied to an
+//! internal [`ContainerRuntime`], and a checksummed stream that nonetheless
+//! encodes an illegal history (impossible without a codec or driver bug)
+//! fails with [`ClusterError::Recovery`] instead of rebuilding garbage.
+
+use crate::error::ClusterError;
+use crate::executor::Disposition;
+use crate::lifecycle::ContainerRuntime;
+use crate::snapshot::ClusterState;
+use crate::wal::{Wal, WalEvent};
+
+use goldilocks_placement::Placement;
+
+/// An epoch that began but had not committed when the controller died.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenEpoch {
+    /// The epoch index.
+    pub epoch: u64,
+    /// The planner's decision, if it was logged before the crash.
+    pub intended: Option<Placement>,
+    /// Fallback rung of the logged decision.
+    pub fallback: u8,
+    /// Containers shed by the logged decision.
+    pub shed: u64,
+    /// Units already resolved this epoch, in execution order. A resuming
+    /// driver must *skip* these containers — their outcome is final and
+    /// their failure rolls were already consumed.
+    pub resolved: Vec<(u64, Disposition)>,
+    /// RNG state after the last resolved unit (or at epoch begin).
+    pub rng_state: u64,
+}
+
+/// The result of recovering from a WAL buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recovered {
+    /// Durable state as of the last commit, with `actual` updated to
+    /// reflect every replayed transition (including mid-epoch units).
+    pub state: ClusterState,
+    /// The in-flight epoch, if the crash interrupted one.
+    pub open: Option<OpenEpoch>,
+    /// True when the buffer ended in a torn record (the torn suffix is
+    /// discarded; everything before it is recovered).
+    pub torn_tail: bool,
+    /// Events replayed after the anchoring snapshot.
+    pub events_replayed: usize,
+    /// True when a snapshot anchored the recovery (else replay started from
+    /// an empty cluster).
+    pub from_snapshot: bool,
+}
+
+impl Recovered {
+    /// The recovered actual-placement view as a runtime table.
+    pub fn runtime(&self) -> ContainerRuntime {
+        self.state.to_runtime()
+    }
+
+    /// The RNG state the resuming driver must install to keep the
+    /// migration-roll stream byte-identical with an uninterrupted run.
+    pub fn rng_state(&self) -> Option<u64> {
+        self.open
+            .as_ref()
+            .map(|o| o.rng_state)
+            .or(self.state.rng_state)
+    }
+}
+
+/// Rebuilds controller state from raw WAL bytes (snapshot + replayed
+/// suffix), tolerating a torn final record.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Recovery`] if the intact record stream is
+/// internally inconsistent — e.g. a `Unit` before any `EpochBegin`, or a
+/// logged transition that is illegal for the replayed cluster state.
+pub fn recover(wal_bytes: &[u8]) -> Result<Recovered, ClusterError> {
+    let decoded = Wal::decode(wal_bytes);
+    let anchor = decoded
+        .events
+        .iter()
+        .rposition(|e| matches!(e, WalEvent::Snapshot(_)));
+
+    let (mut state, start, from_snapshot) = match anchor {
+        Some(i) => match &decoded.events[i] {
+            WalEvent::Snapshot(s) => (s.clone(), i + 1, true),
+            _ => unreachable!("rposition matched Snapshot"),
+        },
+        None => (ClusterState::default(), 0, false),
+    };
+
+    let mut runtime = state.to_runtime();
+    let mut open: Option<OpenEpoch> = None;
+    let mut events_replayed = 0usize;
+
+    for ev in &decoded.events[start..] {
+        events_replayed += 1;
+        match ev {
+            WalEvent::Snapshot(_) => {
+                return Err(ClusterError::Recovery(
+                    "snapshot after the anchoring snapshot".into(),
+                ))
+            }
+            WalEvent::EpochBegin { epoch, rng_state } => {
+                if open.is_some() {
+                    return Err(ClusterError::Recovery(format!(
+                        "epoch {epoch} began while an epoch was still open"
+                    )));
+                }
+                open = Some(OpenEpoch {
+                    epoch: *epoch,
+                    intended: None,
+                    fallback: 0,
+                    shed: 0,
+                    resolved: Vec::new(),
+                    rng_state: *rng_state,
+                });
+            }
+            WalEvent::Decision {
+                epoch,
+                fallback,
+                shed,
+                intended,
+            } => {
+                let o = open.as_mut().ok_or_else(|| {
+                    ClusterError::Recovery(format!("decision for epoch {epoch} with no open epoch"))
+                })?;
+                if o.epoch != *epoch {
+                    return Err(ClusterError::Recovery(format!(
+                        "decision for epoch {epoch} inside open epoch {}",
+                        o.epoch
+                    )));
+                }
+                o.intended = Some(intended.clone());
+                o.fallback = *fallback;
+                o.shed = *shed;
+            }
+            WalEvent::Unit {
+                container,
+                disposition,
+                rng_state,
+                transitions,
+            } => {
+                let o = open.as_mut().ok_or_else(|| {
+                    ClusterError::Recovery(format!(
+                        "unit for container {container} with no open epoch"
+                    ))
+                })?;
+                for t in transitions {
+                    runtime.apply(*t).map_err(|e| {
+                        ClusterError::Recovery(format!("illegal logged transition: {e}"))
+                    })?;
+                }
+                o.resolved.push((*container, *disposition));
+                o.rng_state = *rng_state;
+            }
+            WalEvent::EpochCommit {
+                epoch,
+                rng_state,
+                gate,
+            } => {
+                let o = open.take().ok_or_else(|| {
+                    ClusterError::Recovery(format!("commit for epoch {epoch} with no open epoch"))
+                })?;
+                if o.epoch != *epoch {
+                    return Err(ClusterError::Recovery(format!(
+                        "commit for epoch {epoch} inside open epoch {}",
+                        o.epoch
+                    )));
+                }
+                state.committed_epoch = Some(*epoch);
+                if let Some(intended) = o.intended {
+                    state.intended = intended;
+                }
+                state.gate = Some(gate.clone());
+                state.rng_state = Some(*rng_state);
+            }
+        }
+    }
+
+    // The actual view always reflects every replayed transition, committed
+    // or not — it is what anti-entropy diffs against the live data plane.
+    state.actual = runtime
+        .entries()
+        .into_iter()
+        .map(|(c, s)| (c as u64, s.0 as u64))
+        .collect();
+
+    Ok(Recovered {
+        state,
+        open,
+        torn_tail: decoded.torn_tail,
+        events_replayed,
+        from_snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::Transition;
+    use crate::powergate::PowerState;
+    use goldilocks_topology::ServerId;
+
+    fn place(hosts: &[Option<usize>]) -> Placement {
+        Placement {
+            assignment: hosts.iter().map(|h| h.map(ServerId)).collect(),
+        }
+    }
+
+    fn committed_epoch_log() -> Wal {
+        let mut wal = Wal::new();
+        wal.append(&WalEvent::EpochBegin {
+            epoch: 0,
+            rng_state: 10,
+        });
+        wal.append(&WalEvent::Decision {
+            epoch: 0,
+            fallback: 0,
+            shed: 0,
+            intended: place(&[Some(0), Some(1)]),
+        });
+        wal.append(&WalEvent::Unit {
+            container: 0,
+            disposition: Disposition::Applied,
+            rng_state: 10,
+            transitions: vec![Transition::Start {
+                container: 0,
+                on: ServerId(0),
+            }],
+        });
+        wal.append(&WalEvent::Unit {
+            container: 1,
+            disposition: Disposition::Applied,
+            rng_state: 10,
+            transitions: vec![Transition::Start {
+                container: 1,
+                on: ServerId(1),
+            }],
+        });
+        wal.append(&WalEvent::EpochCommit {
+            epoch: 0,
+            rng_state: 10,
+            gate: vec![PowerState::On, PowerState::On],
+        });
+        wal
+    }
+
+    #[test]
+    fn empty_log_recovers_to_blank_state() {
+        let rec = recover(&[]).unwrap();
+        assert_eq!(rec.state, ClusterState::default());
+        assert!(rec.open.is_none());
+        assert!(!rec.torn_tail);
+        assert!(!rec.from_snapshot);
+    }
+
+    #[test]
+    fn committed_epoch_recovers_fully() {
+        let wal = committed_epoch_log();
+        let rec = recover(wal.bytes()).unwrap();
+        assert_eq!(rec.state.committed_epoch, Some(0));
+        assert_eq!(rec.state.intended, place(&[Some(0), Some(1)]));
+        assert_eq!(rec.state.actual, vec![(0, 0), (1, 1)]);
+        assert_eq!(rec.state.rng_state, Some(10));
+        assert!(rec.open.is_none());
+        assert_eq!(rec.rng_state(), Some(10));
+        let rt = rec.runtime();
+        assert_eq!(rt.host_of(0), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn open_epoch_surfaces_resolved_units() {
+        let mut wal = committed_epoch_log();
+        wal.append(&WalEvent::EpochBegin {
+            epoch: 1,
+            rng_state: 20,
+        });
+        wal.append(&WalEvent::Decision {
+            epoch: 1,
+            fallback: 1,
+            shed: 2,
+            intended: place(&[Some(1), Some(1)]),
+        });
+        wal.append(&WalEvent::Unit {
+            container: 0,
+            disposition: Disposition::Completed,
+            rng_state: 33,
+            transitions: vec![Transition::Migrate {
+                container: 0,
+                from: ServerId(0),
+                to: ServerId(1),
+            }],
+        });
+        let rec = recover(wal.bytes()).unwrap();
+        // Committed state is still epoch 0's.
+        assert_eq!(rec.state.committed_epoch, Some(0));
+        assert_eq!(rec.state.intended, place(&[Some(0), Some(1)]));
+        // But the actual view includes the mid-epoch migration.
+        assert_eq!(rec.state.actual, vec![(0, 1), (1, 1)]);
+        assert_eq!(rec.rng_state(), Some(33));
+        let open = rec.open.unwrap();
+        assert_eq!(open.epoch, 1);
+        assert_eq!(open.intended, Some(place(&[Some(1), Some(1)])));
+        assert_eq!(open.fallback, 1);
+        assert_eq!(open.shed, 2);
+        assert_eq!(open.resolved, vec![(0, Disposition::Completed)]);
+        assert_eq!(open.rng_state, 33);
+    }
+
+    #[test]
+    fn snapshot_anchors_replay() {
+        let mut wal = committed_epoch_log();
+        let rec0 = recover(wal.bytes()).unwrap();
+        wal.append(&WalEvent::Snapshot(rec0.state.clone()));
+        wal.append(&WalEvent::EpochBegin {
+            epoch: 1,
+            rng_state: 20,
+        });
+        let rec = recover(wal.bytes()).unwrap();
+        assert!(rec.from_snapshot);
+        assert_eq!(rec.events_replayed, 1, "only the post-snapshot suffix");
+        assert_eq!(rec.state.committed_epoch, Some(0));
+        assert_eq!(rec.state.actual, vec![(0, 0), (1, 1)]);
+        assert_eq!(rec.open.as_ref().map(|o| o.epoch), Some(1));
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let mut wal = committed_epoch_log();
+        wal.append(&WalEvent::EpochBegin {
+            epoch: 1,
+            rng_state: 20,
+        });
+        let clean = wal.bytes().to_vec();
+        // Tear the final record: drop its last 3 bytes.
+        let torn = &clean[..clean.len() - 3];
+        let rec = recover(torn).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.state.committed_epoch, Some(0));
+        assert!(rec.open.is_none(), "torn EpochBegin is discarded");
+    }
+
+    #[test]
+    fn inconsistent_streams_rejected() {
+        let mut wal = Wal::new();
+        wal.append(&WalEvent::Unit {
+            container: 0,
+            disposition: Disposition::Applied,
+            rng_state: 0,
+            transitions: vec![],
+        });
+        assert!(matches!(
+            recover(wal.bytes()),
+            Err(ClusterError::Recovery(_))
+        ));
+
+        let mut wal = Wal::new();
+        wal.append(&WalEvent::EpochBegin {
+            epoch: 0,
+            rng_state: 0,
+        });
+        wal.append(&WalEvent::Unit {
+            container: 7,
+            disposition: Disposition::Applied,
+            rng_state: 0,
+            transitions: vec![Transition::Stop {
+                container: 7,
+                on: ServerId(0),
+            }],
+        });
+        // Stopping a container that never started is an illegal history.
+        assert!(matches!(
+            recover(wal.bytes()),
+            Err(ClusterError::Recovery(_))
+        ));
+    }
+}

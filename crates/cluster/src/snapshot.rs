@@ -1,0 +1,212 @@
+//! Full-state snapshots of the control plane.
+//!
+//! A [`ClusterState`] captures everything the controller needs to resume an
+//! epoch loop: the last committed epoch, the intended placement it decided,
+//! the actual container→server table observed on the data plane, the
+//! power-gate states, and the migration-roll RNG state. Snapshots are
+//! periodically appended to the WAL so recovery replays only the suffix
+//! after the most recent one instead of the whole history.
+
+use goldilocks_placement::Placement;
+use goldilocks_topology::ServerId;
+
+use crate::lifecycle::{ContainerRuntime, Transition};
+use crate::powergate::PowerState;
+use crate::wal::{
+    get_gate_states, get_placement, put_gate_states, put_placement, Dec, Enc, WalError,
+};
+
+/// A point-in-time capture of the controller's durable state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterState {
+    /// Last epoch whose `EpochCommit` is reflected here; `None` before the
+    /// first commit.
+    pub committed_epoch: Option<u64>,
+    /// The intended placement as of the last commit.
+    pub intended: Placement,
+    /// Actual `(container, server)` pairs, sorted by container. This is the
+    /// controller's *view* of the data plane — reconciliation diffs it
+    /// against the live runtime after a crash.
+    pub actual: Vec<(u64, u64)>,
+    /// Power-gate states per server, if a gating step has run.
+    pub gate: Option<Vec<PowerState>>,
+    /// Migration-roll RNG state at capture time.
+    pub rng_state: Option<u64>,
+}
+
+impl ClusterState {
+    /// Captures the controller's state after an epoch commit.
+    pub fn capture(
+        committed_epoch: Option<u64>,
+        intended: &Placement,
+        runtime: &ContainerRuntime,
+        gate_states: Option<&[PowerState]>,
+        rng_state: Option<u64>,
+    ) -> Self {
+        let mut actual: Vec<(u64, u64)> = runtime
+            .entries()
+            .into_iter()
+            .map(|(c, s)| (c as u64, s.0 as u64))
+            .collect();
+        actual.sort_unstable();
+        ClusterState {
+            committed_epoch,
+            intended: intended.clone(),
+            actual,
+            gate: gate_states.map(<[PowerState]>::to_vec),
+            rng_state,
+        }
+    }
+
+    /// Rebuilds a [`ContainerRuntime`] matching the captured view.
+    pub fn to_runtime(&self) -> ContainerRuntime {
+        let mut rt = ContainerRuntime::new();
+        for &(c, s) in &self.actual {
+            // Starting into an empty runtime in sorted order cannot fail.
+            let _ = rt.apply(Transition::Start {
+                container: c as usize,
+                on: ServerId(s as usize),
+            });
+        }
+        rt
+    }
+
+    /// The captured view as a [`Placement`] over `containers` slots.
+    pub fn actual_placement(&self, containers: usize) -> Placement {
+        let mut assignment = vec![None; containers];
+        for &(c, s) in &self.actual {
+            if let Some(slot) = assignment.get_mut(c as usize) {
+                *slot = Some(ServerId(s as usize));
+            }
+        }
+        Placement { assignment }
+    }
+
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        match self.committed_epoch {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                e.u64(v);
+            }
+        }
+        put_placement(e, &self.intended);
+        e.u64(self.actual.len() as u64);
+        for &(c, s) in &self.actual {
+            e.u64(c);
+            e.u64(s);
+        }
+        match &self.gate {
+            None => e.u8(0),
+            Some(states) => {
+                e.u8(1);
+                put_gate_states(e, states);
+            }
+        }
+        match self.rng_state {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                e.u64(v);
+            }
+        }
+    }
+
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<Self, WalError> {
+        let committed_epoch = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()?),
+            t => return Err(WalError::BadTag(t)),
+        };
+        let intended = get_placement(d)?;
+        let n = d.u64()? as usize;
+        let mut actual = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let c = d.u64()?;
+            let s = d.u64()?;
+            actual.push((c, s));
+        }
+        let gate = match d.u8()? {
+            0 => None,
+            1 => Some(get_gate_states(d)?),
+            t => return Err(WalError::BadTag(t)),
+        };
+        let rng_state = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()?),
+            t => return Err(WalError::BadTag(t)),
+        };
+        Ok(ClusterState {
+            committed_epoch,
+            intended,
+            actual,
+            gate,
+            rng_state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_and_rebuild_round_trip() {
+        let mut rt = ContainerRuntime::new();
+        rt.apply_all(&[
+            Transition::Start {
+                container: 2,
+                on: ServerId(5),
+            },
+            Transition::Start {
+                container: 0,
+                on: ServerId(1),
+            },
+        ])
+        .unwrap();
+        let intended = Placement {
+            assignment: vec![Some(ServerId(1)), None, Some(ServerId(5))],
+        };
+        let snap = ClusterState::capture(Some(3), &intended, &rt, None, Some(99));
+        assert_eq!(snap.actual, vec![(0, 1), (2, 5)]);
+
+        let rebuilt = snap.to_runtime();
+        assert_eq!(rebuilt.host_of(0), Some(ServerId(1)));
+        assert_eq!(rebuilt.host_of(2), Some(ServerId(5)));
+        assert_eq!(rebuilt.len(), 2);
+
+        assert_eq!(snap.actual_placement(3), intended);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let snap = ClusterState {
+            committed_epoch: Some(7),
+            intended: Placement {
+                assignment: vec![None, Some(ServerId(3))],
+            },
+            actual: vec![(1, 3)],
+            gate: Some(vec![
+                PowerState::Booting { remaining_s: 42 },
+                PowerState::On,
+            ]),
+            rng_state: Some(0xABCD),
+        };
+        let mut e = Enc::default();
+        snap.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(ClusterState::decode(&mut d).unwrap(), snap);
+        assert!(d.done());
+    }
+
+    #[test]
+    fn default_state_round_trips() {
+        let snap = ClusterState::default();
+        let mut e = Enc::default();
+        snap.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(ClusterState::decode(&mut d).unwrap(), snap);
+    }
+}

@@ -1,0 +1,645 @@
+//! The controller's write-ahead log.
+//!
+//! Every durable control-plane decision — epoch start, chosen placement,
+//! each executed migration unit, epoch commit, and periodic full
+//! [`ClusterState`](crate::ClusterState) snapshots — is appended as one
+//! length-prefixed, CRC-32-checksummed record. The `serde` available offline
+//! is a no-op stub, so the codec here is hand-rolled little-endian binary:
+//! byte-identical on every platform, which is what lets the recovery drill
+//! compare logs across crash-restarted runs.
+//!
+//! Record framing:
+//!
+//! ```text
+//! [payload_len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! Decoding tolerates a *torn tail*: a final record cut short or corrupted
+//! mid-write (the classic crash-during-append) terminates the scan and the
+//! intact prefix is returned, flagged via [`DecodedLog::torn_tail`]. A torn
+//! record never panics and never corrupts the records before it.
+
+use goldilocks_placement::Placement;
+use goldilocks_topology::ServerId;
+
+use crate::executor::Disposition;
+use crate::lifecycle::Transition;
+use crate::powergate::PowerState;
+use crate::snapshot::ClusterState;
+
+/// Errors from decoding a single WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// The buffer ended before the record did.
+    Truncated,
+    /// The payload checksum does not match the header.
+    BadChecksum,
+    /// An unknown event or field tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Truncated => write!(f, "record truncated"),
+            WalError::BadChecksum => write!(f, "record checksum mismatch"),
+            WalError::BadTag(t) => write!(f, "unknown record tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Bitwise — the log records are
+/// small and the loop keeps the implementation dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Append-only byte encoder for WAL payloads.
+#[derive(Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder for WAL payloads.
+pub(crate) struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Self {
+        Dec { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.pos + n > self.b.len() {
+            return Err(WalError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub(crate) fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, WalError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, WalError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+}
+
+/// `None` is encoded as `u64::MAX`; server ids are far below it.
+const NONE_SENTINEL: u64 = u64::MAX;
+
+pub(crate) fn put_placement(e: &mut Enc, p: &Placement) {
+    e.u64(p.assignment.len() as u64);
+    for a in &p.assignment {
+        e.u64(a.map_or(NONE_SENTINEL, |s| s.0 as u64));
+    }
+}
+
+pub(crate) fn get_placement(d: &mut Dec<'_>) -> Result<Placement, WalError> {
+    let n = d.u64()? as usize;
+    let mut assignment = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let v = d.u64()?;
+        assignment.push(if v == NONE_SENTINEL {
+            None
+        } else {
+            Some(ServerId(v as usize))
+        });
+    }
+    Ok(Placement { assignment })
+}
+
+pub(crate) fn put_transition(e: &mut Enc, t: &Transition) {
+    match *t {
+        Transition::Start { container, on } => {
+            e.u8(0);
+            e.u64(container as u64);
+            e.u64(on.0 as u64);
+        }
+        Transition::Migrate {
+            container,
+            from,
+            to,
+        } => {
+            e.u8(1);
+            e.u64(container as u64);
+            e.u64(from.0 as u64);
+            e.u64(to.0 as u64);
+        }
+        Transition::Stop { container, on } => {
+            e.u8(2);
+            e.u64(container as u64);
+            e.u64(on.0 as u64);
+        }
+    }
+}
+
+pub(crate) fn get_transition(d: &mut Dec<'_>) -> Result<Transition, WalError> {
+    match d.u8()? {
+        0 => Ok(Transition::Start {
+            container: d.u64()? as usize,
+            on: ServerId(d.u64()? as usize),
+        }),
+        1 => Ok(Transition::Migrate {
+            container: d.u64()? as usize,
+            from: ServerId(d.u64()? as usize),
+            to: ServerId(d.u64()? as usize),
+        }),
+        2 => Ok(Transition::Stop {
+            container: d.u64()? as usize,
+            on: ServerId(d.u64()? as usize),
+        }),
+        t => Err(WalError::BadTag(t)),
+    }
+}
+
+pub(crate) fn put_gate_states(e: &mut Enc, states: &[PowerState]) {
+    e.u64(states.len() as u64);
+    for s in states {
+        match *s {
+            PowerState::Off => e.u8(0),
+            PowerState::Booting { remaining_s } => {
+                e.u8(1);
+                e.u32(remaining_s);
+            }
+            PowerState::On => e.u8(2),
+        }
+    }
+}
+
+pub(crate) fn get_gate_states(d: &mut Dec<'_>) -> Result<Vec<PowerState>, WalError> {
+    let n = d.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(match d.u8()? {
+            0 => PowerState::Off,
+            1 => PowerState::Booting {
+                remaining_s: d.u32()?,
+            },
+            2 => PowerState::On,
+            t => return Err(WalError::BadTag(t)),
+        });
+    }
+    Ok(out)
+}
+
+fn put_disposition(e: &mut Enc, d: Disposition) {
+    e.u8(match d {
+        Disposition::Applied => 0,
+        Disposition::Completed => 1,
+        Disposition::Abandoned => 2,
+        Disposition::TimedOut => 3,
+        Disposition::ForcedRestart => 4,
+        Disposition::Repair => 5,
+    });
+}
+
+fn get_disposition(d: &mut Dec<'_>) -> Result<Disposition, WalError> {
+    Ok(match d.u8()? {
+        0 => Disposition::Applied,
+        1 => Disposition::Completed,
+        2 => Disposition::Abandoned,
+        3 => Disposition::TimedOut,
+        4 => Disposition::ForcedRestart,
+        5 => Disposition::Repair,
+        t => return Err(WalError::BadTag(t)),
+    })
+}
+
+/// One durable control-plane event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalEvent {
+    /// The controller entered epoch `epoch` with the given migration-roll
+    /// RNG state (logged *before* planning, which consumes no randomness).
+    EpochBegin {
+        /// Epoch index.
+        epoch: u64,
+        /// SplitMix64 state of the migration-roll stream at epoch start.
+        rng_state: u64,
+    },
+    /// The placement the planner decided for the open epoch.
+    Decision {
+        /// Epoch index.
+        epoch: u64,
+        /// Which fallback rung produced the placement (driver-defined tag).
+        fallback: u8,
+        /// Containers shed by the planner.
+        shed: u64,
+        /// The intended placement.
+        intended: Placement,
+    },
+    /// One executed migration unit: the transitions that were applied to the
+    /// cluster, the unit's resolution, and the RNG state *after* the unit's
+    /// failure rolls were consumed.
+    Unit {
+        /// The container the unit reconciled (`u64::MAX` for a multi-container
+        /// anti-entropy repair batch).
+        container: u64,
+        /// How the unit resolved.
+        disposition: Disposition,
+        /// Post-unit RNG state.
+        rng_state: u64,
+        /// Transitions applied, in order (rollbacks included).
+        transitions: Vec<Transition>,
+    },
+    /// The epoch completed: power-gate states after the epoch's gating step
+    /// and the RNG state at commit.
+    EpochCommit {
+        /// Epoch index.
+        epoch: u64,
+        /// Post-epoch RNG state.
+        rng_state: u64,
+        /// Power-gate state per server after this epoch's gating step.
+        gate: Vec<PowerState>,
+    },
+    /// A periodic full snapshot; recovery replays only the suffix after the
+    /// last intact snapshot.
+    Snapshot(ClusterState),
+}
+
+impl WalEvent {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            WalEvent::EpochBegin { epoch, rng_state } => {
+                e.u8(1);
+                e.u64(*epoch);
+                e.u64(*rng_state);
+            }
+            WalEvent::Decision {
+                epoch,
+                fallback,
+                shed,
+                intended,
+            } => {
+                e.u8(2);
+                e.u64(*epoch);
+                e.u8(*fallback);
+                e.u64(*shed);
+                put_placement(&mut e, intended);
+            }
+            WalEvent::Unit {
+                container,
+                disposition,
+                rng_state,
+                transitions,
+            } => {
+                e.u8(3);
+                e.u64(*container);
+                put_disposition(&mut e, *disposition);
+                e.u64(*rng_state);
+                e.u32(transitions.len() as u32);
+                for t in transitions {
+                    put_transition(&mut e, t);
+                }
+            }
+            WalEvent::EpochCommit {
+                epoch,
+                rng_state,
+                gate,
+            } => {
+                e.u8(4);
+                e.u64(*epoch);
+                e.u64(*rng_state);
+                put_gate_states(&mut e, gate);
+            }
+            WalEvent::Snapshot(s) => {
+                e.u8(5);
+                s.encode(&mut e);
+            }
+        }
+        e.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalEvent, WalError> {
+        let mut d = Dec::new(payload);
+        let ev = match d.u8()? {
+            1 => WalEvent::EpochBegin {
+                epoch: d.u64()?,
+                rng_state: d.u64()?,
+            },
+            2 => WalEvent::Decision {
+                epoch: d.u64()?,
+                fallback: d.u8()?,
+                shed: d.u64()?,
+                intended: get_placement(&mut d)?,
+            },
+            3 => {
+                let container = d.u64()?;
+                let disposition = get_disposition(&mut d)?;
+                let rng_state = d.u64()?;
+                let n = d.u32()? as usize;
+                let mut transitions = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    transitions.push(get_transition(&mut d)?);
+                }
+                WalEvent::Unit {
+                    container,
+                    disposition,
+                    rng_state,
+                    transitions,
+                }
+            }
+            4 => WalEvent::EpochCommit {
+                epoch: d.u64()?,
+                rng_state: d.u64()?,
+                gate: get_gate_states(&mut d)?,
+            },
+            5 => WalEvent::Snapshot(ClusterState::decode(&mut d)?),
+            t => return Err(WalError::BadTag(t)),
+        };
+        if !d.done() {
+            // Trailing garbage inside a checksummed payload is a codec bug.
+            return Err(WalError::Truncated);
+        }
+        Ok(ev)
+    }
+}
+
+/// Result of scanning a log buffer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DecodedLog {
+    /// The intact record prefix, in append order.
+    pub events: Vec<WalEvent>,
+    /// True when trailing bytes could not be decoded (torn final record).
+    pub torn_tail: bool,
+    /// Bytes of the buffer covered by intact records.
+    pub intact_bytes: usize,
+}
+
+/// An append-only write-ahead log over an in-memory byte buffer.
+///
+/// The buffer *is* the durable medium of the simulation: crash-restart hands
+/// the surviving bytes to [`crate::recovery::recover`], exactly as a real
+/// controller would re-open its log file.
+#[derive(Clone, Debug, Default)]
+pub struct Wal {
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Adopts an existing (possibly torn) byte buffer.
+    pub fn from_bytes(buf: Vec<u8>) -> Self {
+        Wal { buf }
+    }
+
+    /// Appends one event as a framed, checksummed record.
+    pub fn append(&mut self, ev: &WalEvent) {
+        let payload = ev.encode();
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+    }
+
+    /// The raw log bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Log size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Scans a byte buffer into its intact event prefix, tolerating a torn
+    /// final record. Never panics on arbitrary input.
+    pub fn decode(bytes: &[u8]) -> DecodedLog {
+        let mut events = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            if bytes.len() - pos < 8 {
+                return DecodedLog {
+                    events,
+                    torn_tail: true,
+                    intact_bytes: pos,
+                };
+            }
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            let crc = u32::from_le_bytes([
+                bytes[pos + 4],
+                bytes[pos + 5],
+                bytes[pos + 6],
+                bytes[pos + 7],
+            ]);
+            let start = pos + 8;
+            if start + len > bytes.len() {
+                return DecodedLog {
+                    events,
+                    torn_tail: true,
+                    intact_bytes: pos,
+                };
+            }
+            let payload = &bytes[start..start + len];
+            if crc32(payload) != crc {
+                return DecodedLog {
+                    events,
+                    torn_tail: true,
+                    intact_bytes: pos,
+                };
+            }
+            match WalEvent::decode(payload) {
+                Ok(ev) => events.push(ev),
+                Err(_) => {
+                    return DecodedLog {
+                        events,
+                        torn_tail: true,
+                        intact_bytes: pos,
+                    }
+                }
+            }
+            pos = start + len;
+        }
+        DecodedLog {
+            events,
+            torn_tail: false,
+            intact_bytes: pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<WalEvent> {
+        vec![
+            WalEvent::EpochBegin {
+                epoch: 0,
+                rng_state: 0xDEAD_BEEF,
+            },
+            WalEvent::Decision {
+                epoch: 0,
+                fallback: 2,
+                shed: 3,
+                intended: Placement {
+                    assignment: vec![Some(ServerId(4)), None, Some(ServerId(0))],
+                },
+            },
+            WalEvent::Unit {
+                container: 0,
+                disposition: Disposition::Completed,
+                rng_state: 77,
+                transitions: vec![
+                    Transition::Migrate {
+                        container: 0,
+                        from: ServerId(1),
+                        to: ServerId(4),
+                    },
+                    Transition::Migrate {
+                        container: 0,
+                        from: ServerId(4),
+                        to: ServerId(1),
+                    },
+                ],
+            },
+            WalEvent::EpochCommit {
+                epoch: 0,
+                rng_state: 78,
+                gate: vec![
+                    PowerState::On,
+                    PowerState::Off,
+                    PowerState::Booting { remaining_s: 120 },
+                ],
+            },
+            WalEvent::Snapshot(ClusterState {
+                committed_epoch: Some(0),
+                intended: Placement {
+                    assignment: vec![Some(ServerId(4)), None, Some(ServerId(0))],
+                },
+                actual: vec![(0, 4), (2, 0)],
+                gate: Some(vec![PowerState::On, PowerState::Off, PowerState::On]),
+                rng_state: Some(78),
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_event_kind() {
+        let events = sample_events();
+        let mut wal = Wal::new();
+        for ev in &events {
+            wal.append(ev);
+        }
+        let decoded = Wal::decode(wal.bytes());
+        assert!(!decoded.torn_tail);
+        assert_eq!(decoded.events, events);
+        assert_eq!(decoded.intact_bytes, wal.len_bytes());
+    }
+
+    #[test]
+    fn truncation_yields_intact_prefix() {
+        let events = sample_events();
+        let mut wal = Wal::new();
+        for ev in &events {
+            wal.append(ev);
+        }
+        let bytes = wal.bytes();
+        // Cut the buffer anywhere inside the final record.
+        let last_start = {
+            let mut pos = 0;
+            let mut starts = Vec::new();
+            while pos < bytes.len() {
+                starts.push(pos);
+                let len = u32::from_le_bytes([
+                    bytes[pos],
+                    bytes[pos + 1],
+                    bytes[pos + 2],
+                    bytes[pos + 3],
+                ]) as usize;
+                pos += 8 + len;
+            }
+            *starts.last().unwrap()
+        };
+        for cut in last_start + 1..bytes.len() {
+            let decoded = Wal::decode(&bytes[..cut]);
+            assert!(decoded.torn_tail, "cut at {cut} must read as torn");
+            assert_eq!(decoded.events, events[..events.len() - 1]);
+        }
+        // Cutting exactly at the record boundary is a clean (shorter) log.
+        let decoded = Wal::decode(&bytes[..last_start]);
+        assert!(!decoded.torn_tail);
+        assert_eq!(decoded.events, events[..events.len() - 1]);
+    }
+
+    #[test]
+    fn bit_flip_in_final_record_detected() {
+        let events = sample_events();
+        let mut wal = Wal::new();
+        for ev in &events {
+            wal.append(ev);
+        }
+        let clean_len = wal.len_bytes();
+        for flip in clean_len - 20..clean_len {
+            let mut bytes = wal.bytes().to_vec();
+            bytes[flip] ^= 0x40;
+            let decoded = Wal::decode(&bytes);
+            assert!(
+                decoded.events.len() >= events.len() - 1,
+                "flip at {flip} lost more than the final record"
+            );
+            assert!(
+                decoded.events[..events.len() - 1] == events[..events.len() - 1],
+                "flip at {flip} corrupted the intact prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_garbage_buffers() {
+        assert_eq!(Wal::decode(&[]), DecodedLog::default());
+        let garbage = [0xFFu8; 37];
+        let decoded = Wal::decode(&garbage);
+        assert!(decoded.torn_tail);
+        assert!(decoded.events.is_empty());
+    }
+}

@@ -1,9 +1,10 @@
 //! Configuration of the Goldilocks provisioning algorithm.
 
 use goldilocks_partition::BisectConfig;
+use serde::{Deserialize, Serialize};
 
 /// Tunables for the Goldilocks placement policy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GoldilocksConfig {
     /// The Peak-Energy-Efficiency packing target: server *CPU* is filled to
     /// at most this fraction of capacity (paper: 0.70). The PEE knee is a

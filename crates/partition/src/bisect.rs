@@ -5,6 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::coarsen::coarsen;
 use crate::graph::{EdgeWeight, Graph};
@@ -12,7 +13,7 @@ use crate::initial::greedy_graph_growing;
 use crate::refine::{refine, RefineConfig};
 
 /// Tuning knobs for the multilevel bisection.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BisectConfig {
     /// Coarsen until at most this many vertices remain.
     pub coarsen_to: usize,

@@ -4,19 +4,36 @@
 //!
 //! Each epoch:
 //!
-//! 1. apply the epoch's repairs and faults to the topology copy;
+//! 1. apply the epoch's repairs and faults to the topology copy (a
+//!    [`FaultEvent::ControllerCrash`] kills the controller here: its
+//!    in-memory state is discarded and rebuilt from the write-ahead log);
 //! 2. plan a placement, walking the fallback chain on [`PlaceError`]:
 //!    primary → mildly relaxed → relaxed → E-PVM spill → shed the
 //!    lowest-priority (highest-index) containers until the rest fit;
 //! 3. reconcile the persistent [`ContainerRuntime`] toward the plan with
 //!    the fault-aware migration executor (retries, rollbacks, cold
-//!    restarts off dead servers);
+//!    restarts off dead servers), one logged *unit* at a time;
 //! 4. meter power/TCT on the placement that *actually* materialized.
+//!
+//! The driver is a [`ChaosDriver`] value so a run can be stopped at any
+//! epoch boundary or between migration units ("the controller process
+//! died"), and [`ChaosDriver::resume`] rebuilds an equivalent driver from
+//! the surviving WAL bytes — the recovery drill asserts the resumed run's
+//! final placement is byte-identical to an uninterrupted one.
+//!
+//! What is controller memory vs. the world: the RNG cursor, the planner,
+//! the WAL, and the epoch cursor die with the controller. The topology
+//! (failed servers, degraded uplinks) is the physical world and is
+//! reconstructed by replaying the fault schedule. The container runtime
+//! and power gate are the *data plane* — they keep running while the
+//! controller is down; [`ChaosDriver::resume`] accepts them if they
+//! survived, or rebuilds the controller's view of them from the log.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use goldilocks_cluster::{
-    execute_migrations, ContainerRuntime, LifecycleError, MigrationStats, PowerGate,
+    anti_entropy, execute_unit, recover, ClusterError, ClusterState, ContainerRuntime, Disposition,
+    LifecycleError, MigrationStats, PowerGate, Wal, WalEvent,
 };
 use goldilocks_placement::{EPvm, PlaceError, Placement, Placer};
 use goldilocks_topology::{DcTree, NodeId, Resources, ServerId};
@@ -24,6 +41,17 @@ use goldilocks_workload::Workload;
 
 use super::plan::{ChaosRng, FaultEvent, FaultSchedule};
 use crate::epoch::{epoch_workload, meter_epoch, Policy, Scenario};
+
+/// Salt xor-ed into the run seed for the migration-roll stream, keeping it
+/// decorrelated from the fault-schedule stream under the same seed.
+const ROLL_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// A full [`ClusterState`] snapshot is appended after every this many
+/// committed epochs, bounding replay length on recovery.
+const SNAPSHOT_EVERY: usize = 8;
+
+/// Upper bound on anti-entropy repairs applied in one recovery round.
+const MAX_REPAIRS_PER_ROUND: usize = 64;
 
 /// Which rung of the degradation ladder produced the epoch's placement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,23 +79,47 @@ impl FallbackLevel {
             FallbackLevel::Shed => "shed",
         }
     }
+
+    /// Stable one-byte tag used in WAL `Decision` records.
+    pub fn code(&self) -> u8 {
+        match self {
+            FallbackLevel::Primary => 0,
+            FallbackLevel::MildRelaxed => 1,
+            FallbackLevel::Relaxed => 2,
+            FallbackLevel::Spill => 3,
+            FallbackLevel::Shed => 4,
+        }
+    }
+
+    /// Inverse of [`FallbackLevel::code`]; unknown tags map to `Primary`
+    /// (they can only come from a newer log format).
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            1 => FallbackLevel::MildRelaxed,
+            2 => FallbackLevel::Relaxed,
+            3 => FallbackLevel::Spill,
+            4 => FallbackLevel::Shed,
+            _ => FallbackLevel::Primary,
+        }
+    }
 }
 
 /// Errors a chaos run can surface. Placement shortfalls are absorbed by the
-/// fallback chain; what remains are genuine driver bugs.
+/// fallback chain; what remains are genuine driver bugs or corrupt logs.
 #[derive(Debug)]
 pub enum ChaosError {
     /// Even the shed ladder could not produce a placement.
     Place(PlaceError),
-    /// The executor emitted an illegal transition (stale bookkeeping).
-    Lifecycle(LifecycleError),
+    /// A cluster control-plane failure: illegal transition stream, invalid
+    /// migration model, or an unrecoverable WAL.
+    Cluster(ClusterError),
 }
 
 impl std::fmt::Display for ChaosError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ChaosError::Place(e) => write!(f, "placement failed beyond all fallbacks: {e}"),
-            ChaosError::Lifecycle(e) => write!(f, "illegal transition stream: {e}"),
+            ChaosError::Cluster(e) => write!(f, "cluster control plane: {e}"),
         }
     }
 }
@@ -80,9 +132,15 @@ impl From<PlaceError> for ChaosError {
     }
 }
 
+impl From<ClusterError> for ChaosError {
+    fn from(e: ClusterError) -> Self {
+        ChaosError::Cluster(e)
+    }
+}
+
 impl From<LifecycleError> for ChaosError {
     fn from(e: LifecycleError) -> Self {
-        ChaosError::Lifecycle(e)
+        ChaosError::Cluster(ClusterError::Lifecycle(e))
     }
 }
 
@@ -119,6 +177,9 @@ pub struct ChaosEpochRecord {
     pub shed: usize,
     /// Migration execution counters.
     pub migration: MigrationStats,
+    /// True when the controller recovered from its WAL during (or right
+    /// before) this epoch.
+    pub recovered: bool,
 }
 
 impl ChaosEpochRecord {
@@ -161,6 +222,8 @@ pub struct ResilienceSummary {
     pub migrations_abandoned: usize,
     /// Cold restarts forced by dead source servers.
     pub forced_restarts: usize,
+    /// Times the controller recovered from its WAL.
+    pub controller_recoveries: usize,
     /// Mean total power draw, W.
     pub avg_total_watts: f64,
     /// Mean TCT, ms.
@@ -190,9 +253,635 @@ enum FaultKey {
     Storm,
 }
 
+/// The in-flight epoch a resumed driver picks back up.
+struct PendingEpoch {
+    /// The logged decision, if the crash happened after planning.
+    intended: Option<Placement>,
+    fallback: FallbackLevel,
+    shed: usize,
+    /// Containers whose unit already resolved before the crash — their
+    /// outcome is final and their failure rolls were already consumed.
+    skip: HashSet<usize>,
+}
+
+/// A crash-recoverable chaos run in progress. See the module docs for the
+/// controller-memory vs. data-plane split.
+pub struct ChaosDriver<'a> {
+    scenario: &'a Scenario,
+    policy: &'a Policy,
+    schedule: &'a FaultSchedule,
+    seed: u64,
+    reservations: Vec<Resources>,
+
+    // The physical world: survives controller crashes, reconstructed by
+    // replaying the fault schedule on resume.
+    tree: DcTree,
+    nominal_resources: Vec<Resources>,
+    nominal_uplink: HashMap<NodeId, f64>,
+    switch_victims: HashMap<NodeId, Vec<ServerId>>,
+    storm_prob: Option<f64>,
+    open_faults: HashMap<FaultKey, usize>,
+    mttr_samples: Vec<usize>,
+
+    // The data plane: keeps running while the controller is down.
+    runtime: ContainerRuntime,
+    gate: PowerGate,
+
+    // Controller memory: dies with the process, rebuilt from the WAL.
+    placer: Box<dyn Placer>,
+    rolls: ChaosRng,
+    wal: Wal,
+    next_epoch: usize,
+    pending: Option<PendingEpoch>,
+
+    // The experimenter's measurements (outside the simulated controller).
+    records: Vec<ChaosEpochRecord>,
+    recoveries: usize,
+    recovered_flag: bool,
+    halted: bool,
+}
+
+impl<'a> ChaosDriver<'a> {
+    /// A fresh driver at epoch 0 with an empty WAL.
+    pub fn new(
+        scenario: &'a Scenario,
+        policy: &'a Policy,
+        schedule: &'a FaultSchedule,
+        seed: u64,
+    ) -> Self {
+        let tree = scenario.tree.clone();
+        let nominal_resources: Vec<Resources> = (0..tree.server_count())
+            .map(|s| tree.server(ServerId(s)).resources)
+            .collect();
+        let nominal_uplink: HashMap<NodeId, f64> = tree
+            .rack_nodes()
+            .into_iter()
+            .map(|n| (n, tree.uplink_mbps(n)))
+            .collect();
+        let reservations: Vec<Resources> = scenario
+            .base
+            .containers
+            .iter()
+            .map(|c| {
+                Resources::new(
+                    c.demand.cpu * scenario.reservation_factor,
+                    c.demand.memory_gb,
+                    c.demand.network_mbps,
+                )
+            })
+            .collect();
+        let placer = policy.build(&scenario.power.server, reservations.clone());
+        let gate = PowerGate::all_on(tree.server_count());
+        ChaosDriver {
+            scenario,
+            policy,
+            schedule,
+            seed,
+            reservations,
+            tree,
+            nominal_resources,
+            nominal_uplink,
+            switch_victims: HashMap::new(),
+            storm_prob: None,
+            open_faults: HashMap::new(),
+            mttr_samples: Vec::new(),
+            runtime: ContainerRuntime::new(),
+            gate,
+            placer,
+            rolls: ChaosRng::new(seed ^ ROLL_SALT),
+            wal: Wal::new(),
+            next_epoch: 0,
+            pending: None,
+            records: Vec::new(),
+            recoveries: 0,
+            recovered_flag: false,
+            halted: false,
+        }
+    }
+
+    /// Rebuilds a driver from the WAL bytes a crashed controller left
+    /// behind. `data_plane` is the surviving container runtime and power
+    /// gate if the cluster outlived the controller; `None` models full
+    /// cold recovery, where the controller's replayed view of the data
+    /// plane becomes the rebuilt state.
+    ///
+    /// The physical world (fault state of the topology) is reconstructed
+    /// by replaying the schedule's events for every epoch the dead
+    /// controller had already entered. Per-epoch records from before the
+    /// crash are measurement, not controller state — they are gone; the
+    /// resumed run reports only the epochs it executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Cluster`] when the WAL's intact prefix is
+    /// internally inconsistent or an anti-entropy repair is illegal.
+    pub fn resume(
+        scenario: &'a Scenario,
+        policy: &'a Policy,
+        schedule: &'a FaultSchedule,
+        seed: u64,
+        wal_bytes: &[u8],
+        data_plane: Option<(ContainerRuntime, PowerGate)>,
+    ) -> Result<Self, ChaosError> {
+        let intact = Wal::decode(wal_bytes).intact_bytes;
+        let rec = recover(wal_bytes)?;
+        let mut d = ChaosDriver::new(scenario, policy, schedule, seed);
+
+        // Replay the physical world: events for every epoch the dead
+        // controller had entered were already applied to the cluster.
+        let epochs_entered = match (&rec.open, rec.state.committed_epoch) {
+            (Some(o), _) => o.epoch as usize + 1,
+            (None, Some(c)) => c as usize + 1,
+            (None, None) => 0,
+        };
+        for e in 0..epochs_entered {
+            d.apply_epoch_events(e, false)?;
+        }
+        d.next_epoch = if rec.open.is_some() {
+            epochs_entered - 1
+        } else {
+            epochs_entered
+        };
+
+        match data_plane {
+            Some((runtime, gate)) => {
+                d.runtime = runtime;
+                d.gate = gate;
+            }
+            None => {
+                d.runtime = rec.runtime();
+                d.gate = match &rec.state.gate {
+                    Some(states) => PowerGate::from_states(states.clone()),
+                    None => PowerGate::all_on(scenario.tree.server_count()),
+                };
+            }
+        }
+        d.rolls = ChaosRng::new(rec.rng_state().unwrap_or(seed ^ ROLL_SALT));
+        d.wal = Wal::from_bytes(wal_bytes[..intact].to_vec());
+
+        // Anti-entropy: realign the data plane with the controller's
+        // replayed view. A torn tail means the last few applied commands
+        // were never logged; the controller is authoritative, so they are
+        // repaired back.
+        let repairs = d.anti_entropy_round(&rec.state)?;
+        if !repairs.is_empty() && rec.open.is_some() {
+            // Inside an open epoch the repairs are logged as a unit so a
+            // second recovery replays them into its view.
+            d.wal.append(&WalEvent::Unit {
+                container: u64::MAX,
+                disposition: Disposition::Repair,
+                rng_state: d.rolls.state(),
+                transitions: repairs,
+            });
+        }
+        if rec.open.is_none() {
+            // At a boundary, re-anchor the log with a snapshot of the
+            // recovered (and possibly repaired) state.
+            d.wal.append(&WalEvent::Snapshot(ClusterState::capture(
+                rec.state.committed_epoch,
+                &rec.state.intended,
+                &d.runtime,
+                Some(d.gate.states()),
+                Some(d.rolls.state()),
+            )));
+        }
+
+        if let Some(open) = rec.open {
+            d.pending = Some(PendingEpoch {
+                intended: open.intended,
+                fallback: FallbackLevel::from_code(open.fallback),
+                shed: open.shed as usize,
+                skip: open
+                    .resolved
+                    .iter()
+                    .map(|(c, _)| *c)
+                    .filter(|c| *c != u64::MAX)
+                    .map(|c| c as usize)
+                    .collect(),
+            });
+        }
+        d.recoveries = 1;
+        d.recovered_flag = true;
+        Ok(d)
+    }
+
+    /// The epoch the next [`ChaosDriver::step_epoch`] call will execute.
+    pub fn next_epoch(&self) -> usize {
+        self.next_epoch
+    }
+
+    /// True when every scenario epoch has committed.
+    pub fn is_done(&self) -> bool {
+        self.next_epoch >= self.scenario.epochs.len()
+    }
+
+    /// Times the controller recovered from its WAL (in-band crash faults
+    /// plus an initial [`ChaosDriver::resume`]).
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// The raw WAL bytes — what a crash leaves behind.
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.bytes()
+    }
+
+    /// A copy of the data plane (container runtime + power gate), for
+    /// simulating a controller-only crash where the cluster survives.
+    pub fn data_plane(&self) -> (ContainerRuntime, PowerGate) {
+        (self.runtime.clone(), self.gate.clone())
+    }
+
+    /// The materialized assignment of the first `containers` containers.
+    pub fn assignment(&self, containers: usize) -> Vec<Option<ServerId>> {
+        (0..containers).map(|c| self.runtime.host_of(c)).collect()
+    }
+
+    /// Executes one epoch. With `stop_after_units: Some(n)` the controller
+    /// "crashes" after `n` migration units: the epoch is left open in the
+    /// WAL, the driver halts, and `Ok(false)` is returned — grab
+    /// [`ChaosDriver::wal_bytes`] and [`ChaosDriver::resume`]. Returns
+    /// `Ok(true)` when the epoch committed (fewer than `n` units existed).
+    ///
+    /// # Errors
+    ///
+    /// Only on driver bugs: an illegal transition stream, or a placement
+    /// failure that survives every fallback rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already done or was halted by a simulated
+    /// crash.
+    pub fn step_epoch(&mut self, stop_after_units: Option<usize>) -> Result<bool, ChaosError> {
+        assert!(!self.halted, "driver crashed; resume from its WAL");
+        assert!(!self.is_done(), "run already complete");
+        let e = self.next_epoch;
+        let pending = self.pending.take();
+
+        let (faults, repairs) = if pending.is_some() {
+            // A resumed epoch: its events already hit the world before the
+            // crash (replayed in resume()); the counts belong to the lost
+            // record.
+            (0, 0)
+        } else {
+            self.apply_epoch_events(e, true)?
+        };
+
+        let w = epoch_workload(self.scenario, e);
+
+        let mut skip = HashSet::new();
+        let (target, fallback, shed) = match pending {
+            Some(p) => {
+                skip = p.skip;
+                match p.intended {
+                    // EpochBegin and Decision are already in the log.
+                    Some(intended) => (intended, p.fallback, p.shed),
+                    None => {
+                        // Crash landed between EpochBegin and Decision:
+                        // plan now (planning consumes no rolls) and log it.
+                        let (t, f, s) = place_with_fallbacks(
+                            self.policy,
+                            &mut self.placer,
+                            self.scenario,
+                            &self.reservations,
+                            &w,
+                            &self.tree,
+                        )?;
+                        self.wal.append(&WalEvent::Decision {
+                            epoch: e as u64,
+                            fallback: f.code(),
+                            shed: s as u64,
+                            intended: t.clone(),
+                        });
+                        (t, f, s)
+                    }
+                }
+            }
+            None => {
+                self.wal.append(&WalEvent::EpochBegin {
+                    epoch: e as u64,
+                    rng_state: self.rolls.state(),
+                });
+                let (t, f, s) = place_with_fallbacks(
+                    self.policy,
+                    &mut self.placer,
+                    self.scenario,
+                    &self.reservations,
+                    &w,
+                    &self.tree,
+                )?;
+                self.wal.append(&WalEvent::Decision {
+                    epoch: e as u64,
+                    fallback: f.code(),
+                    shed: s as u64,
+                    intended: t.clone(),
+                });
+                (t, f, s)
+            }
+        };
+
+        let mut model = self.scenario.migration;
+        if let Some(p) = self.storm_prob {
+            model.failure_prob = model.failure_prob.max(p);
+        }
+
+        let mut stats = MigrationStats::default();
+        let mut executed = 0usize;
+        for t in self.runtime.reconcile(&target) {
+            let container = match t {
+                goldilocks_cluster::Transition::Start { container, .. }
+                | goldilocks_cluster::Transition::Migrate { container, .. }
+                | goldilocks_cluster::Transition::Stop { container, .. } => container,
+            };
+            if skip.contains(&container) {
+                continue;
+            }
+            if stop_after_units.is_some_and(|limit| executed >= limit) {
+                // Simulated controller death between units: the epoch
+                // stays open in the WAL and this driver is dead.
+                self.halted = true;
+                return Ok(false);
+            }
+            let unit = {
+                let tree = &self.tree;
+                let rolls = &mut self.rolls;
+                execute_unit(
+                    &mut self.runtime,
+                    t,
+                    &w,
+                    &model,
+                    &|s| tree.server(s).failed,
+                    &mut || rolls.uniform(),
+                )?
+            };
+            stats.absorb(&unit.stats);
+            self.wal.append(&WalEvent::Unit {
+                container: unit.container as u64,
+                disposition: unit.disposition,
+                rng_state: self.rolls.state(),
+                transitions: unit.transitions,
+            });
+            executed += 1;
+        }
+
+        // The placement that materialized: abandoned migrations stayed on
+        // their source, shed containers are not running.
+        let effective = Placement {
+            assignment: (0..w.len()).map(|c| self.runtime.host_of(c)).collect(),
+        };
+
+        // Power gating on the materialized active set.
+        let active = effective.active_servers();
+        let desired: Vec<bool> = (0..self.tree.server_count())
+            .map(|sid| active.contains(&ServerId(sid)))
+            .collect();
+        let booting_before: Vec<bool> = (0..self.gate.len())
+            .map(|sid| !self.gate.is_ready(sid))
+            .collect();
+        self.gate.step(&desired, self.scenario.epoch_seconds as u32);
+        let boot_watts: f64 = desired
+            .iter()
+            .enumerate()
+            .filter(|(sid, on)| **on && booting_before[*sid])
+            .map(|_| {
+                let frac = (self.gate.boot_seconds as f64 / self.scenario.epoch_seconds).min(1.0);
+                self.scenario.power.server.peak_watts * self.gate.boot_power_frac * frac
+            })
+            .sum();
+
+        self.wal.append(&WalEvent::EpochCommit {
+            epoch: e as u64,
+            rng_state: self.rolls.state(),
+            gate: self.gate.states().to_vec(),
+        });
+        if (e + 1).is_multiple_of(SNAPSHOT_EVERY) {
+            self.wal.append(&WalEvent::Snapshot(ClusterState::capture(
+                Some(e as u64),
+                &target,
+                &self.runtime,
+                Some(self.gate.states()),
+                Some(self.rolls.state()),
+            )));
+        }
+
+        let metrics = meter_epoch(self.scenario, &w, &effective, &self.tree);
+        let served = effective.assignment.iter().filter(|a| a.is_some()).count();
+        self.records.push(ChaosEpochRecord {
+            epoch: e,
+            faults,
+            repairs,
+            healthy_servers: self.tree.healthy_servers().len(),
+            active_servers: metrics.sample.active_servers,
+            server_watts: metrics.sample.server_watts,
+            switch_watts: metrics.sample.switch_watts,
+            boot_watts,
+            tct_ms: metrics.tct_ms,
+            mean_cpu_util: metrics.mean_cpu_util,
+            fallback,
+            demanded: w.len(),
+            served,
+            shed,
+            migration: stats,
+            recovered: std::mem::take(&mut self.recovered_flag),
+        });
+        self.next_epoch = e + 1;
+        Ok(true)
+    }
+
+    /// Runs full epochs until `epoch` is the next to execute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ChaosError`] from [`ChaosDriver::step_epoch`].
+    pub fn run_to(&mut self, epoch: usize) -> Result<(), ChaosError> {
+        while self.next_epoch < epoch.min(self.scenario.epochs.len()) {
+            self.step_epoch(None)?;
+        }
+        Ok(())
+    }
+
+    /// Runs every remaining epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ChaosError`] from [`ChaosDriver::step_epoch`].
+    pub fn run_remaining(&mut self) -> Result<(), ChaosError> {
+        while !self.is_done() {
+            self.step_epoch(None)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the driver into its run report.
+    pub fn finish(self) -> ChaosRun {
+        let summary = summarize(
+            &self.records,
+            &self.mttr_samples,
+            self.open_faults.len(),
+            self.recoveries,
+        );
+        ChaosRun {
+            policy: self.policy.name().to_string(),
+            seed: self.seed,
+            records: self.records,
+            summary,
+        }
+    }
+
+    /// Applies epoch `e`'s schedule events to the physical world. With
+    /// `live: false` (resume replay) controller crashes are skipped — they
+    /// only touch controller memory, which the caller is rebuilding anyway.
+    fn apply_epoch_events(&mut self, e: usize, live: bool) -> Result<(usize, usize), ChaosError> {
+        let schedule: &'a FaultSchedule = self.schedule;
+        let mut faults = 0usize;
+        let mut repairs = 0usize;
+        for ev in schedule.events_at(e) {
+            if ev.is_repair() {
+                repairs += 1;
+            } else {
+                faults += 1;
+            }
+            match *ev {
+                FaultEvent::ServerCrash(s) => {
+                    self.tree.fail_server(s);
+                    self.open_faults.insert(FaultKey::Server(s.0), e);
+                }
+                FaultEvent::ServerRestore(s) => {
+                    self.tree.restore_server(s);
+                    self.tree
+                        .set_server_resources(s, self.nominal_resources[s.0]);
+                    self.close_fault(FaultKey::Server(s.0), e);
+                }
+                FaultEvent::UplinkDegrade { node, factor } => {
+                    let base = self
+                        .nominal_uplink
+                        .get(&node)
+                        .copied()
+                        .unwrap_or_else(|| self.tree.uplink_mbps(node));
+                    self.tree.set_uplink_mbps(node, base * factor);
+                    self.open_faults.insert(FaultKey::Uplink(node.0), e);
+                }
+                FaultEvent::UplinkRepair(node) => {
+                    if let Some(&base) = self.nominal_uplink.get(&node) {
+                        self.tree.set_uplink_mbps(node, base);
+                    }
+                    self.close_fault(FaultKey::Uplink(node.0), e);
+                }
+                FaultEvent::SwitchFail(node) => {
+                    let victims: Vec<ServerId> = self
+                        .tree
+                        .servers_under(node)
+                        .into_iter()
+                        .filter(|s| !self.tree.server(*s).failed)
+                        .collect();
+                    for &s in &victims {
+                        self.tree.fail_server(s);
+                    }
+                    self.switch_victims.insert(node, victims);
+                    self.open_faults.insert(FaultKey::Switch(node.0), e);
+                }
+                FaultEvent::SwitchRepair(node) => {
+                    for s in self.switch_victims.remove(&node).unwrap_or_default() {
+                        self.tree.restore_server(s);
+                    }
+                    self.close_fault(FaultKey::Switch(node.0), e);
+                }
+                FaultEvent::HeteroReplace { server, scale } => {
+                    // Permanent: the replacement hardware becomes nominal.
+                    self.nominal_resources[server.0] =
+                        self.nominal_resources[server.0].scaled(scale);
+                    self.tree
+                        .set_server_resources(server, self.nominal_resources[server.0]);
+                }
+                FaultEvent::Straggler { server, slowdown } => {
+                    self.tree.set_server_resources(
+                        server,
+                        self.nominal_resources[server.0].scaled(slowdown),
+                    );
+                    self.open_faults.insert(FaultKey::Straggler(server.0), e);
+                }
+                FaultEvent::StragglerRecover(s) => {
+                    self.tree
+                        .set_server_resources(s, self.nominal_resources[s.0]);
+                    self.close_fault(FaultKey::Straggler(s.0), e);
+                }
+                FaultEvent::MigrationStorm { failure_prob } => {
+                    self.storm_prob = Some(failure_prob);
+                    self.open_faults.insert(FaultKey::Storm, e);
+                }
+                FaultEvent::MigrationStormEnd => {
+                    self.storm_prob = None;
+                    self.close_fault(FaultKey::Storm, e);
+                }
+                FaultEvent::ControllerCrash => {
+                    if live {
+                        self.controller_restart()?;
+                    }
+                }
+            }
+        }
+        Ok((faults, repairs))
+    }
+
+    fn close_fault(&mut self, key: FaultKey, e: usize) {
+        if let Some(opened) = self.open_faults.remove(&key) {
+            self.mttr_samples.push(e - opened);
+        }
+    }
+
+    /// In-band controller crash + restart: discard controller memory,
+    /// recover from our own WAL, realign the data plane, re-anchor the log.
+    /// With an intact log this is placement-invisible: the RNG resumes at
+    /// its logged state and anti-entropy finds nothing to repair.
+    fn controller_restart(&mut self) -> Result<(), ChaosError> {
+        let rec = recover(self.wal.bytes())?;
+        self.rolls = ChaosRng::new(rec.rng_state().unwrap_or(self.seed ^ ROLL_SALT));
+        self.placer = self
+            .policy
+            .build(&self.scenario.power.server, self.reservations.clone());
+        self.anti_entropy_round(&rec.state)?;
+        // Crashes land at epoch starts, so the WAL has no open epoch and a
+        // re-anchoring snapshot is always legal here.
+        self.wal.append(&WalEvent::Snapshot(ClusterState::capture(
+            rec.state.committed_epoch,
+            &rec.state.intended,
+            &self.runtime,
+            Some(self.gate.states()),
+            Some(self.rolls.state()),
+        )));
+        self.recoveries += 1;
+        self.recovered_flag = true;
+        Ok(())
+    }
+
+    /// Diffs the recovered controller view against the live data plane and
+    /// applies a bounded batch of legal repairs. Returns the applied
+    /// transitions.
+    fn anti_entropy_round(
+        &mut self,
+        state: &ClusterState,
+    ) -> Result<Vec<goldilocks_cluster::Transition>, ChaosError> {
+        let view = state.actual_placement(self.scenario.base.containers.len());
+        let plan = {
+            let tree = &self.tree;
+            let gate = &self.gate;
+            anti_entropy(
+                &view,
+                &self.runtime,
+                &|s: ServerId| !tree.server(s).failed && gate.is_ready(s.0),
+                MAX_REPAIRS_PER_ROUND,
+            )
+        };
+        if !plan.transitions.is_empty() {
+            self.runtime.apply_all(&plan.transitions)?;
+        }
+        Ok(plan.transitions)
+    }
+}
+
 /// Runs `policy` over `scenario` while replaying `schedule`, with `seed`
 /// driving the migration-failure rolls. Identical inputs replay
-/// identically.
+/// identically. Thin wrapper over [`ChaosDriver`].
 ///
 /// # Errors
 ///
@@ -205,192 +894,9 @@ pub fn run_chaos(
     schedule: &FaultSchedule,
     seed: u64,
 ) -> Result<ChaosRun, ChaosError> {
-    let epochs = scenario.epochs.len();
-    let mut tree = scenario.tree.clone();
-
-    // Nominal state remembered for repairs. Heterogeneous replacement
-    // rewrites the nominal entry (the new hardware *is* the server now).
-    let mut nominal_resources: Vec<Resources> = (0..tree.server_count())
-        .map(|s| tree.server(ServerId(s)).resources)
-        .collect();
-    let nominal_uplink: HashMap<NodeId, f64> = tree
-        .rack_nodes()
-        .into_iter()
-        .map(|n| (n, tree.uplink_mbps(n)))
-        .collect();
-    // Servers a switch failure took down (and must bring back).
-    let mut switch_victims: HashMap<NodeId, Vec<ServerId>> = HashMap::new();
-    let mut storm_prob: Option<f64> = None;
-
-    let reservations: Vec<Resources> = scenario
-        .base
-        .containers
-        .iter()
-        .map(|c| {
-            Resources::new(
-                c.demand.cpu * scenario.reservation_factor,
-                c.demand.memory_gb,
-                c.demand.network_mbps,
-            )
-        })
-        .collect();
-    let mut placer = policy.build(&scenario.power.server, reservations.clone());
-    let mut gate = PowerGate::all_on(tree.server_count());
-    let mut runtime = ContainerRuntime::new();
-    let mut rolls = ChaosRng::new(seed ^ 0xD1B5_4A32_D192_ED03);
-
-    let mut open_faults: HashMap<FaultKey, usize> = HashMap::new();
-    let mut mttr_samples: Vec<usize> = Vec::new();
-    let mut records = Vec::with_capacity(epochs);
-
-    for e in 0..epochs {
-        let mut faults = 0usize;
-        let mut repairs = 0usize;
-        for ev in schedule.events_at(e) {
-            if ev.is_repair() {
-                repairs += 1;
-            } else {
-                faults += 1;
-            }
-            let mut close = |key: FaultKey| {
-                if let Some(opened) = open_faults.remove(&key) {
-                    mttr_samples.push(e - opened);
-                }
-            };
-            match *ev {
-                FaultEvent::ServerCrash(s) => {
-                    tree.fail_server(s);
-                    open_faults.insert(FaultKey::Server(s.0), e);
-                }
-                FaultEvent::ServerRestore(s) => {
-                    tree.restore_server(s);
-                    tree.set_server_resources(s, nominal_resources[s.0]);
-                    close(FaultKey::Server(s.0));
-                }
-                FaultEvent::UplinkDegrade { node, factor } => {
-                    let base = nominal_uplink
-                        .get(&node)
-                        .copied()
-                        .unwrap_or_else(|| tree.uplink_mbps(node));
-                    tree.set_uplink_mbps(node, base * factor);
-                    open_faults.insert(FaultKey::Uplink(node.0), e);
-                }
-                FaultEvent::UplinkRepair(node) => {
-                    if let Some(&base) = nominal_uplink.get(&node) {
-                        tree.set_uplink_mbps(node, base);
-                    }
-                    close(FaultKey::Uplink(node.0));
-                }
-                FaultEvent::SwitchFail(node) => {
-                    let victims: Vec<ServerId> = tree
-                        .servers_under(node)
-                        .into_iter()
-                        .filter(|s| !tree.server(*s).failed)
-                        .collect();
-                    for &s in &victims {
-                        tree.fail_server(s);
-                    }
-                    switch_victims.insert(node, victims);
-                    open_faults.insert(FaultKey::Switch(node.0), e);
-                }
-                FaultEvent::SwitchRepair(node) => {
-                    for s in switch_victims.remove(&node).unwrap_or_default() {
-                        tree.restore_server(s);
-                    }
-                    close(FaultKey::Switch(node.0));
-                }
-                FaultEvent::HeteroReplace { server, scale } => {
-                    // Permanent: the replacement hardware becomes nominal.
-                    nominal_resources[server.0] = nominal_resources[server.0].scaled(scale);
-                    tree.set_server_resources(server, nominal_resources[server.0]);
-                }
-                FaultEvent::Straggler { server, slowdown } => {
-                    tree.set_server_resources(server, nominal_resources[server.0].scaled(slowdown));
-                    open_faults.insert(FaultKey::Straggler(server.0), e);
-                }
-                FaultEvent::StragglerRecover(s) => {
-                    tree.set_server_resources(s, nominal_resources[s.0]);
-                    close(FaultKey::Straggler(s.0));
-                }
-                FaultEvent::MigrationStorm { failure_prob } => {
-                    storm_prob = Some(failure_prob);
-                    open_faults.insert(FaultKey::Storm, e);
-                }
-                FaultEvent::MigrationStormEnd => {
-                    storm_prob = None;
-                    close(FaultKey::Storm);
-                }
-            }
-        }
-
-        let w = epoch_workload(scenario, e);
-        let (target, fallback, shed) =
-            place_with_fallbacks(policy, &mut placer, scenario, &reservations, &w, &tree)?;
-
-        let mut model = scenario.migration;
-        if let Some(p) = storm_prob {
-            model.failure_prob = model.failure_prob.max(p);
-        }
-        let outcome = execute_migrations(
-            &mut runtime,
-            &target,
-            &w,
-            &model,
-            &|s| tree.server(s).failed,
-            &mut || rolls.uniform(),
-        )?;
-
-        // The placement that materialized: abandoned migrations stayed on
-        // their source, shed containers are not running.
-        let effective = Placement {
-            assignment: (0..w.len()).map(|c| runtime.host_of(c)).collect(),
-        };
-
-        // Power gating on the materialized active set.
-        let active = effective.active_servers();
-        let desired: Vec<bool> = (0..tree.server_count())
-            .map(|sid| active.contains(&ServerId(sid)))
-            .collect();
-        let booting_before: Vec<bool> = (0..gate.len()).map(|sid| !gate.is_ready(sid)).collect();
-        gate.step(&desired, scenario.epoch_seconds as u32);
-        let boot_watts: f64 = desired
-            .iter()
-            .enumerate()
-            .filter(|(sid, on)| **on && booting_before[*sid])
-            .map(|_| {
-                let frac = (gate.boot_seconds as f64 / scenario.epoch_seconds).min(1.0);
-                scenario.power.server.peak_watts * gate.boot_power_frac * frac
-            })
-            .sum();
-
-        let metrics = meter_epoch(scenario, &w, &effective, &tree);
-        let served = effective.assignment.iter().filter(|a| a.is_some()).count();
-        records.push(ChaosEpochRecord {
-            epoch: e,
-            faults,
-            repairs,
-            healthy_servers: tree.healthy_servers().len(),
-            active_servers: metrics.sample.active_servers,
-            server_watts: metrics.sample.server_watts,
-            switch_watts: metrics.sample.switch_watts,
-            boot_watts,
-            tct_ms: metrics.tct_ms,
-            mean_cpu_util: metrics.mean_cpu_util,
-            fallback,
-            demanded: w.len(),
-            served,
-            shed,
-            migration: outcome.stats,
-        });
-    }
-
-    let summary = summarize(&records, &mttr_samples, open_faults.len());
-    Ok(ChaosRun {
-        policy: policy.name().to_string(),
-        seed,
-        records,
-        summary,
-    })
+    let mut driver = ChaosDriver::new(scenario, policy, schedule, seed);
+    driver.run_remaining()?;
+    Ok(driver.finish())
 }
 
 /// Walks the degradation ladder until some placement materializes.
@@ -450,6 +956,7 @@ fn summarize(
     records: &[ChaosEpochRecord],
     mttr_samples: &[usize],
     unrepaired: usize,
+    recoveries: usize,
 ) -> ResilienceSummary {
     let epochs = records.len();
     let demanded: usize = records.iter().map(|r| r.demanded).sum();
@@ -485,6 +992,7 @@ fn summarize(
         migration_retries: records.iter().map(|r| r.migration.retries).sum(),
         migrations_abandoned: records.iter().map(|r| r.migration.abandoned).sum(),
         forced_restarts: records.iter().map(|r| r.migration.forced_restarts).sum(),
+        controller_recoveries: recoveries,
         avg_total_watts: records
             .iter()
             .map(ChaosEpochRecord::total_watts)
@@ -509,6 +1017,7 @@ mod tests {
         assert_eq!(run.summary.availability, 1.0);
         assert_eq!(run.summary.fault_events, 0);
         assert_eq!(run.summary.forced_restarts, 0);
+        assert_eq!(run.summary.controller_recoveries, 0);
         assert!(run
             .records
             .iter()
@@ -632,5 +1141,136 @@ mod tests {
         assert_eq!(run.summary.mttr_epochs, 3.0);
         assert_eq!(run.summary.repair_events, 1);
         assert_eq!(run.summary.unrepaired_faults, 0);
+    }
+
+    #[test]
+    fn in_band_controller_crash_is_placement_invisible() {
+        let s = wiki_testbed(8, 48, 9);
+        let policy = Policy::Goldilocks(GoldilocksConfig::paper());
+        let quiet = FaultSchedule::empty(8);
+        let mut crashy = FaultSchedule::empty(8);
+        crashy.events[2].push(FaultEvent::ControllerCrash);
+        crashy.events[5].push(FaultEvent::ControllerCrash);
+
+        let a = run_chaos(&s, &policy, &quiet, 17).unwrap();
+        let b = run_chaos(&s, &policy, &crashy, 17).unwrap();
+        assert_eq!(b.summary.controller_recoveries, 2);
+        assert!(b.records[2].recovered && b.records[5].recovered);
+        // With an intact WAL, recovery must not perturb the trajectory.
+        let served_a: Vec<usize> = a.records.iter().map(|r| r.served).collect();
+        let served_b: Vec<usize> = b.records.iter().map(|r| r.served).collect();
+        assert_eq!(served_a, served_b);
+        let watts_a: Vec<String> = a
+            .records
+            .iter()
+            .map(|r| format!("{:.6}", r.server_watts))
+            .collect();
+        let watts_b: Vec<String> = b
+            .records
+            .iter()
+            .map(|r| format!("{:.6}", r.server_watts))
+            .collect();
+        assert_eq!(watts_a, watts_b);
+    }
+
+    #[test]
+    fn boundary_crash_resume_matches_uninterrupted_run() {
+        let s = wiki_testbed(10, 48, 10);
+        let policy = Policy::Goldilocks(GoldilocksConfig::paper());
+        let plan = FaultPlan {
+            config: FaultPlanConfig {
+                controller_crash_rate: 0.0,
+                ..FaultPlanConfig::default()
+            },
+            seed: 31,
+        };
+        let schedule = plan.schedule(10, &s.tree);
+        let n = s.base.containers.len();
+
+        let mut base = ChaosDriver::new(&s, &policy, &schedule, 31);
+        base.run_remaining().unwrap();
+        let reference = base.assignment(n);
+
+        for boundary in [1usize, 4, 7] {
+            let mut first = ChaosDriver::new(&s, &policy, &schedule, 31);
+            first.run_to(boundary).unwrap();
+            let wal = first.wal_bytes().to_vec();
+            let dp = first.data_plane();
+            drop(first);
+
+            // Warm resume: the data plane survived the controller.
+            let mut warm = ChaosDriver::resume(&s, &policy, &schedule, 31, &wal, Some(dp)).unwrap();
+            assert_eq!(warm.next_epoch(), boundary);
+            warm.run_remaining().unwrap();
+            assert_eq!(warm.assignment(n), reference, "warm resume at {boundary}");
+
+            // Cold resume: data plane rebuilt from the log alone.
+            let mut cold = ChaosDriver::resume(&s, &policy, &schedule, 31, &wal, None).unwrap();
+            cold.run_remaining().unwrap();
+            assert_eq!(cold.assignment(n), reference, "cold resume at {boundary}");
+        }
+    }
+
+    #[test]
+    fn mid_epoch_crash_resume_matches_uninterrupted_run() {
+        let mut s = wiki_testbed(9, 48, 11);
+        // Force migration churn so epochs actually have units to crash in.
+        s.migration.failure_prob = 0.3;
+        let policy = Policy::Goldilocks(GoldilocksConfig::paper());
+        let schedule = FaultSchedule::empty(9);
+        let n = s.base.containers.len();
+
+        let mut base = ChaosDriver::new(&s, &policy, &schedule, 77);
+        base.run_remaining().unwrap();
+        let reference = base.assignment(n);
+
+        for (epoch, units) in [(0usize, 3usize), (3, 1), (6, 5)] {
+            let mut first = ChaosDriver::new(&s, &policy, &schedule, 77);
+            first.run_to(epoch).unwrap();
+            let completed = first.step_epoch(Some(units)).unwrap();
+            let wal = first.wal_bytes().to_vec();
+            let dp = first.data_plane();
+            drop(first);
+
+            let mut resumed =
+                ChaosDriver::resume(&s, &policy, &schedule, 77, &wal, Some(dp)).unwrap();
+            if !completed {
+                assert_eq!(resumed.next_epoch(), epoch, "epoch must still be open");
+            }
+            resumed.run_remaining().unwrap();
+            assert_eq!(
+                resumed.assignment(n),
+                reference,
+                "mid-epoch resume at epoch {epoch} after {units} units"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_tail_resume_recovers_and_finishes() {
+        let s = wiki_testbed(6, 40, 12);
+        let policy = Policy::EPvm;
+        let schedule = FaultSchedule::empty(6);
+        let n = s.base.containers.len();
+
+        let mut first = ChaosDriver::new(&s, &policy, &schedule, 5);
+        first.run_to(3).unwrap();
+        let mut wal = first.wal_bytes().to_vec();
+        let dp = first.data_plane();
+        drop(first);
+        // Tear the final record mid-write.
+        wal.truncate(wal.len() - 5);
+
+        let mut resumed = ChaosDriver::resume(&s, &policy, &schedule, 5, &wal, Some(dp)).unwrap();
+        resumed.run_remaining().unwrap();
+        let run = resumed.finish();
+        assert!(run.summary.controller_recoveries >= 1);
+        // The run must complete with every container placed.
+        let mut last = ChaosDriver::new(&s, &policy, &schedule, 5);
+        last.run_remaining().unwrap();
+        assert_eq!(
+            last.assignment(n).iter().filter(|a| a.is_some()).count(),
+            run.records.last().unwrap().served
+        );
     }
 }

@@ -11,6 +11,11 @@
 //!   [`goldilocks_placement::PlaceError`]s with a fallback ladder
 //!   (primary → relaxed caps → E-PVM spill → shed) and executing
 //!   migrations through the fault-aware executor in `goldilocks-cluster`.
+//!   The run lives in a [`ChaosDriver`], which journals every decision to
+//!   a write-ahead log: the controller can be crashed at epoch boundaries
+//!   or between migration units (including via the in-schedule
+//!   [`FaultEvent::ControllerCrash`]) and [`ChaosDriver::resume`]d from
+//!   the surviving bytes without perturbing the trajectory.
 //!
 //! Everything is seeded: the same `(scenario, policy, schedule, seed)`
 //! replays byte-for-byte, which is what makes fault experiments citable.
@@ -19,6 +24,7 @@ mod driver;
 mod plan;
 
 pub use driver::{
-    run_chaos, ChaosEpochRecord, ChaosError, ChaosRun, FallbackLevel, ResilienceSummary,
+    run_chaos, ChaosDriver, ChaosEpochRecord, ChaosError, ChaosRun, FallbackLevel,
+    ResilienceSummary,
 };
 pub use plan::{ChaosRng, FaultEvent, FaultPlan, FaultPlanConfig, FaultSchedule};

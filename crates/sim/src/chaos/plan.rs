@@ -27,6 +27,13 @@ impl ChaosRng {
         ChaosRng { state: seed }
     }
 
+    /// The current raw state. A generator rebuilt with
+    /// `ChaosRng::new(state)` continues the exact same stream — this is how
+    /// the crash-recovery WAL resumes migration rolls mid-run.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -102,6 +109,9 @@ pub enum FaultEvent {
     },
     /// Migration infrastructure back to the scenario's nominal model.
     MigrationStormEnd,
+    /// The controller process is killed at the start of the epoch and
+    /// restarts from its write-ahead log (the data plane keeps running).
+    ControllerCrash,
 }
 
 impl FaultEvent {
@@ -134,6 +144,9 @@ pub struct FaultPlanConfig {
     pub straggler_rate: f64,
     /// P(a migration storm starting) per epoch.
     pub migration_storm_rate: f64,
+    /// P(the controller crashing at an epoch start) per epoch. The restart
+    /// recovers from the WAL within the same epoch (no repair event).
+    pub controller_crash_rate: f64,
     /// Mean epochs until a fault is repaired (uniform in `[1, 2·mean]`).
     pub mean_repair_epochs: usize,
     /// Remaining bandwidth fraction of a degraded uplink.
@@ -158,6 +171,7 @@ impl Default for FaultPlanConfig {
             hetero_replace_rate: 0.03,
             straggler_rate: 0.06,
             migration_storm_rate: 0.05,
+            controller_crash_rate: 0.05,
             mean_repair_epochs: 3,
             uplink_degrade_factor: 0.30,
             straggler_slowdown: 0.50,
@@ -178,6 +192,7 @@ impl FaultPlanConfig {
             hetero_replace_rate: 0.0,
             straggler_rate: 0.0,
             migration_storm_rate: 0.0,
+            controller_crash_rate: 0.0,
             ..FaultPlanConfig::default()
         }
     }
@@ -385,6 +400,11 @@ impl FaultPlan {
                     pending[re].push(FaultEvent::MigrationStormEnd);
                 }
             }
+            // Appended after the earlier trials so existing seeds keep
+            // their fault streams; only this trial's outcome is new.
+            if rng.chance(cfg.controller_crash_rate) {
+                events[e].push(FaultEvent::ControllerCrash);
+            }
         }
         FaultSchedule { events }
     }
@@ -497,6 +517,55 @@ mod tests {
         .schedule(50, &tree());
         assert_eq!(s.fault_count(), 0);
         assert!(s.events.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn controller_crashes_scheduled_and_counted_as_faults() {
+        let cfg = FaultPlanConfig {
+            controller_crash_rate: 1.0,
+            ..FaultPlanConfig::quiescent()
+        };
+        let s = FaultPlan {
+            config: cfg,
+            seed: 11,
+        }
+        .schedule(10, &tree());
+        assert_eq!(s.fault_count(), 10, "one crash per epoch at rate 1.0");
+        for e in 0..10 {
+            assert!(s.events_at(e).contains(&FaultEvent::ControllerCrash));
+        }
+        assert!(!FaultEvent::ControllerCrash.is_repair());
+    }
+
+    #[test]
+    fn controller_crash_trial_does_not_shift_existing_streams() {
+        // Same seed, crash trial on vs. off: every other event identical.
+        let on = FaultPlan {
+            config: FaultPlanConfig {
+                controller_crash_rate: 1.0,
+                ..FaultPlanConfig::default()
+            },
+            seed: 42,
+        };
+        let off = FaultPlan {
+            config: FaultPlanConfig {
+                controller_crash_rate: 0.0,
+                ..FaultPlanConfig::default()
+            },
+            seed: 42,
+        };
+        let t = tree();
+        let with: Vec<Vec<FaultEvent>> = on
+            .schedule(60, &t)
+            .events
+            .into_iter()
+            .map(|evs| {
+                evs.into_iter()
+                    .filter(|e| *e != FaultEvent::ControllerCrash)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(with, off.schedule(60, &t).events);
     }
 
     #[test]

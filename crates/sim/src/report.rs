@@ -87,12 +87,12 @@ pub fn chaos_to_csv(runs: &[crate::chaos::ChaosRun]) -> String {
         "policy,seed,epoch,faults,repairs,healthy_servers,active_servers,total_watts,\
          tct_ms,mean_cpu_util,fallback,demanded,served,shed,migrations_attempted,\
          migrations_completed,failed_attempts,retries,abandoned,forced_restarts,\
-         freeze_seconds\n",
+         freeze_seconds,recovered\n",
     );
     for run in runs {
         for r in &run.records {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
+                "{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{:.3},{}\n",
                 run.policy,
                 run.seed,
                 r.epoch,
@@ -114,6 +114,7 @@ pub fn chaos_to_csv(runs: &[crate::chaos::ChaosRun]) -> String {
                 r.migration.abandoned,
                 r.migration.forced_restarts,
                 r.migration.total_freeze_s,
+                u8::from(r.recovered),
             ));
         }
     }
@@ -137,6 +138,7 @@ pub fn resilience_table(runs: &[crate::chaos::ChaosRun]) -> String {
                 s.migration_retries.to_string(),
                 s.migrations_abandoned.to_string(),
                 s.forced_restarts.to_string(),
+                s.controller_recoveries.to_string(),
                 fmt(s.avg_total_watts, 1),
                 fmt(s.avg_tct_ms, 3),
             ]
@@ -153,6 +155,7 @@ pub fn resilience_table(runs: &[crate::chaos::ChaosRun]) -> String {
             "retries",
             "abandoned",
             "cold restarts",
+            "recoveries",
             "avg W",
             "avg TCT ms",
         ],

@@ -1,6 +1,90 @@
-//! Offline stub of `crossbeam` (unused by workspace code; exists so
-//! dependency resolution succeeds). `scope` delegates to `std::thread`.
+//! Offline stub of `crossbeam` exposing the `thread::scope` surface the
+//! workspace uses, implemented on `std::thread::scope`. The signatures match
+//! crossbeam 0.8 — `scope` returns a `Result`, spawn closures receive a
+//! `&Scope` — so code written against this stub compiles unchanged against
+//! the real crate in a networked build.
 
 pub mod thread {
-    pub use std::thread::scope;
+    /// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+    ///
+    /// Wraps `std::thread::Scope`; the wrapper is what spawn closures
+    /// receive, so nested spawns work exactly as with the real crate.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` (for
+        /// nested spawns), matching crossbeam 0.8's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread, mirroring
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err` holds
+        /// the panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads; all threads are joined
+    /// before `scope` returns. Matches crossbeam 0.8's calling convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` only when the scope closure itself panics across the
+    /// unwind boundary inside `std::thread::scope` (never here — callers
+    /// should still `.expect()` as with the real crate).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_spawns_and_joins() {
+            let data = [1, 2, 3, 4];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<i32>()
+            })
+            .expect("scope ok");
+            assert_eq!(sum, 10);
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let v = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7).join().expect("inner"))
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope ok");
+            assert_eq!(v, 7);
+        }
+    }
 }

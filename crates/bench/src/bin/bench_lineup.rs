@@ -1,0 +1,69 @@
+//! Lineup perf bench: times the testbed scenarios (Fig. 9 Wikipedia and
+//! Fig. 10 Azure mix) sequentially vs in parallel, proves byte-identical
+//! results, and writes `results/BENCH_lineup.json` — the per-PR perf
+//! trajectory for the control-loop path, complementing the large-scale
+//! record emitted by `fig13_largescale`.
+//!
+//! Usage: `bench_lineup [--threads N] [--epochs E]` (defaults: all hardware
+//! threads, 20 epochs).
+
+use goldilocks_bench::runner::{parallel_from_args, timed_lineup, write_bench_json};
+use goldilocks_sim::report::{fmt, render_table};
+use goldilocks_sim::scenarios::{azure_testbed, wiki_testbed};
+
+fn main() {
+    let parallel = parallel_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let epochs = args
+        .windows(2)
+        .find(|p| p[0] == "--epochs")
+        .and_then(|p| p[1].parse::<usize>().ok())
+        .unwrap_or(20);
+
+    println!(
+        "== Lineup bench: {} epochs, {} threads ==\n",
+        epochs, parallel.threads
+    );
+
+    let scenarios = [wiki_testbed(epochs, 176, 42), azure_testbed(epochs, 42)];
+    let mut benches = Vec::new();
+    for (name, scenario) in ["lineup-wiki", "lineup-azure"].iter().zip(&scenarios) {
+        let (_, bench) = timed_lineup(name, scenario, &parallel).expect("scenario is feasible");
+        benches.push(bench);
+    }
+
+    let rows: Vec<Vec<String>> = benches
+        .iter()
+        .map(|b| {
+            vec![
+                b.bench.clone(),
+                b.scenario.clone(),
+                b.threads.to_string(),
+                fmt(b.sequential_s, 3),
+                fmt(b.parallel_s, 3),
+                format!("{:.2}x", b.speedup()),
+                b.byte_identical.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bench",
+                "scenario",
+                "threads",
+                "seq s",
+                "par s",
+                "speedup",
+                "identical"
+            ],
+            &rows
+        )
+    );
+
+    match write_bench_json("results/BENCH_lineup.json", &benches) {
+        Ok(()) => println!("(perf records written to results/BENCH_lineup.json)"),
+        Err(e) => eprintln!("could not write results/BENCH_lineup.json: {e}"),
+    }
+}

@@ -3,8 +3,13 @@
 //! containers) over 88 one-hour epochs; pass `--full` to run it (minutes).
 //! The default uses a 12-ary tree (432 servers, 3888 containers, 24 epochs)
 //! which reproduces the same shape in seconds.
+//!
+//! The lineup runs twice — sequentially, then across `--threads N` worker
+//! threads (default: all hardware threads) — and the binary asserts the two
+//! are byte-identical before writing `results/BENCH_fig13.json` with both
+//! timings.
 
-use goldilocks_sim::epoch::run_lineup;
+use goldilocks_bench::runner::{parallel_from_args, timed_lineup, write_bench_json};
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::largescale;
 use goldilocks_sim::summary::{normalized_to, power_saving_vs, summarize};
@@ -12,6 +17,7 @@ use goldilocks_sim::summary::{normalized_to, power_saving_vs, summarize};
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (k, epochs) = if full { (28, 88) } else { (12, 24) };
+    let parallel = parallel_from_args();
     let scenario = largescale(k, epochs, 42);
     println!(
         "== Fig. 13: {} — {} servers, {} switches, {} containers, {} epochs ==",
@@ -25,7 +31,19 @@ fn main() {
         println!("(reduced scale; run with --full for the paper's 28-ary / 5488-server setup)\n");
     }
 
-    let runs = run_lineup(&scenario).expect("scenario is feasible");
+    let (runs, bench) = timed_lineup("fig13", &scenario, &parallel).expect("scenario is feasible");
+    println!(
+        "(lineup: sequential {:.2} s, {} threads {:.2} s, speedup {:.2}x, byte-identical: {})\n",
+        bench.sequential_s,
+        bench.threads,
+        bench.parallel_s,
+        bench.speedup(),
+        bench.byte_identical
+    );
+    if write_bench_json("results/BENCH_fig13.json", std::slice::from_ref(&bench)).is_ok() {
+        println!("(perf record written to results/BENCH_fig13.json)\n");
+    }
+
     let _ = std::fs::create_dir_all("results");
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
     let csv_name = if full {

@@ -1,3 +1,10 @@
 //! Experiment harness for the Goldilocks reproduction: every table and
-//! figure of the paper has a binary under `src/bin/`, and the Criterion
-//! micro-benchmarks live under `benches/`.
+//! figure of the paper has a binary under `src/bin/`, the Criterion
+//! micro-benchmarks live under `benches/`, and [`runner`] provides the
+//! shared sequential-vs-parallel lineup timer that emits the
+//! `results/BENCH_*.json` perf records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;

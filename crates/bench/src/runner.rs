@@ -1,0 +1,316 @@
+//! Shared perf-bench runner for the experiment binaries.
+//!
+//! Times a scenario's policy lineup sequentially and in parallel, verifies
+//! the two are byte-identical (the CSV serialization of every record must
+//! match exactly), breaks one representative Goldilocks epoch into phases
+//! (graph build → partition → assignment → metering), and emits the record
+//! as a hand-rolled JSON perf file (`results/BENCH_*.json`) so the repo's
+//! perf trajectory is visible per-PR.
+
+use std::time::Instant;
+
+use goldilocks_core::{partition_into_groups, Goldilocks, GoldilocksConfig};
+use goldilocks_partition::{ParallelConfig, VertexWeight};
+use goldilocks_placement::{PlaceError, Placer};
+use goldilocks_sim::epoch::{epoch_workload, run_lineup_with, PolicyRun, Scenario};
+use goldilocks_sim::report::runs_to_csv;
+use goldilocks_sim::{mean_tct_ms, meter};
+use goldilocks_topology::Resources;
+
+/// Wall-clock breakdown of one Goldilocks epoch (epoch 0 of the scenario):
+/// the four phases the placement control loop pays for.
+#[derive(Clone, Debug)]
+pub struct PhaseTimings {
+    /// Building the container graph from the live workload.
+    pub graph_build_s: f64,
+    /// Partitioning the graph into server-sized groups (the parallelized
+    /// recursive bisection).
+    pub partition_s: f64,
+    /// Mapping groups onto topology servers (full `place` time minus the
+    /// graph and partition phases, floored at zero).
+    pub assign_s: f64,
+    /// Power metering plus the TCT model over the resulting placement.
+    pub metering_s: f64,
+}
+
+/// One benchmark record: a scenario's lineup timed sequential vs parallel.
+#[derive(Clone, Debug)]
+pub struct LineupBench {
+    /// Short bench name (`"fig13"`, `"lineup-wiki"` …) — becomes the JSON
+    /// `bench` field.
+    pub bench: String,
+    /// Scenario name as reported by the scenario builder.
+    pub scenario: String,
+    /// Topology size.
+    pub servers: usize,
+    /// Containers in the base workload.
+    pub containers: usize,
+    /// Epoch count.
+    pub epochs: usize,
+    /// Thread budget of the parallel run.
+    pub threads: usize,
+    /// Wall-clock of the sequential (`threads = 1`) lineup, seconds.
+    pub sequential_s: f64,
+    /// Wall-clock of the parallel lineup, seconds.
+    pub parallel_s: f64,
+    /// Whether the parallel run's CSV serialization was byte-identical to
+    /// the sequential run's (it must be; the runner asserts it too).
+    pub byte_identical: bool,
+    /// Phase breakdown of one representative Goldilocks epoch.
+    pub phases: PhaseTimings,
+}
+
+impl LineupBench {
+    /// Parallel speedup over the sequential run.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.sequential_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Hand-rolled JSON object (no serde at runtime in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"{}\",\n  \"scenario\": \"{}\",\n  \"servers\": {},\n  \
+             \"containers\": {},\n  \"epochs\": {},\n  \"threads\": {},\n  \
+             \"sequential_s\": {:.4},\n  \"parallel_s\": {:.4},\n  \"speedup\": {:.3},\n  \
+             \"byte_identical\": {},\n  \"phases_epoch0_goldilocks\": {{\n    \
+             \"graph_build_s\": {:.5},\n    \"partition_s\": {:.5},\n    \
+             \"assign_s\": {:.5},\n    \"metering_s\": {:.5}\n  }}\n}}",
+            self.bench,
+            self.scenario,
+            self.servers,
+            self.containers,
+            self.epochs,
+            self.threads,
+            self.sequential_s,
+            self.parallel_s,
+            self.speedup(),
+            self.byte_identical,
+            self.phases.graph_build_s,
+            self.phases.partition_s,
+            self.phases.assign_s,
+            self.phases.metering_s,
+        )
+    }
+}
+
+/// Serializes several bench records as a JSON array.
+pub fn benches_to_json(benches: &[LineupBench]) -> String {
+    let items: Vec<String> = benches.iter().map(LineupBench::to_json).collect();
+    format!("[\n{}\n]\n", items.join(",\n"))
+}
+
+/// Writes bench records to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(path: &str, benches: &[LineupBench]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, benches_to_json(benches))
+}
+
+/// Runs `scenario`'s lineup twice — sequentially, then with `parallel` —
+/// asserts the results are byte-identical, and returns the parallel runs
+/// with the timing record.
+///
+/// # Panics
+///
+/// Panics if the parallel lineup's serialized records differ from the
+/// sequential ones — that would be a determinism bug, never a tolerable
+/// outcome.
+///
+/// # Errors
+///
+/// Propagates the first policy failure.
+pub fn timed_lineup(
+    bench: &str,
+    scenario: &Scenario,
+    parallel: &ParallelConfig,
+) -> Result<(Vec<PolicyRun>, LineupBench), PlaceError> {
+    let t = Instant::now();
+    let sequential = run_lineup_with(scenario, &ParallelConfig::sequential())?;
+    let sequential_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let runs = run_lineup_with(scenario, parallel)?;
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    let byte_identical = runs_to_csv(&sequential) == runs_to_csv(&runs);
+    assert!(
+        byte_identical,
+        "parallel lineup diverged from the sequential reference on {}",
+        scenario.name
+    );
+
+    let record = LineupBench {
+        bench: bench.to_string(),
+        scenario: scenario.name.clone(),
+        servers: scenario.tree.server_count(),
+        containers: scenario.base.len(),
+        epochs: scenario.epochs.len(),
+        threads: parallel.threads,
+        sequential_s,
+        parallel_s,
+        byte_identical,
+        phases: time_phases(scenario, parallel),
+    };
+    Ok((runs, record))
+}
+
+/// Times the placement control-loop phases of one Goldilocks epoch (epoch 0)
+/// under the given parallelism.
+pub fn time_phases(scenario: &Scenario, parallel: &ParallelConfig) -> PhaseTimings {
+    let mut cfg = GoldilocksConfig::paper();
+    cfg.bisect.parallel = parallel.clone();
+    let w = epoch_workload(scenario, 0);
+
+    let t = Instant::now();
+    let graph = w
+        .container_graph(cfg.anti_affinity_weight)
+        .expect("scenario workload builds a valid container graph");
+    let graph_build_s = t.elapsed().as_secs_f64();
+
+    // Stop rule: the smallest healthy capacity, as the placer uses.
+    let min_cap = scenario
+        .tree
+        .healthy_servers()
+        .iter()
+        .map(|s| scenario.tree.server(*s).resources)
+        .fold(None::<Resources>, |acc, r| match acc {
+            None => Some(r),
+            Some(a) => Some(Resources::new(
+                a.cpu.min(r.cpu),
+                a.memory_gb.min(r.memory_gb),
+                a.network_mbps.min(r.network_mbps),
+            )),
+        })
+        .expect("scenario has healthy servers");
+    let cap = cfg.cap_resources(&min_cap);
+    let cap_weight = VertexWeight::new(cap.as_array().to_vec());
+
+    let t = Instant::now();
+    let _groups = partition_into_groups(&graph, &cap_weight, &cfg.bisect)
+        .expect("scenario epoch 0 partitions");
+    let partition_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let placement = Goldilocks::with_config(cfg)
+        .place(&w, &scenario.tree)
+        .expect("scenario epoch 0 places");
+    let place_total_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let sample = meter(&placement, &w, &scenario.tree, &scenario.power);
+    let cpu_utils = placement.server_cpu_utilizations(&w, &scenario.tree);
+    let _tct = mean_tct_ms(
+        &scenario.latency,
+        &w,
+        &placement,
+        &scenario.tree,
+        &cpu_utils,
+        |_| true,
+    );
+    let metering_s = t.elapsed().as_secs_f64();
+    let _ = sample;
+
+    PhaseTimings {
+        graph_build_s,
+        partition_s,
+        assign_s: (place_total_s - graph_build_s - partition_s).max(0.0),
+        metering_s,
+    }
+}
+
+/// Runs several scenarios' lineups concurrently — one scoped worker per
+/// scenario, each given the full per-scenario thread budget — and joins the
+/// results back in input order. This is the sweep fan-out used when
+/// regenerating the whole `results/` set.
+pub fn sweep_scenarios(
+    scenarios: &[Scenario],
+    per_scenario: &ParallelConfig,
+) -> Vec<Result<Vec<PolicyRun>, PlaceError>> {
+    if scenarios.len() <= 1 {
+        return scenarios
+            .iter()
+            .map(|s| run_lineup_with(s, per_scenario))
+            .collect();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|sc| scope.spawn(move |_| run_lineup_with(sc, per_scenario)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope")
+}
+
+/// Parses a `--threads N` argument pair from the binary's argv; defaults to
+/// every hardware thread ([`ParallelConfig::auto`]).
+pub fn parallel_from_args() -> ParallelConfig {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--threads" {
+            if let Ok(n) = pair[1].parse::<usize>() {
+                return ParallelConfig::with_threads(n);
+            }
+        }
+    }
+    ParallelConfig::auto()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_sim::scenarios::wiki_testbed;
+
+    #[test]
+    fn timed_lineup_is_identical_and_records_phases() {
+        let s = wiki_testbed(4, 40, 7);
+        let (runs, bench) =
+            timed_lineup("test", &s, &ParallelConfig::with_threads(4)).expect("feasible");
+        assert_eq!(runs.len(), 5);
+        assert!(bench.byte_identical);
+        assert!(bench.sequential_s > 0.0 && bench.parallel_s > 0.0);
+        assert!(bench.phases.graph_build_s >= 0.0);
+        assert!(bench.phases.partition_s > 0.0);
+        assert!(bench.phases.metering_s > 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let s = wiki_testbed(3, 30, 8);
+        let (_, bench) =
+            timed_lineup("json", &s, &ParallelConfig::with_threads(2)).expect("feasible");
+        let json = benches_to_json(std::slice::from_ref(&bench));
+        assert!(json.starts_with("[\n{"));
+        assert!(json.contains("\"bench\": \"json\""));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let a = wiki_testbed(3, 30, 1);
+        let b = wiki_testbed(3, 30, 2);
+        let seq: Vec<_> = [&a, &b]
+            .iter()
+            .map(|s| run_lineup_with(s, &ParallelConfig::sequential()).expect("ok"))
+            .collect();
+        let swept = sweep_scenarios(&[a.clone(), b.clone()], &ParallelConfig::with_threads(2));
+        for (i, res) in swept.into_iter().enumerate() {
+            let runs = res.expect("feasible");
+            assert_eq!(runs_to_csv(&runs), runs_to_csv(&seq[i]), "scenario {i}");
+        }
+    }
+}

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::coarsen::coarsen;
 use crate::graph::{EdgeWeight, Graph};
 use crate::initial::greedy_graph_growing;
+use crate::parallel::ParallelConfig;
 use crate::refine::{refine, RefineConfig};
 
 /// Tuning knobs for the multilevel bisection.
@@ -25,6 +26,10 @@ pub struct BisectConfig {
     pub tolerance: f64,
     /// RNG seed; the partitioner is fully deterministic given a seed.
     pub seed: u64,
+    /// Worker-thread budget for the recursive drivers. `threads = 1` (the
+    /// default) is the exact sequential reference path; any other setting
+    /// produces a byte-identical partition tree, just faster.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for BisectConfig {
@@ -35,6 +40,7 @@ impl Default for BisectConfig {
             refine_passes: 8,
             tolerance: 0.05,
             seed: 0x60_1d_10_c5,
+            parallel: ParallelConfig::default(),
         }
     }
 }

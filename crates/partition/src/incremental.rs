@@ -88,7 +88,7 @@ pub fn incremental_repartition<F>(
     config: &BisectConfig,
 ) -> Result<IncrementalResult, PartitionError>
 where
-    F: Fn(&VertexWeight) -> bool,
+    F: Fn(&VertexWeight) -> bool + Sync,
 {
     let n = graph.vertex_count();
     let tree = recursive_bisect(graph, &fits, config)?;

@@ -14,6 +14,9 @@
 //! - [`partition_kway`]: balanced k-way partitioning via recursive bisection.
 //! - [`incremental_repartition`]: the migration-stability extension the paper
 //!   leaves as future work.
+//! - [`ParallelConfig`]: scoped-thread parallelism for the recursive drivers
+//!   — independent subgraph branches fork above a size threshold with
+//!   depth-derived seeds, producing byte-identical trees to `threads = 1`.
 //!
 //! ## Example
 //!
@@ -51,6 +54,7 @@ mod error;
 mod graph;
 mod incremental;
 mod initial;
+mod parallel;
 mod quality;
 mod recursive;
 mod refine;
@@ -62,6 +66,7 @@ pub use error::PartitionError;
 pub use graph::{EdgeWeight, Graph, GraphBuilder, VertexId, VertexWeight};
 pub use incremental::{incremental_repartition, relabel_to_minimize_moves, IncrementalResult};
 pub use initial::{greedy_graph_growing, Bisection};
+pub use parallel::ParallelConfig;
 pub use quality::{partition_quality, PartitionQuality};
 pub use recursive::{partition_kway, recursive_bisect, PartitionTree};
 pub use refine::{refine, RefineConfig, RefineResult};

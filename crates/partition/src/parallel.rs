@@ -1,0 +1,102 @@
+//! Parallel-execution knobs for the recursive partitioners.
+//!
+//! The recursive drivers ([`crate::recursive_bisect`] and
+//! [`crate::partition_kway`]) fork *independent* subgraph branches onto
+//! scoped worker threads. Every branch's RNG stream is derived from the
+//! parent seed exactly as in the sequential path (the seed mix depends only
+//! on depth and branch position, never on scheduling), and both children are
+//! joined back in fixed left-then-right order — so the partition tree is
+//! byte-identical to the `threads = 1` reference run.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallelism configuration threaded through [`crate::BisectConfig`] (and
+/// from there through `GoldilocksConfig`).
+///
+/// `threads = 1` is the exact legacy sequential path: no scope is ever
+/// created and the call graph is identical to the pre-parallel code.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Worker-thread budget. The recursion forks until roughly this many
+    /// branches can run concurrently (it forks for `ceil(log2(threads))`
+    /// levels); `0` is treated as `1`.
+    pub threads: usize,
+    /// A branch is only forked while the node still covers at least this
+    /// many vertices — below the threshold thread spawn overhead outweighs
+    /// the split work.
+    pub min_parallel_vertices: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            min_parallel_vertices: 512,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Sequential reference configuration (`threads = 1`).
+    pub fn sequential() -> Self {
+        ParallelConfig::default()
+    }
+
+    /// Uses every hardware thread the OS reports (falls back to 1).
+    pub fn auto() -> Self {
+        ParallelConfig {
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// A configuration with an explicit thread budget.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// How many recursion levels may fork so that about `threads` branches
+    /// run concurrently: `ceil(log2(threads))`.
+    pub(crate) fn fork_levels(&self) -> u32 {
+        let t = self.threads.max(1);
+        usize::BITS - (t - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        let p = ParallelConfig::default();
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.fork_levels(), 0);
+    }
+
+    #[test]
+    fn fork_levels_cover_thread_budget() {
+        for (threads, levels) in [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (16, 4)] {
+            let p = ParallelConfig::with_threads(threads);
+            assert_eq!(p.fork_levels(), levels, "threads {threads}");
+            assert!(1usize << p.fork_levels() >= threads);
+        }
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let p = ParallelConfig {
+            threads: 0,
+            ..ParallelConfig::default()
+        };
+        assert_eq!(p.fork_levels(), 0);
+    }
+
+    #[test]
+    fn auto_reports_at_least_one() {
+        assert!(ParallelConfig::auto().threads >= 1);
+    }
+}

@@ -13,7 +13,7 @@ use crate::error::PartitionError;
 use crate::graph::{Graph, VertexId, VertexWeight};
 
 /// A node in the recursive-bisection tree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PartitionTree {
     /// Vertex ids (in the original graph) covered by this node.
     pub vertices: Vec<VertexId>,
@@ -86,6 +86,13 @@ impl PartitionTree {
 /// Recursively bisects `graph` until every leaf satisfies `fits` on its
 /// aggregate weight.
 ///
+/// When `config.parallel.threads > 1`, independent subgraph branches larger
+/// than `config.parallel.min_parallel_vertices` are forked onto scoped
+/// worker threads. Each branch's bisection seed is derived from the parent
+/// seed and its depth exactly as in the sequential path, and children are
+/// joined back left-then-right, so the returned tree is byte-identical to
+/// the `threads = 1` run.
+///
 /// # Errors
 ///
 /// Returns [`PartitionError::EmptyGraph`] for empty input and
@@ -97,7 +104,7 @@ pub fn recursive_bisect<F>(
     config: &BisectConfig,
 ) -> Result<PartitionTree, PartitionError>
 where
-    F: Fn(&VertexWeight) -> bool,
+    F: Fn(&VertexWeight) -> bool + Sync,
 {
     if graph.vertex_count() == 0 {
         return Err(PartitionError::EmptyGraph);
@@ -109,7 +116,14 @@ where
         }
     }
     let all: Vec<VertexId> = (0..graph.vertex_count()).collect();
-    Ok(recurse(graph, &all, &fits, config, 0))
+    Ok(recurse(
+        graph,
+        &all,
+        &fits,
+        config,
+        0,
+        config.parallel.fork_levels(),
+    ))
 }
 
 fn recurse<F>(
@@ -118,9 +132,10 @@ fn recurse<F>(
     fits: &F,
     config: &BisectConfig,
     depth: usize,
+    fork_levels: u32,
 ) -> PartitionTree
 where
-    F: Fn(&VertexWeight) -> bool,
+    F: Fn(&VertexWeight) -> bool + Sync,
 {
     let weight = original.subset_weight(vertices);
     if fits(&weight) || vertices.len() == 1 {
@@ -151,8 +166,40 @@ where
     };
     let left_ids: Vec<VertexId> = zero.iter().map(|&i| mapping[i]).collect();
     let right_ids: Vec<VertexId> = one.iter().map(|&i| mapping[i]).collect();
-    let left = recurse(original, &left_ids, fits, config, depth + 1);
-    let right = recurse(original, &right_ids, fits, config, depth + 1);
+    // Branches operate on disjoint vertex sets and carry depth-derived
+    // seeds, so forking them changes nothing but wall-clock time. The join
+    // order (left, then right) is fixed regardless of completion order.
+    let (left, right) =
+        if fork_levels > 0 && vertices.len() >= config.parallel.min_parallel_vertices {
+            crossbeam::thread::scope(|s| {
+                let l = s.spawn(|_| {
+                    recurse(
+                        original,
+                        &left_ids,
+                        fits,
+                        config,
+                        depth + 1,
+                        fork_levels - 1,
+                    )
+                });
+                let right = recurse(
+                    original,
+                    &right_ids,
+                    fits,
+                    config,
+                    depth + 1,
+                    fork_levels - 1,
+                );
+                let left = l.join().expect("bisection branch panicked");
+                (left, right)
+            })
+            .expect("bisection scope")
+        } else {
+            (
+                recurse(original, &left_ids, fits, config, depth + 1, fork_levels),
+                recurse(original, &right_ids, fits, config, depth + 1, fork_levels),
+            )
+        };
     PartitionTree {
         vertices: vertices.to_vec(),
         weight,
@@ -164,7 +211,10 @@ where
 /// Partitions `graph` into exactly `k` balanced parts by recursive bisection
 /// with proportional fractions (the standard METIS k-way driver).
 ///
-/// Returns a per-vertex part id in `0..k`.
+/// Returns a per-vertex part id in `0..k`. As with [`recursive_bisect`],
+/// `config.parallel` forks independent branches above the size threshold;
+/// branch seeds mix only depth and part base, so the labeling is
+/// byte-identical to the sequential run.
 ///
 /// # Errors
 ///
@@ -182,26 +232,35 @@ pub fn partition_kway(
             vertices: n,
         });
     }
-    let mut part = vec![0usize; n];
     let all: Vec<VertexId> = (0..n).collect();
-    kway_recurse(graph, &all, k, 0, config, &mut part, 0);
-    Ok(part)
+    // The root call covers vertex `i` at position `i`, so the positional
+    // labels are already the per-vertex part ids.
+    Ok(kway_recurse(
+        graph,
+        &all,
+        k,
+        0,
+        config,
+        0,
+        config.parallel.fork_levels(),
+    ))
 }
 
+/// Returns the part id of each vertex in `vertices`, positionally (the
+/// return value is parallel to `vertices`). Pure function of its inputs —
+/// parallel branches write no shared state, so forking cannot reorder or
+/// race anything.
 fn kway_recurse(
     original: &Graph,
     vertices: &[VertexId],
     k: usize,
     base: usize,
     config: &BisectConfig,
-    part: &mut [usize],
     depth: usize,
-) {
+    fork_levels: u32,
+) -> Vec<usize> {
     if k == 1 {
-        for &v in vertices {
-            part[v] = base;
-        }
-        return;
+        return vec![base; vertices.len()];
     }
     let kl = k / 2;
     let kr = k - kl;
@@ -217,22 +276,80 @@ fn kway_recurse(
         // Degenerate: force an index split so each side keeps >= its k.
         let mid = vertices.len() * kl / k;
         (
-            (0..mid.max(kl)).collect(),
-            (mid.max(kl)..vertices.len()).collect(),
+            (0..mid.max(kl)).collect::<Vec<_>>(),
+            (mid.max(kl)..vertices.len()).collect::<Vec<_>>(),
         )
     } else {
         (zero, one)
     };
     let left_ids: Vec<VertexId> = zero.iter().map(|&i| mapping[i]).collect();
     let right_ids: Vec<VertexId> = one.iter().map(|&i| mapping[i]).collect();
-    kway_recurse(original, &left_ids, kl, base, config, part, depth + 1);
-    kway_recurse(original, &right_ids, kr, base + kl, config, part, depth + 1);
+    let (left, right) =
+        if fork_levels > 0 && vertices.len() >= config.parallel.min_parallel_vertices {
+            crossbeam::thread::scope(|s| {
+                let l = s.spawn(|_| {
+                    kway_recurse(
+                        original,
+                        &left_ids,
+                        kl,
+                        base,
+                        config,
+                        depth + 1,
+                        fork_levels - 1,
+                    )
+                });
+                let right = kway_recurse(
+                    original,
+                    &right_ids,
+                    kr,
+                    base + kl,
+                    config,
+                    depth + 1,
+                    fork_levels - 1,
+                );
+                let left = l.join().expect("k-way branch panicked");
+                (left, right)
+            })
+            .expect("k-way scope")
+        } else {
+            (
+                kway_recurse(
+                    original,
+                    &left_ids,
+                    kl,
+                    base,
+                    config,
+                    depth + 1,
+                    fork_levels,
+                ),
+                kway_recurse(
+                    original,
+                    &right_ids,
+                    kr,
+                    base + kl,
+                    config,
+                    depth + 1,
+                    fork_levels,
+                ),
+            )
+        };
+    // `zero`/`one` are local indices into `vertices` (the subgraph mapping
+    // preserves slice order), so scatter the branch labels back by position.
+    let mut out = vec![0usize; vertices.len()];
+    for (j, &i) in zero.iter().enumerate() {
+        out[i] = left[j];
+    }
+    for (j, &i) in one.iter().enumerate() {
+        out[i] = right[j];
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::{GraphBuilder, VertexWeight};
+    use crate::parallel::ParallelConfig;
 
     /// 4 cliques of 4 unit-weight vertices, ring-connected.
     fn clique_ring() -> Graph {
@@ -365,6 +482,61 @@ mod tests {
             partition_kway(&g, 17, &BisectConfig::default()),
             Err(PartitionError::InvalidPartCount { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_tree_is_byte_identical_to_sequential() {
+        let g = clique_ring();
+        let cap = VertexWeight::new([4.5]);
+        let seq = recursive_bisect(&g, |w| w.fits_within(&cap), &BisectConfig::default()).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let cfg = BisectConfig {
+                parallel: ParallelConfig {
+                    threads,
+                    min_parallel_vertices: 2,
+                },
+                ..BisectConfig::default()
+            };
+            let par = recursive_bisect(&g, |w| w.fits_within(&cap), &cfg).unwrap();
+            assert_eq!(seq, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_kway_is_byte_identical_to_sequential() {
+        let g = clique_ring();
+        for k in [2, 3, 4, 5, 7] {
+            let seq = partition_kway(&g, k, &BisectConfig::default()).unwrap();
+            for threads in [2, 4, 8] {
+                let cfg = BisectConfig {
+                    parallel: ParallelConfig {
+                        threads,
+                        min_parallel_vertices: 2,
+                    },
+                    ..BisectConfig::default()
+                };
+                let par = partition_kway(&g, k, &cfg).unwrap();
+                assert_eq!(seq, par, "k {k} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_gates_forking_without_changing_results() {
+        // A threshold larger than the graph forces the sequential path even
+        // with a big thread budget; results must still match.
+        let g = clique_ring();
+        let cap = VertexWeight::new([4.5]);
+        let seq = recursive_bisect(&g, |w| w.fits_within(&cap), &BisectConfig::default()).unwrap();
+        let cfg = BisectConfig {
+            parallel: ParallelConfig {
+                threads: 16,
+                min_parallel_vertices: 10_000,
+            },
+            ..BisectConfig::default()
+        };
+        let gated = recursive_bisect(&g, |w| w.fits_within(&cap), &cfg).unwrap();
+        assert_eq!(seq, gated);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use goldilocks_partition::{
     incremental_repartition, multilevel_bisect, partition_kway, recursive_bisect, refine,
-    BalanceTracker, BisectConfig, Graph, GraphBuilder, RefineConfig, VertexWeight,
+    BalanceTracker, BisectConfig, Graph, GraphBuilder, ParallelConfig, RefineConfig, VertexWeight,
 };
 use proptest::prelude::*;
 
@@ -116,6 +116,55 @@ proptest! {
         let inc = incremental_repartition(&g, &old, |w| w.fits_within(&capacity), 0.5, &cfg)
             .unwrap();
         prop_assert!(inc.moved.is_empty(), "moved {:?}", inc.moved);
+    }
+
+    /// Parallel recursive bisection is byte-identical to sequential for any
+    /// graph shape, thread count, and fork threshold — the core determinism
+    /// property of the parallel engine. The threshold range deliberately
+    /// straddles the graph sizes so some cases fork at every level, some
+    /// never fork, and some fork only near the root.
+    #[test]
+    fn parallel_bisect_equals_sequential(
+        g in arb_graph(50),
+        cap in 6.0f64..20.0,
+        threads in 2usize..9,
+        min_parallel in 0usize..80,
+    ) {
+        let capacity = VertexWeight::new([cap]);
+        let seq = recursive_bisect(&g, |w| w.fits_within(&capacity), &BisectConfig::default())
+            .expect("all vertices fit");
+        let cfg = BisectConfig {
+            parallel: ParallelConfig {
+                min_parallel_vertices: min_parallel,
+                ..ParallelConfig::with_threads(threads)
+            },
+            ..BisectConfig::default()
+        };
+        let par = recursive_bisect(&g, |w| w.fits_within(&capacity), &cfg)
+            .expect("all vertices fit");
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Parallel k-way labeling is byte-identical to sequential under the
+    /// same randomized graph / threshold sweep.
+    #[test]
+    fn parallel_kway_equals_sequential(
+        g in arb_graph(40),
+        k in 2usize..6,
+        threads in 2usize..9,
+        min_parallel in 0usize..60,
+    ) {
+        prop_assume!(k <= g.vertex_count());
+        let seq = partition_kway(&g, k, &BisectConfig::default()).unwrap();
+        let cfg = BisectConfig {
+            parallel: ParallelConfig {
+                min_parallel_vertices: min_parallel,
+                ..ParallelConfig::with_threads(threads)
+            },
+            ..BisectConfig::default()
+        };
+        let par = partition_kway(&g, k, &cfg).unwrap();
+        prop_assert_eq!(par, seq);
     }
 
     /// Subgraph extraction preserves weights and internal edge structure.

@@ -4,6 +4,7 @@
 
 use goldilocks_cluster::{migration_plan, MigrationModel};
 use goldilocks_core::{Goldilocks, GoldilocksAsym, GoldilocksConfig, IncrementalGoldilocks};
+use goldilocks_partition::ParallelConfig;
 use goldilocks_placement::{Borg, EPvm, Mpp, PlaceError, Placement, Placer, RcInformed};
 use goldilocks_power::ServerPowerModel;
 use goldilocks_topology::DcTree;
@@ -43,6 +44,26 @@ impl Policy {
             Policy::RcInformed,
             Policy::Goldilocks(GoldilocksConfig::paper()),
         ]
+    }
+
+    /// Returns a copy with the partitioner's parallelism set on the
+    /// Goldilocks variants (the other policies have no partitioner and come
+    /// back unchanged). Injecting parallelism never changes a placement —
+    /// the partition tree is byte-identical for any thread count.
+    pub fn with_parallel(&self, parallel: &ParallelConfig) -> Policy {
+        let inject = |cfg: &GoldilocksConfig| {
+            let mut cfg = cfg.clone();
+            cfg.bisect.parallel = parallel.clone();
+            cfg
+        };
+        match self {
+            Policy::Goldilocks(cfg) => Policy::Goldilocks(inject(cfg)),
+            Policy::GoldilocksAsym(cfg) => Policy::GoldilocksAsym(inject(cfg)),
+            Policy::GoldilocksIncremental(cfg, sticky) => {
+                Policy::GoldilocksIncremental(inject(cfg), *sticky)
+            }
+            other => other.clone(),
+        }
     }
 
     /// Display name.
@@ -413,16 +434,70 @@ pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, Pla
     })
 }
 
-/// Runs the full Section VI lineup over a scenario.
+/// Runs the full Section VI lineup over a scenario, sequentially (the
+/// reference path; equivalent to [`run_lineup_with`] at `threads = 1`).
 ///
 /// # Errors
 ///
 /// Propagates the first policy failure.
 pub fn run_lineup(scenario: &Scenario) -> Result<Vec<PolicyRun>, PlaceError> {
-    Policy::lineup()
-        .iter()
-        .map(|p| run_policy(scenario, p))
-        .collect()
+    run_lineup_with(scenario, &ParallelConfig::sequential())
+}
+
+/// Runs the full Section VI lineup over a scenario with the given thread
+/// budget. See [`run_policies_with`] for the execution and determinism
+/// contract.
+///
+/// # Errors
+///
+/// Propagates the first policy failure in lineup order.
+pub fn run_lineup_with(
+    scenario: &Scenario,
+    parallel: &ParallelConfig,
+) -> Result<Vec<PolicyRun>, PlaceError> {
+    run_policies_with(scenario, &Policy::lineup(), parallel)
+}
+
+/// Runs several policies over a scenario, fanning them out over scoped
+/// worker threads and joining results back in the caller's policy order.
+///
+/// Determinism contract: each [`run_policy`] call is a pure function of
+/// `(scenario, policy)` — policies share no mutable state — so the only
+/// thing parallelism could perturb is ordering, and the join order is fixed.
+/// Every policy worker also receives the full inner thread budget for its
+/// partitioner (`Policy::with_parallel`): the heuristic baselines never fork,
+/// and the Goldilocks-family partition phase dominates lineup wall-clock, so
+/// splitting the budget per policy would starve the one phase that scales.
+/// The transient oversubscription (lineup size + partition forks vs
+/// `threads`) is bounded and cheap for CPU-bound workers, and the partition
+/// output is byte-identical at any thread count. `threads = 1` takes the
+/// exact legacy sequential path with no scope creation.
+///
+/// # Errors
+///
+/// Propagates the first policy failure in the caller's policy order.
+pub fn run_policies_with(
+    scenario: &Scenario,
+    policies: &[Policy],
+    parallel: &ParallelConfig,
+) -> Result<Vec<PolicyRun>, PlaceError> {
+    let threads = parallel.threads.max(1);
+    if threads == 1 || policies.len() <= 1 {
+        return policies.iter().map(|p| run_policy(scenario, p)).collect();
+    }
+    let policies: Vec<Policy> = policies.iter().map(|p| p.with_parallel(parallel)).collect();
+    let results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = policies
+            .iter()
+            .map(|p| s.spawn(move |_| run_policy(scenario, p)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("policy worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("lineup scope");
+    results.into_iter().collect()
 }
 
 #[cfg(test)]

@@ -45,6 +45,10 @@ pub mod summary;
 
 pub use chaos::{run_chaos, ChaosRun, FaultPlan, FaultPlanConfig, FaultSchedule};
 pub use energy::{meter, PowerConfig, PowerSample};
-pub use epoch::{run_lineup, run_policy, EpochRecord, EpochSpec, Policy, PolicyRun, Scenario};
+pub use epoch::{
+    run_lineup, run_lineup_with, run_policies_with, run_policy, EpochRecord, EpochSpec, Policy,
+    PolicyRun, Scenario,
+};
+pub use goldilocks_partition::ParallelConfig;
 pub use latency::{flow_tcts_ms, link_loads, mean_tct_ms, tct_percentile_ms, LatencyModel};
 pub use summary::{normalized_to, power_saving_vs, summarize, total_energy_kwh, PolicySummary};

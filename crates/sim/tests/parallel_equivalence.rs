@@ -1,0 +1,127 @@
+//! Equivalence harness for the parallel lineup engine: for every scenario
+//! family, several seeds, and a spread of thread counts, the parallel
+//! engine's reports and placements must be **byte-identical** to the
+//! `threads = 1` reference path. Any divergence is a determinism bug, so
+//! these tests compare serialized output (`runs_to_csv`) and full
+//! `Placement` values — not summaries or tolerances.
+
+use goldilocks_core::{Goldilocks, GoldilocksConfig};
+use goldilocks_placement::Placer;
+use goldilocks_sim::epoch::{epoch_workload, run_lineup_with, run_policies_with, Policy, Scenario};
+use goldilocks_sim::report::runs_to_csv;
+use goldilocks_sim::scenarios::{azure_testbed, largescale, wiki_testbed};
+use goldilocks_sim::ParallelConfig;
+
+/// Thread counts exercised against the sequential reference. 2 forks one
+/// level, 4 forks two, 8 forks three (deeper than the lineup is wide, so
+/// the leftover budget reaches the partitioner).
+const THREADS: &[usize] = &[2, 4, 8];
+
+/// A parallel config that actually forks on testbed-sized graphs: the
+/// default `min_parallel_vertices` (512) would gate every fork off at
+/// test scale and the comparison would be vacuous.
+fn forking(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        min_parallel_vertices: 2,
+        ..ParallelConfig::with_threads(threads)
+    }
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    vec![
+        wiki_testbed(5, 60, seed),
+        azure_testbed(5, seed),
+        largescale(4, 5, seed),
+    ]
+}
+
+#[test]
+fn lineup_reports_are_byte_identical_across_thread_counts() {
+    for seed in [7, 42, 1234] {
+        for scenario in scenarios(seed) {
+            let reference = run_lineup_with(&scenario, &ParallelConfig::sequential())
+                .expect("sequential lineup is feasible");
+            let reference_csv = runs_to_csv(&reference);
+            for &threads in THREADS {
+                let runs = run_lineup_with(&scenario, &forking(threads))
+                    .expect("parallel lineup is feasible");
+                assert_eq!(
+                    runs_to_csv(&runs),
+                    reference_csv,
+                    "lineup diverged on {} (seed {seed}, {threads} threads)",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_subsets_preserve_caller_order_and_results() {
+    let scenario = wiki_testbed(4, 50, 42);
+    // A deliberately shuffled subset: join order must follow the caller's
+    // order, not completion order.
+    let subset = [
+        Policy::Goldilocks(GoldilocksConfig::paper()),
+        Policy::EPvm,
+        Policy::Borg,
+    ];
+    let reference = run_policies_with(&scenario, &subset, &ParallelConfig::sequential())
+        .expect("sequential subset is feasible");
+    for &threads in THREADS {
+        let runs = run_policies_with(&scenario, &subset, &forking(threads))
+            .expect("parallel subset is feasible");
+        let names: Vec<&str> = runs.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Goldilocks", "E-PVM", "Borg"],
+            "join order must match the caller's policy order"
+        );
+        assert_eq!(runs_to_csv(&runs), runs_to_csv(&reference));
+    }
+}
+
+#[test]
+fn goldilocks_placements_are_identical_across_thread_counts() {
+    for seed in [7, 42] {
+        for scenario in scenarios(seed) {
+            for epoch in [0, scenario.epochs.len() - 1] {
+                let w = epoch_workload(&scenario, epoch);
+                let mut cfg = GoldilocksConfig::paper();
+                cfg.bisect.parallel = ParallelConfig::sequential();
+                let reference = Goldilocks::with_config(cfg)
+                    .place(&w, &scenario.tree)
+                    .expect("sequential placement is feasible");
+                for &threads in THREADS {
+                    let mut cfg = GoldilocksConfig::paper();
+                    cfg.bisect.parallel = forking(threads);
+                    let placement = Goldilocks::with_config(cfg)
+                        .place(&w, &scenario.tree)
+                        .expect("parallel placement is feasible");
+                    assert_eq!(
+                        placement, reference,
+                        "placement diverged on {} epoch {epoch} (seed {seed}, {threads} threads)",
+                        scenario.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threads_one_with_low_threshold_is_the_exact_legacy_path() {
+    // threads = 1 must never fork regardless of the threshold — it is the
+    // reference semantics, not just "parallelism that happens to be narrow".
+    let scenario = azure_testbed(4, 7);
+    let legacy = run_lineup_with(&scenario, &ParallelConfig::sequential()).expect("feasible");
+    let pinned = run_lineup_with(
+        &scenario,
+        &ParallelConfig {
+            min_parallel_vertices: 0,
+            ..ParallelConfig::with_threads(1)
+        },
+    )
+    .expect("feasible");
+    assert_eq!(runs_to_csv(&pinned), runs_to_csv(&legacy));
+}

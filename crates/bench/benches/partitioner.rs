@@ -4,9 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goldilocks_partition::{
-    multilevel_bisect, partition_kway, recursive_bisect, BisectConfig, VertexWeight,
+    coarsen, contract_heavy_edge_matching, multilevel_bisect, partition_kway, recursive_bisect,
+    refine, BisectConfig, PartitionWorkspace, RefineConfig, VertexWeight,
 };
 use goldilocks_workload::mstrace::{search_trace, snapshot, SearchTraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn trace_graph(vertices: usize) -> goldilocks_partition::Graph {
     let w = search_trace(&SearchTraceConfig {
@@ -48,9 +51,70 @@ fn bench_recursive(c: &mut Criterion) {
     });
 }
 
+/// The CSR-native subgraph extraction in isolation: half the vertices (every
+/// other id) pulled from a 1k/4k-vertex trace graph through a warm workspace.
+fn bench_subgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_half");
+    for n in [1000usize, 4000] {
+        let graph = trace_graph(n);
+        let subset: Vec<usize> = (0..graph.vertex_count()).step_by(2).collect();
+        let mut ws = PartitionWorkspace::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| g.subgraph_in(&subset, &mut ws))
+        });
+    }
+    group.finish();
+}
+
+/// One full coarsening hierarchy (to 64 vertices) plus a single contraction
+/// at 1k/4k scale — the phase that used to rebuild every level through a
+/// `BTreeMap` builder.
+fn bench_coarsen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsen_to_64");
+    for n in [1000usize, 4000] {
+        let graph = trace_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                coarsen(g, 64, &mut rng)
+            })
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("contract_one_level");
+    for n in [1000usize, 4000] {
+        let graph = trace_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                contract_heavy_edge_matching(g, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// FM refinement of an alternating assignment at 1k/4k scale.
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine_alternating");
+    for n in [1000usize, 4000] {
+        let graph = trace_graph(n);
+        let side: Vec<u8> = (0..graph.vertex_count()).map(|v| (v % 2) as u8).collect();
+        let cfg = RefineConfig {
+            tolerance: 0.1,
+            ..RefineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| refine(g, &side, &cfg))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_bisect, bench_kway, bench_recursive
+    targets = bench_bisect, bench_kway, bench_recursive, bench_subgraph, bench_coarsen,
+        bench_refine
 }
 criterion_main!(benches);

@@ -7,7 +7,9 @@
 //! Usage: `bench_lineup [--threads N] [--epochs E]` (defaults: all hardware
 //! threads, 20 epochs).
 
-use goldilocks_bench::runner::{parallel_from_args, timed_lineup, write_bench_json};
+use goldilocks_bench::runner::{
+    parallel_from_args, timed_lineup_with_baseline, write_bench_json, BaselinePerf,
+};
 use goldilocks_sim::report::{fmt, render_table};
 use goldilocks_sim::scenarios::{azure_testbed, wiki_testbed};
 
@@ -26,9 +28,27 @@ fn main() {
     );
 
     let scenarios = [wiki_testbed(epochs, 176, 42), azure_testbed(epochs, 42)];
+    // Pre-workspace (PR 3) single-thread references for the default 20-epoch
+    // testbeds; skipped when a custom epoch count changes the workload.
+    let baselines = [
+        BaselinePerf {
+            sequential_s: 0.0203,
+            partition_s: 0.00047,
+        },
+        BaselinePerf {
+            sequential_s: 0.0401,
+            partition_s: 0.00114,
+        },
+    ];
     let mut benches = Vec::new();
-    for (name, scenario) in ["lineup-wiki", "lineup-azure"].iter().zip(&scenarios) {
-        let (_, bench) = timed_lineup(name, scenario, &parallel).expect("scenario is feasible");
+    for ((name, scenario), baseline) in ["lineup-wiki", "lineup-azure"]
+        .iter()
+        .zip(&scenarios)
+        .zip(baselines)
+    {
+        let baseline = (epochs == 20).then_some(baseline);
+        let (_, bench) = timed_lineup_with_baseline(name, scenario, &parallel, baseline)
+            .expect("scenario is feasible");
         benches.push(bench);
     }
 

@@ -9,15 +9,18 @@
 //! are byte-identical before writing `results/BENCH_fig13.json` with both
 //! timings.
 
-use goldilocks_bench::runner::{parallel_from_args, timed_lineup, write_bench_json};
+use goldilocks_bench::runner::{
+    parallel_from_args, timed_lineup_sweep, timed_lineup_with_baseline, write_bench_json,
+    BaselinePerf,
+};
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::largescale;
 use goldilocks_sim::summary::{normalized_to, power_saving_vs, summarize};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let explicit_threads = std::env::args().any(|a| a == "--threads");
     let (k, epochs) = if full { (28, 88) } else { (12, 24) };
-    let parallel = parallel_from_args();
     let scenario = largescale(k, epochs, 42);
     println!(
         "== Fig. 13: {} — {} servers, {} switches, {} containers, {} epochs ==",
@@ -31,16 +34,44 @@ fn main() {
         println!("(reduced scale; run with --full for the paper's 28-ary / 5488-server setup)\n");
     }
 
-    let (runs, bench) = timed_lineup("fig13", &scenario, &parallel).expect("scenario is feasible");
-    println!(
-        "(lineup: sequential {:.2} s, {} threads {:.2} s, speedup {:.2}x, byte-identical: {})\n",
-        bench.sequential_s,
-        bench.threads,
-        bench.parallel_s,
-        bench.speedup(),
-        bench.byte_identical
-    );
-    if write_bench_json("results/BENCH_fig13.json", std::slice::from_ref(&bench)).is_ok() {
+    // Pre-workspace (PR 3) single-thread reference for the default k=12
+    // scenario; the full-scale run has no recorded baseline.
+    let baseline = (!full).then_some(BaselinePerf {
+        sequential_s: 27.3102,
+        partition_s: 0.75220,
+    });
+    // Default run: sweep the parallel lineup across the standard thread
+    // budgets so one JSON proves byte-identity at every count. An explicit
+    // `--threads N` (or `--full`) times just that configuration.
+    let (runs, benches) = if full || explicit_threads {
+        let (runs, bench) =
+            timed_lineup_with_baseline("fig13", &scenario, &parallel_from_args(), baseline)
+                .expect("scenario is feasible");
+        (runs, vec![bench])
+    } else {
+        timed_lineup_sweep("fig13", &scenario, &[1, 2, 4, 8], baseline)
+            .expect("scenario is feasible")
+    };
+    for bench in &benches {
+        println!(
+            "(lineup: sequential {:.2} s, {} threads {:.2} s, speedup {:.2}x, byte-identical: {})",
+            bench.sequential_s,
+            bench.threads,
+            bench.parallel_s,
+            bench.speedup(),
+            bench.byte_identical
+        );
+    }
+    if let (Some(seq), Some(part)) = (
+        benches[0].sequential_speedup_vs_baseline(),
+        benches[0].partition_speedup_vs_baseline(),
+    ) {
+        println!(
+            "(vs pre-workspace baseline: lineup {seq:.2}x, epoch-0 partition phase {part:.2}x)"
+        );
+    }
+    println!();
+    if write_bench_json("results/BENCH_fig13.json", &benches).is_ok() {
         println!("(perf record written to results/BENCH_fig13.json)\n");
     }
 

@@ -1,0 +1,75 @@
+//! Partition-phase micro-harness: repeatedly runs `partition_into_groups`
+//! on the fig13 epoch-0 container graph and prints per-iteration timings.
+//!
+//! The fig13 lineup runs five policies plus metering, so profiling it mixes
+//! the partitioner with baseline-policy heaps and latency bookkeeping. This
+//! binary isolates exactly the phase `BENCH_fig13.json` records as
+//! `partition_s`, for stable before/after comparisons and clean profiles:
+//!
+//! ```sh
+//! cargo run --release --bin partition_hotloop -- --iters 20
+//! ```
+
+use std::time::Instant;
+
+use goldilocks_core::{partition_into_groups, GoldilocksConfig};
+use goldilocks_partition::VertexWeight;
+use goldilocks_sim::epoch::epoch_workload;
+use goldilocks_sim::scenarios::largescale;
+use goldilocks_topology::Resources;
+
+fn main() {
+    let mut iters = 10usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--iters" {
+            iters = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--iters takes a positive integer");
+        }
+    }
+
+    let scenario = largescale(12, 1, 42);
+    let cfg = GoldilocksConfig::paper();
+    let w = epoch_workload(&scenario, 0);
+    let graph = w
+        .container_graph(cfg.anti_affinity_weight)
+        .expect("fig13 workload builds a valid container graph");
+
+    let min_cap = scenario
+        .tree
+        .healthy_servers()
+        .iter()
+        .map(|s| scenario.tree.server(*s).resources)
+        .fold(None::<Resources>, |acc, r| match acc {
+            None => Some(r),
+            Some(a) => Some(Resources::new(
+                a.cpu.min(r.cpu),
+                a.memory_gb.min(r.memory_gb),
+                a.network_mbps.min(r.network_mbps),
+            )),
+        })
+        .expect("scenario has healthy servers");
+    let cap = cfg.cap_resources(&min_cap);
+    let cap_weight = VertexWeight::new(cap.as_array().to_vec());
+
+    println!(
+        "partition_hotloop: {} vertices, {} iterations",
+        graph.vertex_count(),
+        iters
+    );
+    let mut times = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let t = Instant::now();
+        let groups = partition_into_groups(&graph, &cap_weight, &cfg.bisect)
+            .expect("fig13 epoch-0 graph partitions");
+        let s = t.elapsed().as_secs_f64();
+        times.push(s);
+        println!("  iter {i}: {s:.5} s ({} groups)", groups.len());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = times[0];
+    let median = times[times.len() / 2];
+    println!("min {min:.5} s, median {median:.5} s");
+}

@@ -9,7 +9,9 @@
 //! (whose recursive splits use proportional fractions), then locally
 //! re-bisect any group that still overflows the cap.
 
-use goldilocks_partition::{partition_kway, recursive_bisect, BisectConfig, Graph, VertexWeight};
+use goldilocks_partition::{
+    partition_kway_in, recursive_bisect_in, BisectConfig, Graph, PartitionWorkspace, VertexWeight,
+};
 use goldilocks_placement::PlaceError;
 
 /// Partitions `graph` into locality-ordered groups whose aggregate weight
@@ -45,9 +47,12 @@ pub fn partition_into_groups(
     }
     let k = k.clamp(1, m);
 
-    let labels = partition_kway(graph, k, config).map_err(|e| PlaceError::Infeasible {
-        reason: format!("k-way partitioning: {e}"),
-    })?;
+    // One workspace serves the k-way pass and every local re-split below.
+    let mut ws = PartitionWorkspace::new();
+    let labels =
+        partition_kway_in(graph, k, config, &mut ws).map_err(|e| PlaceError::Infeasible {
+            reason: format!("k-way partitioning: {e}"),
+        })?;
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
     for (v, &g) in labels.iter().enumerate() {
         groups[g].push(v);
@@ -72,14 +77,18 @@ pub fn partition_into_groups(
             out.push(group);
             continue;
         }
-        let (sub, mapping) = graph.subgraph(&group);
-        let tree = recursive_bisect(&sub, |gw| gw.fits_within(cap), config).map_err(|e| {
-            PlaceError::Infeasible {
-                reason: format!("group re-split: {e}"),
-            }
-        })?;
+        // `repair_overflows` may have appended out-of-order vertices, so the
+        // group is not necessarily sorted; `subgraph_in` still yields sorted
+        // CSR rows and maps subgraph vertex `i` back to `group[i]`.
+        let sub = graph.subgraph_in(&group, &mut ws);
+        let tree =
+            recursive_bisect_in(&sub, |gw| gw.fits_within(cap), config, &mut ws).map_err(|e| {
+                PlaceError::Infeasible {
+                    reason: format!("group re-split: {e}"),
+                }
+            })?;
         for leaf in tree.leaves() {
-            out.push(leaf.vertices.iter().map(|&v| mapping[v]).collect());
+            out.push(leaf.vertices.iter().map(|&v| group[v]).collect());
         }
     }
     Ok(out)

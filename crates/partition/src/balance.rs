@@ -9,6 +9,14 @@
 use crate::graph::{Graph, VertexWeight};
 
 /// Balance targets and live side-weight accounting for a 2-way partition.
+///
+/// Derived per-dimension quantities (side targets and feasibility caps) are
+/// products of immutable inputs, so they are computed once at construction
+/// — with the same association order the per-call arithmetic used, keeping
+/// every value bit-identical — instead of being re-multiplied on each of
+/// the hundreds of thousands of feasibility checks an FM pass performs.
+/// The per-side relative loads are cached between moves (balance-rejected
+/// FM pops re-query them without changing any side weight).
 #[derive(Clone, Debug)]
 pub struct BalanceTracker {
     /// Total weight of the graph per dimension.
@@ -21,6 +29,14 @@ pub struct BalanceTracker {
     side0: VertexWeight,
     /// Current weight on side 1.
     side1: VertexWeight,
+    /// Derived per-dimension constants, one flat buffer to keep tracker
+    /// construction to a single extra allocation:
+    /// `[targets0 | targets1 | caps0 | caps1]`, each `dims` long, where
+    /// `targetsS[d] = total[d] * fracS` and `capsS[d] = targetsS[d] *
+    /// (1 + tolerance)`.
+    derived: Vec<f64>,
+    /// Lazily cached `(side_load(0), side_load(1))`; invalidated by moves.
+    loads: std::cell::Cell<Option<(f64, f64)>>,
 }
 
 impl BalanceTracker {
@@ -31,27 +47,45 @@ impl BalanceTracker {
         let mut side0 = VertexWeight::zeros(dims);
         let mut side1 = VertexWeight::zeros(dims);
         for (v, sv) in side.iter().enumerate().take(graph.vertex_count()) {
-            let w = graph.vertex_weight(v);
-            if *sv == 0 {
-                side0.add_assign(&w);
-            } else {
-                side1.add_assign(&w);
+            let w = graph.vertex_weight_slice(v);
+            let dst = if *sv == 0 { &mut side0 } else { &mut side1 };
+            for (d, c) in w.iter().enumerate() {
+                dst.0[d] += c;
             }
         }
         let total = graph.total_vertex_weight();
+        let mut derived = Vec::with_capacity(4 * dims);
+        for f in [frac, 1.0 - frac] {
+            for d in 0..dims {
+                derived.push(total.component(d) * f);
+            }
+        }
+        for s in 0..2 {
+            for d in 0..dims {
+                derived.push(derived[s * dims + d] * (1.0 + tolerance));
+            }
+        }
         BalanceTracker {
             total,
             frac,
             tolerance,
             side0,
             side1,
+            derived,
+            loads: std::cell::Cell::new(None),
         }
     }
 
+    /// Target weight of side `s` in dimension `d` (`total * frac_s`).
+    #[inline]
+    fn target(&self, s: u8, d: usize) -> f64 {
+        self.derived[s as usize * self.total.dims() + d]
+    }
+
     /// Upper bound on side `s`'s weight in dimension `d`.
+    #[inline]
     fn cap(&self, s: u8, d: usize) -> f64 {
-        let f = if s == 0 { self.frac } else { 1.0 - self.frac };
-        self.total.component(d) * f * (1.0 + self.tolerance)
+        self.derived[(2 + s as usize) * self.total.dims() + d]
     }
 
     /// Current weight of side `s`.
@@ -66,20 +100,37 @@ impl BalanceTracker {
     /// Whether moving vertex weight `w` from side `from` to the other side
     /// keeps the destination side within its cap in every dimension.
     pub fn move_keeps_feasible(&self, w: &VertexWeight, from: u8) -> bool {
+        self.move_keeps_feasible_slice(&w.0, from)
+    }
+
+    /// [`BalanceTracker::move_keeps_feasible`] on raw weight components —
+    /// the allocation-free form used by the FM inner loop with
+    /// [`crate::Graph::vertex_weight_slice`].
+    pub fn move_keeps_feasible_slice(&self, w: &[f64], from: u8) -> bool {
         let to = 1 - from;
         let dest = self.side_weight(to);
-        (0..w.dims()).all(|d| dest.component(d) + w.component(d) <= self.cap(to, d))
+        w.iter()
+            .enumerate()
+            .all(|(d, c)| dest.component(d) + c <= self.cap(to, d))
     }
 
     /// Applies a move of weight `w` from side `from` to the other side.
     pub fn apply_move(&mut self, w: &VertexWeight, from: u8) {
-        if from == 0 {
-            self.side0.sub_assign(w);
-            self.side1.add_assign(w);
+        self.apply_move_slice(&w.0, from);
+    }
+
+    /// [`BalanceTracker::apply_move`] on raw weight components.
+    pub fn apply_move_slice(&mut self, w: &[f64], from: u8) {
+        let (sub, add) = if from == 0 {
+            (&mut self.side0, &mut self.side1)
         } else {
-            self.side1.sub_assign(w);
-            self.side0.add_assign(w);
+            (&mut self.side1, &mut self.side0)
+        };
+        for (d, c) in w.iter().enumerate() {
+            sub.0[d] -= c;
+            add.0[d] += c;
         }
+        self.loads.set(None);
     }
 
     /// Maximum relative imbalance across both sides and all dimensions:
@@ -87,12 +138,11 @@ impl BalanceTracker {
     pub fn imbalance(&self) -> f64 {
         let mut worst: f64 = 0.0;
         for d in 0..self.total.dims() {
-            let t = self.total.component(d);
-            if t <= 0.0 {
+            if self.total.component(d) <= 0.0 {
                 continue;
             }
-            let t0 = t * self.frac;
-            let t1 = t * (1.0 - self.frac);
+            let t0 = self.target(0, d);
+            let t1 = self.target(1, d);
             if t0 > 0.0 {
                 worst = worst.max(self.side0.component(d) / t0 - 1.0);
             }
@@ -110,12 +160,32 @@ impl BalanceTracker {
 
     /// Relative load of side `s`: the worst per-dimension ratio of its
     /// current weight to its target weight. 1.0 = exactly on target.
+    ///
+    /// Both sides' loads are computed together and cached until the next
+    /// move; FM pops that get balance-rejected query them repeatedly
+    /// without moving anything.
     pub fn side_load(&self, s: u8) -> f64 {
-        let f = if s == 0 { self.frac } else { 1.0 - self.frac };
+        let (l0, l1) = match self.loads.get() {
+            Some(l) => l,
+            None => {
+                let l = (self.compute_load(0), self.compute_load(1));
+                self.loads.set(Some(l));
+                l
+            }
+        };
+        if s == 0 {
+            l0
+        } else {
+            l1
+        }
+    }
+
+    /// The uncached [`BalanceTracker::side_load`] computation.
+    fn compute_load(&self, s: u8) -> f64 {
         let side = self.side_weight(s);
         let mut worst: f64 = 0.0;
         for d in 0..self.total.dims() {
-            let t = self.total.component(d) * f;
+            let t = self.target(s, d);
             if t > 0.0 {
                 worst = worst.max(side.component(d) / t);
             }
@@ -126,6 +196,11 @@ impl BalanceTracker {
     /// The configured tolerance.
     pub fn tolerance(&self) -> f64 {
         self.tolerance
+    }
+
+    /// The configured side-0 weight fraction.
+    pub fn frac(&self) -> f64 {
+        self.frac
     }
 }
 

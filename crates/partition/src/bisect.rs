@@ -7,11 +7,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::coarsen::coarsen;
+use crate::coarsen::coarsen_in;
 use crate::graph::{EdgeWeight, Graph};
-use crate::initial::greedy_graph_growing;
+use crate::initial::greedy_graph_growing_in;
 use crate::parallel::ParallelConfig;
-use crate::refine::{refine, RefineConfig};
+use crate::refine::{refine_in_place, RefineConfig};
+use crate::workspace::PartitionWorkspace;
 
 /// Tuning knobs for the multilevel bisection.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -61,29 +62,48 @@ pub struct MultilevelBisection {
 ///
 /// Panics if the graph has fewer than 2 vertices.
 pub fn multilevel_bisect(graph: &Graph, frac: f64, config: &BisectConfig) -> MultilevelBisection {
+    let mut ws = PartitionWorkspace::new();
+    multilevel_bisect_in(graph, frac, config, &mut ws)
+}
+
+/// [`multilevel_bisect`] with a caller-provided [`PartitionWorkspace`] —
+/// repeated calls (e.g. every level of a recursion, every epoch of a run)
+/// reuse the same scratch buffers instead of reallocating them.
+pub fn multilevel_bisect_in(
+    graph: &Graph,
+    frac: f64,
+    config: &BisectConfig,
+    ws: &mut PartitionWorkspace,
+) -> MultilevelBisection {
+    bisect_with_seed(graph, frac, config, config.seed, ws)
+}
+
+/// The multilevel engine with the RNG seed passed explicitly, so recursive
+/// drivers can vary the seed per level without cloning the whole config.
+pub(crate) fn bisect_with_seed(
+    graph: &Graph,
+    frac: f64,
+    config: &BisectConfig,
+    seed: u64,
+    ws: &mut PartitionWorkspace,
+) -> MultilevelBisection {
     assert!(
         graph.vertex_count() >= 2,
         "cannot bisect a graph with {} vertices",
         graph.vertex_count()
     );
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
 
-    let hierarchy = coarsen(graph, config.coarsen_to, &mut rng);
-    let coarsest_owned;
-    let coarsest: &Graph = match hierarchy.coarsest() {
-        Some(g) => g,
-        None => {
-            coarsest_owned = graph.clone();
-            &coarsest_owned
-        }
-    };
+    let hierarchy = coarsen_in(graph, config.coarsen_to, &mut rng, &mut ws.coarsen);
+    let coarsest: &Graph = hierarchy.coarsest().unwrap_or(graph);
 
-    let initial = greedy_graph_growing(
+    let initial = greedy_graph_growing_in(
         coarsest,
         frac,
         config.tolerance,
         config.initial_trials,
         &mut rng,
+        &mut ws.initial,
     );
 
     let refine_cfg = RefineConfig {
@@ -93,8 +113,21 @@ pub fn multilevel_bisect(graph: &Graph, frac: f64, config: &BisectConfig) -> Mul
     };
 
     // Refine at the coarsest level, then project down level by level,
-    // refining after each projection.
-    let mut side = refine(coarsest, &initial.side, &refine_cfg).side;
+    // refining after each projection. `side` and the recycled projection
+    // buffer ping-pong via `mem::swap`, so uncoarsening allocates nothing.
+    // Contraction sums the edges between coarse vertices and projection
+    // keeps merged vertices on one side, so the cut value carries through
+    // every level exactly — each refine starts from the previous one's
+    // reported cut instead of an O(E) recomputation.
+    let mut side = initial.side;
+    let (mut cut, _) = refine_in_place(
+        coarsest,
+        &mut side,
+        &refine_cfg,
+        Some(initial.cut),
+        &mut ws.refine,
+    );
+    let mut spare = std::mem::take(&mut ws.projection);
     for i in (0..hierarchy.levels.len()).rev() {
         let finer: &Graph = if i == 0 {
             graph
@@ -102,14 +135,17 @@ pub fn multilevel_bisect(graph: &Graph, frac: f64, config: &BisectConfig) -> Mul
             &hierarchy.levels[i - 1].graph
         };
         let map = &hierarchy.levels[i].map;
-        let mut projected = vec![0u8; finer.vertex_count()];
+        spare.clear();
+        spare.resize(finer.vertex_count(), 0);
         for (fine, &coarse) in map.iter().enumerate() {
-            projected[fine] = side[coarse];
+            spare[fine] = side[coarse];
         }
-        side = refine(finer, &projected, &refine_cfg).side;
+        std::mem::swap(&mut side, &mut spare);
+        (cut, _) = refine_in_place(finer, &mut side, &refine_cfg, Some(cut), &mut ws.refine);
     }
+    ws.projection = spare;
 
-    let cut = graph.cut(&side);
+    debug_assert_eq!(cut, graph.cut(&side), "threaded cut must stay exact");
     MultilevelBisection { side, cut }
 }
 

@@ -12,7 +12,8 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::graph::{Graph, VertexId};
+use crate::workspace::CoarsenScratch;
 
 /// One coarsening level: the coarse graph plus the fine→coarse vertex map.
 #[derive(Clone, Debug)]
@@ -27,13 +28,32 @@ pub struct CoarseLevel {
 /// level. Returns `None` if no edge could be matched (graph already has no
 /// contractible edges).
 pub fn contract_heavy_edge_matching(graph: &Graph, rng: &mut StdRng) -> Option<CoarseLevel> {
+    let mut ws = CoarsenScratch::default();
+    contract_heavy_edge_matching_in(graph, rng, &mut ws)
+}
+
+/// [`contract_heavy_edge_matching`] with caller-provided scratch. The coarse
+/// graph is assembled CSR-natively: per coarse vertex, constituent fine
+/// adjacency rows are merged through a stamped weight accumulator and
+/// emitted in sorted order — no intermediate builder map. Zero-sum merged
+/// edges (a positive and a negative parallel edge cancelling) are dropped,
+/// exactly as [`crate::GraphBuilder::build`] does.
+pub(crate) fn contract_heavy_edge_matching_in(
+    graph: &Graph,
+    rng: &mut StdRng,
+    ws: &mut CoarsenScratch,
+) -> Option<CoarseLevel> {
     let n = graph.vertex_count();
-    let mut matched: Vec<Option<VertexId>> = vec![None; n];
-    let mut order: Vec<VertexId> = (0..n).collect();
+    let matched = &mut ws.matched;
+    matched.clear();
+    matched.resize(n, None);
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..n);
     order.shuffle(rng);
 
     let mut any_matched = false;
-    for &v in &order {
+    for &v in order.iter() {
         if matched[v].is_some() {
             continue;
         }
@@ -58,40 +78,84 @@ pub fn contract_heavy_edge_matching(graph: &Graph, rng: &mut StdRng) -> Option<C
         return None;
     }
 
-    // Assign coarse ids: matched pairs share one id; singletons keep their own.
+    // Assign coarse ids: matched pairs share one id; singletons keep their
+    // own. `rep[c]` records the first (lowest-id) fine vertex of coarse `c`.
     let mut map = vec![usize::MAX; n];
+    let rep = &mut ws.rep;
+    rep.clear();
     let mut next = 0;
     for v in 0..n {
         if map[v] != usize::MAX {
             continue;
         }
         map[v] = next;
+        rep.push(v);
         if let Some(u) = matched[v] {
             map[u] = next;
         }
         next += 1;
     }
 
-    // Build coarse graph: vertex weights sum, parallel edges merge, edges
-    // internal to a pair disappear.
-    let mut builder = GraphBuilder::new(graph.dims());
-    let mut coarse_weights = vec![crate::graph::VertexWeight::zeros(graph.dims()); next];
-    for v in 0..n {
-        coarse_weights[map[v]].add_assign(&graph.vertex_weight(v));
-    }
-    for w in coarse_weights {
-        builder.add_vertex(w);
-    }
-    for v in 0..n {
-        for (u, w) in graph.neighbors(v) {
-            if v < u && map[v] != map[u] {
-                builder.add_edge(map[v], map[u], w);
-            }
+    // Coarse vertex weights: sum constituents in fine-vertex order (the same
+    // accumulation order the builder-based path used, so float results are
+    // bit-identical).
+    let dims = graph.dims();
+    let mut vwgt = vec![0.0f64; next * dims];
+    for (v, &coarse) in map.iter().enumerate().take(n) {
+        let row = graph.vertex_weight_slice(v);
+        let base = coarse * dims;
+        for d in 0..dims {
+            vwgt[base + d] += row[d];
         }
     }
-    let coarse = builder
-        .build()
-        .expect("contraction of a valid graph is valid");
+
+    // Coarse adjacency: for each coarse vertex, merge its constituents'
+    // rows via the stamped accumulator, emit neighbors sorted ascending,
+    // drop zero-sum merges. Appending row by row builds xadj for free.
+    let acc = &mut ws.acc;
+    let acc_stamp = &mut ws.acc_stamp;
+    let touched = &mut ws.touched;
+    if acc.len() < next {
+        acc.resize(next, 0);
+        acc_stamp.resize(next, 0);
+    }
+    let mut xadj = Vec::with_capacity(next + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<VertexId> = Vec::with_capacity(graph.adjncy().len());
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(graph.adjncy().len());
+    for (c, &first) in rep.iter().enumerate() {
+        ws.acc_epoch += 1;
+        let epoch = ws.acc_epoch;
+        touched.clear();
+        let mut accumulate = |fine: VertexId| {
+            for (u, w) in graph.neighbors(fine) {
+                let cu = map[u];
+                if cu == c {
+                    continue; // edge internal to the contracted pair
+                }
+                if acc_stamp[cu] != epoch {
+                    acc_stamp[cu] = epoch;
+                    acc[cu] = 0;
+                    touched.push(cu);
+                }
+                acc[cu] += w;
+            }
+        };
+        accumulate(first);
+        if let Some(partner) = matched[first] {
+            accumulate(partner);
+        }
+        touched.sort_unstable();
+        for &cu in touched.iter() {
+            if acc[cu] != 0 {
+                adjncy.push(cu);
+                adjwgt.push(acc[cu]);
+            }
+        }
+        xadj.push(adjncy.len());
+    }
+
+    let coarse = Graph::from_csr(xadj, adjncy, adjwgt, vwgt, dims);
     Some(CoarseLevel { graph: coarse, map })
 }
 
@@ -125,16 +189,31 @@ impl Hierarchy {
 /// Coarsens `graph` until it has at most `target_vertices` vertices or no
 /// further contraction is possible.
 pub fn coarsen(graph: &Graph, target_vertices: usize, rng: &mut StdRng) -> Hierarchy {
-    let mut levels = Vec::new();
-    let mut current = graph.clone();
-    while current.vertex_count() > target_vertices {
-        match contract_heavy_edge_matching(&current, rng) {
+    let mut ws = CoarsenScratch::default();
+    coarsen_in(graph, target_vertices, rng, &mut ws)
+}
+
+/// [`coarsen`] with caller-provided scratch. The current level is borrowed
+/// from the hierarchy instead of cloned, so each contraction reads the graph
+/// it just built in place.
+pub(crate) fn coarsen_in(
+    graph: &Graph,
+    target_vertices: usize,
+    rng: &mut StdRng,
+    ws: &mut CoarsenScratch,
+) -> Hierarchy {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    loop {
+        let current = levels.last().map_or(graph, |l| &l.graph);
+        if current.vertex_count() <= target_vertices {
+            break;
+        }
+        let before = current.vertex_count();
+        match contract_heavy_edge_matching_in(current, rng, ws) {
             Some(level) => {
                 // Guard against degenerate progress (e.g. star graphs can only
                 // halve slowly); stop if the contraction shrank < 5 %.
-                let before = current.vertex_count();
                 let after = level.graph.vertex_count();
-                current = level.graph.clone();
                 levels.push(level);
                 if after as f64 > before as f64 * 0.95 {
                     break;

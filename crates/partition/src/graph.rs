@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::PartitionError;
+use crate::workspace::{PartitionWorkspace, SubgraphScratch};
 
 /// Index of a vertex inside a [`Graph`].
 pub type VertexId = usize;
@@ -126,13 +127,66 @@ pub struct Graph {
     adjwgt: Vec<EdgeWeight>,
     /// Vertex weights, flattened row-major (`n * dims`).
     vwgt: Vec<f64>,
+    /// Per-dimension sum of all vertex weights, computed once at
+    /// construction (the graph is immutable) so balance trackers do not
+    /// re-sum every vertex on every refinement pass.
+    total_vwgt: Vec<f64>,
     dims: usize,
 }
 
 impl Graph {
+    /// Builds a graph directly from CSR arrays, bypassing [`GraphBuilder`].
+    ///
+    /// Used by the allocation-free extraction/contraction paths, which
+    /// construct already-merged, already-sorted adjacency in place. Debug
+    /// builds check the structural invariants.
+    pub(crate) fn from_csr(
+        xadj: Vec<usize>,
+        adjncy: Vec<VertexId>,
+        adjwgt: Vec<EdgeWeight>,
+        vwgt: Vec<f64>,
+        dims: usize,
+    ) -> Graph {
+        debug_assert!(!xadj.is_empty());
+        debug_assert_eq!(*xadj.last().expect("non-empty"), adjncy.len());
+        debug_assert_eq!(adjncy.len(), adjwgt.len());
+        debug_assert_eq!(vwgt.len(), (xadj.len() - 1) * dims);
+        debug_assert!(xadj.windows(2).all(|w| w[0] <= w[1]));
+        let total_vwgt = sum_vertex_weights(&vwgt, xadj.len() - 1, dims);
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+            total_vwgt,
+            dims,
+        }
+    }
+
     /// Number of vertices.
     pub fn vertex_count(&self) -> usize {
         self.xadj.len() - 1
+    }
+
+    /// The CSR row-offset array; `xadj()[v]..xadj()[v + 1]` indexes
+    /// [`Graph::adjncy`] / [`Graph::adjwgt`].
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// The flattened adjacency lists (each undirected edge appears twice).
+    pub fn adjncy(&self) -> &[VertexId] {
+        &self.adjncy
+    }
+
+    /// The edge weights parallel to [`Graph::adjncy`].
+    pub fn adjwgt(&self) -> &[EdgeWeight] {
+        &self.adjwgt
+    }
+
+    /// The vertex weights flattened row-major (`vertex_count() * dims()`).
+    pub fn vwgt_flat(&self) -> &[f64] {
+        &self.vwgt
     }
 
     /// Number of undirected edges (each stored twice internally).
@@ -175,15 +229,14 @@ impl Graph {
         self.xadj[v + 1] - self.xadj[v]
     }
 
-    /// Sum of all vertex weights.
+    /// Sum of all vertex weights (cached at construction).
     pub fn total_vertex_weight(&self) -> VertexWeight {
-        let mut total = VertexWeight::zeros(self.dims);
-        for v in 0..self.vertex_count() {
-            for d in 0..self.dims {
-                total.0[d] += self.vwgt[v * self.dims + d];
-            }
-        }
-        total
+        VertexWeight(self.total_vwgt.clone())
+    }
+
+    /// Borrowed view of the per-dimension total vertex weight.
+    pub fn total_vertex_weight_slice(&self) -> &[f64] {
+        &self.total_vwgt
     }
 
     /// Aggregate weight of an arbitrary vertex subset.
@@ -235,42 +288,118 @@ impl Graph {
 
     /// Extracts the induced subgraph on `vertices`.
     ///
-    /// Returns the subgraph and a mapping from subgraph vertex id to the id in
-    /// `self` (i.e. `mapping[new_id] == old_id`). Edges to vertices outside
-    /// the subset are dropped.
-    pub fn subgraph(&self, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
-        let mut old_to_new = vec![usize::MAX; self.vertex_count()];
+    /// New vertex `i` of the result is `vertices[i]` in `self` — the input
+    /// slice *is* the new→old mapping, so no mapping is returned. Edges to
+    /// vertices outside the subset are dropped. `vertices` must contain
+    /// distinct ids.
+    pub fn subgraph(&self, vertices: &[VertexId]) -> Graph {
+        let mut scratch = SubgraphScratch::default();
+        self.subgraph_scratch(vertices, &mut scratch)
+    }
+
+    /// [`Graph::subgraph`] with caller-provided scratch memory — the
+    /// allocation-free hot path used by the recursive partitioners.
+    pub fn subgraph_in(&self, vertices: &[VertexId], ws: &mut PartitionWorkspace) -> Graph {
+        self.subgraph_scratch(vertices, &mut ws.subgraph)
+    }
+
+    /// Direct CSR→CSR two-pass extraction: count kept-neighbor degrees, then
+    /// fill `xadj`/`adjncy`/`adjwgt` in place. The stamped old→new map makes
+    /// the cost O(|subset| + incident edges) instead of O(full graph), and no
+    /// intermediate builder map is ever materialized.
+    pub(crate) fn subgraph_scratch(
+        &self,
+        vertices: &[VertexId],
+        scratch: &mut SubgraphScratch,
+    ) -> Graph {
+        let m = vertices.len();
+        scratch.map.begin(self.vertex_count());
         for (new, &old) in vertices.iter().enumerate() {
-            old_to_new[old] = new;
+            debug_assert!(!scratch.map.contains(old), "duplicate vertex {old}");
+            scratch.map.insert(old, new);
         }
-        let mut builder = GraphBuilder::new(self.dims);
-        for &old in vertices {
-            builder.add_vertex(self.vertex_weight(old));
+
+        // Pass 1: per-new-vertex degree counts become the offset array.
+        let mut xadj = vec![0usize; m + 1];
+        for (new, &old) in vertices.iter().enumerate() {
+            let row = &self.adjncy[self.xadj[old]..self.xadj[old + 1]];
+            let kept = row.iter().filter(|&&u| scratch.map.contains(u)).count();
+            xadj[new + 1] = xadj[new] + kept;
         }
-        for (new_v, &old_v) in vertices.iter().enumerate() {
-            for (old_u, w) in self.neighbors(old_v) {
-                let new_u = old_to_new[old_u];
-                if new_u != usize::MAX && new_v < new_u {
-                    builder.add_edge(new_v, new_u, w);
+
+        // Pass 2: fill adjacency. Source rows are sorted by old id; when the
+        // subset is ascending the old→new map is monotone, so rows come out
+        // sorted for free (the hot path — the recursion always passes
+        // ascending slices). Otherwise sort each row to keep the canonical
+        // sorted-adjacency invariant.
+        let ascending = vertices.windows(2).all(|w| w[0] < w[1]);
+        let total = xadj[m];
+        let mut adjncy = vec![0 as VertexId; total];
+        let mut adjwgt = vec![0 as EdgeWeight; total];
+        for (new, &old) in vertices.iter().enumerate() {
+            let mut cursor = xadj[new];
+            for i in self.xadj[old]..self.xadj[old + 1] {
+                if let Some(nu) = scratch.map.get(self.adjncy[i]) {
+                    adjncy[cursor] = nu;
+                    adjwgt[cursor] = self.adjwgt[i];
+                    cursor += 1;
+                }
+            }
+            if !ascending {
+                let range = xadj[new]..xadj[new + 1];
+                scratch.row.clear();
+                scratch.row.extend(
+                    adjncy[range.clone()]
+                        .iter()
+                        .copied()
+                        .zip(adjwgt[range.clone()].iter().copied()),
+                );
+                scratch.row.sort_unstable_by_key(|&(u, _)| u);
+                for (offset, &(u, w)) in scratch.row.iter().enumerate() {
+                    adjncy[range.start + offset] = u;
+                    adjwgt[range.start + offset] = w;
                 }
             }
         }
-        let graph = builder
-            .build()
-            .expect("induced subgraph of a valid graph is valid");
-        (graph, vertices.to_vec())
+
+        let mut vwgt = Vec::with_capacity(m * self.dims);
+        for &old in vertices {
+            vwgt.extend_from_slice(self.vertex_weight_slice(old));
+        }
+        Graph::from_csr(xadj, adjncy, adjwgt, vwgt, self.dims)
     }
 
     /// The sum of edge weights between two disjoint vertex sets.
     pub fn weight_between(&self, a: &[VertexId], b: &[VertexId]) -> EdgeWeight {
-        let mut in_b = vec![false; self.vertex_count()];
+        let mut scratch = SubgraphScratch::default();
+        self.weight_between_scratch(a, b, &mut scratch)
+    }
+
+    /// [`Graph::weight_between`] with caller-provided scratch memory —
+    /// avoids the O(n) membership-vector allocation per call.
+    pub fn weight_between_in(
+        &self,
+        a: &[VertexId],
+        b: &[VertexId],
+        ws: &mut PartitionWorkspace,
+    ) -> EdgeWeight {
+        self.weight_between_scratch(a, b, &mut ws.subgraph)
+    }
+
+    pub(crate) fn weight_between_scratch(
+        &self,
+        a: &[VertexId],
+        b: &[VertexId],
+        scratch: &mut SubgraphScratch,
+    ) -> EdgeWeight {
+        scratch.map.begin(self.vertex_count());
         for &v in b {
-            in_b[v] = true;
+            scratch.map.insert(v, 0);
         }
         let mut total = 0;
         for &v in a {
             for (u, w) in self.neighbors(v) {
-                if in_b[u] {
+                if scratch.map.contains(u) {
                     total += w;
                 }
             }
@@ -382,14 +511,21 @@ impl GraphBuilder {
             adjwgt[cursor[v]] = w;
             cursor[v] += 1;
         }
-        Ok(Graph {
-            xadj,
-            adjncy,
-            adjwgt,
-            vwgt: self.vwgt,
-            dims: self.dims,
-        })
+        Ok(Graph::from_csr(xadj, adjncy, adjwgt, self.vwgt, self.dims))
     }
+}
+
+/// Per-dimension vertex-weight totals, accumulated in fine-vertex order —
+/// the same order [`Graph::total_vertex_weight`] historically summed in, so
+/// the cached totals are bit-identical to an on-demand recomputation.
+fn sum_vertex_weights(vwgt: &[f64], n: usize, dims: usize) -> Vec<f64> {
+    let mut total = vec![0.0f64; dims];
+    for v in 0..n {
+        for d in 0..dims {
+            total[d] += vwgt[v * dims + d];
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -501,12 +637,55 @@ mod tests {
     #[test]
     fn subgraph_preserves_inner_edges() {
         let g = triangle();
-        let (sub, mapping) = g.subgraph(&[1, 2]);
+        let sub = g.subgraph(&[1, 2]);
         assert_eq!(sub.vertex_count(), 2);
         assert_eq!(sub.edge_count(), 1);
-        assert_eq!(mapping, vec![1, 2]);
         assert_eq!(sub.neighbors(0).next(), Some((1, 7)));
         assert_eq!(sub.vertex_weight(0).0, vec![2.0]);
+    }
+
+    #[test]
+    fn subgraph_of_unsorted_subset_has_sorted_rows() {
+        let g = triangle();
+        // Subset given in non-ascending order: new ids are positional, and
+        // every adjacency row must still come out sorted by new id.
+        let sub = g.subgraph(&[2, 0, 1]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        for v in 0..3 {
+            let row: Vec<_> = sub.neighbors(v).map(|(u, _)| u).collect();
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            assert_eq!(row, sorted, "row {v} not sorted");
+        }
+        // Vertex 0 of the subgraph is old vertex 2: edges (2,1)=7, (2,0)=-2.
+        assert_eq!(sub.vertex_weight(0).0, vec![3.0]);
+        let w: Vec<_> = sub.neighbors(0).collect();
+        assert_eq!(w, vec![(1, -2), (2, 7)]);
+    }
+
+    #[test]
+    fn subgraph_empty_and_full_subsets() {
+        let g = triangle();
+        let empty = g.subgraph(&[]);
+        assert_eq!(empty.vertex_count(), 0);
+        assert_eq!(empty.edge_count(), 0);
+        let full = g.subgraph(&[0, 1, 2]);
+        assert_eq!(full.xadj(), g.xadj());
+        assert_eq!(full.adjncy(), g.adjncy());
+        assert_eq!(full.adjwgt(), g.adjwgt());
+        assert_eq!(full.vwgt_flat(), g.vwgt_flat());
+    }
+
+    #[test]
+    fn subgraph_in_reuses_workspace() {
+        let g = triangle();
+        let mut ws = PartitionWorkspace::new();
+        let a = g.subgraph_in(&[0, 1], &mut ws);
+        let b = g.subgraph_in(&[1, 2], &mut ws);
+        assert_eq!(a.neighbors(0).next(), Some((1, 5)));
+        assert_eq!(b.neighbors(0).next(), Some((1, 7)));
+        assert_eq!(g.weight_between_in(&[0], &[1, 2], &mut ws), 3);
     }
 
     #[test]

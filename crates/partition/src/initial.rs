@@ -11,6 +11,7 @@ use rand::Rng;
 
 use crate::balance::BalanceTracker;
 use crate::graph::{EdgeWeight, Graph};
+use crate::workspace::InitialScratch;
 
 /// Result of an initial bisection attempt.
 #[derive(Clone, Debug)]
@@ -21,41 +22,45 @@ pub struct Bisection {
     pub cut: EdgeWeight,
 }
 
-/// Grows a region from `seed` until side 0 holds ~`frac` of the total weight.
-fn grow_from(graph: &Graph, seed: usize, frac: f64) -> Vec<u8> {
+/// Grows a region from `seed` until side 0 holds ~`frac` of the total
+/// weight. The assignment is left in `ws.side`; every buffer comes from the
+/// reusable scratch so repeated trials allocate nothing.
+fn grow_from(graph: &Graph, seed: usize, frac: f64, ws: &mut InitialScratch) {
     let n = graph.vertex_count();
-    let mut side = vec![1u8; n];
-    let total = graph.total_vertex_weight();
     let dims = graph.dims();
+    ws.side.clear();
+    ws.side.resize(n, 1u8);
+    let total = graph.total_vertex_weight();
     // Track per-dimension weight absorbed into side 0; stop when the average
     // fill ratio across dimensions reaches frac.
-    let mut absorbed = vec![0.0f64; dims];
-    let target: Vec<f64> = (0..dims).map(|d| total.component(d) * frac).collect();
+    ws.absorbed.clear();
+    ws.absorbed.resize(dims, 0.0);
+    ws.target.clear();
+    ws.target
+        .extend((0..dims).map(|d| total.component(d) * frac));
 
     // gain[v] = (weight to side 0) - (weight to side 1); absorbing a vertex
     // with high gain reduces the cut most.
-    let mut gain: Vec<EdgeWeight> = vec![0; n];
-    let mut in_region = vec![false; n];
+    ws.gain.clear();
+    ws.gain.resize(n, 0);
+    ws.in_region.clear();
+    ws.in_region.resize(n, false);
 
-    let absorb = |v: usize,
-                  side: &mut Vec<u8>,
-                  in_region: &mut Vec<bool>,
-                  gain: &mut Vec<EdgeWeight>,
-                  absorbed: &mut Vec<f64>| {
-        side[v] = 0;
-        in_region[v] = true;
-        for (d, a) in absorbed.iter_mut().enumerate().take(dims) {
+    let absorb = |v: usize, ws: &mut InitialScratch| {
+        ws.side[v] = 0;
+        ws.in_region[v] = true;
+        for (d, a) in ws.absorbed.iter_mut().enumerate().take(dims) {
             *a += graph.vertex_weight_slice(v)[d];
         }
         for (u, w) in graph.neighbors(v) {
             // u's connectivity to side 0 grew by w and to side 1 shrank by w.
-            gain[u] += 2 * w;
+            ws.gain[u] += 2 * w;
         }
     };
 
-    absorb(seed, &mut side, &mut in_region, &mut gain, &mut absorbed);
+    absorb(seed, ws);
 
-    let reached = |absorbed: &[f64]| -> bool {
+    let reached = |absorbed: &[f64], target: &[f64]| -> bool {
         let mut ratio_sum = 0.0;
         let mut count = 0;
         for d in 0..dims {
@@ -67,24 +72,23 @@ fn grow_from(graph: &Graph, seed: usize, frac: f64) -> Vec<u8> {
         count == 0 || ratio_sum / count as f64 >= 1.0
     };
 
-    while !reached(&absorbed) {
+    while !reached(&ws.absorbed, &ws.target) {
         // Pick the frontier (or any unabsorbed) vertex with max gain.
         let mut best: Option<(usize, EdgeWeight)> = None;
         for v in 0..n {
-            if in_region[v] {
+            if ws.in_region[v] {
                 continue;
             }
             match best {
-                Some((_, bg)) if gain[v] <= bg => {}
-                _ => best = Some((v, gain[v])),
+                Some((_, bg)) if ws.gain[v] <= bg => {}
+                _ => best = Some((v, ws.gain[v])),
             }
         }
         match best {
-            Some((v, _)) => absorb(v, &mut side, &mut in_region, &mut gain, &mut absorbed),
+            Some((v, _)) => absorb(v, ws),
             None => break,
         }
     }
-    side
 }
 
 /// Runs `trials` greedy-growing attempts and returns the assignment with the
@@ -97,6 +101,20 @@ pub fn greedy_graph_growing(
     trials: usize,
     rng: &mut StdRng,
 ) -> Bisection {
+    let mut ws = InitialScratch::default();
+    greedy_graph_growing_in(graph, frac, tolerance, trials, rng, &mut ws)
+}
+
+/// [`greedy_graph_growing`] with caller-provided scratch memory — trials
+/// reuse one set of buffers; only the winning assignments are cloned out.
+pub(crate) fn greedy_graph_growing_in(
+    graph: &Graph,
+    frac: f64,
+    tolerance: f64,
+    trials: usize,
+    rng: &mut StdRng,
+    ws: &mut InitialScratch,
+) -> Bisection {
     let n = graph.vertex_count();
     assert!(n >= 2, "bisection needs at least two vertices");
     let mut best_feasible: Option<Bisection> = None;
@@ -104,14 +122,15 @@ pub fn greedy_graph_growing(
 
     for _ in 0..trials.max(1) {
         let seed = rng.gen_range(0..n);
-        let side = grow_from(graph, seed, frac);
+        grow_from(graph, seed, frac, ws);
+        let side = &ws.side;
         // Degenerate growth (all vertices on one side) is useless.
         let ones = side.iter().filter(|s| **s == 1).count();
         if ones == 0 || ones == n {
             continue;
         }
-        let cut = graph.cut(&side);
-        let tracker = BalanceTracker::new(graph, &side, frac, tolerance);
+        let cut = graph.cut(side);
+        let tracker = BalanceTracker::new(graph, side, frac, tolerance);
         let imb = tracker.imbalance();
         if tracker.is_feasible() {
             match &best_feasible {
@@ -126,7 +145,15 @@ pub fn greedy_graph_growing(
         }
         match &best_any {
             Some((_, bi)) if *bi <= imb => {}
-            _ => best_any = Some((Bisection { side, cut }, imb)),
+            _ => {
+                best_any = Some((
+                    Bisection {
+                        side: side.clone(),
+                        cut,
+                    },
+                    imb,
+                ))
+            }
         }
     }
 
@@ -136,9 +163,12 @@ pub fn greedy_graph_growing(
             // All trials degenerated (e.g. edgeless graph grown greedily).
             // Fall back to a weight-greedy split: assign vertices to side 0
             // until its target is met.
-            let side = grow_from(graph, 0, frac);
-            let cut = graph.cut(&side);
-            Bisection { side, cut }
+            grow_from(graph, 0, frac, ws);
+            let cut = graph.cut(&ws.side);
+            Bisection {
+                side: ws.side.clone(),
+                cut,
+            }
         })
 }
 

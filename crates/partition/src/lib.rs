@@ -17,6 +17,10 @@
 //! - [`ParallelConfig`]: scoped-thread parallelism for the recursive drivers
 //!   — independent subgraph branches fork above a size threshold with
 //!   depth-derived seeds, producing byte-identical trees to `threads = 1`.
+//! - [`PartitionWorkspace`]: reusable scratch memory for the hot path. The
+//!   `_in` driver variants ([`recursive_bisect_in`], [`partition_kway_in`],
+//!   [`multilevel_bisect_in`]) thread one workspace through the recursion so
+//!   repeated calls allocate (almost) nothing, with byte-identical results.
 //!
 //! ## Example
 //!
@@ -58,9 +62,12 @@ mod parallel;
 mod quality;
 mod recursive;
 mod refine;
+mod workspace;
 
 pub use balance::BalanceTracker;
-pub use bisect::{multilevel_bisect, split_indices, BisectConfig, MultilevelBisection};
+pub use bisect::{
+    multilevel_bisect, multilevel_bisect_in, split_indices, BisectConfig, MultilevelBisection,
+};
 pub use coarsen::{coarsen, contract_heavy_edge_matching, CoarseLevel, Hierarchy};
 pub use error::PartitionError;
 pub use graph::{EdgeWeight, Graph, GraphBuilder, VertexId, VertexWeight};
@@ -68,5 +75,8 @@ pub use incremental::{incremental_repartition, relabel_to_minimize_moves, Increm
 pub use initial::{greedy_graph_growing, Bisection};
 pub use parallel::ParallelConfig;
 pub use quality::{partition_quality, PartitionQuality};
-pub use recursive::{partition_kway, recursive_bisect, PartitionTree};
+pub use recursive::{
+    partition_kway, partition_kway_in, recursive_bisect, recursive_bisect_in, PartitionTree,
+};
 pub use refine::{refine, RefineConfig, RefineResult};
+pub use workspace::{PartitionWorkspace, StampedMap, SubgraphScratch};

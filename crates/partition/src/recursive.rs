@@ -8,9 +8,10 @@
 //! were split last and therefore communicate the most, so assigning adjacent
 //! leaves to adjacent servers keeps chatty groups in the same rack/pod.
 
-use crate::bisect::{multilevel_bisect, split_indices, BisectConfig};
+use crate::bisect::{bisect_with_seed, split_indices, BisectConfig};
 use crate::error::PartitionError;
 use crate::graph::{Graph, VertexId, VertexWeight};
+use crate::workspace::PartitionWorkspace;
 
 /// A node in the recursive-bisection tree.
 #[derive(Clone, Debug, PartialEq)]
@@ -106,6 +107,27 @@ pub fn recursive_bisect<F>(
 where
     F: Fn(&VertexWeight) -> bool + Sync,
 {
+    let mut ws = PartitionWorkspace::new();
+    recursive_bisect_in(graph, fits, config, &mut ws)
+}
+
+/// [`recursive_bisect`] with a caller-provided [`PartitionWorkspace`].
+/// Callers invoking the partitioner repeatedly (one call per epoch, say)
+/// should hold one workspace and pass it here so scratch buffers are
+/// allocated once; the result is byte-identical either way.
+///
+/// # Errors
+///
+/// Same contract as [`recursive_bisect`].
+pub fn recursive_bisect_in<F>(
+    graph: &Graph,
+    fits: F,
+    config: &BisectConfig,
+    ws: &mut PartitionWorkspace,
+) -> Result<PartitionTree, PartitionError>
+where
+    F: Fn(&VertexWeight) -> bool + Sync,
+{
     if graph.vertex_count() == 0 {
         return Err(PartitionError::EmptyGraph);
     }
@@ -123,6 +145,7 @@ where
         config,
         0,
         config.parallel.fork_levels(),
+        ws,
     ))
 }
 
@@ -133,6 +156,7 @@ fn recurse<F>(
     config: &BisectConfig,
     depth: usize,
     fork_levels: u32,
+    ws: &mut PartitionWorkspace,
 ) -> PartitionTree
 where
     F: Fn(&VertexWeight) -> bool + Sync,
@@ -146,14 +170,11 @@ where
             depth,
         };
     }
-    let (sub, mapping) = original.subgraph(vertices);
+    let sub = original.subgraph_in(vertices, ws);
     // Vary the seed with depth so sibling splits explore different initial
     // seeds while remaining deterministic.
-    let cfg = BisectConfig {
-        seed: config.seed.wrapping_add(depth as u64 * 0x9e37_79b9),
-        ..config.clone()
-    };
-    let bis = multilevel_bisect(&sub, 0.5, &cfg);
+    let seed = config.seed.wrapping_add(depth as u64 * 0x9e37_79b9);
+    let bis = bisect_with_seed(&sub, 0.5, config, seed, ws);
     let (zero, one) = split_indices(&bis.side);
     // Guard against degenerate splits (should not happen, but a graph of
     // identical heavy vertices plus tolerance could produce one); fall back
@@ -164,15 +185,20 @@ where
     } else {
         (zero, one)
     };
-    let left_ids: Vec<VertexId> = zero.iter().map(|&i| mapping[i]).collect();
-    let right_ids: Vec<VertexId> = one.iter().map(|&i| mapping[i]).collect();
+    // Subgraph vertex `i` is `vertices[i]` (extraction preserves slice
+    // order), so local split indices map straight back through the slice.
+    let left_ids: Vec<VertexId> = zero.iter().map(|&i| vertices[i]).collect();
+    let right_ids: Vec<VertexId> = one.iter().map(|&i| vertices[i]).collect();
     // Branches operate on disjoint vertex sets and carry depth-derived
     // seeds, so forking them changes nothing but wall-clock time. The join
     // order (left, then right) is fixed regardless of completion order.
+    // The forked branch gets a private workspace (scratch is never shared
+    // across threads); the inline branch keeps reusing the parent's.
     let (left, right) =
         if fork_levels > 0 && vertices.len() >= config.parallel.min_parallel_vertices {
             crossbeam::thread::scope(|s| {
                 let l = s.spawn(|_| {
+                    let mut branch_ws = PartitionWorkspace::new();
                     recurse(
                         original,
                         &left_ids,
@@ -180,6 +206,7 @@ where
                         config,
                         depth + 1,
                         fork_levels - 1,
+                        &mut branch_ws,
                     )
                 });
                 let right = recurse(
@@ -189,6 +216,7 @@ where
                     config,
                     depth + 1,
                     fork_levels - 1,
+                    ws,
                 );
                 let left = l.join().expect("bisection branch panicked");
                 (left, right)
@@ -196,8 +224,24 @@ where
             .expect("bisection scope")
         } else {
             (
-                recurse(original, &left_ids, fits, config, depth + 1, fork_levels),
-                recurse(original, &right_ids, fits, config, depth + 1, fork_levels),
+                recurse(
+                    original,
+                    &left_ids,
+                    fits,
+                    config,
+                    depth + 1,
+                    fork_levels,
+                    ws,
+                ),
+                recurse(
+                    original,
+                    &right_ids,
+                    fits,
+                    config,
+                    depth + 1,
+                    fork_levels,
+                    ws,
+                ),
             )
         };
     PartitionTree {
@@ -225,6 +269,22 @@ pub fn partition_kway(
     k: usize,
     config: &BisectConfig,
 ) -> Result<Vec<usize>, PartitionError> {
+    let mut ws = PartitionWorkspace::new();
+    partition_kway_in(graph, k, config, &mut ws)
+}
+
+/// [`partition_kway`] with a caller-provided [`PartitionWorkspace`] for
+/// allocation-free repeated calls; byte-identical to [`partition_kway`].
+///
+/// # Errors
+///
+/// Same contract as [`partition_kway`].
+pub fn partition_kway_in(
+    graph: &Graph,
+    k: usize,
+    config: &BisectConfig,
+    ws: &mut PartitionWorkspace,
+) -> Result<Vec<usize>, PartitionError> {
     let n = graph.vertex_count();
     if k == 0 || k > n {
         return Err(PartitionError::InvalidPartCount {
@@ -243,6 +303,7 @@ pub fn partition_kway(
         config,
         0,
         config.parallel.fork_levels(),
+        ws,
     ))
 }
 
@@ -250,6 +311,7 @@ pub fn partition_kway(
 /// return value is parallel to `vertices`). Pure function of its inputs —
 /// parallel branches write no shared state, so forking cannot reorder or
 /// race anything.
+#[allow(clippy::too_many_arguments)]
 fn kway_recurse(
     original: &Graph,
     vertices: &[VertexId],
@@ -258,6 +320,7 @@ fn kway_recurse(
     config: &BisectConfig,
     depth: usize,
     fork_levels: u32,
+    ws: &mut PartitionWorkspace,
 ) -> Vec<usize> {
     if k == 1 {
         return vec![base; vertices.len()];
@@ -265,12 +328,9 @@ fn kway_recurse(
     let kl = k / 2;
     let kr = k - kl;
     let frac = kl as f64 / k as f64;
-    let (sub, mapping) = original.subgraph(vertices);
-    let cfg = BisectConfig {
-        seed: config.seed.wrapping_add((depth as u64) << 32 | base as u64),
-        ..config.clone()
-    };
-    let bis = multilevel_bisect(&sub, frac, &cfg);
+    let sub = original.subgraph_in(vertices, ws);
+    let seed = config.seed.wrapping_add((depth as u64) << 32 | base as u64);
+    let bis = bisect_with_seed(&sub, frac, config, seed, ws);
     let (zero, one) = split_indices(&bis.side);
     let (zero, one) = if zero.len() < kl || one.len() < kr {
         // Degenerate: force an index split so each side keeps >= its k.
@@ -282,12 +342,15 @@ fn kway_recurse(
     } else {
         (zero, one)
     };
-    let left_ids: Vec<VertexId> = zero.iter().map(|&i| mapping[i]).collect();
-    let right_ids: Vec<VertexId> = one.iter().map(|&i| mapping[i]).collect();
+    // Extraction preserves slice order, so `vertices` itself is the
+    // local-index → original-id mapping.
+    let left_ids: Vec<VertexId> = zero.iter().map(|&i| vertices[i]).collect();
+    let right_ids: Vec<VertexId> = one.iter().map(|&i| vertices[i]).collect();
     let (left, right) =
         if fork_levels > 0 && vertices.len() >= config.parallel.min_parallel_vertices {
             crossbeam::thread::scope(|s| {
                 let l = s.spawn(|_| {
+                    let mut branch_ws = PartitionWorkspace::new();
                     kway_recurse(
                         original,
                         &left_ids,
@@ -296,6 +359,7 @@ fn kway_recurse(
                         config,
                         depth + 1,
                         fork_levels - 1,
+                        &mut branch_ws,
                     )
                 });
                 let right = kway_recurse(
@@ -306,6 +370,7 @@ fn kway_recurse(
                     config,
                     depth + 1,
                     fork_levels - 1,
+                    ws,
                 );
                 let left = l.join().expect("k-way branch panicked");
                 (left, right)
@@ -321,6 +386,7 @@ fn kway_recurse(
                     config,
                     depth + 1,
                     fork_levels,
+                    ws,
                 ),
                 kway_recurse(
                     original,
@@ -330,6 +396,7 @@ fn kway_recurse(
                     config,
                     depth + 1,
                     fork_levels,
+                    ws,
                 ),
             )
         };
@@ -542,14 +609,35 @@ mod tests {
     #[test]
     fn group_assignment_covers_only_tree_vertices() {
         let g = clique_ring();
-        let (sub, mapping) = g.subgraph(&[0, 1, 2, 3]);
+        let vertices = [0, 1, 2, 3];
+        let sub = g.subgraph(&vertices);
         let cap = VertexWeight::new([2.5]);
         let tree =
             recursive_bisect(&sub, |w| w.fits_within(&cap), &BisectConfig::default()).unwrap();
-        // Tree is over the subgraph's 4 vertices.
+        // Tree is over the subgraph's 4 vertices; `vertices` itself maps
+        // subgraph ids back to original ids.
         let assign = tree.group_assignment(4);
         assert!(assign.iter().all(|&a| a != usize::MAX));
-        assert_eq!(mapping.len(), 4);
+        assert_eq!(sub.vertex_count(), vertices.len());
+    }
+
+    #[test]
+    fn workspace_reuse_is_byte_identical() {
+        let g = clique_ring();
+        let cap = VertexWeight::new([4.5]);
+        let cfg = BisectConfig::default();
+        let cold = recursive_bisect(&g, |w| w.fits_within(&cap), &cfg).unwrap();
+        let mut ws = crate::PartitionWorkspace::new();
+        // Warm the workspace with unrelated calls, then re-run: buffers must
+        // carry no state between calls.
+        for k in [2, 5, 7] {
+            partition_kway_in(&g, k, &cfg, &mut ws).unwrap();
+        }
+        let warm = recursive_bisect_in(&g, |w| w.fits_within(&cap), &cfg, &mut ws).unwrap();
+        assert_eq!(cold, warm);
+        let kway_cold = partition_kway(&g, 4, &cfg).unwrap();
+        let kway_warm = partition_kway_in(&g, 4, &cfg, &mut ws).unwrap();
+        assert_eq!(kway_cold, kway_warm);
     }
 
     #[test]

@@ -7,11 +7,119 @@
 //! moves that reduce imbalance are allowed even with negative gain, which
 //! lets FM repair infeasible initial partitions.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::balance::BalanceTracker;
 use crate::graph::{EdgeWeight, Graph};
+use crate::workspace::RefineScratch;
+
+/// Indexed max-heap of candidate vertices ordered by `(gain[v], Reverse(v))`.
+///
+/// Each vertex appears at most once: `pos[v]` tracks its slot (or
+/// [`VertexHeap::ABSENT`]) so a gain change re-sifts the existing entry
+/// instead of pushing a duplicate the way a lazy-deletion `BinaryHeap`
+/// would. The pop order over *valid* candidates is exactly the lazy heap's
+/// — every candidate always carries its current gain and the vertex id
+/// breaks every tie, so the key order is total — which keeps the FM move
+/// sequence (and therefore the partition bytes) unchanged while eliminating
+/// the stale-entry churn that dominated the pass.
+///
+/// Entries store the `(gain, vertex)` ordering key packed into one `i128`
+/// (gain in the high 64 bits, `!vertex` in the low 64), so sift comparisons
+/// are a single integer compare on data already in the heap array instead
+/// of an indirect `gain[heap[i]]` load per comparison.
+struct VertexHeap<'a> {
+    heap: &'a mut Vec<i128>,
+    pos: &'a mut Vec<usize>,
+}
+
+/// Packs the FM ordering key: lexicographically `(gain asc, vertex desc)`,
+/// i.e. `(gain, Reverse(vertex))`, as one `i128`. With the high 64 bits
+/// holding the signed gain and the low 64 holding `!vertex` (unsigned),
+/// two's-complement `i128` ordering compares gain first and breaks exact
+/// gain ties toward the smaller vertex id.
+#[inline]
+fn heap_key(gain: EdgeWeight, v: usize) -> i128 {
+    ((gain as i128) << 64) | (!(v as u64)) as i128
+}
+
+/// Recovers the vertex id from a packed heap key.
+#[inline]
+fn heap_vertex(key: i128) -> usize {
+    (!(key as u64)) as usize
+}
+
+impl<'a> VertexHeap<'a> {
+    const ABSENT: usize = usize::MAX;
+
+    fn new(heap: &'a mut Vec<i128>, pos: &'a mut Vec<usize>, n: usize) -> Self {
+        heap.clear();
+        pos.clear();
+        pos.resize(n, Self::ABSENT);
+        VertexHeap { heap, pos }
+    }
+
+    /// Inserts `v`, or re-sifts it if already present (its gain changed).
+    fn push_or_update(&mut self, gain: EdgeWeight, v: usize) {
+        let key = heap_key(gain, v);
+        let i = self.pos[v];
+        if i == Self::ABSENT {
+            self.heap.push(key);
+            self.pos[v] = self.heap.len() - 1;
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            self.heap[i] = key;
+            let i = self.sift_up(i);
+            self.sift_down(i);
+        }
+    }
+
+    /// Removes and returns the highest-ranked vertex.
+    fn pop(&mut self) -> Option<usize> {
+        let top = heap_vertex(*self.heap.first()?);
+        self.pos[top] = Self::ABSENT;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[heap_vertex(last)] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] > self.heap[parent] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut best = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len() && self.heap[child] > self.heap[best] {
+                    best = child;
+                }
+            }
+            if best == i {
+                return;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[heap_vertex(self.heap[i])] = i;
+        self.pos[heap_vertex(self.heap[j])] = j;
+    }
+}
 
 /// Configuration for FM refinement.
 #[derive(Clone, Copy, Debug)]
@@ -45,74 +153,109 @@ pub struct RefineResult {
     pub improving_passes: usize,
 }
 
-/// Per-vertex gain: cut reduction if the vertex switched sides.
-fn gains(graph: &Graph, side: &[u8]) -> Vec<EdgeWeight> {
+/// Per-vertex gain: cut reduction if the vertex switched sides, written
+/// into the reusable `gain` buffer. The same edge sweep records which
+/// vertices lie on the boundary (have an edge across the cut), so pass
+/// seeding does not need a second O(E) scan.
+fn gains_into(graph: &Graph, side: &[u8], gain: &mut Vec<EdgeWeight>, boundary: &mut Vec<bool>) {
     let n = graph.vertex_count();
-    let mut g = vec![0; n];
+    gain.clear();
+    gain.resize(n, 0);
+    boundary.clear();
+    boundary.resize(n, false);
     for v in 0..n {
+        let mut g = 0;
+        let mut b = false;
         for (u, w) in graph.neighbors(v) {
             if side[u] == side[v] {
-                g[v] -= w;
+                g -= w;
             } else {
-                g[v] += w;
+                g += w;
+                b = true;
             }
         }
+        gain[v] = g;
+        boundary[v] = b;
     }
-    g
 }
 
 /// Runs FM refinement on `side`, returning an assignment whose cut is never
 /// worse than the input's (unless the input was imbalance-infeasible, in
 /// which case feasibility is prioritized).
 pub fn refine(graph: &Graph, side: &[u8], config: &RefineConfig) -> RefineResult {
-    let n = graph.vertex_count();
     let mut side = side.to_vec();
-    let mut cut = graph.cut(&side);
+    let mut ws = RefineScratch::default();
+    let (cut, improving_passes) = refine_in_place(graph, &mut side, config, None, &mut ws);
+    RefineResult {
+        side,
+        cut,
+        improving_passes,
+    }
+}
+
+/// [`refine`] operating in place on `side` with caller-provided scratch —
+/// the allocation-free hot path. `known_cut` lets callers that already know
+/// the exact cut of `side` (the uncoarsening loop: contraction and
+/// projection both preserve cut values) skip the O(E) recomputation.
+/// Returns `(cut, improving_passes)`.
+pub(crate) fn refine_in_place(
+    graph: &Graph,
+    side: &mut [u8],
+    config: &RefineConfig,
+    known_cut: Option<EdgeWeight>,
+    ws: &mut RefineScratch,
+) -> (EdgeWeight, usize) {
+    let n = graph.vertex_count();
+    let mut cut = known_cut.unwrap_or_else(|| graph.cut(side));
+    debug_assert_eq!(cut, graph.cut(side), "caller-supplied cut must be exact");
     let mut improving_passes = 0;
 
     for _ in 0..config.max_passes {
         let start_cut = cut;
-        let start_feasible =
-            BalanceTracker::new(graph, &side, config.frac, config.tolerance).is_feasible();
 
-        let mut gain = gains(graph, &side);
-        let mut tracker = BalanceTracker::new(graph, &side, config.frac, config.tolerance);
-        let mut locked = vec![false; n];
-        // Max-heap of (gain, vertex); lazily invalidated. With a feasible
-        // start only *boundary* vertices (an edge to the other side) can
-        // improve the cut, and interior vertices enter the heap when a
-        // neighbor moves — the classic FM seeding, which keeps passes cheap
-        // on large graphs. An infeasible start needs arbitrary moves for
-        // balance repair, so everything is seeded.
+        gains_into(graph, side, &mut ws.gain, &mut ws.boundary);
+        let gain = &mut ws.gain;
+        let boundary = &ws.boundary;
+        let mut tracker = BalanceTracker::new(graph, side, config.frac, config.tolerance);
+        let start_feasible = tracker.is_feasible();
+        let start_imb = tracker.imbalance();
+        let locked = &mut ws.locked;
+        locked.clear();
+        locked.resize(n, false);
+        // Candidate heap. With a feasible start only *boundary* vertices (an
+        // edge to the other side) can improve the cut, and interior vertices
+        // enter the heap when a neighbor moves — the classic FM seeding,
+        // which keeps passes cheap on large graphs. An infeasible start
+        // needs arbitrary moves for balance repair, so everything is seeded.
         let seed_all = !start_feasible;
-        let mut heap: BinaryHeap<(EdgeWeight, Reverse<usize>)> = (0..n)
-            .filter(|&v| seed_all || graph.neighbors(v).any(|(u, _)| side[u] != side[v]))
-            .map(|v| (gain[v], Reverse(v)))
-            .collect();
+        let mut heap = VertexHeap::new(&mut ws.heap, &mut ws.heap_pos, n);
+        for v in (0..n).filter(|&v| seed_all || boundary[v]) {
+            heap.push_or_update(gain[v], v);
+        }
 
         // Move log for rollback: (vertex, cut_after, imbalance_after).
-        let mut log: Vec<(usize, EdgeWeight, f64)> = Vec::new();
-        let mut work_side = side.clone();
+        let log = &mut ws.log;
+        log.clear();
+        let work_side = &mut ws.work_side;
+        work_side.clear();
+        work_side.extend_from_slice(side);
         let mut work_cut = cut;
 
-        while let Some((g, Reverse(v))) = heap.pop() {
-            if locked[v] || g != gain[v] {
-                continue; // stale entry
-            }
-            let w = graph.vertex_weight(v);
+        while let Some(v) = heap.pop() {
+            let w = graph.vertex_weight_slice(v);
             let from = work_side[v];
             // FM balance criterion: a move is allowed if the destination stays
             // within its cap, OR it comes from the (weakly) heavier side.
             // The latter permits temporary imbalance mid-pass, which is what
             // lets FM discover swaps; only the chosen prefix must be feasible.
-            let feasible_move = tracker.move_keeps_feasible(&w, from);
+            let feasible_move = tracker.move_keeps_feasible_slice(w, from);
             let from_heavier = tracker.side_load(from) >= tracker.side_load(1 - from) - 1e-9;
             if !feasible_move && !from_heavier {
                 continue;
             }
             // Apply the move.
             locked[v] = true;
-            tracker.apply_move(&w, from);
+            tracker.apply_move_slice(w, from);
             work_side[v] = 1 - from;
             work_cut -= gain[v];
             // Update neighbor gains.
@@ -126,7 +269,7 @@ pub fn refine(graph: &Graph, side: &[u8], config: &RefineConfig) -> RefineResult
                 } else {
                     gain[u] += 2 * wt;
                 }
-                heap.push((gain[u], Reverse(u)));
+                heap.push_or_update(gain[u], u);
             }
             gain[v] = -gain[v];
             log.push((v, work_cut, tracker.imbalance()));
@@ -159,9 +302,6 @@ pub fn refine(graph: &Graph, side: &[u8], config: &RefineConfig) -> RefineResult
                     c < start_cut
                 } else {
                     // Accept if balance improved, or same balance with less cut.
-                    let start_imb =
-                        BalanceTracker::new(graph, &side, config.frac, config.tolerance)
-                            .imbalance();
                     imb < start_imb - 1e-12 || (imb <= start_imb + 1e-12 && c < start_cut)
                 }
             }
@@ -181,12 +321,8 @@ pub fn refine(graph: &Graph, side: &[u8], config: &RefineConfig) -> RefineResult
         }
     }
 
-    debug_assert_eq!(cut, graph.cut(&side), "cut bookkeeping must match");
-    RefineResult {
-        side,
-        cut,
-        improving_passes,
-    }
+    debug_assert_eq!(cut, graph.cut(side), "cut bookkeeping must match");
+    (cut, improving_passes)
 }
 
 #[cfg(test)]

@@ -1,0 +1,128 @@
+//! Allocation-regression lock for the partitioner hot path.
+//!
+//! A counting global allocator measures how many heap allocations one warm
+//! `partition_kway_in` call performs on a fixed 512-vertex graph. The
+//! workspace refactor moved all scratch memory out of the inner loops, so
+//! the remaining allocations are only real outputs (subgraph CSR arrays,
+//! coarse levels, label vectors). The ceiling is deliberately generous —
+//! partition shapes (and hence recursion sizes) vary with the RNG stream —
+//! but it is far below the pre-refactor count, so reintroducing per-call
+//! scratch allocation trips the lock.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use goldilocks_partition::{
+    partition_kway, partition_kway_in, BisectConfig, GraphBuilder, PartitionWorkspace, VertexWeight,
+};
+
+/// Counts allocation events (alloc + realloc); delegates to the system
+/// allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A deterministic 512-vertex, 3-dimension graph: a connectivity ring plus
+/// LCG-derived extra edges (no RNG crate, so the fixture is identical under
+/// any `rand` implementation).
+fn fixed_graph() -> goldilocks_partition::Graph {
+    const N: usize = 512;
+    let mut b = GraphBuilder::new(3);
+    for v in 0..N {
+        let f = |salt: usize| 0.1 + ((v * 31 + salt * 17) % 97) as f64 / 97.0;
+        b.add_vertex(VertexWeight::new([f(1), f(2), f(3)]));
+    }
+    for v in 0..N {
+        b.add_edge(v, (v + 1) % N, 1 + (v % 7) as i64);
+    }
+    let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+    for _ in 0..N * 3 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 33) as usize % N;
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = (state >> 33) as usize % N;
+        if u != v {
+            b.add_edge(u, v, 1 + (state % 40) as i64);
+        }
+    }
+    b.build().expect("fixture graph is valid")
+}
+
+#[test]
+fn warm_partition_kway_allocation_lock() {
+    let graph = fixed_graph();
+    let cfg = BisectConfig::default();
+    let mut ws = PartitionWorkspace::new();
+
+    // Warm the workspace to its high-water mark (two calls: the second can
+    // still grow buffers if the first's recursion shapes were smaller).
+    let cold = partition_kway_in(&graph, 12, &cfg, &mut ws).expect("k=12 partitions");
+    partition_kway_in(&graph, 12, &cfg, &mut ws).expect("k=12 partitions");
+
+    let before = alloc_count();
+    let warm = partition_kway_in(&graph, 12, &cfg, &mut ws).expect("k=12 partitions");
+    let warm_allocs = alloc_count() - before;
+
+    assert_eq!(cold, warm, "workspace reuse must not change the labeling");
+
+    // Outputs still allocate (subgraphs, coarse levels, label vectors), but
+    // scratch no longer does. Observed ~1.3k warm allocations for this
+    // fixture; the ceiling leaves slack for RNG-stream and allocator-shim
+    // differences across toolchains while still catching a return of the
+    // ~20x pre-refactor behavior.
+    const CEILING: u64 = 6_000;
+    assert!(
+        warm_allocs <= CEILING,
+        "warm partition_kway allocated {warm_allocs} times (ceiling {CEILING}); \
+         scratch allocation crept back into the hot path"
+    );
+}
+
+#[test]
+fn workspace_reuse_allocates_less_than_fresh_calls() {
+    let graph = fixed_graph();
+    let cfg = BisectConfig::default();
+
+    let mut ws = PartitionWorkspace::new();
+    partition_kway_in(&graph, 12, &cfg, &mut ws).expect("warmup");
+
+    let before = alloc_count();
+    partition_kway_in(&graph, 12, &cfg, &mut ws).expect("warm call");
+    let warm = alloc_count() - before;
+
+    let before = alloc_count();
+    partition_kway(&graph, 12, &cfg).expect("fresh call");
+    let fresh = alloc_count() - before;
+
+    assert!(
+        warm < fresh,
+        "a warm workspace call ({warm} allocs) must beat a fresh one ({fresh})"
+    );
+}

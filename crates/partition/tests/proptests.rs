@@ -168,23 +168,84 @@ proptest! {
     }
 
     /// Subgraph extraction preserves weights and internal edge structure.
+    /// The input slice is itself the new→old mapping.
     #[test]
     fn subgraph_invariants(g in arb_graph(30)) {
         let n = g.vertex_count();
         let subset: Vec<usize> = (0..n).step_by(2).collect();
         prop_assume!(subset.len() >= 2);
-        let (sub, mapping) = g.subgraph(&subset);
+        let sub = g.subgraph(&subset);
         prop_assert_eq!(sub.vertex_count(), subset.len());
-        for (new, &old) in mapping.iter().enumerate() {
+        for (new, &old) in subset.iter().enumerate() {
             prop_assert_eq!(sub.vertex_weight(new).0, g.vertex_weight(old).0);
         }
         // Each subgraph edge exists in the original with the same weight.
         for v in 0..sub.vertex_count() {
             for (u, w) in sub.neighbors(v) {
-                let (ov, ou) = (mapping[v], mapping[u]);
+                let (ov, ou) = (subset[v], subset[u]);
                 let orig: Vec<_> = g.neighbors(ov).filter(|(x, _)| *x == ou).collect();
                 prop_assert_eq!(orig, vec![(ou, w)]);
             }
         }
     }
+
+    /// The CSR-native subgraph extraction is exactly equivalent to the old
+    /// builder-based implementation (reimplemented here as the reference)
+    /// on arbitrary graphs and subsets — including unsorted subsets, the
+    /// empty subset, and the full vertex set.
+    #[test]
+    fn subgraph_matches_builder_reference(
+        g in arb_graph(30),
+        selector in proptest::collection::vec(any::<bool>(), 30),
+        rot in 0usize..30,
+    ) {
+        let n = g.vertex_count();
+        // Sorted subset from the selector mask...
+        let mut subset: Vec<usize> = (0..n).filter(|&v| selector[v]).collect();
+        assert_subgraph_matches_reference(&g, &subset)?;
+        // ...an unsorted rotation of it...
+        if !subset.is_empty() {
+            let r = rot % subset.len();
+            subset.rotate_left(r);
+            assert_subgraph_matches_reference(&g, &subset)?;
+        }
+        // ...the empty subset, and the full vertex set.
+        assert_subgraph_matches_reference(&g, &[])?;
+        let full: Vec<usize> = (0..n).collect();
+        assert_subgraph_matches_reference(&g, &full)?;
+    }
+}
+
+/// The pre-optimization `Graph::subgraph`: rebuild through [`GraphBuilder`]
+/// (BTreeMap merge, sorted rows) — the behavioral contract the CSR-native
+/// extraction must reproduce exactly.
+fn reference_subgraph(g: &Graph, vertices: &[usize]) -> Graph {
+    let mut old_to_new = vec![usize::MAX; g.vertex_count()];
+    for (new, &old) in vertices.iter().enumerate() {
+        old_to_new[old] = new;
+    }
+    let mut b = GraphBuilder::new(g.dims());
+    for &old in vertices {
+        b.add_vertex(VertexWeight::new(g.vertex_weight_slice(old)));
+    }
+    for (new_v, &old_v) in vertices.iter().enumerate() {
+        for (old_u, w) in g.neighbors(old_v) {
+            let new_u = old_to_new[old_u];
+            if new_u != usize::MAX && new_v < new_u {
+                b.add_edge(new_v, new_u, w);
+            }
+        }
+    }
+    b.build().expect("subgraph of a valid graph is valid")
+}
+
+fn assert_subgraph_matches_reference(g: &Graph, vertices: &[usize]) -> Result<(), TestCaseError> {
+    let fast = g.subgraph(vertices);
+    let reference = reference_subgraph(g, vertices);
+    prop_assert_eq!(fast.xadj(), reference.xadj());
+    prop_assert_eq!(fast.adjncy(), reference.adjncy());
+    prop_assert_eq!(fast.adjwgt(), reference.adjwgt());
+    prop_assert_eq!(fast.vwgt_flat(), reference.vwgt_flat());
+    prop_assert_eq!(fast.dims(), reference.dims());
+    Ok(())
 }

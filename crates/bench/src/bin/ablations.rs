@@ -7,6 +7,7 @@
 //! 3. Incremental repartitioning stickiness: migration count vs cut quality
 //!    (the paper's Section IV-C future-work knob).
 
+use goldilocks_bench::runner::die;
 use goldilocks_core::GoldilocksConfig;
 use goldilocks_partition::{incremental_repartition, BisectConfig, VertexWeight};
 use goldilocks_sim::epoch::{run_policy, Policy};
@@ -22,7 +23,8 @@ fn pee_sweep() {
     let mut rows = Vec::new();
     for pee in [0.60, 0.70, 0.80, 0.90, 0.95] {
         let cfg = GoldilocksConfig::default().with_pee_target(pee);
-        let run = run_policy(&scenario, &Policy::Goldilocks(cfg)).expect("feasible");
+        let run = run_policy(&scenario, &Policy::Goldilocks(cfg))
+            .unwrap_or_else(|e| die(&format!("PEE sweep run: {e}")));
         let s = summarize(&run);
         rows.push(vec![
             format!("{:.0}%", pee * 100.0),
@@ -52,7 +54,9 @@ fn locality_onoff() {
         blind_input.flows.clear();
         for (label, input) in [("min-cut grouping", &live), ("locality off", &blind_input)] {
             let mut gold = Goldilocks::with_config(GoldilocksConfig::paper());
-            let placement = gold.place(input, &scenario.tree).expect("feasible");
+            let placement = gold
+                .place(input, &scenario.tree)
+                .unwrap_or_else(|e| die(&format!("{label} placement: {e}")));
             let utils = placement.server_cpu_utilizations(&live, &scenario.tree);
             let tct = mean_tct_ms(
                 &scenario.latency,
@@ -78,7 +82,9 @@ fn locality_onoff() {
 fn incremental_stickiness() {
     println!("== Ablation 3: incremental repartitioning stickiness ==");
     let w = twitter_caching(176, 42);
-    let graph = w.container_graph(0).expect("graph");
+    let graph = w
+        .container_graph(0)
+        .unwrap_or_else(|e| die(&format!("container graph: {e}")));
     let cap = VertexWeight::new(vec![2240.0, 57.6, 900.0]);
     let cfg = BisectConfig::default();
     // Old assignment: a partition from a slightly different seed, simulating
@@ -88,15 +94,15 @@ fn incremental_stickiness() {
         ..cfg.clone()
     };
     let old = goldilocks_partition::recursive_bisect(&graph, |x| x.fits_within(&cap), &old_cfg)
-        .expect("old partition")
+        .unwrap_or_else(|e| die(&format!("old partition: {e}")))
         .group_assignment(w.len());
     let old: Vec<Option<usize>> = old.into_iter().map(Some).collect();
 
     let headers = ["stickiness", "migrations", "k-way cut", "groups"];
     let mut rows = Vec::new();
     for sticky in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let res =
-            incremental_repartition(&graph, &old, |x| x.fits_within(&cap), sticky, &cfg).unwrap();
+        let res = incremental_repartition(&graph, &old, |x| x.fits_within(&cap), sticky, &cfg)
+            .unwrap_or_else(|e| die(&format!("incremental repartition: {e}")));
         rows.push(vec![
             fmt(sticky, 2),
             res.moved.len().to_string(),
@@ -131,7 +137,8 @@ fn incremental_in_the_loop() {
         ),
     ];
     for (label, policy) in variants {
-        let run = run_policy(&scenario, &policy).expect("feasible");
+        let run =
+            run_policy(&scenario, &policy).unwrap_or_else(|e| die(&format!("{label} run: {e}")));
         let s = summarize(&run);
         let freeze: f64 = run.records.iter().map(|r| r.freeze_seconds).sum();
         rows.push(vec![

@@ -8,7 +8,7 @@
 //! threads, 20 epochs).
 
 use goldilocks_bench::runner::{
-    parallel_from_args, timed_lineup_with_baseline, write_bench_json, BaselinePerf,
+    die, parallel_from_args, timed_lineup_with_baseline, write_bench_json, BaselinePerf,
 };
 use goldilocks_sim::report::{fmt, render_table};
 use goldilocks_sim::scenarios::{azure_testbed, wiki_testbed};
@@ -18,8 +18,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let epochs = args
         .windows(2)
-        .find(|p| p[0] == "--epochs")
-        .and_then(|p| p[1].parse::<usize>().ok())
+        .find_map(|p| match p {
+            [flag, value] if flag == "--epochs" => value.parse::<usize>().ok(),
+            _ => None,
+        })
         .unwrap_or(20);
 
     println!(
@@ -48,7 +50,7 @@ fn main() {
     {
         let baseline = (epochs == 20).then_some(baseline);
         let (_, bench) = timed_lineup_with_baseline(name, scenario, &parallel, baseline)
-            .expect("scenario is feasible");
+            .unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
         benches.push(bench);
     }
 

@@ -8,6 +8,7 @@
 //! Usage: `failure_injection [seed] [epochs]` (defaults: 42, 60). The same
 //! seed replays the identical run, byte for byte.
 
+use goldilocks_bench::runner::die;
 use goldilocks_cluster::MigrationModel;
 use goldilocks_core::GoldilocksConfig;
 use goldilocks_sim::chaos::{run_chaos, FaultPlan, FaultPlanConfig, FaultSchedule};
@@ -83,9 +84,11 @@ fn main() {
     );
 
     let baseline = run_chaos(&s, &policy, &FaultSchedule::empty(epochs), seed)
-        .expect("fault-free control run");
-    let chaos = run_chaos(&s, &policy, &schedule, seed).expect("chaos run survives the plan");
-    let replay = run_chaos(&s, &policy, &schedule, seed).expect("replay");
+        .unwrap_or_else(|e| die(&format!("fault-free control run: {e}")));
+    let chaos =
+        run_chaos(&s, &policy, &schedule, seed).unwrap_or_else(|e| die(&format!("chaos run: {e}")));
+    let replay = run_chaos(&s, &policy, &schedule, seed)
+        .unwrap_or_else(|e| die(&format!("replay run: {e}")));
     assert_eq!(
         chaos_to_csv(std::slice::from_ref(&chaos)),
         chaos_to_csv(std::slice::from_ref(&replay)),
@@ -120,7 +123,7 @@ fn main() {
         .records
         .iter()
         .min_by_key(|r| r.healthy_servers)
-        .expect("non-empty run");
+        .unwrap_or_else(|| die("empty chaos run"));
     println!(
         "worst epoch {}: {} healthy servers, fallback {}, {}/{} served",
         worst.epoch,

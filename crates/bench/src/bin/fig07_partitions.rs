@@ -2,6 +2,7 @@
 //! workload grouped onto testbed servers; (b) the 100-vertex Microsoft-trace
 //! snapshot split into balanced min-cut partitions.
 
+use goldilocks_bench::runner::die;
 use goldilocks_core::{Goldilocks, GoldilocksConfig};
 use goldilocks_partition::{partition_kway, BisectConfig};
 use goldilocks_sim::report::render_table;
@@ -22,7 +23,7 @@ fn main() {
     let gold = Goldilocks::with_config(GoldilocksConfig::paper());
     let (placement, details) = gold
         .place_with_details(&workload, &tree)
-        .expect("224 containers fit the testbed");
+        .unwrap_or_else(|e| die(&format!("fig 7a placement: {e}")));
     println!(
         "{} containers → {} groups on {} active servers",
         workload.len(),
@@ -47,8 +48,11 @@ fn main() {
         ..SearchTraceConfig::default()
     });
     let snap = snapshot(&trace, 100);
-    let graph = snap.container_graph(0).expect("snapshot graph");
-    let labels = partition_kway(&graph, 5, &BisectConfig::default()).expect("5-way split");
+    let graph = snap
+        .container_graph(0)
+        .unwrap_or_else(|e| die(&format!("snapshot graph: {e}")));
+    let labels = partition_kway(&graph, 5, &BisectConfig::default())
+        .unwrap_or_else(|e| die(&format!("5-way split: {e}")));
     let mut sizes = [0usize; 5];
     for &l in &labels {
         sizes[l] += 1;

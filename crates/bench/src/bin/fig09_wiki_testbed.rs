@@ -4,6 +4,7 @@
 //! and energy per request — over 60 one-minute epochs for the five policies,
 //! then prints the per-policy averages (feeding Fig. 11).
 
+use goldilocks_bench::runner::die;
 use goldilocks_sim::epoch::run_lineup;
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::wiki_testbed;
@@ -12,7 +13,7 @@ use goldilocks_sim::summary::{power_saving_vs, summarize};
 fn main() {
     let scenario = wiki_testbed(60, 176, 42);
     println!("== Fig. 9: {} ==", scenario.name);
-    let runs = run_lineup(&scenario).expect("scenario is feasible");
+    let runs = run_lineup(&scenario).unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
     // Full time series as CSV for plotting.
     let _ = std::fs::create_dir_all("results");
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
@@ -39,7 +40,10 @@ fn main() {
 
     // Averages (the Fig. 11 inputs).
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
-    let baseline = summaries[0].clone();
+    let baseline = summaries
+        .first()
+        .cloned()
+        .unwrap_or_else(|| die("empty lineup"));
     let headers = [
         "policy",
         "avg active",

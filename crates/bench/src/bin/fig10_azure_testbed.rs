@@ -2,6 +2,7 @@
 //! pattern (149–221 containers, Pearson-correlated bursts) on the 16-server
 //! testbed.
 
+use goldilocks_bench::runner::die;
 use goldilocks_sim::epoch::run_lineup;
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::azure_testbed;
@@ -10,7 +11,7 @@ use goldilocks_sim::summary::{power_saving_vs, summarize};
 fn main() {
     let scenario = azure_testbed(60, 42);
     println!("== Fig. 10: {} ==", scenario.name);
-    let runs = run_lineup(&scenario).expect("scenario is feasible");
+    let runs = run_lineup(&scenario).unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
     // Full time series as CSV for plotting.
     let _ = std::fs::create_dir_all("results");
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
@@ -35,7 +36,10 @@ fn main() {
     println!("{}", render_table(&headers, &rows));
 
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
-    let baseline = summaries[0].clone();
+    let baseline = summaries
+        .first()
+        .cloned()
+        .unwrap_or_else(|| die("empty lineup"));
     let headers = [
         "policy",
         "avg active",

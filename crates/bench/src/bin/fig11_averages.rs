@@ -1,6 +1,7 @@
 //! Fig. 11: average power saving vs E-PVM, task completion time and energy
 //! per request across the two testbed trace patterns (Wikipedia, Azure).
 
+use goldilocks_bench::runner::die;
 use goldilocks_sim::epoch::run_lineup;
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::{azure_testbed, wiki_testbed};
@@ -8,7 +9,7 @@ use goldilocks_sim::summary::{power_saving_vs, summarize, PolicySummary};
 
 fn summaries_for(scenario: &goldilocks_sim::Scenario) -> Vec<PolicySummary> {
     run_lineup(scenario)
-        .expect("scenario is feasible")
+        .unwrap_or_else(|e| die(&format!("scenario lineup: {e}")))
         .iter()
         .map(summarize)
         .collect()
@@ -17,6 +18,9 @@ fn summaries_for(scenario: &goldilocks_sim::Scenario) -> Vec<PolicySummary> {
 fn main() {
     let wiki = summaries_for(&wiki_testbed(60, 176, 42));
     let azure = summaries_for(&azure_testbed(60, 42));
+    let (Some(wiki_base), Some(azure_base)) = (wiki.first(), azure.first()) else {
+        die("empty lineup");
+    };
 
     println!("== Fig. 11(a): average power saving relative to E-PVM ==");
     let headers = ["policy", "Wiki pattern", "Azure pattern"];
@@ -27,8 +31,8 @@ fn main() {
         .map(|(w, a)| {
             vec![
                 w.policy.clone(),
-                pct(power_saving_vs(w, &wiki[0])),
-                pct(power_saving_vs(a, &azure[0])),
+                pct(power_saving_vs(w, wiki_base)),
+                pct(power_saving_vs(a, azure_base)),
             ]
         })
         .collect();
@@ -57,8 +61,9 @@ fn main() {
     println!("{}", render_table(&headers, &rows));
 
     // Headline ratios the paper quotes.
-    let gold_w = wiki.last().unwrap();
-    let gold_a = azure.last().unwrap();
+    let (Some(gold_w), Some(gold_a)) = (wiki.last(), azure.last()) else {
+        die("empty lineup");
+    };
     let best_alt_tct_w = wiki[..wiki.len() - 1]
         .iter()
         .map(|s| s.avg_tct_ms)

@@ -10,7 +10,7 @@
 //! timings.
 
 use goldilocks_bench::runner::{
-    parallel_from_args, timed_lineup_sweep, timed_lineup_with_baseline, write_bench_json,
+    die, parallel_from_args, timed_lineup_sweep, timed_lineup_with_baseline, write_bench_json,
     BaselinePerf,
 };
 use goldilocks_sim::report::{fmt, pct, render_table};
@@ -46,11 +46,11 @@ fn main() {
     let (runs, benches) = if full || explicit_threads {
         let (runs, bench) =
             timed_lineup_with_baseline("fig13", &scenario, &parallel_from_args(), baseline)
-                .expect("scenario is feasible");
+                .unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
         (runs, vec![bench])
     } else {
         timed_lineup_sweep("fig13", &scenario, &[1, 2, 4, 8], baseline)
-            .expect("scenario is feasible")
+            .unwrap_or_else(|e| die(&format!("scenario lineup sweep: {e}")))
     };
     for bench in &benches {
         println!(
@@ -62,10 +62,12 @@ fn main() {
             bench.byte_identical
         );
     }
-    if let (Some(seq), Some(part)) = (
-        benches[0].sequential_speedup_vs_baseline(),
-        benches[0].partition_speedup_vs_baseline(),
-    ) {
+    if let Some((Some(seq), Some(part))) = benches.first().map(|b| {
+        (
+            b.sequential_speedup_vs_baseline(),
+            b.partition_speedup_vs_baseline(),
+        )
+    }) {
         println!(
             "(vs pre-workspace baseline: lineup {seq:.2}x, epoch-0 partition phase {part:.2}x)"
         );
@@ -104,7 +106,10 @@ fn main() {
 
     // Panel (d): averages normalized to E-PVM.
     let summaries: Vec<_> = runs.iter().map(summarize).collect();
-    let baseline = summaries[0].clone();
+    let baseline = summaries
+        .first()
+        .cloned()
+        .unwrap_or_else(|| die("empty lineup"));
     let headers = [
         "policy",
         "active (norm)",

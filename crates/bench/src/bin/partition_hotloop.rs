@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use goldilocks_bench::runner::die;
 use goldilocks_core::{partition_into_groups, GoldilocksConfig};
 use goldilocks_partition::VertexWeight;
 use goldilocks_sim::epoch::epoch_workload;
@@ -26,7 +27,7 @@ fn main() {
             iters = args
                 .next()
                 .and_then(|v| v.parse().ok())
-                .expect("--iters takes a positive integer");
+                .unwrap_or_else(|| die("--iters takes a positive integer"));
         }
     }
 
@@ -35,7 +36,7 @@ fn main() {
     let w = epoch_workload(&scenario, 0);
     let graph = w
         .container_graph(cfg.anti_affinity_weight)
-        .expect("fig13 workload builds a valid container graph");
+        .unwrap_or_else(|e| die(&format!("fig13 workload graph: {e}")));
 
     let min_cap = scenario
         .tree
@@ -50,7 +51,7 @@ fn main() {
                 a.network_mbps.min(r.network_mbps),
             )),
         })
-        .expect("scenario has healthy servers");
+        .unwrap_or_else(|| die("scenario has no healthy servers"));
     let cap = cfg.cap_resources(&min_cap);
     let cap_weight = VertexWeight::new(cap.as_array().to_vec());
 
@@ -63,13 +64,13 @@ fn main() {
     for i in 0..iters {
         let t = Instant::now();
         let groups = partition_into_groups(&graph, &cap_weight, &cfg.bisect)
-            .expect("fig13 epoch-0 graph partitions");
+            .unwrap_or_else(|e| die(&format!("fig13 epoch-0 partition: {e}")));
         let s = t.elapsed().as_secs_f64();
         times.push(s);
         println!("  iter {i}: {s:.5} s ({} groups)", groups.len());
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let min = times[0];
-    let median = times[times.len() / 2];
-    println!("min {min:.5} s, median {median:.5} s");
+    times.sort_by(f64::total_cmp);
+    if let (Some(min), Some(median)) = (times.first(), times.get(times.len() / 2)) {
+        println!("min {min:.5} s, median {median:.5} s");
+    }
 }

@@ -11,6 +11,7 @@
 //!
 //! Usage: `recovery_drill [--seed N] [--epochs M]` (defaults: 7, 20).
 
+use goldilocks_bench::runner::die;
 use goldilocks_sim::chaos::{ChaosDriver, FaultPlan, FaultPlanConfig};
 use goldilocks_sim::epoch::Policy;
 use goldilocks_sim::report::render_table;
@@ -39,10 +40,18 @@ fn parse_args() -> (u64, usize) {
     while let Some(flag) = args.next() {
         let value = args.next();
         match (flag.as_str(), value) {
-            ("--seed", Some(v)) => seed = v.parse().expect("--seed takes an integer"),
-            ("--epochs", Some(v)) => epochs = v.parse().expect("--epochs takes an integer"),
+            ("--seed", Some(v)) => {
+                seed = v.parse().unwrap_or_else(|_| die("--seed takes an integer"));
+            }
+            ("--epochs", Some(v)) => {
+                epochs = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--epochs takes an integer"));
+            }
             (other, _) => {
-                panic!("unknown argument {other}; usage: recovery_drill [--seed N] [--epochs M]")
+                die(&format!(
+                    "unknown argument {other}; usage: recovery_drill [--seed N] [--epochs M]"
+                ));
             }
         }
     }
@@ -93,7 +102,8 @@ fn main() {
 
     // The reference: one uninterrupted run.
     let mut base = ChaosDriver::new(&s, &policy, &schedule, seed);
-    base.run_remaining().expect("reference run");
+    base.run_remaining()
+        .unwrap_or_else(|e| die(&format!("reference run: {e}")));
     let reference = base.assignment(n);
     let wal_len = base.wal_bytes().len();
     let run = base.finish();
@@ -112,15 +122,19 @@ fn main() {
     // (data plane survived) and cold (WAL bytes are all that is left).
     for boundary in 1..epochs {
         let mut victim = ChaosDriver::new(&s, &policy, &schedule, seed);
-        victim.run_to(boundary).expect("run to boundary");
+        victim
+            .run_to(boundary)
+            .unwrap_or_else(|e| die(&format!("run to boundary {boundary}: {e}")));
         let wal = victim.wal_bytes().to_vec();
         let data_plane = victim.data_plane();
         drop(victim);
 
         for (mode, dp) in [("warm", Some(data_plane)), ("cold", None)] {
             let mut resumed = ChaosDriver::resume(&s, &policy, &schedule, seed, &wal, dp)
-                .expect("resume from boundary WAL");
-            resumed.run_remaining().expect("resumed run");
+                .unwrap_or_else(|e| die(&format!("{mode} resume from boundary WAL: {e}")));
+            resumed
+                .run_remaining()
+                .unwrap_or_else(|e| die(&format!("{mode} resumed run: {e}")));
             let got = resumed.assignment(n);
             assert_eq!(
                 got, reference,
@@ -152,16 +166,22 @@ fn main() {
         let epoch = pick.below(epochs as u64) as usize;
         let units = pick.below(6) as usize;
         let mut victim = ChaosDriver::new(&s, &policy, &schedule, seed);
-        victim.run_to(epoch).expect("run to crash epoch");
-        let committed = victim.step_epoch(Some(units)).expect("partial epoch");
+        victim
+            .run_to(epoch)
+            .unwrap_or_else(|e| die(&format!("run to crash epoch {epoch}: {e}")));
+        let committed = victim
+            .step_epoch(Some(units))
+            .unwrap_or_else(|e| die(&format!("partial epoch {epoch}: {e}")));
         let wal = victim.wal_bytes().to_vec();
         let data_plane = victim.data_plane();
         drop(victim);
 
         for (mode, dp) in [("warm", Some(data_plane)), ("cold", None)] {
             let mut resumed = ChaosDriver::resume(&s, &policy, &schedule, seed, &wal, dp)
-                .expect("resume from mid-epoch WAL");
-            resumed.run_remaining().expect("resumed run");
+                .unwrap_or_else(|e| die(&format!("{mode} resume from mid-epoch WAL: {e}")));
+            resumed
+                .run_remaining()
+                .unwrap_or_else(|e| die(&format!("{mode} resumed run: {e}")));
             let got = resumed.assignment(n);
             assert_eq!(
                 got,

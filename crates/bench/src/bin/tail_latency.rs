@@ -4,6 +4,7 @@
 //! the Wikipedia scenario, plus the burst stress test: what happens to the
 //! tail when a correlated 25 % burst hits each policy's placement.
 
+use goldilocks_bench::runner::die;
 use goldilocks_sim::epoch::{epoch_workload, Policy};
 use goldilocks_sim::latency::{flow_tcts_ms, tct_percentile_ms};
 use goldilocks_sim::report::{fmt, render_table};
@@ -19,7 +20,7 @@ fn main() {
         .enumerate()
         .max_by(|a, b| a.1.load_factor.total_cmp(&b.1.load_factor))
         .map(|(i, _)| i)
-        .expect("non-empty");
+        .unwrap_or_else(|| die("scenario has no epochs"));
     let live = epoch_workload(&scenario, peak);
     println!(
         "== Tail latency at the peak epoch ({} of {}, load factor {:.2}) ==",

@@ -5,6 +5,7 @@
 //! `results/BENCH_*.json` perf records.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod runner;

@@ -295,6 +295,16 @@ pub fn timed_lineup_sweep(
     Ok((last_runs, records))
 }
 
+/// Prints `msg` to stderr and exits with status 2.
+///
+/// Bench binaries are experiment drivers: a broken scenario is not
+/// recoverable, but a clean exit keeps panics (and their backtraces) out of
+/// the perf harness output.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 /// Times the placement control-loop phases of one Goldilocks epoch (epoch 0)
 /// under the given parallelism.
 pub fn time_phases(scenario: &Scenario, parallel: &ParallelConfig) -> PhaseTimings {
@@ -305,7 +315,7 @@ pub fn time_phases(scenario: &Scenario, parallel: &ParallelConfig) -> PhaseTimin
     let t = Instant::now();
     let graph = w
         .container_graph(cfg.anti_affinity_weight)
-        .expect("scenario workload builds a valid container graph");
+        .unwrap_or_else(|e| die(&format!("scenario workload graph: {e}")));
     let graph_build_s = t.elapsed().as_secs_f64();
 
     // Stop rule: the smallest healthy capacity, as the placer uses.
@@ -322,7 +332,7 @@ pub fn time_phases(scenario: &Scenario, parallel: &ParallelConfig) -> PhaseTimin
                 a.network_mbps.min(r.network_mbps),
             )),
         })
-        .expect("scenario has healthy servers");
+        .unwrap_or_else(|| die("scenario has no healthy servers"));
     let cap = cfg.cap_resources(&min_cap);
     let cap_weight = VertexWeight::new(cap.as_array().to_vec());
 
@@ -334,14 +344,14 @@ pub fn time_phases(scenario: &Scenario, parallel: &ParallelConfig) -> PhaseTimin
     for _ in 0..3 {
         let t = Instant::now();
         let _groups = partition_into_groups(&graph, &cap_weight, &cfg.bisect)
-            .expect("scenario epoch 0 partitions");
+            .unwrap_or_else(|e| die(&format!("scenario epoch 0 partition: {e}")));
         partition_s = partition_s.min(t.elapsed().as_secs_f64());
     }
 
     let t = Instant::now();
     let placement = Goldilocks::with_config(cfg)
         .place(&w, &scenario.tree)
-        .expect("scenario epoch 0 places");
+        .unwrap_or_else(|e| die(&format!("scenario epoch 0 place: {e}")));
     let place_total_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
@@ -387,10 +397,10 @@ pub fn sweep_scenarios(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scenario worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|_| die("scenario worker panicked")))
             .collect()
     })
-    .expect("sweep scope")
+    .unwrap_or_else(|_| die("sweep scope panicked"))
 }
 
 /// Parses a `--threads N` argument pair from the binary's argv; defaults to
@@ -398,9 +408,11 @@ pub fn sweep_scenarios(
 pub fn parallel_from_args() -> ParallelConfig {
     let args: Vec<String> = std::env::args().collect();
     for pair in args.windows(2) {
-        if pair[0] == "--threads" {
-            if let Ok(n) = pair[1].parse::<usize>() {
-                return ParallelConfig::with_threads(n);
+        if let [flag, value] = pair {
+            if flag == "--threads" {
+                if let Ok(n) = value.parse::<usize>() {
+                    return ParallelConfig::with_threads(n);
+                }
             }
         }
     }

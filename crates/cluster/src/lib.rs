@@ -35,6 +35,7 @@
 //! The flow-level metrics and experiment drivers live in `goldilocks-sim`.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod error;

@@ -7,7 +7,7 @@
 //! transition list between successive placements — the exact command stream
 //! the paper's Python controller would send.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use goldilocks_placement::Placement;
 use goldilocks_topology::ServerId;
@@ -82,7 +82,7 @@ impl std::error::Error for LifecycleError {}
 /// The running-container table of the emulated cluster.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ContainerRuntime {
-    running: HashMap<usize, ServerId>,
+    running: BTreeMap<usize, ServerId>,
 }
 
 impl ContainerRuntime {

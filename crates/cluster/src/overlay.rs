@@ -6,7 +6,7 @@
 //! manager maintaining that mapping over a VxLAN overlay; this module is
 //! that manager.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -63,7 +63,7 @@ pub struct IpRegistry {
 #[derive(Debug, Default)]
 struct RegistryInner {
     /// container → (app ip, current server)
-    entries: HashMap<usize, (AppIp, ServerId)>,
+    entries: BTreeMap<usize, (AppIp, ServerId)>,
     next_app: u32,
 }
 

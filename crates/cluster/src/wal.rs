@@ -104,17 +104,15 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
     pub(crate) fn u8(&mut self) -> Result<u8, WalError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WalError::Truncated)
     }
     pub(crate) fn u32(&mut self) -> Result<u32, WalError> {
-        let s = self.take(4)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        let a: [u8; 4] = self.take(4)?.try_into().map_err(|_| WalError::Truncated)?;
+        Ok(u32::from_le_bytes(a))
     }
     pub(crate) fn u64(&mut self) -> Result<u64, WalError> {
-        let s = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
-        ]))
+        let a: [u8; 8] = self.take(8)?.try_into().map_err(|_| WalError::Truncated)?;
+        Ok(u64::from_le_bytes(a))
     }
     pub(crate) fn done(&self) -> bool {
         self.pos == self.b.len()

@@ -92,9 +92,9 @@ impl Goldilocks {
                     a.network_mbps.min(r.network_mbps),
                 )),
             })
-            // Unreachable: the empty healthy set already returned
-            // `PlaceError::Infeasible` above.
-            .expect("non-empty healthy set");
+            .ok_or_else(|| PlaceError::Infeasible {
+                reason: "no healthy servers".to_string(),
+            })?;
         let cap = self.config.cap_resources(&min_cap);
         let cap_weight = VertexWeight::new(cap.as_array().to_vec());
 

@@ -10,7 +10,7 @@
 //! occupies — so an unchanged workload migrates nothing, and a mildly
 //! changed one migrates only what the partition quality requires.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use goldilocks_partition::{incremental_repartition, VertexWeight};
 use goldilocks_placement::{PlaceError, Placement, Placer};
@@ -31,7 +31,7 @@ pub struct IncrementalGoldilocks {
     /// Previous epoch's group label per container.
     previous_groups: Vec<Option<usize>>,
     /// Which server each group label occupies.
-    group_servers: HashMap<usize, ServerId>,
+    group_servers: BTreeMap<usize, ServerId>,
 }
 
 impl IncrementalGoldilocks {
@@ -52,7 +52,7 @@ impl IncrementalGoldilocks {
             config,
             stickiness,
             previous_groups: Vec::new(),
-            group_servers: HashMap::new(),
+            group_servers: BTreeMap::new(),
         }
     }
 
@@ -91,9 +91,9 @@ impl Placer for IncrementalGoldilocks {
                     a.network_mbps.min(r.network_mbps),
                 )),
             })
-            // Unreachable: the empty healthy set already returned
-            // `PlaceError::Infeasible` above.
-            .expect("non-empty healthy set");
+            .ok_or_else(|| PlaceError::Infeasible {
+                reason: "no healthy servers".to_string(),
+            })?;
         let cap = self.config.cap_resources(&min_cap);
         let cap_weight = VertexWeight::new(cap.as_array().to_vec());
 
@@ -129,9 +129,9 @@ impl Placer for IncrementalGoldilocks {
             .into_iter()
             .filter(|s| !tree.server(*s).failed)
             .collect();
-        let mut used_servers: std::collections::HashSet<ServerId> =
-            std::collections::HashSet::new();
-        let mut mapping: HashMap<usize, ServerId> = HashMap::new();
+        let mut used_servers: std::collections::BTreeSet<ServerId> =
+            std::collections::BTreeSet::new();
+        let mut mapping: BTreeMap<usize, ServerId> = BTreeMap::new();
         for &label in &live_labels {
             if let Some(&s) = self.group_servers.get(&label) {
                 if !tree.server(s).failed && used_servers.insert(s) {
@@ -141,7 +141,7 @@ impl Placer for IncrementalGoldilocks {
         }
         let mut free = dfs.iter().copied().filter(|s| !used_servers.contains(s));
         for &label in &live_labels {
-            if let std::collections::hash_map::Entry::Vacant(e) = mapping.entry(label) {
+            if let std::collections::btree_map::Entry::Vacant(e) = mapping.entry(label) {
                 let s = free.next().ok_or_else(|| PlaceError::Infeasible {
                     reason: format!(
                         "{} groups exceed {} healthy servers",
@@ -156,7 +156,7 @@ impl Placer for IncrementalGoldilocks {
         // Validate capacity per assigned server (a heterogeneous pinned
         // server may be smaller than the min-cap assumption).
         let mut placement = Placement::unplaced(workload.len());
-        let mut loads: HashMap<ServerId, Resources> = HashMap::new();
+        let mut loads: BTreeMap<ServerId, Resources> = BTreeMap::new();
         for (c, &label) in result.assignment.iter().enumerate() {
             let s = mapping[&label];
             let entry = loads.entry(s).or_insert_with(Resources::zero);
@@ -173,7 +173,7 @@ impl Placer for IncrementalGoldilocks {
                 let placement = fresh.place(workload, tree)?;
                 // Rebuild state from the fresh placement: one label per
                 // server in assignment order.
-                let mut label_of_server: HashMap<ServerId, usize> = HashMap::new();
+                let mut label_of_server: BTreeMap<ServerId, usize> = BTreeMap::new();
                 let mut groups = Vec::new();
                 for a in placement.assignment.iter().flatten() {
                     let next = label_of_server.len();

@@ -183,7 +183,7 @@ impl Placer for GoldilocksAsym {
                     continue;
                 }
                 // Placed containers outside this subtree.
-                let inside: std::collections::HashSet<usize> =
+                let inside: std::collections::BTreeSet<usize> =
                     net.servers_under(st).into_iter().map(|s| s.0).collect();
                 let placed_outside_bw = placed_bw_total
                     - placed_bw_by_server
@@ -199,7 +199,10 @@ impl Placer for GoldilocksAsym {
                     let required = vc.bandwidth_of(&a_positions).min(inter_term);
                     if required <= net.residual_mbps(st) + 1e-9 {
                         // Commit the whole group here.
-                        net.reserve_mbps(st, required).expect("checked residual");
+                        net.reserve_mbps(st, required)
+                            .map_err(|e| PlaceError::Infeasible {
+                                reason: format!("bandwidth reservation: {e}"),
+                            })?;
                         for &(pos, s) in &fit {
                             let c = vc.members[pos];
                             tracker.add(s, workload.containers[c].demand);
@@ -244,7 +247,7 @@ impl Placer for GoldilocksAsym {
                 reason: "no subtree has capacity or bandwidth for this group".into(),
             })?;
             let a_positions: Vec<usize> = fit.iter().map(|(p, _)| *p).collect();
-            let inside: std::collections::HashSet<usize> =
+            let inside: std::collections::BTreeSet<usize> =
                 net.servers_under(st).into_iter().map(|s| s.0).collect();
             let placed_outside_bw = placed_bw_total
                 - placed_bw_by_server
@@ -261,7 +264,7 @@ impl Placer for GoldilocksAsym {
                 .map_err(|e| PlaceError::Infeasible {
                     reason: format!("bandwidth reservation: {e}"),
                 })?;
-            let placed_set: std::collections::HashSet<usize> =
+            let placed_set: std::collections::BTreeSet<usize> =
                 a_positions.iter().copied().collect();
             for &(pos, s) in &fit {
                 let c = vc.members[pos];

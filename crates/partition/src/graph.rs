@@ -148,10 +148,10 @@ impl Graph {
         dims: usize,
     ) -> Graph {
         debug_assert!(!xadj.is_empty());
-        debug_assert_eq!(*xadj.last().expect("non-empty"), adjncy.len());
+        debug_assert_eq!(xadj.last().copied(), Some(adjncy.len()));
         debug_assert_eq!(adjncy.len(), adjwgt.len());
         debug_assert_eq!(vwgt.len(), (xadj.len() - 1) * dims);
-        debug_assert!(xadj.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(xadj.is_sorted());
         let total_vwgt = sum_vertex_weights(&vwgt, xadj.len() - 1, dims);
         Graph {
             xadj,
@@ -332,7 +332,7 @@ impl Graph {
         // sorted for free (the hot path — the recursion always passes
         // ascending slices). Otherwise sort each row to keep the canonical
         // sorted-adjacency invariant.
-        let ascending = vertices.windows(2).all(|w| w[0] < w[1]);
+        let ascending = vertices.is_sorted_by(|a, b| a < b);
         let total = xadj[m];
         let mut adjncy = vec![0 as VertexId; total];
         let mut adjwgt = vec![0 as EdgeWeight; total];
@@ -491,12 +491,13 @@ impl GraphBuilder {
             }
         }
         let mut xadj = Vec::with_capacity(n + 1);
-        xadj.push(0);
+        let mut running = 0;
+        xadj.push(running);
         for d in &degree {
-            let last = *xadj.last().expect("non-empty");
-            xadj.push(last + d);
+            running += d;
+            xadj.push(running);
         }
-        let total = *xadj.last().expect("non-empty");
+        let total = running;
         let mut adjncy = vec![0; total];
         let mut adjwgt = vec![0; total];
         let mut cursor = xadj[..n].to_vec();

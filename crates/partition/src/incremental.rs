@@ -8,7 +8,7 @@
 //! *stickiness pass* that moves vertices back to their old group when doing
 //! so costs little cut and does not violate capacity.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::bisect::BisectConfig;
 use crate::error::PartitionError;
@@ -40,7 +40,7 @@ pub fn relabel_to_minimize_moves(
     new_groups: usize,
 ) -> Vec<usize> {
     // overlap[(new, old)] = count
-    let mut overlap: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut overlap: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     let mut max_old = 0usize;
     for (v, &g) in new_assign.iter().enumerate() {
         if let Some(Some(old)) = old_assign.get(v) {
@@ -326,7 +326,7 @@ mod tests {
             &BisectConfig::default(),
         )
         .unwrap();
-        let mut weights: HashMap<usize, f64> = HashMap::new();
+        let mut weights: BTreeMap<usize, f64> = BTreeMap::new();
         for (v, &a) in inc.assignment.iter().enumerate() {
             *weights.entry(a).or_insert(0.0) += g.vertex_weight(v).component(0);
         }

@@ -218,9 +218,14 @@ where
                     fork_levels - 1,
                     ws,
                 );
+                // lint:allow(no-panic-in-libs) -- re-raising a child thread's
+                // panic is the only sound response to a poisoned scoped join;
+                // swallowing it would silently return a half-computed bisection.
                 let left = l.join().expect("bisection branch panicked");
                 (left, right)
             })
+            // lint:allow(no-panic-in-libs) -- crossbeam scope errors only on
+            // unjoined child panics, which the join above already re-raised.
             .expect("bisection scope")
         } else {
             (
@@ -372,9 +377,14 @@ fn kway_recurse(
                     fork_levels - 1,
                     ws,
                 );
+                // lint:allow(no-panic-in-libs) -- re-raising a child thread's
+                // panic is the only sound response to a poisoned scoped join;
+                // swallowing it would silently return a half-computed k-way split.
                 let left = l.join().expect("k-way branch panicked");
                 (left, right)
             })
+            // lint:allow(no-panic-in-libs) -- crossbeam scope errors only on
+            // unjoined child panics, which the join above already re-raised.
             .expect("k-way scope")
         } else {
             (

@@ -76,9 +76,9 @@ impl<'a> VertexHeap<'a> {
     fn pop(&mut self) -> Option<usize> {
         let top = heap_vertex(*self.heap.first()?);
         self.pos[top] = Self::ABSENT;
-        let last = self.heap.pop().expect("heap is non-empty");
-        if !self.heap.is_empty() {
-            self.heap[0] = last;
+        let last = self.heap.pop()?;
+        if let Some(slot) = self.heap.first_mut() {
+            *slot = last;
             self.pos[heap_vertex(last)] = 0;
             self.sift_down(0);
         }
@@ -295,21 +295,18 @@ pub(crate) fn refine_in_place(
             }
         }
 
-        let accept = match best_idx {
-            Some(i) => {
-                let (_, c, imb) = log[i];
-                if start_feasible {
-                    c < start_cut
-                } else {
-                    // Accept if balance improved, or same balance with less cut.
-                    imb < start_imb - 1e-12 || (imb <= start_imb + 1e-12 && c < start_cut)
-                }
+        let accepted = best_idx.filter(|&i| {
+            let (_, c, imb) = log[i];
+            if start_feasible {
+                c < start_cut
+            } else {
+                // Accept if balance improved, or same balance with less cut.
+                imb < start_imb - 1e-12 || (imb <= start_imb + 1e-12 && c < start_cut)
             }
-            None => false,
-        };
+        });
 
-        if accept {
-            let keep = best_idx.expect("accept implies index") + 1;
+        if let Some(best) = accepted {
+            let keep = best + 1;
             // Rebuild side from the original by replaying the kept prefix.
             for &(v, _, _) in &log[..keep] {
                 side[v] = 1 - side[v];

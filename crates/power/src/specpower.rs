@@ -77,9 +77,10 @@ pub fn synthesize_population(total: usize, seed: u64) -> Vec<SpecResult> {
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = reference_distribution();
     let per_year = total / dist.len();
+    let last_year = dist.last().map(|yd| yd.year);
     let mut out = Vec::with_capacity(total);
     for yd in &dist {
-        let n = if yd.year == dist.last().expect("non-empty").year {
+        let n = if Some(yd.year) == last_year {
             total - out.len()
         } else {
             per_year
@@ -99,13 +100,15 @@ pub fn synthesize_population(total: usize, seed: u64) -> Vec<SpecResult> {
 fn sample_bucket(shares: &[f64; 5], rng: &mut StdRng) -> u32 {
     let x: f64 = rng.gen();
     let mut acc = 0.0;
-    for (i, s) in shares.iter().enumerate() {
+    let mut chosen = PEE_BUCKETS[PEE_BUCKETS.len() - 1];
+    for (s, &bucket) in shares.iter().zip(PEE_BUCKETS.iter()) {
         acc += s;
         if x <= acc {
-            return PEE_BUCKETS[i];
+            chosen = bucket;
+            break;
         }
     }
-    *PEE_BUCKETS.last().expect("non-empty")
+    chosen
 }
 
 /// Builds a server whose efficiency peaks at `pee_percent` % load, with

@@ -29,7 +29,7 @@
 //! controller is down; [`ChaosDriver::resume`] accepts them if they
 //! survived, or rebuilds the controller's view of them from the log.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use goldilocks_cluster::{
     anti_entropy, execute_unit, recover, ClusterError, ClusterState, ContainerRuntime, Disposition,
@@ -244,7 +244,7 @@ pub struct ChaosRun {
 }
 
 /// Open-fault bookkeeping key for MTTR.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum FaultKey {
     Server(usize),
     Uplink(usize),
@@ -261,7 +261,7 @@ struct PendingEpoch {
     shed: usize,
     /// Containers whose unit already resolved before the crash — their
     /// outcome is final and their failure rolls were already consumed.
-    skip: HashSet<usize>,
+    skip: BTreeSet<usize>,
 }
 
 /// A crash-recoverable chaos run in progress. See the module docs for the
@@ -277,10 +277,10 @@ pub struct ChaosDriver<'a> {
     // replaying the fault schedule on resume.
     tree: DcTree,
     nominal_resources: Vec<Resources>,
-    nominal_uplink: HashMap<NodeId, f64>,
-    switch_victims: HashMap<NodeId, Vec<ServerId>>,
+    nominal_uplink: BTreeMap<NodeId, f64>,
+    switch_victims: BTreeMap<NodeId, Vec<ServerId>>,
     storm_prob: Option<f64>,
-    open_faults: HashMap<FaultKey, usize>,
+    open_faults: BTreeMap<FaultKey, usize>,
     mttr_samples: Vec<usize>,
 
     // The data plane: keeps running while the controller is down.
@@ -313,7 +313,7 @@ impl<'a> ChaosDriver<'a> {
         let nominal_resources: Vec<Resources> = (0..tree.server_count())
             .map(|s| tree.server(ServerId(s)).resources)
             .collect();
-        let nominal_uplink: HashMap<NodeId, f64> = tree
+        let nominal_uplink: BTreeMap<NodeId, f64> = tree
             .rack_nodes()
             .into_iter()
             .map(|n| (n, tree.uplink_mbps(n)))
@@ -341,9 +341,9 @@ impl<'a> ChaosDriver<'a> {
             tree,
             nominal_resources,
             nominal_uplink,
-            switch_victims: HashMap::new(),
+            switch_victims: BTreeMap::new(),
             storm_prob: None,
-            open_faults: HashMap::new(),
+            open_faults: BTreeMap::new(),
             mttr_samples: Vec::new(),
             runtime: ContainerRuntime::new(),
             gate,
@@ -529,7 +529,7 @@ impl<'a> ChaosDriver<'a> {
 
         let w = epoch_workload(self.scenario, e);
 
-        let mut skip = HashSet::new();
+        let mut skip = BTreeSet::new();
         let (target, fallback, shed) = match pending {
             Some(p) => {
                 skip = p.skip;

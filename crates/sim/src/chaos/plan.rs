@@ -8,7 +8,7 @@
 //! RNG crate precisely so reproducibility does not depend on a dependency's
 //! stream.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 use goldilocks_topology::{DcTree, NodeId, ServerId};
 
@@ -243,13 +243,13 @@ impl FaultSchedule {
 #[derive(Default)]
 struct GeneratorState {
     /// Servers currently down (individually crashed or rack-failed).
-    down: HashMap<ServerId, ()>,
+    down: BTreeSet<ServerId>,
     /// Racks with a degraded uplink.
-    degraded: HashMap<NodeId, ()>,
+    degraded: BTreeSet<NodeId>,
     /// Racks with a failed switch.
-    rack_down: HashMap<NodeId, ()>,
+    rack_down: BTreeSet<NodeId>,
     /// Current stragglers.
-    straggling: HashMap<ServerId, ()>,
+    straggling: BTreeSet<ServerId>,
     /// A migration storm is active.
     storming: bool,
 }
@@ -303,11 +303,11 @@ impl FaultPlan {
             if rng.chance(cfg.server_crash_rate) {
                 let eligible: Vec<ServerId> = (0..server_count)
                     .map(ServerId)
-                    .filter(|s| !st.down.contains_key(s) && !st.straggling.contains_key(s))
+                    .filter(|s| !st.down.contains(s) && !st.straggling.contains(s))
                     .collect();
                 if !eligible.is_empty() && st.down.len() < max_down {
                     let victim = eligible[rng.index(eligible.len())];
-                    st.down.insert(victim, ());
+                    st.down.insert(victim);
                     events[e].push(FaultEvent::ServerCrash(victim));
                     let re = repair_epoch(&mut rng);
                     if re < epochs {
@@ -319,16 +319,16 @@ impl FaultPlan {
                 let eligible: Vec<NodeId> = racks
                     .iter()
                     .copied()
-                    .filter(|n| !st.rack_down.contains_key(n))
+                    .filter(|n| !st.rack_down.contains(n))
                     .collect();
                 if !eligible.is_empty() {
                     let victim = eligible[rng.index(eligible.len())];
                     let under = tree.servers_under(victim);
-                    let newly_down = under.iter().filter(|s| !st.down.contains_key(s)).count();
+                    let newly_down = under.iter().filter(|s| !st.down.contains(s)).count();
                     if st.down.len() + newly_down <= max_down {
-                        st.rack_down.insert(victim, ());
+                        st.rack_down.insert(victim);
                         for s in under {
-                            st.down.insert(s, ());
+                            st.down.insert(s);
                         }
                         events[e].push(FaultEvent::SwitchFail(victim));
                         let re = repair_epoch(&mut rng);
@@ -342,11 +342,11 @@ impl FaultPlan {
                 let eligible: Vec<NodeId> = racks
                     .iter()
                     .copied()
-                    .filter(|n| !st.degraded.contains_key(n) && !st.rack_down.contains_key(n))
+                    .filter(|n| !st.degraded.contains(n) && !st.rack_down.contains(n))
                     .collect();
                 if !eligible.is_empty() {
                     let victim = eligible[rng.index(eligible.len())];
-                    st.degraded.insert(victim, ());
+                    st.degraded.insert(victim);
                     events[e].push(FaultEvent::UplinkDegrade {
                         node: victim,
                         factor: cfg.uplink_degrade_factor,
@@ -360,11 +360,11 @@ impl FaultPlan {
             if rng.chance(cfg.straggler_rate) {
                 let eligible: Vec<ServerId> = (0..server_count)
                     .map(ServerId)
-                    .filter(|s| !st.down.contains_key(s) && !st.straggling.contains_key(s))
+                    .filter(|s| !st.down.contains(s) && !st.straggling.contains(s))
                     .collect();
                 if !eligible.is_empty() {
                     let victim = eligible[rng.index(eligible.len())];
-                    st.straggling.insert(victim, ());
+                    st.straggling.insert(victim);
                     events[e].push(FaultEvent::Straggler {
                         server: victim,
                         slowdown: cfg.straggler_slowdown,
@@ -378,7 +378,7 @@ impl FaultPlan {
             if rng.chance(cfg.hetero_replace_rate) {
                 let eligible: Vec<ServerId> = (0..server_count)
                     .map(ServerId)
-                    .filter(|s| !st.down.contains_key(s) && !st.straggling.contains_key(s))
+                    .filter(|s| !st.down.contains(s) && !st.straggling.contains(s))
                     .collect();
                 if !eligible.is_empty() {
                     let victim = eligible[rng.index(eligible.len())];

@@ -493,9 +493,14 @@ pub fn run_policies_with(
             .collect();
         handles
             .into_iter()
+            // lint:allow(no-panic-in-libs) -- re-raising a policy worker's
+            // panic is the only sound response to a poisoned scoped join;
+            // swallowing it would drop a lineup column silently.
             .map(|h| h.join().expect("policy worker panicked"))
             .collect::<Vec<_>>()
     })
+    // lint:allow(no-panic-in-libs) -- crossbeam scope errors only on
+    // unjoined child panics, which the join above already re-raised.
     .expect("lineup scope");
     results.into_iter().collect()
 }

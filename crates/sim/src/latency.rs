@@ -13,7 +13,7 @@
 //!    both the hop count and the per-link load, while Goldilocks's min-cut
 //!    grouping keeps most traffic inside a server or rack.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use goldilocks_placement::Placement;
 use goldilocks_topology::{DcTree, NodeId};
@@ -57,8 +57,8 @@ pub fn link_loads(
     workload: &Workload,
     placement: &Placement,
     tree: &DcTree,
-) -> HashMap<NodeId, f64> {
-    let mut loads: HashMap<NodeId, f64> = HashMap::new();
+) -> BTreeMap<NodeId, f64> {
+    let mut loads: BTreeMap<NodeId, f64> = BTreeMap::new();
     for f in &workload.flows {
         let (Some(sa), Some(sb)) = (
             placement.assignment.get(f.a.0).copied().flatten(),
@@ -89,10 +89,14 @@ fn crossed_uplinks(
         let (da, db) = (tree.node(na).depth, tree.node(nb).depth);
         if da >= db {
             crossed.push(na);
+            // lint:allow(no-panic-in-libs) -- LCA climb: `na != nb` means
+            // neither side is the root yet, and every non-root has a parent.
             na = tree.node(na).parent.expect("non-root");
         }
         if db > da {
             crossed.push(nb);
+            // lint:allow(no-panic-in-libs) -- LCA climb: `na != nb` means
+            // neither side is the root yet, and every non-root has a parent.
             nb = tree.node(nb).parent.expect("non-root");
         }
     }

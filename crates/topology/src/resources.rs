@@ -102,7 +102,8 @@ impl Resources {
 
     /// Builds from the 3-component array ⟨cpu, memory, network⟩.
     pub fn from_array(a: [f64; 3]) -> Self {
-        Resources::new(a[0], a[1], a[2])
+        let [cpu, memory_gb, network_mbps] = a;
+        Resources::new(cpu, memory_gb, network_mbps)
     }
 
     /// Clamps all components at zero from below (guards float drift after

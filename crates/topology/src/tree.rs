@@ -224,10 +224,14 @@ impl DcTree {
         while na != nb {
             let (da, db) = (self.nodes[na.0].depth, self.nodes[nb.0].depth);
             if da >= db {
+                // lint:allow(no-panic-in-libs) -- LCA climb: `na != nb` means
+                // neither side is the root yet, and every non-root has a parent.
                 na = self.nodes[na.0].parent.expect("non-root has parent");
                 hops += 1;
             }
             if db > da {
+                // lint:allow(no-panic-in-libs) -- LCA climb: `na != nb` means
+                // neither side is the root yet, and every non-root has a parent.
                 nb = self.nodes[nb.0].parent.expect("non-root has parent");
                 hops += 1;
             }

@@ -118,14 +118,11 @@ pub fn azure_mix(total: usize, seed: u64) -> Workload {
                     w.add_flow(ids[i], ids[next], flows, mbps);
                 }
             }
-            if ids.len() > 3 {
-                let mbps = app.demand.network_mbps / 4.0;
-                w.add_flow(
-                    ids[0],
-                    ids[ids.len() / 2],
-                    app.flow_count.max(1) / 2 + 1,
-                    mbps,
-                );
+            if let (Some(&head), Some(&mid)) = (ids.first(), ids.get(ids.len() / 2)) {
+                if ids.len() > 3 {
+                    let mbps = app.demand.network_mbps / 4.0;
+                    w.add_flow(head, mid, app.flow_count.max(1) / 2 + 1, mbps);
+                }
             }
             remaining -= group;
         }
@@ -195,8 +192,8 @@ mod tests {
             .count();
         assert!(with_rs > 10, "only {with_rs} replicas");
         // Each replica set has exactly 2 members.
-        use std::collections::HashMap;
-        let mut counts: HashMap<usize, usize> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
         for c in &w.containers {
             if let Some(rs) = c.replica_set {
                 *counts.entry(rs).or_insert(0) += 1;

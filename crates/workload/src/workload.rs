@@ -136,8 +136,8 @@ impl Workload {
             let w = -anti_affinity_weight.abs();
             // Chain replicas of the same set pairwise (a clique would add
             // O(r²) edges; a chain suffices for min-cut to split them).
-            use std::collections::HashMap;
-            let mut sets: HashMap<usize, Vec<ContainerId>> = HashMap::new();
+            use std::collections::BTreeMap;
+            let mut sets: BTreeMap<usize, Vec<ContainerId>> = BTreeMap::new();
             for c in &self.containers {
                 if let Some(rs) = c.replica_set {
                     sets.entry(rs).or_default().push(c.id);
@@ -145,7 +145,9 @@ impl Workload {
             }
             for members in sets.values() {
                 for pair in members.windows(2) {
-                    b.add_edge(pair[0].0, pair[1].0, w);
+                    if let [x, y] = pair {
+                        b.add_edge(x.0, y.0, w);
+                    }
                 }
             }
         }
@@ -216,9 +218,9 @@ impl Workload {
 
     /// The traffic matrix entry between two container sets, in Mbps.
     pub fn traffic_between_mbps(&self, set_a: &[ContainerId], set_b: &[ContainerId]) -> f64 {
-        use std::collections::HashSet;
-        let a: HashSet<ContainerId> = set_a.iter().copied().collect();
-        let b: HashSet<ContainerId> = set_b.iter().copied().collect();
+        use std::collections::BTreeSet;
+        let a: BTreeSet<ContainerId> = set_a.iter().copied().collect();
+        let b: BTreeSet<ContainerId> = set_b.iter().copied().collect();
         self.flows
             .iter()
             .filter(|f| {

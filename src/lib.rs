@@ -45,6 +45,7 @@
 //! figure of the paper; see `EXPERIMENTS.md` for the index.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub use goldilocks_cluster as cluster;

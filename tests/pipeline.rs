@@ -140,8 +140,8 @@ fn replica_anti_affinity_survives_the_full_pipeline() {
     let gold = Goldilocks::with_config(cfg);
     let (p, _) = gold.place_with_details(&w, &tree).expect("feasible");
     // Every 2-member replica set must land on two distinct servers.
-    use std::collections::HashMap;
-    let mut sets: HashMap<usize, Vec<ServerId>> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut sets: BTreeMap<usize, Vec<ServerId>> = BTreeMap::new();
     for c in &w.containers {
         if let Some(rs) = c.replica_set {
             sets.entry(rs)

@@ -1,0 +1,157 @@
+//! The `lint:allow` escape hatch.
+//!
+//! A violation can be silenced only with an inline directive that names the
+//! rule *and* carries a written justification:
+//!
+//! ```text
+//! // lint:allow(no-panic-in-libs) -- joining a scoped thread: propagating a
+//! // child panic is the only sound behavior.
+//! let left = handle.join().expect("branch panicked");
+//! ```
+//!
+//! The directive applies to its own line and to the next source line, so it
+//! can sit either trailing the offending expression or on the line above it.
+//! A directive with no `-- reason` text is itself a violation
+//! (`malformed-allow`) that cannot be silenced, which is what makes the
+//! acceptance rule "every allow carries a written reason" machine-checked.
+//! Directives that silence nothing are reported as `unused-allow` warnings so
+//! stale hatches do not accumulate.
+
+use crate::lexer::Comment;
+
+/// One parsed `lint:allow` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule ids named in the parentheses.
+    pub rules: Vec<String>,
+    /// Justification text after `--` (trimmed). `None` when missing/empty.
+    pub reason: Option<String>,
+    /// 1-based line the directive appears on.
+    pub line: u32,
+    /// Set by the rule engine when some diagnostic was silenced by this
+    /// directive; unused directives are reported.
+    pub used: bool,
+}
+
+/// Extracts every `lint:allow` directive from the file's comments.
+///
+/// The justification may continue on immediately following comment lines
+/// (a wrapped sentence), which are absorbed into the reason.
+pub fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
+    let mut out: Vec<AllowDirective> = Vec::new();
+    for (idx, c) in comments.iter().enumerate() {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules, tail) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((inside, tail)) => {
+                let rules: Vec<String> = inside
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                (rules, tail)
+            }
+            None => (Vec::new(), rest),
+        };
+        let mut reason = tail
+            .trim_start()
+            .strip_prefix("--")
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        // Absorb wrapped justification lines: comments on consecutive lines
+        // directly below the directive, as long as a reason was started.
+        if !reason.is_empty() {
+            for (expect_line, follow) in (c.line + 1..).zip(&comments[idx + 1..]) {
+                if follow.line != expect_line || follow.text.trim().starts_with("lint:allow") {
+                    break;
+                }
+                reason.push(' ');
+                reason.push_str(follow.text.trim());
+            }
+        }
+        out.push(AllowDirective {
+            rules,
+            reason: if reason.is_empty() {
+                None
+            } else {
+                Some(reason)
+            },
+            line: c.line,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Returns the index of a directive covering `rule` at `line`, if any.
+///
+/// A directive covers its own line and, when it is followed by wrapped
+/// justification comments, the first source line after the comment block.
+pub fn find_covering(
+    allows: &[AllowDirective],
+    comments: &[Comment],
+    rule: &str,
+    line: u32,
+) -> Option<usize> {
+    allows.iter().position(|a| {
+        if !a.rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        if a.line == line {
+            return true;
+        }
+        // Directive above the code: every comment line between the directive
+        // and `line` must be part of its continuation block.
+        if a.line < line {
+            let continuous = (a.line + 1..line).all(|l| comments.iter().any(|c| c.line == l));
+            return continuous;
+        }
+        false
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let l = lex("x(); // lint:allow(no-panic-in-libs) -- checked above\n");
+        let a = parse_allows(&l.comments);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].rules, vec!["no-panic-in-libs"]);
+        assert_eq!(a[0].reason.as_deref(), Some("checked above"));
+    }
+
+    #[test]
+    fn missing_reason_is_none() {
+        let l = lex("// lint:allow(no-panic-in-libs)\nx();");
+        let a = parse_allows(&l.comments);
+        assert_eq!(a[0].reason, None);
+    }
+
+    #[test]
+    fn wrapped_reason_extends_coverage() {
+        let src = "// lint:allow(rng-discipline) -- the seed comes from the\n// chaos plan, not ambient entropy.\nlet r = f();\n";
+        let l = lex(src);
+        let a = parse_allows(&l.comments);
+        assert_eq!(
+            a[0].reason.as_deref(),
+            Some("the seed comes from the chaos plan, not ambient entropy.")
+        );
+        assert_eq!(find_covering(&a, &l.comments, "rng-discipline", 3), Some(0));
+        assert_eq!(find_covering(&a, &l.comments, "rng-discipline", 4), None);
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let l = lex("// lint:allow(a, b) -- why\nx();");
+        let a = parse_allows(&l.comments);
+        assert_eq!(a[0].rules, vec!["a", "b"]);
+        assert_eq!(find_covering(&a, &l.comments, "b", 2), Some(0));
+    }
+}

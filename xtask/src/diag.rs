@@ -1,0 +1,129 @@
+//! Diagnostics and their machine- and human-readable renderings.
+
+use std::fmt::Write as _;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported but does not affect the exit code (stale `lint:allow`).
+    Warning,
+    /// Fails the lint run.
+    Error,
+}
+
+/// One finding, anchored to a source position.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule id (`no-panic-in-libs`, …).
+    pub rule: String,
+    /// Path of the offending file, relative to the workspace root.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human message: what matched and what to do instead.
+    pub message: String,
+    /// Whether this finding fails the run.
+    pub severity: Severity,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    pub fn error(rule: &str, path: &str, line: u32, col: u32, message: String) -> Self {
+        Diagnostic {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            col,
+            message,
+            severity: Severity::Error,
+        }
+    }
+}
+
+/// Sorts diagnostics into the canonical report order: path, line, column,
+/// rule. Two runs over the same tree produce byte-identical reports.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+}
+
+/// Renders diagnostics as a JSON array (stable field order, sorted input).
+///
+/// Hand-rolled because the analyzer is dependency-free; the escaping covers
+/// everything that can appear in paths and messages.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"severity\":\"{}\",\"message\":\"{}\"}}",
+            escape(&d.rule),
+            escape(&d.path),
+            d.line,
+            d.col,
+            match d.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+            escape(&d.message),
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders diagnostics for terminals: `path:line:col: [rule] message`.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let sev = match d.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {sev}: [{}] {}",
+            d.path, d.line, d.col, d.rule, d.message
+        );
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_escaped_and_ordered() {
+        let mut d = vec![
+            Diagnostic::error("b-rule", "z.rs", 1, 1, "two".into()),
+            Diagnostic::error("a-rule", "a.rs", 2, 5, "say \"hi\"\n".into()),
+        ];
+        sort(&mut d);
+        let json = render_json(&d);
+        assert!(json.starts_with("[{\"rule\":\"a-rule\",\"path\":\"a.rs\",\"line\":2,\"col\":5"));
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+    }
+}

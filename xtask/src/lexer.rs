@@ -1,0 +1,433 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The sandbox that grows this repository has no network access, so the
+//! analyzer cannot depend on `syn`. Token-level analysis is sufficient for
+//! every invariant we enforce (identifier and method-path patterns), and a
+//! hand-rolled lexer keeps `cargo xtask lint` dependency-free and fully
+//! deterministic: files are lexed byte-by-byte in path order, so two runs
+//! over the same tree always produce byte-identical reports.
+//!
+//! The lexer understands everything needed to avoid false positives inside
+//! non-code text: line and (nested) block comments, doc comments, string
+//! literals, raw strings with arbitrary `#` fences, byte strings, char
+//! literals vs. lifetimes, and numeric literals with suffixes. Comments are
+//! not discarded entirely: line comments are scanned for `lint:allow`
+//! directives (see [`crate::allow`]).
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the scanner decides which).
+    Ident,
+    /// Lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Integer literal, possibly with a suffix (`0`, `42usize`, `0xFF`).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2.5f64`).
+    Float,
+    /// String, raw-string, byte-string or C-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Single punctuation byte (`.`, `:`, `[`, …). Multi-byte operators are
+    /// emitted as consecutive punct tokens; the rule matcher works on those.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text as written (suffix included for literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+/// A comment found during lexing (used only for `lint:allow` directives).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the leading `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every comment encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order (line and block, doc or not).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.pos - start
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer never fails: unterminated literals simply consume to the end of
+/// the file. (`rustc` owns real error reporting; the analyzer only needs a
+/// faithful token stream for code that already compiles.)
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                let start = c.pos + 2;
+                c.eat_while(|b| b != b'\n');
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let end = c.pos.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..end]).into_owned(),
+                    line,
+                });
+            }
+            b'r' | b'b' | b'c' if raw_or_prefixed_string(&c) => {
+                let start = c.pos;
+                lex_prefixed_string(&mut c);
+                push(&mut out, TokKind::Str, &c, start, line, col);
+            }
+            b'"' => {
+                let start = c.pos;
+                c.bump();
+                lex_plain_string(&mut c);
+                push(&mut out, TokKind::Str, &c, start, line, col);
+            }
+            b'\'' => {
+                let start = c.pos;
+                c.bump();
+                if is_char_literal(&c) {
+                    lex_char_body(&mut c);
+                    push(&mut out, TokKind::Char, &c, start, line, col);
+                } else {
+                    c.eat_while(is_ident_continue);
+                    push(&mut out, TokKind::Lifetime, &c, start, line, col);
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let start = c.pos;
+                let kind = lex_number(&mut c);
+                push(&mut out, kind, &c, start, line, col);
+            }
+            b if is_ident_start(b) => {
+                let start = c.pos;
+                c.eat_while(is_ident_continue);
+                push(&mut out, TokKind::Ident, &c, start, line, col);
+            }
+            _ => {
+                let start = c.pos;
+                c.bump();
+                push(&mut out, TokKind::Punct, &c, start, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokKind, c: &Cursor<'_>, start: usize, line: u32, col: u32) {
+    out.tokens.push(Tok {
+        kind,
+        text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+        line,
+        col,
+    });
+}
+
+/// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br`, `c"`, `cr` —
+/// i.e. a prefixed string/char rather than an identifier starting with the
+/// same letter.
+fn raw_or_prefixed_string(c: &Cursor<'_>) -> bool {
+    match (c.peek(0), c.peek(1), c.peek(2)) {
+        (Some(b'r'), Some(b'"'), _) | (Some(b'r'), Some(b'#'), _) => {
+            // `r#ident` (raw identifier) is not a string: require `r#"` or
+            // `r##…`. A raw ident has an ident char right after the `#`.
+            if c.peek(1) == Some(b'#') {
+                matches!(c.peek(2), Some(b'"') | Some(b'#'))
+            } else {
+                true
+            }
+        }
+        (Some(b'b'), Some(b'"'), _) | (Some(b'b'), Some(b'\''), _) => true,
+        (Some(b'b'), Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'r'), Some(b'#')) => true,
+        (Some(b'c'), Some(b'"'), _) => true,
+        (Some(b'c'), Some(b'r'), Some(b'"')) | (Some(b'c'), Some(b'r'), Some(b'#')) => true,
+        _ => false,
+    }
+}
+
+fn lex_prefixed_string(c: &mut Cursor<'_>) {
+    // Consume the prefix letters.
+    c.eat_while(|b| b == b'b' || b == b'r' || b == b'c');
+    if c.peek(0) == Some(b'\'') {
+        // Byte literal b'x'.
+        c.bump();
+        lex_char_body(c);
+        return;
+    }
+    let fences = c.eat_while(|b| b == b'#');
+    if c.peek(0) == Some(b'"') {
+        c.bump();
+        if fences > 0 || c.src[c.pos.saturating_sub(2)] == b'r' || raw_prefix_before(c, fences) {
+            lex_raw_string(c, fences);
+        } else {
+            lex_plain_string(c);
+        }
+    }
+}
+
+/// True when the quote we just consumed was opened by a raw prefix (`r` or
+/// `br`/`cr`), meaning escapes are inert.
+fn raw_prefix_before(c: &Cursor<'_>, fences: usize) -> bool {
+    // Look back past the quote and fences for an `r`.
+    let idx = c.pos.checked_sub(fences + 2);
+    matches!(idx.and_then(|i| c.src.get(i)), Some(b'r'))
+}
+
+fn lex_raw_string(c: &mut Cursor<'_>, fences: usize) {
+    loop {
+        match c.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < fences && c.peek(0) == Some(b'#') {
+                    c.bump();
+                    seen += 1;
+                }
+                if seen == fences {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_plain_string(c: &mut Cursor<'_>) {
+    loop {
+        match c.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Decides `'x'` / `'\n'` (char literal) versus `'label` (lifetime), with the
+/// cursor positioned just past the opening quote.
+fn is_char_literal(c: &Cursor<'_>) -> bool {
+    match c.peek(0) {
+        Some(b'\\') => true,
+        Some(b) if is_ident_start(b) || b.is_ascii_digit() => c.peek(1) == Some(b'\''),
+        Some(_) => true,
+        None => false,
+    }
+}
+
+fn lex_char_body(c: &mut Cursor<'_>) {
+    if c.bump() == Some(b'\\') {
+        c.bump();
+        // Multi-byte escapes (\u{…}, \x41) — consume to the closing quote.
+        c.eat_while(|b| b != b'\'' && b != b'\n');
+    }
+    if c.peek(0) == Some(b'\'') {
+        c.bump();
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>) -> TokKind {
+    let start = c.pos;
+    let mut kind = TokKind::Int;
+    c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // A fractional part: `1.5` but not `1..2` (range) or `1.method()`.
+    if c.peek(0) == Some(b'.') {
+        if let Some(after) = c.peek(1) {
+            if after.is_ascii_digit() {
+                kind = TokKind::Float;
+                c.bump();
+                c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+            }
+        }
+    }
+    // Exponent sign: `1e-9` / `2E+4` — the `e` was consumed by the alnum run.
+    if matches!(c.src.get(c.pos.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+        && c.pos > start + 1
+        && matches!(c.peek(0), Some(b'+') | Some(b'-'))
+        && c.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        kind = TokKind::Float;
+        c.bump();
+        c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    if kind == TokKind::Int && c.src[start..c.pos].contains(&b'.') {
+        kind = TokKind::Float;
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("map.unwrap()");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "map".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("a // lint:allow(x) -- y\n/* block */ b");
+        assert_eq!(l.tokens.len(), 2);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, " lint:allow(x) -- y");
+        assert_eq!(l.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let l = lex("/* a /* b */ c */ x");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex("let s = \"HashMap.unwrap()\"; let r = r#\"thread_rng\"#;");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "thread_rng"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "'a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && s == "'x'"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = kinds("a[0]; b[1usize]; 1.5e-9; 0xFF");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "1usize"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Float && s == "1.5e-9"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0xFF"));
+    }
+
+    #[test]
+    fn line_col_positions() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,26 @@
+//! Workspace task runner: the determinism-invariant static analyzer behind
+//! `cargo xtask lint`.
+//!
+//! The repo's headline guarantees — byte-identical parallel lineups (PR 3),
+//! bit-identical float association in the partitioner hot path (PR 4),
+//! byte-identical WAL crash replay (PR 2) — are enforced dynamically by
+//! equivalence tests. Those tests can silently lose coverage as code grows.
+//! This crate adds the static wall: every `.rs` file in the library crates
+//! is lexed and checked against repo-specific invariants clippy cannot
+//! express, so a stray `HashMap` iteration or `Instant::now()` in a
+//! deterministic crate fails CI before any equivalence test runs.
+//!
+//! See [`rules`] for the rule set, [`policy`] for which crates each rule
+//! covers, and [`allow`] for the justified escape hatch.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;

@@ -1,0 +1,153 @@
+//! `cargo xtask` — workspace task runner.
+//!
+//! ```text
+//! cargo xtask lint            # human-readable report, exit 1 on violations
+//! cargo xtask lint --json     # machine-readable diagnostics on stdout
+//! cargo xtask lint FILE...    # lint specific files under the strict policy
+//! cargo xtask rules           # print the rule table
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::diag::{render_human, render_json, sort, Diagnostic, Severity};
+use xtask::policy::Policy;
+use xtask::rules::RULE_IDS;
+use xtask::workspace::{analyze_target, workspace_targets, Target};
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--json] [--root DIR] [FILE...]
+      Run the determinism-invariant analyzer. With no FILE arguments the
+      whole workspace is scanned under the per-crate policy table; explicit
+      files are scanned under the strict all-rules policy (used by the
+      fixture self-tests). Exits 0 when clean, 1 on violations, 2 on usage
+      or I/O errors.
+  rules
+      List every rule id with a one-line description.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_rules() {
+    println!("rule ids enforced by `cargo xtask lint`:");
+    for id in RULE_IDS {
+        println!("  {id}");
+    }
+    println!("  malformed-allow   (meta: lint:allow without a `-- reason`)");
+    println!("  unused-allow      (meta: lint:allow that suppresses nothing; warning)");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root takes a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag}");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+
+    let targets: Vec<Target> = if files.is_empty() {
+        match locate_root(&root).and_then(|r| workspace_targets(&r).map_err(|e| e.to_string())) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        files
+            .into_iter()
+            .map(|path| Target {
+                label: path.to_string_lossy().replace('\\', "/"),
+                path,
+                policy: Policy::strict(),
+            })
+            .collect()
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut scanned = 0usize;
+    for t in &targets {
+        match analyze_target(t) {
+            Ok(d) => {
+                scanned += 1;
+                diags.extend(d);
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", t.label);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    sort(&mut diags);
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if json {
+        println!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_human(&diags));
+        eprintln!("xtask lint: {scanned} files scanned, {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks upward from `start` to the directory containing the workspace's
+/// `Cargo.toml` + `crates/`, so `cargo xtask lint` works from any subdir.
+fn locate_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve {}: {e}", start.display()))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml + crates/) at or above {}",
+                start.display()
+            ));
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The determinism-invariant rules, matched over the token stream.
+//!
+//! Every rule here guards a guarantee an earlier PR established dynamically:
+//!
+//! | rule                     | protects                                      |
+//! |--------------------------|-----------------------------------------------|
+//! | `no-unordered-iteration` | byte-identical lineups/WAL replay (PR 2–4)    |
+//! | `no-ambient-entropy`     | seeded replay of chaos schedules (PR 1–2)     |
+//! | `no-panic-in-libs`       | the fallback ladder never unwinds (PR 1)      |
+//! | `rng-discipline`         | schedule-independent branch seeds (PR 3)      |
+//! | `float-association`      | bit-identical float association (PR 4)        |
+
+use crate::allow::{find_covering, parse_allows};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::policy::Policy;
+use crate::scanner::{is_keyword, scan};
+
+/// Stable ids of every source-level rule, in documentation order.
+pub const RULE_IDS: &[&str] = &[
+    "no-unordered-iteration",
+    "no-ambient-entropy",
+    "no-panic-in-libs",
+    "rng-discipline",
+    "float-association",
+];
+
+/// Analyzes one file's source under `policy`, applying `lint:allow`
+/// directives, and returns its diagnostics (unsorted).
+pub fn analyze_source(path_label: &str, src: &str, policy: Policy) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let info = scan(&lexed.tokens);
+    let mut allows = parse_allows(&lexed.comments);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if info.exempt[i] {
+            continue;
+        }
+        if policy.no_unordered_iteration {
+            check_unordered(path_label, toks, i, &mut raw);
+        }
+        if policy.no_ambient_entropy {
+            check_entropy(path_label, toks, i, &mut raw);
+        }
+        if policy.no_panic {
+            check_panic(path_label, toks, i, &mut raw);
+        }
+        if policy.rng_discipline {
+            check_rng(path_label, toks, i, &mut raw);
+        }
+        if policy.float_association {
+            check_float(path_label, toks, i, &mut raw);
+        }
+    }
+
+    // Apply the escape hatches: a directive only suppresses when it carries
+    // a written reason; reasonless or misspelled directives are themselves
+    // violations and cannot be silenced.
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let covering = find_covering(&allows, &lexed.comments, &d.rule, d.line);
+        match covering {
+            Some(idx) if allows[idx].reason.is_some() => allows[idx].used = true,
+            _ => out.push(d),
+        }
+    }
+    for a in &allows {
+        if a.reason.is_none() {
+            out.push(Diagnostic::error(
+                "malformed-allow",
+                path_label,
+                a.line,
+                1,
+                "lint:allow directive has no `-- reason`; every escape hatch must carry a \
+                 written justification"
+                    .into(),
+            ));
+        }
+        for r in &a.rules {
+            if !RULE_IDS.contains(&r.as_str()) {
+                out.push(Diagnostic::error(
+                    "malformed-allow",
+                    path_label,
+                    a.line,
+                    1,
+                    format!("lint:allow names unknown rule `{r}`"),
+                ));
+            }
+        }
+        if a.reason.is_some() && !a.used {
+            out.push(Diagnostic {
+                rule: "unused-allow".into(),
+                path: path_label.into(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "lint:allow({}) suppresses nothing on this or the next line; remove it",
+                    a.rules.join(", ")
+                ),
+                severity: Severity::Warning,
+            });
+        }
+    }
+    out
+}
+
+const UNORDERED_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "hash_map",
+    "hash_set",
+    "AHashMap",
+    "AHashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "IndexMap",
+    "IndexSet",
+];
+
+fn check_unordered(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    if t.kind == TokKind::Ident && UNORDERED_TYPES.contains(&t.text.as_str()) {
+        out.push(Diagnostic::error(
+            "no-unordered-iteration",
+            path,
+            t.line,
+            t.col,
+            format!(
+                "`{}` iterates in nondeterministic (per-process) order; deterministic crates \
+                 must use BTreeMap/BTreeSet or a sorted Vec",
+                t.text
+            ),
+        ));
+    }
+}
+
+fn ident_at(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn punct_at(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+fn path_call(toks: &[Tok], i: usize, head: &str, tails: &[&str]) -> Option<String> {
+    if ident_at(toks, i, head) && punct_at(toks, i + 1, ":") && punct_at(toks, i + 2, ":") {
+        if let Some(t) = toks.get(i + 3) {
+            if t.kind == TokKind::Ident && tails.contains(&t.text.as_str()) {
+                return Some(format!("{head}::{}", t.text));
+            }
+        }
+    }
+    None
+}
+
+fn check_entropy(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    let found: Option<String> = if let Some(p) = path_call(toks, i, "Instant", &["now"]) {
+        Some(p)
+    } else if let Some(p) = path_call(toks, i, "SystemTime", &["now"]) {
+        Some(p)
+    } else if let Some(p) = path_call(
+        toks,
+        i,
+        "env",
+        &["var", "vars", "var_os", "args", "args_os"],
+    ) {
+        Some(p)
+    } else if t.kind == TokKind::Ident && t.text == "thread_rng" {
+        Some("thread_rng".into())
+    } else if (t.kind == TokKind::Ident && t.text == "option_env" && punct_at(toks, i + 1, "!"))
+        || (t.kind == TokKind::Ident && t.text == "env" && punct_at(toks, i + 1, "!"))
+    {
+        Some(format!("{}!", t.text))
+    } else {
+        None
+    };
+    if let Some(what) = found {
+        out.push(Diagnostic::error(
+            "no-ambient-entropy",
+            path,
+            t.line,
+            t.col,
+            format!(
+                "`{what}` injects ambient state (wall clock / OS entropy / environment) into a \
+                 deterministic crate; thread timing and configuration must come in through \
+                 explicit parameters or plan seeds"
+            ),
+        ));
+    }
+}
+
+fn check_panic(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    // `.unwrap(` / `.expect(`
+    if t.kind == TokKind::Ident
+        && (t.text == "unwrap" || t.text == "expect")
+        && i > 0
+        && punct_at(toks, i - 1, ".")
+        && punct_at(toks, i + 1, "(")
+    {
+        out.push(Diagnostic::error(
+            "no-panic-in-libs",
+            path,
+            t.line,
+            t.col,
+            format!(
+                "`.{}()` can panic in library code; propagate an error, use a total method, or \
+                 justify the invariant with `// lint:allow(no-panic-in-libs) -- <why>`",
+                t.text
+            ),
+        ));
+        return;
+    }
+    // `panic!` / `todo!` / `unimplemented!`
+    if t.kind == TokKind::Ident
+        && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+        && punct_at(toks, i + 1, "!")
+    {
+        out.push(Diagnostic::error(
+            "no-panic-in-libs",
+            path,
+            t.line,
+            t.col,
+            format!("`{}!` is forbidden in library code paths", t.text),
+        ));
+        return;
+    }
+    // Indexing by integer literal: `xs[0]` (incl. `xs[0][1]`, `f()[2]`).
+    if t.kind == TokKind::Punct
+        && t.text == "["
+        && i > 0
+        && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Int)
+        && punct_at(toks, i + 2, "]")
+    {
+        let prev = &toks[i - 1];
+        let indexable = match prev.kind {
+            TokKind::Ident => !is_keyword(&prev.text),
+            TokKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if indexable {
+            let lit = &toks[i + 1];
+            out.push(Diagnostic::error(
+                "no-panic-in-libs",
+                path,
+                lit.line,
+                lit.col,
+                format!(
+                    "indexing with the literal `{}` can panic; use `.first()`/`.get({})` or a \
+                     slice pattern, or justify the shape invariant with a lint:allow",
+                    lit.text, lit.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_rng(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    if t.kind == TokKind::Ident && t.text == "from_entropy" {
+        out.push(Diagnostic::error(
+            "rng-discipline",
+            path,
+            t.line,
+            t.col,
+            "RNGs in deterministic crates must be built with `seed_from_u64`/`from_seed` from \
+             an explicit plan seed, never `from_entropy`"
+                .into(),
+        ));
+        return;
+    }
+    if path_call(toks, i, "rand", &["random"]).is_some() {
+        out.push(Diagnostic::error(
+            "rng-discipline",
+            path,
+            t.line,
+            t.col,
+            "`rand::random` draws from the thread-local OS-seeded RNG; use an explicitly \
+             seeded generator"
+                .into(),
+        ));
+    }
+}
+
+/// Iterator sources whose reduction order depends on scheduling. A `sum` /
+/// `fold` / `reduce` downstream of one of these re-associates float addition
+/// nondeterministically, which would break PR 4's bit-identical guarantee.
+const PARALLEL_SOURCES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_exact",
+    "par_windows",
+];
+
+fn check_float(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident
+        || !matches!(t.text.as_str(), "sum" | "fold" | "reduce")
+        || i == 0
+        || !punct_at(toks, i - 1, ".")
+    {
+        return;
+    }
+    // Walk back through the current expression (bounded by statement
+    // punctuation) looking for a parallel source feeding this reduction.
+    let mut j = i - 1;
+    loop {
+        let p = &toks[j];
+        if p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        if p.kind == TokKind::Ident && PARALLEL_SOURCES.contains(&p.text.as_str()) {
+            out.push(Diagnostic::error(
+                "float-association",
+                path,
+                t.line,
+                t.col,
+                format!(
+                    "`.{}()` over `{}` re-associates floating-point reduction in schedule \
+                     order; hot-path reductions must run over slices in fixed order",
+                    t.text, p.text
+                ),
+            ));
+            return;
+        }
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        analyze_source("test.rs", src, Policy::strict())
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn unwrap_in_string_is_not_flagged() {
+        assert!(run("fn f() { let s = \".unwrap()\"; }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_is_flagged_with_position() {
+        let d = run("fn f(x: Option<u8>) {\n    x.unwrap();\n}");
+        assert_eq!(rules_of(&d), vec!["no-panic-in-libs"]);
+        assert_eq!((d[0].line, d[0].col), (2, 7));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let d = run("fn f(x: Option<u8>) {\n    // lint:allow(no-panic-in-libs) -- checked by caller\n    x.unwrap();\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed_and_does_not_suppress() {
+        let d =
+            run("fn f(x: Option<u8>) {\n    // lint:allow(no-panic-in-libs)\n    x.unwrap();\n}");
+        let mut r = rules_of(&d);
+        r.sort_unstable();
+        assert_eq!(r, vec!["malformed-allow", "no-panic-in-libs"]);
+    }
+
+    #[test]
+    fn unused_allow_is_a_warning() {
+        let d = run("// lint:allow(no-panic-in-libs) -- nothing here\nfn f() {}\n");
+        assert_eq!(rules_of(&d), vec!["unused-allow"]);
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn literal_index_flagged_but_patterns_are_not() {
+        let d = run("fn f(v: &[u8]) -> u8 { v[0] }");
+        assert_eq!(rules_of(&d), vec!["no-panic-in-libs"]);
+        assert!(run("fn f() { let [a, b] = [1u8, 2]; let _ = (a, b); }").is_empty());
+        assert!(run("fn t(v: &[u8]) -> u8 { v[idx] }").is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_cfg_test_is_fine() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(run(src).is_empty());
+        let d = run("use std::collections::HashMap;\n");
+        assert_eq!(rules_of(&d), vec!["no-unordered-iteration"]);
+    }
+
+    #[test]
+    fn instant_now_flagged() {
+        let d = run("fn f() { let _t = Instant::now(); }");
+        assert_eq!(rules_of(&d), vec!["no-ambient-entropy"]);
+    }
+
+    #[test]
+    fn parallel_sum_flagged_sequential_sum_clean() {
+        let d = run("fn f(v: &[f64]) -> f64 { v.par_iter().sum() }");
+        assert_eq!(rules_of(&d), vec!["float-association"]);
+        assert!(run("fn f(v: &[f64]) -> f64 { v.iter().sum() }").is_empty());
+        // A parallel source in a *previous* statement does not taint.
+        assert!(run("fn f(v: &[f64]) -> f64 { par_iter(v); v.iter().sum() }").is_empty());
+    }
+
+    #[test]
+    fn from_entropy_flagged() {
+        let d = run("fn f() { let r = StdRng::from_entropy(); }");
+        assert_eq!(rules_of(&d), vec!["rng-discipline"]);
+        assert!(run("fn f() { let r = StdRng::seed_from_u64(7); }").is_empty());
+    }
+}

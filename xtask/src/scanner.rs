@@ -1,0 +1,203 @@
+//! Token-stream preprocessing shared by every rule: which tokens sit inside
+//! test-only code, and where each statement roughly begins.
+//!
+//! Rules must not fire inside `#[cfg(test)]` modules, `#[test]` functions or
+//! anything else compiled only for tests — those are allowed to `unwrap`,
+//! use `HashMap`, and generally be convenient. The scanner walks the token
+//! stream once, tracking brace depth, and marks the span of every item whose
+//! attributes mention `test` (`#[cfg(test)]`, `#[test]`, `#[cfg(all(test,
+//! …))]`, `#[cfg_attr(test, …)]`) as exempt.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Per-token flags produced by one scan pass.
+#[derive(Debug)]
+pub struct ScanInfo {
+    /// `exempt[i]` is true when token `i` is inside test-only code.
+    pub exempt: Vec<bool>,
+}
+
+/// Computes test-exemption flags for a token stream.
+pub fn scan(tokens: &[Tok]) -> ScanInfo {
+    let mut exempt = vec![false; tokens.len()];
+    let mut depth: i64 = 0;
+    // Depth at which the currently-active exempt region was opened; the
+    // region ends when `}` returns to that depth. Only the shallowest region
+    // matters — nested test code is already exempt.
+    let mut exempt_open_depth: Option<i64> = None;
+    // An attribute mentioning `test` was just seen; the next item (block or
+    // `;`-terminated) is exempt.
+    let mut pending = false;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // Attribute: `#[…]` or `#![…]` — scan it wholesale so its tokens
+        // (including `]` brackets) do not confuse depth tracking of the
+        // indexing rule, and check for `test`.
+        if t.kind == TokKind::Punct && t.text == "#" {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].text == "!" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "[" {
+                // Find the matching `]`.
+                let mut bracket = 0i64;
+                let mut mentions_test = false;
+                let mut k = j;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "[" => bracket += 1,
+                        "]" => {
+                            bracket -= 1;
+                            if bracket == 0 {
+                                break;
+                            }
+                        }
+                        "test" if tokens[k].kind == TokKind::Ident => mentions_test = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if mentions_test {
+                    pending = true;
+                }
+                if exempt_open_depth.is_some() || mentions_test {
+                    for flag in exempt.iter_mut().take((k + 1).min(tokens.len())).skip(i) {
+                        *flag = true;
+                    }
+                }
+                i = (k + 1).min(tokens.len());
+                continue;
+            }
+        }
+
+        match t.text.as_str() {
+            "{" if t.kind == TokKind::Punct => {
+                depth += 1;
+                if pending && exempt_open_depth.is_none() {
+                    exempt_open_depth = Some(depth - 1);
+                }
+                pending = false;
+            }
+            "}" if t.kind == TokKind::Punct => {
+                depth -= 1;
+                if exempt_open_depth == Some(depth) {
+                    exempt[i] = true;
+                    exempt_open_depth = None;
+                    i += 1;
+                    continue;
+                }
+            }
+            ";" if t.kind == TokKind::Punct && exempt_open_depth.is_none() => {
+                // `#[cfg(test)] use foo;` — the exemption covers just the one
+                // statement and ends here.
+                if pending {
+                    exempt[i] = true;
+                }
+                pending = false;
+            }
+            _ => {}
+        }
+
+        if exempt_open_depth.is_some() || pending {
+            exempt[i] = true;
+        }
+        i += 1;
+    }
+    ScanInfo { exempt }
+}
+
+/// Rust keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = …`, `in [1, 2]`, …). Used by the
+/// indexing-by-literal matcher.
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "ref"
+            | "in"
+            | "return"
+            | "match"
+            | "if"
+            | "else"
+            | "move"
+            | "box"
+            | "as"
+            | "break"
+            | "continue"
+            | "where"
+            | "for"
+            | "while"
+            | "loop"
+            | "impl"
+            | "fn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "const"
+            | "static"
+            | "type"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "unsafe"
+            | "extern"
+            | "dyn"
+            | "async"
+            | "await"
+            | "yield"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn exempt_idents(src: &str) -> Vec<(String, bool)> {
+        let l = lex(src);
+        let info = scan(&l.tokens);
+        l.tokens
+            .iter()
+            .zip(&info.exempt)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, e)| (t.text.clone(), *e))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let v = exempt_idents(
+            "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }\nfn live2() { c(); }",
+        );
+        let get = |name: &str| v.iter().find(|(s, _)| s == name).map(|(_, e)| *e);
+        assert_eq!(get("a"), Some(false));
+        assert_eq!(get("b"), Some(true));
+        assert_eq!(get("c"), Some(false));
+    }
+
+    #[test]
+    fn test_attribute_fn_is_exempt() {
+        let v = exempt_idents("#[test]\nfn t() { x.unwrap(); }\nfn live() { y(); }");
+        let get = |name: &str| v.iter().find(|(s, _)| s == name).map(|(_, e)| *e);
+        assert_eq!(get("x"), Some(true));
+        assert_eq!(get("y"), Some(false));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_only_covers_itself() {
+        let v = exempt_idents("#[cfg(test)]\nuse std::fmt;\nfn live() { z(); }");
+        let get = |name: &str| v.iter().find(|(s, _)| s == name).map(|(_, e)| *e);
+        assert_eq!(get("fmt"), Some(true));
+        assert_eq!(get("z"), Some(false));
+    }
+
+    #[test]
+    fn non_test_attr_is_not_exempt() {
+        let v = exempt_idents("#[derive(Debug)]\nstruct S;\nfn live() { q(); }");
+        let get = |name: &str| v.iter().find(|(s, _)| s == name).map(|(_, e)| *e);
+        assert_eq!(get("q"), Some(false));
+    }
+}

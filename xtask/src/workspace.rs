@@ -1,0 +1,107 @@
+//! Workspace discovery: which files get scanned, under which policy.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::policy::{policy_for, Policy};
+use crate::rules::analyze_source;
+
+/// One file scheduled for analysis.
+#[derive(Debug)]
+pub struct Target {
+    /// Absolute (or root-relative) path on disk.
+    pub path: PathBuf,
+    /// Path label used in diagnostics, relative to the workspace root.
+    pub label: String,
+    /// Active policy.
+    pub policy: Policy,
+}
+
+/// Collects every analyzable file of the workspace rooted at `root`:
+/// `crates/<name>/src/**/*.rs` plus the facade crate's `src/`.
+///
+/// Integration tests (`crates/*/tests/`) and benches are intentionally not
+/// walked — test code may unwrap. `#[cfg(test)]` modules inside `src/` are
+/// exempted token-wise by the scanner instead.
+///
+/// Files are returned in sorted path order so reports are byte-identical
+/// across runs and machines.
+pub fn workspace_targets(root: &Path) -> io::Result<Vec<Target>> {
+    let mut targets = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    crate_names.sort();
+
+    for name in &crate_names {
+        let src = crates_dir.join(name).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk_rs(&src, &mut files)?;
+        files.sort();
+        for f in files {
+            let rel_in_crate = rel_label(&f, &crates_dir.join(name));
+            let policy = policy_for(name, &rel_in_crate);
+            targets.push(Target {
+                label: rel_label(&f, root),
+                path: f,
+                policy,
+            });
+        }
+    }
+
+    // The facade crate at the workspace root (src/lib.rs re-exports).
+    let facade = root.join("src");
+    if facade.is_dir() {
+        let mut files = Vec::new();
+        walk_rs(&facade, &mut files)?;
+        files.sort();
+        for f in files {
+            let rel_in_crate = rel_label(&f, root);
+            let policy = policy_for("goldilocks-root", &rel_in_crate);
+            targets.push(Target {
+                label: rel_label(&f, root),
+                path: f,
+                policy,
+            });
+        }
+    }
+
+    Ok(targets)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_label(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Analyzes one target file.
+pub fn analyze_target(t: &Target) -> io::Result<Vec<Diagnostic>> {
+    let src = fs::read_to_string(&t.path)?;
+    Ok(analyze_source(&t.label, &src, t.policy))
+}

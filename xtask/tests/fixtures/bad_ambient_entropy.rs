@@ -1,0 +1,12 @@
+//! Known-bad fixture: must trip exactly `no-ambient-entropy`.
+//!
+//! Not compiled — parsed by the analyzer self-test only.
+
+use std::time::Instant;
+
+pub fn epoch_deadline_s() -> f64 {
+    let started = Instant::now();
+    let budget = std::env::var("EPOCH_BUDGET_S");
+    let _ = (started, budget);
+    30.0
+}

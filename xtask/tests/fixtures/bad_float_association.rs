@@ -1,0 +1,9 @@
+//! Known-bad fixture: must trip exactly `float-association` (two findings).
+//!
+//! Not compiled — parsed by the analyzer self-test only.
+
+pub fn parallel_cut(weights: &[f64]) -> f64 {
+    let total: f64 = weights.par_iter().sum();
+    let folded = weights.par_chunks(64).fold(0.0, add_chunk);
+    total + folded
+}

@@ -1,0 +1,30 @@
+//! Known-bad fixture: must trip exactly `no-panic-in-libs` (five findings),
+//! with the `#[cfg(test)]` module and the justified lint:allow exempt.
+//!
+//! Not compiled — parsed by the analyzer self-test only.
+
+pub fn head(v: &[u64], alt: Option<u64>) -> u64 {
+    if v.is_empty() {
+        alt.unwrap();
+        alt.expect("alt must be set for empty input");
+        panic!("no head");
+    }
+    if v.len() > 3 {
+        todo!();
+    }
+    v[0]
+}
+
+pub fn justified(v: &[u64; 2]) -> u64 {
+    // lint:allow(no-panic-in-libs) -- fixed-size array, index is total
+    v[1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_fine() {
+        let x: Option<u64> = Some(1);
+        x.unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture: must trip exactly `rng-discipline`.
+//!
+//! Not compiled — parsed by the analyzer self-test only.
+
+pub fn branch_rng() -> StdRng {
+    StdRng::from_entropy()
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: must trip exactly `no-unordered-iteration`.
+//!
+//! Not compiled — parsed by the analyzer self-test only.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut seen = HashMap::new();
+    for &x in xs {
+        seen.insert(x, ());
+    }
+    seen.len()
+}

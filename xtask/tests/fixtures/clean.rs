@@ -1,0 +1,23 @@
+//! Clean fixture: every rule active, zero findings expected.
+//!
+//! Not compiled — parsed by the analyzer self-test only.
+
+use std::collections::BTreeMap;
+
+pub fn deterministic_tally(xs: &[u64]) -> Result<u64, String> {
+    let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    let first = xs.first().copied().ok_or_else(|| "empty input".to_string())?;
+    let total: u64 = seen.values().sum();
+    Ok(first + total)
+}
+
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn ordered_sum(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}

@@ -1,0 +1,121 @@
+//! Fixture corpus for the analyzer: each known-bad file must trip exactly
+//! its rule (exact ids, lines and columns in the JSON output), the clean
+//! file must produce zero findings, and the exit codes must match the CLI
+//! contract (0 clean / 1 violations).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs `xtask lint --json <fixture>` and returns (exit code, stdout).
+fn run_lint(name: &str) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json"])
+        .arg(fixture(name))
+        .output()
+        .expect("spawn xtask binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Every `"rule":"…"` value in report order.
+fn rules_in(json: &str) -> Vec<String> {
+    json.split("\"rule\":\"")
+        .skip(1)
+        .map(|s| s.split('"').next().unwrap_or("").to_string())
+        .collect()
+}
+
+/// Every `"line":N,"col":M` span in report order.
+fn spans_in(json: &str) -> Vec<(u32, u32)> {
+    json.split("\"line\":")
+        .skip(1)
+        .map(|s| {
+            let line = s.split(',').next().unwrap_or("0").parse().unwrap_or(0);
+            let col = s
+                .split("\"col\":")
+                .nth(1)
+                .and_then(|c| c.split(',').next())
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(0);
+            (line, col)
+        })
+        .collect()
+}
+
+#[test]
+fn clean_fixture_exits_zero_with_no_findings() {
+    let (code, json) = run_lint("clean.rs");
+    assert_eq!(code, 0, "clean fixture must pass: {json}");
+    assert_eq!(json.trim(), "[]");
+}
+
+#[test]
+fn bad_unordered_iteration_trips_exactly_its_rule() {
+    let (code, json) = run_lint("bad_unordered_iteration.rs");
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["no-unordered-iteration"; 2], "{json}");
+    assert_eq!(spans_in(&json), vec![(5, 23), (8, 20)], "{json}");
+}
+
+#[test]
+fn bad_ambient_entropy_trips_exactly_its_rule() {
+    let (code, json) = run_lint("bad_ambient_entropy.rs");
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["no-ambient-entropy"; 2], "{json}");
+    assert_eq!(spans_in(&json), vec![(8, 19), (9, 23)], "{json}");
+}
+
+#[test]
+fn bad_panic_trips_exactly_its_rule_and_respects_exemptions() {
+    let (code, json) = run_lint("bad_panic.rs");
+    assert_eq!(code, 1);
+    // Five live findings; the #[cfg(test)] unwrap and the justified
+    // lint:allow'd index are exempt.
+    assert_eq!(rules_in(&json), vec!["no-panic-in-libs"; 5], "{json}");
+    assert_eq!(
+        spans_in(&json),
+        vec![(8, 13), (9, 13), (10, 9), (13, 9), (15, 7)],
+        "{json}"
+    );
+}
+
+#[test]
+fn bad_rng_discipline_trips_exactly_its_rule() {
+    let (code, json) = run_lint("bad_rng_discipline.rs");
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["rng-discipline"], "{json}");
+    assert_eq!(spans_in(&json), vec![(6, 13)], "{json}");
+}
+
+#[test]
+fn bad_float_association_trips_exactly_its_rule() {
+    let (code, json) = run_lint("bad_float_association.rs");
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["float-association"; 2], "{json}");
+    assert_eq!(spans_in(&json), vec![(6, 41), (7, 41)], "{json}");
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    // The same invocation CI runs: the tree itself must satisfy the wall.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn xtask binary");
+    assert!(
+        out.status.success(),
+        "workspace lint failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

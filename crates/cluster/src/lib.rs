@@ -60,4 +60,4 @@ pub use powergate::{PowerGate, PowerState};
 pub use reconcile::{anti_entropy, RepairPlan};
 pub use recovery::{recover, OpenEpoch, Recovered};
 pub use snapshot::ClusterState;
-pub use wal::{crc32, DecodedLog, Wal, WalError, WalEvent};
+pub use wal::{crc32, DecodedLog, Wal, WalError, WalEvent, WalFull, WriteFault};

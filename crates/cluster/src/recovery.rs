@@ -56,6 +56,11 @@ pub struct Recovered {
     /// True when a snapshot anchored the recovery (else replay started from
     /// an empty cluster).
     pub from_snapshot: bool,
+    /// Every intact [`WalEvent::Service`] payload in append order, across
+    /// the *whole* log (not just the post-snapshot suffix): the serving
+    /// layer anchors its own replay on its own snapshot records, so the
+    /// control-plane anchor must not hide earlier admission history.
+    pub service: Vec<Vec<u8>>,
 }
 
 impl Recovered {
@@ -101,9 +106,24 @@ pub fn recover(wal_bytes: &[u8]) -> Result<Recovered, ClusterError> {
     let mut open: Option<OpenEpoch> = None;
     let mut events_replayed = 0usize;
 
+    let service: Vec<Vec<u8>> = decoded
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            WalEvent::Service(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+
     for ev in &decoded.events[start..] {
+        // Serving-layer records are opaque here; they are surfaced via
+        // `Recovered::service` and replayed by the daemon, not the cluster.
+        if matches!(ev, WalEvent::Service(_)) {
+            continue;
+        }
         events_replayed += 1;
         match ev {
+            WalEvent::Service(_) => unreachable!("filtered above"),
             WalEvent::Snapshot(_) => {
                 return Err(ClusterError::Recovery(
                     "snapshot after the anchoring snapshot".into(),
@@ -200,6 +220,7 @@ pub fn recover(wal_bytes: &[u8]) -> Result<Recovered, ClusterError> {
         torn_tail: decoded.torn_tail,
         events_replayed,
         from_snapshot,
+        service,
     })
 }
 
@@ -331,6 +352,29 @@ mod tests {
         assert_eq!(rec.state.committed_epoch, Some(0));
         assert_eq!(rec.state.actual, vec![(0, 0), (1, 1)]);
         assert_eq!(rec.open.as_ref().map(|o| o.epoch), Some(1));
+    }
+
+    #[test]
+    fn service_records_collected_across_snapshot_anchor() {
+        let mut wal = committed_epoch_log();
+        wal.append(&WalEvent::Service(vec![1, 2]));
+        let rec0 = recover(wal.bytes()).unwrap();
+        wal.append(&WalEvent::Snapshot(rec0.state.clone()));
+        wal.append(&WalEvent::Service(vec![3]));
+        wal.append(&WalEvent::EpochBegin {
+            epoch: 1,
+            rng_state: 20,
+        });
+        let rec = recover(wal.bytes()).unwrap();
+        assert!(rec.from_snapshot);
+        assert_eq!(
+            rec.events_replayed, 1,
+            "service records do not count as control-plane replay"
+        );
+        assert_eq!(rec.service, vec![vec![1, 2], vec![3]]);
+        assert_eq!(rec.open.as_ref().map(|o| o.epoch), Some(1));
+        // Pre-anchor service history survives the snapshot anchor.
+        assert_eq!(rec.state.actual, vec![(0, 0), (1, 1)]);
     }
 
     #[test]

@@ -80,6 +80,9 @@ impl Enc {
     pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    pub(crate) fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
     pub(crate) fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
@@ -113,6 +116,9 @@ impl<'a> Dec<'a> {
     pub(crate) fn u64(&mut self) -> Result<u64, WalError> {
         let a: [u8; 8] = self.take(8)?.try_into().map_err(|_| WalError::Truncated)?;
         Ok(u64::from_le_bytes(a))
+    }
+    pub(crate) fn raw(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        self.take(n)
     }
     pub(crate) fn done(&self) -> bool {
         self.pos == self.b.len()
@@ -289,6 +295,11 @@ pub enum WalEvent {
     /// A periodic full snapshot; recovery replays only the suffix after the
     /// last intact snapshot.
     Snapshot(ClusterState),
+    /// An opaque serving-layer record (admission ledger entries, batch
+    /// drains, service snapshots). The control-plane replay skips these;
+    /// [`crate::recovery::recover`] collects them in append order so the
+    /// daemon can rebuild its admission state from the same log.
+    Service(Vec<u8>),
 }
 
 impl WalEvent {
@@ -341,6 +352,11 @@ impl WalEvent {
                 e.u8(5);
                 s.encode(&mut e);
             }
+            WalEvent::Service(payload) => {
+                e.u8(6);
+                e.u64(payload.len() as u64);
+                e.raw(payload);
+            }
         }
         e.into_bytes()
     }
@@ -380,6 +396,10 @@ impl WalEvent {
                 gate: get_gate_states(&mut d)?,
             },
             5 => WalEvent::Snapshot(ClusterState::decode(&mut d)?),
+            6 => {
+                let n = d.u64()? as usize;
+                WalEvent::Service(d.raw(n)?.to_vec())
+            }
             t => return Err(WalError::BadTag(t)),
         };
         if !d.done() {
@@ -389,6 +409,36 @@ impl WalEvent {
         Ok(ev)
     }
 }
+
+/// An injected write failure for fault testing the append path.
+///
+/// Both model what a real log file sees when the disk misbehaves during an
+/// append: either nothing lands (`DiskFull`) or a prefix of the frame lands
+/// and the record is torn (`ShortWrite`). In both cases the *previously
+/// acknowledged* records must stay intact and recoverable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The whole append is dropped; the buffer is unchanged.
+    DiskFull,
+    /// Only the first `n` bytes of the framed record land, leaving a torn
+    /// tail. `n` is clamped to the frame length; `n == frame_len` degrades
+    /// to a successful write.
+    ShortWrite(usize),
+}
+
+/// Error returned when an (injected) write fault interrupted an append.
+///
+/// The record was **not** durably written; callers must not acknowledge it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalFull;
+
+impl std::fmt::Display for WalFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal append failed (write fault)")
+    }
+}
+
+impl std::error::Error for WalFull {}
 
 /// Result of scanning a log buffer.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -424,11 +474,61 @@ impl Wal {
 
     /// Appends one event as a framed, checksummed record.
     pub fn append(&mut self, ev: &WalEvent) {
+        let frame = Self::frame(ev);
+        self.buf.extend_from_slice(&frame);
+    }
+
+    /// Appends one event through an optional injected write fault.
+    ///
+    /// On `Ok(())` the record is fully durable. On `Err(WalFull)` the record
+    /// was not written — `DiskFull` leaves the buffer untouched, while
+    /// `ShortWrite(n)` leaves a torn partial frame that
+    /// [`Wal::truncate_torn_tail`] (or a crash-restart through
+    /// [`Wal::decode`]) rolls back to the intact prefix. Either way, no
+    /// previously appended record is harmed.
+    pub fn append_with_fault(
+        &mut self,
+        ev: &WalEvent,
+        fault: Option<WriteFault>,
+    ) -> Result<(), WalFull> {
+        let frame = Self::frame(ev);
+        match fault {
+            None => {
+                self.buf.extend_from_slice(&frame);
+                Ok(())
+            }
+            Some(WriteFault::DiskFull) => Err(WalFull),
+            Some(WriteFault::ShortWrite(n)) if n >= frame.len() => {
+                self.buf.extend_from_slice(&frame);
+                Ok(())
+            }
+            Some(WriteFault::ShortWrite(n)) => {
+                self.buf.extend_from_slice(&frame[..n]);
+                Err(WalFull)
+            }
+        }
+    }
+
+    /// Rolls a torn tail back to the intact record prefix, returning how
+    /// many bytes were discarded. A clean log is left untouched (returns 0).
+    ///
+    /// This is the log-repair step a controller runs after a failed append
+    /// (or on re-open after a crash) so later appends land on a record
+    /// boundary instead of extending garbage.
+    pub fn truncate_torn_tail(&mut self) -> usize {
+        let decoded = Wal::decode(&self.buf);
+        let dropped = self.buf.len() - decoded.intact_bytes;
+        self.buf.truncate(decoded.intact_bytes);
+        dropped
+    }
+
+    fn frame(ev: &WalEvent) -> Vec<u8> {
         let payload = ev.encode();
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.buf.extend_from_slice(&payload);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
     }
 
     /// The raw log bytes.
@@ -552,6 +652,7 @@ mod tests {
                 gate: Some(vec![PowerState::On, PowerState::Off, PowerState::On]),
                 rng_state: Some(78),
             }),
+            WalEvent::Service(vec![0x06, 0x00, 0xFF, 0x7A, 0x00]),
         ]
     }
 

@@ -66,9 +66,72 @@ impl GoldilocksConfig {
     }
 }
 
+/// Tunables for the placement-as-a-service daemon (`goldilocks-service`).
+///
+/// Everything is expressed in *virtual ticks* — the daemon's deterministic
+/// clock — so a configuration replays identically under the soak harness
+/// and in production-style wall-clock runs (where the embedder maps ticks
+/// to real time).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Bounded admission-queue capacity. Once full, lower-priority arrivals
+    /// are rejected with a retry-after hint and higher-priority arrivals
+    /// evict the lowest-priority queued request (explicit `Shed`); the
+    /// queue never grows past this bound.
+    pub queue_capacity: usize,
+    /// Bounded outbox (completion-notification) capacity. A slow consumer
+    /// that stops draining it causes overflow outcomes to be dropped and
+    /// counted — clients re-learn state via `Query` — rather than buffering
+    /// without bound.
+    pub outbox_capacity: usize,
+    /// Maximum requests drained from the queue into one epoch batch.
+    pub batch_max: usize,
+    /// Virtual ticks per epoch; epoch `e` commits at tick `(e + 1) ×
+    /// epoch_ticks`, which is the deadline horizon a queued request must
+    /// survive to.
+    pub epoch_ticks: u64,
+    /// Token-bucket burst capacity (tokens).
+    pub bucket_capacity: u64,
+    /// Tokens refilled at each epoch boundary (sustained admission rate =
+    /// `tokens_per_epoch / epoch_ticks` requests per tick).
+    pub tokens_per_epoch: u64,
+    /// Deadline budget assigned to requests that arrive without one.
+    pub default_deadline_ticks: u64,
+    /// A full `ClusterState` + service snapshot is journaled every this
+    /// many committed epochs, bounding recovery replay.
+    pub snapshot_every: u64,
+    /// Placement tunables for the primary rung of the degradation ladder.
+    pub gold: GoldilocksConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            outbox_capacity: 256,
+            batch_max: 64,
+            epoch_ticks: 1_000,
+            bucket_capacity: 48,
+            tokens_per_epoch: 32,
+            default_deadline_ticks: 4_000,
+            snapshot_every: 8,
+            gold: GoldilocksConfig::default(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_defaults_are_bounded_and_sane() {
+        let s = ServiceConfig::default();
+        assert!(s.queue_capacity > 0 && s.outbox_capacity > 0);
+        assert!(s.batch_max <= s.queue_capacity);
+        assert!(s.tokens_per_epoch <= s.bucket_capacity);
+        assert!(s.default_deadline_ticks >= s.epoch_ticks);
+    }
 
     #[test]
     fn default_matches_paper() {

@@ -46,7 +46,7 @@ mod incremental_placer;
 mod vcluster;
 
 pub use capacity::capacity_graph;
-pub use config::GoldilocksConfig;
+pub use config::{GoldilocksConfig, ServiceConfig};
 pub use goldilocks::{Goldilocks, ProvisionDetails};
 pub use grouping::partition_into_groups;
 pub use incremental_placer::IncrementalGoldilocks;

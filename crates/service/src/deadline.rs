@@ -1,0 +1,88 @@
+//! Deterministic deadline arithmetic over virtual ticks.
+//!
+//! The daemon has no wall clock — time is a `u64` tick counter advanced by
+//! the embedder (the soak harness, or a wall-clock shim in production-style
+//! runs). Deadlines are *absolute* ticks; budgets are relative. All
+//! arithmetic saturates, so `u64::MAX` acts as "never" and no combination
+//! of inputs can overflow, underflow, or panic.
+//!
+//! Timeout propagation follows the usual distributed-systems rule: a child
+//! operation derived from a parent request may only *tighten* the deadline
+//! (`child ≤ parent`), never extend it. The epoch driver uses this when a
+//! queued request is carried toward an epoch commit: the request survives
+//! the batch only if its deadline covers the commit tick.
+
+/// An absolute deadline in virtual ticks. `Deadline::NEVER` never expires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline(pub u64);
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub const NEVER: Deadline = Deadline(u64::MAX);
+
+    /// The deadline `budget` ticks after `now`, saturating at
+    /// [`Deadline::NEVER`].
+    pub fn from_budget(now: u64, budget: u64) -> Deadline {
+        Deadline(now.saturating_add(budget))
+    }
+
+    /// True once `now` has passed the deadline (the deadline tick itself is
+    /// still in time).
+    pub fn expired(self, now: u64) -> bool {
+        now > self.0
+    }
+
+    /// Ticks left before expiry; zero when already expired.
+    pub fn remaining(self, now: u64) -> u64 {
+        self.0.saturating_sub(now)
+    }
+
+    /// Derives a child deadline: at most `budget` ticks from `now`, and
+    /// never later than the parent. This is the monotone propagation rule —
+    /// `child(..) <= self` always holds.
+    pub fn child(self, now: u64, budget: u64) -> Deadline {
+        Deadline(self.0.min(now.saturating_add(budget)))
+    }
+
+    /// The earlier of two deadlines.
+    pub fn earliest(self, other: Deadline) -> Deadline {
+        Deadline(self.0.min(other.0))
+    }
+}
+
+/// The tick at which epoch `epoch` commits (`(epoch + 1) × epoch_ticks`,
+/// saturating). A queued request survives into epoch `epoch`'s batch only
+/// if its deadline has not expired at this tick.
+pub fn epoch_commit_tick(epoch: u64, epoch_ticks: u64) -> u64 {
+    epoch.saturating_add(1).saturating_mul(epoch_ticks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_is_never() {
+        assert!(!Deadline::NEVER.expired(u64::MAX));
+        assert_eq!(Deadline::NEVER.remaining(0), u64::MAX);
+    }
+
+    #[test]
+    fn budget_saturates() {
+        let d = Deadline::from_budget(u64::MAX - 2, 10);
+        assert_eq!(d, Deadline::NEVER);
+    }
+
+    #[test]
+    fn child_tightens_only() {
+        let parent = Deadline(100);
+        assert_eq!(parent.child(50, 200), parent);
+        assert_eq!(parent.child(50, 10), Deadline(60));
+    }
+
+    #[test]
+    fn commit_tick_saturates() {
+        assert_eq!(epoch_commit_tick(3, 1000), 4000);
+        assert_eq!(epoch_commit_tick(u64::MAX, 2), u64::MAX);
+    }
+}

@@ -1,0 +1,42 @@
+//! Placement-as-a-service: a long-running daemon wrapping the Goldilocks
+//! placement stack behind an admission-controlled, journaled request path.
+//!
+//! The crate is the serving layer of the reproduction. Clients speak a
+//! length-prefixed framed protocol ([`proto`]): admit a tenant, resize or
+//! remove one, or query where it landed. The daemon ([`daemon`]) batches
+//! accepted requests into placement epochs, journals every accept through
+//! the cluster WAL *before* acknowledging it, and drives the shared
+//! epoch-commit machinery — so a crash at any request boundary recovers to
+//! a byte-identical journal and placement.
+//!
+//! Robustness is the design center, in three layers:
+//!
+//! - **Admission control** ([`queue`]): an integer token bucket caps the
+//!   sustained intake rate and a bounded priority queue absorbs bursts.
+//!   Overload is never silent — arrivals are rejected with a retry-after
+//!   hint, or displace a lower-priority request that gets an explicit
+//!   `Shed` notice.
+//! - **Deadlines** ([`deadline`]): all timeouts are saturating arithmetic
+//!   over virtual ticks, propagated monotonically (a derived deadline can
+//!   only tighten), and enforced at epoch commit.
+//! - **Graceful degradation**: when the primary Goldilocks placement is
+//!   infeasible the daemon walks a fixed relaxation ladder down to
+//!   load-shedding, mirroring the chaos driver's fallback discipline.
+//!
+//! Everything is deterministic — no wall clocks, no ambient randomness —
+//! which is what makes the crash-restart soak drill exact instead of
+//! statistical.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod deadline;
+pub mod proto;
+pub mod queue;
+
+pub use daemon::{PlacementDaemon, RecoveryReport, ServiceEpochRecord, ServiceError, Tenant};
+pub use deadline::{epoch_commit_tick, Deadline};
+pub use proto::{deframe, frame, Priority, ProtoError, RejectReason, Request, Response};
+pub use queue::{AdmissionQueue, PushOutcome, PushPlan, QueueEntry, TokenBucket};

@@ -1,0 +1,631 @@
+//! The daemon's wire protocol: framed, checksummed request/response
+//! messages in the WAL's hand-rolled little-endian codec style.
+//!
+//! Framing is identical to the WAL record framing —
+//! `[payload_len: u32 LE][crc32(payload): u32 LE][payload]` — so a torn
+//! final frame on a stream is detected and skipped exactly like a torn WAL
+//! tail. The offline `serde` is a no-op stub, so everything here is
+//! hand-rolled and byte-identical across platforms.
+
+use goldilocks_cluster::crc32;
+use goldilocks_topology::Resources;
+
+/// Errors from decoding a single protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// An unknown message or field tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "message truncated"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Client-assigned request priority; higher values are more important and
+/// are the last to be shed under overload.
+pub type Priority = u8;
+
+/// A client request to the placement daemon.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Admit a new container with the given resource demand.
+    Admit {
+        /// Shed/eviction priority (higher survives longer).
+        priority: Priority,
+        /// Requested resources.
+        demand: Resources,
+        /// Deadline budget in ticks from arrival; `0` means "use the
+        /// daemon's default budget".
+        deadline_ticks: u64,
+        /// Opaque client correlation tag, echoed in every response.
+        tag: u64,
+    },
+    /// Change the resource demand of a previously admitted container.
+    Resize {
+        /// Priority of this request in the admission queue.
+        priority: Priority,
+        /// The `Accepted.seq` of the admit being resized.
+        target_seq: u64,
+        /// The new resource demand.
+        demand: Resources,
+        /// Deadline budget in ticks from arrival (`0` = default).
+        deadline_ticks: u64,
+        /// Opaque client correlation tag.
+        tag: u64,
+    },
+    /// Remove a previously admitted container.
+    Remove {
+        /// Priority of this request in the admission queue.
+        priority: Priority,
+        /// The `Accepted.seq` of the admit being removed.
+        target_seq: u64,
+        /// Deadline budget in ticks from arrival (`0` = default).
+        deadline_ticks: u64,
+        /// Opaque client correlation tag.
+        tag: u64,
+    },
+    /// Read-only lookup of a request's current disposition. Queries bypass
+    /// admission control and are never journaled.
+    Query {
+        /// The `Accepted.seq` to look up.
+        target_seq: u64,
+        /// Opaque client correlation tag.
+        tag: u64,
+    },
+}
+
+impl Request {
+    /// The request's admission priority (queries have none and report max).
+    pub fn priority(&self) -> Priority {
+        match self {
+            Request::Admit { priority, .. }
+            | Request::Resize { priority, .. }
+            | Request::Remove { priority, .. } => *priority,
+            Request::Query { .. } => Priority::MAX,
+        }
+    }
+
+    /// The client correlation tag.
+    pub fn tag(&self) -> u64 {
+        match self {
+            Request::Admit { tag, .. }
+            | Request::Resize { tag, .. }
+            | Request::Remove { tag, .. }
+            | Request::Query { tag, .. } => *tag,
+        }
+    }
+
+    /// The deadline budget in ticks (`0` = daemon default; queries are
+    /// immediate and report 0).
+    pub fn deadline_ticks(&self) -> u64 {
+        match self {
+            Request::Admit { deadline_ticks, .. }
+            | Request::Resize { deadline_ticks, .. }
+            | Request::Remove { deadline_ticks, .. } => *deadline_ticks,
+            Request::Query { .. } => 0,
+        }
+    }
+}
+
+/// Why a request was rejected at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue is full and the request's priority did
+    /// not beat the lowest queued priority.
+    QueueFull,
+    /// The token-bucket admission controller is out of tokens.
+    Throttled,
+    /// The journal could not durably record the request (write stall); the
+    /// request was *not* accepted and must be retried.
+    WalUnavailable,
+}
+
+/// A daemon response. Every accepted mutation is first journaled, so an
+/// `Accepted` ack implies the request survives any crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The request was journaled and queued; `seq` is its durable identity.
+    Accepted {
+        /// Durable sequence number.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// Explicit backpressure: not accepted, retry after the given ticks.
+    Rejected {
+        /// Why admission refused the request.
+        reason: RejectReason,
+        /// Hint: ticks until the gate is expected to reopen.
+        retry_after_ticks: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// The request was accepted but shed under overload (queue eviction by
+    /// a higher-priority arrival, or the planner's degradation ladder).
+    Shed {
+        /// The shed request's sequence number.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// The request's deadline passed before its batch committed.
+    Expired {
+        /// The expired request's sequence number.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// An admit was placed on (or currently runs on) the given server.
+    Placed {
+        /// The admit's sequence number.
+        seq: u64,
+        /// Hosting server id.
+        server: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// A resize was applied.
+    Resized {
+        /// The resize request's sequence number.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// A remove was applied.
+    Removed {
+        /// The remove request's sequence number.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// The referenced target is unknown (never admitted, already removed,
+    /// shed, or expired).
+    NotFound {
+        /// The sequence number of the request that referenced the target.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// Query result: the target is still waiting in the admission queue.
+    Queued {
+        /// The queried sequence number.
+        seq: u64,
+        /// Echoed client tag.
+        tag: u64,
+    },
+    /// The frame decoded but the message inside did not; nothing was done.
+    Malformed {
+        /// Echoed client tag when recoverable, else 0.
+        tag: u64,
+    },
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_resources(buf: &mut Vec<u8>, r: &Resources) {
+    put_f64(buf, r.cpu);
+    put_f64(buf, r.memory_gb);
+    put_f64(buf, r.network_mbps);
+}
+
+/// Cursor over a message payload.
+pub(crate) struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Self {
+        Cur { b, pos: 0 }
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.b.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
+        self.take(1)?.first().copied().ok_or(ProtoError::Truncated)
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
+        let a: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| ProtoError::Truncated)?;
+        Ok(u32::from_le_bytes(a))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
+        let a: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| ProtoError::Truncated)?;
+        Ok(u64::from_le_bytes(a))
+    }
+    pub(crate) fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    pub(crate) fn resources(&mut self) -> Result<Resources, ProtoError> {
+        Ok(Resources::new(self.f64()?, self.f64()?, self.f64()?))
+    }
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+}
+
+impl Request {
+    /// Encodes the request payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Request::Admit {
+                priority,
+                demand,
+                deadline_ticks,
+                tag,
+            } => {
+                b.push(1);
+                b.push(*priority);
+                put_resources(&mut b, demand);
+                put_u64(&mut b, *deadline_ticks);
+                put_u64(&mut b, *tag);
+            }
+            Request::Resize {
+                priority,
+                target_seq,
+                demand,
+                deadline_ticks,
+                tag,
+            } => {
+                b.push(2);
+                b.push(*priority);
+                put_u64(&mut b, *target_seq);
+                put_resources(&mut b, demand);
+                put_u64(&mut b, *deadline_ticks);
+                put_u64(&mut b, *tag);
+            }
+            Request::Remove {
+                priority,
+                target_seq,
+                deadline_ticks,
+                tag,
+            } => {
+                b.push(3);
+                b.push(*priority);
+                put_u64(&mut b, *target_seq);
+                put_u64(&mut b, *deadline_ticks);
+                put_u64(&mut b, *tag);
+            }
+            Request::Query { target_seq, tag } => {
+                b.push(4);
+                put_u64(&mut b, *target_seq);
+                put_u64(&mut b, *tag);
+            }
+        }
+        b
+    }
+
+    /// Decodes a request payload (unframed). Rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cur::new(payload);
+        let req = match c.u8()? {
+            1 => Request::Admit {
+                priority: c.u8()?,
+                demand: c.resources()?,
+                deadline_ticks: c.u64()?,
+                tag: c.u64()?,
+            },
+            2 => Request::Resize {
+                priority: c.u8()?,
+                target_seq: c.u64()?,
+                demand: c.resources()?,
+                deadline_ticks: c.u64()?,
+                tag: c.u64()?,
+            },
+            3 => Request::Remove {
+                priority: c.u8()?,
+                target_seq: c.u64()?,
+                deadline_ticks: c.u64()?,
+                tag: c.u64()?,
+            },
+            4 => Request::Query {
+                target_seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        if !c.done() {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Response::Accepted { seq, tag } => {
+                b.push(1);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::Rejected {
+                reason,
+                retry_after_ticks,
+                tag,
+            } => {
+                b.push(2);
+                b.push(match reason {
+                    RejectReason::QueueFull => 0,
+                    RejectReason::Throttled => 1,
+                    RejectReason::WalUnavailable => 2,
+                });
+                put_u64(&mut b, *retry_after_ticks);
+                put_u64(&mut b, *tag);
+            }
+            Response::Shed { seq, tag } => {
+                b.push(3);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::Expired { seq, tag } => {
+                b.push(4);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::Placed { seq, server, tag } => {
+                b.push(5);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *server);
+                put_u64(&mut b, *tag);
+            }
+            Response::Resized { seq, tag } => {
+                b.push(6);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::Removed { seq, tag } => {
+                b.push(7);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::NotFound { seq, tag } => {
+                b.push(8);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::Queued { seq, tag } => {
+                b.push(9);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *tag);
+            }
+            Response::Malformed { tag } => {
+                b.push(10);
+                put_u64(&mut b, *tag);
+            }
+        }
+        b
+    }
+
+    /// Decodes a response payload (unframed). Rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cur::new(payload);
+        let resp = match c.u8()? {
+            1 => Response::Accepted {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            2 => Response::Rejected {
+                reason: match c.u8()? {
+                    0 => RejectReason::QueueFull,
+                    1 => RejectReason::Throttled,
+                    2 => RejectReason::WalUnavailable,
+                    t => return Err(ProtoError::BadTag(t)),
+                },
+                retry_after_ticks: c.u64()?,
+                tag: c.u64()?,
+            },
+            3 => Response::Shed {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            4 => Response::Expired {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            5 => Response::Placed {
+                seq: c.u64()?,
+                server: c.u64()?,
+                tag: c.u64()?,
+            },
+            6 => Response::Resized {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            7 => Response::Removed {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            8 => Response::NotFound {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            9 => Response::Queued {
+                seq: c.u64()?,
+                tag: c.u64()?,
+            },
+            10 => Response::Malformed { tag: c.u64()? },
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        if !c.done() {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(resp)
+    }
+}
+
+/// Wraps a message payload in the wire framing
+/// (`[len: u32 LE][crc32: u32 LE][payload]`).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Scans a byte stream into intact frame payloads, tolerating a torn final
+/// frame (returned as `torn = true`). Corrupt (checksum-failed) frames
+/// terminate the scan like a torn tail — on a stream transport the
+/// connection would be dropped at that point.
+pub fn deframe(bytes: &[u8]) -> (Vec<Vec<u8>>, bool) {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            return (frames, true);
+        }
+        let mut hdr = Cur::new(&bytes[pos..pos + 8]);
+        let (len, crc) = match (hdr.u32(), hdr.u32()) {
+            (Ok(len), Ok(crc)) => (len as usize, crc),
+            _ => return (frames, true),
+        };
+        let start = pos + 8;
+        if start + len > bytes.len() {
+            return (frames, true);
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            return (frames, true);
+        }
+        frames.push(payload.to_vec());
+        pos = start + len;
+    }
+    (frames, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Admit {
+                priority: 7,
+                demand: Resources::new(50.0, 2.0, 100.0),
+                deadline_ticks: 4_000,
+                tag: 11,
+            },
+            Request::Resize {
+                priority: 3,
+                target_seq: 42,
+                demand: Resources::new(80.0, 4.0, 200.0),
+                deadline_ticks: 0,
+                tag: 12,
+            },
+            Request::Remove {
+                priority: 9,
+                target_seq: 42,
+                deadline_ticks: 1,
+                tag: 13,
+            },
+            Request::Query {
+                target_seq: 42,
+                tag: 14,
+            },
+        ]
+    }
+
+    #[test]
+    fn request_round_trip() {
+        for req in sample_requests() {
+            let enc = req.encode();
+            assert_eq!(Request::decode(&enc), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let responses = vec![
+            Response::Accepted { seq: 1, tag: 2 },
+            Response::Rejected {
+                reason: RejectReason::Throttled,
+                retry_after_ticks: 250,
+                tag: 3,
+            },
+            Response::Shed { seq: 4, tag: 5 },
+            Response::Expired { seq: 6, tag: 7 },
+            Response::Placed {
+                seq: 8,
+                server: 9,
+                tag: 10,
+            },
+            Response::Resized { seq: 11, tag: 12 },
+            Response::Removed { seq: 13, tag: 14 },
+            Response::NotFound { seq: 15, tag: 16 },
+            Response::Queued { seq: 17, tag: 18 },
+            Response::Malformed { tag: 19 },
+        ];
+        for resp in responses {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn deframe_tolerates_torn_tail() {
+        let mut stream = Vec::new();
+        for req in sample_requests() {
+            stream.extend_from_slice(&frame(&req.encode()));
+        }
+        let (frames, torn) = deframe(&stream);
+        assert!(!torn);
+        assert_eq!(frames.len(), 4);
+        // Every proper prefix that cuts a frame is torn but keeps the
+        // intact prefix.
+        let (frames, torn) = deframe(&stream[..stream.len() - 3]);
+        assert!(torn);
+        assert_eq!(frames.len(), 3);
+    }
+
+    #[test]
+    fn deframe_detects_corruption() {
+        let mut stream = frame(&sample_requests().swap_remove(0).encode());
+        let n = stream.len();
+        if let Some(b) = stream.get_mut(n - 1) {
+            *b ^= 0x10;
+        }
+        let (frames, torn) = deframe(&stream);
+        assert!(torn);
+        assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = Request::Query {
+            target_seq: 1,
+            tag: 2,
+        }
+        .encode();
+        enc.push(0);
+        assert_eq!(Request::decode(&enc), Err(ProtoError::Truncated));
+    }
+}

@@ -1,0 +1,305 @@
+//! Bounded admission machinery: the priority queue and the token bucket.
+//!
+//! Both structures are the daemon's overload armor. The queue never grows
+//! past its construction-time capacity — once full, an arrival either
+//! evicts the lowest-priority queued request (if the arrival outranks it)
+//! or is rejected outright with a retry-after hint. The token bucket caps
+//! the sustained admission rate with integer arithmetic (no floats, no
+//! clocks): refills happen at epoch boundaries, driven by the epoch loop.
+//!
+//! Everything here is deterministic: the same request stream replays to
+//! the same queue states, which is what lets crash recovery rebuild the
+//! queue from the journal instead of persisting it on every push.
+
+use crate::deadline::Deadline;
+use crate::proto::{Priority, Request};
+
+/// One queued, journaled, acknowledged request awaiting its epoch batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueEntry {
+    /// Durable sequence number (assigned at accept, journaled before ack).
+    pub seq: u64,
+    /// Admission priority (higher survives longer under overload).
+    pub priority: Priority,
+    /// Virtual tick at which the request was accepted.
+    pub at_tick: u64,
+    /// Absolute deadline the request must survive to.
+    pub deadline: Deadline,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// A pre-computed admission decision for a prospective push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushPlan {
+    /// Space available; the arrival will simply enqueue.
+    Enqueue,
+    /// The arrival outranks the queue's weakest entry and will evict the
+    /// entry with this seq.
+    Evict(u64),
+    /// The arrival does not outrank anyone; reject with backpressure.
+    Reject,
+}
+
+/// Outcome of a push against the bounded queue.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PushOutcome {
+    /// Enqueued without displacing anyone.
+    Enqueued,
+    /// Enqueued by evicting the returned lowest-priority entry.
+    Evicted(QueueEntry),
+    /// Queue full and the arrival did not outrank the lowest queued
+    /// priority; the arrival was **not** enqueued.
+    Full,
+}
+
+/// A bounded, priority-aware admission queue.
+///
+/// Draining order is `(priority desc, seq asc)`; eviction picks the
+/// `(priority asc, seq desc)` extreme — the lowest-priority, youngest
+/// entry — so FIFO fairness holds within a priority class.
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    cap: usize,
+    entries: Vec<QueueEntry>,
+    depth_high_water: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given hard capacity bound.
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            depth_high_water: 0,
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Deepest the queue has been since construction (or the last
+    /// [`AdmissionQueue::reset_high_water`]).
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+
+    /// Resets the high-water mark to the current depth.
+    pub fn reset_high_water(&mut self) {
+        self.depth_high_water = self.entries.len();
+    }
+
+    /// True when `seq` is currently queued.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.entries.iter().any(|e| e.seq == seq)
+    }
+
+    /// Computes the admission decision for an arrival of the given priority
+    /// **without mutating** the queue. The daemon journals the accept first
+    /// and only then applies the decision — the split keeps "journal before
+    /// ack" honest (a failed journal write leaves the queue untouched).
+    pub fn plan(&self, priority: Priority) -> PushPlan {
+        if self.entries.len() < self.cap {
+            return PushPlan::Enqueue;
+        }
+        match self
+            .entries
+            .iter()
+            .min_by_key(|e| (e.priority, u64::MAX - e.seq))
+        {
+            Some(v) if priority > v.priority => PushPlan::Evict(v.seq),
+            _ => PushPlan::Reject,
+        }
+    }
+
+    /// Attempts to enqueue, applying the bounded-queue policy.
+    pub fn push(&mut self, entry: QueueEntry) -> PushOutcome {
+        match self.plan(entry.priority) {
+            PushPlan::Enqueue => {
+                self.entries.push(entry);
+                self.depth_high_water = self.depth_high_water.max(self.entries.len());
+                PushOutcome::Enqueued
+            }
+            PushPlan::Evict(victim_seq) => match self.remove_seq(victim_seq) {
+                Some(victim) => {
+                    self.entries.push(entry);
+                    PushOutcome::Evicted(victim)
+                }
+                None => PushOutcome::Full,
+            },
+            PushPlan::Reject => PushOutcome::Full,
+        }
+    }
+
+    /// Removes (and returns) the entry with sequence number `seq`.
+    pub fn remove_seq(&mut self, seq: u64) -> Option<QueueEntry> {
+        let i = self.entries.iter().position(|e| e.seq == seq)?;
+        Some(self.entries.swap_remove(i))
+    }
+
+    /// The seqs a batch drain of up to `n` entries would take, in drain
+    /// order (`priority desc, seq asc`), without mutating.
+    pub fn peek_batch(&self, n: usize) -> Vec<u64> {
+        let mut keyed: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|e| (u64::from(Priority::MAX - e.priority), e.seq))
+            .collect();
+        keyed.sort_unstable();
+        keyed.truncate(n);
+        keyed.into_iter().map(|(_, seq)| seq).collect()
+    }
+
+    /// Removes the given seqs, returning the entries in the given order.
+    pub fn remove_seqs(&mut self, seqs: &[u64]) -> Vec<QueueEntry> {
+        seqs.iter().filter_map(|s| self.remove_seq(*s)).collect()
+    }
+
+    /// Drains up to `n` entries in `(priority desc, seq asc)` order.
+    pub fn drain_batch(&mut self, n: usize) -> Vec<QueueEntry> {
+        let seqs = self.peek_batch(n);
+        self.remove_seqs(&seqs)
+    }
+
+    /// The queued entries, in insertion order (for snapshots).
+    pub fn entries(&self) -> &[QueueEntry] {
+        &self.entries
+    }
+}
+
+/// An integer token bucket gating the sustained admission rate.
+///
+/// One token is taken per accepted mutation; `refill` is called once per
+/// committed epoch by the epoch driver. No clocks, no floats — the bucket
+/// state is an exact function of the journaled history, which is how
+/// recovery reconstructs it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity: u64,
+    tokens: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket with the given burst capacity.
+    pub fn new(capacity: u64) -> Self {
+        TokenBucket {
+            capacity: capacity.max(1),
+            tokens: capacity.max(1),
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Takes one token; `false` (and no change) when empty.
+    pub fn try_take(&mut self) -> bool {
+        if self.tokens == 0 {
+            return false;
+        }
+        self.tokens -= 1;
+        true
+    }
+
+    /// Returns one token (used when a later admission gate rejects the
+    /// request in the same breath — rejected requests are not charged).
+    pub fn refund(&mut self) {
+        self.tokens = (self.tokens + 1).min(self.capacity);
+    }
+
+    /// Adds `amount` tokens, saturating at capacity.
+    pub fn refill(&mut self, amount: u64) {
+        self.tokens = self.tokens.saturating_add(amount).min(self.capacity);
+    }
+
+    /// Overwrites the level (recovery only).
+    pub fn set_tokens(&mut self, tokens: u64) {
+        self.tokens = tokens.min(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::Resources;
+
+    fn entry(seq: u64, priority: Priority) -> QueueEntry {
+        QueueEntry {
+            seq,
+            priority,
+            at_tick: seq,
+            deadline: Deadline::NEVER,
+            request: Request::Admit {
+                priority,
+                demand: Resources::new(1.0, 1.0, 1.0),
+                deadline_ticks: 0,
+                tag: seq,
+            },
+        }
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity() {
+        let mut q = AdmissionQueue::new(3);
+        for s in 0..10 {
+            let _ = q.push(entry(s, (s % 4) as u8));
+            assert!(q.len() <= 3);
+        }
+        assert_eq!(q.depth_high_water(), 3);
+    }
+
+    #[test]
+    fn eviction_requires_strictly_higher_priority() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(q.push(entry(0, 5)), PushOutcome::Enqueued);
+        assert_eq!(q.push(entry(1, 5)), PushOutcome::Enqueued);
+        // Equal priority does not evict.
+        assert_eq!(q.push(entry(2, 5)), PushOutcome::Full);
+        // Higher priority evicts the youngest of the lowest class.
+        match q.push(entry(3, 6)) {
+            PushOutcome::Evicted(v) => assert_eq!(v.seq, 1),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(q.contains(0) && q.contains(3));
+    }
+
+    #[test]
+    fn drain_orders_by_priority_then_seq() {
+        let mut q = AdmissionQueue::new(8);
+        for (s, p) in [(0u64, 1u8), (1, 9), (2, 1), (3, 9), (4, 5)] {
+            assert_eq!(q.push(entry(s, p)), PushOutcome::Enqueued);
+        }
+        let batch = q.drain_batch(4);
+        let seqs: Vec<u64> = batch.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 4, 0]);
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(2));
+    }
+
+    #[test]
+    fn bucket_is_bounded_and_exact() {
+        let mut b = TokenBucket::new(2);
+        assert!(b.try_take() && b.try_take());
+        assert!(!b.try_take());
+        b.refill(10);
+        assert_eq!(b.tokens(), 2);
+        b.set_tokens(1);
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        b.refund();
+        assert_eq!(b.tokens(), 1);
+    }
+}

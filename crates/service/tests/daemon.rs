@@ -1,0 +1,542 @@
+//! Integration tests for the placement daemon: journal-before-ack,
+//! explicit backpressure under overload, graceful degradation, and the
+//! crash-restart byte-identity drill (every WAL record boundary is a
+//! crash point; recovery must converge to the uninterrupted run's bytes).
+
+use goldilocks_cluster::WriteFault;
+use goldilocks_core::ServiceConfig;
+use goldilocks_service::{PlacementDaemon, RejectReason, Request, Response};
+use goldilocks_topology::{builders::single_rack, DcTree, Resources};
+
+fn rack() -> DcTree {
+    single_rack(4, Resources::new(100.0, 16.0, 1000.0), 1000.0)
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 8,
+        outbox_capacity: 64,
+        batch_max: 8,
+        epoch_ticks: 1_000,
+        bucket_capacity: 64,
+        tokens_per_epoch: 32,
+        default_deadline_ticks: 10_000,
+        snapshot_every: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+fn admit(priority: u8, tag: u64) -> Request {
+    Request::Admit {
+        priority,
+        demand: Resources::new(10.0, 1.0, 10.0),
+        deadline_ticks: 0,
+        tag,
+    }
+}
+
+/// One scripted daemon stimulus.
+#[derive(Clone)]
+enum Step {
+    Submit(u64, Request),
+    Commit(u64),
+}
+
+fn run_script(d: &mut PlacementDaemon, steps: &[Step]) {
+    for s in steps {
+        match s {
+            Step::Submit(tick, req) => {
+                let _ = d.submit(*tick, req.clone());
+            }
+            Step::Commit(epoch) => {
+                d.commit_epoch(*epoch).expect("commit must succeed");
+            }
+        }
+    }
+}
+
+/// A multi-epoch script exercising admits, resizes, removes, queue
+/// overflow, and snapshots (snapshot_every = 2).
+fn soak_script() -> Vec<Step> {
+    let mut steps = Vec::new();
+    // Epoch 0: a burst past the queue bound (capacity 8) — rejections and
+    // evictions both occur.
+    for i in 0..12u64 {
+        steps.push(Step::Submit(i * 10, admit((i % 5) as u8 + 1, 100 + i)));
+    }
+    steps.push(Step::Commit(0));
+    // Epoch 1: resizes of placed tenants + one remove + one bogus target.
+    steps.push(Step::Submit(
+        1_100,
+        Request::Resize {
+            priority: 5,
+            target_seq: 0,
+            demand: Resources::new(20.0, 2.0, 20.0),
+            deadline_ticks: 0,
+            tag: 200,
+        },
+    ));
+    steps.push(Step::Submit(
+        1_200,
+        Request::Remove {
+            priority: 5,
+            target_seq: 1,
+            deadline_ticks: 0,
+            tag: 201,
+        },
+    ));
+    steps.push(Step::Submit(
+        1_300,
+        Request::Remove {
+            priority: 5,
+            target_seq: 9_999,
+            deadline_ticks: 0,
+            tag: 202,
+        },
+    ));
+    steps.push(Step::Commit(1)); // snapshot epoch
+                                 // Epoch 2: more admits, one with a hopeless deadline.
+    for i in 0..4u64 {
+        steps.push(Step::Submit(2_100 + i, admit(9, 300 + i)));
+    }
+    steps.push(Step::Submit(
+        2_200,
+        Request::Admit {
+            priority: 9,
+            demand: Resources::new(10.0, 1.0, 10.0),
+            deadline_ticks: 1, // expires long before the epoch-2 commit
+            tag: 310,
+        },
+    ));
+    steps.push(Step::Commit(2));
+    steps.push(Step::Commit(3)); // empty epoch + snapshot
+    steps
+}
+
+#[test]
+fn journal_before_ack_never_acks_unjournaled() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    let wal_before = d.wal_bytes().len();
+    let tokens_before = d.tokens();
+
+    d.set_wal_fault(Some(WriteFault::DiskFull));
+    let resp = d.submit(0, admit(5, 1));
+    assert_eq!(
+        resp,
+        Response::Rejected {
+            reason: RejectReason::WalUnavailable,
+            retry_after_ticks: 1_000,
+            tag: 1
+        }
+    );
+    // Nothing leaked: no queue entry, no journal bytes, token refunded.
+    assert_eq!(d.queue_depth(), 0);
+    assert_eq!(d.wal_bytes().len(), wal_before);
+    assert_eq!(d.tokens(), tokens_before);
+
+    // A short write is also not an ack — and leaves no torn garbage.
+    d.set_wal_fault(Some(WriteFault::ShortWrite(5)));
+    let resp = d.submit(1, admit(5, 2));
+    assert!(matches!(resp, Response::Rejected { .. }));
+    assert_eq!(d.wal_bytes().len(), wal_before);
+
+    // Clearing the fault, the same request goes through with seq 0 (no
+    // sequence numbers were burned by the rejected attempts).
+    d.set_wal_fault(None);
+    let resp = d.submit(2, admit(5, 3));
+    assert_eq!(resp, Response::Accepted { seq: 0, tag: 3 });
+    assert!(d.wal_bytes().len() > wal_before);
+    assert_eq!(d.queue_depth(), 1);
+}
+
+#[test]
+fn overload_burst_sheds_low_priority_never_overflows() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    // 2x overload: 16 low-priority admits against a queue bound of 8.
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for i in 0..16u64 {
+        match d.submit(i, admit(1, i)) {
+            Response::Accepted { .. } => accepted += 1,
+            Response::Rejected {
+                reason: RejectReason::QueueFull,
+                retry_after_ticks,
+                ..
+            } => {
+                assert!(retry_after_ticks > 0, "backpressure must carry a hint");
+                rejected += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert!(d.queue_depth() <= 8, "queue must stay bounded");
+    }
+    assert_eq!((accepted, rejected), (8, 8));
+
+    // High-priority admits keep landing: each evicts a low-priority entry
+    // with an explicit Shed notification.
+    for i in 0..4u64 {
+        let resp = d.submit(100 + i, admit(9, 900 + i));
+        assert!(matches!(resp, Response::Accepted { .. }));
+        assert_eq!(d.queue_depth(), 8);
+    }
+    let sheds: Vec<_> = d
+        .drain_outbox()
+        .into_iter()
+        .filter(|r| matches!(r, Response::Shed { .. }))
+        .collect();
+    assert_eq!(sheds.len(), 4, "each eviction must be announced");
+
+    let rec = d.commit_epoch(0).expect("commit");
+    assert_eq!(rec.arrivals, 20);
+    assert_eq!(rec.accepted, 12);
+    assert_eq!(rec.rejected_queue, 8);
+    assert_eq!(rec.shed_queue, 4);
+    assert_eq!(rec.queue_depth_max, 8);
+    assert_eq!(rec.placed, 8);
+    // The high-priority admits all survived to placement.
+    assert_eq!(d.live(), 8);
+}
+
+#[test]
+fn token_bucket_throttles_and_refills_on_commit() {
+    let mut d = PlacementDaemon::new(
+        ServiceConfig {
+            bucket_capacity: 2,
+            tokens_per_epoch: 2,
+            ..cfg()
+        },
+        rack(),
+    );
+    assert!(matches!(
+        d.submit(0, admit(5, 1)),
+        Response::Accepted { .. }
+    ));
+    assert!(matches!(
+        d.submit(1, admit(5, 2)),
+        Response::Accepted { .. }
+    ));
+    let resp = d.submit(2, admit(5, 3));
+    match resp {
+        Response::Rejected {
+            reason,
+            retry_after_ticks,
+            ..
+        } => {
+            assert_eq!(reason, RejectReason::Throttled);
+            assert_eq!(retry_after_ticks, 998, "ticks to the epoch boundary");
+        }
+        other => panic!("expected throttle, got {other:?}"),
+    }
+    let rec = d.commit_epoch(0).expect("commit");
+    assert_eq!(rec.rejected_throttle, 1);
+    // The commit refilled the bucket.
+    assert!(matches!(
+        d.submit(1_001, admit(5, 4)),
+        Response::Accepted { .. }
+    ));
+}
+
+#[test]
+fn deadlines_expire_at_commit_not_before() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    // Budget 1 tick at tick 0: dead long before the epoch-0 commit (tick
+    // 1000). Budget 2000: survives it.
+    assert!(matches!(
+        d.submit(
+            0,
+            Request::Admit {
+                priority: 5,
+                demand: Resources::new(10.0, 1.0, 10.0),
+                deadline_ticks: 1,
+                tag: 1,
+            }
+        ),
+        Response::Accepted { .. }
+    ));
+    assert!(matches!(
+        d.submit(
+            0,
+            Request::Admit {
+                priority: 5,
+                demand: Resources::new(10.0, 1.0, 10.0),
+                deadline_ticks: 2_000,
+                tag: 2,
+            }
+        ),
+        Response::Accepted { .. }
+    ));
+    let rec = d.commit_epoch(0).expect("commit");
+    assert_eq!(rec.expired, 1);
+    assert_eq!(rec.placed, 1);
+    let outcomes = d.drain_outbox();
+    assert!(outcomes
+        .iter()
+        .any(|r| matches!(r, Response::Expired { seq: 0, tag: 1 })));
+    assert!(outcomes
+        .iter()
+        .any(|r| matches!(r, Response::Placed { seq: 1, tag: 2, .. })));
+}
+
+#[test]
+fn planner_degradation_sheds_hopeless_tenants_explicitly() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    // Demands beyond any server (100 cpu): the whole ladder fails down to
+    // the shedding rung.
+    for i in 0..2u64 {
+        let resp = d.submit(
+            i,
+            Request::Admit {
+                priority: 5,
+                demand: Resources::new(150.0, 1.0, 10.0),
+                deadline_ticks: 0,
+                tag: i,
+            },
+        );
+        assert!(matches!(resp, Response::Accepted { .. }));
+    }
+    let rec = d.commit_epoch(0).expect("commit");
+    assert_eq!(rec.fallback, 4, "must reach the shedding rung");
+    assert_eq!(rec.shed_planner, 2);
+    assert_eq!(rec.placed, 0);
+    assert_eq!(d.live(), 0);
+    let sheds = d
+        .drain_outbox()
+        .into_iter()
+        .filter(|r| matches!(r, Response::Shed { .. }))
+        .count();
+    assert_eq!(sheds, 2, "planner sheds must be announced");
+}
+
+#[test]
+fn stalled_journal_skips_the_epoch_politely() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    for i in 0..3u64 {
+        assert!(matches!(
+            d.submit(i, admit(5, i)),
+            Response::Accepted { .. }
+        ));
+    }
+    let wal_before = d.wal_bytes().to_vec();
+    let tokens_before = d.tokens();
+    d.set_wal_fault(Some(WriteFault::DiskFull));
+    let rec = d.commit_epoch(0).expect("a stalled epoch is not an error");
+    assert!(rec.stalled);
+    assert_eq!(d.queue_depth(), 3, "nothing drained");
+    assert_eq!(d.wal_bytes(), &wal_before[..], "nothing journaled");
+    assert_eq!(d.tokens(), tokens_before, "no refill on a stalled epoch");
+    assert_eq!(d.last_committed(), None);
+    // The journal recovers; the next epoch commits the backlog.
+    d.set_wal_fault(None);
+    let rec = d.commit_epoch(1).expect("commit");
+    assert!(!rec.stalled);
+    assert_eq!(rec.placed, 3);
+}
+
+#[test]
+fn queries_answer_from_queue_ledger_and_runtime() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    assert!(matches!(
+        d.submit(0, admit(5, 7)),
+        Response::Accepted { .. }
+    ));
+    assert_eq!(
+        d.submit(
+            1,
+            Request::Query {
+                target_seq: 0,
+                tag: 8
+            }
+        ),
+        Response::Queued { seq: 0, tag: 8 }
+    );
+    d.commit_epoch(0).expect("commit");
+    assert!(matches!(
+        d.submit(
+            1_001,
+            Request::Query {
+                target_seq: 0,
+                tag: 9
+            }
+        ),
+        Response::Placed { seq: 0, tag: 9, .. }
+    ));
+    assert_eq!(
+        d.submit(
+            1_002,
+            Request::Query {
+                target_seq: 55,
+                tag: 10
+            }
+        ),
+        Response::NotFound { seq: 55, tag: 10 }
+    );
+}
+
+#[test]
+fn framed_stream_round_trips_through_the_daemon() {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&goldilocks_service::frame(&admit(5, 42).encode()));
+    stream.extend_from_slice(&goldilocks_service::frame(
+        &Request::Query {
+            target_seq: 0,
+            tag: 43,
+        }
+        .encode(),
+    ));
+    let (out, torn) = d.handle_frames(0, &stream);
+    assert!(!torn);
+    let (payloads, torn) = goldilocks_service::deframe(&out);
+    assert!(!torn);
+    let responses: Vec<Response> = payloads
+        .iter()
+        .map(|p| Response::decode(p).expect("decode"))
+        .collect();
+    assert_eq!(
+        responses,
+        vec![
+            Response::Accepted { seq: 0, tag: 42 },
+            Response::Queued { seq: 0, tag: 43 },
+        ]
+    );
+}
+
+/// Frame boundaries of a WAL byte buffer (every record end is a valid
+/// crash point).
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let end = pos + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        out.push(end);
+        pos = end;
+    }
+    out
+}
+
+#[test]
+fn crash_restart_at_every_record_boundary_is_byte_identical() {
+    // Reference: the uninterrupted run.
+    let mut reference = PlacementDaemon::new(cfg(), rack());
+    run_script(&mut reference, &soak_script());
+    let ref_wal = reference.wal_bytes().to_vec();
+
+    let boundaries = record_boundaries(&ref_wal);
+    assert!(
+        boundaries.len() >= 30,
+        "need >= 30 crash points, got {}",
+        boundaries.len()
+    );
+
+    // Crash at every record boundary: recovery must roll forward to a
+    // journal that is a byte-exact prefix of the reference (i.e. the
+    // restarted daemon is on the uninterrupted timeline).
+    for &cut in &boundaries {
+        let (d, report) =
+            PlacementDaemon::recover(cfg(), rack(), &ref_wal[..cut]).expect("recover");
+        assert!(
+            ref_wal.starts_with(d.wal_bytes()),
+            "divergent journal after crash at byte {cut} (rolled forward: {:?})",
+            report.rolled_forward
+        );
+    }
+
+    // Torn crashes too: cut *inside* the record after each boundary.
+    for &cut in boundaries.iter().take(40) {
+        let torn_cut = (cut + 3).min(ref_wal.len());
+        let (d, report) =
+            PlacementDaemon::recover(cfg(), rack(), &ref_wal[..torn_cut]).expect("recover");
+        assert!(
+            report.torn_tail || torn_cut == cut,
+            "cut {torn_cut} should tear a record"
+        );
+        assert!(
+            ref_wal.starts_with(d.wal_bytes()),
+            "divergent journal after torn crash at byte {torn_cut}"
+        );
+    }
+
+    // Full-log recovery lands on the exact final state.
+    let (d, _) = PlacementDaemon::recover(cfg(), rack(), &ref_wal).expect("recover");
+    assert_eq!(d.wal_bytes(), &ref_wal[..]);
+    assert_eq!(d.assignment(), reference.assignment());
+    assert_eq!(d.live(), reference.live());
+    assert_eq!(d.queue_depth(), reference.queue_depth());
+    assert_eq!(d.tokens(), reference.tokens());
+    assert_eq!(d.last_committed(), reference.last_committed());
+}
+
+#[test]
+fn crash_restart_then_continue_matches_uninterrupted_run() {
+    let steps = soak_script();
+    let mut reference = PlacementDaemon::new(cfg(), rack());
+    run_script(&mut reference, &steps);
+    let ref_wal = reference.wal_bytes().to_vec();
+
+    // Crash at every scripted step boundary, recover, replay the rest of
+    // the script: the final journal and placement must be byte-identical.
+    for cut in 0..=steps.len() {
+        let mut live = PlacementDaemon::new(cfg(), rack());
+        run_script(&mut live, &steps[..cut]);
+        let (mut recovered, _) =
+            PlacementDaemon::recover(cfg(), rack(), live.wal_bytes()).expect("recover");
+        run_script(&mut recovered, &steps[cut..]);
+        assert_eq!(
+            recovered.wal_bytes(),
+            &ref_wal[..],
+            "crash after step {cut} diverged"
+        );
+        assert_eq!(recovered.assignment(), reference.assignment());
+    }
+}
+
+#[test]
+fn mid_commit_wal_failure_recovers_byte_identically() {
+    let steps = soak_script();
+    let mut reference = PlacementDaemon::new(cfg(), rack());
+    run_script(&mut reference, &steps);
+    let ref_wal = reference.wal_bytes().to_vec();
+
+    // Sweep short-write sizes against the epoch-1 commit (a snapshot
+    // epoch, so the commit sequence contains frames both smaller and much
+    // larger than the Batch probe): small caps stall the epoch before
+    // anything moves (graceful), mid-sized ones kill the commit partway
+    // through — exactly the crash the recovery protocol must absorb.
+    let mut mid_commit_crashes = 0;
+    for cap in (10..800).step_by(7) {
+        let mut d = PlacementDaemon::new(cfg(), rack());
+        // Reach the second commit point (steps[16] is Commit(1)).
+        run_script(&mut d, &steps[..16]);
+        d.set_wal_fault(Some(WriteFault::ShortWrite(cap)));
+        match d.commit_epoch(1) {
+            Ok(rec) => {
+                // Either the epoch stalled up front or the frames all fit.
+                if !rec.stalled {
+                    assert_eq!(d.last_committed(), Some(1));
+                }
+                continue;
+            }
+            Err(_) => mid_commit_crashes += 1,
+        }
+        // Crash-restart from the torn journal and replay the rest.
+        let (mut recovered, report) =
+            PlacementDaemon::recover(cfg(), rack(), d.wal_bytes()).expect("recover");
+        assert!(report.rolled_forward == Some(1) || report.rolled_forward.is_none());
+        run_script(&mut recovered, &steps[17..]);
+        assert_eq!(
+            recovered.wal_bytes(),
+            &ref_wal[..],
+            "short-write cap {cap} diverged after recovery"
+        );
+        assert_eq!(recovered.assignment(), reference.assignment());
+    }
+    assert!(
+        mid_commit_crashes >= 5,
+        "sweep must actually exercise mid-commit crashes, got {mid_commit_crashes}"
+    );
+}

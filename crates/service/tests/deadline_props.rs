@@ -1,0 +1,105 @@
+//! Property tests for the deadline arithmetic (satellite of the serving
+//! PR): monotone child propagation, saturation at the `NEVER` sentinel,
+//! and consistency across epoch boundaries. All inputs range over the
+//! full `u64` spectrum via explicit wide ranges, so the saturating paths
+//! are actually exercised.
+
+use goldilocks_service::{epoch_commit_tick, Deadline};
+use proptest::prelude::*;
+
+proptest! {
+    /// A derived child deadline never extends the parent.
+    #[test]
+    fn child_is_monotone_under_parent(
+        parent in 0u64..=u64::MAX,
+        now in 0u64..=u64::MAX,
+        budget in 0u64..=u64::MAX,
+    ) {
+        let p = Deadline(parent);
+        let c = p.child(now, budget);
+        prop_assert!(c <= p, "child {c:?} exceeds parent {p:?}");
+        // And it never exceeds the budget from `now` either.
+        prop_assert!(c.0 <= now.saturating_add(budget));
+    }
+
+    /// Chaining child derivations only ever tightens.
+    #[test]
+    fn child_chain_tightens(
+        parent in 0u64..=u64::MAX,
+        now1 in 0u64..=u64::MAX,
+        b1 in 0u64..=u64::MAX,
+        now2 in 0u64..=u64::MAX,
+        b2 in 0u64..=u64::MAX,
+    ) {
+        let p = Deadline(parent);
+        let c1 = p.child(now1, b1);
+        let c2 = c1.child(now2, b2);
+        prop_assert!(c2 <= c1 && c1 <= p);
+    }
+
+    /// Budget arithmetic saturates instead of wrapping: a huge budget
+    /// lands exactly on `NEVER`, never on a small wrapped deadline.
+    #[test]
+    fn from_budget_saturates(now in 0u64..=u64::MAX, budget in 0u64..=u64::MAX) {
+        let d = Deadline::from_budget(now, budget);
+        prop_assert!(d.0 >= now, "wrapped below now: {d:?}");
+        if u64::MAX - now <= budget {
+            prop_assert_eq!(d, Deadline::NEVER);
+        } else {
+            prop_assert_eq!(d.0, now + budget);
+        }
+    }
+
+    /// `expired` and `remaining` agree: a deadline is expired exactly when
+    /// nothing remains *and* the deadline tick itself has passed.
+    #[test]
+    fn expired_and_remaining_are_consistent(d in 0u64..=u64::MAX, now in 0u64..=u64::MAX) {
+        let dl = Deadline(d);
+        prop_assert_eq!(dl.expired(now), now > d);
+        prop_assert_eq!(dl.remaining(now), d.saturating_sub(now));
+        // The deadline tick itself is still in time.
+        prop_assert!(!dl.expired(d));
+    }
+
+    /// `earliest` is commutative and lower-bounds both operands.
+    #[test]
+    fn earliest_is_min(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let (da, db) = (Deadline(a), Deadline(b));
+        prop_assert_eq!(da.earliest(db), db.earliest(da));
+        let e = da.earliest(db);
+        prop_assert!(e <= da && e <= db);
+    }
+
+    /// Epoch commit ticks are monotone in the epoch index and saturate at
+    /// `u64::MAX` — a deadline that covers epoch `e`'s commit therefore
+    /// covers every earlier epoch's commit too (no deadline can expire
+    /// "backwards" across an epoch boundary).
+    #[test]
+    fn commit_ticks_monotone_across_epochs(
+        epoch in 0u64..=u64::MAX,
+        ticks in 1u64..=u64::MAX,
+    ) {
+        let t0 = epoch_commit_tick(epoch, ticks);
+        let t1 = epoch_commit_tick(epoch.saturating_add(1), ticks);
+        prop_assert!(t0 <= t1);
+        // A request surviving epoch `epoch+1`'s commit also survives
+        // epoch `epoch`'s.
+        let dl = Deadline(t1);
+        prop_assert!(!dl.expired(t0));
+    }
+
+    /// A request admitted at `now` with budget `b` survives exactly the
+    /// epochs whose commit tick falls within the budget (the epoch-driver
+    /// expiry rule, restated independently).
+    #[test]
+    fn budget_covers_epochs_within_it(
+        now in 0u64..1_000_000u64,
+        budget in 0u64..1_000_000u64,
+        epoch in 0u64..1_000u64,
+        ticks in 1u64..10_000u64,
+    ) {
+        let dl = Deadline::from_budget(now, budget);
+        let commit = epoch_commit_tick(epoch, ticks);
+        prop_assert_eq!(dl.expired(commit), commit > now + budget);
+    }
+}

@@ -16,15 +16,27 @@
 //!   or between migration units (including via the in-schedule
 //!   [`FaultEvent::ControllerCrash`]) and [`ChaosDriver::resume`]d from
 //!   the surviving bytes without perturbing the trajectory.
+//! - [`service`]: the same treatment for the *serving path*.
+//!   [`ServiceFaultPlan`] expands request-burst storms, slow-consumer
+//!   stalls, WAL stalls/short-writes and controller crashes into a
+//!   [`ServiceFaultSchedule`], and [`run_service_soak`] replays a seeded
+//!   request trace against a `goldilocks-service` daemon under that
+//!   schedule, crash-restarting from the journal and checking the
+//!   restarted timeline stays byte-identical.
 //!
 //! Everything is seeded: the same `(scenario, policy, schedule, seed)`
 //! replays byte-for-byte, which is what makes fault experiments citable.
 
 mod driver;
 mod plan;
+mod service;
 
 pub use driver::{
     run_chaos, ChaosDriver, ChaosEpochRecord, ChaosError, ChaosRun, FallbackLevel,
     ResilienceSummary,
 };
 pub use plan::{ChaosRng, FaultEvent, FaultPlan, FaultPlanConfig, FaultSchedule};
+pub use service::{
+    generate_trace, run_service_soak, ServiceFaultEvent, ServiceFaultPlan, ServiceFaultPlanConfig,
+    ServiceFaultSchedule, ServiceSoakConfig, ServiceSoakRun, ServiceTraceConfig,
+};

@@ -1,0 +1,579 @@
+//! Service-path chaos: deterministic fault schedules and a soak driver
+//! for the placement daemon.
+//!
+//! The control-plane chaos in [`super::plan`] attacks the *data plane*
+//! (servers, switches, migrations). This module attacks the *serving
+//! path*: request-burst storms that slam the admission queue, slow
+//! consumers that back up the outcome outbox, WAL write stalls and short
+//! writes that hit the journal-before-ack discipline, and controller
+//! crashes mid-batch. Every schedule expands from its own seeded
+//! [`ChaosRng`] stream — deliberately separate from [`super::FaultPlan`]'s
+//! stream so adding service trials never perturbs existing seeded
+//! control-plane experiments.
+//!
+//! [`run_service_soak`] replays a request trace against a
+//! [`PlacementDaemon`] under such a schedule, crash-restarting the daemon
+//! from its journal whenever a fault kills a commit, and checks that the
+//! restarted timeline stays byte-identical with the journal it recovered
+//! from (any divergence is reported, not papered over).
+
+use goldilocks_cluster::WriteFault;
+use goldilocks_core::ServiceConfig;
+use goldilocks_service::{PlacementDaemon, Request, ServiceEpochRecord};
+use goldilocks_topology::{DcTree, Resources};
+
+use super::plan::ChaosRng;
+
+/// One service-path fault, scheduled at an epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceFaultEvent {
+    /// A request storm: this epoch's trace arrivals are replayed `factor`
+    /// times (re-tagged), overrunning the admission queue and bucket.
+    RequestBurst {
+        /// Arrival multiplier (≥ 2).
+        factor: u32,
+    },
+    /// The outcome consumer stalls: the outbox is not drained for the next
+    /// `epochs` epochs, forcing bounded-overflow drops.
+    SlowConsumer {
+        /// Number of epochs the consumer is stalled.
+        epochs: u32,
+    },
+    /// The journal rejects every write for the next `epochs` epochs:
+    /// submissions bounce with `WalUnavailable` and commits stall.
+    WalStall {
+        /// Number of epochs the journal is unavailable.
+        epochs: u32,
+    },
+    /// One-shot short-write fault armed for this epoch's commit: any
+    /// record frame longer than `cap` bytes tears, killing the commit
+    /// mid-batch and forcing a crash-restart.
+    WalShortWrite {
+        /// Maximum frame bytes the medium accepts before tearing.
+        cap: usize,
+    },
+    /// The daemon process dies at the epoch boundary and is restarted
+    /// from its journal.
+    ControllerCrash,
+}
+
+/// Rate knobs for service-path fault generation.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceFaultPlanConfig {
+    /// Per-epoch probability of a request burst.
+    pub burst_prob: f64,
+    /// Largest burst multiplier (uniform in `2..=max`).
+    pub burst_factor_max: u32,
+    /// Per-epoch probability of a slow-consumer stall starting.
+    pub slow_consumer_prob: f64,
+    /// Per-epoch probability of a WAL stall starting.
+    pub wal_stall_prob: f64,
+    /// Longest stall, in epochs (uniform in `1..=max`).
+    pub stall_epochs_max: u32,
+    /// Per-epoch probability of a one-shot short-write at commit.
+    pub short_write_prob: f64,
+    /// Per-epoch probability of a controller crash-restart.
+    pub crash_prob: f64,
+}
+
+impl Default for ServiceFaultPlanConfig {
+    fn default() -> Self {
+        ServiceFaultPlanConfig {
+            burst_prob: 0.15,
+            burst_factor_max: 3,
+            slow_consumer_prob: 0.10,
+            wal_stall_prob: 0.08,
+            stall_epochs_max: 2,
+            short_write_prob: 0.10,
+            crash_prob: 0.12,
+        }
+    }
+}
+
+impl ServiceFaultPlanConfig {
+    /// All rates zero — a fault-free soak (the metering baseline).
+    pub fn quiescent() -> Self {
+        ServiceFaultPlanConfig {
+            burst_prob: 0.0,
+            burst_factor_max: 2,
+            slow_consumer_prob: 0.0,
+            wal_stall_prob: 0.0,
+            stall_epochs_max: 1,
+            short_write_prob: 0.0,
+            crash_prob: 0.0,
+        }
+    }
+}
+
+/// A seeded service-fault plan; expanding it yields the exact replayable
+/// schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceFaultPlan {
+    /// Seed for the plan's private [`ChaosRng`] stream.
+    pub seed: u64,
+    /// Rate knobs.
+    pub config: ServiceFaultPlanConfig,
+}
+
+/// The expanded per-epoch service-fault schedule.
+#[derive(Clone, Debug)]
+pub struct ServiceFaultSchedule {
+    events: Vec<Vec<ServiceFaultEvent>>,
+}
+
+impl ServiceFaultSchedule {
+    /// A schedule with no events over `epochs` epochs.
+    pub fn empty(epochs: usize) -> Self {
+        ServiceFaultSchedule {
+            events: vec![Vec::new(); epochs],
+        }
+    }
+
+    /// Events scheduled at the start of `epoch`.
+    pub fn events_at(&self, epoch: usize) -> &[ServiceFaultEvent] {
+        self.events.get(epoch).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total scheduled events.
+    pub fn fault_count(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+}
+
+impl ServiceFaultPlan {
+    /// Expands the plan into its deterministic schedule. The stream is
+    /// salted away from [`super::FaultPlan`]'s so control-plane and
+    /// service-path schedules sharing a seed stay independent.
+    pub fn schedule(&self, epochs: usize) -> ServiceFaultSchedule {
+        let mut rng = ChaosRng::new(self.seed ^ 0x5EE7_1CE0_0D15_EA5E);
+        let c = &self.config;
+        let mut events = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut at = Vec::new();
+            if rng.chance(c.burst_prob) {
+                let span = c.burst_factor_max.max(2) - 1;
+                at.push(ServiceFaultEvent::RequestBurst {
+                    factor: 2 + (rng.next_u64() % u64::from(span)) as u32,
+                });
+            }
+            if rng.chance(c.slow_consumer_prob) {
+                at.push(ServiceFaultEvent::SlowConsumer {
+                    epochs: 1 + (rng.next_u64() % u64::from(c.stall_epochs_max.max(1))) as u32,
+                });
+            }
+            if rng.chance(c.wal_stall_prob) {
+                at.push(ServiceFaultEvent::WalStall {
+                    epochs: 1 + (rng.next_u64() % u64::from(c.stall_epochs_max.max(1))) as u32,
+                });
+            }
+            if rng.chance(c.short_write_prob) {
+                // Caps in a band that lets small frames through but tears
+                // the bigger decision/snapshot frames.
+                at.push(ServiceFaultEvent::WalShortWrite {
+                    cap: 40 + rng.index(360),
+                });
+            }
+            if rng.chance(c.crash_prob) {
+                at.push(ServiceFaultEvent::ControllerCrash);
+            }
+            events.push(at);
+        }
+        ServiceFaultSchedule { events }
+    }
+}
+
+/// Deterministic request-trace knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceTraceConfig {
+    /// Seed for the trace's private RNG stream.
+    pub seed: u64,
+    /// Mutation requests per epoch (before any burst multiplier).
+    pub requests_per_epoch: usize,
+    /// Fraction of mutations that are resizes (of a guessed live seq).
+    pub resize_frac: f64,
+    /// Fraction of mutations that are removes.
+    pub remove_frac: f64,
+}
+
+impl Default for ServiceTraceConfig {
+    fn default() -> Self {
+        ServiceTraceConfig {
+            seed: 42,
+            requests_per_epoch: 24,
+            resize_frac: 0.15,
+            remove_frac: 0.15,
+        }
+    }
+}
+
+/// Generates the full `(tick, request)` trace up front — one vec per
+/// epoch, independent of any faults, so fault schedules never perturb the
+/// stimulus they are injected into.
+pub fn generate_trace(
+    cfg: &ServiceTraceConfig,
+    epochs: usize,
+    epoch_ticks: u64,
+) -> Vec<Vec<(u64, Request)>> {
+    let mut rng = ChaosRng::new(cfg.seed ^ 0x072A_CE7A_B1E5_u64);
+    let mut out = Vec::with_capacity(epochs);
+    let mut tag = 0u64;
+    for e in 0..epochs as u64 {
+        let base = e * epoch_ticks;
+        let mut reqs = Vec::with_capacity(cfg.requests_per_epoch);
+        for i in 0..cfg.requests_per_epoch as u64 {
+            let tick = base + 1 + i * epoch_ticks.max(1) / (cfg.requests_per_epoch as u64 + 1);
+            let priority = 1 + rng.index(9) as u8;
+            let roll = rng.uniform();
+            tag += 1;
+            let req = if roll < cfg.resize_frac {
+                Request::Resize {
+                    priority,
+                    target_seq: rng.next_u64() % (tag + 8),
+                    demand: demand_sample(&mut rng),
+                    deadline_ticks: 0,
+                    tag,
+                }
+            } else if roll < cfg.resize_frac + cfg.remove_frac {
+                Request::Remove {
+                    priority,
+                    target_seq: rng.next_u64() % (tag + 8),
+                    deadline_ticks: 0,
+                    tag,
+                }
+            } else {
+                Request::Admit {
+                    priority,
+                    demand: demand_sample(&mut rng),
+                    deadline_ticks: 2 * epoch_ticks + rng.next_u64() % (4 * epoch_ticks.max(1)),
+                    tag,
+                }
+            };
+            reqs.push((tick, req));
+        }
+        out.push(reqs);
+    }
+    out
+}
+
+fn demand_sample(rng: &mut ChaosRng) -> Resources {
+    Resources::new(
+        4.0 + rng.uniform() * 20.0,
+        0.5 + rng.uniform() * 3.5,
+        10.0 + rng.uniform() * 90.0,
+    )
+}
+
+/// The outcome of one service soak run.
+#[derive(Clone, Debug)]
+pub struct ServiceSoakRun {
+    /// Per-epoch serving metrics (one record per trace epoch, stalled
+    /// epochs included).
+    pub records: Vec<ServiceEpochRecord>,
+    /// Controller crash-restarts performed (scheduled + fault-forced).
+    pub crashes: u64,
+    /// Crash-restarts forced by mid-commit journal failures.
+    pub forced_recoveries: u64,
+    /// Epochs that stalled on an unavailable journal.
+    pub stalled_epochs: u64,
+    /// Outcome notifications observed (drained from the outbox).
+    pub outcomes_drained: u64,
+    /// Final journal bytes (the durable artifact of the whole run).
+    pub final_wal: Vec<u8>,
+    /// True when every crash-restart stayed on the recovered journal's
+    /// timeline (prefix-exact); any divergence flips this to false.
+    pub replay_consistent: bool,
+}
+
+impl ServiceSoakRun {
+    /// Totals of the stable backpressure counters across the run:
+    /// `(sheds, rejects, max queue depth)`.
+    pub fn backpressure_totals(&self) -> (u64, u64, u64) {
+        let sheds = self
+            .records
+            .iter()
+            .map(|r| r.shed_queue + r.shed_planner)
+            .sum();
+        let rejects = self
+            .records
+            .iter()
+            .map(|r| r.rejected_queue + r.rejected_throttle + r.rejected_wal)
+            .sum();
+        let depth = self
+            .records
+            .iter()
+            .map(|r| r.queue_depth_max)
+            .max()
+            .unwrap_or(0);
+        (sheds, rejects, depth)
+    }
+}
+
+/// Soak configuration: daemon config + trace + fault plan + length.
+#[derive(Clone, Debug)]
+pub struct ServiceSoakConfig {
+    /// The daemon configuration under test.
+    pub service: ServiceConfig,
+    /// Request-trace knobs.
+    pub trace: ServiceTraceConfig,
+    /// Service-path fault plan.
+    pub faults: ServiceFaultPlan,
+    /// Number of epochs to drive.
+    pub epochs: usize,
+}
+
+/// Drives a [`PlacementDaemon`] through a seeded request trace under a
+/// seeded service-fault schedule. Deterministic end to end: the same
+/// `(tree, config)` pair reproduces the identical [`ServiceSoakRun`],
+/// byte-identical journal included.
+pub fn run_service_soak(tree: &DcTree, cfg: &ServiceSoakConfig) -> ServiceSoakRun {
+    let trace = generate_trace(&cfg.trace, cfg.epochs, cfg.service.epoch_ticks);
+    let schedule = cfg.faults.schedule(cfg.epochs);
+    let mut daemon = PlacementDaemon::new(cfg.service.clone(), tree.clone());
+
+    let mut run = ServiceSoakRun {
+        records: Vec::with_capacity(cfg.epochs),
+        crashes: 0,
+        forced_recoveries: 0,
+        stalled_epochs: 0,
+        outcomes_drained: 0,
+        final_wal: Vec::new(),
+        replay_consistent: true,
+    };
+    let mut stall_left = 0u32;
+    let mut slow_left = 0u32;
+
+    for (epoch, reqs) in trace.iter().enumerate() {
+        let mut burst = 1u32;
+        let mut short_write: Option<usize> = None;
+        for ev in schedule.events_at(epoch) {
+            match *ev {
+                ServiceFaultEvent::RequestBurst { factor } => burst = factor,
+                ServiceFaultEvent::SlowConsumer { epochs } => slow_left = slow_left.max(epochs),
+                ServiceFaultEvent::WalStall { epochs } => stall_left = stall_left.max(epochs),
+                ServiceFaultEvent::WalShortWrite { cap } => short_write = Some(cap),
+                ServiceFaultEvent::ControllerCrash => {
+                    let wal = daemon.wal_bytes().to_vec();
+                    match PlacementDaemon::recover(cfg.service.clone(), tree.clone(), &wal) {
+                        Ok((d, _)) => {
+                            run.crashes += 1;
+                            if !wal_prefix_ok(&wal, d.wal_bytes()) {
+                                run.replay_consistent = false;
+                            }
+                            daemon = d;
+                        }
+                        Err(_) => run.replay_consistent = false,
+                    }
+                }
+            }
+        }
+
+        let stalled = stall_left > 0;
+        daemon.set_wal_fault(stalled.then_some(WriteFault::DiskFull));
+
+        // Submit the epoch's arrivals (burst replays re-tag by round).
+        for round in 0..u64::from(burst) {
+            for (tick, req) in reqs {
+                let req = if round == 0 {
+                    req.clone()
+                } else {
+                    retag(req, round)
+                };
+                let _ = daemon.submit(*tick, req);
+            }
+        }
+
+        // Arm the one-shot short write for the commit.
+        if let Some(cap) = short_write {
+            if !stalled {
+                daemon.set_wal_fault(Some(WriteFault::ShortWrite(cap)));
+            }
+        }
+
+        match daemon.commit_epoch(epoch as u64) {
+            Ok(rec) => {
+                if rec.stalled {
+                    run.stalled_epochs += 1;
+                }
+                run.records.push(rec);
+                daemon.set_wal_fault(None);
+            }
+            Err(_) => {
+                // Mid-commit journal death: crash-restart from the log.
+                // Recovery rolls the epoch forward to its commit.
+                let wal = daemon.wal_bytes().to_vec();
+                match PlacementDaemon::recover(cfg.service.clone(), tree.clone(), &wal) {
+                    Ok((d, _)) => {
+                        run.crashes += 1;
+                        run.forced_recoveries += 1;
+                        if !wal_prefix_ok(d.wal_bytes(), &wal)
+                            && !wal_prefix_ok(&wal, d.wal_bytes())
+                        {
+                            run.replay_consistent = false;
+                        }
+                        daemon = d;
+                        run.records
+                            .push(rolled_forward_record(epoch as u64, &daemon));
+                    }
+                    Err(_) => {
+                        run.replay_consistent = false;
+                        daemon.set_wal_fault(None);
+                    }
+                }
+            }
+        }
+
+        if slow_left > 0 {
+            slow_left -= 1;
+        } else {
+            run.outcomes_drained += daemon.drain_outbox().len() as u64;
+        }
+        stall_left = stall_left.saturating_sub(1);
+    }
+
+    run.final_wal = daemon.wal_bytes().to_vec();
+    run
+}
+
+/// The stand-in epoch record for a commit completed by crash recovery
+/// (the live record died with the process; volatile counters are gone,
+/// but the durable outcome is inspectable).
+fn rolled_forward_record(epoch: u64, d: &PlacementDaemon) -> ServiceEpochRecord {
+    ServiceEpochRecord {
+        epoch,
+        live: d.live(),
+        queue_depth_end: d.queue_depth() as u64,
+        wal_bytes: d.wal_bytes().len() as u64,
+        ..ServiceEpochRecord::default()
+    }
+}
+
+fn retag(req: &Request, round: u64) -> Request {
+    let bump = round << 32;
+    match *req {
+        Request::Admit {
+            priority,
+            demand,
+            deadline_ticks,
+            tag,
+        } => Request::Admit {
+            priority,
+            demand,
+            deadline_ticks,
+            tag: tag | bump,
+        },
+        Request::Resize {
+            priority,
+            target_seq,
+            demand,
+            deadline_ticks,
+            tag,
+        } => Request::Resize {
+            priority,
+            target_seq,
+            demand,
+            deadline_ticks,
+            tag: tag | bump,
+        },
+        Request::Remove {
+            priority,
+            target_seq,
+            deadline_ticks,
+            tag,
+        } => Request::Remove {
+            priority,
+            target_seq,
+            deadline_ticks,
+            tag: tag | bump,
+        },
+        Request::Query { target_seq, tag } => Request::Query {
+            target_seq,
+            tag: tag | bump,
+        },
+    }
+}
+
+fn wal_prefix_ok(longer: &[u8], prefix: &[u8]) -> bool {
+    longer.len() >= prefix.len() && &longer[..prefix.len()] == prefix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldilocks_topology::builders::single_rack;
+
+    fn tree() -> DcTree {
+        single_rack(4, Resources::new(100.0, 16.0, 1000.0), 1000.0)
+    }
+
+    fn soak_cfg(seed: u64) -> ServiceSoakConfig {
+        ServiceSoakConfig {
+            service: ServiceConfig {
+                queue_capacity: 16,
+                batch_max: 16,
+                bucket_capacity: 48,
+                tokens_per_epoch: 32,
+                snapshot_every: 4,
+                ..ServiceConfig::default()
+            },
+            trace: ServiceTraceConfig {
+                seed,
+                ..ServiceTraceConfig::default()
+            },
+            faults: ServiceFaultPlan {
+                seed,
+                config: ServiceFaultPlanConfig::default(),
+            },
+            epochs: 12,
+        }
+    }
+
+    #[test]
+    fn soak_replays_byte_identically() {
+        let a = run_service_soak(&tree(), &soak_cfg(7));
+        let b = run_service_soak(&tree(), &soak_cfg(7));
+        assert!(a.replay_consistent);
+        assert_eq!(a.final_wal, b.final_wal, "soak must be deterministic");
+        assert_eq!(a.records, b.records);
+        assert_eq!(
+            (a.crashes, a.forced_recoveries, a.stalled_epochs),
+            (b.crashes, b.forced_recoveries, b.stalled_epochs)
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let plan = ServiceFaultPlan {
+            seed: 3,
+            config: ServiceFaultPlanConfig::default(),
+        };
+        let s1 = plan.schedule(50);
+        let s2 = plan.schedule(50);
+        for e in 0..50 {
+            assert_eq!(s1.events_at(e), s2.events_at(e));
+        }
+        let other = ServiceFaultPlan {
+            seed: 4,
+            config: ServiceFaultPlanConfig::default(),
+        }
+        .schedule(50);
+        assert!(
+            (0..50).any(|e| s1.events_at(e) != other.events_at(e)),
+            "different seeds must differ somewhere"
+        );
+        assert!(s1.fault_count() > 0);
+    }
+
+    #[test]
+    fn quiescent_soak_has_no_chaos_artifacts() {
+        let mut cfg = soak_cfg(11);
+        cfg.faults.config = ServiceFaultPlanConfig::quiescent();
+        let run = run_service_soak(&tree(), &cfg);
+        assert_eq!(run.crashes, 0);
+        assert_eq!(run.forced_recoveries, 0);
+        assert_eq!(run.stalled_epochs, 0);
+        assert!(run.replay_consistent);
+        assert_eq!(run.records.len(), 12);
+        // No WAL rejections without WAL faults.
+        assert!(run.records.iter().all(|r| r.rejected_wal == 0));
+    }
+}

@@ -121,6 +121,47 @@ pub fn chaos_to_csv(runs: &[crate::chaos::ChaosRun]) -> String {
     out
 }
 
+/// The stable column header for [`service_soak_to_csv`]. Downstream
+/// dashboards key on these names; the metering regression suite locks the
+/// exact string, so renaming or reordering a column is a deliberate,
+/// test-visible act.
+pub const SERVICE_SOAK_CSV_HEADER: &str = "epoch,arrivals,accepted,rejected_throttle,\
+     rejected_queue,rejected_wal,shed_queue,shed_planner,expired,placed,resized,removed,\
+     not_found,live,queue_depth_max,queue_depth_end,outbox_dropped,fallback,wal_bytes,stalled";
+
+/// Serializes a service soak run to long-format CSV (one row per epoch),
+/// with the shed/backpressure counters as stable columns.
+pub fn service_soak_to_csv(run: &crate::chaos::ServiceSoakRun) -> String {
+    let mut out = String::from(SERVICE_SOAK_CSV_HEADER);
+    out.push('\n');
+    for r in &run.records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.epoch,
+            r.arrivals,
+            r.accepted,
+            r.rejected_throttle,
+            r.rejected_queue,
+            r.rejected_wal,
+            r.shed_queue,
+            r.shed_planner,
+            r.expired,
+            r.placed,
+            r.resized,
+            r.removed,
+            r.not_found,
+            r.live,
+            r.queue_depth_max,
+            r.queue_depth_end,
+            r.outbox_dropped,
+            r.fallback,
+            r.wal_bytes,
+            u8::from(r.stalled),
+        ));
+    }
+    out
+}
+
 /// Renders the resilience summaries of several chaos runs side by side —
 /// the fault-experiment counterpart of the Fig. 11 summary table.
 pub fn resilience_table(runs: &[crate::chaos::ChaosRun]) -> String {

@@ -241,6 +241,109 @@ fn epoch_driver_locks_tct_and_migration_columns() {
     assert_eq!(r1.freeze_seconds, 0.0);
 }
 
+/// A hand-scripted daemon run — fixed requests, no RNG — locking the
+/// serving-path shed/backpressure counters closed-form: every number below
+/// is derivable by hand from the queue capacity and the priority ordering.
+#[test]
+fn service_soak_locks_shed_and_backpressure_columns() {
+    use goldilocks_core::ServiceConfig;
+    use goldilocks_service::{PlacementDaemon, Request};
+    use goldilocks_topology::builders::single_rack;
+
+    let tree = single_rack(4, Resources::new(100.0, 16.0, 1000.0), 1000.0);
+    let cfg = ServiceConfig {
+        queue_capacity: 4,
+        bucket_capacity: 16,
+        tokens_per_epoch: 16,
+        batch_max: 8,
+        ..ServiceConfig::default()
+    };
+    let mut d = PlacementDaemon::new(cfg, tree);
+    let demand = Resources::new(10.0, 1.0, 10.0);
+    // Priorities 1..=4 fill the queue; 5 and 6 evict the two lowest
+    // (explicit sheds); a trailing 1 cannot outrank anyone (reject).
+    for (i, priority) in [1u8, 2, 3, 4, 5, 6, 1].iter().enumerate() {
+        d.submit(
+            i as u64,
+            Request::Admit {
+                priority: *priority,
+                demand,
+                deadline_ticks: 0,
+                tag: i as u64,
+            },
+        );
+    }
+    let rec = d.commit_epoch(0).expect("quiet journal");
+
+    assert_eq!(rec.arrivals, 7);
+    assert_eq!(rec.accepted, 6);
+    assert_eq!(rec.shed_queue, 2, "priorities 1 and 2 evicted");
+    assert_eq!(rec.rejected_queue, 1, "trailing low-priority admit");
+    assert_eq!(rec.rejected_throttle, 0);
+    assert_eq!(rec.rejected_wal, 0);
+    assert_eq!(rec.queue_depth_max, 4, "bounded by capacity");
+    assert_eq!(rec.placed, 4);
+    assert_eq!(rec.live, 4);
+    assert_eq!(rec.fallback, 0, "four tiny tenants need no degradation");
+    assert!(!rec.stalled);
+}
+
+/// Locks the service soak CSV contract: the exact header string, the
+/// column count, and the formatting of one hand-built row. Renaming or
+/// reordering a column must trip this test.
+#[test]
+fn service_soak_csv_locks_header_and_row_format() {
+    use goldilocks_service::ServiceEpochRecord;
+    use goldilocks_sim::chaos::ServiceSoakRun;
+    use goldilocks_sim::report::{service_soak_to_csv, SERVICE_SOAK_CSV_HEADER};
+
+    assert_eq!(
+        SERVICE_SOAK_CSV_HEADER,
+        "epoch,arrivals,accepted,rejected_throttle,rejected_queue,rejected_wal,\
+         shed_queue,shed_planner,expired,placed,resized,removed,not_found,live,\
+         queue_depth_max,queue_depth_end,outbox_dropped,fallback,wal_bytes,stalled"
+    );
+    assert_eq!(SERVICE_SOAK_CSV_HEADER.split(',').count(), 20);
+
+    let rec = ServiceEpochRecord {
+        epoch: 3,
+        arrivals: 20,
+        accepted: 12,
+        rejected_throttle: 1,
+        rejected_queue: 5,
+        rejected_wal: 2,
+        shed_queue: 4,
+        shed_planner: 1,
+        expired: 1,
+        placed: 6,
+        resized: 2,
+        removed: 1,
+        not_found: 1,
+        live: 9,
+        queue_depth_max: 8,
+        queue_depth_end: 0,
+        outbox_dropped: 0,
+        fallback: 4,
+        wal_bytes: 1234,
+        stalled: true,
+    };
+    let run = ServiceSoakRun {
+        records: vec![rec],
+        crashes: 0,
+        forced_recoveries: 0,
+        stalled_epochs: 1,
+        outcomes_drained: 0,
+        final_wal: Vec::new(),
+        replay_consistent: true,
+    };
+    let csv = service_soak_to_csv(&run);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0], SERVICE_SOAK_CSV_HEADER);
+    assert_eq!(lines[1], "3,20,12,1,5,2,4,1,1,6,2,1,1,9,8,0,0,4,1234,1");
+    assert_eq!(run.backpressure_totals(), (5, 8, 8));
+}
+
 #[test]
 fn epoch_driver_locks_power_columns() {
     // The power columns are pure functions of the fixture too: E-PVM puts

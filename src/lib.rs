@@ -23,6 +23,7 @@
 //! | [`placement`] | `goldilocks-placement` | `Placer` trait + E-PVM, mPP, Borg, RC-Informed baselines |
 //! | [`core`] | `goldilocks-core` | the Goldilocks algorithm (Sections III & IV) |
 //! | [`cluster`] | `goldilocks-cluster` | CRIU migration model, overlay IPs, power gating |
+//! | [`service`] | `goldilocks-service` | placement daemon: admission control, backpressure, WAL-backed serving |
 //! | [`sim`] | `goldilocks-sim` | flow-level simulator, scenarios for Figs. 9/10/13 |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use goldilocks_core as core;
 pub use goldilocks_partition as partition;
 pub use goldilocks_placement as placement;
 pub use goldilocks_power as power;
+pub use goldilocks_service as service;
 pub use goldilocks_sim as sim;
 pub use goldilocks_topology as topology;
 pub use goldilocks_workload as workload;

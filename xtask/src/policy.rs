@@ -62,6 +62,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "topology",
     "cluster",
     "workload",
+    "service",
 ];
 
 /// Files on the partitioner hot path where float reductions must keep the

@@ -100,6 +100,15 @@ pub struct ServiceConfig {
     /// A full `ClusterState` + service snapshot is journaled every this
     /// many committed epochs, bounding recovery replay.
     pub snapshot_every: u64,
+    /// Per-client idempotency window: the daemon remembers the outcome of
+    /// this many most-recent request ids per client, so a retry after a
+    /// lost `Accepted` replays the recorded outcome instead of
+    /// double-placing. The window rides the WAL (accept records + service
+    /// snapshots) and therefore survives crashes.
+    pub dedup_window: usize,
+    /// Maximum distinct clients tracked in the dedup window; beyond it the
+    /// longest-idle client's window is evicted.
+    pub dedup_clients_max: usize,
     /// Placement tunables for the primary rung of the degradation ladder.
     pub gold: GoldilocksConfig,
 }
@@ -115,6 +124,8 @@ impl Default for ServiceConfig {
             tokens_per_epoch: 32,
             default_deadline_ticks: 4_000,
             snapshot_every: 8,
+            dedup_window: 256,
+            dedup_clients_max: 512,
             gold: GoldilocksConfig::default(),
         }
     }
@@ -131,6 +142,7 @@ mod tests {
         assert!(s.batch_max <= s.queue_capacity);
         assert!(s.tokens_per_epoch <= s.bucket_capacity);
         assert!(s.default_deadline_ticks >= s.epoch_ticks);
+        assert!(s.dedup_window > 0 && s.dedup_clients_max > 0);
     }
 
     #[test]

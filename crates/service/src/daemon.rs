@@ -50,8 +50,9 @@ use goldilocks_topology::{DcTree, Resources, ServerId};
 use goldilocks_workload::Workload;
 
 use crate::deadline::{epoch_commit_tick, Deadline};
-use crate::proto::{self, deframe, frame, ProtoError, Request, Response};
-use crate::queue::{AdmissionQueue, PushPlan, QueueEntry, TokenBucket};
+use crate::dedup::{DedupExport, DedupOutcome, DedupWindow};
+use crate::proto::{self, frame, Envelope, FrameAssembler, ProtoError, Reply, Request, Response};
+use crate::queue::{AdmissionQueue, PushOutcome, PushPlan, QueueEntry, TokenBucket};
 
 /// Errors surfaced by the daemon.
 #[derive(Clone, Debug, PartialEq)]
@@ -178,9 +179,13 @@ struct Counters {
 #[derive(Clone, Debug, PartialEq)]
 enum SvcRecord {
     /// A mutation was accepted at `at_tick` with durable seq `seq`.
+    /// `(client, request_id)` is the idempotency key the transport's dedup
+    /// window is rebuilt from ((0, 0) = anonymous in-process submit).
     Accepted {
         seq: u64,
         at_tick: u64,
+        client: u64,
+        request_id: u64,
         request: Request,
     },
     /// Epoch `epoch` drained these seqs from the queue (drain order).
@@ -191,6 +196,7 @@ enum SvcRecord {
         tokens: u64,
         slots: Vec<Option<Tenant>>,
         queue: Vec<(u64, u64, Request)>,
+        dedup: DedupExport,
     },
 }
 
@@ -201,11 +207,15 @@ impl SvcRecord {
             SvcRecord::Accepted {
                 seq,
                 at_tick,
+                client,
+                request_id,
                 request,
             } => {
                 b.push(1);
                 proto::put_u64(&mut b, *seq);
                 proto::put_u64(&mut b, *at_tick);
+                proto::put_u64(&mut b, *client);
+                proto::put_u64(&mut b, *request_id);
                 let req = request.encode();
                 proto::put_u64(&mut b, req.len() as u64);
                 b.extend_from_slice(&req);
@@ -223,6 +233,7 @@ impl SvcRecord {
                 tokens,
                 slots,
                 queue,
+                dedup,
             } => {
                 b.push(3);
                 proto::put_u64(&mut b, *next_seq);
@@ -248,6 +259,22 @@ impl SvcRecord {
                     proto::put_u64(&mut b, req.len() as u64);
                     b.extend_from_slice(&req);
                 }
+                proto::put_u64(&mut b, dedup.len() as u64);
+                for (client, last_touch, entries) in dedup {
+                    proto::put_u64(&mut b, *client);
+                    proto::put_u64(&mut b, *last_touch);
+                    proto::put_u64(&mut b, entries.len() as u64);
+                    for (rid, out) in entries {
+                        proto::put_u64(&mut b, *rid);
+                        let (kind, seq) = match out {
+                            DedupOutcome::Accepted { seq } => (1u8, *seq),
+                            DedupOutcome::Shed { seq } => (2u8, *seq),
+                            DedupOutcome::Expired { seq } => (3u8, *seq),
+                        };
+                        b.push(kind);
+                        proto::put_u64(&mut b, seq);
+                    }
+                }
             }
         }
         b
@@ -259,11 +286,15 @@ impl SvcRecord {
             1 => {
                 let seq = c.u64()?;
                 let at_tick = c.u64()?;
+                let client = c.u64()?;
+                let request_id = c.u64()?;
                 let n = c.u64()? as usize;
                 let request = Request::decode(c.take(n)?)?;
                 SvcRecord::Accepted {
                     seq,
                     at_tick,
+                    client,
+                    request_id,
                     request,
                 }
             }
@@ -301,11 +332,35 @@ impl SvcRecord {
                     let rn = c.u64()? as usize;
                     queue.push((seq, at_tick, Request::decode(c.take(rn)?)?));
                 }
+                let dn = c.u64()? as usize;
+                let mut dedup = Vec::with_capacity(dn.min(1 << 20));
+                for _ in 0..dn {
+                    let client = c.u64()?;
+                    let last_touch = c.u64()?;
+                    let en = c.u64()? as usize;
+                    let mut entries = Vec::with_capacity(en.min(1 << 20));
+                    for _ in 0..en {
+                        let rid = c.u64()?;
+                        let kind = c.u8()?;
+                        let seq = c.u64()?;
+                        entries.push((
+                            rid,
+                            match kind {
+                                1 => DedupOutcome::Accepted { seq },
+                                2 => DedupOutcome::Shed { seq },
+                                3 => DedupOutcome::Expired { seq },
+                                t => return Err(ProtoError::BadTag(t)),
+                            },
+                        ));
+                    }
+                    dedup.push((client, last_touch, entries));
+                }
                 SvcRecord::Snapshot {
                     next_seq,
                     tokens,
                     slots,
                     queue,
+                    dedup,
                 }
             }
             t => return Err(ProtoError::BadTag(t)),
@@ -334,6 +389,10 @@ pub struct PlacementDaemon {
     last_committed: Option<u64>,
     outbox: Vec<Response>,
     counters: Counters,
+    dedup: DedupWindow,
+    /// Cross-read reassembly buffer for [`PlacementDaemon::handle_frames`]:
+    /// a frame split across two reads is carried over, not reported torn.
+    asm: FrameAssembler,
 }
 
 impl PlacementDaemon {
@@ -345,6 +404,8 @@ impl PlacementDaemon {
         PlacementDaemon {
             bucket: TokenBucket::new(cfg.bucket_capacity),
             queue: AdmissionQueue::new(cfg.queue_capacity),
+            dedup: DedupWindow::new(cfg.dedup_window, cfg.dedup_clients_max),
+            asm: FrameAssembler::new(),
             cfg,
             tree,
             wal: Wal::new(),
@@ -369,6 +430,11 @@ impl PlacementDaemon {
     /// [`PlacementDaemon::recover`]).
     pub fn wal_bytes(&self) -> &[u8] {
         self.wal.bytes()
+    }
+
+    /// The daemon's (clamped) service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
     }
 
     /// Current admission-queue depth.
@@ -458,8 +524,35 @@ impl PlacementDaemon {
     /// Handles one request at virtual tick `now`.
     ///
     /// Mutations walk the three admission gates; the response is
-    /// synchronous and truthful (an `Accepted` is durably journaled).
+    /// synchronous and truthful (an `Accepted` is durably journaled). This
+    /// in-process path is anonymous — no idempotency tracking; transport
+    /// clients go through [`PlacementDaemon::submit_envelope`].
     pub fn submit(&mut self, now: u64, req: Request) -> Response {
+        self.submit_tracked(now, 0, 0, req)
+    }
+
+    /// Handles one enveloped request at virtual tick `now`, with idempotent
+    /// retry semantics.
+    ///
+    /// If the `(client, request_id)` pair is in the dedup window, the
+    /// recorded outcome is replayed — no second journal record, no second
+    /// placement — which is what makes a retry after a lost `Accepted`
+    /// safe. Queries always pass through (they are read-only and cheap).
+    pub fn submit_envelope(&mut self, now: u64, env: Envelope) -> Response {
+        if env.client != 0 && !matches!(env.request, Request::Query { .. }) {
+            if let Some(hit) = self.dedup.lookup(env.client, env.request_id) {
+                let tag = env.request.tag();
+                return match hit {
+                    DedupOutcome::Accepted { seq } => Response::Accepted { seq, tag },
+                    DedupOutcome::Shed { seq } => Response::Shed { seq, tag },
+                    DedupOutcome::Expired { seq } => Response::Expired { seq, tag },
+                };
+            }
+        }
+        self.submit_tracked(now, env.client, env.request_id, env.request)
+    }
+
+    fn submit_tracked(&mut self, now: u64, client: u64, request_id: u64, req: Request) -> Response {
         let tag = req.tag();
         if let Request::Query { target_seq, .. } = req {
             return self.answer_query(target_seq, tag);
@@ -491,6 +584,8 @@ impl PlacementDaemon {
         let rec = SvcRecord::Accepted {
             seq,
             at_tick: now,
+            client,
+            request_id,
             request: req.clone(),
         };
         if self
@@ -511,6 +606,7 @@ impl PlacementDaemon {
         }
         self.next_seq += 1;
         self.counters.accepted += 1;
+        self.dedup.record_accept(client, request_id, seq);
         let entry = QueueEntry {
             seq,
             priority: req.priority(),
@@ -521,6 +617,7 @@ impl PlacementDaemon {
         if let PushPlan::Evict(victim_seq) = plan {
             if let Some(victim) = self.queue.remove_seq(victim_seq) {
                 self.counters.shed_queue += 1;
+                self.dedup.mark_shed(victim.seq);
                 self.push_outcome(Response::Shed {
                     seq: victim.seq,
                     tag: victim.request.tag(),
@@ -558,19 +655,49 @@ impl PlacementDaemon {
         }
     }
 
-    /// Decodes a framed request stream, submits each message, and returns
-    /// the framed responses (plus whether the stream ended torn).
+    /// Feeds raw stream bytes (any chunking — a frame split across reads is
+    /// reassembled, not reported torn), submits each complete
+    /// [`Envelope`], and returns the framed [`Reply`]s plus whether the
+    /// stream is corrupt (checksum failure / hostile length — the caller
+    /// must drop the connection; partial frames are simply carried over to
+    /// the next call).
     pub fn handle_frames(&mut self, now: u64, bytes: &[u8]) -> (Vec<u8>, bool) {
-        let (payloads, torn) = deframe(bytes);
+        self.asm.feed(bytes);
         let mut out = Vec::new();
-        for p in payloads {
-            let resp = match Request::decode(&p) {
-                Ok(req) => self.submit(now, req),
-                Err(_) => Response::Malformed { tag: 0 },
-            };
-            out.extend_from_slice(&frame(&resp.encode()));
+        loop {
+            match self.asm.next_frame() {
+                Ok(Some(p)) => {
+                    let reply = match Envelope::decode(&p) {
+                        Ok(env) => Reply {
+                            request_id: env.request_id,
+                            response: self.submit_envelope(now, env),
+                        },
+                        Err(_) => Reply {
+                            request_id: 0,
+                            response: Response::Malformed { tag: 0 },
+                        },
+                    };
+                    out.extend_from_slice(&frame(&reply.encode()));
+                }
+                Ok(None) => return (out, false),
+                Err(_) => {
+                    self.asm = FrameAssembler::new();
+                    return (out, true);
+                }
+            }
         }
-        (out, torn)
+    }
+
+    /// Total durable sequence numbers ever issued (each names exactly one
+    /// accepted mutation — the zero-duplicate invariant of the transport
+    /// drills checks client-observed seqs against this).
+    pub fn seqs_issued(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Entries currently remembered by the idempotency dedup window.
+    pub fn dedup_entries(&self) -> usize {
+        self.dedup.len()
     }
 
     fn append(&mut self, ev: &WalEvent) -> Result<(), ServiceError> {
@@ -592,6 +719,7 @@ impl PlacementDaemon {
     ) -> Option<(usize, u64, u64)> {
         if entry.deadline.expired(commit_tick) {
             rec.expired += 1;
+            self.dedup.mark_expired(entry.seq);
             self.push_outcome(Response::Expired {
                 seq: entry.seq,
                 tag: entry.request.tag(),
@@ -828,6 +956,7 @@ impl PlacementDaemon {
             if occupied && unplaced {
                 if let Some(Some(t)) = self.slots.get(slot).map(Option::as_ref) {
                     let (seq, tag) = (t.seq, t.tag);
+                    self.dedup.mark_shed(seq);
                     self.push_outcome(Response::Shed { seq, tag });
                 }
                 if let Some(cell) = self.slots.get_mut(slot) {
@@ -913,6 +1042,7 @@ impl PlacementDaemon {
                 .iter()
                 .map(|e| (e.seq, e.at_tick, e.request.clone()))
                 .collect(),
+            dedup: self.dedup.export(),
         };
         self.append(&WalEvent::Service(snap.encode()))
     }
@@ -957,6 +1087,8 @@ impl PlacementDaemon {
                         SvcRecord::Accepted {
                             seq,
                             at_tick,
+                            client,
+                            request_id,
                             request,
                         } => {
                             needs_cluster_snap = false;
@@ -967,6 +1099,7 @@ impl PlacementDaemon {
                                     "accept {seq} with an empty replayed bucket"
                                 )));
                             }
+                            d.dedup.record_accept(client, request_id, seq);
                             let entry = QueueEntry {
                                 seq,
                                 priority: request.priority(),
@@ -974,7 +1107,12 @@ impl PlacementDaemon {
                                 deadline: d.deadline_for(at_tick, &request),
                                 request,
                             };
-                            let _ = d.queue.push(entry);
+                            // Evictions replay deterministically (rejects
+                            // were never journaled), mirroring the live
+                            // path's queue-shed dedup transition.
+                            if let PushOutcome::Evicted(victim) = d.queue.push(entry) {
+                                d.dedup.mark_shed(victim.seq);
+                            }
                         }
                         SvcRecord::Batch { epoch, seqs } => {
                             needs_cluster_snap = false;
@@ -999,11 +1137,17 @@ impl PlacementDaemon {
                             tokens,
                             slots,
                             queue,
+                            dedup,
                         } => {
                             needs_svc_snap = false;
                             d.next_seq = next_seq;
                             d.bucket.set_tokens(tokens);
                             d.slots = slots;
+                            d.dedup = DedupWindow::restore(
+                                d.cfg.dedup_window,
+                                d.cfg.dedup_clients_max,
+                                &dedup,
+                            );
                             d.queue = AdmissionQueue::new(d.cfg.queue_capacity);
                             for (seq, at_tick, request) in queue {
                                 let entry = QueueEntry {
@@ -1024,6 +1168,10 @@ impl PlacementDaemon {
                         let occupied = d.slots.get(slot).is_some_and(Option::is_some);
                         let unplaced = intended.assignment.get(slot).is_none_or(Option::is_none);
                         if occupied && unplaced {
+                            if let Some(Some(t)) = d.slots.get(slot).map(Option::as_ref) {
+                                let seq = t.seq;
+                                d.dedup.mark_shed(seq);
+                            }
                             if let Some(cell) = d.slots.get_mut(slot) {
                                 *cell = None;
                             }

@@ -1,0 +1,262 @@
+//! The idempotent-retry dedup window.
+//!
+//! The journal-before-ack guarantee is only useful over a real transport if
+//! a *lost* ack is safe to retry: the client re-sends the same
+//! `(client, request_id)` envelope and must get the original outcome back,
+//! not a second placement. The daemon therefore remembers, per client, the
+//! outcome of the most recent `dedup_window` accepted requests. Lookups are
+//! strictly read-only — retries are never journaled, so a lookup must not
+//! perturb any state that WAL replay would have to reproduce. The window
+//! itself rides the WAL: accept records carry `(client, request_id)` and
+//! service snapshots embed the whole window, so recovery rebuilds it
+//! exactly and a retry is idempotent even across a daemon crash.
+
+use std::collections::BTreeMap;
+
+/// The remembered terminal-or-pending disposition of an accepted request.
+///
+/// Outcomes only ever evolve `Accepted → Shed` (queue eviction or planner
+/// shed) or `Accepted → Expired` (deadline passed pre-commit). A request
+/// that was *placed* and later removed stays `Accepted` — the retry answer
+/// "your request was accepted as seq N" remains truthful; clients learn
+/// terminal placement state via `Query`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// The request was journaled and queued as `seq`.
+    Accepted {
+        /// Durable sequence number the original submission was assigned.
+        seq: u64,
+    },
+    /// The accepted request was later shed under overload.
+    Shed {
+        /// The shed request's sequence number.
+        seq: u64,
+    },
+    /// The accepted request's deadline passed before its batch committed.
+    Expired {
+        /// The expired request's sequence number.
+        seq: u64,
+    },
+}
+
+impl DedupOutcome {
+    /// The durable sequence number the original submission was assigned.
+    pub fn seq(&self) -> u64 {
+        match self {
+            DedupOutcome::Accepted { seq }
+            | DedupOutcome::Shed { seq }
+            | DedupOutcome::Expired { seq } => *seq,
+        }
+    }
+}
+
+/// Serialized form of one client's window:
+/// `(client, last_touch, [(request_id, outcome)])` per client, in
+/// deterministic order — the shape service snapshots embed.
+pub type DedupExport = Vec<(u64, u64, Vec<(u64, DedupOutcome)>)>;
+
+#[derive(Clone, Debug)]
+struct ClientWindow {
+    /// The accept seq of the client's most recent accept — the eviction
+    /// clock for the `clients_max` bound (monotone, deterministic).
+    last_touch: u64,
+    entries: BTreeMap<u64, DedupOutcome>,
+}
+
+/// A bounded, WAL-replayable map from `(client, request_id)` to the
+/// outcome the original submission produced.
+#[derive(Clone, Debug)]
+pub struct DedupWindow {
+    window: usize,
+    clients_max: usize,
+    clients: BTreeMap<u64, ClientWindow>,
+    /// Reverse index so `Shed`/`Expired` transitions (keyed by seq at the
+    /// point they happen) find their entry without a scan.
+    by_seq: BTreeMap<u64, (u64, u64)>,
+}
+
+impl DedupWindow {
+    /// A fresh window remembering up to `window` request ids for each of up
+    /// to `clients_max` clients (both clamped to at least 1).
+    pub fn new(window: usize, clients_max: usize) -> Self {
+        DedupWindow {
+            window: window.max(1),
+            clients_max: clients_max.max(1),
+            clients: BTreeMap::new(),
+            by_seq: BTreeMap::new(),
+        }
+    }
+
+    /// Read-only lookup; deliberately does *not* refresh any eviction
+    /// state, because retries are not journaled and replay could not
+    /// reproduce a touch-on-lookup.
+    pub fn lookup(&self, client: u64, request_id: u64) -> Option<DedupOutcome> {
+        self.clients.get(&client)?.entries.get(&request_id).copied()
+    }
+
+    /// Records a fresh accept. Called on the journaled path only (live and
+    /// replay), so the window evolves identically in both.
+    pub fn record_accept(&mut self, client: u64, request_id: u64, seq: u64) {
+        if client == 0 {
+            return;
+        }
+        let w = self.clients.entry(client).or_insert_with(|| ClientWindow {
+            last_touch: seq,
+            entries: BTreeMap::new(),
+        });
+        w.last_touch = seq;
+        if let Some(old) = w.entries.insert(request_id, DedupOutcome::Accepted { seq }) {
+            // A re-used request id (client bug) keeps the newest outcome.
+            self.by_seq.remove(&old.seq());
+        }
+        self.by_seq.insert(seq, (client, request_id));
+        while w.entries.len() > self.window {
+            if let Some((_, old)) = w.entries.pop_first() {
+                self.by_seq.remove(&old.seq());
+            }
+        }
+        while self.clients.len() > self.clients_max {
+            let Some(victim) = self
+                .clients
+                .iter()
+                .min_by_key(|(id, w)| (w.last_touch, **id))
+                .map(|(id, _)| *id)
+            else {
+                break;
+            };
+            if let Some(w) = self.clients.remove(&victim) {
+                for out in w.entries.values() {
+                    self.by_seq.remove(&out.seq());
+                }
+            }
+        }
+    }
+
+    /// Transitions the entry holding `seq` to `Shed` (no-op if the seq has
+    /// rolled out of the window or was anonymous).
+    pub fn mark_shed(&mut self, seq: u64) {
+        self.transition(seq, DedupOutcome::Shed { seq });
+    }
+
+    /// Transitions the entry holding `seq` to `Expired`.
+    pub fn mark_expired(&mut self, seq: u64) {
+        self.transition(seq, DedupOutcome::Expired { seq });
+    }
+
+    fn transition(&mut self, seq: u64, to: DedupOutcome) {
+        let Some((client, request_id)) = self.by_seq.get(&seq).copied() else {
+            return;
+        };
+        if let Some(w) = self.clients.get_mut(&client) {
+            if let Some(e) = w.entries.get_mut(&request_id) {
+                *e = to;
+            }
+        }
+    }
+
+    /// Total remembered entries across all clients.
+    pub fn len(&self) -> usize {
+        self.clients.values().map(|w| w.entries.len()).sum()
+    }
+
+    /// True when nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Serializable view for service snapshots:
+    /// `(client, last_touch, [(request_id, outcome)])` in deterministic
+    /// order.
+    pub fn export(&self) -> DedupExport {
+        self.clients
+            .iter()
+            .map(|(id, w)| {
+                (
+                    *id,
+                    w.last_touch,
+                    w.entries.iter().map(|(rid, out)| (*rid, *out)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds a window (including the reverse index) from an
+    /// [`export`](DedupWindow::export)ed view.
+    pub fn restore(window: usize, clients_max: usize, exported: &DedupExport) -> Self {
+        let mut d = DedupWindow::new(window, clients_max);
+        for (client, last_touch, entries) in exported {
+            let mut w = ClientWindow {
+                last_touch: *last_touch,
+                entries: BTreeMap::new(),
+            };
+            for (rid, out) in entries {
+                w.entries.insert(*rid, *out);
+                d.by_seq.insert(out.seq(), (*client, *rid));
+            }
+            d.clients.insert(*client, w);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_replays_recorded_outcome() {
+        let mut d = DedupWindow::new(8, 8);
+        assert_eq!(d.lookup(1, 1), None);
+        d.record_accept(1, 1, 100);
+        assert_eq!(d.lookup(1, 1), Some(DedupOutcome::Accepted { seq: 100 }));
+        d.mark_shed(100);
+        assert_eq!(d.lookup(1, 1), Some(DedupOutcome::Shed { seq: 100 }));
+        d.record_accept(1, 2, 101);
+        d.mark_expired(101);
+        assert_eq!(d.lookup(1, 2), Some(DedupOutcome::Expired { seq: 101 }));
+        // Anonymous clients are never tracked.
+        d.record_accept(0, 9, 102);
+        assert_eq!(d.lookup(0, 9), None);
+    }
+
+    #[test]
+    fn per_client_window_evicts_oldest_request_id() {
+        let mut d = DedupWindow::new(2, 8);
+        d.record_accept(1, 10, 100);
+        d.record_accept(1, 11, 101);
+        d.record_accept(1, 12, 102);
+        assert_eq!(d.lookup(1, 10), None);
+        assert_eq!(d.lookup(1, 11), Some(DedupOutcome::Accepted { seq: 101 }));
+        assert_eq!(d.len(), 2);
+        // The evicted seq's transition is a no-op, not a panic.
+        d.mark_shed(100);
+        assert_eq!(d.lookup(1, 11), Some(DedupOutcome::Accepted { seq: 101 }));
+    }
+
+    #[test]
+    fn client_cap_evicts_longest_idle_client() {
+        let mut d = DedupWindow::new(4, 2);
+        d.record_accept(1, 1, 100);
+        d.record_accept(2, 1, 101);
+        d.record_accept(3, 1, 102); // client 1 (touch 100) evicted
+        assert_eq!(d.lookup(1, 1), None);
+        assert_eq!(d.lookup(2, 1), Some(DedupOutcome::Accepted { seq: 101 }));
+        assert_eq!(d.lookup(3, 1), Some(DedupOutcome::Accepted { seq: 102 }));
+    }
+
+    #[test]
+    fn export_restore_round_trips() {
+        let mut d = DedupWindow::new(4, 4);
+        d.record_accept(1, 1, 100);
+        d.record_accept(1, 2, 101);
+        d.record_accept(2, 1, 102);
+        d.mark_shed(101);
+        let e = d.export();
+        let r = DedupWindow::restore(4, 4, &e);
+        assert_eq!(r.export(), e);
+        // The restored reverse index still routes transitions.
+        let mut r = r;
+        r.mark_expired(102);
+        assert_eq!(r.lookup(2, 1), Some(DedupOutcome::Expired { seq: 102 }));
+    }
+}

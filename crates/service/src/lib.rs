@@ -22,21 +22,48 @@
 //! - **Graceful degradation**: when the primary Goldilocks placement is
 //!   infeasible the daemon walks a fixed relaxation ladder down to
 //!   load-shedding, mirroring the chaos driver's fallback discipline.
+//! - **Idempotent retries** ([`dedup`]): requests carry client-assigned
+//!   ids and the daemon keeps a WAL-riding dedup window, so a client that
+//!   lost the reply (but not the accept) can retry safely — even across a
+//!   daemon crash-restart — without double-placing.
 //!
-//! Everything is deterministic — no wall clocks, no ambient randomness —
-//! which is what makes the crash-restart soak drill exact instead of
-//! statistical.
+//! The serving edge is the transport layer ([`transport`]): a blocking
+//! TCP server ([`server`]) with connection caps, idle deadlines, bounded
+//! write buffers, and kill-safe drain; a reconnecting client
+//! ([`client`]) with seeded backoff and idempotent retry; and a
+//! deterministic in-memory fabric ([`simnet`]) that drives the same
+//! client logic through seeded socket faults.
+//!
+//! Everything below the socket edge is deterministic — no wall clocks, no
+//! ambient randomness — which is what makes the crash-restart soak drill
+//! exact instead of statistical. Even the TCP path never reads a clock:
+//! timeouts are counted in OS-enforced poll intervals.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod daemon;
 pub mod deadline;
+pub mod dedup;
 pub mod proto;
 pub mod queue;
+pub mod server;
+pub mod simnet;
+pub mod transport;
 
+pub use client::{
+    ClientConfig, ClientError, ClientStats, QueryStatus, ServiceClient, TcpConn, TcpTransport,
+};
 pub use daemon::{PlacementDaemon, RecoveryReport, ServiceEpochRecord, ServiceError, Tenant};
 pub use deadline::{epoch_commit_tick, Deadline};
-pub use proto::{deframe, frame, Priority, ProtoError, RejectReason, Request, Response};
+pub use dedup::{DedupExport, DedupOutcome, DedupWindow};
+pub use proto::{
+    deframe, frame, Envelope, FrameAssembler, Priority, ProtoError, RejectReason, Reply, Request,
+    Response, MAX_FRAME_BYTES,
+};
 pub use queue::{AdmissionQueue, PushOutcome, PushPlan, QueueEntry, TokenBucket};
+pub use server::{ServerConfig, ServerHandle, ServerStats, TcpServer};
+pub use simnet::{SimConn, SimFaultConfig, SimNet, SimNetConfig, SimStats, SimTransport};
+pub use transport::{Conn, Transport, TransportError};

@@ -17,6 +17,10 @@ pub enum ProtoError {
     Truncated,
     /// An unknown message or field tag.
     BadTag(u8),
+    /// A frame failed its checksum or declared an impossible length. On a
+    /// stream transport the connection is dropped at this point — bytes
+    /// after a corrupt header cannot be re-synchronized.
+    Corrupt,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -24,6 +28,7 @@ impl std::fmt::Display for ProtoError {
         match self {
             ProtoError::Truncated => write!(f, "message truncated"),
             ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::Corrupt => write!(f, "frame corrupt (bad checksum or length)"),
         }
     }
 }
@@ -482,6 +487,153 @@ impl Response {
     }
 }
 
+/// A transport-level request envelope: a [`Request`] plus the client
+/// identity and client-assigned request id that make retries idempotent.
+///
+/// `client == 0` means anonymous — the daemon skips the dedup window for
+/// such requests (the in-process [`crate::PlacementDaemon::submit`] path
+/// uses it). Any nonzero `(client, request_id)` pair names one logical
+/// request forever: a retry carrying the same pair after a lost `Accepted`
+/// replays the original outcome instead of double-placing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Stable client identity (0 = anonymous, no dedup).
+    pub client: u64,
+    /// Client-assigned id, unique per logical request within the client.
+    pub request_id: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// Encodes the envelope payload (unframed):
+    /// `[client u64][request_id u64][request]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_u64(&mut b, self.client);
+        put_u64(&mut b, self.request_id);
+        b.extend_from_slice(&self.request.encode());
+        b
+    }
+
+    /// Decodes an envelope payload (unframed). Rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Envelope, ProtoError> {
+        let mut c = Cur::new(payload);
+        let client = c.u64()?;
+        let request_id = c.u64()?;
+        let request = Request::decode(c.take(payload.len().saturating_sub(16))?)?;
+        Ok(Envelope {
+            client,
+            request_id,
+            request,
+        })
+    }
+}
+
+/// A transport-level response envelope: the [`Response`] plus the
+/// `request_id` it answers, so a client can discard stale replies after a
+/// reconnect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// The `request_id` of the envelope this answers (0 when the envelope
+    /// itself was undecodable).
+    pub request_id: u64,
+    /// The daemon's response.
+    pub response: Response,
+}
+
+impl Reply {
+    /// Encodes the reply payload (unframed): `[request_id u64][response]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_u64(&mut b, self.request_id);
+        b.extend_from_slice(&self.response.encode());
+        b
+    }
+
+    /// Decodes a reply payload (unframed). Rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Reply, ProtoError> {
+        let mut c = Cur::new(payload);
+        let request_id = c.u64()?;
+        let response = Response::decode(c.take(payload.len().saturating_sub(8))?)?;
+        Ok(Reply {
+            request_id,
+            response,
+        })
+    }
+}
+
+/// Upper bound on a single frame's payload. A header declaring more is
+/// treated as corruption: a garbage (or hostile) length must not make the
+/// receiver buffer gigabytes waiting for a frame that never completes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Streaming frame reassembler: owns the carry-over buffer between reads
+/// so a frame split across two (or twenty) socket reads is reassembled
+/// instead of being reported as torn.
+///
+/// Feed raw bytes as they arrive with [`feed`](FrameAssembler::feed), then
+/// drain complete payloads with [`next_frame`](FrameAssembler::next_frame).
+/// `Ok(None)` means "need more bytes"; `Err` means the stream is
+/// unrecoverable (checksum mismatch or impossible length) and the
+/// connection should be dropped.
+#[derive(Clone, Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// A fresh assembler with an empty carry-over buffer.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends newly received bytes to the carry-over buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the consumed prefix dominates the
+        // buffer, so steady-state feeds stay O(new bytes).
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet consumed as complete frames (a partial
+    /// frame in flight).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame payload, if one is fully buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 8 {
+            return Ok(None);
+        }
+        let mut hdr = Cur::new(&self.buf[self.pos..self.pos + 8]);
+        let (len, crc) = match (hdr.u32(), hdr.u32()) {
+            (Ok(len), Ok(crc)) => (len as usize, crc),
+            _ => return Ok(None),
+        };
+        if len > MAX_FRAME_BYTES {
+            return Err(ProtoError::Corrupt);
+        }
+        if avail < 8 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 8;
+        let payload = &self.buf[start..start + len];
+        if crc32(payload) != crc {
+            return Err(ProtoError::Corrupt);
+        }
+        let out = payload.to_vec();
+        self.pos = start + len;
+        Ok(Some(out))
+    }
+}
+
 /// Wraps a message payload in the wire framing
 /// (`[len: u32 LE][crc32: u32 LE][payload]`).
 pub fn frame(payload: &[u8]) -> Vec<u8> {
@@ -616,6 +768,79 @@ mod tests {
         let (frames, torn) = deframe(&stream);
         assert!(torn);
         assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn envelope_and_reply_round_trip() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let env = Envelope {
+                client: 7,
+                request_id: 100 + i as u64,
+                request: req,
+            };
+            assert_eq!(Envelope::decode(&env.encode()), Ok(env));
+        }
+        let reply = Reply {
+            request_id: 42,
+            response: Response::Accepted { seq: 9, tag: 42 },
+        };
+        assert_eq!(Reply::decode(&reply.encode()), Ok(reply));
+        assert_eq!(Envelope::decode(&[1, 2, 3]), Err(ProtoError::Truncated));
+        assert_eq!(Reply::decode(&[1]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn assembler_reassembles_across_arbitrary_splits() {
+        let mut stream = Vec::new();
+        let mut payloads = Vec::new();
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let env = Envelope {
+                client: 1,
+                request_id: i as u64,
+                request: req,
+            };
+            let p = env.encode();
+            stream.extend_from_slice(&frame(&p));
+            payloads.push(p);
+        }
+        // Byte-at-a-time worst case.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            asm.feed(std::slice::from_ref(b));
+            while let Ok(Some(p)) = asm.next_frame() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(asm.pending_bytes(), 0);
+        // Whole stream at once.
+        let mut asm = FrameAssembler::new();
+        asm.feed(&stream);
+        let mut got = Vec::new();
+        while let Ok(Some(p)) = asm.next_frame() {
+            got.push(p);
+        }
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn assembler_flags_corruption_and_oversized_frames() {
+        let mut stream = frame(&[1, 2, 3, 4]);
+        let n = stream.len();
+        if let Some(b) = stream.get_mut(n - 1) {
+            *b ^= 0x40;
+        }
+        let mut asm = FrameAssembler::new();
+        asm.feed(&stream);
+        assert_eq!(asm.next_frame(), Err(ProtoError::Corrupt));
+
+        let mut asm = FrameAssembler::new();
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&(u32::MAX).to_le_bytes());
+        hostile.extend_from_slice(&0u32.to_le_bytes());
+        asm.feed(&hostile);
+        assert_eq!(asm.next_frame(), Err(ProtoError::Corrupt));
     }
 
     #[test]

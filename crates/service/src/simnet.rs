@@ -1,0 +1,515 @@
+//! A deterministic in-memory transport fabric for chaos drills.
+//!
+//! [`SimNet`] owns a [`PlacementDaemon`] and hands out [`SimTransport`]
+//! handles that implement the same [`Transport`] trait as the TCP path, so
+//! a [`crate::client::ServiceClient`] runs its real reconnect/backoff/
+//! dedup logic against it unchanged. Time is virtual (every connection op
+//! advances it by a fixed cost; sleeps advance it directly) and an epoch
+//! auto-commits whenever virtual time crosses the epoch interval — no
+//! clocks, no threads, fully replayable from a seed.
+//!
+//! Seeded socket faults, rolled per operation from a SplitMix64 stream:
+//!
+//! - **disconnect mid-frame** — a write delivers a seeded prefix of its
+//!   bytes and the connection dies, leaving the server holding a torn
+//!   frame;
+//! - **split/coalesced I/O** — writes are partially accepted and reads
+//!   hand back seeded-size chunks, exercising cross-read reassembly;
+//! - **stalled writers / half-open peers** — a connection silently stops
+//!   delivering replies (they are withheld, not lost) until a seeded
+//!   recovery roll, forcing client timeouts and reconnects;
+//! - **write-buffer overflow** — withheld replies beyond the cap kill the
+//!   connection, mirroring the TCP server's bounded-buffer policy;
+//! - **idle kill** — a torn frame sitting quiet past the idle deadline
+//!   gets the connection dropped (the slowloris defense, virtualized).
+//!
+//! A [`SimNet::crash_restart`] models kill -9: the daemon is rebuilt from
+//! its journal via [`PlacementDaemon::recover`] and every connection dies.
+//! The dedup window rides the journal, so in-flight retries stay
+//! idempotent across the crash.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use goldilocks_core::ServiceConfig;
+use goldilocks_topology::DcTree;
+
+use crate::daemon::{PlacementDaemon, RecoveryReport, ServiceError};
+use crate::proto::{frame, Envelope, FrameAssembler, Reply, Response};
+use crate::transport::{Conn, Transport, TransportError};
+
+/// Fabric-level tunables (virtual milliseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct SimNetConfig {
+    /// Commit an epoch whenever virtual time crosses this interval.
+    pub epoch_interval_ms: u64,
+    /// Connection cap; connects beyond it are refused.
+    pub max_connections: usize,
+    /// A connection holding a partial frame quiet for this long is killed.
+    pub idle_timeout_ms: u64,
+    /// Reply bytes buffered per connection before it is killed.
+    pub write_buffer_cap: usize,
+    /// Virtual cost of one connection operation.
+    pub op_cost_ms: u64,
+    /// Poll interval reported to clients (their timeout-counting unit).
+    pub poll_ms: u64,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> Self {
+        SimNetConfig {
+            epoch_interval_ms: 50,
+            max_connections: 64,
+            idle_timeout_ms: 400,
+            write_buffer_cap: 64 * 1024,
+            op_cost_ms: 1,
+            poll_ms: 5,
+        }
+    }
+}
+
+/// Seeded fault rates, each rolled independently per operation.
+#[derive(Clone, Copy, Debug)]
+pub struct SimFaultConfig {
+    /// RNG seed for every fault roll.
+    pub seed: u64,
+    /// Per-write chance the connection is cut after delivering a seeded
+    /// prefix of the bytes (disconnect mid-frame).
+    pub cut_per_write: f64,
+    /// Per-write chance only a seeded prefix is accepted (short write; the
+    /// client loops, the server sees split frames).
+    pub partial_write: f64,
+    /// Chance a fresh connection starts stalled (half-open peer: requests
+    /// are served but replies are withheld).
+    pub stall_on_connect: f64,
+    /// Per-read chance a stalled connection recovers and releases its
+    /// withheld replies.
+    pub unstall_per_read: f64,
+    /// Deliver reads in seeded small chunks (split/coalesced reads).
+    pub chunked_reads: bool,
+}
+
+impl SimFaultConfig {
+    /// No faults at all (plain deterministic fabric).
+    pub fn quiet(seed: u64) -> Self {
+        SimFaultConfig {
+            seed,
+            cut_per_write: 0.0,
+            partial_write: 0.0,
+            stall_on_connect: 0.0,
+            unstall_per_read: 0.0,
+            chunked_reads: false,
+        }
+    }
+}
+
+/// Fabric counters (deterministic given the seed and the op sequence).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Connections cut mid-frame by the fault roll.
+    pub cuts: u64,
+    /// Connections killed by write-buffer overflow.
+    pub overflows: u64,
+    /// Connections killed by the idle deadline.
+    pub idle_kills: u64,
+    /// Connects refused at the cap.
+    pub refused: u64,
+    /// Connections that started stalled (half-open).
+    pub stalls: u64,
+    /// Stalled connections that recovered.
+    pub unstalls: u64,
+    /// Crash-restarts performed.
+    pub crashes: u64,
+    /// Epochs committed by the virtual pump.
+    pub epochs_committed: u64,
+    /// Admits placed across all committed epochs.
+    pub placed: u64,
+    /// An epoch commit failed (only possible with injected WAL faults).
+    pub commit_failed: bool,
+}
+
+struct SimConnState {
+    alive: bool,
+    stalled: bool,
+    asm: FrameAssembler,
+    outbuf: Vec<u8>,
+    withheld: Vec<u8>,
+    last_progress_ms: u64,
+}
+
+struct SimNetInner {
+    daemon: PlacementDaemon,
+    service: ServiceConfig,
+    tree: DcTree,
+    net: SimNetConfig,
+    faults: SimFaultConfig,
+    rng: u64,
+    now_ms: u64,
+    epochs_committed: u64,
+    conns: std::collections::BTreeMap<u64, SimConnState>,
+    next_conn: u64,
+    stats: SimStats,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn chance(state: &mut u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let r = (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64;
+    r < p
+}
+
+/// Uniform index in `[0, n)`; `n` must be nonzero.
+fn index(state: &mut u64, n: usize) -> usize {
+    (splitmix(state) % n.max(1) as u64) as usize
+}
+
+impl SimNetInner {
+    fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+        // Virtual epoch pump.
+        let interval = self.net.epoch_interval_ms.max(1);
+        while self
+            .epochs_committed
+            .saturating_add(1)
+            .saturating_mul(interval)
+            <= self.now_ms
+        {
+            if self.stats.commit_failed {
+                break;
+            }
+            match self.daemon.commit_epoch(self.epochs_committed) {
+                Ok(rec) => {
+                    self.stats.placed += rec.placed;
+                    self.stats.epochs_committed += 1;
+                    self.epochs_committed += 1;
+                    let _ = self.daemon.drain_outbox();
+                }
+                Err(_) => {
+                    self.stats.commit_failed = true;
+                    break;
+                }
+            }
+        }
+        // Idle sweep: a partial frame held quiet past the deadline kills
+        // its connection (the virtual slowloris defense).
+        let deadline = self.net.idle_timeout_ms;
+        let now = self.now_ms;
+        let victims: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.alive
+                    && c.asm.pending_bytes() > 0
+                    && now.saturating_sub(c.last_progress_ms) >= deadline
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in victims {
+            if let Some(c) = self.conns.get_mut(&id) {
+                c.alive = false;
+                self.stats.idle_kills += 1;
+            }
+        }
+    }
+
+    fn now_tick(&self) -> u64 {
+        self.epochs_committed
+            .wrapping_mul(self.daemon.config().epoch_ticks)
+            .wrapping_add(1)
+    }
+
+    fn connect(&mut self) -> Result<u64, TransportError> {
+        self.advance(self.net.op_cost_ms);
+        let live = self.conns.values().filter(|c| c.alive).count();
+        if live >= self.net.max_connections {
+            self.stats.refused += 1;
+            return Err(TransportError::Refused);
+        }
+        let stalled = chance(&mut self.rng, self.faults.stall_on_connect);
+        if stalled {
+            self.stats.stalls += 1;
+        }
+        let id = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(
+            id,
+            SimConnState {
+                alive: true,
+                stalled,
+                asm: FrameAssembler::new(),
+                outbuf: Vec::new(),
+                withheld: Vec::new(),
+                last_progress_ms: self.now_ms,
+            },
+        );
+        Ok(id)
+    }
+
+    fn conn_write(&mut self, id: u64, bytes: &[u8]) -> Result<usize, TransportError> {
+        self.advance(self.net.op_cost_ms);
+        if bytes.is_empty() {
+            return Ok(0);
+        }
+        // Phase 1: fault rolls + feed the server-side assembler.
+        let (accepted, payloads) = {
+            let cut = chance(&mut self.rng, self.faults.cut_per_write);
+            let short = chance(&mut self.rng, self.faults.partial_write);
+            let cut_at = index(&mut self.rng, bytes.len());
+            let short_len = 1 + index(&mut self.rng, bytes.len());
+            let Some(c) = self.conns.get_mut(&id) else {
+                return Err(TransportError::Disconnected);
+            };
+            if !c.alive {
+                return Err(TransportError::Disconnected);
+            }
+            if cut {
+                // Deliver a prefix, then die mid-frame: the server-side
+                // assembler keeps the torn bytes, the client must
+                // reconnect and retry through the dedup window.
+                if let Some(prefix) = bytes.get(..cut_at) {
+                    c.asm.feed(prefix);
+                }
+                c.alive = false;
+                self.stats.cuts += 1;
+                return Err(TransportError::Disconnected);
+            }
+            let n = if short { short_len } else { bytes.len() };
+            let Some(chunk) = bytes.get(..n) else {
+                return Err(TransportError::Disconnected);
+            };
+            c.asm.feed(chunk);
+            let mut payloads = Vec::new();
+            loop {
+                match c.asm.next_frame() {
+                    Ok(Some(p)) => payloads.push(p),
+                    Ok(None) => break,
+                    Err(_) => {
+                        c.alive = false;
+                        return Err(TransportError::Corrupt);
+                    }
+                }
+            }
+            if !payloads.is_empty() {
+                c.last_progress_ms = self.now_ms;
+            }
+            (n, payloads)
+        };
+        // Phase 2: dispatch complete envelopes into the daemon.
+        let mut replies = Vec::new();
+        for p in payloads {
+            let now = self.now_tick();
+            let reply = match Envelope::decode(&p) {
+                Ok(env) => Reply {
+                    request_id: env.request_id,
+                    response: self.daemon.submit_envelope(now, env),
+                },
+                Err(_) => Reply {
+                    request_id: 0,
+                    response: Response::Malformed { tag: 0 },
+                },
+            };
+            replies.push(frame(&reply.encode()));
+        }
+        // Phase 3: enqueue replies (withheld while stalled) + overflow.
+        if let Some(c) = self.conns.get_mut(&id) {
+            for r in replies {
+                if c.stalled {
+                    c.withheld.extend_from_slice(&r);
+                } else {
+                    c.outbuf.extend_from_slice(&r);
+                }
+            }
+            if c.outbuf.len() + c.withheld.len() > self.net.write_buffer_cap {
+                c.alive = false;
+                self.stats.overflows += 1;
+            }
+        }
+        Ok(accepted)
+    }
+
+    fn conn_read(&mut self, id: u64, buf: &mut [u8]) -> Result<usize, TransportError> {
+        self.advance(self.net.op_cost_ms);
+        let unstall = chance(&mut self.rng, self.faults.unstall_per_read);
+        let chunked = self.faults.chunked_reads;
+        let pick = splitmix(&mut self.rng);
+        let Some(c) = self.conns.get_mut(&id) else {
+            return Err(TransportError::Disconnected);
+        };
+        if !c.alive {
+            // Undelivered replies died with the connection — exactly the
+            // lost-Accepted window the dedup drill exercises.
+            return Err(TransportError::Disconnected);
+        }
+        if c.stalled {
+            if unstall {
+                c.stalled = false;
+                let withheld = std::mem::take(&mut c.withheld);
+                c.outbuf.extend_from_slice(&withheld);
+                self.stats.unstalls += 1;
+            } else {
+                return Err(TransportError::WouldBlock);
+            }
+        }
+        if c.outbuf.is_empty() || buf.is_empty() {
+            return Err(TransportError::WouldBlock);
+        }
+        let max = c.outbuf.len().min(buf.len());
+        let n = if chunked && max > 1 {
+            1 + (pick as usize) % max
+        } else {
+            max
+        };
+        for (dst, src) in buf.iter_mut().zip(c.outbuf.drain(..n)) {
+            *dst = src;
+        }
+        Ok(n)
+    }
+
+    fn conn_close(&mut self, id: u64) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.alive = false;
+        }
+    }
+}
+
+/// The shared fabric handle. Clone freely; all handles see one daemon.
+pub struct SimNet {
+    inner: Rc<RefCell<SimNetInner>>,
+}
+
+impl Clone for SimNet {
+    fn clone(&self) -> Self {
+        SimNet {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl SimNet {
+    /// A fresh fabric around a new daemon.
+    pub fn new(
+        service: ServiceConfig,
+        tree: DcTree,
+        net: SimNetConfig,
+        faults: SimFaultConfig,
+    ) -> Self {
+        let daemon = PlacementDaemon::new(service.clone(), tree.clone());
+        SimNet {
+            inner: Rc::new(RefCell::new(SimNetInner {
+                daemon,
+                service,
+                tree,
+                net,
+                rng: faults.seed ^ 0x51D0_0E75_F4B1_1C00,
+                faults,
+                now_ms: 0,
+                epochs_committed: 0,
+                conns: std::collections::BTreeMap::new(),
+                next_conn: 1,
+                stats: SimStats::default(),
+            })),
+        }
+    }
+
+    /// A [`Transport`] handle for one client.
+    pub fn transport(&self) -> SimTransport {
+        SimTransport {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Advances virtual time (committing any due epochs and running the
+    /// idle sweep).
+    pub fn advance(&self, ms: u64) {
+        self.inner.borrow_mut().advance(ms);
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.borrow().now_ms
+    }
+
+    /// Runs `f` against the daemon.
+    pub fn with_daemon<R>(&self, f: impl FnOnce(&mut PlacementDaemon) -> R) -> R {
+        f(&mut self.inner.borrow_mut().daemon)
+    }
+
+    /// kill -9: rebuild the daemon from its journal (optionally truncated
+    /// at `cut` bytes to model a torn tail on the durable medium) and drop
+    /// every connection. Returns the recovery report.
+    pub fn crash_restart(&self, cut: Option<usize>) -> Result<RecoveryReport, ServiceError> {
+        let mut n = self.inner.borrow_mut();
+        let mut wal = n.daemon.wal_bytes().to_vec();
+        if let Some(c) = cut {
+            wal.truncate(c.min(wal.len()));
+        }
+        let (d, report) = PlacementDaemon::recover(n.service.clone(), n.tree.clone(), &wal)?;
+        n.epochs_committed = d.last_committed().map_or(0, |e| e.wrapping_add(1));
+        n.daemon = d;
+        n.conns.clear();
+        n.stats.crashes += 1;
+        Ok(report)
+    }
+
+    /// A snapshot of the fabric counters.
+    pub fn stats(&self) -> SimStats {
+        self.inner.borrow().stats.clone()
+    }
+}
+
+/// A client-side [`Transport`] over the fabric.
+pub struct SimTransport {
+    inner: Rc<RefCell<SimNetInner>>,
+}
+
+/// One fabric connection (dies on fault rolls like a real socket).
+pub struct SimConn {
+    inner: Rc<RefCell<SimNetInner>>,
+    id: u64,
+}
+
+impl Conn for SimConn {
+    fn write(&mut self, bytes: &[u8]) -> Result<usize, TransportError> {
+        self.inner.borrow_mut().conn_write(self.id, bytes)
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        self.inner.borrow_mut().conn_read(self.id, buf)
+    }
+
+    fn close(&mut self) {
+        self.inner.borrow_mut().conn_close(self.id);
+    }
+}
+
+impl Transport for SimTransport {
+    type C = SimConn;
+
+    fn connect(&mut self) -> Result<SimConn, TransportError> {
+        let id = self.inner.borrow_mut().connect()?;
+        Ok(SimConn {
+            inner: Rc::clone(&self.inner),
+            id,
+        })
+    }
+
+    fn sleep_ms(&mut self, ms: u64) {
+        self.inner.borrow_mut().advance(ms);
+    }
+
+    fn poll_ms(&self) -> u64 {
+        self.inner.borrow().net.poll_ms.max(1)
+    }
+}

@@ -1,0 +1,87 @@
+//! The transport abstraction: how framed envelopes travel between a
+//! [`crate::client::ServiceClient`] and the daemon.
+//!
+//! Two implementations exist. [`crate::server::TcpServer`] +
+//! [`crate::client::TcpTransport`] carry frames over real blocking
+//! `std::net` sockets (loopback or the network). [`crate::simnet::SimNet`]
+//! carries them through a deterministic in-memory fabric whose socket
+//! faults — disconnects mid-frame, split/coalesced reads, stalled writers,
+//! half-open peers — are rolled from a seeded RNG, so the chaos engine can
+//! drive the *same* client retry/reconnect/dedup logic that runs against
+//! TCP and get byte-identical runs from a seed.
+//!
+//! The trait is deliberately clock-free: blocking reads return
+//! [`TransportError::WouldBlock`] after one poll interval
+//! ([`Transport::poll_ms`]) and the caller counts intervals against its
+//! budget. That keeps every timeout deterministic under the sim transport
+//! and keeps the service crate free of ambient time sources even on the
+//! TCP path (the OS enforces the poll interval; the code never reads a
+//! clock).
+
+/// Errors surfaced by a transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The endpoint refused the connection (not listening, connection cap,
+    /// or draining).
+    Refused,
+    /// The peer is gone: reset, closed, or cut mid-frame.
+    Disconnected,
+    /// Nothing arrived within one poll interval; retry or give up.
+    WouldBlock,
+    /// The peer's bounded write buffer overflowed and it dropped the
+    /// connection rather than buffer without bound.
+    Overflow,
+    /// The peer sent an undecodable frame; the connection was dropped.
+    Corrupt,
+    /// Any other I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Refused => write!(f, "connection refused"),
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::WouldBlock => write!(f, "no data within the poll interval"),
+            TransportError::Overflow => write!(f, "peer write buffer overflowed"),
+            TransportError::Corrupt => write!(f, "stream corrupt"),
+            TransportError::Io(m) => write!(f, "transport i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One bidirectional byte-stream connection.
+pub trait Conn {
+    /// Writes as much of `bytes` as the connection accepts, returning the
+    /// count (possibly short — the caller loops).
+    fn write(&mut self, bytes: &[u8]) -> Result<usize, TransportError>;
+
+    /// Reads available bytes into `buf`. `Ok(0)` means the peer closed
+    /// cleanly; [`TransportError::WouldBlock`] means nothing arrived
+    /// within one poll interval.
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, TransportError>;
+
+    /// Closes the connection (idempotent; also implied by drop).
+    fn close(&mut self);
+}
+
+/// A connection factory plus the (virtual or real) waiting primitives the
+/// client's retry loop needs.
+pub trait Transport {
+    /// The connection type this transport produces.
+    type C: Conn;
+
+    /// Opens a fresh connection to the daemon.
+    fn connect(&mut self) -> Result<Self::C, TransportError>;
+
+    /// Sleeps `ms` milliseconds — real time on TCP, virtual time in the
+    /// sim (where it also advances the epoch pump).
+    fn sleep_ms(&mut self, ms: u64);
+
+    /// How long one blocking [`Conn::read`] waits before reporting
+    /// [`TransportError::WouldBlock`]. Timeout budgets are counted in
+    /// units of this.
+    fn poll_ms(&self) -> u64;
+}

@@ -5,7 +5,7 @@
 
 use goldilocks_cluster::WriteFault;
 use goldilocks_core::ServiceConfig;
-use goldilocks_service::{PlacementDaemon, RejectReason, Request, Response};
+use goldilocks_service::{Envelope, PlacementDaemon, RejectReason, Reply, Request, Response};
 use goldilocks_topology::{builders::single_rack, DcTree, Resources};
 
 fn rack() -> DcTree {
@@ -376,11 +376,22 @@ fn queries_answer_from_queue_ledger_and_runtime() {
 fn framed_stream_round_trips_through_the_daemon() {
     let mut d = PlacementDaemon::new(cfg(), rack());
     let mut stream = Vec::new();
-    stream.extend_from_slice(&goldilocks_service::frame(&admit(5, 42).encode()));
     stream.extend_from_slice(&goldilocks_service::frame(
-        &Request::Query {
-            target_seq: 0,
-            tag: 43,
+        &Envelope {
+            client: 7,
+            request_id: 42,
+            request: admit(5, 42),
+        }
+        .encode(),
+    ));
+    stream.extend_from_slice(&goldilocks_service::frame(
+        &Envelope {
+            client: 7,
+            request_id: 43,
+            request: Request::Query {
+                target_seq: 0,
+                tag: 43,
+            },
         }
         .encode(),
     ));
@@ -388,17 +399,44 @@ fn framed_stream_round_trips_through_the_daemon() {
     assert!(!torn);
     let (payloads, torn) = goldilocks_service::deframe(&out);
     assert!(!torn);
-    let responses: Vec<Response> = payloads
+    let replies: Vec<Reply> = payloads
         .iter()
-        .map(|p| Response::decode(p).expect("decode"))
+        .map(|p| Reply::decode(p).expect("decode"))
         .collect();
     assert_eq!(
-        responses,
+        replies,
         vec![
-            Response::Accepted { seq: 0, tag: 42 },
-            Response::Queued { seq: 0, tag: 43 },
+            Reply {
+                request_id: 42,
+                response: Response::Accepted { seq: 0, tag: 42 },
+            },
+            Reply {
+                request_id: 43,
+                response: Response::Queued { seq: 0, tag: 43 },
+            },
         ]
     );
+    // A retry of the same envelope after the reply was lost replays the
+    // original accept instead of double-placing.
+    let retry = goldilocks_service::frame(
+        &Envelope {
+            client: 7,
+            request_id: 42,
+            request: admit(5, 42),
+        }
+        .encode(),
+    );
+    let (out, torn) = d.handle_frames(0, &retry);
+    assert!(!torn);
+    let (payloads, _) = goldilocks_service::deframe(&out);
+    assert_eq!(
+        Reply::decode(&payloads[0]).expect("decode"),
+        Reply {
+            request_id: 42,
+            response: Response::Accepted { seq: 0, tag: 42 },
+        }
+    );
+    assert_eq!(d.seqs_issued(), 1);
 }
 
 /// Frame boundaries of a WAL byte buffer (every record end is a valid

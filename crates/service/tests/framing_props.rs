@@ -1,0 +1,153 @@
+//! Property: byte-level chunking of a framed request stream is
+//! invisible. Feeding a valid stream to the daemon in ANY split — one
+//! byte at a time, odd boundaries straddling length headers, coalesced
+//! frames — must produce the byte-identical response stream and the
+//! identical daemon state as feeding it unsplit, including when the
+//! stream ends in a torn partial frame.
+
+use goldilocks_core::ServiceConfig;
+use goldilocks_service::{Envelope, PlacementDaemon, Request};
+use goldilocks_topology::{builders::single_rack, DcTree, Resources};
+use proptest::prelude::*;
+
+fn rack() -> DcTree {
+    single_rack(4, Resources::new(100.0, 16.0, 1000.0), 1000.0)
+}
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity: 32,
+        outbox_capacity: 64,
+        batch_max: 32,
+        epoch_ticks: 1_000,
+        bucket_capacity: 64,
+        tokens_per_epoch: 32,
+        default_deadline_ticks: 100_000,
+        snapshot_every: 4,
+        ..ServiceConfig::default()
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded stream of framed envelopes mixing every request kind,
+/// several client identities, and deliberate duplicate request ids (the
+/// dedup replay path must chunk identically too).
+fn request_stream(seed: u64, n: usize) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+    let mut out = Vec::new();
+    for i in 0..n {
+        let client = 1 + splitmix(&mut s) % 3;
+        let rid = 1 + splitmix(&mut s) % (n as u64).max(1);
+        let tag = i as u64 + 1;
+        let request = match splitmix(&mut s) % 4 {
+            0 => Request::Admit {
+                priority: (splitmix(&mut s) % 10) as u8,
+                demand: Resources::new(5.0 + (splitmix(&mut s) % 20) as f64, 1.0, 10.0),
+                deadline_ticks: 0,
+                tag,
+            },
+            1 => Request::Resize {
+                priority: 5,
+                target_seq: splitmix(&mut s) % 4,
+                demand: Resources::new(8.0, 1.0, 10.0),
+                deadline_ticks: 0,
+                tag,
+            },
+            2 => Request::Remove {
+                priority: 5,
+                target_seq: splitmix(&mut s) % 4,
+                deadline_ticks: 0,
+                tag,
+            },
+            _ => Request::Query {
+                target_seq: splitmix(&mut s) % 4,
+                tag,
+            },
+        };
+        out.extend_from_slice(&goldilocks_service::frame(
+            &Envelope {
+                client,
+                request_id: rid,
+                request,
+            }
+            .encode(),
+        ));
+    }
+    out
+}
+
+/// Feeds `stream` in the given chunk sizes (cycling; a trailing remainder
+/// goes in one final piece) and returns the concatenated replies plus the
+/// daemon it drove.
+fn run_chunked(stream: &[u8], chunks: &[usize]) -> (Vec<u8>, bool, PlacementDaemon) {
+    let mut d = PlacementDaemon::new(cfg(), rack());
+    let mut out = Vec::new();
+    let mut torn = false;
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < stream.len() {
+        let want = if chunks.is_empty() {
+            stream.len()
+        } else {
+            chunks[i % chunks.len()].max(1)
+        };
+        let end = (pos + want).min(stream.len());
+        let (bytes, t) = d.handle_frames(0, &stream[pos..end]);
+        out.extend_from_slice(&bytes);
+        torn |= t;
+        pos = end;
+        i += 1;
+    }
+    (out, torn, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chunking (including pathological 1-byte dribbles) produces the
+    /// byte-identical reply stream and identical daemon state.
+    #[test]
+    fn chunking_is_invisible(
+        seed in 0u64..10_000,
+        n in 1usize..8,
+        chunks in proptest::collection::vec(1usize..9, 0..24),
+    ) {
+        let stream = request_stream(seed, n);
+        let (whole, torn_whole, d_whole) = run_chunked(&stream, &[]);
+        let (split, torn_split, d_split) = run_chunked(&stream, &chunks);
+        prop_assert!(!torn_whole);
+        prop_assert!(!torn_split);
+        prop_assert_eq!(&whole, &split, "reply bytes diverged under chunking");
+        prop_assert_eq!(d_whole.seqs_issued(), d_split.seqs_issued());
+        prop_assert_eq!(d_whole.queue_depth(), d_split.queue_depth());
+        prop_assert_eq!(d_whole.wal_bytes(), d_split.wal_bytes());
+    }
+
+    /// A stream ending in a torn partial frame answers everything complete
+    /// and holds the tail without corrupting — under any chunking.
+    #[test]
+    fn torn_tail_is_held_not_corrupted(
+        seed in 0u64..10_000,
+        n in 1usize..6,
+        cut in 1usize..12,
+        chunks in proptest::collection::vec(1usize..9, 0..24),
+    ) {
+        let stream = request_stream(seed, n);
+        // Keep all but the last `cut` bytes of the final frame.
+        let keep = stream.len().saturating_sub(cut.min(stream.len() - 1).max(1));
+        let truncated = &stream[..keep];
+        let (whole, tw, dw) = run_chunked(truncated, &[]);
+        let (split, ts, ds) = run_chunked(truncated, &chunks);
+        prop_assert!(!tw && !ts, "a torn tail is not corruption");
+        prop_assert_eq!(&whole, &split);
+        prop_assert_eq!(dw.seqs_issued(), ds.seqs_issued());
+        prop_assert_eq!(dw.wal_bytes(), ds.wal_bytes());
+    }
+}

@@ -22,7 +22,12 @@
 //!   [`ServiceFaultSchedule`], and [`run_service_soak`] replays a seeded
 //!   request trace against a `goldilocks-service` daemon under that
 //!   schedule, crash-restarting from the journal and checking the
-//!   restarted timeline stays byte-identical.
+//!   restarted timeline stays byte-identical. [`run_transport_chaos`]
+//!   goes one layer further out: a fleet of real service *clients* runs
+//!   over the deterministic in-memory socket fabric with seeded
+//!   transport faults (cuts mid-frame, split reads, stalled writers,
+//!   half-open peers) plus kill -9 restarts, proving the idempotent
+//!   retry path never double-places or loses a journaled accept.
 //!
 //! Everything is seeded: the same `(scenario, policy, schedule, seed)`
 //! replays byte-for-byte, which is what makes fault experiments citable.
@@ -37,6 +42,7 @@ pub use driver::{
 };
 pub use plan::{ChaosRng, FaultEvent, FaultPlan, FaultPlanConfig, FaultSchedule};
 pub use service::{
-    generate_trace, run_service_soak, ServiceFaultEvent, ServiceFaultPlan, ServiceFaultPlanConfig,
-    ServiceFaultSchedule, ServiceSoakConfig, ServiceSoakRun, ServiceTraceConfig,
+    generate_trace, run_service_soak, run_transport_chaos, ServiceFaultEvent, ServiceFaultPlan,
+    ServiceFaultPlanConfig, ServiceFaultSchedule, ServiceSoakConfig, ServiceSoakRun,
+    ServiceTraceConfig, TransportChaosConfig, TransportChaosRun,
 };

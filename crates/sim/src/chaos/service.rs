@@ -19,7 +19,10 @@
 
 use goldilocks_cluster::WriteFault;
 use goldilocks_core::ServiceConfig;
-use goldilocks_service::{PlacementDaemon, Request, ServiceEpochRecord};
+use goldilocks_service::{
+    ClientConfig, ClientError, PlacementDaemon, Request, ServiceClient, ServiceEpochRecord,
+    SimFaultConfig, SimNet, SimNetConfig, SimStats, SimTransport,
+};
 use goldilocks_topology::{DcTree, Resources};
 
 use super::plan::ChaosRng;
@@ -496,6 +499,214 @@ fn wal_prefix_ok(longer: &[u8], prefix: &[u8]) -> bool {
     longer.len() >= prefix.len() && &longer[..prefix.len()] == prefix
 }
 
+/// Transport-layer chaos configuration: a fleet of real
+/// [`ServiceClient`]s driven over the deterministic [`SimNet`] fault
+/// fabric, with seeded socket faults and kill -9 restarts.
+#[derive(Clone, Debug)]
+pub struct TransportChaosConfig {
+    /// The daemon configuration under test.
+    pub service: ServiceConfig,
+    /// Fabric tunables (epoch pump, caps, idle deadline).
+    pub net: SimNetConfig,
+    /// Seeded socket-fault rates.
+    pub faults: SimFaultConfig,
+    /// Number of concurrent client identities.
+    pub clients: usize,
+    /// Rounds of traffic to drive.
+    pub rounds: usize,
+    /// Logical calls per client per round.
+    pub calls_per_round: usize,
+    /// Fraction of calls that remove a previously admitted container.
+    pub remove_frac: f64,
+    /// Per-round probability of a kill -9 + journal recovery.
+    pub crash_prob: f64,
+    /// Virtual milliseconds to advance between rounds.
+    pub advance_ms: u64,
+    /// Seed for the runner's own decision stream (crashes, call mix).
+    pub seed: u64,
+}
+
+impl Default for TransportChaosConfig {
+    fn default() -> Self {
+        TransportChaosConfig {
+            service: ServiceConfig::default(),
+            net: SimNetConfig::default(),
+            faults: SimFaultConfig::quiet(42),
+            clients: 8,
+            rounds: 12,
+            calls_per_round: 4,
+            remove_frac: 0.3,
+            crash_prob: 0.15,
+            advance_ms: 60,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of one transport chaos run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransportChaosRun {
+    /// Logical calls issued across all clients.
+    pub calls: u64,
+    /// Calls that returned a durable sequence number.
+    pub ok: u64,
+    /// Calls whose accept was shed under overload (typed, with seq).
+    pub typed_shed: u64,
+    /// Calls whose accept expired before commit (typed, with seq).
+    pub typed_expired: u64,
+    /// Calls rejected with backpressure through every attempt.
+    pub overloaded: u64,
+    /// Calls that exhausted retries at the transport level.
+    pub transport_failed: u64,
+    /// Distinct accepts observed more than once — double placements.
+    /// Zero is the idempotency invariant.
+    pub duplicate_seqs: u64,
+    /// Accepts the daemon journaled that no client observed. Exact (and
+    /// required zero) when `transport_failed == 0`.
+    pub lost_accepts: u64,
+    /// Client reconnects summed across the fleet.
+    pub reconnects: u64,
+    /// kill -9 restarts performed.
+    pub crashes: u64,
+    /// Every recovery stayed on the journal's timeline (prefix-exact).
+    pub replay_consistent: bool,
+    /// Fabric fault counters.
+    pub sim: SimStats,
+    /// Containers live at the end.
+    pub final_live: u64,
+    /// Final journal bytes.
+    pub final_wal: Vec<u8>,
+}
+
+/// Drives `clients` real [`ServiceClient`]s over a seeded [`SimNet`]
+/// fault fabric: connections are cut mid-frame, reads split, writers
+/// stalled, peers half-open, and the daemon is kill -9'd and recovered
+/// from its journal mid-traffic. Deterministic end to end.
+///
+/// The invariant checked downstream: every call outcome carrying a seq
+/// (`Ok`, `Shed`, `Expired`) maps to exactly one journaled accept —
+/// retries through all that weather never double-place, and (absent
+/// transport-exhausted calls) never lose an accept.
+pub fn run_transport_chaos(tree: &DcTree, cfg: &TransportChaosConfig) -> TransportChaosRun {
+    use std::collections::BTreeSet;
+
+    let net = SimNet::new(cfg.service.clone(), tree.clone(), cfg.net, cfg.faults);
+    let mut rng = ChaosRng::new(cfg.seed ^ 0x7A11_5B0B_17C0_DE5A);
+    let mut clients: Vec<ServiceClient<SimTransport>> = (0..cfg.clients)
+        .map(|i| {
+            ServiceClient::new(
+                net.transport(),
+                ClientConfig {
+                    client_id: 1 + i as u64,
+                    request_timeout_ms: 200,
+                    max_attempts: 16,
+                    backoff_base_ms: 2,
+                    backoff_cap_ms: 40,
+                    jitter_seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    ..ClientConfig::default()
+                },
+            )
+        })
+        .collect();
+    let mut pools: Vec<Vec<u64>> = vec![Vec::new(); cfg.clients];
+
+    let mut run = TransportChaosRun {
+        calls: 0,
+        ok: 0,
+        typed_shed: 0,
+        typed_expired: 0,
+        overloaded: 0,
+        transport_failed: 0,
+        duplicate_seqs: 0,
+        lost_accepts: 0,
+        reconnects: 0,
+        crashes: 0,
+        replay_consistent: true,
+        sim: SimStats::default(),
+        final_live: 0,
+        final_wal: Vec::new(),
+    };
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut observe = |run: &mut TransportChaosRun, seq: u64| {
+        if !seen.insert(seq) {
+            run.duplicate_seqs += 1;
+        }
+    };
+
+    for _round in 0..cfg.rounds {
+        if rng.chance(cfg.crash_prob) {
+            // kill -9 with the journal intact (the in-memory WAL *is* the
+            // durable medium); recovery may append roll-forward records
+            // but must never rewrite history.
+            let before = net.with_daemon(|d| d.wal_bytes().to_vec());
+            match net.crash_restart(None) {
+                Ok(_) => {
+                    run.crashes += 1;
+                    let after = net.with_daemon(|d| d.wal_bytes().to_vec());
+                    if !wal_prefix_ok(&after, &before) {
+                        run.replay_consistent = false;
+                    }
+                }
+                Err(_) => run.replay_consistent = false,
+            }
+        }
+        for (ci, client) in clients.iter_mut().enumerate() {
+            for _ in 0..cfg.calls_per_round {
+                run.calls += 1;
+                let priority = 1 + rng.index(9) as u8;
+                let do_remove = !pools[ci].is_empty() && rng.chance(cfg.remove_frac);
+                let outcome = if do_remove {
+                    let pick = rng.index(pools[ci].len());
+                    let target = pools[ci].remove(pick);
+                    client.remove(target, priority, 0)
+                } else {
+                    client.admit(priority, demand_sample_sm(&mut rng), 0)
+                };
+                match outcome {
+                    Ok(seq) => {
+                        run.ok += 1;
+                        observe(&mut run, seq);
+                        if !do_remove {
+                            pools[ci].push(seq);
+                        }
+                    }
+                    Err(ClientError::Shed { seq }) => {
+                        run.typed_shed += 1;
+                        observe(&mut run, seq);
+                    }
+                    Err(ClientError::Expired { seq }) => {
+                        run.typed_expired += 1;
+                        observe(&mut run, seq);
+                    }
+                    Err(ClientError::Overloaded { .. }) => run.overloaded += 1,
+                    Err(ClientError::Transport(_)) => run.transport_failed += 1,
+                    Err(_) => run.replay_consistent = false,
+                }
+            }
+        }
+        net.advance(cfg.advance_ms);
+    }
+
+    for c in &clients {
+        run.reconnects += c.stats().reconnects;
+    }
+    run.lost_accepts = net
+        .with_daemon(|d| d.seqs_issued())
+        .saturating_sub(seen.len() as u64);
+    run.sim = net.stats();
+    run.final_live = net.with_daemon(|d| d.live());
+    run.final_wal = net.with_daemon(|d| d.wal_bytes().to_vec());
+    run
+}
+
+fn demand_sample_sm(rng: &mut ChaosRng) -> Resources {
+    Resources::new(
+        4.0 + rng.uniform() * 16.0,
+        0.5 + rng.uniform() * 2.5,
+        10.0 + rng.uniform() * 40.0,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +772,71 @@ mod tests {
             "different seeds must differ somewhere"
         );
         assert!(s1.fault_count() > 0);
+    }
+
+    fn transport_cfg(seed: u64) -> TransportChaosConfig {
+        TransportChaosConfig {
+            service: ServiceConfig {
+                queue_capacity: 64,
+                batch_max: 64,
+                bucket_capacity: 256,
+                tokens_per_epoch: 128,
+                snapshot_every: 8,
+                ..ServiceConfig::default()
+            },
+            faults: SimFaultConfig {
+                seed,
+                cut_per_write: 0.08,
+                partial_write: 0.20,
+                stall_on_connect: 0.08,
+                unstall_per_read: 0.25,
+                chunked_reads: true,
+            },
+            seed,
+            ..TransportChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn transport_chaos_replays_byte_identically() {
+        let a = run_transport_chaos(&tree(), &transport_cfg(13));
+        let b = run_transport_chaos(&tree(), &transport_cfg(13));
+        assert_eq!(a, b, "transport chaos must be deterministic");
+        // The faults actually fired: the run is not vacuous.
+        assert!(a.sim.cuts > 0 || a.sim.stalls > 0, "no socket faults fired");
+        assert!(a.reconnects > 0, "no client ever had to reconnect");
+        assert!(a.crashes > 0, "no kill -9 was rolled");
+    }
+
+    #[test]
+    fn transport_chaos_never_duplicates_or_loses_accepts() {
+        let run = run_transport_chaos(&tree(), &transport_cfg(13));
+        assert!(run.replay_consistent, "a recovery rewrote journal history");
+        assert_eq!(run.duplicate_seqs, 0, "a retry double-placed");
+        assert_eq!(
+            run.transport_failed, 0,
+            "a call exhausted its retries; raise attempts or lower fault rates"
+        );
+        assert_eq!(run.lost_accepts, 0, "a journaled accept vanished");
+        assert!(run.ok > 0);
+    }
+
+    #[test]
+    fn quiet_transport_run_is_fault_free() {
+        let mut cfg = transport_cfg(5);
+        cfg.faults = SimFaultConfig::quiet(5);
+        cfg.crash_prob = 0.0;
+        let run = run_transport_chaos(&tree(), &cfg);
+        assert_eq!(run.transport_failed, 0);
+        assert_eq!(run.duplicate_seqs, 0);
+        assert_eq!(run.lost_accepts, 0);
+        assert_eq!(run.crashes, 0);
+        assert_eq!(run.reconnects, 0);
+        assert_eq!(run.sim.cuts + run.sim.stalls + run.sim.overflows, 0);
+        assert_eq!(
+            run.calls,
+            run.ok + run.typed_shed + run.typed_expired + run.overloaded
+        );
     }
 
     #[test]

@@ -53,6 +53,13 @@ impl Policy {
 /// leaves it out: seeded workload generation feeds the container graph, and
 /// hash-order edge insertion there changes partitions across *processes*
 /// (this PR fixed exactly such a case in `Workload::container_graph`).
+///
+/// `service` stays here with its transport layer included — `server.rs`,
+/// `client.rs` and `simnet.rs` are deliberately clock-free (timeouts are
+/// counted in OS-enforced poll intervals, jitter comes from seeded
+/// SplitMix64 streams), so the sim transport replays byte-identically and
+/// even the TCP path carries no ambient entropy. No `lint:allow` escapes
+/// are granted to transport code.
 const DETERMINISTIC_CRATES: &[&str] = &[
     "partition",
     "core",
@@ -109,6 +116,28 @@ mod tests {
         assert!(!p.no_ambient_entropy);
         assert!(p.no_panic);
         assert!(!p.no_unordered_iteration);
+    }
+
+    #[test]
+    fn service_transport_layer_is_fully_deterministic() {
+        // The socket edge gets no special dispensation: the TCP server,
+        // the client retry loop, and the sim fabric are all held to the
+        // full determinism policy (clock-free by design).
+        for file in [
+            "src/server.rs",
+            "src/client.rs",
+            "src/simnet.rs",
+            "src/dedup.rs",
+        ] {
+            let p = policy_for("service", file);
+            assert!(p.no_ambient_entropy, "{file} must ban ambient entropy");
+            assert!(
+                p.no_unordered_iteration,
+                "{file} must ban hash-order iteration"
+            );
+            assert!(p.no_panic, "{file} must be panic-free");
+            assert!(p.rng_discipline, "{file} must use seeded RNGs");
+        }
     }
 
     #[test]

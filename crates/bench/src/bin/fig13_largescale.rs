@@ -5,9 +5,11 @@
 //! which reproduces the same shape in seconds.
 //!
 //! The lineup runs twice — sequentially, then across `--threads N` worker
-//! threads (default: all hardware threads) — and the binary asserts the two
-//! are byte-identical before writing `results/BENCH_fig13.json` with both
-//! timings.
+//! threads (default: a 1/2/4/8 sweep) — and the binary asserts the two are
+//! byte-identical before writing the perf record: the default sweep owns
+//! `results/BENCH_fig13.json`, an explicit `--threads N` writes
+//! `results/BENCH_fig13_threadsN.json`, and `--full` writes
+//! `results/BENCH_fig13_full.json`.
 
 use goldilocks_bench::runner::{
     die, parallel_from_args, timed_lineup_sweep, timed_lineup_with_baseline, write_bench_json,
@@ -73,8 +75,21 @@ fn main() {
         );
     }
     println!();
-    if write_bench_json("results/BENCH_fig13.json", &benches).is_ok() {
-        println!("(perf record written to results/BENCH_fig13.json)\n");
+    // The default sweep owns the canonical BENCH_fig13.json; an explicit
+    // `--threads N` run (the CI smoke mode) or `--full` writes its own file
+    // so a single-configuration record never clobbers the sweep history.
+    let json_name = if full {
+        "results/BENCH_fig13_full.json".to_string()
+    } else if explicit_threads {
+        format!(
+            "results/BENCH_fig13_threads{}.json",
+            benches.first().map_or(0, |b| b.threads)
+        )
+    } else {
+        "results/BENCH_fig13.json".to_string()
+    };
+    if write_bench_json(&json_name, &benches).is_ok() {
+        println!("(perf record written to {json_name})\n");
     }
 
     let _ = std::fs::create_dir_all("results");

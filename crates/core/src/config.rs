@@ -64,6 +64,16 @@ impl GoldilocksConfig {
         self.pee_target = pee;
         self
     }
+
+    /// Returns a copy with the parallel-execution knobs set — one
+    /// `ParallelConfig` governs both the partitioner's branch forking and
+    /// the simulator's sharded metering engine. Parallelism never changes a
+    /// result bit (see the partition and metering determinism contracts), so
+    /// this is purely a throughput knob.
+    pub fn with_parallel(mut self, parallel: goldilocks_partition::ParallelConfig) -> Self {
+        self.bisect.parallel = parallel;
+        self
+    }
 }
 
 /// Tunables for the placement-as-a-service daemon (`goldilocks-service`).
@@ -162,5 +172,16 @@ mod tests {
     #[should_panic(expected = "pee target")]
     fn invalid_pee_rejected() {
         let _ = GoldilocksConfig::default().with_pee_target(0.0);
+    }
+
+    #[test]
+    fn with_parallel_sets_both_knobs() {
+        let p = goldilocks_partition::ParallelConfig::with_threads(8);
+        let c = GoldilocksConfig::paper().with_parallel(p.clone());
+        assert_eq!(c.bisect.parallel, p);
+        assert_eq!(
+            c.bisect.parallel.metering_chunk_flows,
+            p.metering_chunk_flows
+        );
     }
 }

@@ -25,6 +25,20 @@ pub struct ParallelConfig {
     /// many vertices — below the threshold thread spawn overhead outweighs
     /// the split work.
     pub min_parallel_vertices: usize,
+    /// Fixed flow-chunk size of the sharded metering engine (the consumer
+    /// lives in `goldilocks-sim::metering`; the knob rides here so one
+    /// `ParallelConfig` governs every parallel phase of an epoch). Flows are
+    /// cut into `ceil(flows / metering_chunk_flows)` chunks whose partial
+    /// sums combine in fixed chunk order, so the floating-point association
+    /// of every metered quantity is a function of this value **alone** —
+    /// never of `threads` — and results are byte-identical at any thread
+    /// count. `0` is treated as `1`.
+    pub metering_chunk_flows: usize,
+    /// Metering only spawns worker threads when the epoch carries at least
+    /// this many flows; below it the chunked reduction runs on the calling
+    /// thread. Spawning or not never changes results (the chunk partials are
+    /// identical either way) — this is purely a spawn-overhead gate.
+    pub min_parallel_flows: usize,
 }
 
 impl Default for ParallelConfig {
@@ -32,6 +46,8 @@ impl Default for ParallelConfig {
         ParallelConfig {
             threads: 1,
             min_parallel_vertices: 512,
+            metering_chunk_flows: 4096,
+            min_parallel_flows: 8192,
         }
     }
 }
@@ -63,6 +79,11 @@ impl ParallelConfig {
     pub(crate) fn fork_levels(&self) -> u32 {
         let t = self.threads.max(1);
         usize::BITS - (t - 1).leading_zeros()
+    }
+
+    /// The effective metering chunk size (`0` treated as `1`).
+    pub fn metering_chunk(&self) -> usize {
+        self.metering_chunk_flows.max(1)
     }
 }
 
@@ -98,5 +119,26 @@ mod tests {
     #[test]
     fn auto_reports_at_least_one() {
         assert!(ParallelConfig::auto().threads >= 1);
+    }
+
+    #[test]
+    fn metering_chunk_is_thread_independent_and_nonzero() {
+        // The chunk size (the association-order knob) must not vary with the
+        // thread budget: every constructor leaves it at the shared default.
+        let d = ParallelConfig::default();
+        assert_eq!(
+            ParallelConfig::with_threads(8).metering_chunk_flows,
+            d.metering_chunk_flows
+        );
+        assert_eq!(
+            ParallelConfig::auto().metering_chunk_flows,
+            d.metering_chunk_flows
+        );
+        assert!(d.min_parallel_flows >= d.metering_chunk_flows);
+        let zero = ParallelConfig {
+            metering_chunk_flows: 0,
+            ..ParallelConfig::default()
+        };
+        assert_eq!(zero.metering_chunk(), 1, "0 is treated as 1");
     }
 }

@@ -569,8 +569,8 @@ mod tests {
         for threads in [2, 3, 4, 8] {
             let cfg = BisectConfig {
                 parallel: ParallelConfig {
-                    threads,
                     min_parallel_vertices: 2,
+                    ..ParallelConfig::with_threads(threads)
                 },
                 ..BisectConfig::default()
             };
@@ -587,8 +587,8 @@ mod tests {
             for threads in [2, 4, 8] {
                 let cfg = BisectConfig {
                     parallel: ParallelConfig {
-                        threads,
                         min_parallel_vertices: 2,
+                        ..ParallelConfig::with_threads(threads)
                     },
                     ..BisectConfig::default()
                 };
@@ -607,8 +607,8 @@ mod tests {
         let seq = recursive_bisect(&g, |w| w.fits_within(&cap), &BisectConfig::default()).unwrap();
         let cfg = BisectConfig {
             parallel: ParallelConfig {
-                threads: 16,
                 min_parallel_vertices: 10_000,
+                ..ParallelConfig::with_threads(16)
             },
             ..BisectConfig::default()
         };

@@ -299,6 +299,10 @@ pub struct ChaosDriver<'a> {
     recoveries: usize,
     recovered_flag: bool,
     halted: bool,
+
+    // Reusable metering scratch (outside the simulated controller: pure
+    // measurement memory, carries no state the WAL would need to rebuild).
+    meter_ws: crate::metering::MeteringWorkspace,
 }
 
 impl<'a> ChaosDriver<'a> {
@@ -356,6 +360,7 @@ impl<'a> ChaosDriver<'a> {
             recoveries: 0,
             recovered_flag: false,
             halted: false,
+            meter_ws: crate::metering::MeteringWorkspace::new(),
         }
     }
 
@@ -664,7 +669,14 @@ impl<'a> ChaosDriver<'a> {
             )));
         }
 
-        let metrics = meter_epoch(self.scenario, &w, &effective, &self.tree);
+        let metrics = meter_epoch(
+            self.scenario,
+            &w,
+            &effective,
+            &self.tree,
+            &goldilocks_partition::ParallelConfig::sequential(),
+            &mut self.meter_ws,
+        );
         let served = effective.assignment.iter().filter(|a| a.is_some()).count();
         self.records.push(ChaosEpochRecord {
             epoch: e,

@@ -68,13 +68,29 @@ pub fn meter(
     config: &PowerConfig,
 ) -> PowerSample {
     let cpu_utils = placement.server_cpu_utilizations(workload, tree);
+    meter_with_utils(placement, tree, config, &cpu_utils)
+}
+
+/// [`meter`] over precomputed per-server CPU utilizations — the epoch driver
+/// computes them once and shares them between power and latency metering.
+/// Servers beyond the utilization slice count as idle.
+pub fn meter_with_utils(
+    placement: &Placement,
+    tree: &DcTree,
+    config: &PowerConfig,
+    cpu_utils: &[f64],
+) -> PowerSample {
     let mut on = vec![false; tree.server_count()];
     for s in placement.active_servers() {
         on[s.0] = true;
     }
     let server_watts: f64 = (0..tree.server_count())
         .filter(|s| on[*s])
-        .map(|s| config.server.power_watts(cpu_utils[s]))
+        .map(|s| {
+            config
+                .server
+                .power_watts(cpu_utils.get(s).copied().unwrap_or(0.0))
+        })
         .sum();
     let active_switches = tree.active_switch_count(&on);
     let ports = (config.switch.ports as f64 * config.switch_port_util).round() as usize;

@@ -11,8 +11,9 @@ use goldilocks_topology::DcTree;
 use goldilocks_workload::traces::Trace;
 use goldilocks_workload::Workload;
 
-use crate::energy::{meter, PowerConfig};
-use crate::latency::{mean_tct_ms, LatencyModel};
+use crate::energy::{meter_with_utils, PowerConfig};
+use crate::latency::LatencyModel;
+use crate::metering::{mean_tct_ms_sharded, MeteringWorkspace};
 
 /// The policies evaluated in Section VI.
 #[derive(Clone, Debug)]
@@ -297,20 +298,45 @@ pub(crate) struct EpochMetrics {
 
 /// Meters a placement against the given tree (which may differ from
 /// `scenario.tree` when faults have been applied to a working copy).
+///
+/// Per-server CPU utilizations are computed once and shared between power
+/// and latency metering; the TCT pass runs through the sharded metering
+/// engine (`parallel` sets its thread budget and chunk size, `ws` carries
+/// the reusable scratch — alloc-free when warm).
 pub(crate) fn meter_epoch(
     scenario: &Scenario,
     w: &Workload,
     placement: &Placement,
     tree: &DcTree,
+    parallel: &ParallelConfig,
+    ws: &mut MeteringWorkspace,
 ) -> EpochMetrics {
-    let sample = meter(placement, w, tree, &scenario.power);
     let cpu_utils = placement.server_cpu_utilizations(w, tree);
+    let sample = meter_with_utils(placement, tree, &scenario.power, &cpu_utils);
     let tct_ms = match &scenario.tct_app_prefix {
-        Some(prefix) => mean_tct_ms(&scenario.latency, w, placement, tree, &cpu_utils, |f| {
-            w.containers[f.a.0].app.starts_with(prefix.as_str())
-                || w.containers[f.b.0].app.starts_with(prefix.as_str())
-        }),
-        None => mean_tct_ms(&scenario.latency, w, placement, tree, &cpu_utils, |_| true),
+        Some(prefix) => mean_tct_ms_sharded(
+            &scenario.latency,
+            w,
+            placement,
+            tree,
+            &cpu_utils,
+            |f: &goldilocks_workload::Flow| {
+                w.containers[f.a.0].app.starts_with(prefix.as_str())
+                    || w.containers[f.b.0].app.starts_with(prefix.as_str())
+            },
+            parallel,
+            ws,
+        ),
+        None => mean_tct_ms_sharded(
+            &scenario.latency,
+            w,
+            placement,
+            tree,
+            &cpu_utils,
+            |_: &goldilocks_workload::Flow| true,
+            parallel,
+            ws,
+        ),
     };
     let active_utils: Vec<f64> = cpu_utils.iter().copied().filter(|u| *u > 0.0).collect();
     let mean_cpu_util = if active_utils.is_empty() {
@@ -325,13 +351,36 @@ pub(crate) fn meter_epoch(
     }
 }
 
-/// Runs one policy across every epoch of `scenario`.
+/// Runs one policy across every epoch of `scenario` on the calling thread —
+/// the reference path; equivalent to [`run_policy_with`] at
+/// [`ParallelConfig::sequential`].
 ///
 /// # Errors
 ///
 /// Returns the underlying [`PlaceError`] only if even the relaxed fallback
 /// placer cannot host an epoch's workload.
 pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, PlaceError> {
+    run_policy_with(scenario, policy, &ParallelConfig::sequential())
+}
+
+/// Runs one policy across every epoch of `scenario` with the given
+/// parallelism for the metering engine. Partitioner parallelism rides in the
+/// policy's own config (see [`Policy::with_parallel`]); this knob only sets
+/// the metering thread budget and chunk size, and — because per-chunk
+/// partials combine in fixed chunk order — never changes a single output
+/// bit. One [`MeteringWorkspace`] is reused across all epochs, so warm
+/// epochs meter without heap allocation.
+///
+/// # Errors
+///
+/// Returns the underlying [`PlaceError`] only if even the relaxed fallback
+/// placer cannot host an epoch's workload.
+pub fn run_policy_with(
+    scenario: &Scenario,
+    policy: &Policy,
+    parallel: &ParallelConfig,
+) -> Result<PolicyRun, PlaceError> {
+    let mut ws = MeteringWorkspace::new();
     let mut records = Vec::with_capacity(scenario.epochs.len());
     let mut prev: Option<Placement> = None;
     // Over-reservation applies to CPU (the resource Resource Central
@@ -396,7 +445,7 @@ pub fn run_policy(scenario: &Scenario, policy: &Policy) -> Result<PolicyRun, Pla
             })
             .sum();
 
-        let metrics = meter_epoch(scenario, &w, &placement, &scenario.tree);
+        let metrics = meter_epoch(scenario, &w, &placement, &scenario.tree, parallel, &mut ws);
         let (sample, tct) = (metrics.sample, metrics.tct_ms);
 
         let (migrations, freeze) = match &prev {
@@ -464,10 +513,12 @@ pub fn run_lineup_with(
 /// Determinism contract: each [`run_policy`] call is a pure function of
 /// `(scenario, policy)` — policies share no mutable state — so the only
 /// thing parallelism could perturb is ordering, and the join order is fixed.
-/// Every policy worker also receives the full inner thread budget for its
-/// partitioner (`Policy::with_parallel`): the heuristic baselines never fork,
-/// and the Goldilocks-family partition phase dominates lineup wall-clock, so
-/// splitting the budget per policy would starve the one phase that scales.
+/// Every policy worker also receives the full inner thread budget for both
+/// parallel phases — its partitioner (`Policy::with_parallel`) and its
+/// sharded metering engine ([`run_policy_with`]): the heuristic baselines
+/// never fork a partition, but every policy meters every epoch, so sharded
+/// metering is what keeps the budget busy once the 5-policy fan-out is
+/// capped by its slowest member.
 /// The transient oversubscription (lineup size + partition forks vs
 /// `threads`) is bounded and cheap for CPU-bound workers, and the partition
 /// output is byte-identical at any thread count. `threads = 1` takes the
@@ -482,14 +533,22 @@ pub fn run_policies_with(
     parallel: &ParallelConfig,
 ) -> Result<Vec<PolicyRun>, PlaceError> {
     let threads = parallel.threads.max(1);
-    if threads == 1 || policies.len() <= 1 {
+    if threads == 1 {
         return policies.iter().map(|p| run_policy(scenario, p)).collect();
+    }
+    if policies.len() <= 1 {
+        // A lone policy gets the full budget inside its own run: partition
+        // forks plus sharded metering, no policy fan-out needed.
+        return policies
+            .iter()
+            .map(|p| run_policy_with(scenario, &p.with_parallel(parallel), parallel))
+            .collect();
     }
     let policies: Vec<Policy> = policies.iter().map(|p| p.with_parallel(parallel)).collect();
     let results = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = policies
             .iter()
-            .map(|p| s.spawn(move |_| run_policy(scenario, p)))
+            .map(|p| s.spawn(move |_| run_policy_with(scenario, p, parallel)))
             .collect();
         handles
             .into_iter()

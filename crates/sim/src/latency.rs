@@ -106,6 +106,17 @@ fn crossed_uplinks(
 /// Mean task completion time in ms over the flows selected by `filter`
 /// (e.g. only Twitter-query flows), weighted by each flow's distinct-flow
 /// count. Returns 0 when no flow matches.
+///
+/// The model per flow: service happens at the busier endpoint (the
+/// bottleneck), `service = base / (1 − ρ)` with ρ clamped at
+/// `server_queue_cap` (servers beyond the utilization slice count as idle);
+/// each crossed uplink adds `per_hop / (1 − load/cap)` with the link ratio
+/// clamped at `link_queue_cap` (infinite/zero-capacity links cost the
+/// unloaded hop). Unplaced endpoints are skipped.
+///
+/// Evaluated by the sharded metering engine as a single chunk on the
+/// calling thread — the pre-engine flow-order association, bit-for-bit (see
+/// [`crate::metering`] for the sharded form the epoch driver uses).
 pub fn mean_tct_ms<F>(
     model: &LatencyModel,
     workload: &Workload,
@@ -115,53 +126,24 @@ pub fn mean_tct_ms<F>(
     filter: F,
 ) -> f64
 where
-    F: Fn(&goldilocks_workload::Flow) -> bool,
+    F: Fn(&goldilocks_workload::Flow) -> bool + Sync,
 {
-    let loads = link_loads(workload, placement, tree);
-    let mut weighted = 0.0;
-    let mut weight = 0.0;
-    for f in &workload.flows {
-        if !filter(f) {
-            continue;
-        }
-        let (Some(sa), Some(sb)) = (
-            placement.assignment.get(f.a.0).copied().flatten(),
-            placement.assignment.get(f.b.0).copied().flatten(),
-        ) else {
-            continue;
-        };
-        // Service happens at the busier endpoint (the bottleneck). Servers
-        // beyond the utilization slice (or an empty slice) count as idle
-        // rather than panicking on an out-of-bounds index.
-        let util =
-            |s: goldilocks_topology::ServerId| server_cpu_utils.get(s.0).copied().unwrap_or(0.0);
-        let rho = util(sa).max(util(sb)).min(model.server_queue_cap);
-        let service = model.base_service_ms / (1.0 - rho);
-        let mut net = 0.0;
-        if sa != sb {
-            for node in crossed_uplinks(tree, sa, sb) {
-                let cap = tree.node(node).uplink_mbps;
-                let lr = if cap.is_finite() && cap > 0.0 {
-                    (loads.get(&node).copied().unwrap_or(0.0) / cap).min(model.link_queue_cap)
-                } else {
-                    0.0
-                };
-                net += model.per_hop_ms / (1.0 - lr);
-            }
-        }
-        let w = f.flow_count.max(1) as f64;
-        weighted += (service + net) * w;
-        weight += w;
-    }
-    if weight > 0.0 {
-        weighted / weight
-    } else {
-        0.0
-    }
+    let mut ws = crate::metering::MeteringWorkspace::new();
+    crate::metering::mean_tct_ms_sharded(
+        model,
+        workload,
+        placement,
+        tree,
+        server_cpu_utils,
+        filter,
+        &crate::metering::single_chunk_reference(),
+        &mut ws,
+    )
 }
 
 /// Per-flow TCTs (ms) with their flow-count weights, for percentile
-/// analysis. Skips unplaced endpoints; same model as [`mean_tct_ms`].
+/// analysis. Skips unplaced endpoints; same model as [`mean_tct_ms`], and
+/// likewise evaluated by the metering engine as a single reference chunk.
 pub fn flow_tcts_ms<F>(
     model: &LatencyModel,
     workload: &Workload,
@@ -171,38 +153,19 @@ pub fn flow_tcts_ms<F>(
     filter: F,
 ) -> Vec<(f64, f64)>
 where
-    F: Fn(&goldilocks_workload::Flow) -> bool,
+    F: Fn(&goldilocks_workload::Flow) -> bool + Sync,
 {
-    let loads = link_loads(workload, placement, tree);
-    let mut out = Vec::new();
-    for f in &workload.flows {
-        if !filter(f) {
-            continue;
-        }
-        let (Some(sa), Some(sb)) = (
-            placement.assignment.get(f.a.0).copied().flatten(),
-            placement.assignment.get(f.b.0).copied().flatten(),
-        ) else {
-            continue;
-        };
-        let util =
-            |s: goldilocks_topology::ServerId| server_cpu_utils.get(s.0).copied().unwrap_or(0.0);
-        let rho = util(sa).max(util(sb)).min(model.server_queue_cap);
-        let mut tct = model.base_service_ms / (1.0 - rho);
-        if sa != sb {
-            for node in crossed_uplinks(tree, sa, sb) {
-                let cap = tree.node(node).uplink_mbps;
-                let lr = if cap.is_finite() && cap > 0.0 {
-                    (loads.get(&node).copied().unwrap_or(0.0) / cap).min(model.link_queue_cap)
-                } else {
-                    0.0
-                };
-                tct += model.per_hop_ms / (1.0 - lr);
-            }
-        }
-        out.push((tct, f.flow_count.max(1) as f64));
-    }
-    out
+    let mut ws = crate::metering::MeteringWorkspace::new();
+    crate::metering::flow_tcts_ms_sharded(
+        model,
+        workload,
+        placement,
+        tree,
+        server_cpu_utils,
+        filter,
+        &crate::metering::single_chunk_reference(),
+        &mut ws,
+    )
 }
 
 /// Weighted percentile (`q` in `[0, 1]`) of the per-flow TCT distribution —

@@ -8,6 +8,10 @@
 //!   loads.
 //! - [`energy`]: power metering over the topology (servers on their load
 //!   curves, idle switches gated off).
+//! - [`metering`]: the deterministic sharded flow-metering engine behind
+//!   [`latency`] and the epoch driver — dense link-load arrays, a reusable
+//!   alloc-free workspace, one LCA climb per flow, and fixed-chunk parallel
+//!   reduction that is byte-identical at any thread count.
 //! - [`epoch`]: the epoch engine driving any [`Policy`] over a [`Scenario`]
 //!   and recording active servers, power, TCT, energy/request and
 //!   migrations — the paper's four evaluation metrics.
@@ -40,16 +44,18 @@ pub mod chaos;
 pub mod energy;
 pub mod epoch;
 pub mod latency;
+pub mod metering;
 pub mod report;
 pub mod scenarios;
 pub mod summary;
 
 pub use chaos::{run_chaos, ChaosRun, FaultPlan, FaultPlanConfig, FaultSchedule};
-pub use energy::{meter, PowerConfig, PowerSample};
+pub use energy::{meter, meter_with_utils, PowerConfig, PowerSample};
 pub use epoch::{
-    run_lineup, run_lineup_with, run_policies_with, run_policy, EpochRecord, EpochSpec, Policy,
-    PolicyRun, Scenario,
+    epoch_workload, run_lineup, run_lineup_with, run_policies_with, run_policy, run_policy_with,
+    EpochRecord, EpochSpec, Policy, PolicyRun, Scenario,
 };
 pub use goldilocks_partition::ParallelConfig;
 pub use latency::{flow_tcts_ms, link_loads, mean_tct_ms, tct_percentile_ms, LatencyModel};
+pub use metering::{flow_tcts_ms_sharded, mean_tct_ms_sharded, MeteringWorkspace};
 pub use summary::{normalized_to, power_saving_vs, summarize, total_energy_kwh, PolicySummary};

@@ -1,0 +1,271 @@
+//! Property tests for the sharded metering engine's determinism contract.
+//!
+//! Two claims are proved bit-for-bit (`f64::to_bits`, never tolerances) on
+//! random workloads, placements and trees — including unplaced endpoints,
+//! zero-weight flows and same-server flows:
+//!
+//! 1. **Single chunk ≡ reference.** The engine run as one chunk reproduces
+//!    an independently written naive oracle (a line-by-line transcription of
+//!    the pre-engine `latency::mean_tct_ms` / `flow_tcts_ms` math: `BTreeMap`
+//!    link loads, per-flow LCA climb, flow-order accumulation) exactly.
+//! 2. **Thread invariance per chunk size.** For any fixed chunk size, runs
+//!    at 2, 4 and 8 threads are byte-identical to the 1-thread run — the
+//!    association order is a function of the chunk size alone, never of the
+//!    thread count or the scheduler.
+//!
+//! Chunk sizes may legitimately differ from each other in the last ulp
+//! (different association), so across chunk sizes only a small relative
+//! tolerance is asserted — that check catches gross sharding bugs (lost or
+//! double-counted chunks) without overclaiming bit equality.
+
+use std::collections::BTreeMap;
+
+use goldilocks_placement::Placement;
+use goldilocks_sim::metering::{flow_tcts_ms_sharded, mean_tct_ms_sharded, MeteringWorkspace};
+use goldilocks_sim::{LatencyModel, ParallelConfig};
+use goldilocks_topology::builders::fat_tree;
+use goldilocks_topology::{DcTree, NodeId, Resources, ServerId};
+use goldilocks_workload::{ContainerId, Flow, Workload};
+use proptest::prelude::*;
+
+/// A random metering instance: tree, workload with flows, placement (with
+/// deliberate unplaced holes) and per-server utilizations.
+#[derive(Clone, Debug)]
+struct Instance {
+    tree: DcTree,
+    w: Workload,
+    p: Placement,
+    utils: Vec<f64>,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    // k ∈ {4, 6}: 16- and 54-server fat trees; then containers, flows and
+    // the placement are drawn against that server count.
+    (0usize..2, 2usize..40).prop_flat_map(|(ki, n)| {
+        let k = 4 + 2 * ki;
+        let servers = k * k * k / 4;
+        let flows = proptest::collection::vec(
+            // (a, b-offset, flow_count, mbps): `add_flow` rejects self-flows,
+            // so b is drawn as a nonzero offset from a. Zero-weight flows
+            // (count 0) and zero-rate flows (0 Mbps) included on purpose;
+            // same-*server* flows still occur whenever the placement lands
+            // both endpoints on one machine.
+            (0usize..n, 1usize..n.max(2), 0i64..40, 0.0f64..400.0),
+            0..60,
+        );
+        // Slot n+1 draws per container: index `servers` means unplaced.
+        let slots = proptest::collection::vec(0usize..servers + 1, n);
+        let utils = proptest::collection::vec(0.0f64..0.93, servers);
+        (Just((k, servers, n)), flows, slots, utils).prop_map(
+            |((k, servers, n), flows, slots, utils)| {
+                let tree = fat_tree(k, Resources::new(400.0, 64.0, 1000.0), 1000.0);
+                let mut w = Workload::new();
+                for _ in 0..n {
+                    w.add_container("app", Resources::new(10.0, 1.0, 10.0), None);
+                }
+                for (a, boff, count, mbps) in flows {
+                    let b = (a + boff) % n;
+                    if a != b {
+                        w.add_flow(ContainerId(a), ContainerId(b), count, mbps);
+                    }
+                }
+                let order = tree.servers_in_dfs_order();
+                let p = Placement {
+                    assignment: slots
+                        .into_iter()
+                        .map(|s| (s < servers).then(|| order[s]))
+                        .collect(),
+                };
+                Instance { tree, w, p, utils }
+            },
+        )
+    })
+}
+
+/// The pre-engine climb: uplinks crossed by the `a`→`b` path, deepest side
+/// first, `a` winning depth ties — transcribed from `latency::link_loads`'s
+/// original helper, kept here as the oracle's independent implementation.
+fn oracle_crossed_uplinks(tree: &DcTree, a: ServerId, b: ServerId) -> Vec<NodeId> {
+    let mut na = tree.server(a).node;
+    let mut nb = tree.server(b).node;
+    let mut crossed = Vec::new();
+    while na != nb {
+        let (da, db) = (tree.node(na).depth, tree.node(nb).depth);
+        if da >= db {
+            crossed.push(na);
+            na = tree.node(na).parent.expect("non-root");
+        }
+        if db > da {
+            crossed.push(nb);
+            nb = tree.node(nb).parent.expect("non-root");
+        }
+    }
+    crossed
+}
+
+/// Naive oracle: the exact pre-engine metering math in flow order — BTreeMap
+/// link loads, a second climb per flow in the TCT pass, `net` summed apart
+/// from `service` for the mean, hops folded into a running `tct` for the
+/// samples. Returns (mean, samples).
+fn oracle(m: &LatencyModel, inst: &Instance) -> (f64, Vec<(f64, f64)>) {
+    let Instance { tree, w, p, utils } = inst;
+    let mut loads: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for f in &w.flows {
+        let (Some(sa), Some(sb)) = (
+            p.assignment.get(f.a.0).copied().flatten(),
+            p.assignment.get(f.b.0).copied().flatten(),
+        ) else {
+            continue;
+        };
+        if sa == sb {
+            continue;
+        }
+        for node in oracle_crossed_uplinks(tree, sa, sb) {
+            *loads.entry(node).or_insert(0.0) += f.mbps;
+        }
+    }
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    let mut samples = Vec::new();
+    for f in &w.flows {
+        let (Some(sa), Some(sb)) = (
+            p.assignment.get(f.a.0).copied().flatten(),
+            p.assignment.get(f.b.0).copied().flatten(),
+        ) else {
+            continue;
+        };
+        let util = |s: ServerId| utils.get(s.0).copied().unwrap_or(0.0);
+        let rho = util(sa).max(util(sb)).min(m.server_queue_cap);
+        let service = m.base_service_ms / (1.0 - rho);
+        let mut net = 0.0;
+        let mut tct = service;
+        if sa != sb {
+            for node in oracle_crossed_uplinks(tree, sa, sb) {
+                let cap = tree.node(node).uplink_mbps;
+                let lr = if cap.is_finite() && cap > 0.0 {
+                    (loads.get(&node).copied().unwrap_or(0.0) / cap).min(m.link_queue_cap)
+                } else {
+                    0.0
+                };
+                let hop = m.per_hop_ms / (1.0 - lr);
+                net += hop;
+                tct += hop;
+            }
+        }
+        let fw = f.flow_count.max(1) as f64;
+        weighted += (service + net) * fw;
+        weight += fw;
+        samples.push((tct, fw));
+    }
+    let mean = if weight > 0.0 { weighted / weight } else { 0.0 };
+    (mean, samples)
+}
+
+/// Engine run at the given chunk size and thread count; `min_parallel_flows`
+/// is floored so worker threads genuinely spawn at test scale.
+fn engine(
+    m: &LatencyModel,
+    inst: &Instance,
+    chunk: usize,
+    threads: usize,
+) -> (f64, Vec<(f64, f64)>, Vec<f64>) {
+    let cfg = ParallelConfig {
+        metering_chunk_flows: chunk,
+        min_parallel_flows: 1,
+        ..ParallelConfig::with_threads(threads)
+    };
+    let mut ws = MeteringWorkspace::new();
+    let mean = mean_tct_ms_sharded(
+        m,
+        &inst.w,
+        &inst.p,
+        &inst.tree,
+        &inst.utils,
+        |_: &Flow| true,
+        &cfg,
+        &mut ws,
+    );
+    let loads = ws.link_loads_dense().to_vec();
+    let samples = flow_tcts_ms_sharded(
+        m,
+        &inst.w,
+        &inst.p,
+        &inst.tree,
+        &inst.utils,
+        |_: &Flow| true,
+        &cfg,
+        &mut ws,
+    );
+    (mean, samples, loads)
+}
+
+fn bits(samples: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    samples
+        .iter()
+        .map(|(t, w)| (t.to_bits(), w.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Single-chunk engine output is bit-identical to the naive flow-order
+    /// oracle: mean, per-flow samples, and every dense link load.
+    #[test]
+    fn single_chunk_matches_naive_oracle_bitwise(inst in arb_instance()) {
+        let m = LatencyModel::default();
+        let (o_mean, o_samples) = oracle(&m, &inst);
+        let (mean, samples, loads) = engine(&m, &inst, usize::MAX, 1);
+        prop_assert_eq!(mean.to_bits(), o_mean.to_bits(),
+            "mean {} != oracle {}", mean, o_mean);
+        prop_assert_eq!(bits(&samples), bits(&o_samples));
+        // Oracle loads live in a sparse map; untouched nodes must be 0.
+        let mut o_loads: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for f in &inst.w.flows {
+            let (Some(sa), Some(sb)) = (
+                inst.p.assignment.get(f.a.0).copied().flatten(),
+                inst.p.assignment.get(f.b.0).copied().flatten(),
+            ) else { continue };
+            if sa == sb { continue }
+            for node in oracle_crossed_uplinks(&inst.tree, sa, sb) {
+                *o_loads.entry(node).or_insert(0.0) += f.mbps;
+            }
+        }
+        for (i, l) in loads.iter().enumerate() {
+            let o = o_loads.get(&NodeId(i)).copied().unwrap_or(0.0);
+            prop_assert_eq!(l.to_bits(), o.to_bits(), "load[{}] {} != {}", i, l, o);
+        }
+    }
+
+    /// For any fixed chunk size, every thread count produces byte-identical
+    /// results: mean, samples, and the combined link-load array.
+    #[test]
+    fn thread_count_never_changes_a_bit(inst in arb_instance(), chunk in 1usize..24) {
+        let m = LatencyModel::default();
+        let (r_mean, r_samples, r_loads) = engine(&m, &inst, chunk, 1);
+        for threads in [2usize, 4, 8] {
+            let (mean, samples, loads) = engine(&m, &inst, chunk, threads);
+            prop_assert_eq!(mean.to_bits(), r_mean.to_bits(),
+                "mean diverged at chunk {} threads {}", chunk, threads);
+            prop_assert_eq!(bits(&samples), bits(&r_samples),
+                "samples diverged at chunk {} threads {}", chunk, threads);
+            let lb: Vec<u64> = loads.iter().map(|l| l.to_bits()).collect();
+            let rb: Vec<u64> = r_loads.iter().map(|l| l.to_bits()).collect();
+            prop_assert_eq!(lb, rb,
+                "link loads diverged at chunk {} threads {}", chunk, threads);
+        }
+    }
+
+    /// Different chunk sizes associate differently and may differ in the
+    /// last ulp — but never more: a tight relative tolerance across chunk
+    /// sizes catches lost or double-counted chunks.
+    #[test]
+    fn chunk_sizes_agree_to_rounding(inst in arb_instance(), chunk in 1usize..24) {
+        let m = LatencyModel::default();
+        let (single, _, _) = engine(&m, &inst, usize::MAX, 1);
+        let (chunked, _, _) = engine(&m, &inst, chunk, 4);
+        let tol = 1e-12 * single.abs().max(1.0);
+        prop_assert!((chunked - single).abs() <= tol,
+            "chunk {} drifted: {} vs {}", chunk, chunked, single);
+    }
+}

@@ -10,8 +10,10 @@
 use goldilocks_cluster::{migration_plan, MigrationModel};
 use goldilocks_placement::Placement;
 use goldilocks_sim::epoch::{run_policy, EpochSpec, Policy, Scenario};
+use goldilocks_sim::metering::single_chunk_reference;
 use goldilocks_sim::{
-    flow_tcts_ms, link_loads, mean_tct_ms, tct_percentile_ms, LatencyModel, PowerConfig,
+    flow_tcts_ms, flow_tcts_ms_sharded, link_loads, mean_tct_ms, mean_tct_ms_sharded,
+    tct_percentile_ms, LatencyModel, MeteringWorkspace, ParallelConfig, PowerConfig,
 };
 use goldilocks_topology::builders::fat_tree;
 use goldilocks_topology::{DcTree, Resources};
@@ -125,6 +127,143 @@ fn link_loads_lock_shared_uplink_aggregation() {
     assert!((loads[&nic] - 200.0).abs() < EPS);
     let rack = tree.node(nic).parent.expect("rack uplink");
     assert!((loads[&rack] - 200.0).abs() < EPS);
+}
+
+#[test]
+fn single_chunk_engine_is_bitwise_identical_to_legacy() {
+    // `latency::mean_tct_ms` / `flow_tcts_ms` now delegate to the sharded
+    // engine as a single chunk; this lock pins the other direction — an
+    // explicitly single-chunk engine run reproduces the legacy flow-order
+    // association bit-for-bit (a chunk partial starts at 0.0 and
+    // `0.0 + x == x`, so one chunk *is* the flow order).
+    let tree = tree16();
+    let w = two_flow_workload();
+    let order = tree.servers_in_dfs_order();
+    let p = Placement {
+        assignment: vec![
+            Some(order[0]),
+            Some(order[1]),
+            Some(order[2]),
+            Some(order[15]),
+        ],
+    };
+    let utils = vec![0.5; tree.server_count()];
+    let m = LatencyModel::default();
+    let legacy_mean = mean_tct_ms(&m, &w, &p, &tree, &utils, |_| true);
+    let legacy_samples = flow_tcts_ms(&m, &w, &p, &tree, &utils, |_| true);
+
+    let cfg = single_chunk_reference();
+    let mut ws = MeteringWorkspace::new();
+    let mean = mean_tct_ms_sharded(&m, &w, &p, &tree, &utils, |_| true, &cfg, &mut ws);
+    let samples = flow_tcts_ms_sharded(&m, &w, &p, &tree, &utils, |_| true, &cfg, &mut ws);
+    assert_eq!(mean.to_bits(), legacy_mean.to_bits());
+    assert_eq!(samples.len(), legacy_samples.len());
+    for (s, l) in samples.iter().zip(&legacy_samples) {
+        assert_eq!(s.0.to_bits(), l.0.to_bits());
+        assert_eq!(s.1.to_bits(), l.1.to_bits());
+    }
+}
+
+#[test]
+fn fixed_chunk_association_order_locks_closed_form() {
+    // The sharded mean is *defined* by a two-level association order, both
+    // levels functions of the chunk size alone:
+    //
+    //   1. within chunk `k`, flows accumulate in flow order:
+    //      `p_k = ((0.0 + t_i·w_i) + t_{i+1}·w_{i+1}) + …`
+    //   2. chunks combine in ascending chunk index:
+    //      `total = ((0.0 + p_0) + p_1) + p_2 …`
+    //
+    // This test re-derives the mean closed-form through exactly that
+    // reduction — same ops, same order — on five disjoint same-rack flows
+    // with decimal (non-representable) rates, and requires bit equality at
+    // every thread count. If the engine's combine order ever changes, the
+    // ulp-level difference trips `to_bits` even though a tolerance check
+    // would pass.
+    let tree = tree16();
+    let order = tree.servers_in_dfs_order();
+    let mut w = Workload::new();
+    for _ in 0..10 {
+        w.add_container("app", Resources::new(10.0, 1.0, 10.0), None);
+    }
+    // Flow i joins containers (2i, 2i+1) on servers (order[2i], order[2i+1])
+    // — one rack each (rack size k/2 = 2), so the five paths are disjoint:
+    // each crosses exactly its two NIC uplinks carrying only its own rate.
+    // Rates are decimal fractions with no exact binary representation; the
+    // last flow has `flow_count = 0` (weighted as 1 via `max(1)`).
+    let rates = [0.1, 30.3, 123.4, 250.7, 333.3];
+    let counts = [1i64, 3, 7, 10, 0];
+    for i in 0..5 {
+        w.add_flow(
+            ContainerId(2 * i),
+            ContainerId(2 * i + 1),
+            counts[i],
+            rates[i],
+        );
+    }
+    let p = Placement {
+        assignment: (0..10).map(|c| Some(order[c])).collect(),
+    };
+    // Distinct endpoint utilizations so each flow's service time differs.
+    let mut utils = vec![0.0; tree.server_count()];
+    for (j, s) in order.iter().enumerate().take(10) {
+        utils[s.0] = 0.05 * j as f64;
+    }
+    let m = LatencyModel::default();
+
+    // Per-flow (service + net) · w terms, each closed-form: rho is the max
+    // endpoint utilization, both hops are the flow's own NIC uplinks at
+    // rate/1000 of capacity. `net` folds the two hops exactly as the engine
+    // does (`net += hop` twice).
+    let term = |i: usize| -> (f64, f64) {
+        let rho = (0.05 * (2 * i) as f64)
+            .max(0.05 * (2 * i + 1) as f64)
+            .min(m.server_queue_cap);
+        let service = m.base_service_ms / (1.0 - rho);
+        let hop = m.per_hop_ms / (1.0 - (rates[i] / 1000.0).min(m.link_queue_cap));
+        let mut net = 0.0;
+        net += hop;
+        net += hop;
+        let wt = counts[i].max(1) as f64;
+        ((service + net) * wt, wt)
+    };
+    // Chunk size 2 → chunks {0,1}, {2,3}, {4}: flow-order partials…
+    let chunk_partial = |flows: &[usize]| -> (f64, f64) {
+        let mut pw = 0.0;
+        let mut pn = 0.0;
+        for &i in flows {
+            let (tw, wt) = term(i);
+            pw += tw;
+            pn += wt;
+        }
+        (pw, pn)
+    };
+    let (p0w, p0n) = chunk_partial(&[0, 1]);
+    let (p1w, p1n) = chunk_partial(&[2, 3]);
+    let (p2w, p2n) = chunk_partial(&[4]);
+    // …combined in ascending chunk order.
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    for (pw, pn) in [(p0w, p0n), (p1w, p1n), (p2w, p2n)] {
+        weighted += pw;
+        weight += pn;
+    }
+    let expected = weighted / weight;
+
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ParallelConfig {
+            metering_chunk_flows: 2,
+            min_parallel_flows: 1,
+            ..ParallelConfig::with_threads(threads)
+        };
+        let mut ws = MeteringWorkspace::new();
+        let mean = mean_tct_ms_sharded(&m, &w, &p, &tree, &utils, |_| true, &cfg, &mut ws);
+        assert_eq!(
+            mean.to_bits(),
+            expected.to_bits(),
+            "chunk-2 association order drifted at {threads} threads: {mean} vs {expected}"
+        );
+    }
 }
 
 #[test]

@@ -27,6 +27,19 @@ fn forking(threads: usize) -> ParallelConfig {
     }
 }
 
+/// `forking` with metering sharding also forced on at test scale: tiny
+/// chunks so every epoch spans many chunks, and no spawn gate. The chunk
+/// size is the *association* knob, so the sequential reference must use the
+/// same one — byte-identity across thread counts is only claimed per chunk
+/// size (see the metering module's determinism contract).
+fn metering_sharded(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        metering_chunk_flows: 8,
+        min_parallel_flows: 1,
+        ..forking(threads)
+    }
+}
+
 fn scenarios(seed: u64) -> Vec<Scenario> {
     vec![
         wiki_testbed(5, 60, seed),
@@ -53,6 +66,47 @@ fn lineup_reports_are_byte_identical_across_thread_counts() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn sharded_metering_lineups_are_byte_identical_across_thread_counts() {
+    // Same wall as above, but with the metering engine genuinely sharding
+    // (chunk 8, no spawn gate) on top of partitioner forking. The reference
+    // runs the *same* chunk size at one thread: the combine order is fixed
+    // by the chunk size, so thread count must never move a bit in any
+    // reported field (TCT means included).
+    for seed in [7, 42, 1234] {
+        for scenario in scenarios(seed) {
+            let reference = run_lineup_with(&scenario, &metering_sharded(1))
+                .expect("sequential sharded lineup is feasible");
+            let reference_csv = runs_to_csv(&reference);
+            for &threads in THREADS {
+                let runs = run_lineup_with(&scenario, &metering_sharded(threads))
+                    .expect("parallel sharded lineup is feasible");
+                assert_eq!(
+                    runs_to_csv(&runs),
+                    reference_csv,
+                    "sharded metering diverged on {} (seed {seed}, {threads} threads)",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_chunk_matches_legacy_on_testbed_scale() {
+    // The default chunk (4096 flows) means every testbed-scale epoch is a
+    // single chunk, and a single chunk reproduces the legacy flow-order
+    // association exactly — so the default parallel config must stay
+    // byte-identical to the fully sequential path even with sharding
+    // enabled by thread budget alone.
+    let scenario = azure_testbed(4, 7);
+    let legacy = run_lineup_with(&scenario, &ParallelConfig::sequential()).expect("feasible");
+    for &threads in THREADS {
+        let runs = run_lineup_with(&scenario, &forking(threads)).expect("feasible");
+        assert_eq!(runs_to_csv(&runs), runs_to_csv(&legacy));
     }
 }
 

@@ -72,8 +72,11 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "service",
 ];
 
-/// Files on the partitioner hot path where float reductions must keep the
-/// fixed slice association order PR 4 made bit-identical.
+/// Files on the partitioner and metering hot paths where float reductions
+/// must keep a fixed association order: the partitioner's slice order (PR 4)
+/// and the metering engine's chunk-order shard/reduce contract (partials
+/// combined in ascending chunk index, so the result is a function of the
+/// chunk size alone, never the thread count).
 const FLOAT_GUARD_FILES: &[(&str, &str)] = &[
     ("partition", "src/refine.rs"),
     ("partition", "src/recursive.rs"),
@@ -81,6 +84,7 @@ const FLOAT_GUARD_FILES: &[(&str, &str)] = &[
     ("partition", "src/coarsen.rs"),
     ("partition", "src/quality.rs"),
     ("partition", "src/balance.rs"),
+    ("sim", "src/metering.rs"),
 ];
 
 /// Resolves the policy for `crate_name` + `rel_path` (path inside the crate,
@@ -145,5 +149,14 @@ mod tests {
         assert!(policy_for("partition", "src/refine.rs").float_association);
         assert!(!policy_for("partition", "src/graph.rs").float_association);
         assert!(policy_for("partition", "src/graph.rs").no_unordered_iteration);
+    }
+
+    #[test]
+    fn metering_engine_gets_float_guard_and_full_determinism() {
+        let p = policy_for("sim", "src/metering.rs");
+        assert!(p.float_association, "sharded reduce must keep chunk order");
+        assert!(p.no_panic, "worker failure must degrade, not panic");
+        assert!(p.no_unordered_iteration);
+        assert!(!policy_for("sim", "src/report.rs").float_association);
     }
 }

@@ -8,7 +8,8 @@
 //! threads, 20 epochs).
 
 use goldilocks_bench::runner::{
-    die, parallel_from_args, timed_lineup_with_baseline, write_bench_json, BaselinePerf,
+    die, parallel_from_args, results_path, timed_lineup_with_baseline, write_bench_json,
+    BaselinePerf,
 };
 use goldilocks_sim::report::{fmt, render_table};
 use goldilocks_sim::scenarios::{azure_testbed, wiki_testbed};
@@ -84,8 +85,9 @@ fn main() {
         )
     );
 
-    match write_bench_json("results/BENCH_lineup.json", &benches) {
-        Ok(()) => println!("(perf records written to results/BENCH_lineup.json)"),
-        Err(e) => eprintln!("could not write results/BENCH_lineup.json: {e}"),
+    let path = results_path("BENCH_lineup.json");
+    match write_bench_json(&path, &benches) {
+        Ok(()) => println!("(perf records written to {path})"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

@@ -53,6 +53,7 @@ fn scenario(epochs: usize) -> Scenario {
             ..MigrationModel::default()
         },
         per_container_load: None,
+        per_container_stream: None,
         tct_app_prefix: None,
         reservation_factor: 1.0,
     }

@@ -20,7 +20,7 @@ fn main() {
         c.demand.memory_gb = 1.5;
         c.demand.cpu *= 2.0; // fill the testbed to a realistic level
     }
-    let gold = Goldilocks::with_config(GoldilocksConfig::paper());
+    let mut gold = Goldilocks::with_config(GoldilocksConfig::paper());
     let (placement, details) = gold
         .place_with_details(&workload, &tree)
         .unwrap_or_else(|e| die(&format!("fig 7a placement: {e}")));

@@ -4,7 +4,7 @@
 //! and energy per request — over 60 one-minute epochs for the five policies,
 //! then prints the per-policy averages (feeding Fig. 11).
 
-use goldilocks_bench::runner::die;
+use goldilocks_bench::runner::{die, results_path};
 use goldilocks_sim::epoch::run_lineup;
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::wiki_testbed;
@@ -15,10 +15,13 @@ fn main() {
     println!("== Fig. 9: {} ==", scenario.name);
     let runs = run_lineup(&scenario).unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
     // Full time series as CSV for plotting.
-    let _ = std::fs::create_dir_all("results");
+    let csv_name = results_path("fig09_timeseries.csv");
+    if let Some(dir) = std::path::Path::new(&csv_name).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
-    if std::fs::write("results/fig09_timeseries.csv", csv).is_ok() {
-        println!("(time series written to results/fig09_timeseries.csv)\n");
+    if std::fs::write(&csv_name, csv).is_ok() {
+        println!("(time series written to {csv_name})\n");
     }
 
     // Time series (panels a-d), printed every 5 epochs for readability.

@@ -2,7 +2,7 @@
 //! pattern (149–221 containers, Pearson-correlated bursts) on the 16-server
 //! testbed.
 
-use goldilocks_bench::runner::die;
+use goldilocks_bench::runner::{die, results_path};
 use goldilocks_sim::epoch::run_lineup;
 use goldilocks_sim::report::{fmt, pct, render_table};
 use goldilocks_sim::scenarios::azure_testbed;
@@ -13,10 +13,13 @@ fn main() {
     println!("== Fig. 10: {} ==", scenario.name);
     let runs = run_lineup(&scenario).unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
     // Full time series as CSV for plotting.
-    let _ = std::fs::create_dir_all("results");
+    let csv_name = results_path("fig10_timeseries.csv");
+    if let Some(dir) = std::path::Path::new(&csv_name).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
-    if std::fs::write("results/fig10_timeseries.csv", csv).is_ok() {
-        println!("(time series written to results/fig10_timeseries.csv)\n");
+    if std::fs::write(&csv_name, csv).is_ok() {
+        println!("(time series written to {csv_name})\n");
     }
 
     let headers = ["min", "policy", "containers", "active", "power W", "TCT ms"];

@@ -4,26 +4,49 @@
 //! The default uses a 12-ary tree (432 servers, 3888 containers, 24 epochs)
 //! which reproduces the same shape in seconds.
 //!
+//! Flags: `--scale paper` selects the paper's 28-ary tree at a 12-epoch
+//! default; `--scale hyper` selects the k=48 hyperscale scenario (27648
+//! servers, ~249k containers, streamed per-container load); `--epochs N`
+//! overrides the epoch count of any scale.
+//!
 //! The lineup runs twice — sequentially, then across `--threads N` worker
 //! threads (default: a 1/2/4/8 sweep) — and the binary asserts the two are
 //! byte-identical before writing the perf record: the default sweep owns
 //! `results/BENCH_fig13.json`, an explicit `--threads N` writes
-//! `results/BENCH_fig13_threadsN.json`, and `--full` writes
-//! `results/BENCH_fig13_full.json`.
+//! `results/BENCH_fig13_threadsN.json`, `--full` writes
+//! `results/BENCH_fig13_full.json`, and `--scale` runs write
+//! `results/BENCH_fig13_<scale>.json`. All output paths resolve under the
+//! repository's `results/` directory regardless of the launch cwd.
 
 use goldilocks_bench::runner::{
-    die, parallel_from_args, timed_lineup_sweep, timed_lineup_with_baseline, write_bench_json,
-    BaselinePerf,
+    arg_value, die, parallel_from_args, results_path, timed_lineup_sweep,
+    timed_lineup_with_baseline, write_bench_json, BaselinePerf,
 };
 use goldilocks_sim::report::{fmt, pct, render_table};
-use goldilocks_sim::scenarios::largescale;
+use goldilocks_sim::scenarios::{hyperscale, largescale};
 use goldilocks_sim::summary::{normalized_to, power_saving_vs, summarize};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let explicit_threads = std::env::args().any(|a| a == "--threads");
-    let (k, epochs) = if full { (28, 88) } else { (12, 24) };
-    let scenario = largescale(k, epochs, 42);
+    let scale = arg_value("--scale");
+    let (k, default_epochs) = match scale.as_deref() {
+        Some("paper") => (28, 12),
+        Some("hyper") => (48, 12),
+        Some(other) => die(&format!("unknown --scale {other} (expected paper|hyper)")),
+        None if full => (28, 88),
+        None => (12, 24),
+    };
+    let epochs = match arg_value("--epochs") {
+        Some(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| die(&format!("--epochs expects a number, got {v}"))),
+        None => default_epochs,
+    };
+    let scenario = match scale.as_deref() {
+        Some("hyper") => hyperscale(k, epochs, 42),
+        _ => largescale(k, epochs, 42),
+    };
     println!(
         "== Fig. 13: {} — {} servers, {} switches, {} containers, {} epochs ==",
         scenario.name,
@@ -32,20 +55,20 @@ fn main() {
         scenario.base.len(),
         epochs
     );
-    if !full {
+    if !full && scale.is_none() {
         println!("(reduced scale; run with --full for the paper's 28-ary / 5488-server setup)\n");
     }
 
-    // Pre-workspace (PR 3) single-thread reference for the default k=12
-    // scenario; the full-scale run has no recorded baseline.
-    let baseline = (!full).then_some(BaselinePerf {
+    // Pre-workspace (PR 3) single-thread reference for the default k=12 /
+    // 24-epoch scenario; other configurations have no recorded baseline.
+    let baseline = (!full && scale.is_none() && epochs == 24).then_some(BaselinePerf {
         sequential_s: 27.3102,
         partition_s: 0.75220,
     });
     // Default run: sweep the parallel lineup across the standard thread
     // budgets so one JSON proves byte-identity at every count. An explicit
-    // `--threads N` (or `--full`) times just that configuration.
-    let (runs, benches) = if full || explicit_threads {
+    // `--threads N` (or `--full` / `--scale`) times just that configuration.
+    let (runs, benches) = if full || explicit_threads || scale.is_some() {
         let (runs, bench) =
             timed_lineup_with_baseline("fig13", &scenario, &parallel_from_args(), baseline)
                 .unwrap_or_else(|e| die(&format!("scenario lineup: {e}")));
@@ -76,30 +99,37 @@ fn main() {
     }
     println!();
     // The default sweep owns the canonical BENCH_fig13.json; an explicit
-    // `--threads N` run (the CI smoke mode) or `--full` writes its own file
-    // so a single-configuration record never clobbers the sweep history.
-    let json_name = if full {
-        "results/BENCH_fig13_full.json".to_string()
+    // `--threads N` run (the CI smoke mode), `--full`, or `--scale` writes
+    // its own file so a single-configuration record never clobbers the sweep
+    // history.
+    let json_name = if let Some(s) = scale.as_deref() {
+        results_path(&format!("BENCH_fig13_{s}.json"))
+    } else if full {
+        results_path("BENCH_fig13_full.json")
     } else if explicit_threads {
-        format!(
-            "results/BENCH_fig13_threads{}.json",
+        results_path(&format!(
+            "BENCH_fig13_threads{}.json",
             benches.first().map_or(0, |b| b.threads)
-        )
+        ))
     } else {
-        "results/BENCH_fig13.json".to_string()
+        results_path("BENCH_fig13.json")
     };
     if write_bench_json(&json_name, &benches).is_ok() {
         println!("(perf record written to {json_name})\n");
     }
 
-    let _ = std::fs::create_dir_all("results");
     let csv = goldilocks_sim::report::runs_to_csv(&runs);
-    let csv_name = if full {
-        "results/fig13_full_timeseries.csv"
+    let csv_name = if let Some(s) = scale.as_deref() {
+        results_path(&format!("fig13_{s}_timeseries.csv"))
+    } else if full {
+        results_path("fig13_full_timeseries.csv")
     } else {
-        "results/fig13_timeseries.csv"
+        results_path("fig13_timeseries.csv")
     };
-    if std::fs::write(csv_name, csv).is_ok() {
+    if let Some(dir) = std::path::Path::new(&csv_name).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if std::fs::write(&csv_name, csv).is_ok() {
         println!("(time series written to {csv_name})\n");
     }
 

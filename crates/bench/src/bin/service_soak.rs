@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use goldilocks_bench::runner::die;
+use goldilocks_bench::runner::{die, results_path};
 use goldilocks_core::ServiceConfig;
 use goldilocks_service::{PlacementDaemon, Priority, Request, Response};
 use goldilocks_sim::chaos::{generate_trace, ServiceTraceConfig};
@@ -388,13 +388,13 @@ fn main() {
     );
 
     let json = to_json(epochs, &soak, &burst, &crash);
-    let path = "results/BENCH_service.json";
-    if let Some(dir) = std::path::Path::new(path).parent() {
+    let path = results_path("BENCH_service.json");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             die(&format!("create {dir:?}: {e}"));
         }
     }
-    if let Err(e) = std::fs::write(path, &json) {
+    if let Err(e) = std::fs::write(&path, &json) {
         die(&format!("write {path}: {e}"));
     }
     println!("wrote {path}");

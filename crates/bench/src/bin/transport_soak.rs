@@ -24,7 +24,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use goldilocks_bench::runner::die;
+use goldilocks_bench::runner::{die, results_path};
 use goldilocks_core::ServiceConfig;
 use goldilocks_service::{
     ClientConfig, ClientError, Conn, PlacementDaemon, ServerConfig, ServiceClient, TcpServer,
@@ -551,13 +551,13 @@ fn main() {
     );
 
     let json = to_json(&qps, &storm, &crash);
-    let path = "results/BENCH_transport.json";
-    if let Some(dir) = std::path::Path::new(path).parent() {
+    let path = results_path("BENCH_transport.json");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             die(&format!("create {dir:?}: {e}"));
         }
     }
-    if let Err(e) = std::fs::write(path, &json) {
+    if let Err(e) = std::fs::write(&path, &json) {
         die(&format!("write {path}: {e}"));
     }
     println!("wrote {path}");

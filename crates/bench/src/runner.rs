@@ -75,6 +75,9 @@ pub struct LineupBench {
     pub phases_sequential: PhaseTimings,
     /// Pre-optimization reference timings, when the binary knows them.
     pub baseline: Option<BaselinePerf>,
+    /// Peak bytes held live by the process during the run, when the binary
+    /// hosts a tracking allocator (only the memory-focused bins do).
+    pub peak_alloc_bytes: Option<u64>,
 }
 
 impl LineupBench {
@@ -142,6 +145,9 @@ impl LineupBench {
                 self.sequential_speedup_vs_baseline().unwrap_or(0.0),
                 self.partition_speedup_vs_baseline().unwrap_or(0.0),
             ));
+        }
+        if let Some(peak) = self.peak_alloc_bytes {
+            json.push_str(&format!(",\n  \"peak_alloc_bytes\": {peak}"));
         }
         json.push_str("\n}");
         json
@@ -231,6 +237,7 @@ pub fn timed_lineup_with_baseline(
         phases: time_phases(scenario, parallel),
         phases_sequential: time_phases(scenario, &ParallelConfig::sequential()),
         baseline,
+        peak_alloc_bytes: None,
     };
     Ok((runs, record))
 }
@@ -289,6 +296,7 @@ pub fn timed_lineup_sweep(
             phases: time_phases(scenario, &parallel),
             phases_sequential: phases_sequential.clone(),
             baseline,
+            peak_alloc_bytes: None,
         });
         last_runs = runs;
     }
@@ -416,17 +424,37 @@ pub fn sweep_scenarios(
 /// Parses a `--threads N` argument pair from the binary's argv; defaults to
 /// every hardware thread ([`ParallelConfig::auto`]).
 pub fn parallel_from_args() -> ParallelConfig {
+    match arg_value("--threads").and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => ParallelConfig::with_threads(n),
+        None => ParallelConfig::auto(),
+    }
+}
+
+/// Returns the value following `flag` in the binary's argv, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     for pair in args.windows(2) {
-        if let [flag, value] = pair {
-            if flag == "--threads" {
-                if let Ok(n) = value.parse::<usize>() {
-                    return ParallelConfig::with_threads(n);
-                }
+        if let [f, value] = pair {
+            if f == flag {
+                return Some(value.clone());
             }
         }
     }
-    ParallelConfig::auto()
+    None
+}
+
+/// Resolves `name` under the repository's `results/` directory, anchored at
+/// the workspace root via this crate's manifest dir — so every bench binary
+/// writes the same `results/` tree no matter which directory it is launched
+/// from.
+pub fn results_path(name: &str) -> String {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    root.join("results")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
 }
 
 #[cfg(test)]
@@ -488,6 +516,27 @@ mod tests {
         assert!(json.contains("\"baseline_pre_workspace\""));
         assert!(json.contains("\"sequential_speedup_vs_baseline\""));
         assert!(json.contains("\"partition_speedup_vs_baseline\""));
+    }
+
+    #[test]
+    fn results_path_is_absolute_and_cwd_independent() {
+        let p = results_path("BENCH_x.json");
+        assert!(std::path::Path::new(&p).is_absolute(), "{p}");
+        assert!(p.ends_with("BENCH_x.json"), "{p}");
+        assert!(p.contains("results"), "{p}");
+    }
+
+    #[test]
+    fn peak_alloc_bytes_round_trips_in_json() {
+        let s = wiki_testbed(3, 30, 8);
+        let (_, mut bench) =
+            timed_lineup("peak", &s, &ParallelConfig::with_threads(2)).expect("feasible");
+        assert!(
+            !bench.to_json().contains("peak_alloc_bytes"),
+            "field absent unless a tracking allocator filled it"
+        );
+        bench.peak_alloc_bytes = Some(123_456_789);
+        assert!(bench.to_json().contains("\"peak_alloc_bytes\": 123456789"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use goldilocks_partition::{PartitionTree, VertexWeight};
 use goldilocks_placement::{PlaceError, Placement, Placer};
 use goldilocks_topology::{DcTree, Resources, ServerId};
-use goldilocks_workload::Workload;
+use goldilocks_workload::{ContainerGraphCache, GraphCacheStats, Workload};
 
 use crate::config::GoldilocksConfig;
 
@@ -21,6 +21,10 @@ use crate::config::GoldilocksConfig;
 pub struct Goldilocks {
     /// Algorithm configuration.
     pub config: GoldilocksConfig,
+    /// Epoch-reusable container-graph cache: warm epochs refresh vertex
+    /// weights in place or apply CSR deltas instead of rebuilding (byte-
+    /// identical either way, so placements are unaffected).
+    graph_cache: ContainerGraphCache,
 }
 
 /// Diagnostics from one placement run — the partition tree behind the
@@ -43,7 +47,16 @@ impl Goldilocks {
 
     /// Creates the policy with a custom configuration.
     pub fn with_config(config: GoldilocksConfig) -> Self {
-        Goldilocks { config }
+        Goldilocks {
+            config,
+            graph_cache: ContainerGraphCache::new(),
+        }
+    }
+
+    /// Build-path counters of the container-graph cache (how many epochs hit
+    /// the refresh/delta paths vs full rebuilds).
+    pub fn graph_cache_stats(&self) -> GraphCacheStats {
+        self.graph_cache.stats()
     }
 
     /// Runs placement and returns the partition tree alongside the
@@ -53,7 +66,7 @@ impl Goldilocks {
     ///
     /// See [`Placer::place`].
     pub fn place_with_details(
-        &self,
+        &mut self,
         workload: &Workload,
         tree: &DcTree,
     ) -> Result<(Placement, ProvisionDetails), PlaceError> {
@@ -98,14 +111,15 @@ impl Goldilocks {
         let cap = self.config.cap_resources(&min_cap);
         let cap_weight = VertexWeight::new(cap.as_array().to_vec());
 
-        let graph = workload
-            .container_graph(self.config.anti_affinity_weight)
+        let graph = self
+            .graph_cache
+            .build(workload, self.config.anti_affinity_weight)
             .map_err(|e| PlaceError::Infeasible {
                 reason: format!("container graph: {e}"),
             })?;
 
         let groups =
-            crate::grouping::partition_into_groups(&graph, &cap_weight, &self.config.bisect)?;
+            crate::grouping::partition_into_groups(graph, &cap_weight, &self.config.bisect)?;
 
         // Healthy servers in topology DFS order.
         let dfs: Vec<ServerId> = tree
@@ -241,7 +255,7 @@ mod tests {
                 }
             }
         }
-        let g = Goldilocks::new();
+        let mut g = Goldilocks::new();
         let (p, details) = g.place_with_details(&w, &tree).unwrap();
         assert!(p.is_complete());
         // Each clique must land on a single server.
@@ -290,7 +304,7 @@ mod tests {
     fn details_group_mapping_is_consistent() {
         let tree = testbed_16();
         let w = twitter_caching(48, 3);
-        let g = Goldilocks::new();
+        let mut g = Goldilocks::new();
         let (p, d) = g.place_with_details(&w, &tree).unwrap();
         for (c, &grp) in d.group_of_container.iter().enumerate() {
             assert!(grp < d.group_servers.len());

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use goldilocks_partition::{incremental_repartition, VertexWeight};
 use goldilocks_placement::{PlaceError, Placement, Placer};
 use goldilocks_topology::{DcTree, Resources, ServerId};
-use goldilocks_workload::Workload;
+use goldilocks_workload::{ContainerGraphCache, Workload};
 
 use crate::config::GoldilocksConfig;
 
@@ -32,6 +32,8 @@ pub struct IncrementalGoldilocks {
     previous_groups: Vec<Option<usize>>,
     /// Which server each group label occupies.
     group_servers: BTreeMap<usize, ServerId>,
+    /// Epoch-reusable container-graph cache (byte-identical to fresh builds).
+    graph_cache: ContainerGraphCache,
 }
 
 impl IncrementalGoldilocks {
@@ -53,6 +55,7 @@ impl IncrementalGoldilocks {
             stickiness,
             previous_groups: Vec::new(),
             group_servers: BTreeMap::new(),
+            graph_cache: ContainerGraphCache::new(),
         }
     }
 
@@ -97,8 +100,9 @@ impl Placer for IncrementalGoldilocks {
         let cap = self.config.cap_resources(&min_cap);
         let cap_weight = VertexWeight::new(cap.as_array().to_vec());
 
-        let graph = workload
-            .container_graph(self.config.anti_affinity_weight)
+        let graph = self
+            .graph_cache
+            .build(workload, self.config.anti_affinity_weight)
             .map_err(|e| PlaceError::Infeasible {
                 reason: format!("container graph: {e}"),
             })?;
@@ -108,7 +112,7 @@ impl Placer for IncrementalGoldilocks {
         old.resize(workload.len(), None);
 
         let result = incremental_repartition(
-            &graph,
+            graph,
             &old,
             |w| w.fits_within(&cap_weight),
             self.stickiness,

@@ -21,7 +21,7 @@
 use goldilocks_partition::VertexWeight;
 use goldilocks_placement::{LoadTracker, PlaceError, Placement, Placer};
 use goldilocks_topology::{DcTree, NodeId, ServerId};
-use goldilocks_workload::Workload;
+use goldilocks_workload::{ContainerGraphCache, Workload};
 
 use crate::config::GoldilocksConfig;
 
@@ -53,6 +53,8 @@ impl VirtualCluster {
 pub struct GoldilocksAsym {
     /// Algorithm configuration.
     pub config: GoldilocksConfig,
+    /// Epoch-reusable container-graph cache (byte-identical to fresh builds).
+    graph_cache: ContainerGraphCache,
 }
 
 impl GoldilocksAsym {
@@ -63,25 +65,29 @@ impl GoldilocksAsym {
 
     /// Creates the policy with a custom configuration.
     pub fn with_config(config: GoldilocksConfig) -> Self {
-        GoldilocksAsym { config }
+        GoldilocksAsym {
+            config,
+            graph_cache: ContainerGraphCache::new(),
+        }
     }
 
     /// Builds the Virtual Clusters via recursive bisection against the
     /// *average* healthy-server capacity (Section IV-A stop rule).
     fn build_clusters(
-        &self,
+        &mut self,
         workload: &Workload,
         tree: &DcTree,
     ) -> Result<Vec<VirtualCluster>, PlaceError> {
         let mean = self.config.cap_resources(&tree.mean_server_resources());
         let cap_weight = VertexWeight::new(mean.as_array().to_vec());
-        let graph = workload
-            .container_graph(self.config.anti_affinity_weight)
+        let graph = self
+            .graph_cache
+            .build(workload, self.config.anti_affinity_weight)
             .map_err(|e| PlaceError::Infeasible {
                 reason: format!("container graph: {e}"),
             })?;
         let groups =
-            crate::grouping::partition_into_groups(&graph, &cap_weight, &self.config.bisect)?;
+            crate::grouping::partition_into_groups(graph, &cap_weight, &self.config.bisect)?;
         Ok(groups
             .into_iter()
             .map(|members| {

@@ -35,6 +35,15 @@ pub enum PartitionError {
     },
     /// The graph was empty where a non-empty graph is required.
     EmptyGraph,
+    /// A delta edge passed to [`crate::Graph::grown`] connects two vertices
+    /// that both pre-exist, so it could not be appended without re-merging
+    /// the old adjacency rows (the caller must fall back to a full rebuild).
+    InvalidDeltaEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -59,6 +68,12 @@ impl fmt::Display for PartitionError {
                 write!(f, "cannot split {vertices} vertices into {requested} parts")
             }
             PartitionError::EmptyGraph => write!(f, "graph has no vertices"),
+            PartitionError::InvalidDeltaEdge { u, v } => {
+                write!(
+                    f,
+                    "delta edge ({u}, {v}) does not touch a newly added vertex"
+                )
+            }
         }
     }
 }

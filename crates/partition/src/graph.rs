@@ -406,6 +406,227 @@ impl Graph {
         }
         total
     }
+
+    /// Builds a graph from a flat (possibly unsorted, possibly duplicated)
+    /// undirected edge list — the arena-friendly alternative to
+    /// [`GraphBuilder`] that never materializes a `BTreeMap`.
+    ///
+    /// `edges` is taken as scratch: entries are normalized to `(min, max)`,
+    /// sorted, and parallel edges merged by summing weights in place. Merged
+    /// weights of zero are dropped. The resulting CSR arrays are
+    /// **bit-identical** to what [`GraphBuilder`] produces for the same edge
+    /// multiset: the sort visits pairs in exactly the `BTreeMap`'s
+    /// `(min, max)` key order, weight merging is exact integer addition
+    /// (order-independent), and the two-pass cursor fill is the same.
+    ///
+    /// `vwgt` is the flattened row-major vertex-weight table
+    /// (`n * dims` entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::SelfLoop`] for an edge with equal endpoints
+    /// and [`PartitionError::VertexOutOfRange`] for an endpoint `>= n`.
+    pub fn from_edges(
+        n: usize,
+        dims: usize,
+        vwgt: Vec<f64>,
+        edges: &mut Vec<(u32, u32, EdgeWeight)>,
+    ) -> Result<Graph, PartitionError> {
+        assert_eq!(
+            vwgt.len(),
+            n * dims,
+            "vertex-weight table must hold n * dims entries"
+        );
+        for e in edges.iter_mut() {
+            if e.0 == e.1 {
+                return Err(PartitionError::SelfLoop {
+                    vertex: e.0 as usize,
+                });
+            }
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+            if e.1 as usize >= n {
+                return Err(PartitionError::VertexOutOfRange {
+                    vertex: e.1 as usize,
+                    count: n,
+                });
+            }
+        }
+        merge_sorted_edges(edges);
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in edges.iter() {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut running = 0;
+        xadj.push(running);
+        for d in &degree {
+            running += d;
+            xadj.push(running);
+        }
+        let mut adjncy = vec![0; running];
+        let mut adjwgt = vec![0; running];
+        let mut cursor = xadj[..n].to_vec();
+        for &(u, v, w) in edges.iter() {
+            let (u, v) = (u as usize, v as usize);
+            adjncy[cursor[u]] = v;
+            adjwgt[cursor[u]] = w;
+            cursor[u] += 1;
+            adjncy[cursor[v]] = u;
+            adjwgt[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+        Ok(Graph::from_csr(xadj, adjncy, adjwgt, vwgt, dims))
+    }
+
+    /// Rewrites every vertex weight in place via `write(v, row)` and
+    /// recomputes the cached per-dimension totals — in the same fine-vertex
+    /// accumulation order as construction, so the refreshed totals are
+    /// bit-identical to a from-scratch build over the same weights.
+    ///
+    /// The adjacency structure is untouched and **no allocation happens**:
+    /// this is the warm-epoch path for workloads whose demands change while
+    /// their communication structure does not.
+    pub fn refresh_vertex_weights(&mut self, mut write: impl FnMut(VertexId, &mut [f64])) {
+        let dims = self.dims;
+        let n = self.vertex_count();
+        for v in 0..n {
+            write(v, &mut self.vwgt[v * dims..(v + 1) * dims]);
+        }
+        for t in &mut self.total_vwgt {
+            *t = 0.0;
+        }
+        for v in 0..n {
+            for d in 0..dims {
+                self.total_vwgt[d] += self.vwgt[v * dims + d];
+            }
+        }
+    }
+
+    /// Extends the graph to `new_n` vertices by applying a CSR edit list:
+    /// `added_vwgt` carries the weights of vertices `old_n..new_n`
+    /// (flattened, `(new_n - old_n) * dims` entries) and `delta` the new
+    /// undirected edges, **every one of which must touch at least one added
+    /// vertex** — existing rows then only ever *append* neighbors `>=
+    /// old_n`, which keeps them sorted without re-merging.
+    ///
+    /// `delta` is scratch like in [`Graph::from_edges`]: normalized, sorted
+    /// and merged in place (zero sums dropped). Given the same total edge
+    /// multiset, the result is bit-identical to a full
+    /// [`Graph::from_edges`] build — old rows keep their exact bytes, and
+    /// appended/new rows come out in the same `(min, max)` fill order.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::SelfLoop`] / [`PartitionError::VertexOutOfRange`]
+    /// as in [`Graph::from_edges`], plus
+    /// [`PartitionError::InvalidDeltaEdge`] when a delta edge connects two
+    /// pre-existing vertices (the caller must full-rebuild instead).
+    pub fn grown(
+        &self,
+        new_n: usize,
+        added_vwgt: &[f64],
+        delta: &mut Vec<(u32, u32, EdgeWeight)>,
+    ) -> Result<Graph, PartitionError> {
+        let old_n = self.vertex_count();
+        assert!(new_n >= old_n, "grown() cannot shrink ({new_n} < {old_n})");
+        assert_eq!(
+            added_vwgt.len(),
+            (new_n - old_n) * self.dims,
+            "added vertex-weight table must hold (new_n - old_n) * dims entries"
+        );
+        for e in delta.iter_mut() {
+            if e.0 == e.1 {
+                return Err(PartitionError::SelfLoop {
+                    vertex: e.0 as usize,
+                });
+            }
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+            if e.1 as usize >= new_n {
+                return Err(PartitionError::VertexOutOfRange {
+                    vertex: e.1 as usize,
+                    count: new_n,
+                });
+            }
+            if (e.1 as usize) < old_n {
+                return Err(PartitionError::InvalidDeltaEdge {
+                    u: e.0 as usize,
+                    v: e.1 as usize,
+                });
+            }
+        }
+        merge_sorted_edges(delta);
+
+        // Pass 1: degrees = old degree (0 for added vertices) + delta.
+        let mut degree = vec![0usize; new_n];
+        for (v, d) in degree.iter_mut().enumerate().take(old_n) {
+            *d = self.degree(v);
+        }
+        for &(u, v, _) in delta.iter() {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(new_n + 1);
+        let mut running = 0;
+        xadj.push(running);
+        for d in &degree {
+            running += d;
+            xadj.push(running);
+        }
+        let mut adjncy = vec![0; running];
+        let mut adjwgt = vec![0; running];
+
+        // Pass 2: copy old rows verbatim (all old neighbors are < old_n and
+        // every delta neighbor is >= old_n, so append order stays sorted),
+        // then cursor-fill the delta in (min, max) order exactly like
+        // `from_edges`.
+        let mut cursor = vec![0usize; new_n];
+        for v in 0..old_n {
+            let src = self.xadj[v]..self.xadj[v + 1];
+            let dst = xadj[v]..xadj[v] + src.len();
+            adjncy[dst.clone()].copy_from_slice(&self.adjncy[src.clone()]);
+            adjwgt[dst.clone()].copy_from_slice(&self.adjwgt[src]);
+            cursor[v] = dst.end;
+        }
+        cursor[old_n..new_n].copy_from_slice(&xadj[old_n..new_n]);
+        for &(u, v, w) in delta.iter() {
+            let (u, v) = (u as usize, v as usize);
+            adjncy[cursor[u]] = v;
+            adjwgt[cursor[u]] = w;
+            cursor[u] += 1;
+            adjncy[cursor[v]] = u;
+            adjwgt[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+
+        let mut vwgt = Vec::with_capacity(new_n * self.dims);
+        vwgt.extend_from_slice(&self.vwgt);
+        vwgt.extend_from_slice(added_vwgt);
+        Ok(Graph::from_csr(xadj, adjncy, adjwgt, vwgt, self.dims))
+    }
+}
+
+/// Normalized-edge sort + in-place parallel-edge merge shared by
+/// [`Graph::from_edges`] and [`Graph::grown`]: sort by `(min, max)` (the
+/// `BTreeMap` key order of [`GraphBuilder`]), sum duplicate pairs with exact
+/// integer addition, drop pairs whose merged weight is zero.
+fn merge_sorted_edges(edges: &mut Vec<(u32, u32, EdgeWeight)>) {
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    let mut kept = 0usize;
+    for i in 0..edges.len() {
+        if kept > 0 && edges[kept - 1].0 == edges[i].0 && edges[kept - 1].1 == edges[i].1 {
+            edges[kept - 1].2 += edges[i].2;
+        } else {
+            edges[kept] = edges[i];
+            kept += 1;
+        }
+    }
+    edges.truncate(kept);
+    edges.retain(|&(_, _, w)| w != 0);
 }
 
 /// Incremental builder for [`Graph`].
@@ -713,5 +934,172 @@ mod tests {
     fn display_formats() {
         let w = VertexWeight::new([1.0, 2.5]);
         assert_eq!(format!("{w}"), "⟨1.000, 2.500⟩");
+    }
+
+    /// A deterministic LCG edge soup with duplicates, both orientations and
+    /// zero-sum pairs — the adversarial input for builder equivalence.
+    fn lcg_edges(n: usize, count: usize, seed: u64) -> Vec<(u32, u32, EdgeWeight)> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut edges = Vec::new();
+        for _ in 0..count {
+            let u = (next() as usize % n) as u32;
+            let v = (next() as usize % n) as u32;
+            if u == v {
+                continue;
+            }
+            let w = (next() % 21) as i64 - 10;
+            edges.push((u, v, w));
+        }
+        edges
+    }
+
+    fn lcg_vwgt(n: usize, dims: usize) -> Vec<f64> {
+        (0..n * dims)
+            .map(|i| 0.25 + ((i * 37 + 11) % 101) as f64 / 101.0)
+            .collect()
+    }
+
+    #[test]
+    fn from_edges_matches_graph_builder_bit_for_bit() {
+        for seed in [1u64, 7, 42, 9001] {
+            let n = 64;
+            let edges = lcg_edges(n, 400, seed);
+            let vwgt = lcg_vwgt(n, 3);
+
+            let mut b = GraphBuilder::new(3);
+            for v in 0..n {
+                b.add_vertex(VertexWeight::new(vwgt[v * 3..v * 3 + 3].to_vec()));
+            }
+            for &(u, v, w) in &edges {
+                b.add_edge(u as usize, v as usize, w);
+            }
+            let reference = b.build().unwrap();
+
+            let mut scratch = edges.clone();
+            let g = Graph::from_edges(n, 3, vwgt, &mut scratch).unwrap();
+            assert_eq!(g.xadj(), reference.xadj(), "seed {seed}");
+            assert_eq!(g.adjncy(), reference.adjncy(), "seed {seed}");
+            assert_eq!(g.adjwgt(), reference.adjwgt(), "seed {seed}");
+            assert_eq!(g.vwgt_flat(), reference.vwgt_flat(), "seed {seed}");
+            let tb: Vec<u64> = reference
+                .total_vertex_weight_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let tg: Vec<u64> = g
+                .total_vertex_weight_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(tg, tb, "seed {seed}: totals must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_edges() {
+        assert!(matches!(
+            Graph::from_edges(2, 1, vec![1.0, 1.0], &mut vec![(1, 1, 5)]),
+            Err(PartitionError::SelfLoop { vertex: 1 })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, 1, vec![1.0, 1.0], &mut vec![(0, 9, 5)]),
+            Err(PartitionError::VertexOutOfRange {
+                vertex: 9,
+                count: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn refresh_vertex_weights_rewrites_in_place() {
+        let mut g = triangle();
+        g.refresh_vertex_weights(|v, row| {
+            for x in row.iter_mut() {
+                *x = (v + 10) as f64;
+            }
+        });
+        assert_eq!(g.vertex_weight(0).0, vec![10.0]);
+        assert_eq!(g.vertex_weight(2).0, vec![12.0]);
+        assert_eq!(g.total_vertex_weight().0, vec![33.0]);
+        // Structure untouched.
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn refresh_totals_match_fresh_build_bits() {
+        let n = 48;
+        let edges = lcg_edges(n, 200, 3);
+        let old_vwgt = lcg_vwgt(n, 3);
+        let new_vwgt = lcg_vwgt(n + 5, 3)[..n * 3].to_vec();
+
+        let mut warm = Graph::from_edges(n, 3, old_vwgt, &mut edges.clone()).unwrap();
+        warm.refresh_vertex_weights(|v, row| {
+            row.copy_from_slice(&new_vwgt[v * 3..v * 3 + 3]);
+        });
+        let fresh = Graph::from_edges(n, 3, new_vwgt, &mut edges.clone()).unwrap();
+        assert_eq!(warm.vwgt_flat(), fresh.vwgt_flat());
+        let a: Vec<u64> = warm
+            .total_vertex_weight_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let b: Vec<u64> = fresh
+            .total_vertex_weight_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grown_matches_full_rebuild_bit_for_bit() {
+        for seed in [2u64, 13, 77] {
+            let old_n = 40;
+            let new_n = 56;
+            let vwgt = lcg_vwgt(new_n, 3);
+            // Old edges live entirely below old_n; delta edges each touch a
+            // vertex >= old_n (duplicates included to exercise merging).
+            let old_edges = lcg_edges(old_n, 220, seed);
+            let delta: Vec<(u32, u32, EdgeWeight)> = lcg_edges(new_n, 300, seed ^ 0xBEEF)
+                .into_iter()
+                .filter(|&(u, v, _)| (u.max(v) as usize) >= old_n)
+                .collect();
+
+            let old =
+                Graph::from_edges(old_n, 3, vwgt[..old_n * 3].to_vec(), &mut old_edges.clone())
+                    .unwrap();
+            let g = old
+                .grown(new_n, &vwgt[old_n * 3..], &mut delta.clone())
+                .unwrap();
+
+            let mut all = old_edges.clone();
+            all.extend_from_slice(&delta);
+            let full = Graph::from_edges(new_n, 3, vwgt.clone(), &mut all).unwrap();
+            assert_eq!(g.xadj(), full.xadj(), "seed {seed}");
+            assert_eq!(g.adjncy(), full.adjncy(), "seed {seed}");
+            assert_eq!(g.adjwgt(), full.adjwgt(), "seed {seed}");
+            assert_eq!(g.vwgt_flat(), full.vwgt_flat(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grown_rejects_stale_delta_edges() {
+        let old = Graph::from_edges(3, 1, vec![1.0; 3], &mut vec![(0, 1, 2)]).unwrap();
+        let err = old.grown(5, &[1.0, 1.0], &mut vec![(0, 2, 3)]).unwrap_err();
+        assert!(matches!(
+            err,
+            PartitionError::InvalidDeltaEdge { u: 0, v: 2 }
+        ));
+        // Growing by zero vertices with no delta is the identity.
+        let same = old.grown(3, &[], &mut Vec::new()).unwrap();
+        assert_eq!(same.xadj(), old.xadj());
+        assert_eq!(same.adjncy(), old.adjncy());
+        assert_eq!(same.adjwgt(), old.adjwgt());
     }
 }

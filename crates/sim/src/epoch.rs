@@ -9,7 +9,7 @@ use goldilocks_placement::{Borg, EPvm, Mpp, PlaceError, Placement, Placer, RcInf
 use goldilocks_power::ServerPowerModel;
 use goldilocks_topology::DcTree;
 use goldilocks_workload::traces::Trace;
-use goldilocks_workload::Workload;
+use goldilocks_workload::{CorrelatedLoadStream, Workload, WorkloadArena};
 
 use crate::energy::{meter_with_utils, PowerConfig};
 use crate::latency::LatencyModel;
@@ -208,6 +208,10 @@ pub struct Scenario {
     /// Per-container load multiplier traces (correlated bursts); applied on
     /// top of `load_factor` when present.
     pub per_container_load: Option<Vec<Trace>>,
+    /// Streaming per-container multipliers (counter-mode, O(1) memory) —
+    /// the hyperscale replacement for materialized `per_container_load`
+    /// tables; applied after them and before `load_factor`.
+    pub per_container_stream: Option<CorrelatedLoadStream>,
     /// Restrict TCT measurement to flows touching containers of this app
     /// prefix (e.g. `"memcached"` for Twitter queries); `None` = all flows.
     pub tct_app_prefix: Option<String>,
@@ -270,11 +274,12 @@ pub struct PolicyRun {
     pub records: Vec<EpochRecord>,
 }
 
-/// Builds the epoch's live workload: prefix, per-container multipliers, then
-/// the global load factor.
-pub fn epoch_workload(scenario: &Scenario, epoch: usize) -> Workload {
+/// Applies the epoch's load shape to an already-materialized prefix:
+/// per-container trace multipliers, streamed multipliers, then the global
+/// load factor. Shared by [`epoch_workload`] and [`epoch_workload_into`] so
+/// the arena path is value-identical to the allocating one.
+fn apply_epoch_shape(scenario: &Scenario, epoch: usize, w: &mut Workload) {
     let spec = &scenario.epochs[epoch];
-    let mut w = scenario.base.prefix(spec.container_count);
     if let Some(mults) = &scenario.per_container_load {
         for c in &mut w.containers {
             if let Some(t) = mults.get(c.id.0) {
@@ -285,7 +290,31 @@ pub fn epoch_workload(scenario: &Scenario, epoch: usize) -> Workload {
             }
         }
     }
+    if let Some(stream) = &scenario.per_container_stream {
+        stream.apply(epoch, w);
+    }
     w.scale_load(spec.load_factor);
+}
+
+/// Builds the epoch's live workload: prefix, per-container multipliers, then
+/// the global load factor.
+pub fn epoch_workload(scenario: &Scenario, epoch: usize) -> Workload {
+    let mut w = scenario.base.prefix(scenario.epochs[epoch].container_count);
+    apply_epoch_shape(scenario, epoch, &mut w);
+    w
+}
+
+/// The arena form of [`epoch_workload`]: materializes the epoch's workload
+/// into `arena`'s reused tables instead of allocating fresh ones. The result
+/// is value-identical to `epoch_workload(scenario, epoch)`; steady-state
+/// epochs (unchanged container count) refill without heap allocation.
+pub fn epoch_workload_into<'a>(
+    scenario: &Scenario,
+    epoch: usize,
+    arena: &'a mut WorkloadArena,
+) -> &'a Workload {
+    let w = arena.set_prefix(&scenario.base, scenario.epochs[epoch].container_count);
+    apply_epoch_shape(scenario, epoch, w);
     w
 }
 
@@ -404,9 +433,13 @@ pub fn run_policy_with(
     // `boot_power_frac` of peak; policies that flap their active set pay
     // for it.
     let mut gate = goldilocks_cluster::PowerGate::all_on(scenario.tree.server_count());
+    // Epoch workloads materialize into one reused arena: steady-state
+    // epochs refill it without allocating, and the stateful Goldilocks
+    // graph caches see byte-identical inputs to the allocating path.
+    let mut arena = WorkloadArena::new();
     for e in 0..scenario.epochs.len() {
-        let w = epoch_workload(scenario, e);
-        let (placement, fallback) = match placer.place(&w, &scenario.tree) {
+        let w = epoch_workload_into(scenario, e, &mut arena);
+        let (placement, fallback) = match placer.place(w, &scenario.tree) {
             Ok(p) => (p, false),
             Err(_) => {
                 // Progressive relaxation: a Goldilocks burst epoch first
@@ -415,12 +448,12 @@ pub fn run_policy_with(
                 // approaches the baseline, not that it explodes past it.
                 let mut mild =
                     policy.build_mildly_relaxed(&scenario.power.server, reservations.clone());
-                match mild.place(&w, &scenario.tree) {
+                match mild.place(w, &scenario.tree) {
                     Ok(p) => (p, true),
                     Err(_) => {
                         let mut relaxed =
                             policy.build_relaxed(&scenario.power.server, reservations.clone());
-                        (relaxed.place(&w, &scenario.tree)?, true)
+                        (relaxed.place(w, &scenario.tree)?, true)
                     }
                 }
             }
@@ -445,13 +478,13 @@ pub fn run_policy_with(
             })
             .sum();
 
-        let metrics = meter_epoch(scenario, &w, &placement, &scenario.tree, parallel, &mut ws);
+        let metrics = meter_epoch(scenario, w, &placement, &scenario.tree, parallel, &mut ws);
         let (sample, tct) = (metrics.sample, metrics.tct_ms);
 
         let (migrations, freeze) = match &prev {
             Some(old) => {
                 let plan = migration_plan(old, &placement);
-                let cost = scenario.migration.plan_cost(&plan, &w);
+                let cost = scenario.migration.plan_cost(&plan, w);
                 (cost.count, cost.total_freeze_s)
             }
             None => (0, 0.0),
@@ -578,6 +611,27 @@ mod tests {
         assert_eq!(w.len(), 20);
         let full = s.base.prefix(20);
         assert!(w.total_demand().cpu < full.total_demand().cpu);
+    }
+
+    #[test]
+    fn epoch_workload_into_matches_reference() {
+        // The arena path must be bit-identical to the allocating path under
+        // every shaping feature: prefix churn (azure), per-container trace
+        // tables (azure), and streamed multipliers (hyperscale).
+        let scenarios = vec![
+            wiki_testbed(6, 40, 1),
+            crate::scenarios::azure_testbed_sized(8, 30, 44, 2),
+            crate::scenarios::hyperscale(4, 6, 3),
+        ];
+        for s in &scenarios {
+            let mut arena = WorkloadArena::new();
+            for e in 0..s.epochs.len() {
+                let want = epoch_workload(s, e);
+                let got = epoch_workload_into(s, e, &mut arena);
+                assert_eq!(got.containers, want.containers, "{} epoch {e}", s.name);
+                assert_eq!(got.flows, want.flows, "{} epoch {e}", s.name);
+            }
+        }
     }
 
     #[test]

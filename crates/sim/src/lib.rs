@@ -52,8 +52,8 @@ pub mod summary;
 pub use chaos::{run_chaos, ChaosRun, FaultPlan, FaultPlanConfig, FaultSchedule};
 pub use energy::{meter, meter_with_utils, PowerConfig, PowerSample};
 pub use epoch::{
-    epoch_workload, run_lineup, run_lineup_with, run_policies_with, run_policy, run_policy_with,
-    EpochRecord, EpochSpec, Policy, PolicyRun, Scenario,
+    epoch_workload, epoch_workload_into, run_lineup, run_lineup_with, run_policies_with,
+    run_policy, run_policy_with, EpochRecord, EpochSpec, Policy, PolicyRun, Scenario,
 };
 pub use goldilocks_partition::ParallelConfig;
 pub use latency::{flow_tcts_ms, link_loads, mean_tct_ms, tct_percentile_ms, LatencyModel};

@@ -13,7 +13,7 @@ use goldilocks_topology::{builders, Resources};
 use goldilocks_workload::generators::{azure_mix, twitter_caching};
 use goldilocks_workload::mstrace::{search_trace, SearchTraceConfig};
 use goldilocks_workload::traces::{azure_container_counts, correlated_loads, wikipedia_rps};
-use goldilocks_workload::Workload;
+use goldilocks_workload::{CorrelatedLoadStream, Workload};
 
 use crate::energy::PowerConfig;
 use crate::epoch::{EpochSpec, Scenario};
@@ -85,6 +85,7 @@ pub fn wiki_testbed(epochs: usize, containers: usize, seed: u64) -> Scenario {
         latency: LatencyModel::default(),
         migration: MigrationModel::default(),
         per_container_load: None,
+        per_container_stream: None,
         tct_app_prefix: Some("memcached".into()),
         reservation_factor: 1.0,
     }
@@ -167,6 +168,7 @@ pub fn azure_testbed_sized(
         latency: LatencyModel::default(),
         migration: MigrationModel::default(),
         per_container_load: Some(mults),
+        per_container_stream: None,
         tct_app_prefix: Some("memcached".into()),
         // Azure tenants over-reserve: Resource Central reports large gaps
         // between reserved and used cores, the premise of its bucket sizing.
@@ -222,9 +224,32 @@ pub fn largescale(k: usize, epochs: usize, seed: u64) -> Scenario {
         latency: LatencyModel::default(),
         migration: MigrationModel::default(),
         per_container_load: None,
+        per_container_stream: None,
         tct_app_prefix: Some("search".into()),
         reservation_factor: 1.3,
     }
+}
+
+/// The pinned hyperscale scenario: [`largescale`] an order of magnitude past
+/// the paper (`hyperscale(48, epochs, seed)` = k=48 fat tree, 27 648 servers,
+/// 248 832 containers) with *streamed* per-container correlated bursts in
+/// place of a materialized trace table — the `vms × epochs` multiplier
+/// matrix would be the dominant allocation at this scale, and the
+/// counter-mode stream generates any epoch column on demand in O(1) memory.
+///
+/// The burst amplitude (±12 %) is sized so the diurnal peak (60 % calibrated
+/// utilization) stays under the Goldilocks 70 % PEE cap: hyperscale epochs
+/// exercise the warm path, not the fallback ladder.
+pub fn hyperscale(k: usize, epochs: usize, seed: u64) -> Scenario {
+    let mut s = largescale(k, epochs, seed);
+    s.name = format!("hyperscale-k{k}");
+    s.per_container_stream = Some(CorrelatedLoadStream::new(
+        s.base.len(),
+        0.7,
+        0.12,
+        seed ^ 0xB16_5CA1E,
+    ));
+    s
 }
 
 #[cfg(test)]
@@ -318,6 +343,32 @@ mod tests {
             let w = epoch_workload(&s, e);
             let u = w.total_demand().cpu / total_cpu;
             assert!(u <= 0.62, "epoch {e} util {u}");
+        }
+    }
+
+    #[test]
+    fn hyperscale_streams_instead_of_materializing() {
+        let s = hyperscale(8, 6, 6);
+        assert!(s.per_container_load.is_none());
+        let stream = s.per_container_stream.as_ref().expect("stream");
+        assert_eq!(stream.vms, s.base.len());
+        assert_eq!(s.name, "hyperscale-k8");
+        // Same topology arithmetic as largescale at the same k.
+        assert_eq!(s.tree.server_count(), 128);
+        assert_eq!(s.base.len(), 128 * 9);
+    }
+
+    #[test]
+    fn hyperscale_peak_stays_under_pee_cap() {
+        // Diurnal peak (calibrated to 60 %) times the +12 % burst ceiling
+        // must stay below the 70 % Goldilocks PEE target: hyperscale runs
+        // exercise the warm path, not the fallback ladder.
+        let s = hyperscale(8, 8, 3);
+        let total_cpu = s.tree.server_count() as f64 * 4800.0;
+        for e in 0..s.epochs.len() {
+            let w = epoch_workload(&s, e);
+            let u = w.total_demand().cpu / total_cpu;
+            assert!(u < 0.70, "epoch {e} util {u} would trip the PEE cap");
         }
     }
 }

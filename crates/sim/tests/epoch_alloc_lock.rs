@@ -1,0 +1,112 @@
+//! Allocation-regression lock for the warm epoch loop.
+//!
+//! A counting global allocator (same pattern as
+//! `partition/tests/alloc_lock.rs`) measures the steady-state epoch path:
+//! once the arena and the container-graph cache are warm, materializing an
+//! epoch's workload (`epoch_workload_into`) and rebuilding its container
+//! graph (`ContainerGraphCache::build`, weight-refresh path) must perform
+//! ZERO heap allocations — the whole point of the arena/SoA refactor. Any
+//! per-epoch scratch allocation creeping back into these paths trips the
+//! lock exactly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use goldilocks_sim::epoch_workload_into;
+use goldilocks_sim::scenarios::{hyperscale, wiki_testbed};
+use goldilocks_workload::{ContainerGraphCache, WorkloadArena};
+
+/// Counts allocation events (alloc + realloc); delegates to the system
+/// allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_epoch_path_is_allocation_free() {
+    // Constant container count + load-only variation = the steady state the
+    // warm path is built for. Wiki uses no per-container shaping; the
+    // hyperscale scenario adds the counter-mode stream (which must also be
+    // allocation-free by construction).
+    let scenarios = vec![wiki_testbed(8, 64, 1), hyperscale(4, 8, 2)];
+    for scenario in &scenarios {
+        let mut arena = WorkloadArena::new();
+        let mut cache = ContainerGraphCache::new();
+
+        // Warm: first epoch allocates the arena tables and the full graph
+        // build; the second proves out the refill/refresh paths' buffers.
+        for e in 0..2 {
+            let w = epoch_workload_into(scenario, e, &mut arena);
+            cache.build(w, 1000).expect("graph build");
+        }
+
+        let before = alloc_count();
+        for e in 2..scenario.epochs.len() {
+            let w = epoch_workload_into(scenario, e, &mut arena);
+            cache.build(w, 1000).expect("graph build");
+        }
+        let warm_allocs = alloc_count() - before;
+
+        assert_eq!(
+            warm_allocs, 0,
+            "{}: warm epochs allocated {warm_allocs} times; the arena refill \
+             or the graph-cache refresh path regressed",
+            scenario.name
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.full_rebuilds, 1, "{}", scenario.name);
+        assert_eq!(
+            stats.weight_refreshes as usize,
+            scenario.epochs.len() - 1,
+            "{}: every warm epoch must take the weight-refresh path",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn warm_arena_beats_allocating_path() {
+    let scenario = wiki_testbed(6, 64, 3);
+    let mut arena = WorkloadArena::new();
+    for e in 0..2 {
+        epoch_workload_into(&scenario, e, &mut arena);
+    }
+
+    let before = alloc_count();
+    epoch_workload_into(&scenario, 3, &mut arena);
+    let warm = alloc_count() - before;
+
+    let before = alloc_count();
+    let fresh_w = goldilocks_sim::epoch_workload(&scenario, 3);
+    let fresh = alloc_count() - before;
+
+    assert_eq!(warm, 0, "warm arena refill must not allocate");
+    assert!(
+        fresh > 0,
+        "sanity: the allocating path allocates (got {fresh})"
+    );
+    drop(fresh_w);
+}

@@ -346,6 +346,7 @@ fn fixed_scenario() -> Scenario {
         latency: LatencyModel::default(),
         migration: MigrationModel::default(),
         per_container_load: None,
+        per_container_stream: None,
         tct_app_prefix: None,
         reservation_factor: 1.0,
     }

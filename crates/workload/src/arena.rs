@@ -1,0 +1,201 @@
+//! Reusable epoch-workload arena.
+//!
+//! The epoch driver materializes a shaped [`Workload`] every epoch: a prefix
+//! of the base workload (container count varies with the trace), then
+//! per-container load multipliers and a global load factor. Doing that with
+//! [`Workload::prefix`] allocates fresh container and flow tables each epoch
+//! — at paper scale (49k containers, ~1M flows) that dominates the warm
+//! loop. [`WorkloadArena`] keeps one `Workload` alive and rewrites it in
+//! place: when the base and prefix length are unchanged epoch over epoch,
+//! refilling is allocation-free (demands and flows are overwritten from the
+//! base; `String` capacity is reused via `clone_from`).
+//!
+//! The refilled workload is always value-identical to `base.prefix(n)`, so
+//! downstream consumers (graph builds, metering) see byte-identical inputs
+//! regardless of whether the warm or cold path ran.
+
+use crate::{workload::Flow, Workload};
+
+/// An arena that materializes `base.prefix(n)` into a reused buffer.
+///
+/// Epoch drivers call [`set_prefix`] once per epoch and then shape the
+/// returned workload freely (scale demands, multiply flow volumes): every
+/// field of the first `n` containers and of the surviving flows is
+/// overwritten from the base on the next call, so per-epoch mutation never
+/// leaks into the next epoch.
+///
+/// [`set_prefix`]: WorkloadArena::set_prefix
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadArena {
+    work: Workload,
+    /// For each arena flow, the index of its source flow in the base
+    /// workload — valid only for (`base_len`, `base_flows`, `prev_n`).
+    flow_src: Vec<u32>,
+    /// Identity guard: container/flow counts of the base the arena was last
+    /// filled from. A different base invalidates `flow_src`.
+    base_len: usize,
+    base_flows: usize,
+    prev_n: usize,
+}
+
+impl WorkloadArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        WorkloadArena::default()
+    }
+
+    /// Rewrites the arena to `base.prefix(n)` and returns it for shaping.
+    ///
+    /// Warm path (same base, same `n`, no structural edits by the caller):
+    /// zero allocations — containers and flows are overwritten in place.
+    /// Cold path (first call, `n` changed, or base changed): the flow table
+    /// is refiltered, reusing existing capacity where possible.
+    pub fn set_prefix(&mut self, base: &Workload, n: usize) -> &mut Workload {
+        let n = n.min(base.containers.len());
+        let same_base =
+            self.base_len == base.containers.len() && self.base_flows == base.flows.len();
+        let warm = same_base
+            && self.prev_n == n
+            && self.work.flows.len() == self.flow_src.len()
+            && self.work.containers.len() >= n;
+        self.base_len = base.containers.len();
+        self.base_flows = base.flows.len();
+        self.prev_n = n;
+
+        // Containers: overwrite the first n in place (String capacity is
+        // reused by clone_from), then trim or extend to exactly n.
+        self.work.containers.truncate(n);
+        for (c, b) in self.work.containers.iter_mut().zip(&base.containers[..n]) {
+            c.id = b.id;
+            c.app.clone_from(&b.app);
+            c.demand = b.demand;
+            c.replica_set = b.replica_set;
+        }
+        let have = self.work.containers.len();
+        if have < n {
+            self.work
+                .containers
+                .extend_from_slice(&base.containers[have..n]);
+        }
+
+        if warm {
+            // Same filtered flow set as last epoch: overwrite by source index.
+            for (f, &src) in self.work.flows.iter_mut().zip(&self.flow_src) {
+                *f = base.flows[src as usize];
+            }
+        } else {
+            self.work.flows.clear();
+            self.flow_src.clear();
+            for (i, f) in base.flows.iter().enumerate() {
+                if f.a.0 < n && f.b.0 < n {
+                    self.work.flows.push(*f);
+                    self.flow_src.push(i as u32);
+                }
+            }
+        }
+        &mut self.work
+    }
+
+    /// The current arena contents (as left by the last [`set_prefix`] plus
+    /// any caller shaping).
+    ///
+    /// [`set_prefix`]: WorkloadArena::set_prefix
+    pub fn workload(&self) -> &Workload {
+        &self.work
+    }
+
+    /// Flows of the current arena contents.
+    pub fn flows(&self) -> &[Flow] {
+        &self.work.flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContainerId;
+    use goldilocks_topology::Resources;
+
+    fn base(n: usize) -> Workload {
+        let mut w = Workload::new();
+        for i in 0..n {
+            w.add_container(
+                format!("app{}", i % 3),
+                Resources::new(10.0 + i as f64, 4.0, 25.0),
+                if i % 4 == 0 { Some(i / 4) } else { None },
+            );
+        }
+        for i in 0..n.saturating_sub(1) {
+            w.add_flow(ContainerId(i), ContainerId(i + 1), 5 + i as i64, 1.5);
+            if i + 3 < n {
+                w.add_flow(ContainerId(i), ContainerId(i + 3), 2, 0.5);
+            }
+        }
+        w
+    }
+
+    fn assert_same(a: &Workload, b: &Workload) {
+        assert_eq!(a.containers, b.containers);
+        assert_eq!(a.flows, b.flows);
+    }
+
+    #[test]
+    fn matches_prefix_cold_and_warm() {
+        let b = base(20);
+        let mut arena = WorkloadArena::new();
+        for &n in &[20usize, 20, 12, 12, 17, 0, 20] {
+            let got = arena.set_prefix(&b, n);
+            assert_same(got, &b.prefix(n));
+        }
+    }
+
+    #[test]
+    fn caller_mutation_does_not_leak_across_epochs() {
+        let b = base(10);
+        let mut arena = WorkloadArena::new();
+        {
+            let w = arena.set_prefix(&b, 10);
+            w.scale_load(7.0);
+            for f in &mut w.flows {
+                f.mbps *= 3.0;
+            }
+        }
+        // Next epoch: warm refill restores the unscaled base values.
+        let w = arena.set_prefix(&b, 10);
+        assert_same(w, &b.prefix(10));
+    }
+
+    #[test]
+    fn structural_edits_fall_back_to_cold_refill() {
+        let b = base(10);
+        let mut arena = WorkloadArena::new();
+        {
+            let w = arena.set_prefix(&b, 10);
+            // Caller grows the tables; the warm-path guard must notice.
+            w.add_flow(ContainerId(0), ContainerId(9), 99, 9.9);
+            w.add_container("extra", Resources::new(1.0, 1.0, 1.0), None);
+        }
+        let w = arena.set_prefix(&b, 10);
+        assert_same(w, &b.prefix(10));
+    }
+
+    #[test]
+    fn base_swap_invalidates_flow_map() {
+        let b1 = base(10);
+        let mut b2 = base(10);
+        b2.flows.retain(|f| f.flow_count % 2 == 0);
+        let mut arena = WorkloadArena::new();
+        arena.set_prefix(&b1, 10);
+        let got = arena.set_prefix(&b2, 10);
+        assert_same(got, &b2.prefix(10));
+    }
+
+    #[test]
+    fn prefix_larger_than_base_clamps() {
+        let b = base(5);
+        let mut arena = WorkloadArena::new();
+        let got = arena.set_prefix(&b, 50);
+        assert_same(got, &b.prefix(50));
+        assert_eq!(got.len(), 5);
+    }
+}

@@ -1,0 +1,498 @@
+//! Incremental container-graph builds.
+//!
+//! [`Workload::container_graph`] rebuilds the CSR graph from scratch:
+//! collect every edge, sort, merge, fill rows. The epoch driver calls it
+//! once per epoch even though inter-epoch churn is small — in steady state
+//! the flow topology does not change at all (edge weights are flow *counts*,
+//! which load scaling never touches; only vertex weights move with demand).
+//!
+//! [`ContainerGraphCache`] exploits that. Per epoch it classifies the new
+//! workload against an exact snapshot of the previous one and picks the
+//! cheapest sound path:
+//!
+//! - **weight refresh** — same containers, same flows, same replica sets:
+//!   rewrite vertex weights in place ([`Graph::refresh_vertex_weights`]),
+//!   zero allocations;
+//! - **delta shrink** — the workload is a shorter prefix (departures at the
+//!   tail): extract the surviving prefix with [`Graph::subgraph_in`];
+//! - **delta grow** — the workload extends the previous one (arrivals at the
+//!   tail): append the delta edge list with [`Graph::grown`], unless churn
+//!   exceeds [`churn_threshold`], in which case fall back to a full rebuild;
+//! - **full rebuild** — anything else (or a cold cache).
+//!
+//! Every path is *byte-identical* to `container_graph`: classification is by
+//! exact comparison against the stored snapshot (never hashing), and the
+//! delta primitives in `goldilocks-partition` preserve the builder's
+//! sort-merge normalization bit for bit. The equivalence is locked by a
+//! proptest over random churn streams (`tests/graph_cache_props.rs`).
+//!
+//! [`churn_threshold`]: ContainerGraphCache::with_churn_threshold
+
+use std::collections::BTreeMap;
+
+use goldilocks_partition::{EdgeWeight, Graph, PartitionError, PartitionWorkspace, VertexId};
+
+use crate::Workload;
+
+/// Per-path build counters of a [`ContainerGraphCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphCacheStats {
+    /// Builds that ran the full sort-merge path (cold cache or mismatch).
+    pub full_rebuilds: u64,
+    /// Builds satisfied by an in-place vertex-weight rewrite (zero alloc).
+    pub weight_refreshes: u64,
+    /// Builds satisfied by a prefix subgraph extraction.
+    pub delta_shrinks: u64,
+    /// Builds satisfied by appending a delta edge list.
+    pub delta_grows: u64,
+    /// Grow candidates that exceeded the churn threshold and were rebuilt
+    /// from scratch instead.
+    pub churn_fallbacks: u64,
+}
+
+/// Which build path [`ContainerGraphCache::build`] selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Plan {
+    Refresh,
+    Shrink,
+    Grow,
+    Full,
+}
+
+/// An epoch-reusable cache around [`Workload::container_graph`].
+///
+/// `build` returns a graph byte-identical (same `xadj`/`adjncy`/`adjwgt`
+/// slices, same vertex-weight bits) to what a fresh `container_graph` call
+/// would produce, while reusing the cached CSR across epochs whenever the
+/// workload delta allows. See the module docs for the path taxonomy.
+#[derive(Clone, Debug)]
+pub struct ContainerGraphCache {
+    graph: Option<Graph>,
+    /// Anti-affinity weight the cached graph was built with.
+    aa: i64,
+    /// Container count of the cached graph.
+    n: usize,
+    /// Flow snapshot in workload order: (a, b, flow_count). `mbps` is
+    /// irrelevant to the graph and deliberately excluded.
+    flows: Vec<(u32, u32, i64)>,
+    /// Replica-set label per container (-1 = none).
+    replica: Vec<i64>,
+    /// Edge-list scratch for delta and full builds.
+    edges: Vec<(u32, u32, EdgeWeight)>,
+    /// Vertex-weight scratch.
+    vwgt: Vec<f64>,
+    /// Subset scratch for shrink extraction.
+    subset: Vec<VertexId>,
+    ws: PartitionWorkspace,
+    churn_threshold: f64,
+    stats: GraphCacheStats,
+}
+
+impl Default for ContainerGraphCache {
+    fn default() -> Self {
+        ContainerGraphCache::new()
+    }
+}
+
+impl ContainerGraphCache {
+    /// Default fraction of new containers/flows past which a grow candidate
+    /// falls back to a full rebuild (appending a huge delta would do the
+    /// sort-merge work twice without the reuse payoff).
+    pub const DEFAULT_CHURN_THRESHOLD: f64 = 0.25;
+
+    /// A cold cache with the default churn threshold.
+    pub fn new() -> Self {
+        ContainerGraphCache {
+            graph: None,
+            aa: 0,
+            n: 0,
+            flows: Vec::new(),
+            replica: Vec::new(),
+            edges: Vec::new(),
+            vwgt: Vec::new(),
+            subset: Vec::new(),
+            ws: PartitionWorkspace::default(),
+            churn_threshold: Self::DEFAULT_CHURN_THRESHOLD,
+            stats: GraphCacheStats::default(),
+        }
+    }
+
+    /// A cold cache with a custom churn-fallback threshold in `[0, 1]`.
+    pub fn with_churn_threshold(churn_threshold: f64) -> Self {
+        ContainerGraphCache {
+            churn_threshold,
+            ..ContainerGraphCache::new()
+        }
+    }
+
+    /// Build-path counters accumulated since construction.
+    pub fn stats(&self) -> GraphCacheStats {
+        self.stats
+    }
+
+    /// Drops the cached graph and snapshot (counters are kept), forcing the
+    /// next [`build`] onto the full path.
+    ///
+    /// [`build`]: ContainerGraphCache::build
+    pub fn invalidate(&mut self) {
+        self.graph = None;
+        self.flows.clear();
+        self.replica.clear();
+        self.n = 0;
+    }
+
+    /// Builds the container graph of `w`, reusing the cached CSR when the
+    /// delta against the previous call allows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same construction errors as
+    /// [`Workload::container_graph`] (cannot happen for workloads assembled
+    /// through `add_container`/`add_flow`).
+    pub fn build(
+        &mut self,
+        w: &Workload,
+        anti_affinity_weight: i64,
+    ) -> Result<&Graph, PartitionError> {
+        let n = w.containers.len();
+        let plan = self.plan(w, anti_affinity_weight);
+        let g = match (plan, self.graph.take()) {
+            (Plan::Refresh, Some(mut g)) => {
+                Self::write_weights(&mut g, w);
+                self.stats.weight_refreshes += 1;
+                g
+            }
+            (Plan::Shrink, Some(old)) => {
+                self.subset.clear();
+                self.subset.extend(0..n);
+                let mut g = old.subgraph_in(&self.subset, &mut self.ws);
+                Self::write_weights(&mut g, w);
+                self.stats.delta_shrinks += 1;
+                self.snapshot(w);
+                g
+            }
+            (Plan::Grow, Some(old)) => {
+                let prev_n = self.n;
+                self.collect_delta_edges(w, anti_affinity_weight, prev_n);
+                self.vwgt.clear();
+                for c in &w.containers[prev_n..] {
+                    self.vwgt.extend_from_slice(&c.demand.as_array());
+                }
+                let mut g = old.grown(n, &self.vwgt, &mut self.edges)?;
+                Self::write_weights(&mut g, w);
+                self.stats.delta_grows += 1;
+                self.snapshot(w);
+                g
+            }
+            // Full rebuild, and the defensive arm for a delta plan whose
+            // cached graph vanished (cannot happen: plan() requires it).
+            (_, _) => {
+                w.collect_graph_edges(anti_affinity_weight, &mut self.edges);
+                self.vwgt.clear();
+                for c in &w.containers {
+                    self.vwgt.extend_from_slice(&c.demand.as_array());
+                }
+                let g = Graph::from_edges(n, 3, std::mem::take(&mut self.vwgt), &mut self.edges)?;
+                self.stats.full_rebuilds += 1;
+                self.snapshot(w);
+                g
+            }
+        };
+        self.aa = anti_affinity_weight;
+        self.n = n;
+        Ok(&*self.graph.insert(g))
+    }
+
+    /// Rewrites every vertex weight of `g` from the current demands.
+    fn write_weights(g: &mut Graph, w: &Workload) {
+        g.refresh_vertex_weights(|v, row| row.copy_from_slice(&w.containers[v].demand.as_array()));
+    }
+
+    /// Records the exact flow/replica snapshot of `w` (buffers reused).
+    fn snapshot(&mut self, w: &Workload) {
+        self.flows.clear();
+        self.flows.extend(
+            w.flows
+                .iter()
+                .map(|f| (f.a.0 as u32, f.b.0 as u32, f.flow_count)),
+        );
+        self.replica.clear();
+        self.replica.extend(
+            w.containers
+                .iter()
+                .map(|c| c.replica_set.map_or(-1i64, |r| r as i64)),
+        );
+    }
+
+    /// Classifies `w` against the snapshot. Only returns a delta plan when
+    /// the corresponding byte-identity precondition holds *exactly*.
+    fn plan(&self, w: &Workload, anti_affinity_weight: i64) -> Plan {
+        let n = w.containers.len();
+        if self.graph.is_none() || anti_affinity_weight != self.aa || n == 0 {
+            return Plan::Full;
+        }
+        let prev_n = self.n;
+        if n == prev_n {
+            if self.flows_equal(w) && self.replica_prefix_equal(w, n) {
+                return Plan::Refresh;
+            }
+            return Plan::Full;
+        }
+        if n < prev_n {
+            // Departures at the tail: current flows must be exactly the
+            // stored flows whose endpoints both survive, in order.
+            if self.stored_filtered_equals(w, n) && self.replica_prefix_equal(w, n) {
+                return Plan::Shrink;
+            }
+            return Plan::Full;
+        }
+        // Arrivals at the tail: stored flows must be exactly the current
+        // flows confined to the old prefix, in order.
+        let Some(delta_flows) = self.current_filtered_matches(w, prev_n) else {
+            return Plan::Full;
+        };
+        if !self.replica_prefix_equal(w, prev_n) {
+            return Plan::Full;
+        }
+        let container_churn = (n - prev_n) as f64 / n as f64;
+        let flow_churn = if w.flows.is_empty() {
+            0.0
+        } else {
+            delta_flows as f64 / w.flows.len() as f64
+        };
+        if container_churn.max(flow_churn) > self.churn_threshold {
+            return Plan::Full;
+        }
+        Plan::Grow
+    }
+
+    /// True when `w.flows` matches the snapshot exactly.
+    fn flows_equal(&self, w: &Workload) -> bool {
+        w.flows.len() == self.flows.len()
+            && w.flows
+                .iter()
+                .zip(&self.flows)
+                .all(|(f, s)| (f.a.0 as u32, f.b.0 as u32, f.flow_count) == *s)
+    }
+
+    /// True when the first `n` replica labels of `w` match the snapshot
+    /// (and, for shrink, no labels beyond `n` are compared).
+    fn replica_prefix_equal(&self, w: &Workload, n: usize) -> bool {
+        self.replica.len() >= n
+            && w.containers[..n]
+                .iter()
+                .zip(&self.replica[..n])
+                .all(|(c, &s)| c.replica_set.map_or(-1i64, |r| r as i64) == s)
+    }
+
+    /// Shrink check: stored flows filtered to endpoints `< n` equal
+    /// `w.flows` in order.
+    fn stored_filtered_equals(&self, w: &Workload, n: usize) -> bool {
+        let n = n as u32;
+        let mut cur = w.flows.iter();
+        for &(a, b, count) in &self.flows {
+            if a >= n || b >= n {
+                continue;
+            }
+            match cur.next() {
+                Some(f) if (f.a.0 as u32, f.b.0 as u32, f.flow_count) == (a, b, count) => {}
+                _ => return false,
+            }
+        }
+        cur.next().is_none()
+    }
+
+    /// Grow check: `w.flows` filtered to endpoints `< prev_n` equal the
+    /// stored flows in order. Returns the number of delta flows (those
+    /// touching a new container) on success.
+    fn current_filtered_matches(&self, w: &Workload, prev_n: usize) -> Option<usize> {
+        let bound = prev_n as u32;
+        let mut stored = self.flows.iter();
+        let mut delta = 0usize;
+        for f in &w.flows {
+            let key = (f.a.0 as u32, f.b.0 as u32, f.flow_count);
+            if key.0 >= bound || key.1 >= bound {
+                delta += 1;
+                continue;
+            }
+            match stored.next() {
+                Some(s) if *s == key => {}
+                _ => return None,
+            }
+        }
+        if stored.next().is_none() {
+            Some(delta)
+        } else {
+            None
+        }
+    }
+
+    /// Collects the grow-delta edge list into `self.edges`: flows touching a
+    /// new container, plus anti-affinity chain links whose second member is
+    /// new. Chain links between two old members already live in the cached
+    /// graph; because container ids ascend, every *new* consecutive pair has
+    /// its second member `>= prev_n`, so this enumeration plus the cached
+    /// rows reproduces the full chain exactly.
+    fn collect_delta_edges(&mut self, w: &Workload, anti_affinity_weight: i64, prev_n: usize) {
+        self.edges.clear();
+        for f in &w.flows {
+            if f.a.0 >= prev_n || f.b.0 >= prev_n {
+                self.edges.push((f.a.0 as u32, f.b.0 as u32, f.flow_count));
+            }
+        }
+        if anti_affinity_weight != 0 {
+            let wgt = -anti_affinity_weight.abs();
+            let mut last_member: BTreeMap<usize, u32> = BTreeMap::new();
+            for c in &w.containers {
+                if let Some(rs) = c.replica_set {
+                    if let Some(prev) = last_member.insert(rs, c.id.0 as u32) {
+                        if c.id.0 >= prev_n {
+                            self.edges.push((prev, c.id.0 as u32, wgt));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContainerId;
+    use goldilocks_topology::Resources;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn make(n: usize, seed: u64) -> Workload {
+        let mut s = seed;
+        let mut w = Workload::new();
+        for i in 0..n {
+            let rs = if lcg(&mut s).is_multiple_of(3) {
+                Some((lcg(&mut s) % 5) as usize)
+            } else {
+                None
+            };
+            w.add_container(
+                format!("a{}", i % 4),
+                Resources::new(
+                    1.0 + (lcg(&mut s) % 100) as f64,
+                    4.0,
+                    (lcg(&mut s) % 50) as f64,
+                ),
+                rs,
+            );
+        }
+        for i in 1..n {
+            let peers = 1 + lcg(&mut s) % 3;
+            for _ in 0..peers {
+                let j = (lcg(&mut s) % i as u64) as usize;
+                w.add_flow(
+                    ContainerId(j),
+                    ContainerId(i),
+                    1 + (lcg(&mut s) % 20) as i64,
+                    1.0,
+                );
+            }
+        }
+        w
+    }
+
+    fn assert_bits(a: &Graph, b: &Graph) {
+        assert_eq!(a.xadj(), b.xadj());
+        assert_eq!(a.adjncy(), b.adjncy());
+        assert_eq!(a.adjwgt(), b.adjwgt());
+        let bits = |g: &Graph| {
+            g.vwgt_flat()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(a), bits(b));
+    }
+
+    #[test]
+    fn refresh_path_on_steady_state() {
+        let base = make(40, 7);
+        let mut cache = ContainerGraphCache::new();
+        for epoch in 0..4 {
+            let mut w = base.clone();
+            w.scale_load(0.5 + 0.3 * epoch as f64);
+            let fresh = w.container_graph(100).unwrap();
+            let cached = cache.build(&w, 100).unwrap();
+            assert_bits(cached, &fresh);
+        }
+        let s = cache.stats();
+        assert_eq!(s.full_rebuilds, 1);
+        assert_eq!(s.weight_refreshes, 3);
+    }
+
+    #[test]
+    fn shrink_and_grow_paths_match_fresh_builds() {
+        let base = make(60, 11);
+        let mut cache = ContainerGraphCache::new();
+        // Warm with the full workload, shrink to 50, grow back to 58.
+        for &n in &[60usize, 50, 58] {
+            let w = base.prefix(n);
+            let fresh = w.container_graph(1000).unwrap();
+            let cached = cache.build(&w, 1000).unwrap();
+            assert_bits(cached, &fresh);
+        }
+        let s = cache.stats();
+        assert_eq!(s.full_rebuilds, 1);
+        assert_eq!(s.delta_shrinks, 1);
+        assert_eq!(s.delta_grows, 1);
+    }
+
+    #[test]
+    fn churn_past_threshold_falls_back() {
+        let base = make(100, 3);
+        let mut cache = ContainerGraphCache::with_churn_threshold(0.1);
+        cache.build(&base.prefix(50), 10).unwrap();
+        // 50 -> 100 doubles the container count: 50% churn > 10%.
+        let w = base.prefix(100);
+        let fresh = w.container_graph(10).unwrap();
+        assert_bits(cache.build(&w, 10).unwrap(), &fresh);
+        let s = cache.stats();
+        assert_eq!(s.full_rebuilds, 2);
+        assert_eq!(s.delta_grows, 0);
+    }
+
+    #[test]
+    fn aa_change_forces_full_rebuild() {
+        let base = make(30, 5);
+        let mut cache = ContainerGraphCache::new();
+        cache.build(&base, 100).unwrap();
+        let fresh = base.container_graph(200).unwrap();
+        assert_bits(cache.build(&base, 200).unwrap(), &fresh);
+        assert_eq!(cache.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn reordered_flows_force_full_rebuild_and_still_match() {
+        let mut w = make(30, 9);
+        let mut cache = ContainerGraphCache::new();
+        cache.build(&w, 100).unwrap();
+        w.flows.reverse();
+        let fresh = w.container_graph(100).unwrap();
+        assert_bits(cache.build(&w, 100).unwrap(), &fresh);
+        assert_eq!(cache.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn invalidate_forces_full_path() {
+        let base = make(25, 13);
+        let mut cache = ContainerGraphCache::new();
+        cache.build(&base, 100).unwrap();
+        cache.invalidate();
+        let fresh = base.container_graph(100).unwrap();
+        assert_bits(cache.build(&base, 100).unwrap(), &fresh);
+        assert_eq!(cache.stats().full_rebuilds, 2);
+        assert_eq!(cache.stats().weight_refreshes, 0);
+    }
+}

@@ -11,7 +11,11 @@
 //! - [`generators`]: the Twitter content-caching and Azure rich-mix testbed
 //!   workloads (Section VI-A).
 //! - [`traces`]: the Wikipedia diurnal RPS pattern, Azure container counts
-//!   and the Pearson-correlated burst model.
+//!   and the Pearson-correlated burst model; [`CorrelatedLoadStream`] is the
+//!   counter-mode streaming form for hyperscale runs.
+//! - [`WorkloadArena`] / [`ContainerGraphCache`]: epoch-reusable tables and
+//!   incremental (byte-identical) container-graph builds for the warm epoch
+//!   loop.
 //! - [`mstrace`]: a synthetic Microsoft search trace matching the published
 //!   statistics (5488 vertices, ~45 connections/VM, heavy-tailed flows).
 //! - [`calibration`]: the Fig. 12 Solr and Hadoop resource-demand curves.
@@ -32,6 +36,9 @@
 #![warn(missing_docs)]
 
 mod apps;
+mod arena;
+mod graph_cache;
+mod streaming;
 mod workload;
 
 pub mod calibration;
@@ -40,4 +47,7 @@ pub mod mstrace;
 pub mod traces;
 
 pub use apps::AppProfile;
+pub use arena::WorkloadArena;
+pub use graph_cache::{ContainerGraphCache, GraphCacheStats};
+pub use streaming::CorrelatedLoadStream;
 pub use workload::{ContainerId, ContainerSpec, Flow, Workload};

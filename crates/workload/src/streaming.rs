@@ -1,0 +1,200 @@
+//! Streaming per-container load ingestion.
+//!
+//! [`traces::correlated_loads`] materializes the whole per-VM trace up
+//! front: `vms × epochs` f64 multipliers drawn VM-major from one sequential
+//! RNG. That is fine at testbed scale but sinks hyperscale runs — 250k
+//! containers × hundreds of epochs is gigabytes of trace that the epoch
+//! driver only ever reads one epoch-column at a time, and the sequential
+//! draw order means epoch *e* cannot be produced without first producing
+//! epochs `0..e` for every VM.
+//!
+//! [`CorrelatedLoadStream`] replaces the table with a counter-mode
+//! generator: the multiplier of `(vm, epoch)` is a pure function of
+//! `(seed, vm, epoch)` via SplitMix64 finalizers, so any epoch column (or
+//! any chunk of one) can be generated on demand in O(chunk) with zero
+//! retained state. The statistical model matches `correlated_loads`: each
+//! epoch draws one shared *common* shock plus a per-VM *noise* shock, both
+//! uniform in [-1, 1), mixed as `a·common + b·noise` with `a = √ρ`,
+//! `b = √(1-ρ)` so the expected pairwise Pearson correlation is ρ.
+//!
+//! [`traces::correlated_loads`]: crate::traces::correlated_loads
+
+use serde::{Deserialize, Serialize};
+
+use crate::Workload;
+
+/// The SplitMix64 finalizer: a bijective avalanche mix of a 64-bit counter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed 64-bit word to uniform [-1, 1) using the top 53 bits.
+fn unit(x: u64) -> f64 {
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * u - 1.0
+}
+
+/// A counter-mode correlated load-multiplier stream.
+///
+/// Random-access: `multiplier(vm, epoch)` is deterministic in the seed and
+/// independent of evaluation order, so epoch drivers stream chunks instead
+/// of materializing a trace table. Two streams with the same parameters are
+/// interchangeable across processes and thread counts.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedLoadStream {
+    /// Number of containers the stream covers.
+    pub vms: usize,
+    /// Target pairwise Pearson correlation ρ in [0, 1].
+    pub correlation: f64,
+    /// Peak-to-mean half-width of the multiplier around 1.0.
+    pub amplitude: f64,
+    /// Lower clamp on the multiplier (loads never go negative).
+    pub floor: f64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl CorrelatedLoadStream {
+    /// A stream with the conventional 0.05 floor (matching
+    /// `correlated_loads`).
+    pub fn new(vms: usize, correlation: f64, amplitude: f64, seed: u64) -> Self {
+        CorrelatedLoadStream {
+            vms,
+            correlation,
+            amplitude,
+            floor: 0.05,
+            seed,
+        }
+    }
+
+    /// The epoch-`epoch` shared shock in [-1, 1).
+    fn common(&self, epoch: usize) -> f64 {
+        unit(splitmix64(splitmix64(self.seed) ^ epoch as u64))
+    }
+
+    /// The load multiplier of container `vm` at `epoch`.
+    pub fn multiplier(&self, vm: usize, epoch: usize) -> f64 {
+        let a = self.correlation.max(0.0).sqrt();
+        let b = (1.0 - self.correlation).max(0.0).sqrt();
+        let noise = unit(splitmix64(
+            splitmix64(splitmix64(self.seed ^ 0x5EED_CAFE) ^ (vm as u64 + 1)) ^ epoch as u64,
+        ));
+        (1.0 + self.amplitude * (a * self.common(epoch) + b * noise)).max(self.floor)
+    }
+
+    /// Fills `out[i]` with the multiplier of container `start_vm + i` at
+    /// `epoch`. Chunked consumption composes exactly: concatenating chunk
+    /// fills equals one full-column fill.
+    pub fn fill_chunk(&self, epoch: usize, start_vm: usize, out: &mut [f64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.multiplier(start_vm + i, epoch);
+        }
+    }
+
+    /// Applies the epoch-`epoch` multipliers to the load-proportional
+    /// resources (CPU, network) of every container in `w`, in place — the
+    /// streamed analogue of the per-container trace loop in the epoch
+    /// driver. Memory is left unchanged, like [`Workload::scale_load`].
+    pub fn apply(&self, epoch: usize, w: &mut Workload) {
+        for (vm, c) in w.containers.iter_mut().enumerate() {
+            let m = self.multiplier(vm, epoch);
+            c.demand.cpu *= m;
+            c.demand.network_mbps *= m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::pearson;
+    use goldilocks_topology::Resources;
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        let s = CorrelatedLoadStream::new(100, 0.6, 0.3, 42);
+        let forward: Vec<f64> = (0..50).map(|e| s.multiplier(7, e)).collect();
+        let backward: Vec<f64> = (0..50).rev().map(|e| s.multiplier(7, e)).collect();
+        let reversed: Vec<f64> = backward.into_iter().rev().collect();
+        assert_eq!(
+            forward.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            reversed.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        let t = CorrelatedLoadStream::new(100, 0.6, 0.3, 43);
+        assert_ne!(s.multiplier(7, 3).to_bits(), t.multiplier(7, 3).to_bits());
+    }
+
+    #[test]
+    fn chunked_fill_matches_point_queries() {
+        let s = CorrelatedLoadStream::new(37, 0.8, 0.2, 9);
+        let mut whole = vec![0.0; 37];
+        s.fill_chunk(5, 0, &mut whole);
+        let mut chunked = vec![0.0; 37];
+        let mut start = 0;
+        for size in [10usize, 10, 10, 7] {
+            s.fill_chunk(5, start, &mut chunked[start..start + size]);
+            start += size;
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&whole), bits(&chunked));
+        for (vm, &x) in whole.iter().enumerate() {
+            assert_eq!(x.to_bits(), s.multiplier(vm, 5).to_bits());
+        }
+    }
+
+    #[test]
+    fn multipliers_bounded_and_centered() {
+        let s = CorrelatedLoadStream::new(200, 0.5, 0.12, 77);
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for e in 0..100 {
+            for vm in 0..200 {
+                let m = s.multiplier(vm, e);
+                assert!(m >= s.floor && m <= 1.0 + 2.0 * s.amplitude);
+                assert!(m >= 1.0 - 2.0 * s.amplitude);
+                sum += m;
+                count += 1;
+            }
+        }
+        let mean = sum / count as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} should be ~1.0");
+    }
+
+    #[test]
+    fn pairwise_correlation_tracks_rho() {
+        let s = CorrelatedLoadStream::new(10, 0.8, 0.3, 5);
+        let series = |vm: usize| (0..400).map(|e| s.multiplier(vm, e)).collect::<Vec<f64>>();
+        let a = series(0);
+        let b = series(3);
+        let r = pearson(&a, &b);
+        assert!(
+            (0.55..0.95).contains(&r),
+            "pearson {r} should be near rho=0.8"
+        );
+        let u = CorrelatedLoadStream::new(10, 0.0, 0.3, 5);
+        let ua = (0..400).map(|e| u.multiplier(0, e)).collect::<Vec<f64>>();
+        let ub = (0..400).map(|e| u.multiplier(3, e)).collect::<Vec<f64>>();
+        let r0 = pearson(&ua, &ub);
+        assert!(r0.abs() < 0.25, "pearson {r0} should be near 0");
+    }
+
+    #[test]
+    fn apply_scales_cpu_and_network_only() {
+        let mut w = Workload::new();
+        for _ in 0..5 {
+            w.add_container("a", Resources::new(100.0, 8.0, 50.0), None);
+        }
+        let s = CorrelatedLoadStream::new(5, 0.5, 0.2, 1);
+        let before_mem: Vec<f64> = w.containers.iter().map(|c| c.demand.memory_gb).collect();
+        s.apply(3, &mut w);
+        for (vm, c) in w.containers.iter().enumerate() {
+            let m = s.multiplier(vm, 3);
+            assert!((c.demand.cpu - 100.0 * m).abs() < 1e-9);
+            assert!((c.demand.network_mbps - 50.0 * m).abs() < 1e-9);
+            assert_eq!(c.demand.memory_gb, before_mem[vm]);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Containers, flows and the container graph (Section III-A).
 
-use goldilocks_partition::{Graph, GraphBuilder, PartitionError, VertexWeight};
+use goldilocks_partition::{EdgeWeight, Graph, PartitionError};
 use goldilocks_topology::Resources;
 use serde::{Deserialize, Serialize};
 
@@ -125,33 +125,48 @@ impl Workload {
     /// [`add_container`]: Workload::add_container
     /// [`add_flow`]: Workload::add_flow
     pub fn container_graph(&self, anti_affinity_weight: i64) -> Result<Graph, PartitionError> {
-        let mut b = GraphBuilder::new(3);
+        let mut edges = Vec::with_capacity(self.flows.len());
+        self.collect_graph_edges(anti_affinity_weight, &mut edges);
+        let mut vwgt = Vec::with_capacity(self.containers.len() * 3);
         for c in &self.containers {
-            b.add_vertex(VertexWeight::new(c.demand.as_array().to_vec()));
+            vwgt.extend_from_slice(&c.demand.as_array());
         }
+        Graph::from_edges(self.containers.len(), 3, vwgt, &mut edges)
+    }
+
+    /// Collects the container-graph edge list into `edges` (cleared first):
+    /// one entry per flow, plus the pairwise anti-affinity chain between
+    /// replicas of the same set (a clique would add O(r²) edges; a chain
+    /// suffices for min-cut to split them). Chains link each replica to the
+    /// previous member of its set in ascending container-id order — the same
+    /// pairs `windows(2)` over the sorted member list yields.
+    ///
+    /// The list is raw (unsorted, unmerged); [`Graph::from_edges`] owns
+    /// normalization. [`ContainerGraphCache`] shares this enumeration for
+    /// its delta builds.
+    ///
+    /// [`ContainerGraphCache`]: crate::ContainerGraphCache
+    pub(crate) fn collect_graph_edges(
+        &self,
+        anti_affinity_weight: i64,
+        edges: &mut Vec<(u32, u32, EdgeWeight)>,
+    ) {
+        edges.clear();
         for f in &self.flows {
-            b.add_edge(f.a.0, f.b.0, f.flow_count);
+            edges.push((f.a.0 as u32, f.b.0 as u32, f.flow_count));
         }
         if anti_affinity_weight != 0 {
             let w = -anti_affinity_weight.abs();
-            // Chain replicas of the same set pairwise (a clique would add
-            // O(r²) edges; a chain suffices for min-cut to split them).
             use std::collections::BTreeMap;
-            let mut sets: BTreeMap<usize, Vec<ContainerId>> = BTreeMap::new();
+            let mut last_member: BTreeMap<usize, u32> = BTreeMap::new();
             for c in &self.containers {
                 if let Some(rs) = c.replica_set {
-                    sets.entry(rs).or_default().push(c.id);
-                }
-            }
-            for members in sets.values() {
-                for pair in members.windows(2) {
-                    if let [x, y] = pair {
-                        b.add_edge(x.0, y.0, w);
+                    if let Some(prev) = last_member.insert(rs, c.id.0 as u32) {
+                        edges.push((prev, c.id.0 as u32, w));
                     }
                 }
             }
         }
-        b.build()
     }
 
     /// A copy with container identities randomly permuted (flows remapped).

@@ -1,0 +1,161 @@
+//! Property: delta-applied container graphs are byte-identical to full
+//! rebuilds across random churn streams.
+//!
+//! The cache classifies each epoch workload against its snapshot and picks
+//! refresh / shrink / grow / full-rebuild paths on its own; the property
+//! drives it with arbitrary churn (prefix length jumps up and down, load
+//! rescaling, replica relabeling, flow edits) and demands bit-equality of
+//! every CSR array and every vertex-weight bit pattern against a fresh
+//! `container_graph` build at every step — the same equivalence the epoch
+//! driver's determinism wall relies on.
+
+use goldilocks_partition::Graph;
+use goldilocks_workload::generators::azure_mix;
+use goldilocks_workload::{ContainerGraphCache, WorkloadArena};
+use proptest::prelude::*;
+
+fn assert_bits(cached: &Graph, fresh: &Graph) -> Result<(), TestCaseError> {
+    prop_assert_eq!(cached.xadj(), fresh.xadj());
+    prop_assert_eq!(cached.adjncy(), fresh.adjncy());
+    prop_assert_eq!(cached.adjwgt(), fresh.adjwgt());
+    let bits = |g: &Graph| {
+        g.vwgt_flat()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    };
+    prop_assert_eq!(bits(cached), bits(fresh));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random prefix-churn streams with per-epoch load scaling: every cache
+    /// build equals the fresh build bit for bit, whatever path it took.
+    #[test]
+    fn churned_epoch_stream_is_byte_identical(
+        base_n in 30usize..120,
+        seed in 0u64..300,
+        aa_idx in 0usize..3,
+        steps in proptest::collection::vec((0.2f64..1.0, 0.3f64..2.0), 4..16),
+    ) {
+        let aa = [0i64, 50, 1000][aa_idx];
+        let base = azure_mix(base_n, seed);
+        let mut cache = ContainerGraphCache::new();
+        let mut arena = WorkloadArena::new();
+        for (frac, load) in steps {
+            let n = ((base_n as f64 * frac) as usize).max(2);
+            let w = arena.set_prefix(&base, n);
+            w.scale_load(load);
+            let fresh = w.container_graph(aa).expect("fresh build");
+            let cached = cache.build(w, aa).expect("cached build");
+            assert_bits(cached, &fresh)?;
+        }
+    }
+
+    /// Structural edits beyond tail churn (flow rewrites, replica-set
+    /// relabeling, demand-only changes) are classified soundly: the cache
+    /// may pick any path, but the result always matches the fresh build.
+    #[test]
+    fn arbitrary_edits_stay_sound(
+        base_n in 20usize..80,
+        seed in 0u64..300,
+        edits in proptest::collection::vec((0u8..4, 0usize..80, 1i64..40), 3..12),
+    ) {
+        let mut w = azure_mix(base_n, seed);
+        let mut cache = ContainerGraphCache::new();
+        for (kind, idx, val) in edits {
+            match kind {
+                0 => {
+                    // Rewrite one flow's count (topology-equal, weight change).
+                    if !w.flows.is_empty() {
+                        let i = idx % w.flows.len();
+                        w.flows[i].flow_count = val;
+                    }
+                }
+                1 => {
+                    // Relabel one container's replica set.
+                    let i = idx % w.len();
+                    w.containers[i].replica_set = Some(val as usize % 6);
+                }
+                2 => {
+                    // Demand-only change (the refresh-path trigger).
+                    let i = idx % w.len();
+                    w.containers[i].demand.cpu = 1.0 + val as f64;
+                }
+                _ => {
+                    // Drop one flow.
+                    if !w.flows.is_empty() {
+                        let i = idx % w.flows.len();
+                        w.flows.remove(i);
+                    }
+                }
+            }
+            let fresh = w.container_graph(100).expect("fresh build");
+            let cached = cache.build(&w, 100).expect("cached build");
+            assert_bits(cached, &fresh)?;
+        }
+    }
+
+    /// The arena's epoch materialization equals `Workload::prefix` exactly,
+    /// warm or cold, so cache classification sees identical inputs.
+    #[test]
+    fn arena_refill_equals_prefix(
+        base_n in 10usize..100,
+        seed in 0u64..300,
+        fracs in proptest::collection::vec(0.0f64..1.2, 2..10),
+    ) {
+        let base = azure_mix(base_n, seed);
+        let mut arena = WorkloadArena::new();
+        for frac in fracs {
+            let n = (base_n as f64 * frac) as usize;
+            let got = arena.set_prefix(&base, n);
+            let want = base.prefix(n);
+            prop_assert_eq!(&got.containers, &want.containers);
+            prop_assert_eq!(&got.flows, &want.flows);
+            // Shape it like an epoch would; the next refill must undo this.
+            got.scale_load(1.7);
+        }
+    }
+}
+
+/// Steady-state epochs (constant container count, load-only changes) must
+/// all take the zero-allocation weight-refresh path after warmup.
+#[test]
+fn steady_state_uses_refresh_path() {
+    let base = azure_mix(200, 17);
+    let mut cache = ContainerGraphCache::new();
+    let mut arena = WorkloadArena::new();
+    for e in 0..10 {
+        let w = arena.set_prefix(&base, 200);
+        w.scale_load(0.5 + 0.05 * e as f64);
+        let _ = cache.build(w, 1000).expect("build");
+    }
+    let s = cache.stats();
+    assert_eq!(s.full_rebuilds, 1, "only the cold build is full");
+    assert_eq!(s.weight_refreshes, 9, "warm epochs refresh in place");
+}
+
+/// Tail churn (arrivals/departures within the churn threshold) takes the
+/// delta paths, never a full rebuild.
+#[test]
+fn tail_churn_uses_delta_paths() {
+    let base = azure_mix(300, 23);
+    let mut cache = ContainerGraphCache::new();
+    let mut arena = WorkloadArena::new();
+    let counts = [300usize, 280, 300, 260, 270, 300];
+    for (e, &n) in counts.iter().enumerate() {
+        let w = arena.set_prefix(&base, n);
+        w.scale_load(0.6 + 0.05 * e as f64);
+        let fresh = w.container_graph(500).expect("fresh");
+        let cached = cache.build(w, 500).expect("cached");
+        assert_eq!(cached.xadj(), fresh.xadj());
+        assert_eq!(cached.adjncy(), fresh.adjncy());
+        assert_eq!(cached.adjwgt(), fresh.adjwgt());
+    }
+    let s = cache.stats();
+    assert_eq!(s.full_rebuilds, 1);
+    assert_eq!(s.delta_shrinks + s.delta_grows, 5);
+    assert_eq!(s.churn_fallbacks, 0);
+}

@@ -137,7 +137,7 @@ fn replica_anti_affinity_survives_the_full_pipeline() {
         c.demand.network_mbps *= 0.3;
     }
     let cfg = GoldilocksConfig::paper();
-    let gold = Goldilocks::with_config(cfg);
+    let mut gold = Goldilocks::with_config(cfg);
     let (p, _) = gold.place_with_details(&w, &tree).expect("feasible");
     // Every 2-member replica set must land on two distinct servers.
     use std::collections::BTreeMap;

@@ -85,6 +85,12 @@ const FLOAT_GUARD_FILES: &[(&str, &str)] = &[
     ("partition", "src/quality.rs"),
     ("partition", "src/balance.rs"),
     ("sim", "src/metering.rs"),
+    // The warm epoch loop (PR 9): arena refill, incremental graph builds
+    // and the synthetic load stream all feed float vertex weights into the
+    // byte-identity wall, so their reductions must stay schedule-free too.
+    ("workload", "src/arena.rs"),
+    ("workload", "src/graph_cache.rs"),
+    ("workload", "src/streaming.rs"),
 ];
 
 /// Resolves the policy for `crate_name` + `rel_path` (path inside the crate,
@@ -149,6 +155,18 @@ mod tests {
         assert!(policy_for("partition", "src/refine.rs").float_association);
         assert!(!policy_for("partition", "src/graph.rs").float_association);
         assert!(policy_for("partition", "src/graph.rs").no_unordered_iteration);
+    }
+
+    #[test]
+    fn warm_epoch_loop_gets_float_guard_and_full_determinism() {
+        for file in ["src/arena.rs", "src/graph_cache.rs", "src/streaming.rs"] {
+            let p = policy_for("workload", file);
+            assert!(p.float_association, "{file} feeds the byte-identity wall");
+            assert!(p.no_unordered_iteration, "{file}");
+            assert!(p.no_panic, "{file}");
+            assert!(p.rng_discipline, "{file}");
+        }
+        assert!(!policy_for("workload", "src/workload.rs").float_association);
     }
 
     #[test]

@@ -62,10 +62,15 @@ impl ClusterState {
     pub fn to_runtime(&self) -> ContainerRuntime {
         let mut rt = ContainerRuntime::new();
         for &(c, s) in &self.actual {
+            // An id beyond the address width cannot name a live container
+            // on this host; skip it rather than truncate into a collision.
+            let (Ok(c), Ok(s)) = (usize::try_from(c), usize::try_from(s)) else {
+                continue;
+            };
             // Starting into an empty runtime in sorted order cannot fail.
             let _ = rt.apply(Transition::Start {
-                container: c as usize,
-                on: ServerId(s as usize),
+                container: c,
+                on: ServerId(s),
             });
         }
         rt
@@ -75,12 +80,15 @@ impl ClusterState {
     pub fn actual_placement(&self, containers: usize) -> Placement {
         let mut assignment = vec![None; containers];
         for &(c, s) in &self.actual {
-            if let Some(slot) = assignment.get_mut(c as usize) {
-                *slot = Some(ServerId(s as usize));
+            let slot = usize::try_from(c).ok().and_then(|c| assignment.get_mut(c));
+            if let (Some(slot), Ok(s)) = (slot, usize::try_from(s)) {
+                *slot = Some(ServerId(s));
             }
         }
         Placement { assignment }
     }
+
+    // analyze:codec -- snapshot records ride inside WAL frames; fingerprinted
 
     pub(crate) fn encode(&self, e: &mut Enc) {
         match self.committed_epoch {
@@ -119,7 +127,7 @@ impl ClusterState {
             t => return Err(WalError::BadTag(t)),
         };
         let intended = get_placement(d)?;
-        let n = d.u64()? as usize;
+        let n = d.count()?;
         let mut actual = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
             let c = d.u64()?;

@@ -36,6 +36,10 @@ pub enum WalError {
     BadChecksum,
     /// An unknown event or field tag.
     BadTag(u8),
+    /// A decoded count or id does not fit the host's address width. On a
+    /// 64-bit controller this only fires on corrupt input; on narrower
+    /// hosts it replaces what would otherwise be a silent `as` truncation.
+    Overflow(u64),
 }
 
 impl std::fmt::Display for WalError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for WalError {
             WalError::Truncated => write!(f, "record truncated"),
             WalError::BadChecksum => write!(f, "record checksum mismatch"),
             WalError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            WalError::Overflow(v) => write!(f, "value {v} exceeds addressable range"),
         }
     }
 }
@@ -63,6 +68,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     }
     !crc
 }
+
+// analyze:codec -- every encode/decode here is fingerprinted in the golden wire schema
 
 /// Append-only byte encoder for WAL payloads.
 #[derive(Default)]
@@ -99,11 +106,12 @@ impl<'a> Dec<'a> {
         Dec { b, pos: 0 }
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
-        if self.pos + n > self.b.len() {
+        let end = self.pos.checked_add(n).ok_or(WalError::Truncated)?;
+        if end > self.b.len() {
             return Err(WalError::Truncated);
         }
-        let s = &self.b[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
     pub(crate) fn u8(&mut self) -> Result<u8, WalError> {
@@ -119,6 +127,12 @@ impl<'a> Dec<'a> {
     }
     pub(crate) fn raw(&mut self, n: usize) -> Result<&'a [u8], WalError> {
         self.take(n)
+    }
+    /// Reads a `u64` count or id and converts it to `usize`, surfacing a
+    /// typed error instead of an `as` truncation on narrow hosts.
+    pub(crate) fn count(&mut self) -> Result<usize, WalError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WalError::Overflow(v))
     }
     pub(crate) fn done(&self) -> bool {
         self.pos == self.b.len()
@@ -136,14 +150,15 @@ pub(crate) fn put_placement(e: &mut Enc, p: &Placement) {
 }
 
 pub(crate) fn get_placement(d: &mut Dec<'_>) -> Result<Placement, WalError> {
-    let n = d.u64()? as usize;
+    let n = d.count()?;
     let mut assignment = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let v = d.u64()?;
         assignment.push(if v == NONE_SENTINEL {
             None
         } else {
-            Some(ServerId(v as usize))
+            let s = usize::try_from(v).map_err(|_| WalError::Overflow(v))?;
+            Some(ServerId(s))
         });
     }
     Ok(Placement { assignment })
@@ -177,17 +192,17 @@ pub(crate) fn put_transition(e: &mut Enc, t: &Transition) {
 pub(crate) fn get_transition(d: &mut Dec<'_>) -> Result<Transition, WalError> {
     match d.u8()? {
         0 => Ok(Transition::Start {
-            container: d.u64()? as usize,
-            on: ServerId(d.u64()? as usize),
+            container: d.count()?,
+            on: ServerId(d.count()?),
         }),
         1 => Ok(Transition::Migrate {
-            container: d.u64()? as usize,
-            from: ServerId(d.u64()? as usize),
-            to: ServerId(d.u64()? as usize),
+            container: d.count()?,
+            from: ServerId(d.count()?),
+            to: ServerId(d.count()?),
         }),
         2 => Ok(Transition::Stop {
-            container: d.u64()? as usize,
-            on: ServerId(d.u64()? as usize),
+            container: d.count()?,
+            on: ServerId(d.count()?),
         }),
         t => Err(WalError::BadTag(t)),
     }
@@ -208,7 +223,7 @@ pub(crate) fn put_gate_states(e: &mut Enc, states: &[PowerState]) {
 }
 
 pub(crate) fn get_gate_states(d: &mut Dec<'_>) -> Result<Vec<PowerState>, WalError> {
-    let n = d.u64()? as usize;
+    let n = d.count()?;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         out.push(match d.u8()? {
@@ -333,7 +348,10 @@ impl WalEvent {
                 e.u64(*container);
                 put_disposition(&mut e, *disposition);
                 e.u64(*rng_state);
-                e.u32(transitions.len() as u32);
+                // Transition counts travel as u64 like every other count in
+                // this codec (was u32 before PR 10 — a deliberate format
+                // change, bumped in the golden wire schema).
+                e.u64(transitions.len() as u64);
                 for t in transitions {
                     put_transition(&mut e, t);
                 }
@@ -378,7 +396,7 @@ impl WalEvent {
                 let container = d.u64()?;
                 let disposition = get_disposition(&mut d)?;
                 let rng_state = d.u64()?;
-                let n = d.u32()? as usize;
+                let n = d.count()?;
                 let mut transitions = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
                     transitions.push(get_transition(&mut d)?);
@@ -397,7 +415,7 @@ impl WalEvent {
             },
             5 => WalEvent::Snapshot(ClusterState::decode(&mut d)?),
             6 => {
-                let n = d.u64()? as usize;
+                let n = d.count()?;
                 WalEvent::Service(d.raw(n)?.to_vec())
             }
             t => return Err(WalError::BadTag(t)),
@@ -473,6 +491,7 @@ impl Wal {
     }
 
     /// Appends one event as a framed, checksummed record.
+    // analyze:sink(wal-append) -- appended bytes must replay byte-identically
     pub fn append(&mut self, ev: &WalEvent) {
         let frame = Self::frame(ev);
         self.buf.extend_from_slice(&frame);
@@ -486,6 +505,7 @@ impl Wal {
     /// [`Wal::truncate_torn_tail`] (or a crash-restart through
     /// [`Wal::decode`]) rolls back to the intact prefix. Either way, no
     /// previously appended record is harmed.
+    // analyze:sink(wal-append) -- fault-injected appends share the replay contract
     pub fn append_with_fault(
         &mut self,
         ev: &WalEvent,
@@ -524,7 +544,10 @@ impl Wal {
 
     fn frame(ev: &WalEvent) -> Vec<u8> {
         let payload = ev.encode();
+        debug_assert!(payload.len() as u64 <= u64::from(u32::MAX));
         let mut frame = Vec::with_capacity(payload.len() + 8);
+        // lint:allow(no-lossy-cast-in-codecs) -- frame headers are u32 by format;
+        // payloads are single control-plane records, far below 4 GiB (debug-asserted)
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
@@ -554,9 +577,20 @@ impl Wal {
                     intact_bytes: pos,
                 };
             }
-            let len =
-                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
-                    as usize;
+            let Ok(len) = usize::try_from(u32::from_le_bytes([
+                bytes[pos],
+                bytes[pos + 1],
+                bytes[pos + 2],
+                bytes[pos + 3],
+            ])) else {
+                // A frame longer than the address space cannot be intact;
+                // treat it like any other torn tail (16-bit hosts only).
+                return DecodedLog {
+                    events,
+                    torn_tail: true,
+                    intact_bytes: pos,
+                };
+            };
             let crc = u32::from_le_bytes([
                 bytes[pos + 4],
                 bytes[pos + 5],

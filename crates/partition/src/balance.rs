@@ -42,6 +42,8 @@ pub struct BalanceTracker {
 impl BalanceTracker {
     /// Creates a tracker for bisecting `graph` with side 0 receiving `frac`
     /// of the total weight, given an initial assignment `side`.
+    // lint:allow(zero-alloc-hot-path) -- allocation boundary: tracker construction is
+    // once-per-pass and builds one O(dims) buffer; the per-move operations stay allocation-free
     pub fn new(graph: &Graph, side: &[u8], frac: f64, tolerance: f64) -> Self {
         let dims = graph.dims();
         let mut side0 = VertexWeight::zeros(dims);

@@ -80,6 +80,7 @@ pub fn multilevel_bisect_in(
 
 /// The multilevel engine with the RNG seed passed explicitly, so recursive
 /// drivers can vary the seed per level without cloning the whole config.
+// analyze:sink(partition-seed) -- partitions must be a pure function of (graph, config, seed)
 pub(crate) fn bisect_with_seed(
     graph: &Graph,
     frac: f64,

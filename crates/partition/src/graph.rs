@@ -218,6 +218,7 @@ impl Graph {
     /// Iterates over `(neighbor, edge_weight)` pairs of vertex `v`.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeWeight)> + '_ {
         let range = self.xadj[v]..self.xadj[v + 1];
+        // lint:allow(zero-alloc-hot-path) -- Range::clone copies two usizes; no allocation
         self.adjncy[range.clone()]
             .iter()
             .copied()

@@ -198,6 +198,7 @@ pub fn refine(graph: &Graph, side: &[u8], config: &RefineConfig) -> RefineResult
 /// the exact cut of `side` (the uncoarsening loop: contraction and
 /// projection both preserve cut values) skip the O(E) recomputation.
 /// Returns `(cut, improving_passes)`.
+// analyze:hot-path -- warm refinement core: uncoarsening passes must not allocate
 pub(crate) fn refine_in_place(
     graph: &Graph,
     side: &mut [u8],

@@ -259,22 +259,7 @@ impl SvcRecord {
                     proto::put_u64(&mut b, req.len() as u64);
                     b.extend_from_slice(&req);
                 }
-                proto::put_u64(&mut b, dedup.len() as u64);
-                for (client, last_touch, entries) in dedup {
-                    proto::put_u64(&mut b, *client);
-                    proto::put_u64(&mut b, *last_touch);
-                    proto::put_u64(&mut b, entries.len() as u64);
-                    for (rid, out) in entries {
-                        proto::put_u64(&mut b, *rid);
-                        let (kind, seq) = match out {
-                            DedupOutcome::Accepted { seq } => (1u8, *seq),
-                            DedupOutcome::Shed { seq } => (2u8, *seq),
-                            DedupOutcome::Expired { seq } => (3u8, *seq),
-                        };
-                        b.push(kind);
-                        proto::put_u64(&mut b, seq);
-                    }
-                }
+                crate::dedup::encode_export(&mut b, dedup);
             }
         }
         b
@@ -332,29 +317,7 @@ impl SvcRecord {
                     let rn = c.u64()? as usize;
                     queue.push((seq, at_tick, Request::decode(c.take(rn)?)?));
                 }
-                let dn = c.u64()? as usize;
-                let mut dedup = Vec::with_capacity(dn.min(1 << 20));
-                for _ in 0..dn {
-                    let client = c.u64()?;
-                    let last_touch = c.u64()?;
-                    let en = c.u64()? as usize;
-                    let mut entries = Vec::with_capacity(en.min(1 << 20));
-                    for _ in 0..en {
-                        let rid = c.u64()?;
-                        let kind = c.u8()?;
-                        let seq = c.u64()?;
-                        entries.push((
-                            rid,
-                            match kind {
-                                1 => DedupOutcome::Accepted { seq },
-                                2 => DedupOutcome::Shed { seq },
-                                3 => DedupOutcome::Expired { seq },
-                                t => return Err(ProtoError::BadTag(t)),
-                            },
-                        ));
-                    }
-                    dedup.push((client, last_touch, entries));
-                }
+                let dedup = crate::dedup::decode_export(&mut c)?;
                 SvcRecord::Snapshot {
                     next_seq,
                     tokens,

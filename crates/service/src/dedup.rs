@@ -13,6 +13,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::proto::{self, Cur, ProtoError};
+
 /// The remembered terminal-or-pending disposition of an accepted request.
 ///
 /// Outcomes only ever evolve `Accepted → Shed` (queue eviction or planner
@@ -54,6 +56,58 @@ impl DedupOutcome {
 /// `(client, last_touch, [(request_id, outcome)])` per client, in
 /// deterministic order — the shape service snapshots embed.
 pub type DedupExport = Vec<(u64, u64, Vec<(u64, DedupOutcome)>)>;
+
+// analyze:codec -- the dedup-window export rides inside service snapshots; fingerprinted
+
+/// Appends an export's wire form to a service-journal record:
+/// `[clients: u64][per client: client, last_touch, entry count,
+/// per entry: request_id, outcome tag (1/2/3), seq]`.
+pub(crate) fn encode_export(b: &mut Vec<u8>, dedup: &DedupExport) {
+    proto::put_u64(b, dedup.len() as u64);
+    for (client, last_touch, entries) in dedup {
+        proto::put_u64(b, *client);
+        proto::put_u64(b, *last_touch);
+        proto::put_u64(b, entries.len() as u64);
+        for (rid, out) in entries {
+            proto::put_u64(b, *rid);
+            let (kind, seq) = match out {
+                DedupOutcome::Accepted { seq } => (1u8, *seq),
+                DedupOutcome::Shed { seq } => (2u8, *seq),
+                DedupOutcome::Expired { seq } => (3u8, *seq),
+            };
+            b.push(kind);
+            proto::put_u64(b, seq);
+        }
+    }
+}
+
+/// Decodes the wire form written by [`encode_export`].
+pub(crate) fn decode_export(c: &mut Cur<'_>) -> Result<DedupExport, ProtoError> {
+    let dn = c.count()?;
+    let mut dedup = Vec::with_capacity(dn.min(1 << 20));
+    for _ in 0..dn {
+        let client = c.u64()?;
+        let last_touch = c.u64()?;
+        let en = c.count()?;
+        let mut entries = Vec::with_capacity(en.min(1 << 20));
+        for _ in 0..en {
+            let rid = c.u64()?;
+            let kind = c.u8()?;
+            let seq = c.u64()?;
+            entries.push((
+                rid,
+                match kind {
+                    1 => DedupOutcome::Accepted { seq },
+                    2 => DedupOutcome::Shed { seq },
+                    3 => DedupOutcome::Expired { seq },
+                    t => return Err(ProtoError::BadTag(t)),
+                },
+            ));
+        }
+        dedup.push((client, last_touch, entries));
+    }
+    Ok(dedup)
+}
 
 #[derive(Clone, Debug)]
 struct ClientWindow {

@@ -228,6 +228,8 @@ pub(crate) fn put_resources(buf: &mut Vec<u8>, r: &Resources) {
     put_f64(buf, r.network_mbps);
 }
 
+// analyze:codec -- every encode/decode here is fingerprinted in the golden wire schema
+
 /// Cursor over a message payload.
 pub(crate) struct Cur<'a> {
     b: &'a [u8],
@@ -239,11 +241,12 @@ impl<'a> Cur<'a> {
         Cur { b, pos: 0 }
     }
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
-        if self.pos + n > self.b.len() {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.b.len() {
             return Err(ProtoError::Truncated);
         }
-        let s = &self.b[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
     pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
@@ -265,6 +268,12 @@ impl<'a> Cur<'a> {
     }
     pub(crate) fn f64(&mut self) -> Result<f64, ProtoError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+    /// Reads a `u64` count and converts it to `usize`, surfacing a typed
+    /// error instead of an `as` truncation on narrow hosts.
+    pub(crate) fn count(&mut self) -> Result<usize, ProtoError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| ProtoError::Corrupt)
     }
     pub(crate) fn resources(&mut self) -> Result<Resources, ProtoError> {
         Ok(Resources::new(self.f64()?, self.f64()?, self.f64()?))
@@ -614,7 +623,11 @@ impl FrameAssembler {
         }
         let mut hdr = Cur::new(&self.buf[self.pos..self.pos + 8]);
         let (len, crc) = match (hdr.u32(), hdr.u32()) {
-            (Ok(len), Ok(crc)) => (len as usize, crc),
+            (Ok(len), Ok(crc)) => match usize::try_from(len) {
+                Ok(len) => (len, crc),
+                // Longer than the address space: impossible length.
+                Err(_) => return Err(ProtoError::Corrupt),
+            },
             _ => return Ok(None),
         };
         if len > MAX_FRAME_BYTES {
@@ -636,8 +649,12 @@ impl FrameAssembler {
 
 /// Wraps a message payload in the wire framing
 /// (`[len: u32 LE][crc32: u32 LE][payload]`).
+// analyze:sink(proto-encode) -- framed bytes cross the socket; both ends must agree
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() as u64 <= u64::from(u32::MAX));
     let mut out = Vec::with_capacity(payload.len() + 8);
+    // lint:allow(no-lossy-cast-in-codecs) -- frame headers are u32 by format;
+    // payloads are capped at MAX_FRAME_BYTES, far below 4 GiB (debug-asserted)
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
@@ -657,7 +674,11 @@ pub fn deframe(bytes: &[u8]) -> (Vec<Vec<u8>>, bool) {
         }
         let mut hdr = Cur::new(&bytes[pos..pos + 8]);
         let (len, crc) = match (hdr.u32(), hdr.u32()) {
-            (Ok(len), Ok(crc)) => (len as usize, crc),
+            // A length beyond the address space reads as a torn tail.
+            (Ok(len), Ok(crc)) => match usize::try_from(len) {
+                Ok(len) => (len, crc),
+                Err(_) => return (frames, true),
+            },
             _ => return (frames, true),
         };
         let start = pos + 8;

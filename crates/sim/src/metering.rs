@@ -168,7 +168,8 @@ impl ShardPlan {
 }
 
 /// Splits `scratches` into `workers` contiguous, balanced sub-slices and
-/// returns them with the index of each sub-slice's first chunk.
+/// returns them with the index of each sub-slice's first chunk. Only called
+/// from [`run_sharded`], which is already an allocation boundary.
 fn split_scratches(
     mut scratches: &mut [ChunkScratch],
     workers: usize,
@@ -255,6 +256,8 @@ fn fill_chunk_tcts<F>(
 /// fails — a worker panicked mid-chunk — every chunk is deterministically
 /// recomputed on the calling thread instead of propagating the panic, so the
 /// engine stays panic-free and the partials stay exact.
+// lint:allow(zero-alloc-hot-path) -- allocation boundary: thread-scope spawn
+// and the O(workers) handle Vec; per-flow chunk fills stay allocation-free
 fn run_sharded<W>(scratches: &mut [ChunkScratch], workers: usize, work: W)
 where
     W: Fn(usize, &mut [ChunkScratch]) + Sync,
@@ -285,6 +288,7 @@ where
 
 /// One fully metered epoch: combined link loads (left in `ws`), the weighted
 /// mean TCT, and optionally the per-flow samples.
+// analyze:hot-path -- warm metering core: steady-state epochs must not allocate
 #[allow(clippy::too_many_arguments)]
 fn meter_flows<F>(
     model: &LatencyModel,

@@ -52,6 +52,7 @@ pub fn pct(v: f64) -> String {
 
 /// Serializes policy runs to long-format CSV (one row per policy × epoch),
 /// ready for plotting the paper's time-series figures.
+// analyze:sink(report-emit) -- CSV artifacts are diffed across runs; row order must be stable
 pub fn runs_to_csv(runs: &[crate::epoch::PolicyRun]) -> String {
     let mut out = String::from(
         "policy,epoch,active_servers,server_watts,switch_watts,boot_watts,total_watts,\
@@ -82,6 +83,7 @@ pub fn runs_to_csv(runs: &[crate::epoch::PolicyRun]) -> String {
 
 /// Serializes chaos runs to long-format CSV (one row per run × epoch),
 /// including the resilience columns.
+// analyze:sink(report-emit) -- CSV artifacts are diffed across runs; row order must be stable
 pub fn chaos_to_csv(runs: &[crate::chaos::ChaosRun]) -> String {
     let mut out = String::from(
         "policy,seed,epoch,faults,repairs,healthy_servers,active_servers,total_watts,\
@@ -131,6 +133,7 @@ pub const SERVICE_SOAK_CSV_HEADER: &str = "epoch,arrivals,accepted,rejected_thro
 
 /// Serializes a service soak run to long-format CSV (one row per epoch),
 /// with the shed/backpressure counters as stable columns.
+// analyze:sink(report-emit) -- CSV artifacts are diffed across runs; row order must be stable
 pub fn service_soak_to_csv(run: &crate::chaos::ServiceSoakRun) -> String {
     let mut out = String::from(SERVICE_SOAK_CSV_HEADER);
     out.push('\n');

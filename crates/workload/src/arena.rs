@@ -50,6 +50,7 @@ impl WorkloadArena {
     /// zero allocations — containers and flows are overwritten in place.
     /// Cold path (first call, `n` changed, or base changed): the flow table
     /// is refiltered, reusing existing capacity where possible.
+    // analyze:hot-path -- warm epoch-table rebuild: same-shape calls must not allocate
     pub fn set_prefix(&mut self, base: &Workload, n: usize) -> &mut Workload {
         let n = n.min(base.containers.len());
         let same_base =

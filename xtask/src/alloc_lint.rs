@@ -1,0 +1,344 @@
+//! Static zero-alloc hot-path enforcement (`zero-alloc-hot-path`).
+//!
+//! The runtime counting-allocator tests (PR 4's partition lock, PR 9's
+//! arena lock) prove specific *executions* allocation-free; this pass
+//! proves the property statically over the whole transitive call graph of
+//! every registered hot path (`// analyze:hot-path`), so a new allocating
+//! helper three calls deep fails the push, not the soak bench.
+//!
+//! Banned constructs inside the closure (scanned lexically per function
+//! body, test regions exempt):
+//!
+//! - `collect`, `to_vec`, `to_owned`, `to_string`, `with_capacity` calls
+//! - `format!` / `vec!` macros
+//! - `.clone()` method calls (`clone_from` stays legal — it reuses the
+//!   destination's capacity, which is exactly the warm-path idiom)
+//! - `Box::new`, `Rc::new`, `Arc::new`, `Vec::new`, `String::new`,
+//!   `VecDeque::new`, `BTreeMap::new`, `BTreeSet::new`, `HashMap::new`,
+//!   `HashSet::new`, and `String::from`
+//!
+//! Deliberately *not* banned: `push`, `resize`, `resize_with`,
+//! `extend_from_slice`, `reserve`, `clear`, `truncate` — warm-growth
+//! operations whose steady-state cost is zero once capacity has been
+//! reached; the runtime locks already pin that behavior.
+//!
+//! Escape hatches:
+//!
+//! - A `// lint:allow(zero-alloc-hot-path) -- reason` covering a
+//!   *function declaration* marks that function as a deliberate
+//!   **allocation boundary**: the walk stops there without scanning the
+//!   body or descending further. This is how cold setup helpers
+//!   (`BalanceTracker::new`, scratch splitting) are carved out of a warm
+//!   closure without scattering token-level allows through general code.
+//! - The same allow covering a banned token suppresses that one finding.
+//!
+//! Every finding carries the blame path from the registered root down to
+//! the allocating construct.
+
+use std::collections::BTreeSet;
+
+use crate::allow::find_covering;
+use crate::diag::Diagnostic;
+use crate::graph::Graph;
+use crate::lexer::{Tok, TokKind};
+
+const RULE: &str = "zero-alloc-hot-path";
+
+/// Call-style allocating identifiers.
+const BANNED_CALLS: &[&str] = &[
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "with_capacity",
+];
+
+/// Allocating macros.
+const BANNED_MACROS: &[&str] = &["format", "vec"];
+
+/// Owning types whose `new` (and `String::from`) constructors allocate or
+/// set up to allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Box", "Rc", "Arc", "Vec", "String", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+/// Runs the pass. Returns diagnostics plus `(file index, allow index)`
+/// pairs for boundary/suppression allows this pass consumed.
+pub fn run(g: &Graph) -> (Vec<Diagnostic>, Vec<(usize, usize)>) {
+    let mut diags = Vec::new();
+    let mut used_allows = Vec::new();
+    // One finding per construct site even when several roots reach it.
+    let mut reported: BTreeSet<(usize, u32, u32)> = BTreeSet::new();
+
+    let roots: Vec<usize> = (0..g.fns.len()).filter(|&f| g.fns[f].hot_path).collect();
+    for root in roots {
+        walk_root(g, root, &mut diags, &mut used_allows, &mut reported);
+    }
+    (diags, used_allows)
+}
+
+fn walk_root(
+    g: &Graph,
+    root: usize,
+    diags: &mut Vec<Diagnostic>,
+    used_allows: &mut Vec<(usize, usize)>,
+    reported: &mut BTreeSet<(usize, u32, u32)>,
+) {
+    // DFS with a parent map so findings can print root -> ... -> fn.
+    let n = g.fns.len();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut stack = vec![root];
+    seen[root] = true;
+    while let Some(f) = stack.pop() {
+        let info = &g.fns[f];
+        let file = &g.files[info.file];
+
+        // Boundary: a fn-declaration allow stops the walk here. The root
+        // itself cannot be a boundary — registering a hot path and
+        // immediately allowing it away would make the gate vacuous.
+        if f != root {
+            if let Some(ai) = find_covering(&file.allows, &file.lexed.comments, RULE, info.line) {
+                used_allows.push((info.file, ai));
+                continue;
+            }
+        }
+
+        scan_body(g, f, root, &prev, diags, used_allows, reported);
+
+        for e in &g.edges[f] {
+            if !seen[e.callee] {
+                seen[e.callee] = true;
+                prev[e.callee] = Some(f);
+                stack.push(e.callee);
+            }
+        }
+    }
+}
+
+/// Scans one function body for banned constructs; findings are anchored at
+/// the construct token.
+fn scan_body(
+    g: &Graph,
+    f: usize,
+    root: usize,
+    prev: &[Option<usize>],
+    diags: &mut Vec<Diagnostic>,
+    used_allows: &mut Vec<(usize, usize)>,
+    reported: &mut BTreeSet<(usize, u32, u32)>,
+) {
+    let info = &g.fns[f];
+    let file = &g.files[info.file];
+    let toks = &file.lexed.tokens;
+    let (lo, hi) = info.body;
+    for i in lo..=hi {
+        if file.exempt[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(what) = banned_at(toks, i) else {
+            continue;
+        };
+        let t = &toks[i];
+        if !reported.insert((info.file, t.line, t.col)) {
+            continue;
+        }
+        if let Some(ai) = find_covering(&file.allows, &file.lexed.comments, RULE, t.line) {
+            used_allows.push((info.file, ai));
+            continue;
+        }
+        let path = blame_path(g, f, root, prev);
+        diags.push(Diagnostic::error(
+            RULE,
+            &file.label,
+            t.line,
+            t.col,
+            format!(
+                "allocating construct `{what}` inside the zero-alloc closure of hot path \
+                 `{}` (reached via {path}); hoist the allocation into setup, reuse scratch \
+                 capacity, or mark the enclosing fn as an allocation boundary with \
+                 `// lint:allow(zero-alloc-hot-path) -- <reason>` at its declaration",
+                g.fns[root].qual_name(),
+            ),
+        ));
+    }
+}
+
+/// Recognizes a banned construct at ident `i`; returns its display name.
+fn banned_at(toks: &[Tok], i: usize) -> Option<String> {
+    let t = &toks[i];
+    let next_is = |j: usize, s: &str| toks.get(j).is_some_and(|n| n.text == s);
+    // Opening paren, optionally past a turbofish (`collect::<Vec<_>>()`).
+    let callsite = |mut j: usize| -> bool {
+        if next_is(j, ":") && next_is(j + 1, ":") && next_is(j + 2, "<") {
+            let mut depth = 0i64;
+            while j + 2 < toks.len() {
+                match toks[j + 2].text.as_str() {
+                    "<" => depth += 1,
+                    ">" if toks[j + 1].text == "-" => {}
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 3;
+                            return next_is(j, "(");
+                        }
+                    }
+                    "(" | ";" | "{" => return false,
+                    _ => {}
+                }
+                j += 1;
+            }
+            return false;
+        }
+        next_is(j, "(")
+    };
+    let qualifier = || -> Option<&str> {
+        if i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].kind == TokKind::Ident
+        {
+            Some(toks[i - 3].text.as_str())
+        } else {
+            None
+        }
+    };
+
+    if BANNED_MACROS.contains(&t.text.as_str()) && next_is(i + 1, "!") {
+        return Some(format!("{}!", t.text));
+    }
+    if BANNED_CALLS.contains(&t.text.as_str()) && callsite(i + 1) {
+        return match qualifier() {
+            Some(q) => Some(format!("{q}::{}", t.text)),
+            None => Some(t.text.clone()),
+        };
+    }
+    if t.text == "clone" && callsite(i + 1) && i > 0 && toks[i - 1].text == "." {
+        return Some(".clone()".into());
+    }
+    if t.text == "new" && callsite(i + 1) {
+        if let Some(q) = qualifier() {
+            if ALLOC_TYPES.contains(&q) {
+                return Some(format!("{q}::new"));
+            }
+        }
+    }
+    if t.text == "from" && callsite(i + 1) && qualifier() == Some("String") {
+        return Some("String::from".into());
+    }
+    None
+}
+
+/// Renders `root -> ... -> f` using the DFS parent map.
+fn blame_path(g: &Graph, f: usize, root: usize, prev: &[Option<usize>]) -> String {
+    let mut ids = vec![f];
+    let mut cur = f;
+    while cur != root {
+        match prev[cur] {
+            Some(p) => {
+                ids.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    ids.reverse();
+    ids.iter()
+        .map(|&x| g.fns[x].qual_name())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build, FileCtx};
+    use crate::policy::Policy;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn run_on(src: &str) -> (Vec<Diagnostic>, Vec<(usize, usize)>) {
+        let ctx = FileCtx::new("t.rs".into(), "fixture".into(), Policy::strict(), src);
+        let mut vis = BTreeMap::new();
+        vis.insert(
+            "fixture".to_string(),
+            BTreeSet::from(["fixture".to_string()]),
+        );
+        let (g, _) = build(vec![ctx], &vis);
+        run(&g)
+    }
+
+    #[test]
+    fn allocating_helper_reached_from_root_is_flagged() {
+        let (d, _) = run_on(
+            "fn helper(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n\
+             // analyze:hot-path -- test\n\
+             fn hot(n: usize) { let _ = helper(n); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "zero-alloc-hot-path");
+        assert_eq!((d[0].line, d[0].col), (1, 39));
+        assert!(d[0].message.contains("hot -> helper"), "{}", d[0].message);
+        assert!(
+            d[0].message.contains("Vec::with_capacity"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn warm_growth_ops_and_clone_from_stay_legal() {
+        let (d, _) = run_on(
+            "// analyze:hot-path -- test\n\
+             fn hot(buf: &mut Vec<u8>, other: &Vec<u8>) {\n\
+             buf.clear();\n\
+             buf.extend_from_slice(other);\n\
+             buf.push(1);\n\
+             buf.clone_from(other);\n\
+             buf.resize(8, 0);\n\
+             }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn boundary_allow_stops_the_walk_and_is_marked_used() {
+        let (d, used) = run_on(
+            "// lint:allow(zero-alloc-hot-path) -- cold setup: allocates scratch once\n\
+             fn setup() -> Vec<u8> { vec![0; 8] }\n\
+             // analyze:hot-path -- test\n\
+             fn hot() { let _ = setup(); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(used.len(), 1);
+    }
+
+    #[test]
+    fn collect_format_clone_and_box_new_are_banned() {
+        let (d, _) = run_on(
+            "// analyze:hot-path -- test\n\
+             fn hot(xs: &[u8]) {\n\
+             let a: Vec<u8> = xs.iter().copied().collect();\n\
+             let b = format!(\"x\");\n\
+             let c = xs.to_vec();\n\
+             let d = b.clone();\n\
+             let e = Box::new(1u8);\n\
+             }\n",
+        );
+        let names: Vec<&str> = d.iter().map(|x| x.rule.as_str()).collect();
+        assert_eq!(d.len(), 5, "{names:?}: {d:?}");
+        assert!(d.iter().any(|x| x.message.contains("collect")));
+        assert!(d.iter().any(|x| x.message.contains("format!")));
+        assert!(d.iter().any(|x| x.message.contains("to_vec")));
+        assert!(d.iter().any(|x| x.message.contains(".clone()")));
+        assert!(d.iter().any(|x| x.message.contains("Box::new")));
+    }
+
+    #[test]
+    fn unreached_allocations_are_ignored() {
+        let (d, _) = run_on(
+            "fn cold() -> Vec<u8> { Vec::new() }\n\
+             // analyze:hot-path -- test\n\
+             fn hot() { let x = 1; }\n",
+        );
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Driver for `cargo xtask analyze` — the workspace-graph semantic passes.
+//!
+//! Orchestration order matters and is fixed:
+//!
+//! 1. Lex/scan every target into a [`FileCtx`] and run the *lexical* rules
+//!    (the same six `lint` runs) so `analyze` subsumes `lint`.
+//! 2. Build the workspace call graph ([`crate::graph`]).
+//! 3. Run the semantic passes: registry drift, determinism taint
+//!    ([`crate::taint`]), zero-alloc closure ([`crate::alloc_lint`]), wire
+//!    schema ([`crate::schema`]). Each returns the allow directives it
+//!    consumed.
+//! 4. Only then finalize per file: apply allows to the lexical findings and
+//!    report malformed/unused directives. Deferring the unused-allow check
+//!    until after the semantic passes is the point — an allow naming
+//!    `zero-alloc-hot-path` at a boundary fn suppresses nothing lexically,
+//!    and only this driver knows it was consumed by the closure walk.
+//!
+//! Two modes: **workspace** (no file args) walks every crate under the
+//! per-crate policy table, enforces the built-in registration tables, and
+//! checks the golden wire schema at `xtask/wire_schema.json`; **explicit**
+//! (file args) treats the named files as one synthetic crate under the
+//! strict policy — that is what the fixture self-tests drive, with
+//! `--schema` pointing at a fixture golden when the drift pass is under
+//! test.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::diag::{sort, Diagnostic};
+use crate::graph::{build, check_registry, FileCtx, Graph};
+use crate::policy::Policy;
+use crate::rules::{finalize, raw_lexical};
+use crate::workspace::{crate_visibility, workspace_targets};
+use crate::{alloc_lint, schema, taint};
+
+/// Parsed `analyze` invocation.
+#[derive(Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Workspace root (workspace mode); ignored when `files` is non-empty.
+    pub root: PathBuf,
+    /// Explicit files (fixture mode) — one synthetic crate, strict policy.
+    pub files: Vec<PathBuf>,
+    /// Golden schema override; defaults to `<root>/xtask/wire_schema.json`
+    /// in workspace mode, and disables the drift pass in fixture mode when
+    /// absent.
+    pub schema_path: Option<PathBuf>,
+    /// Regenerate the golden schema instead of comparing against it.
+    pub bless_schema: bool,
+}
+
+/// What a run produced, for the CLI to render.
+#[derive(Debug)]
+pub struct AnalyzeReport {
+    /// All diagnostics, sorted.
+    pub diags: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files: usize,
+    /// Functions in the symbol table.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Path the golden schema was written to, when blessing.
+    pub blessed: Option<PathBuf>,
+}
+
+/// Runs the full analysis. `Err` is reserved for I/O and usage failures
+/// (exit 2); findings come back as diagnostics (exit 1).
+pub fn run(opts: &AnalyzeOptions) -> Result<AnalyzeReport, String> {
+    let workspace_mode = opts.files.is_empty();
+
+    // 1. Load targets.
+    let (mut ctxs, visibility) = if workspace_mode {
+        let targets = workspace_targets(&opts.root).map_err(|e| e.to_string())?;
+        let visibility = crate_visibility(&opts.root).map_err(|e| e.to_string())?;
+        let mut ctxs = Vec::with_capacity(targets.len());
+        for t in &targets {
+            let src = fs::read_to_string(&t.path).map_err(|e| format!("{}: {e}", t.label))?;
+            ctxs.push(FileCtx::new(
+                t.label.clone(),
+                t.crate_name.clone(),
+                t.policy,
+                &src,
+            ));
+        }
+        (ctxs, visibility)
+    } else {
+        let mut ctxs = Vec::with_capacity(opts.files.len());
+        for path in &opts.files {
+            let label = path.to_string_lossy().replace('\\', "/");
+            let src = fs::read_to_string(path).map_err(|e| format!("{label}: {e}"))?;
+            ctxs.push(FileCtx::new(
+                label,
+                "fixture".into(),
+                Policy::strict(),
+                &src,
+            ));
+        }
+        let mut visibility = std::collections::BTreeMap::new();
+        visibility.insert(
+            "fixture".to_string(),
+            std::collections::BTreeSet::from(["fixture".to_string()]),
+        );
+        (ctxs, visibility)
+    };
+
+    // Lexical findings, kept raw until the semantic passes have consumed
+    // their allows.
+    let mut raw: Vec<Vec<Diagnostic>> = Vec::with_capacity(ctxs.len());
+    for c in &ctxs {
+        raw.push(raw_lexical(&c.label, &c.lexed.tokens, &c.exempt, c.policy));
+    }
+
+    // 2–3. Graph and semantic passes.
+    let (mut g, mut diags) = build(std::mem::take(&mut ctxs), &visibility);
+    if workspace_mode {
+        diags.extend(check_registry(&g));
+    }
+    let mut used: Vec<(usize, usize)> = Vec::new();
+
+    let (taint_diags, taint_used) = taint::run(&g);
+    diags.extend(taint_diags);
+    used.extend(taint_used);
+
+    let (alloc_diags, alloc_used) = alloc_lint::run(&g);
+    diags.extend(alloc_diags);
+    used.extend(alloc_used);
+
+    let mut blessed = None;
+    let golden_path = match (&opts.schema_path, workspace_mode) {
+        (Some(p), _) => Some(p.clone()),
+        (None, true) => Some(opts.root.join("xtask/wire_schema.json")),
+        (None, false) => None,
+    };
+    if let Some(golden_path) = golden_path {
+        let entries = schema::extract(&g);
+        let golden_label = golden_path.to_string_lossy().replace('\\', "/");
+        if opts.bless_schema {
+            fs::write(&golden_path, schema::render(&entries))
+                .map_err(|e| format!("{golden_label}: {e}"))?;
+            blessed = Some(golden_path);
+        } else {
+            match fs::read_to_string(&golden_path) {
+                Ok(text) => {
+                    let (schema_diags, schema_used) =
+                        schema::compare(&g, &entries, &text, &golden_label);
+                    diags.extend(schema_diags);
+                    used.extend(schema_used);
+                }
+                Err(_) if workspace_mode => diags.push(Diagnostic::error(
+                    "wire-format-drift",
+                    &golden_label,
+                    1,
+                    1,
+                    "golden wire schema not found; generate it with \
+                     `cargo xtask analyze --bless-schema` and commit it"
+                        .into(),
+                )),
+                Err(e) => return Err(format!("{golden_label}: {e}")),
+            }
+        }
+    }
+
+    // 4. Mark pass-consumed allows used, then finalize per file.
+    for (fi, ai) in used {
+        if let Some(a) = g.files.get_mut(fi).and_then(|f| f.allows.get_mut(ai)) {
+            a.used = true;
+        }
+    }
+    let edges = g.edges.iter().map(Vec::len).sum();
+    let Graph { mut files, fns, .. } = g;
+    for (i, f) in files.iter_mut().enumerate() {
+        let file_raw = std::mem::take(&mut raw[i]);
+        diags.extend(finalize(
+            &f.label,
+            &f.lexed.comments,
+            &mut f.allows,
+            file_raw,
+            false,
+        ));
+    }
+
+    sort(&mut diags);
+    Ok(AnalyzeReport {
+        diags,
+        files: files.len(),
+        fns: fns.len(),
+        edges,
+        blessed,
+    })
+}

@@ -416,6 +416,63 @@ mod tests {
     }
 
     #[test]
+    fn multi_fence_raw_strings_swallow_inner_fences() {
+        // `r##"…"#…"##` — the single-fence close inside must not end it.
+        let l = lex(r####"let s = r##"has "# inside .unwrap()"## ; done"####);
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.starts_with("r##\"") && s.text.ends_with("\"##"));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let t = kinds("let r#type = r#match;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "r"));
+        assert!(t.iter().all(|(k, _)| *k != TokKind::Str));
+    }
+
+    #[test]
+    fn byte_and_c_strings_hide_their_contents() {
+        let l = lex(r###"let a = b"HashMap"; let b = br#"panic!"# ; let c = c"unwrap";"###);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "HashMap" && t.text != "panic" && t.text != "unwrap"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comment_terminates_correctly() {
+        let l = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ after");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "after");
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_tick_before_static_and_in_bounds() {
+        let t = kinds("fn f<'a, 'b: 'a>(x: &'static str) -> &'a str { x }");
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'b", "'a", "'static", "'a"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_is_not_a_lifetime() {
+        let t = kinds(r"let q = '\''; let u = '\u{41}'; still_here");
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            2,
+            "{t:?}"
+        );
+        assert!(t.iter().all(|(k, _)| *k != TokKind::Lifetime));
+        assert!(t.iter().any(|(_, s)| s == "still_here"));
+    }
+
+    #[test]
     fn numbers() {
         let t = kinds("a[0]; b[1usize]; 1.5e-9; 0xFF");
         assert!(t.iter().any(|(k, s)| *k == TokKind::Int && s == "0"));

@@ -1,26 +1,39 @@
-//! Workspace task runner: the determinism-invariant static analyzer behind
-//! `cargo xtask lint`.
+//! Workspace task runner: the determinism-invariant static analyzers behind
+//! `cargo xtask lint` and `cargo xtask analyze`.
 //!
 //! The repo's headline guarantees — byte-identical parallel lineups (PR 3),
 //! bit-identical float association in the partitioner hot path (PR 4),
 //! byte-identical WAL crash replay (PR 2) — are enforced dynamically by
 //! equivalence tests. Those tests can silently lose coverage as code grows.
-//! This crate adds the static wall: every `.rs` file in the library crates
-//! is lexed and checked against repo-specific invariants clippy cannot
-//! express, so a stray `HashMap` iteration or `Instant::now()` in a
-//! deterministic crate fails CI before any equivalence test runs.
+//! This crate adds the static wall in two layers:
+//!
+//! - **`lint`** — per-file lexical rules: every `.rs` file in the library
+//!   crates is lexed and checked against repo-specific invariants clippy
+//!   cannot express, so a stray `HashMap` iteration or `Instant::now()` in
+//!   a deterministic crate fails CI before any equivalence test runs.
+//! - **`analyze`** — workspace-graph semantic passes over a symbol table
+//!   and call graph parsed from all crates: interprocedural determinism
+//!   taint ([`taint`]), static zero-alloc hot-path closure enforcement
+//!   ([`alloc_lint`]), and the wire-format drift guard ([`schema`]) with
+//!   its checked-in golden fingerprints.
 //!
 //! See [`rules`] for the rule set, [`policy`] for which crates each rule
-//! covers, and [`allow`] for the justified escape hatch.
+//! covers, [`graph`] for the call-graph construction and the hot-path /
+//! sink / codec registries, and [`allow`] for the justified escape hatch.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod alloc_lint;
 pub mod allow;
+pub mod analyze;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod policy;
 pub mod rules;
 pub mod scanner;
+pub mod schema;
+pub mod taint;
 pub mod workspace;

@@ -1,33 +1,47 @@
 //! `cargo xtask` — workspace task runner.
 //!
 //! ```text
-//! cargo xtask lint            # human-readable report, exit 1 on violations
-//! cargo xtask lint --json     # machine-readable diagnostics on stdout
-//! cargo xtask lint FILE...    # lint specific files under the strict policy
-//! cargo xtask rules           # print the rule table
+//! cargo xtask lint               # per-file lexical report, exit 1 on violations
+//! cargo xtask lint --json        # machine-readable diagnostics on stdout
+//! cargo xtask lint FILE...       # lint specific files under the strict policy
+//! cargo xtask analyze            # workspace-graph semantic passes + lexical rules
+//! cargo xtask analyze --json     # machine-readable diagnostics on stdout
+//! cargo xtask analyze --bless-schema   # regenerate the golden wire schema
+//! cargo xtask rules              # print the rule table
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use xtask::analyze::{self, AnalyzeOptions};
 use xtask::diag::{render_human, render_json, sort, Diagnostic, Severity};
 use xtask::policy::Policy;
-use xtask::rules::RULE_IDS;
-use xtask::workspace::{analyze_target, workspace_targets, Target};
+use xtask::rules::{ANALYZE_RULE_IDS, RULE_IDS};
+use xtask::workspace::{analyze_target, locate_root, workspace_targets, Target};
 
 const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
   lint [--json] [--root DIR] [FILE...]
-      Run the determinism-invariant analyzer. With no FILE arguments the
-      whole workspace is scanned under the per-crate policy table; explicit
-      files are scanned under the strict all-rules policy (used by the
-      fixture self-tests). Exits 0 when clean, 1 on violations, 2 on usage
-      or I/O errors.
+      Run the per-file determinism-invariant rules. With no FILE arguments
+      the whole workspace is scanned under the per-crate policy table;
+      explicit files are scanned under the strict all-rules policy (used by
+      the fixture self-tests). Exits 0 when clean, 1 on violations, 2 on
+      usage or I/O errors.
+  analyze [--json] [--root DIR] [--schema PATH] [--bless-schema] [FILE...]
+      Run the workspace-graph semantic passes (determinism taint,
+      zero-alloc hot-path closures, wire-format drift, registration
+      drift) on top of every lexical rule. With no FILE arguments the
+      whole workspace is analyzed and the golden wire schema at
+      xtask/wire_schema.json is enforced; --bless-schema regenerates it.
+      Explicit FILE arguments form one synthetic strict-policy crate
+      (fixture self-tests); --schema points at an alternate golden file.
+      Exit codes as for lint.
   rules
       List every rule id with a one-line description.
 ";
@@ -36,6 +50,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("rules") => {
             print_rules();
             ExitCode::SUCCESS
@@ -50,6 +65,10 @@ fn main() -> ExitCode {
 fn print_rules() {
     println!("rule ids enforced by `cargo xtask lint`:");
     for id in RULE_IDS {
+        println!("  {id}");
+    }
+    println!("rule ids enforced by `cargo xtask analyze` (in addition to the above):");
+    for id in ANALYZE_RULE_IDS {
         println!("  {id}");
     }
     println!("  malformed-allow   (meta: lint:allow without a `-- reason`)");
@@ -94,6 +113,7 @@ fn lint(args: &[String]) -> ExitCode {
             .map(|path| Target {
                 label: path.to_string_lossy().replace('\\', "/"),
                 path,
+                crate_name: "fixture".into(),
                 policy: Policy::strict(),
             })
             .collect()
@@ -114,40 +134,98 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
     sort(&mut diags);
+    report(
+        &diags,
+        json,
+        &format!("xtask lint: {scanned} files scanned"),
+    )
+}
 
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut opts = AnalyzeOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--bless-schema" => opts.bless_schema = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root takes a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--schema" => match it.next() {
+                Some(p) => opts.schema_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --schema takes a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag}");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => opts.files.push(PathBuf::from(path)),
+        }
+    }
+    if opts.files.is_empty() {
+        opts.root = match locate_root(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    // Wall-clock is reported for the EXPERIMENTS.md budget (< 10 s on the
+    // full workspace); xtask is a host tool, not a deterministic crate, so
+    // reading the monotonic clock here is fine (and lint does not scan it).
+    let t0 = Instant::now();
+    let rep = match analyze::run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = t0.elapsed();
+    if let Some(p) = &rep.blessed {
+        eprintln!(
+            "xtask analyze: golden wire schema written to {}",
+            p.display()
+        );
+    }
+    report(
+        &rep.diags,
+        json,
+        &format!(
+            "xtask analyze: {} files, {} fns, {} call edges in {:.2?}",
+            rep.files, rep.fns, rep.edges, elapsed
+        ),
+    )
+}
+
+/// Renders diagnostics and maps them to the exit code contract.
+fn report(diags: &[Diagnostic], json: bool, stats: &str) -> ExitCode {
     let errors = diags
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
     let warnings = diags.len() - errors;
     if json {
-        println!("{}", render_json(&diags));
+        println!("{}", render_json(diags));
     } else {
-        print!("{}", render_human(&diags));
-        eprintln!("xtask lint: {scanned} files scanned, {errors} error(s), {warnings} warning(s)");
+        print!("{}", render_human(diags));
     }
+    eprintln!("{stats}, {errors} error(s), {warnings} warning(s)");
     if errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
-    }
-}
-
-/// Walks upward from `start` to the directory containing the workspace's
-/// `Cargo.toml` + `crates/`, so `cargo xtask lint` works from any subdir.
-fn locate_root(start: &Path) -> Result<PathBuf, String> {
-    let mut dir = start
-        .canonicalize()
-        .map_err(|e| format!("cannot resolve {}: {e}", start.display()))?;
-    loop {
-        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
-            return Ok(dir);
-        }
-        if !dir.pop() {
-            return Err(format!(
-                "no workspace root (Cargo.toml + crates/) at or above {}",
-                start.display()
-            ));
-        }
     }
 }

@@ -18,6 +18,8 @@ pub struct Policy {
     pub rng_discipline: bool,
     /// `float-association`: parallel float reductions banned (hot path).
     pub float_association: bool,
+    /// `no-lossy-cast-in-codecs`: narrowing `as` casts banned (wire codecs).
+    pub no_lossy_cast: bool,
 }
 
 impl Policy {
@@ -29,6 +31,7 @@ impl Policy {
             no_panic: true,
             rng_discipline: true,
             float_association: true,
+            no_lossy_cast: true,
         }
     }
 
@@ -39,6 +42,7 @@ impl Policy {
             || self.no_panic
             || self.rng_discipline
             || self.float_association
+            || self.no_lossy_cast
     }
 }
 
@@ -93,6 +97,20 @@ const FLOAT_GUARD_FILES: &[(&str, &str)] = &[
     ("workload", "src/streaming.rs"),
 ];
 
+/// Hand-rolled wire-codec files: every byte written here must replay
+/// byte-identically after a crash (WAL, snapshots) or across a socket
+/// (proto frames, the dedup-window export embedded in service snapshots).
+/// A silent `as` truncation in one of these files corrupts the wire without
+/// failing any type check, so narrowing casts are banned: lengths travel
+/// through `usize::try_from` (or a checked helper) and surface as typed
+/// decode errors instead.
+const CODEC_FILES: &[(&str, &str)] = &[
+    ("cluster", "src/wal.rs"),
+    ("cluster", "src/snapshot.rs"),
+    ("service", "src/proto.rs"),
+    ("service", "src/dedup.rs"),
+];
+
 /// Resolves the policy for `crate_name` + `rel_path` (path inside the crate,
 /// e.g. `src/refine.rs`).
 ///
@@ -111,6 +129,9 @@ pub fn policy_for(crate_name: &str, rel_path: &str) -> Policy {
         no_panic: true,
         rng_discipline: deterministic,
         float_association: FLOAT_GUARD_FILES
+            .iter()
+            .any(|(c, f)| *c == crate_name && *f == rel_path),
+        no_lossy_cast: CODEC_FILES
             .iter()
             .any(|(c, f)| *c == crate_name && *f == rel_path),
     }
@@ -148,6 +169,16 @@ mod tests {
             assert!(p.no_panic, "{file} must be panic-free");
             assert!(p.rng_discipline, "{file} must use seeded RNGs");
         }
+    }
+
+    #[test]
+    fn codec_files_ban_lossy_casts() {
+        assert!(policy_for("cluster", "src/wal.rs").no_lossy_cast);
+        assert!(policy_for("cluster", "src/snapshot.rs").no_lossy_cast);
+        assert!(policy_for("service", "src/proto.rs").no_lossy_cast);
+        assert!(policy_for("service", "src/dedup.rs").no_lossy_cast);
+        assert!(!policy_for("cluster", "src/lib.rs").no_lossy_cast);
+        assert!(!policy_for("sim", "src/metering.rs").no_lossy_cast);
     }
 
     #[test]

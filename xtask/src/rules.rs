@@ -16,26 +16,53 @@ use crate::lexer::{lex, Tok, TokKind};
 use crate::policy::Policy;
 use crate::scanner::{is_keyword, scan};
 
-/// Stable ids of every source-level rule, in documentation order.
+/// Stable ids of every source-level (single-file, lexical) rule, in
+/// documentation order.
 pub const RULE_IDS: &[&str] = &[
     "no-unordered-iteration",
     "no-ambient-entropy",
     "no-panic-in-libs",
     "rng-discipline",
     "float-association",
+    "no-lossy-cast-in-codecs",
+];
+
+/// Rule ids that only `cargo xtask analyze` (the workspace-graph semantic
+/// passes) can emit. `lint` must still recognize them in `lint:allow`
+/// directives — an allow naming one of these is well-formed, and its
+/// used/unused status is only decidable by `analyze`.
+pub const ANALYZE_RULE_IDS: &[&str] = &[
+    "determinism-taint",
+    "zero-alloc-hot-path",
+    "wire-format-drift",
+    "registry-drift",
 ];
 
 /// Analyzes one file's source under `policy`, applying `lint:allow`
 /// directives, and returns its diagnostics (unsorted).
+///
+/// This is the single-file (`lint`) entry point: rules whose usage only the
+/// workspace-graph passes can see ([`ANALYZE_RULE_IDS`]) are exempt from
+/// the unused-allow check here.
 pub fn analyze_source(path_label: &str, src: &str, policy: Policy) -> Vec<Diagnostic> {
     let lexed = lex(src);
     let info = scan(&lexed.tokens);
     let mut allows = parse_allows(&lexed.comments);
+    let raw = raw_lexical(path_label, &lexed.tokens, &info.exempt, policy);
+    finalize(path_label, &lexed.comments, &mut allows, raw, true)
+}
 
+/// Runs every lexical rule active under `policy` over a token stream,
+/// returning raw (pre-`lint:allow`) diagnostics.
+pub fn raw_lexical(
+    path_label: &str,
+    toks: &[Tok],
+    exempt: &[bool],
+    policy: Policy,
+) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
-    let toks = &lexed.tokens;
-    for i in 0..toks.len() {
-        if info.exempt[i] {
+    for (i, ex) in exempt.iter().enumerate().take(toks.len()) {
+        if *ex {
             continue;
         }
         if policy.no_unordered_iteration {
@@ -53,20 +80,37 @@ pub fn analyze_source(path_label: &str, src: &str, policy: Policy) -> Vec<Diagno
         if policy.float_association {
             check_float(path_label, toks, i, &mut raw);
         }
+        if policy.no_lossy_cast {
+            check_cast(path_label, toks, i, &mut raw);
+        }
     }
+    raw
+}
 
-    // Apply the escape hatches: a directive only suppresses when it carries
-    // a written reason; reasonless or misspelled directives are themselves
-    // violations and cannot be silenced.
+/// Applies the `lint:allow` escape hatches to `raw` diagnostics and appends
+/// the meta-rules (`malformed-allow`, `unused-allow`).
+///
+/// A directive only suppresses when it carries a written reason; reasonless
+/// or misspelled directives are themselves violations and cannot be
+/// silenced. With `defer_analyze_rules` set (the single-file `lint` mode),
+/// an unconsumed allow naming only [`ANALYZE_RULE_IDS`] rules is not
+/// reported as unused — only the workspace-graph passes can consume it.
+pub fn finalize(
+    path_label: &str,
+    comments: &[crate::lexer::Comment],
+    allows: &mut [crate::allow::AllowDirective],
+    raw: Vec<Diagnostic>,
+    defer_analyze_rules: bool,
+) -> Vec<Diagnostic> {
     let mut out: Vec<Diagnostic> = Vec::new();
     for d in raw {
-        let covering = find_covering(&allows, &lexed.comments, &d.rule, d.line);
+        let covering = find_covering(allows, comments, &d.rule, d.line);
         match covering {
             Some(idx) if allows[idx].reason.is_some() => allows[idx].used = true,
             _ => out.push(d),
         }
     }
-    for a in &allows {
+    for a in allows.iter() {
         if a.reason.is_none() {
             out.push(Diagnostic::error(
                 "malformed-allow",
@@ -79,7 +123,7 @@ pub fn analyze_source(path_label: &str, src: &str, policy: Policy) -> Vec<Diagno
             ));
         }
         for r in &a.rules {
-            if !RULE_IDS.contains(&r.as_str()) {
+            if !RULE_IDS.contains(&r.as_str()) && !ANALYZE_RULE_IDS.contains(&r.as_str()) {
                 out.push(Diagnostic::error(
                     "malformed-allow",
                     path_label,
@@ -89,7 +133,11 @@ pub fn analyze_source(path_label: &str, src: &str, policy: Policy) -> Vec<Diagno
                 ));
             }
         }
-        if a.reason.is_some() && !a.used {
+        let analyze_only = a
+            .rules
+            .iter()
+            .all(|r| ANALYZE_RULE_IDS.contains(&r.as_str()));
+        if a.reason.is_some() && !a.used && !(defer_analyze_rules && analyze_only) {
             out.push(Diagnostic {
                 rule: "unused-allow".into(),
                 path: path_label.into(),
@@ -119,9 +167,20 @@ const UNORDERED_TYPES: &[&str] = &[
     "IndexSet",
 ];
 
-fn check_unordered(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+/// Returns the unordered-collection name when token `i` is one
+/// (`HashMap`, …) — shared by the lexical rule and the taint pass.
+pub fn unordered_source(toks: &[Tok], i: usize) -> Option<&str> {
     let t = &toks[i];
     if t.kind == TokKind::Ident && UNORDERED_TYPES.contains(&t.text.as_str()) {
+        Some(t.text.as_str())
+    } else {
+        None
+    }
+}
+
+fn check_unordered(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    if unordered_source(toks, i).is_some() {
         out.push(Diagnostic::error(
             "no-unordered-iteration",
             path,
@@ -157,9 +216,13 @@ fn path_call(toks: &[Tok], i: usize, head: &str, tails: &[&str]) -> Option<Strin
     None
 }
 
-fn check_entropy(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+/// Returns the ambient-entropy construct name when token `i` starts one
+/// (`Instant::now`, `thread_rng`, `env!`, …) — shared by the lexical rule
+/// and the taint pass, which also treats `from_entropy` / `rand::random`
+/// (the `rng-discipline` matchers) as entropy sources.
+pub fn entropy_source(toks: &[Tok], i: usize) -> Option<String> {
     let t = &toks[i];
-    let found: Option<String> = if let Some(p) = path_call(toks, i, "Instant", &["now"]) {
+    if let Some(p) = path_call(toks, i, "Instant", &["now"]) {
         Some(p)
     } else if let Some(p) = path_call(toks, i, "SystemTime", &["now"]) {
         Some(p)
@@ -178,8 +241,12 @@ fn check_entropy(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) 
         Some(format!("{}!", t.text))
     } else {
         None
-    };
-    if let Some(what) = found {
+    }
+}
+
+fn check_entropy(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    if let Some(what) = entropy_source(toks, i) {
         out.push(Diagnostic::error(
             "no-ambient-entropy",
             path,
@@ -260,6 +327,20 @@ fn check_panic(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Returns the OS-seeded RNG construct when token `i` is one — shared by
+/// the `rng-discipline` lexical rule and the taint pass (an OS-seeded RNG
+/// is an entropy source for taint purposes).
+pub fn rng_source(toks: &[Tok], i: usize) -> Option<&'static str> {
+    let t = &toks[i];
+    if t.kind == TokKind::Ident && t.text == "from_entropy" {
+        Some("from_entropy")
+    } else if path_call(toks, i, "rand", &["random"]).is_some() {
+        Some("rand::random")
+    } else {
+        None
+    }
+}
+
 fn check_rng(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
     let t = &toks[i];
     if t.kind == TokKind::Ident && t.text == "from_entropy" {
@@ -334,6 +415,37 @@ fn check_float(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
             break;
         }
         j -= 1;
+    }
+}
+
+/// Numeric types an `as` cast can silently truncate into. `usize`/`isize`
+/// are included although they are 64-bit on every supported target: codec
+/// byte layouts must not depend on the host's pointer width, so
+/// platform-sized casts go through `usize::try_from` like any narrowing.
+/// Widening casts (`as u64`, `as u128`, `as f64`, `as i64`) stay legal —
+/// they are how codecs put counts on the wire.
+const NARROWING_CASTS: &[&str] = &[
+    "u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize", "f32",
+];
+
+fn check_cast(path: &str, toks: &[Tok], i: usize, out: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || t.text != "as" {
+        return;
+    }
+    let Some(ty) = toks.get(i + 1) else { return };
+    if ty.kind == TokKind::Ident && NARROWING_CASTS.contains(&ty.text.as_str()) {
+        out.push(Diagnostic::error(
+            "no-lossy-cast-in-codecs",
+            path,
+            t.line,
+            t.col,
+            format!(
+                "`as {}` silently truncates in a wire-codec file; use `{}::try_from` and \
+                 surface a typed decode error (or justify a proven bound with a lint:allow)",
+                ty.text, ty.text
+            ),
+        ));
     }
 }
 
@@ -412,6 +524,24 @@ mod tests {
         assert!(run("fn f(v: &[f64]) -> f64 { v.iter().sum() }").is_empty());
         // A parallel source in a *previous* statement does not taint.
         assert!(run("fn f(v: &[f64]) -> f64 { par_iter(v); v.iter().sum() }").is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_widening_clean() {
+        let d = run("fn f(n: u64) -> usize { n as usize }");
+        assert_eq!(rules_of(&d), vec!["no-lossy-cast-in-codecs"]);
+        assert!(run("fn f(n: usize) -> u64 { n as u64 }").is_empty());
+        assert!(run("fn f(n: u32) -> u128 { n as u128 }").is_empty());
+        // Non-cast `as` (imports) is untouched.
+        assert!(run("use std::fmt as f;").is_empty());
+    }
+
+    #[test]
+    fn allow_covers_proven_bound_cast() {
+        let d = run(
+            "fn f(n: u64) -> u32 {\n    // lint:allow(no-lossy-cast-in-codecs) -- bounded by frame cap\n    n as u32\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

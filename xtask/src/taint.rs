@@ -1,0 +1,268 @@
+//! Determinism taint propagation (`determinism-taint`).
+//!
+//! The lexical rules ban entropy and unordered iteration *where the policy
+//! is strict*; this pass closes the remaining interprocedural hole: a
+//! function may be individually clean yet transitively call something that
+//! reads a clock, draws from an unseeded RNG, or iterates a hash map — and
+//! if that function is a registered ordering-sensitive sink (WAL append,
+//! report emit, proto encode, partition seed derivation), the
+//! nondeterminism lands in replayed bytes.
+//!
+//! Semantics:
+//!
+//! - **Sources.** Any non-test token sequence matched by the lexical
+//!   entropy / unordered-iteration / unseeded-RNG matchers
+//!   ([`crate::rules`]) marks its enclosing function as a taint source.
+//!   Sources count even when a file-local `lint:allow` silenced the
+//!   lexical rule, and even in crates whose policy permits entropy
+//!   (`bench`): an allow justifies the *local* use, not its reachability
+//!   from a replay-critical sink.
+//! - **Propagation.** Taint flows backwards along call edges to a
+//!   fixpoint: a function is tainted iff it contains a source or calls a
+//!   tainted function.
+//! - **Findings.** One error per registered sink that ends up tainted,
+//!   anchored at the sink's declaration and carrying the shortest
+//!   call path down to a concrete source location.
+//! - **Escape hatch.** `// lint:allow(determinism-taint) -- reason`
+//!   covering the sink's declaration line suppresses the finding.
+//!
+//! Because the call graph over-approximates (name-based resolution), a
+//! finding is a *reachability claim*, not a proof of execution — exactly
+//! the polarity a push-time gate wants.
+
+use std::collections::VecDeque;
+
+use crate::allow::find_covering;
+use crate::diag::Diagnostic;
+use crate::graph::Graph;
+use crate::rules;
+
+const RULE: &str = "determinism-taint";
+
+/// How a function became a taint source.
+struct Source {
+    what: String,
+    line: u32,
+    col: u32,
+}
+
+/// Runs the pass. Returns diagnostics plus `(file index, allow index)`
+/// pairs for allows this pass consumed (so the driver can mark them used).
+pub fn run(g: &Graph) -> (Vec<Diagnostic>, Vec<(usize, usize)>) {
+    let n = g.fns.len();
+
+    // Pass 1: direct sources per function.
+    let mut sources: Vec<Option<Source>> = Vec::with_capacity(n);
+    for f in 0..n {
+        sources.push(direct_source(g, f));
+    }
+
+    // Pass 2: fixpoint over reversed edges — seed the worklist with source
+    // functions, taint every caller... no: taint flows from callee to
+    // caller (a caller of a tainted fn is tainted), so propagate along
+    // reverse edges of the "calls" relation.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, es) in g.edges.iter().enumerate() {
+        for e in es {
+            rev[e.callee].push(caller);
+        }
+    }
+    let mut tainted = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (f, s) in sources.iter().enumerate() {
+        if s.is_some() {
+            tainted[f] = true;
+            queue.push_back(f);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &caller in &rev[f] {
+            if !tainted[caller] {
+                tainted[caller] = true;
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    // Pass 3: findings at tainted sinks, with a shortest path (BFS over
+    // forward edges restricted to tainted functions) to a source.
+    let mut diags = Vec::new();
+    let mut used_allows = Vec::new();
+    for (f, info) in g.fns.iter().enumerate() {
+        let Some(label) = &info.sink else { continue };
+        if !tainted[f] {
+            continue;
+        }
+        let file = &g.files[info.file];
+        let path = shortest_source_path(g, f, &tainted, &sources);
+        let msg = describe(g, label, &path, &sources);
+        if let Some(ai) = find_covering(&file.allows, &file.lexed.comments, RULE, info.line) {
+            used_allows.push((info.file, ai));
+            continue;
+        }
+        diags.push(Diagnostic::error(
+            RULE,
+            &file.label,
+            info.line,
+            info.col,
+            msg,
+        ));
+    }
+    (diags, used_allows)
+}
+
+/// Scans one function's body for a direct nondeterminism source.
+fn direct_source(g: &Graph, f: usize) -> Option<Source> {
+    let info = &g.fns[f];
+    let file = &g.files[info.file];
+    let (lo, hi) = info.body;
+    let toks = &file.lexed.tokens;
+    for i in lo..=hi {
+        if file.exempt[i] {
+            continue;
+        }
+        if let Some(what) = rules::unordered_source(toks, i) {
+            return Some(Source {
+                what: format!("unordered iteration over `{what}`"),
+                line: toks[i].line,
+                col: toks[i].col,
+            });
+        }
+        if let Some(what) = rules::entropy_source(toks, i) {
+            return Some(Source {
+                what: format!("ambient entropy via `{what}`"),
+                line: toks[i].line,
+                col: toks[i].col,
+            });
+        }
+        if let Some(what) = rules::rng_source(toks, i) {
+            return Some(Source {
+                what: format!("unseeded RNG via `{what}`"),
+                line: toks[i].line,
+                col: toks[i].col,
+            });
+        }
+    }
+    None
+}
+
+/// BFS from `start` through tainted functions to the nearest function with
+/// a direct source; returns the path as function ids (start first).
+fn shortest_source_path(
+    g: &Graph,
+    start: usize,
+    tainted: &[bool],
+    sources: &[Option<Source>],
+) -> Vec<usize> {
+    let n = g.fns.len();
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    let mut hit = start;
+    'bfs: while let Some(f) = queue.pop_front() {
+        if sources[f].is_some() {
+            hit = f;
+            break 'bfs;
+        }
+        for e in &g.edges[f] {
+            let c = e.callee;
+            if tainted[c] && !seen[c] {
+                seen[c] = true;
+                prev[c] = Some(f);
+                queue.push_back(c);
+            }
+        }
+    }
+    let mut path = vec![hit];
+    while let Some(p) = prev[*path.last().unwrap_or(&hit)] {
+        path.push(p);
+    }
+    path.reverse();
+    path
+}
+
+/// Renders the finding message with the call chain and source location.
+fn describe(g: &Graph, sink_label: &str, path: &[usize], sources: &[Option<Source>]) -> String {
+    let chain: Vec<String> = path.iter().map(|&f| g.fns[f].qual_name()).collect();
+    let last = *path.last().unwrap_or(&0);
+    let src_desc = match &sources[last] {
+        Some(s) => {
+            let file = &g.files[g.fns[last].file].label;
+            format!("{} at {file}:{}:{}", s.what, s.line, s.col)
+        }
+        None => "an unresolved source".to_string(),
+    };
+    format!(
+        "ordering-sensitive sink `{}` ({sink_label}) is reachable from a nondeterminism \
+         source: {} -- {src_desc}; replayed bytes will diverge. Break the chain or add \
+         `// lint:allow(determinism-taint) -- <reason>` at the sink",
+        chain.first().map(String::as_str).unwrap_or("?"),
+        chain.join(" -> "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build, FileCtx};
+    use crate::policy::Policy;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new("t.rs".into(), "fixture".into(), Policy::strict(), src);
+        let mut vis = BTreeMap::new();
+        vis.insert(
+            "fixture".to_string(),
+            BTreeSet::from(["fixture".to_string()]),
+        );
+        let (g, _) = build(vec![ctx], &vis);
+        run(&g).0
+    }
+
+    #[test]
+    fn two_hop_chain_reaches_sink() {
+        let d = run_on(
+            "fn noisy() -> u64 { let c = std::time::Instant::now(); 0 }\n\
+             fn mid() -> u64 { noisy() }\n\
+             // analyze:sink(out) -- test\n\
+             fn emit() { let _ = mid(); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "determinism-taint");
+        assert_eq!((d[0].line, d[0].col), (4, 4));
+        assert!(
+            d[0].message.contains("emit -> mid -> noisy"),
+            "{}",
+            d[0].message
+        );
+        assert!(d[0].message.contains("Instant"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn clean_sink_is_silent_and_allow_suppresses() {
+        let d = run_on("// analyze:sink(out) -- test\nfn emit() { let x = 1 + 1; }\n");
+        assert!(d.is_empty());
+        let d = run_on(
+            "fn noisy() { let c = std::time::Instant::now(); }\n\
+             // lint:allow(determinism-taint) -- deliberate wall-clock stamp in header\n\
+             // analyze:sink(out) -- test\n\
+             fn emit() { noisy(); }\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn source_under_lexical_allow_still_taints() {
+        let d = run_on(
+            "fn noisy() {\n\
+             // lint:allow(no-ambient-entropy) -- locally justified\n\
+             let c = std::time::Instant::now();\n\
+             }\n\
+             // analyze:sink(out) -- test\n\
+             fn emit() { noisy(); }\n",
+        );
+        assert_eq!(d.len(), 1, "local allow must not launder reachability");
+    }
+}

@@ -1,5 +1,6 @@
 //! Workspace discovery: which files get scanned, under which policy.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -15,6 +16,11 @@ pub struct Target {
     pub path: PathBuf,
     /// Path label used in diagnostics, relative to the workspace root.
     pub label: String,
+    /// Workspace crate the file belongs to (directory name under `crates/`,
+    /// `goldilocks-root` for the facade, `fixture` for explicit-path runs).
+    /// The call-graph passes use this to scope cross-file resolution to the
+    /// crate dependency graph.
+    pub crate_name: String,
     /// Active policy.
     pub policy: Policy,
 }
@@ -55,6 +61,7 @@ pub fn workspace_targets(root: &Path) -> io::Result<Vec<Target>> {
             targets.push(Target {
                 label: rel_label(&f, root),
                 path: f,
+                crate_name: name.clone(),
                 policy,
             });
         }
@@ -72,6 +79,7 @@ pub fn workspace_targets(root: &Path) -> io::Result<Vec<Target>> {
             targets.push(Target {
                 label: rel_label(&f, root),
                 path: f,
+                crate_name: "goldilocks-root".into(),
                 policy,
             });
         }
@@ -100,8 +108,97 @@ fn rel_label(path: &Path, root: &Path) -> String {
         .replace('\\', "/")
 }
 
+/// Walks upward from `start` to the directory containing the workspace's
+/// `Cargo.toml` + `crates/`, so the xtask commands work from any subdir.
+pub fn locate_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve {}: {e}", start.display()))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml + crates/) at or above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
 /// Analyzes one target file.
 pub fn analyze_target(t: &Target) -> io::Result<Vec<Diagnostic>> {
     let src = fs::read_to_string(&t.path)?;
     Ok(analyze_source(&t.label, &src, t.policy))
+}
+
+/// Computes, per workspace crate, the set of crates visible to it: itself
+/// plus the transitive closure of its `goldilocks-*` dependencies, read
+/// from each crate's `Cargo.toml`. The call-graph passes use this to keep
+/// name-based resolution from inventing edges the compiler would reject
+/// (e.g. a `partition` function can never call into `sim`).
+pub fn crate_visibility(root: &Path) -> io::Result<BTreeMap<String, BTreeSet<String>>> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    for name in &names {
+        let manifest = crates_dir.join(name).join("Cargo.toml");
+        let deps = match fs::read_to_string(&manifest) {
+            Ok(text) => goldilocks_deps(&text),
+            Err(_) => BTreeSet::new(),
+        };
+        direct.insert(name.clone(), deps);
+    }
+    // The facade crate at the root depends on everything it re-exports.
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        direct.insert("goldilocks-root".into(), goldilocks_deps(&text));
+    }
+
+    // Transitive closure (the graph is tiny; a fixpoint sweep is fine).
+    let mut visible: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (name, deps) in &direct {
+        let mut seen: BTreeSet<String> = deps.clone();
+        seen.insert(name.clone());
+        loop {
+            let mut grew = false;
+            for dep in seen.clone() {
+                if let Some(dd) = direct.get(&dep) {
+                    for d in dd {
+                        grew |= seen.insert(d.clone());
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        visible.insert(name.clone(), seen);
+    }
+    Ok(visible)
+}
+
+/// Extracts `goldilocks-<name>` dependency names (without the prefix) from a
+/// manifest's text. Dev-dependencies are included — over-approximating
+/// visibility is safe for resolution scoping.
+fn goldilocks_deps(manifest: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("goldilocks-") {
+            if let Some(dep) = rest.split(['.', ' ', '=']).next() {
+                if !dep.is_empty() {
+                    out.insert(dep.to_string());
+                }
+            }
+        }
+    }
+    out
 }

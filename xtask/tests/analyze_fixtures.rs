@@ -1,0 +1,137 @@
+//! Fixture corpus for `xtask analyze`: one known-bad file per semantic pass
+//! (taint chain, hot-path allocation, wire drift), each pinned to exact
+//! rule ids, lines and columns in the JSON output — plus the self-test that
+//! the workspace itself analyzes clean, which is the invocation CI gates on.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs `xtask analyze --json <args>` and returns (exit code, stdout).
+fn run_analyze(args: &[&dyn AsRef<std::ffi::OsStr>]) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xtask"));
+    cmd.args(["analyze", "--json"]);
+    for a in args {
+        cmd.arg(a.as_ref());
+    }
+    let out = cmd.output().expect("spawn xtask binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Every `"rule":"…"` value in report order.
+fn rules_in(json: &str) -> Vec<String> {
+    json.split("\"rule\":\"")
+        .skip(1)
+        .map(|s| s.split('"').next().unwrap_or("").to_string())
+        .collect()
+}
+
+/// Every `"line":N,"col":M` span in report order.
+fn spans_in(json: &str) -> Vec<(u32, u32)> {
+    json.split("\"line\":")
+        .skip(1)
+        .map(|s| {
+            let line = s.split(',').next().unwrap_or("0").parse().unwrap_or(0);
+            let col = s
+                .split("\"col\":")
+                .nth(1)
+                .and_then(|c| c.split(',').next())
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(0);
+            (line, col)
+        })
+        .collect()
+}
+
+#[test]
+fn taint_chain_fixture_blames_the_sink_with_the_full_path() {
+    let path = fixture("bad_taint_chain.rs");
+    let (code, json) = run_analyze(&[&path]);
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["determinism-taint"], "{json}");
+    // Anchored at the sink's declaration, not the source.
+    assert_eq!(spans_in(&json), vec![(18, 8)], "{json}");
+    assert!(json.contains("emit -> mid -> noisy"), "{json}");
+    assert!(json.contains("Instant::now"), "{json}");
+    // The source's own line is named so the chain is actionable.
+    assert!(json.contains("bad_taint_chain.rs:10:5"), "{json}");
+}
+
+#[test]
+fn hot_alloc_fixture_blames_the_banned_token_with_the_root_path() {
+    let path = fixture("bad_hot_alloc.rs");
+    let (code, json) = run_analyze(&[&path]);
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["zero-alloc-hot-path"], "{json}");
+    // Anchored at the allocating construct inside the helper.
+    assert_eq!(spans_in(&json), vec![(14, 10)], "{json}");
+    assert!(json.contains("Vec::with_capacity"), "{json}");
+    assert!(json.contains("warm -> helper"), "{json}");
+}
+
+#[test]
+fn codec_field_reorder_trips_the_drift_guard() {
+    // Stage both versions at the same path so the golden keys (file, fn)
+    // line up; the fixture pair documents the before/after shapes.
+    let dir = std::env::temp_dir().join(format!("xtask-drift-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let staged = dir.join("codec.rs");
+    let golden = dir.join("golden.json");
+
+    fs::copy(fixture("codec_v1.rs"), &staged).unwrap();
+    let (code, _) = run_analyze(&[&staged, &"--schema", &golden, &"--bless-schema"]);
+    assert_eq!(code, 0, "blessing must succeed");
+    let blessed = fs::read_to_string(&golden).unwrap();
+    assert!(blessed.contains("\"fn\":\"encode\""), "{blessed}");
+    assert!(blessed.contains("\"ops\":\"u32,u64\""), "{blessed}");
+
+    // Unchanged codec against its own golden: clean.
+    let (code, json) = run_analyze(&[&staged, &"--schema", &golden]);
+    assert_eq!(code, 0, "{json}");
+
+    // Reordered fields: same ops, different order, flagged at the fn decl.
+    fs::copy(fixture("codec_v2.rs"), &staged).unwrap();
+    let (code, json) = run_analyze(&[&staged, &"--schema", &golden]);
+    assert_eq!(code, 1);
+    assert_eq!(rules_in(&json), vec!["wire-format-drift"], "{json}");
+    assert_eq!(spans_in(&json), vec![(19, 8)], "{json}");
+    assert!(json.contains("ops now: u64,u32"), "{json}");
+    assert!(json.contains("--bless-schema"), "{json}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_passes_the_semantic_passes_too() {
+    let path = fixture("clean.rs");
+    let (code, json) = run_analyze(&[&path]);
+    assert_eq!(code, 0, "{json}");
+    assert_eq!(json.trim(), "[]");
+}
+
+#[test]
+fn whole_workspace_analyzes_clean() {
+    // The same invocation CI runs: graph passes, registry, and the golden
+    // wire schema must all hold on the tree itself.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn xtask binary");
+    assert!(
+        out.status.success(),
+        "workspace analyze failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,15 @@
+//! Fixture: a registered hot path reaching an allocating helper one call
+//! down. The banned construct is in the helper, not the annotated fn — the
+//! closure walk must carry the blame path back to the root.
+
+// analyze:hot-path -- fixture: the warm loop must stay allocation-free
+pub fn warm(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    helper();
+}
+
+fn helper() -> Vec<u8> {
+    Vec::with_capacity(4)
+}

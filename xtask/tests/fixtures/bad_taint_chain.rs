@@ -1,0 +1,21 @@
+//! Fixture: a nondeterminism source two calls away from an
+//! ordering-sensitive sink. The lexical allow silences `no-ambient-entropy`
+//! at the source, but taint still propagates — local justification does not
+//! launder reachability into a registered sink.
+
+use std::time::Instant;
+
+fn noisy() -> Instant {
+    // lint:allow(no-ambient-entropy) -- fixture: justified locally, still a taint source
+    Instant::now()
+}
+
+fn mid() -> Instant {
+    noisy()
+}
+
+// analyze:sink(emit) -- fixture: emitted bytes must replay bit-identically
+pub fn emit(out: &mut Vec<u8>) {
+    let _ = mid();
+    out.push(0);
+}

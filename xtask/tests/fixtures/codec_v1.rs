@@ -1,0 +1,23 @@
+//! Fixture: wire codec, blessed field order (`x: u32` before `y: u64`).
+//! `codec_v2.rs` is the same codec with the fields swapped; the drift test
+//! blesses this file's schema and analyzes v2 against it.
+
+struct Enc<'a> {
+    b: &'a mut Vec<u8>,
+}
+
+impl<'a> Enc<'a> {
+    fn u32(&mut self, v: u32) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// analyze:codec -- fixture wire format
+pub fn encode(b: &mut Vec<u8>, x: u32, y: u64) {
+    let mut e = Enc { b };
+    e.u32(x);
+    e.u64(y);
+}

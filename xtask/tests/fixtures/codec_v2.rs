@@ -1,0 +1,23 @@
+//! Fixture: `codec_v1.rs` with the two fields reordered — byte-compatible
+//! with nothing that decoded v1. The analyzer must flag the fingerprint
+//! change against v1's blessed golden.
+
+struct Enc<'a> {
+    b: &'a mut Vec<u8>,
+}
+
+impl<'a> Enc<'a> {
+    fn u32(&mut self, v: u32) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// analyze:codec -- fixture wire format
+pub fn encode(b: &mut Vec<u8>, x: u32, y: u64) {
+    let mut e = Enc { b };
+    e.u64(y);
+    e.u32(x);
+}

@@ -1,0 +1,22 @@
+//! Fixture: lexically treacherous but rule-clean. Raw strings with fences,
+//! nested block comments, lifetime ticks next to char literals — every
+//! banned spelling below lives inside text the lexer must hide, so the
+//! strict policy has to report zero findings.
+
+/* outer /* nested: .unwrap() and HashMap and thread_rng() in a comment */ outer */
+
+/// Doc text mentioning panic!("never") and SystemTime::now() is inert too.
+pub struct Holder<'a> {
+    text: &'a str,
+}
+
+pub fn tricky<'x>(h: &Holder<'x>) -> String {
+    let plain = "HashMap::new().iter() and .unwrap() in a plain string";
+    let raw = r#"raw with panic!("no") and rand::thread_rng()"#;
+    let fenced = r##"fences: "# not the end, .expect("still text") "##;
+    let bytes = b"unordered HashSet bytes";
+    let tick = '\'';
+    let newline = '\n';
+    let borrowed: &'x str = h.text;
+    format!("{plain}{raw}{fenced}{tick}{newline}{borrowed}{:?}", bytes)
+}

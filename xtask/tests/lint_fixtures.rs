@@ -104,6 +104,16 @@ fn bad_float_association_trips_exactly_its_rule() {
 }
 
 #[test]
+fn lexically_tricky_fixture_is_clean() {
+    // Raw strings (fenced and not), nested block comments, byte strings and
+    // lifetime ticks all contain banned spellings as *text*; the lexer must
+    // hide every one of them from the rules.
+    let (code, json) = run_lint("tricky_clean.rs");
+    assert_eq!(code, 0, "tricky fixture must pass: {json}");
+    assert_eq!(json.trim(), "[]");
+}
+
+#[test]
 fn whole_workspace_is_clean() {
     // The same invocation CI runs: the tree itself must satisfy the wall.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
